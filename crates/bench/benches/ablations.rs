@@ -1,0 +1,71 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! SAQ pool size, detection threshold, and the §3.8 drain-boost rule.
+
+use bench::{
+    bench_recn_config, corner_kernel, recn_with_detection, recn_with_saqs,
+    recn_without_drain_boost, window_mean,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric::SchemeKind;
+use std::hint::black_box;
+
+/// How many SAQs per port does RECN really need? (Paper: 8 suffice; the
+/// hardware could hold 64.)
+fn saq_pool_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_saq_pool");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for saqs in [1usize, 2, 4, 8, 16] {
+        g.bench_function(format!("saqs_{saqs}"), |b| {
+            b.iter(|| {
+                let out = corner_kernel(2, recn_with_saqs(saqs));
+                black_box((window_mean(&out), out.counters.recn_rejects))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Detection threshold: lower reacts faster (more transient trees), higher
+/// tolerates transients (slower isolation).
+fn detection_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_detection_threshold");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for kb in [1u64, 2, 4, 8, 16] {
+        g.bench_function(format!("detect_{kb}kb"), |b| {
+            b.iter(|| {
+                let out = corner_kernel(2, recn_with_detection(kb * 1024));
+                black_box((window_mean(&out), out.counters.root_activations))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The §3.8 drain-boost rule: without it, lingering near-empty SAQs
+/// deallocate later (more SAQ-seconds in use).
+fn drain_boost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_drain_boost");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("with_boost", |b| {
+        b.iter(|| {
+            let out = corner_kernel(2, SchemeKind::Recn(bench_recn_config()));
+            black_box(out.counters.saq_deallocs)
+        })
+    });
+    g.bench_function("without_boost", |b| {
+        b.iter(|| {
+            let out = corner_kernel(2, recn_without_drain_boost());
+            black_box(out.counters.saq_deallocs)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(ablations, saq_pool_sweep, detection_sweep, drain_boost);
+criterion_main!(ablations);

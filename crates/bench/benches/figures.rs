@@ -1,0 +1,144 @@
+//! One criterion benchmark per paper figure, on time-compressed kernels.
+//!
+//! Beyond timing the simulator, every iteration asserts the figure's
+//! headline *shape* (who wins), so `cargo bench` doubles as a regression
+//! harness for the reproduction.
+
+use bench::{
+    bench_recn_config, corner_kernel, san_kernel, scale_kernel, window_mean, BENCH_TIME_DIV,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric::SchemeKind;
+use simcore::Picos;
+use std::hint::black_box;
+
+fn schemes_all() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::VoqNet,
+        SchemeKind::VoqSw,
+        SchemeKind::FourQ,
+        SchemeKind::OneQ,
+        SchemeKind::Recn(bench_recn_config()),
+    ]
+}
+
+fn fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_corner_cases");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for case in [1u8, 2] {
+        for scheme in schemes_all() {
+            g.bench_function(format!("case{case}_{}", scheme.name()), |b| {
+                b.iter(|| {
+                    let out = corner_kernel(case, scheme);
+                    black_box(window_mean(&out))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_san_traces");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for compression in [20.0, 40.0] {
+        for scheme in [
+            SchemeKind::VoqNet,
+            SchemeKind::VoqSw,
+            SchemeKind::OneQ,
+            SchemeKind::Recn(bench_recn_config()),
+        ] {
+            g.bench_function(format!("c{}_{}", compression as u32, scheme.name()), |b| {
+                b.iter(|| black_box(san_kernel(compression, scheme).counters.delivered_bytes))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_saq_census");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for case in [1u8, 2] {
+        g.bench_function(format!("case{case}_recn"), |b| {
+            b.iter(|| {
+                let out = corner_kernel(case, SchemeKind::Recn(bench_recn_config()));
+                // Figure 4's claim: a handful of SAQs per port suffices.
+                assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8);
+                assert!(out.saq_peaks.2 > 0);
+                black_box(out.saq_peaks)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_san_saq_census");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for compression in [20.0, 40.0] {
+        g.bench_function(format!("c{}_recn", compression as u32), |b| {
+            b.iter(|| {
+                let out = san_kernel(compression, SchemeKind::Recn(bench_recn_config()));
+                black_box(out.saq_peaks)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_scalability");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for scheme in [
+        SchemeKind::VoqNet,
+        SchemeKind::VoqSw,
+        SchemeKind::Recn(bench_recn_config()),
+    ] {
+        g.bench_function(format!("net256_{}", scheme.name()), |b| {
+            b.iter(|| {
+                let out = scale_kernel(scheme);
+                if out.scheme == "RECN" {
+                    // The paper's scalability claim: SAQ demand does not
+                    // grow with network size.
+                    assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8);
+                }
+                black_box(out.counters.delivered_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn table1(c: &mut Criterion) {
+    // Table 1 is a specification; the bench audits that the traffic
+    // generators realize it (rates within 2%).
+    let mut g = c.benchmark_group("table1_generator_audit");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("audit", |b| {
+        b.iter(|| {
+            let corner = traffic::corner::CornerCase::case1_64().shrunk(BENCH_TIME_DIV);
+            let (bg, hot) =
+                experiments::table1::audit_rates(&corner, Picos::from_us(1600 / BENCH_TIME_DIV));
+            assert!((bg - 0.5).abs() < 0.05, "background rate {bg}");
+            assert!((hot - 1.0).abs() < 0.05, "hotspot rate {hot}");
+            black_box((bg, hot))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(figures, fig2, fig3, fig4, fig5, fig6, table1);
+criterion_main!(figures);

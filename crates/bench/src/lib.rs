@@ -1,0 +1,132 @@
+//! # bench — criterion harness for the RECN reproduction
+//!
+//! Each benchmark regenerates one of the paper's tables/figures on a
+//! time-compressed (quick-mode) kernel, so `cargo bench` both exercises the
+//! full experiment pipeline and reports the simulation cost of each
+//! mechanism. The full-scale reproduction lives in the `experiments`
+//! binaries (`cargo run -p experiments --bin all_figures --release`).
+//!
+//! Benchmarks (see `benches/`):
+//!
+//! * `figures` — `fig2_corner_case{1,2}`, `fig3_san`, `fig4_saq_census`,
+//!   `fig6_scale256`: one kernel per paper figure.
+//! * `ablations` — design-choice sweeps DESIGN.md calls out: SAQ pool
+//!   size, detection threshold, and the drain-boost rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use experiments::runner::{run_one, RunOutput, Workload};
+use fabric::SchemeKind;
+use recn::RecnConfig;
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+
+/// Time compression used by the bench kernels (stronger than `--quick`
+/// so a full `cargo bench` stays in the minutes range on one core).
+pub const BENCH_TIME_DIV: u64 = 16;
+
+/// The RECN config the bench kernels use (thresholds scaled with time).
+pub fn bench_recn_config() -> RecnConfig {
+    experiments::runner::scaled_recn_config(BENCH_TIME_DIV)
+}
+
+/// Runs the corner-case kernel under a scheme and returns the output
+/// (checked, so benches also act as regression tests).
+pub fn corner_kernel(case: u8, scheme: SchemeKind) -> RunOutput {
+    let corner = match case {
+        1 => CornerCase::case1_64(),
+        _ => CornerCase::case2_64(),
+    }
+    .shrunk(BENCH_TIME_DIV);
+    let horizon = Picos::from_us(1600 / BENCH_TIME_DIV);
+    let out = run_one(
+        MinParams::paper_64(),
+        scheme,
+        &Workload::Corner(corner),
+        64,
+        horizon,
+        Picos::from_us(1),
+    );
+    assert!(out.counters.delivered_packets > 0);
+    out
+}
+
+/// Runs the SAN-trace kernel.
+pub fn san_kernel(compression: f64, scheme: SchemeKind) -> RunOutput {
+    let horizon = Picos::from_us(1600 / BENCH_TIME_DIV);
+    let out = run_one(
+        MinParams::paper_64(),
+        scheme,
+        &Workload::San(traffic::san::SanParams::cello_like(compression)),
+        64,
+        horizon,
+        Picos::from_us(1),
+    );
+    assert!(out.counters.delivered_packets > 0);
+    out
+}
+
+/// Runs the 256-host scalability kernel.
+pub fn scale_kernel(scheme: SchemeKind) -> RunOutput {
+    let corner = CornerCase::case2_256().shrunk(BENCH_TIME_DIV);
+    let horizon = Picos::from_us(1600 / BENCH_TIME_DIV);
+    let out = run_one(
+        MinParams::paper_256(),
+        scheme,
+        &Workload::Corner(corner),
+        64,
+        horizon,
+        Picos::from_us(1),
+    );
+    assert!(out.counters.delivered_packets > 0);
+    out
+}
+
+/// RECN with a different SAQ pool size (ablation).
+pub fn recn_with_saqs(max_saqs: usize) -> SchemeKind {
+    SchemeKind::Recn(bench_recn_config().with_max_saqs(max_saqs))
+}
+
+/// RECN with a different detection threshold (ablation).
+pub fn recn_with_detection(bytes: u64) -> SchemeKind {
+    SchemeKind::Recn(bench_recn_config().with_detection_threshold(bytes))
+}
+
+/// RECN with the drain-boost rule disabled (ablation; `pkts = 0` means no
+/// SAQ ever qualifies for the boost).
+pub fn recn_without_drain_boost() -> SchemeKind {
+    SchemeKind::Recn(bench_recn_config().with_drain_boost(0))
+}
+
+/// Mean throughput (bytes/ns) inside the congestion window of a kernel run.
+pub fn window_mean(out: &RunOutput) -> f64 {
+    let from = 810.0 / BENCH_TIME_DIV as f64;
+    let to = 960.0 / BENCH_TIME_DIV as f64;
+    metrics::report::window_stats(&out.throughput, from, to).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_run_and_report() {
+        let out = corner_kernel(1, SchemeKind::OneQ);
+        assert!(window_mean(&out) > 1.0);
+        let out = corner_kernel(2, recn_with_saqs(8));
+        assert!(out.saq_peaks.2 > 0);
+    }
+
+    #[test]
+    fn ablation_configs_differ() {
+        assert_ne!(recn_with_saqs(2), recn_with_saqs(8));
+        assert_ne!(recn_with_detection(1024), recn_with_detection(4096));
+        if let SchemeKind::Recn(c) = recn_without_drain_boost() {
+            assert_eq!(c.drain_boost_pkts, 0);
+        } else {
+            panic!("expected RECN scheme");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Ablation studies of RECN's design choices (beyond the paper's figures,
+//! but directly supporting its §3 arguments):
+//!
+//! * **SAQ pool size** — the paper uses 8 SAQs/port and says 64 fit in the
+//!   reclaimed VOQ RAM. How few are enough, and what do rejections cost?
+//! * **Detection threshold** — reaction latency vs spurious trees.
+//! * **Drain boost (§3.8)** — how much faster do lingering SAQs empty?
+//! * **Victim latency** — per-class packet latency (hotspot vs innocent
+//!   flows), the end-user view of HOL blocking.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fabric::{FabricConfig, NetObserver, Network, Packet, SchemeKind};
+use metrics::report::window_stats;
+use recn::RecnConfig;
+use simcore::{Picos, Running};
+use topology::{HostId, MinParams};
+use traffic::corner::CornerCase;
+
+use crate::opts::Opts;
+use crate::runner::{run_one, scaled_recn_config, Workload};
+
+/// One row of an ablation table.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The varied parameter, rendered.
+    pub setting: String,
+    /// Mean throughput inside the congestion window (bytes/ns).
+    pub window_throughput: f64,
+    /// SAQ peaks `(ingress, egress, total)`.
+    pub saq_peaks: (u32, u32, u32),
+    /// Notifications rejected for lack of a free SAQ.
+    pub rejects: u64,
+    /// SAQs allocated over the run.
+    pub allocs: u64,
+}
+
+fn corner2(opts: &Opts) -> Workload {
+    Workload::Corner(
+        CornerCase::case2_64().with_msg_bytes(opts.packet_size()).shrunk(opts.time_div()),
+    )
+}
+
+fn run_recn(opts: &Opts, cfg: RecnConfig, setting: String) -> AblationRow {
+    let horizon = Picos::from_us(1600 / opts.time_div());
+    let out = run_one(
+        MinParams::paper_64(),
+        SchemeKind::Recn(cfg),
+        &corner2(opts),
+        opts.packet_size(),
+        horizon,
+        Picos::from_us((5 / opts.time_div()).max(1)),
+    );
+    let from = 810.0 / opts.time_div() as f64;
+    let to = 960.0 / opts.time_div() as f64;
+    AblationRow {
+        setting,
+        window_throughput: window_stats(&out.throughput, from, to).0,
+        saq_peaks: out.saq_peaks,
+        rejects: out.counters.recn_rejects,
+        allocs: out.counters.saq_allocs,
+    }
+}
+
+/// Sweep the SAQ pool size (corner case 2).
+pub fn saq_pool_sweep(opts: &Opts) -> Vec<AblationRow> {
+    [1usize, 2, 4, 8, 16, 64]
+        .into_iter()
+        .map(|n| {
+            run_recn(
+                opts,
+                scaled_recn_config(opts.time_div()).with_max_saqs(n),
+                format!("saqs={n}"),
+            )
+        })
+        .collect()
+}
+
+/// Sweep the detection threshold (corner case 2).
+pub fn detection_sweep(opts: &Opts) -> Vec<AblationRow> {
+    [2u64, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(|kb| {
+            let base = scaled_recn_config(opts.time_div());
+            let detection = (kb * 1024 / opts.time_div().max(1)).max(256);
+            let cfg = RecnConfig {
+                detection_threshold: detection,
+                root_clear_threshold: base.root_clear_threshold.min(detection),
+                ..base
+            };
+            run_recn(opts, cfg, format!("detect={kb}KB"))
+        })
+        .collect()
+}
+
+/// Drain boost on vs off (corner case 2).
+pub fn drain_boost_ablation(opts: &Opts) -> Vec<AblationRow> {
+    [("boost=on", 2u32), ("boost=off", 0)]
+        .into_iter()
+        .map(|(label, pkts)| {
+            run_recn(
+                opts,
+                scaled_recn_config(opts.time_div()).with_drain_boost(pkts),
+                label.to_owned(),
+            )
+        })
+        .collect()
+}
+
+/// Renders ablation rows as an aligned table.
+pub fn render_rows(title: &str, rows: &[AblationRow]) -> String {
+    let mut out = format!("# {title}\n");
+    out.push_str(&format!(
+        "{:>14} {:>12} {:>16} {:>9} {:>8}\n",
+        "setting", "win-thr(B/ns)", "peaks(in,eg,tot)", "rejects", "allocs"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>14} {:>12.2} {:>16} {:>9} {:>8}\n",
+            r.setting,
+            r.window_throughput,
+            format!("{:?}", r.saq_peaks),
+            r.rejects,
+            r.allocs
+        ));
+    }
+    out
+}
+
+/// Per-class latency: mean/max end-to-end latency of hotspot-destined vs
+/// innocent packets under a scheme (corner case 2).
+#[derive(Debug, Clone)]
+pub struct LatencySplit {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Latency of packets to the hotspot destination (ns).
+    pub hotspot: Running,
+    /// Latency of everything else (ns).
+    pub innocent: Running,
+}
+
+/// Measures the latency split for `scheme`.
+pub fn latency_split(opts: &Opts, scheme: SchemeKind) -> LatencySplit {
+    struct SplitObserver {
+        hot: HostId,
+        state: Rc<RefCell<(Running, Running)>>,
+    }
+    impl NetObserver for SplitObserver {
+        fn on_delivered(&mut self, now: Picos, pkt: &Packet) {
+            let lat = now.saturating_sub(pkt.injected_at).as_ns_f64();
+            let mut s = self.state.borrow_mut();
+            if pkt.dst == self.hot {
+                s.0.push(lat);
+            } else {
+                s.1.push(lat);
+            }
+        }
+    }
+    let corner = CornerCase::case2_64().shrunk(opts.time_div());
+    let horizon = Picos::from_us(1600 / opts.time_div());
+    let state = Rc::new(RefCell::new((Running::new(), Running::new())));
+    let sources = corner.build_sources(horizon);
+    let net = Network::new(
+        MinParams::paper_64(),
+        FabricConfig::paper(scheme),
+        opts.packet_size(),
+        sources,
+        Box::new(SplitObserver { hot: HostId::new(32), state: state.clone() }),
+    );
+    let mut engine = net.build_engine();
+    engine.run_until(horizon);
+    let (hotspot, innocent) = state.borrow().clone();
+    LatencySplit { scheme: scheme.name(), hotspot, innocent }
+}
+
+/// Renders latency splits.
+pub fn render_latency(splits: &[LatencySplit]) -> String {
+    let mut out = String::from(
+        "# per-class latency under corner case 2 (ns)\n\
+         scheme   innocent-mean  innocent-max   hotspot-mean   hotspot-max\n",
+    );
+    for s in splits {
+        out.push_str(&format!(
+            "{:>6} {:>14.0} {:>13.0} {:>14.0} {:>13.0}\n",
+            s.scheme,
+            s.innocent.mean(),
+            s.innocent.max().unwrap_or(0.0),
+            s.hotspot.mean(),
+            s.hotspot.max().unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Opts {
+        Opts { quick: true, stride: 8, ..Opts::default() }
+    }
+
+    #[test]
+    fn saq_sweep_shows_monotone_isolation() {
+        let rows = saq_pool_sweep(&quick());
+        assert_eq!(rows.len(), 6);
+        // A pool of one SAQ must reject far more notifications than eight.
+        let one = &rows[0];
+        let eight = &rows[3];
+        assert!(one.rejects > eight.rejects, "{one:?} vs {eight:?}");
+        // And more SAQs never hurt window throughput much.
+        assert!(eight.window_throughput >= one.window_throughput * 0.95);
+    }
+
+    #[test]
+    fn latency_split_separates_classes() {
+        let splits = [
+            latency_split(&quick(), SchemeKind::OneQ),
+            latency_split(
+                &quick(),
+                SchemeKind::Recn(scaled_recn_config(8)),
+            ),
+        ];
+        for s in &splits {
+            assert!(s.hotspot.count() > 0 && s.innocent.count() > 0);
+            // Congested flows queue behind the hotspot link: slower.
+            assert!(s.hotspot.mean() > s.innocent.mean());
+        }
+        let text = render_latency(&splits);
+        assert!(text.contains("RECN") && text.contains("1Q"));
+    }
+}

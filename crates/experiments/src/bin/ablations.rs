@@ -1,0 +1,21 @@
+//! Runs the RECN design ablations and the per-class latency measurement.
+
+use experiments::runner::scaled_recn_config;
+use experiments::{ablations, Opts};
+use fabric::SchemeKind;
+
+fn main() {
+    let opts = Opts::parse(std::env::args().skip(1));
+    println!("{}", ablations::render_rows("SAQ pool size sweep (corner case 2)", &ablations::saq_pool_sweep(&opts)));
+    println!("{}", ablations::render_rows("detection threshold sweep (corner case 2)", &ablations::detection_sweep(&opts)));
+    println!("{}", ablations::render_rows("drain-boost rule (paper §3.8)", &ablations::drain_boost_ablation(&opts)));
+    let splits: Vec<_> = [
+        SchemeKind::VoqNet,
+        SchemeKind::OneQ,
+        SchemeKind::Recn(scaled_recn_config(opts.time_div())),
+    ]
+    .into_iter()
+    .map(|s| ablations::latency_split(&opts, s))
+    .collect();
+    println!("{}", ablations::render_latency(&splits));
+}

@@ -1,0 +1,27 @@
+//! Runs every figure back to back (the full paper reproduction).
+
+use experiments::{figures, Opts};
+
+fn main() {
+    let opts = Opts::parse(std::env::args().skip(1));
+    eprintln!("== Figure 2 ==");
+    for f in figures::fig2(&opts) {
+        f.print(&opts);
+    }
+    eprintln!("== Figure 3 ==");
+    for f in figures::fig3(&opts) {
+        f.print(&opts);
+    }
+    eprintln!("== Figure 4 ==");
+    for f in figures::fig4(&opts) {
+        f.print(&opts);
+    }
+    eprintln!("== Figure 5 ==");
+    for f in figures::fig5(&opts) {
+        f.print(&opts);
+    }
+    eprintln!("== Figure 6 ==");
+    for f in figures::fig6(&opts) {
+        f.print(&opts);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig2 series. See `--help` for options.
+
+use experiments::{figures, Opts};
+
+fn main() {
+    let opts = Opts::parse(std::env::args().skip(1));
+    for fig in figures::fig2(&opts) {
+        fig.print(&opts);
+    }
+}

@@ -1,0 +1,50 @@
+//! Mid-congestion state inspector: runs corner case 2 under RECN to the
+//! middle of the congestion window and prints the most loaded ports with
+//! their SAQ state — a window into how the congestion tree is isolated.
+//!
+//! Options: the common flags plus everything in `--help`.
+
+use experiments::runner::{paper_recn_config, scaled_recn_config};
+use experiments::Opts;
+use fabric::{render_port, FabricConfig, Network, NullObserver, SchemeKind};
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+
+fn main() {
+    let opts = Opts::parse(std::env::args().skip(1));
+    let div = opts.time_div();
+    let corner = CornerCase::case2_64().with_msg_bytes(opts.packet_size()).shrunk(div);
+    let recn_cfg = if div == 1 { paper_recn_config() } else { scaled_recn_config(div) };
+    let sources = corner.build_sources(Picos::from_us(1600 / div));
+    let net = Network::new(
+        MinParams::paper_64(),
+        FabricConfig::paper(SchemeKind::Recn(recn_cfg)),
+        opts.packet_size(),
+        sources,
+        Box::new(NullObserver),
+    );
+    let mut engine = net.build_engine();
+    // Halt in the middle of the congestion window (paper: 800–970 µs).
+    engine.run_until(Picos::from_us(885 / div));
+    let net = engine.model();
+    let c = net.counters();
+    println!(
+        "t = {} — census {:?} | allocs {} deallocs {} rejects {} markers {} xoff/xon {}/{} roots {}/{}",
+        engine.now(),
+        net.saq_census(),
+        c.saq_allocs,
+        c.saq_deallocs,
+        c.recn_rejects,
+        c.markers,
+        c.xoffs,
+        c.xons,
+        c.root_activations,
+        c.root_clears,
+    );
+    let (pi, po, pn) = net.peak_occupancies();
+    println!("peak buffer occupancy: inputs {pi}B, outputs {po}B, NICs {pn}B\n");
+    for (name, snap) in net.hottest_ports(24) {
+        println!("{}", render_port(&name, &snap));
+    }
+}

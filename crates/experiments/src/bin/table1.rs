@@ -1,0 +1,17 @@
+//! Prints Table 1 and audits that the generators realize the specified
+//! injection rates.
+
+use experiments::table1;
+use simcore::Picos;
+use traffic::corner::CornerCase;
+
+fn main() {
+    let rows = table1::spec();
+    print!("{}", table1::render(&rows));
+    for (case, corner) in [(1, CornerCase::case1_64()), (2, CornerCase::case2_64())] {
+        let (bg, hot) = table1::audit_rates(&corner, Picos::from_us(1600));
+        println!(
+            "audit case {case}: background {bg:.3} B/ns per source, hotspot {hot:.3} B/ns per source"
+        );
+    }
+}

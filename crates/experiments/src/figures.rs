@@ -1,0 +1,307 @@
+//! One function per figure of the paper.
+
+use metrics::report::{render_csv, render_table, thin, window_stats, Labeled};
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+use traffic::san::SanParams;
+
+use crate::opts::Opts;
+use crate::runner::{run_one, summarize, RunOutput, SchemeSet, Workload};
+
+/// A reproduced figure: its labeled series plus run summaries.
+#[derive(Debug)]
+pub struct Figure {
+    /// Figure identifier (e.g. "fig2a").
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// The curves.
+    pub series: Vec<Labeled>,
+    /// Per-run outputs, for summaries and assertions.
+    pub runs: Vec<RunOutput>,
+}
+
+impl Figure {
+    /// Prints the figure as a text table (thinned by `opts.stride`) and
+    /// optionally CSV, plus per-run summaries.
+    pub fn print(&self, opts: &Opts) {
+        let thinned: Vec<Labeled> = self
+            .series
+            .iter()
+            .map(|l| Labeled::new(l.label.clone(), thin(&l.points, opts.stride)))
+            .collect();
+        println!("{}", render_table(&format!("{} — {}", self.name, self.title), &thinned));
+        for r in &self.runs {
+            println!("  {}", summarize(r));
+        }
+        println!();
+        opts.maybe_write_csv(&self.name, &render_csv(&self.series));
+    }
+}
+
+fn corner_horizon(opts: &Opts) -> Picos {
+    Picos::from_us(1600 / opts.time_div())
+}
+
+fn series_bin(opts: &Opts) -> Picos {
+    // 5 µs bins at paper scale, shrunk with the time axis in quick mode.
+    Picos::from_us((5 / opts.time_div()).max(1))
+}
+
+fn corner_case(which: u8, opts: &Opts) -> CornerCase {
+    let base = match which {
+        1 => CornerCase::case1_64(),
+        2 => CornerCase::case2_64(),
+        other => panic!("no corner case {other}"),
+    };
+    base.with_msg_bytes(opts.packet_size()).shrunk(opts.time_div())
+}
+
+/// Figure 2: network throughput over time for corner cases 1 and 2 under
+/// all five mechanisms (64-host MIN, 64-byte packets), plus the
+/// RECN-vs-VOQnet zoom of Figures 2c/2d around the congestion-tree window.
+pub fn fig2(opts: &Opts) -> Vec<Figure> {
+    let mut figures = Vec::new();
+    for (case, sub) in [(1u8, 'a'), (2, 'b')] {
+        let corner = corner_case(case, opts);
+        let horizon = corner_horizon(opts);
+        let bin = series_bin(opts);
+        let workload = Workload::Corner(corner);
+        let mut series = Vec::new();
+        let mut runs = Vec::new();
+        for scheme in SchemeSet::All.schemes_scaled(opts.time_div()) {
+            let out = run_one(MinParams::paper_64(), scheme, &workload, opts.packet_size(), horizon, bin);
+            series.push(Labeled::new(out.scheme, out.throughput.clone()));
+            runs.push(out);
+        }
+        figures.push(Figure {
+            name: format!("fig2{sub}"),
+            title: format!(
+                "network throughput (bytes/ns), corner case {case}, {}B packets",
+                opts.packet_size()
+            ),
+            series,
+            runs,
+        });
+    }
+    // 2c/2d: zoom of RECN vs VOQnet around the hotspot window.
+    let zoomed: Vec<Figure> = [('c', 0usize), ('d', 1usize)]
+        .into_iter()
+        .map(|(sub, idx)| {
+            let f = &figures[idx];
+            let from = 750.0 / opts.time_div() as f64;
+            let to = 1100.0 / opts.time_div() as f64;
+            let zoom = |l: &Labeled| {
+                Labeled::new(
+                    l.label.clone(),
+                    l.points.iter().copied().filter(|p| p.t_us >= from && p.t_us < to).collect(),
+                )
+            };
+            Figure {
+                name: format!("fig2{sub}"),
+                title: format!("zoom on the congestion window, corner case {}", idx + 1),
+                series: f
+                    .series
+                    .iter()
+                    .filter(|l| l.label == "RECN" || l.label == "VOQnet")
+                    .map(zoom)
+                    .collect(),
+                runs: Vec::new(),
+            }
+        })
+        .collect();
+    figures.extend(zoomed);
+    figures
+}
+
+/// Figure 3: throughput over time replaying the (synthetic) SAN traces at
+/// compression factors 20 and 40.
+pub fn fig3(opts: &Opts) -> Vec<Figure> {
+    san_figures(opts, SchemeSet::TraceComparison, "fig3", "network throughput (bytes/ns)", false)
+}
+
+/// Figure 4: SAQ utilization over time for the corner cases (RECN):
+/// max at any ingress port, max at any egress port, network total.
+pub fn fig4(opts: &Opts) -> Vec<Figure> {
+    let mut figures = Vec::new();
+    for case in [1u8, 2] {
+        let corner = corner_case(case, opts);
+        let horizon = corner_horizon(opts);
+        let workload = Workload::Corner(corner);
+        let out = run_one(
+            MinParams::paper_64(),
+            SchemeSet::RecnOnly.schemes_scaled(opts.time_div())[0],
+            &workload,
+            opts.packet_size(),
+            horizon,
+            series_bin(opts),
+        );
+        figures.push(Figure {
+            name: format!("fig4_case{case}"),
+            title: format!("SAQ utilization, corner case {case} (peaks {:?})", out.saq_peaks),
+            series: vec![
+                Labeled::new("max_ingress", out.saq_ingress.clone()),
+                Labeled::new("max_egress", out.saq_egress.clone()),
+                Labeled::new("total", out.saq_total.clone()),
+            ],
+            runs: vec![out],
+        });
+    }
+    figures
+}
+
+/// Figure 5: SAQ utilization over time for the SAN traces (RECN).
+pub fn fig5(opts: &Opts) -> Vec<Figure> {
+    san_figures(opts, SchemeSet::RecnOnly, "fig5", "SAQ utilization", true)
+}
+
+fn san_figures(
+    opts: &Opts,
+    set: SchemeSet,
+    prefix: &str,
+    what: &str,
+    saq_series: bool,
+) -> Vec<Figure> {
+    let mut figures = Vec::new();
+    for compression in [20.0, 40.0] {
+        let horizon = corner_horizon(opts);
+        let bin = series_bin(opts);
+        let workload = Workload::San(SanParams::cello_like(compression));
+        let mut series = Vec::new();
+        let mut runs = Vec::new();
+        for scheme in set.schemes_scaled(opts.time_div()) {
+            let out = run_one(
+                MinParams::paper_64(),
+                scheme,
+                &workload,
+                opts.pkt.unwrap_or(64),
+                horizon,
+                bin,
+            );
+            if saq_series {
+                series.push(Labeled::new("max_ingress", out.saq_ingress.clone()));
+                series.push(Labeled::new("max_egress", out.saq_egress.clone()));
+                series.push(Labeled::new("total", out.saq_total.clone()));
+            } else {
+                series.push(Labeled::new(out.scheme, out.throughput.clone()));
+            }
+            runs.push(out);
+        }
+        figures.push(Figure {
+            name: format!("{prefix}_c{}", compression as u32),
+            title: format!("{what}, SAN traces, compression {compression}x"),
+            series,
+            runs,
+        });
+    }
+    figures
+}
+
+/// Figure 6: throughput and RECN SAQ utilization on the 256- and 512-host
+/// networks under the scaled corner case 2.
+pub fn fig6(opts: &Opts) -> Vec<Figure> {
+    let mut figures = Vec::new();
+    let nets: Vec<u32> = match opts.net {
+        Some(n) => vec![n],
+        None => vec![256, 512],
+    };
+    for hosts in nets {
+        let (params, corner) = match hosts {
+            256 => (MinParams::paper_256(), CornerCase::case2_256()),
+            512 => (MinParams::paper_512(), CornerCase::case2_512()),
+            other => panic!("fig6 supports 256 or 512 hosts, not {other}"),
+        };
+        let corner = corner.with_msg_bytes(opts.packet_size()).shrunk(opts.time_div());
+        let horizon = corner_horizon(opts);
+        let bin = series_bin(opts);
+        let workload = Workload::Corner(corner);
+        let mut series = Vec::new();
+        let mut saq = Vec::new();
+        let mut runs = Vec::new();
+        // Threshold scaling is capped at 2x for the large networks: their
+        // saturated uniform traffic legitimately builds multi-KB queues, so
+        // fully time-scaled (sub-KB) detection thresholds would flag every
+        // transient as a congestion tree. The hotspot still fills an 8 KB
+        // root queue within the compressed window.
+        for scheme in SchemeSet::Scalability.schemes_scaled(opts.time_div().min(2)) {
+            let out = run_one(params, scheme, &workload, opts.packet_size(), horizon, bin);
+            series.push(Labeled::new(out.scheme, out.throughput.clone()));
+            if out.scheme == "RECN" {
+                saq = vec![
+                    Labeled::new("max_ingress", out.saq_ingress.clone()),
+                    Labeled::new("max_egress", out.saq_egress.clone()),
+                    Labeled::new("total", out.saq_total.clone()),
+                ];
+            }
+            runs.push(out);
+        }
+        figures.push(Figure {
+            name: format!("fig6_{hosts}_throughput"),
+            title: format!("network throughput (bytes/ns), {hosts}-host MIN, corner case 2"),
+            series,
+            runs,
+        });
+        figures.push(Figure {
+            name: format!("fig6_{hosts}_saq"),
+            title: format!("RECN SAQ utilization, {hosts}-host MIN"),
+            series: saq,
+            runs: Vec::new(),
+        });
+    }
+    figures
+}
+
+/// Convenience: the headline comparison behind the paper's abstract —
+/// mean throughput inside the congestion window for each mechanism.
+pub fn congestion_window_means(fig: &Figure, opts: &Opts) -> Vec<(String, f64)> {
+    let from = 810.0 / opts.time_div() as f64;
+    let to = 960.0 / opts.time_div() as f64;
+    fig.series
+        .iter()
+        .map(|l| (l.label.clone(), window_stats(&l.points, from, to).0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> Opts {
+        Opts { quick: true, stride: 8, ..Opts::default() }
+    }
+
+    #[test]
+    fn fig2_quick_shapes_hold() {
+        let figs = fig2(&quick_opts());
+        assert_eq!(figs.len(), 4);
+        let f2a = &figs[0];
+        assert_eq!(f2a.series.len(), 5);
+        let means = congestion_window_means(f2a, &quick_opts());
+        let get = |name: &str| means.iter().find(|(l, _)| l == name).unwrap().1;
+        // The paper's ordering inside the congestion window:
+        // RECN ≈ VOQnet, both above 1Q. (The 8× time compression leaves the
+        // tree only ~21 µs to develop, so the 1Q degradation is milder than
+        // at paper scale — the assertions check ordering, not magnitude.)
+        assert!(get("RECN") > 0.9 * get("VOQnet"), "{means:?}");
+        assert!(get("RECN") > get("1Q") + 1.0, "{means:?}");
+        assert!(get("VOQnet") > get("1Q") + 1.0, "{means:?}");
+        // Zoom figures carry only the two reference curves.
+        assert_eq!(figs[2].series.len(), 2);
+    }
+
+    #[test]
+    fn fig4_quick_saq_counts_small() {
+        let figs = fig4(&quick_opts());
+        assert_eq!(figs.len(), 2);
+        for f in &figs {
+            let run = &f.runs[0];
+            assert!(run.saq_peaks.2 > 0, "hotspot must allocate SAQs");
+            assert!(
+                run.saq_peaks.0 <= 8 && run.saq_peaks.1 <= 8,
+                "per-port SAQ demand stays within the 8 configured: {:?}",
+                run.saq_peaks
+            );
+        }
+    }
+}

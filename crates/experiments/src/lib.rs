@@ -1,0 +1,35 @@
+//! # experiments — the paper's evaluation, re-runnable
+//!
+//! One entry point per table/figure of the paper (§4):
+//!
+//! | paper item | function | binary |
+//! |------------|----------|--------|
+//! | Table 1    | [`table1::spec`] | `cargo run -p experiments --bin table1 --release` |
+//! | Figure 2 (a–d) | [`figures::fig2`] | `--bin fig2` |
+//! | Figure 3   | [`figures::fig3`] | `--bin fig3` |
+//! | Figure 4   | [`figures::fig4`] | `--bin fig4` |
+//! | Figure 5   | [`figures::fig5`] | `--bin fig5` |
+//! | Figure 6   | [`figures::fig6`] | `--bin fig6` |
+//!
+//! Beyond the paper, [`ablations`] sweeps the design parameters (SAQ pool
+//! size, detection threshold, drain boost) and measures the per-class
+//! latency split — run them with `--bin ablations`.
+//!
+//! Each run simulates the exact scenario of the paper (64/256/512-host
+//! perfect-shuffle MINs, 8 Gbps links, 12 Gbps crossbars, 128 KB port
+//! memories, corner-case or SAN-trace traffic) under the mechanisms being
+//! compared, and prints the figure's series as aligned text tables (or CSV
+//! via `--csv <dir>`). Pass `--quick` for an 8× time-compressed variant
+//! used by the benchmark harness and CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod opts;
+pub mod runner;
+pub mod table1;
+
+pub use opts::Opts;
+pub use runner::{run_one, RunOutput, SchemeSet, Workload};

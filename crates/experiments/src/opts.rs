@@ -1,0 +1,127 @@
+//! Minimal command-line options shared by the experiment binaries.
+
+use std::path::PathBuf;
+
+/// Options common to every experiment binary.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    /// 8× time compression: shorter warm-up, earlier hotspot, shorter run.
+    /// Used by benches/CI; the shapes of all curves are preserved.
+    pub quick: bool,
+    /// Packet size override (64 default; the paper also reports 512).
+    pub pkt: Option<u32>,
+    /// Write CSV files into this directory in addition to stdout tables.
+    pub csv_dir: Option<PathBuf>,
+    /// Network size selector for `fig6` (256 or 512; both when `None`).
+    pub net: Option<u32>,
+    /// Print every Nth series row (default 4; 1 = all rows).
+    pub stride: usize,
+}
+
+impl Opts {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Opts {
+        let mut opts = Opts { stride: 4, ..Opts::default() };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--pkt" => {
+                    let v = it.next().expect("--pkt needs a value");
+                    opts.pkt = Some(v.parse().expect("--pkt expects bytes"));
+                }
+                "--csv" => {
+                    let v = it.next().expect("--csv needs a directory");
+                    opts.csv_dir = Some(PathBuf::from(v));
+                }
+                "--net" => {
+                    let v = it.next().expect("--net needs 256 or 512");
+                    opts.net = Some(v.parse().expect("--net expects a host count"));
+                }
+                "--stride" => {
+                    let v = it.next().expect("--stride needs a value");
+                    opts.stride = v.parse().expect("--stride expects a count");
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "options: [--quick] [--pkt 64|512] [--csv DIR] [--net 256|512] [--stride N]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option {other}; try --help"),
+            }
+        }
+        if opts.stride == 0 {
+            opts.stride = 1;
+        }
+        opts
+    }
+
+    /// Packet size to use (default 64, per the paper's headline figures).
+    pub fn packet_size(&self) -> u32 {
+        self.pkt.unwrap_or(64)
+    }
+
+    /// Time scale divisor (8 in quick mode, 1 otherwise).
+    pub fn time_div(&self) -> u64 {
+        if self.quick {
+            8
+        } else {
+            1
+        }
+    }
+
+    /// Writes a CSV file if `--csv` was given.
+    pub fn maybe_write_csv(&self, name: &str, content: &str) {
+        if let Some(dir) = &self.csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, content).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Opts {
+        Opts::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert!(!o.quick);
+        assert_eq!(o.packet_size(), 64);
+        assert_eq!(o.time_div(), 1);
+        assert_eq!(o.stride, 4);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse(&["--quick", "--pkt", "512", "--net", "256", "--stride", "2"]);
+        assert!(o.quick);
+        assert_eq!(o.packet_size(), 512);
+        assert_eq!(o.time_div(), 8);
+        assert_eq!(o.net, Some(256));
+        assert_eq!(o.stride, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown option")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn zero_stride_coerced() {
+        let o = parse(&["--stride", "0"]);
+        assert_eq!(o.stride, 1);
+    }
+}

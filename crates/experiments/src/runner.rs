@@ -1,0 +1,247 @@
+//! Generic experiment runner: build a workload, run it under a scheme,
+//! collect the probe series.
+
+use std::time::Instant;
+
+use fabric::{FabricConfig, MessageSource, NetCounters, Network, SchemeKind};
+use metrics::{Probe, ProbeHandle};
+use recn::RecnConfig;
+use simcore::{Picos, SeriesPoint};
+use topology::MinParams;
+use traffic::corner::CornerCase;
+use traffic::san::SanParams;
+
+/// The workload of a run.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A Table-1 style corner case.
+    Corner(CornerCase),
+    /// The synthetic SAN traces at a compression factor.
+    San(SanParams),
+}
+
+impl Workload {
+    fn sources(&self, hosts: u32, horizon: Picos) -> Vec<Box<dyn MessageSource>> {
+        match self {
+            Workload::Corner(c) => {
+                assert_eq!(c.hosts, hosts, "corner case sized for a different network");
+                c.build_sources(horizon)
+            }
+            Workload::San(p) => p.build_sources(hosts, horizon),
+        }
+    }
+
+    /// Host-side admittance buffering appropriate for the workload: the
+    /// corner cases use a small stop threshold (a saturated hotspot should
+    /// not accrue minutes of backlog — see DESIGN.md §6a), while the SAN
+    /// traces carry multi-KB messages and need room for a few of them.
+    fn admit_cap(&self) -> u64 {
+        match self {
+            Workload::Corner(_) => 4 * 1024,
+            Workload::San(_) => 64 * 1024,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Delivered throughput, bytes/ns per bin.
+    pub throughput: Vec<SeriesPoint>,
+    /// Max SAQs at any switch input port, per bin (RECN only; zeros
+    /// otherwise).
+    pub saq_ingress: Vec<SeriesPoint>,
+    /// Max SAQs at any switch output port, per bin.
+    pub saq_egress: Vec<SeriesPoint>,
+    /// Network-wide SAQ total, per bin.
+    pub saq_total: Vec<SeriesPoint>,
+    /// Whole-run SAQ peaks `(ingress, egress, total)`.
+    pub saq_peaks: (u32, u32, u32),
+    /// Fabric counters at the end of the run.
+    pub counters: NetCounters,
+    /// Wall-clock seconds the simulation took.
+    pub wall_secs: f64,
+    /// Simulated events processed.
+    pub events: u64,
+}
+
+/// The RECN configuration used by all paper-scale experiments: thresholds
+/// as fractions of the 128 KB port memory (the paper gives the threshold
+/// structure but not byte values; these reproduce its curves).
+pub fn paper_recn_config() -> RecnConfig {
+    RecnConfig {
+        max_saqs: 8,
+        detection_threshold: 16 * 1024,
+        propagation_threshold: 2 * 1024,
+        xoff_threshold: 4 * 1024,
+        xon_threshold: 1024,
+        drain_boost_pkts: 2,
+        root_clear_threshold: 8 * 1024,
+    }
+}
+
+/// `paper_recn_config` with thresholds divided by `div` — used by quick
+/// (time-compressed) runs so congestion detection scales with the shrunken
+/// buffers-fill time and the curve shapes are preserved.
+pub fn scaled_recn_config(div: u64) -> RecnConfig {
+    let base = paper_recn_config();
+    RecnConfig {
+        detection_threshold: (base.detection_threshold / div).max(256),
+        propagation_threshold: (base.propagation_threshold / div).max(128),
+        xoff_threshold: (base.xoff_threshold / div).max(192),
+        xon_threshold: (base.xon_threshold / div).max(64),
+        root_clear_threshold: (base.root_clear_threshold / div).max(128),
+        ..base
+    }
+}
+
+/// Named scheme groups used by the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeSet {
+    /// All five mechanisms (Figure 2).
+    All,
+    /// VOQnet, VOQsw, 1Q, RECN (Figure 3).
+    TraceComparison,
+    /// VOQnet, VOQsw, RECN (Figure 6).
+    Scalability,
+    /// RECN alone (Figures 4 and 5).
+    RecnOnly,
+}
+
+impl SchemeSet {
+    /// The schemes in the set, in the paper's plotting order.
+    pub fn schemes(self) -> Vec<SchemeKind> {
+        self.schemes_scaled(1)
+    }
+
+    /// Like [`schemes`](Self::schemes) but with RECN thresholds divided by
+    /// `div` (quick mode).
+    pub fn schemes_scaled(self, div: u64) -> Vec<SchemeKind> {
+        let recn = SchemeKind::Recn(scaled_recn_config(div));
+        match self {
+            SchemeSet::All => vec![
+                SchemeKind::VoqNet,
+                SchemeKind::VoqSw,
+                SchemeKind::FourQ,
+                SchemeKind::OneQ,
+                recn,
+            ],
+            SchemeSet::TraceComparison => {
+                vec![SchemeKind::VoqNet, SchemeKind::VoqSw, SchemeKind::OneQ, recn]
+            }
+            SchemeSet::Scalability => vec![SchemeKind::VoqNet, SchemeKind::VoqSw, recn],
+            SchemeSet::RecnOnly => vec![recn],
+        }
+    }
+}
+
+/// Runs one `(workload, scheme)` pair to `horizon`, sampling series into
+/// `bin`-wide buckets.
+pub fn run_one(
+    params: MinParams,
+    scheme: SchemeKind,
+    workload: &Workload,
+    packet_size: u32,
+    horizon: Picos,
+    bin: Picos,
+) -> RunOutput {
+    let mut fabric_cfg = if params.hosts() >= 512 {
+        FabricConfig::paper_512(scheme)
+    } else {
+        FabricConfig::paper(scheme)
+    };
+    fabric_cfg.admit_cap = workload.admit_cap();
+    let sources = workload.sources(params.hosts(), horizon);
+    let (probe, handle) = Probe::new(bin);
+    let net = Network::new(params, fabric_cfg, packet_size, sources, Box::new(probe));
+    let started = Instant::now();
+    let mut engine = net.build_engine();
+    engine.run_until(horizon);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let events = engine.processed();
+    let model = engine.into_model();
+    finish(scheme, model, handle, horizon, wall_secs, events)
+}
+
+fn finish(
+    scheme: SchemeKind,
+    model: Network,
+    handle: ProbeHandle,
+    horizon: Picos,
+    wall_secs: f64,
+    events: u64,
+) -> RunOutput {
+    RunOutput {
+        scheme: scheme.name(),
+        throughput: handle.throughput(horizon),
+        saq_ingress: handle.saq_max_ingress(horizon),
+        saq_egress: handle.saq_max_egress(horizon),
+        saq_total: handle.saq_total(horizon),
+        saq_peaks: handle.saq_peaks(),
+        counters: model.counters().clone(),
+        wall_secs,
+        events,
+    }
+}
+
+/// One-line run summary for progress logging.
+pub fn summarize(out: &RunOutput) -> String {
+    format!(
+        "{:>6}: {:>11} pkts delivered, mean latency {:>9.0} ns, peak SAQs {:?}, {:>5.1}s wall ({} events)",
+        out.scheme,
+        out.counters.delivered_packets,
+        out.counters.latency_ns.mean(),
+        out.saq_peaks,
+        out.wall_secs,
+        out.events,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_sets_have_expected_members() {
+        assert_eq!(SchemeSet::All.schemes().len(), 5);
+        assert_eq!(SchemeSet::TraceComparison.schemes().len(), 4);
+        assert_eq!(SchemeSet::Scalability.schemes().len(), 3);
+        assert_eq!(SchemeSet::RecnOnly.schemes().len(), 1);
+        assert_eq!(SchemeSet::All.schemes()[0].name(), "VOQnet");
+    }
+
+    #[test]
+    fn quick_corner_run_produces_series() {
+        let corner = CornerCase::case1_64().shrunk(40); // hotspot 20–24.25 µs
+        let horizon = Picos::from_us(40);
+        let out = run_one(
+            MinParams::paper_64(),
+            SchemeKind::OneQ,
+            &Workload::Corner(corner),
+            64,
+            horizon,
+            Picos::from_us(2),
+        );
+        assert_eq!(out.throughput.len(), 20);
+        assert!(out.counters.delivered_packets > 0);
+        assert!(out.throughput.iter().any(|p| p.value > 1.0));
+        assert!(!summarize(&out).is_empty());
+    }
+
+    #[test]
+    fn recn_run_allocates_saqs_under_hotspot() {
+        let corner = CornerCase::case2_64().shrunk(40);
+        let out = run_one(
+            MinParams::paper_64(),
+            SchemeKind::Recn(scaled_recn_config(40)),
+            &Workload::Corner(corner),
+            64,
+            Picos::from_us(40),
+            Picos::from_us(2),
+        );
+        assert!(out.saq_peaks.2 > 0, "hotspot must allocate SAQs: {:?}", out.saq_peaks);
+        assert!(out.counters.order_violations == 0);
+    }
+}

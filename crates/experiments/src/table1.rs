@@ -1,0 +1,123 @@
+//! Table 1: the corner-case traffic parameters, plus a generator audit
+//! that measures the realized injection rates against the specification.
+
+use simcore::Picos;
+use traffic::corner::CornerCase;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Corner case this row belongs to (1 or 2).
+    pub case: u8,
+    /// Number of sources.
+    pub sources: u32,
+    /// Destination ("Random" or a host id).
+    pub destination: String,
+    /// Injection rate as a percentage of link bandwidth.
+    pub rate_pct: u32,
+    /// Start of the injection window.
+    pub start: Picos,
+    /// End of the injection window ("Sim. end" for the background rows).
+    pub end: Option<Picos>,
+}
+
+/// The four rows of Table 1.
+pub fn spec() -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for (case, corner) in [(1u8, CornerCase::case1_64()), (2, CornerCase::case2_64())] {
+        rows.push(Table1Row {
+            case,
+            sources: corner.random_sources,
+            destination: "Random".to_owned(),
+            rate_pct: (corner.random_rate * 100.0) as u32,
+            start: Picos::ZERO,
+            end: None,
+        });
+        rows.push(Table1Row {
+            case,
+            sources: corner.hotspot_sources(),
+            destination: corner.hotspot_dst.to_string(),
+            rate_pct: 100,
+            start: corner.hotspot_start,
+            end: Some(corner.hotspot_end),
+        });
+    }
+    rows
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "# Table 1 — traffic parameters for corner cases\n\
+         case  #srcs  destination  rate  start      end\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4}  {:>5}  {:>11}  {:>3}%  {:>8}   {}\n",
+            r.case,
+            r.sources,
+            r.destination,
+            r.rate_pct,
+            format!("{}us", r.start.as_us()),
+            match r.end {
+                Some(e) => format!("{}us", e.as_us()),
+                None => "sim end".to_owned(),
+            },
+        ));
+    }
+    out
+}
+
+/// Measures the byte volume each source class actually generates over
+/// `horizon` and returns `(background bytes/ns per source, hotspot bytes/ns
+/// per source within its window)` — an audit that the generators realize
+/// the specified rates.
+pub fn audit_rates(corner: &CornerCase, horizon: Picos) -> (f64, f64) {
+    let mut sources = corner.build_sources(horizon);
+    let mut background = 0.0f64;
+    let mut hotspot = 0.0f64;
+    for (h, src) in sources.iter_mut().enumerate() {
+        let mut bytes = 0u64;
+        while let Some(m) = src.next_message() {
+            bytes += m.bytes as u64;
+        }
+        if corner.is_hotspot_source(h as u32) {
+            hotspot += bytes as f64;
+        } else {
+            background += bytes as f64;
+        }
+    }
+    let window_ns = (corner.hotspot_end - corner.hotspot_start).as_ns_f64();
+    (
+        background / corner.random_sources as f64 / horizon.as_ns_f64(),
+        hotspot / corner.hotspot_sources() as f64 / window_ns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        let rows = spec();
+        assert_eq!(rows.len(), 4);
+        assert_eq!((rows[0].sources, rows[0].rate_pct), (48, 50));
+        assert_eq!((rows[1].sources, rows[1].rate_pct), (16, 100));
+        assert_eq!(rows[1].destination, "h32");
+        assert_eq!(rows[1].start, Picos::from_us(800));
+        assert_eq!(rows[1].end, Some(Picos::from_us(970)));
+        assert_eq!((rows[2].sources, rows[2].rate_pct), (48, 100));
+        let text = render(&rows);
+        assert!(text.contains("Random"));
+        assert!(text.contains("800us"));
+    }
+
+    #[test]
+    fn generators_realize_specified_rates() {
+        let corner = CornerCase::case1_64();
+        let (bg, hot) = audit_rates(&corner, Picos::from_us(1600));
+        assert!((bg - 0.5).abs() < 0.02, "background {bg} B/ns vs 0.5 spec");
+        assert!((hot - 1.0).abs() < 0.02, "hotspot {hot} B/ns vs 1.0 spec");
+    }
+}

@@ -1,0 +1,193 @@
+//! Fabric configuration: queueing scheme and physical parameters.
+
+use recn::RecnConfig;
+use serde::{Deserialize, Serialize};
+use simcore::Picos;
+
+/// The queueing scheme installed at every port — the five mechanisms
+/// compared in the paper's §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// `1Q` — one queue per input and output port (the HOL-blocking
+    /// worst case).
+    OneQ,
+    /// `4Q` — four queues per port, packets stored in the queue with the
+    /// lowest occupancy (a virtual-channel-style mechanism). Note that 4Q
+    /// does not preserve per-flow order.
+    FourQ,
+    /// `VOQsw` — VOQ at the switch level: as many queues per input port as
+    /// switch output ports, mapped by the output port requested at the
+    /// current (for inputs) or next (for outputs) switch.
+    VoqSw,
+    /// `VOQnet` — VOQ at the network level: one queue per destination host
+    /// at every port. The paper's upper bound (and scalability strawman).
+    VoqNet,
+    /// `RECN` — the paper's mechanism: one shared queue for non-congested
+    /// flows plus dynamically allocated SAQs.
+    Recn(RecnConfig),
+}
+
+impl SchemeKind {
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::OneQ => "1Q",
+            SchemeKind::FourQ => "4Q",
+            SchemeKind::VoqSw => "VOQsw",
+            SchemeKind::VoqNet => "VOQnet",
+            SchemeKind::Recn(_) => "RECN",
+        }
+    }
+
+    /// Whether this scheme guarantees per-flow in-order delivery.
+    /// (4Q spreads one flow over several queues and may reorder.)
+    pub fn preserves_order(&self) -> bool {
+        !matches!(self, SchemeKind::FourQ)
+    }
+
+    /// The RECN configuration, when the scheme is RECN.
+    pub fn recn(&self) -> Option<&RecnConfig> {
+        match self {
+            SchemeKind::Recn(cfg) => Some(cfg),
+            _ => None,
+        }
+    }
+}
+
+/// Physical and architectural parameters of the fabric (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Queueing scheme at every port.
+    pub scheme: SchemeKind,
+    /// Link bandwidth in Gbps (paper: 8).
+    pub link_gbps: u64,
+    /// Crossbar per-transfer bandwidth in Gbps (paper: 12).
+    pub xbar_gbps: u64,
+    /// Memory per switch input port, bytes (paper: 128 KB; 192 KB for the
+    /// 512-host network).
+    pub input_mem: u64,
+    /// Memory per switch output port, bytes.
+    pub output_mem: u64,
+    /// Memory of the NIC injection port, bytes.
+    pub nic_inject_mem: u64,
+    /// Link propagation delay (pipelined serial links).
+    pub link_delay: Picos,
+    /// Stop threshold of each NIC admittance VOQ, in bytes: once a queue
+    /// holds at least this much, further messages to that destination are
+    /// dropped *at the source* (the
+    /// application is back-pressured), so a saturated destination cannot
+    /// accumulate an unbounded injection backlog. Only that destination's
+    /// queue is affected — other traffic from the host keeps flowing,
+    /// matching the paper's observation that sources keep generating to
+    /// uncongested endnodes.
+    pub admit_cap: u64,
+    /// Idle-reclaim timeout for SAQs that were allocated but never
+    /// received a packet (their tree subsided first): after this long they
+    /// deallocate and return their token, so stale trees cannot pin CAM
+    /// lines. See `recn::CamTable` docs on `ever_used`.
+    pub saq_idle_timeout: Picos,
+    /// Whether a per-flow order violation panics (defaults to the scheme's
+    /// order guarantee) — violations are always counted either way.
+    pub strict_order: bool,
+}
+
+impl FabricConfig {
+    /// The paper's parameters with the given scheme (64/256-host networks).
+    pub fn paper(scheme: SchemeKind) -> FabricConfig {
+        FabricConfig {
+            scheme,
+            link_gbps: 8,
+            xbar_gbps: 12,
+            input_mem: 128 * 1024,
+            output_mem: 128 * 1024,
+            nic_inject_mem: 128 * 1024,
+            link_delay: Picos::from_ns(20),
+            admit_cap: 4 * 1024,
+            saq_idle_timeout: Picos::from_us(20),
+            strict_order: scheme.preserves_order(),
+        }
+    }
+
+    /// The paper's parameters for the 512-host network (192 KB per port so
+    /// VOQnet still fits one packet per queue).
+    pub fn paper_512(scheme: SchemeKind) -> FabricConfig {
+        let mut cfg = FabricConfig::paper(scheme);
+        cfg.input_mem = 192 * 1024;
+        cfg.output_mem = 192 * 1024;
+        cfg.nic_inject_mem = 192 * 1024;
+        cfg
+    }
+
+    /// Overrides the per-port memory (all three pools).
+    pub fn with_port_mem(mut self, bytes: u64) -> FabricConfig {
+        self.input_mem = bytes;
+        self.output_mem = bytes;
+        self.nic_inject_mem = bytes;
+        self
+    }
+
+    /// Serialization time of `bytes` on a link.
+    pub fn link_time(&self, bytes: u64) -> Picos {
+        Picos::serialize_bytes(bytes, self.link_gbps)
+    }
+
+    /// Serialization time of `bytes` through the crossbar.
+    pub fn xbar_time(&self, bytes: u64) -> Picos {
+        Picos::serialize_bytes(bytes, self.xbar_gbps)
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero rates or empty memories.
+    pub fn validate(&self) {
+        assert!(self.link_gbps > 0 && self.xbar_gbps > 0, "rates must be positive");
+        assert!(
+            self.input_mem > 0 && self.output_mem > 0 && self.nic_inject_mem > 0,
+            "port memories must be positive"
+        );
+        if let SchemeKind::Recn(r) = &self.scheme {
+            r.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = FabricConfig::paper(SchemeKind::OneQ);
+        cfg.validate();
+        assert_eq!(cfg.link_gbps, 8);
+        assert_eq!(cfg.xbar_gbps, 12);
+        assert_eq!(cfg.input_mem, 128 * 1024);
+        assert_eq!(cfg.link_time(64), Picos::from_ns(64));
+        assert_eq!(cfg.xbar_time(64), Picos::new(42_667));
+    }
+
+    #[test]
+    fn paper_512_uses_bigger_ram() {
+        let cfg = FabricConfig::paper_512(SchemeKind::VoqNet);
+        assert_eq!(cfg.input_mem, 192 * 1024);
+    }
+
+    #[test]
+    fn scheme_names_match_figures() {
+        assert_eq!(SchemeKind::OneQ.name(), "1Q");
+        assert_eq!(SchemeKind::FourQ.name(), "4Q");
+        assert_eq!(SchemeKind::VoqSw.name(), "VOQsw");
+        assert_eq!(SchemeKind::VoqNet.name(), "VOQnet");
+        assert_eq!(SchemeKind::Recn(RecnConfig::default()).name(), "RECN");
+    }
+
+    #[test]
+    fn order_guarantees() {
+        assert!(SchemeKind::OneQ.preserves_order());
+        assert!(!SchemeKind::FourQ.preserves_order());
+        assert!(SchemeKind::Recn(RecnConfig::default()).preserves_order());
+        assert!(!FabricConfig::paper(SchemeKind::FourQ).strict_order);
+    }
+}

@@ -1,0 +1,705 @@
+//! The assembled network: switches, NICs, links, and the event dispatcher.
+
+mod inspect;
+mod nic;
+mod recn_glue;
+mod stats;
+mod switch;
+
+use simcore::{EventQueue, Picos, SimModel};
+use topology::{HostId, MinParams, MinTopology};
+
+use crate::config::{FabricConfig, SchemeKind};
+use crate::credit::CreditView;
+use crate::observer::{NetObserver, NullObserver};
+use crate::packet::{Packet, Payload, RevPayload};
+use crate::queue::{PortSide, QueueSet};
+use crate::source::{MessageSource, SourcedMessage};
+
+pub use inspect::{render_port, PortSnapshot, SaqSnapshot};
+pub use recn_glue::assert_recn_idle;
+pub use stats::NetCounters;
+
+/// Simulation events dispatched by [`Network::handle`].
+#[derive(Debug)]
+pub enum Event {
+    /// The next message of `host`'s source is due.
+    NextMessage {
+        /// Generating host.
+        host: usize,
+    },
+    /// Move packets from NIC admittance queues into the injection port.
+    NicTransfer {
+        /// The NIC.
+        host: usize,
+    },
+    /// Try to transmit from the NIC injection port.
+    NicArb {
+        /// The NIC.
+        host: usize,
+    },
+    /// Forward-direction delivery at the downstream end of a link.
+    Deliver {
+        /// Link index.
+        link: usize,
+        /// What arrived.
+        payload: Payload,
+    },
+    /// Reverse-direction delivery at the upstream end of a link.
+    DeliverRev {
+        /// Link index.
+        link: usize,
+        /// What arrived.
+        payload: RevPayload,
+    },
+    /// Crossbar arbitration at a switch.
+    InputArb {
+        /// The switch.
+        sw: usize,
+    },
+    /// A crossbar transfer completed.
+    XbarDone {
+        /// The switch.
+        sw: usize,
+        /// Source input port.
+        input: usize,
+        /// Destination output port.
+        output: usize,
+    },
+    /// Output-link arbitration at a switch output port.
+    OutputArb {
+        /// The switch.
+        sw: usize,
+        /// Output port.
+        port: usize,
+    },
+    /// Idle-reclaim check for a possibly never-used SAQ.
+    SaqIdleCheck {
+        /// The port holding the SAQ.
+        port: PortRef,
+        /// The SAQ (generation-checked; stale handles are ignored).
+        saq: recn::SaqId,
+    },
+}
+
+/// Addresses one queue set in the network (for deferred RECN maintenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortRef {
+    /// A switch input port.
+    SwitchIn {
+        /// Switch index.
+        sw: usize,
+        /// Input port index.
+        port: usize,
+    },
+    /// A switch output port.
+    SwitchOut {
+        /// Switch index.
+        sw: usize,
+        /// Output port index.
+        port: usize,
+    },
+    /// A NIC injection port.
+    Nic {
+        /// Host index.
+        host: usize,
+    },
+}
+
+/// Upstream endpoint of a link (the transmitter of the data direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkUp {
+    Nic(usize),
+    Switch { sw: usize, port: usize },
+}
+
+/// Downstream endpoint of a link (the receiver of the data direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkDown {
+    Switch { sw: usize, port: usize },
+    Host(usize),
+}
+
+#[derive(Debug)]
+pub(crate) struct LinkState {
+    pub fwd_busy_until: Picos,
+    pub rev_busy_until: Picos,
+    /// Accumulated forward-channel busy time (data + control), for link
+    /// utilization reporting.
+    pub fwd_busy_total: Picos,
+    /// Sender-side view of the downstream input port's buffer space.
+    pub credits: CreditView,
+    pub up: LinkUp,
+    pub down: LinkDown,
+}
+
+/// A crossbar transfer in flight.
+#[derive(Debug)]
+pub(crate) struct XbarTransfer {
+    pub pkt: Packet,
+    /// Queue index the packet occupied at the input port (for the credit
+    /// return message).
+    pub from_queue: usize,
+    pub to_output: usize,
+    /// Reserved output queue (`None` under RECN: classified at commit).
+    pub to_queue: Option<usize>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Switch {
+    pub inputs: Vec<QueueSet>,
+    pub outputs: Vec<QueueSet>,
+    /// In-flight crossbar transfer per input port.
+    pub in_flight: Vec<Option<XbarTransfer>>,
+    pub out_busy: Vec<bool>,
+    pub input_arb_scheduled: bool,
+    pub output_arb_scheduled: Vec<bool>,
+    pub in_rr: usize,
+    /// Link driven by each output port.
+    pub out_link: Vec<usize>,
+    /// Link feeding each input port.
+    pub in_link: Vec<usize>,
+}
+
+pub(crate) struct Nic {
+    /// Admittance VOQs, one per destination (unbounded: the generation
+    /// process itself is the bound).
+    pub admit: Vec<std::collections::VecDeque<Packet>>,
+    /// Bytes stored per admittance VOQ (bounded by `cfg.admit_cap`).
+    pub admit_bytes: Vec<u64>,
+    pub admit_rr: usize,
+    pub inject: QueueSet,
+    pub link: usize,
+    pub arb_scheduled: bool,
+    pub transfer_scheduled: bool,
+    pub source: Box<dyn MessageSource>,
+    pub pending: Option<SourcedMessage>,
+    /// Next flow sequence number per destination.
+    pub next_seq: Vec<u64>,
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("admit_rr", &self.admit_rr)
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The full fabric model: a [`MinTopology`] populated with switches, NICs
+/// and links, driven by [`simcore::Engine`].
+///
+/// Construct with [`Network::new`], seed the initial traffic events with
+/// [`Network::prime`] (or use [`Network::build_engine`]), then run.
+pub struct Network {
+    pub(crate) cfg: FabricConfig,
+    pub(crate) topo: MinTopology,
+    pub(crate) switches: Vec<Switch>,
+    pub(crate) nics: Vec<Nic>,
+    pub(crate) links: Vec<LinkState>,
+    pub(crate) observer: Box<dyn NetObserver>,
+    pub(crate) counters: NetCounters,
+    /// Expected next flow_seq at the receiver, indexed `src * hosts + dst`.
+    pub(crate) expect_seq: Vec<u64>,
+    pub(crate) next_packet_id: u64,
+    /// SAQ census (see `recn_glue`).
+    pub(crate) saq_in: Vec<u16>,
+    pub(crate) saq_out: Vec<u16>,
+    pub(crate) saq_nic: Vec<u16>,
+    pub(crate) saq_total: u32,
+    pub(crate) max_saq_in: u32,
+    pub(crate) max_saq_out: u32,
+    /// Scratch buffer for service-order computation.
+    pub(crate) scratch: Vec<usize>,
+    /// Packet size used when splitting messages.
+    pub(crate) packet_size: u32,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("hosts", &self.topo.params().hosts())
+            .field("scheme", &self.cfg.scheme.name())
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Builds the network.
+    ///
+    /// `sources[h]` generates host `h`'s traffic; `packet_size` is the
+    /// packetization unit (64 or 512 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the host count, or the
+    /// configuration is invalid.
+    pub fn new(
+        params: MinParams,
+        cfg: FabricConfig,
+        packet_size: u32,
+        sources: Vec<Box<dyn MessageSource>>,
+        observer: Box<dyn NetObserver>,
+    ) -> Network {
+        cfg.validate();
+        assert!(packet_size > 0, "packet size must be positive");
+        let topo = MinTopology::new(params);
+        let hosts = params.hosts() as usize;
+        let radix = params.radix() as usize;
+        assert_eq!(sources.len(), hosts, "one source per host required");
+
+        let nswitches = params.total_switches() as usize;
+        // Links: 0..hosts are injection links; then radix per switch.
+        let nlinks = hosts + nswitches * radix;
+
+        let mut links: Vec<LinkState> = Vec::with_capacity(nlinks);
+        // Injection links.
+        for h in 0..hosts {
+            let (sw, port) = topo.host_ingress(HostId::new(h as u32));
+            links.push(LinkState {
+                fwd_busy_until: Picos::ZERO,
+                rev_busy_until: Picos::ZERO,
+                fwd_busy_total: Picos::ZERO,
+                credits: Self::input_credit_view(&cfg, radix, hosts),
+                up: LinkUp::Nic(h),
+                down: LinkDown::Switch { sw: sw.index(), port: port.index() },
+            });
+        }
+        // Switch output links.
+        for s in 0..nswitches {
+            for p in 0..radix {
+                let down = match topo
+                    .next_hop(topology::SwitchId::new(s as u32), topology::PortId::new(p as u32))
+                {
+                    Ok((nsw, nport)) => LinkDown::Switch { sw: nsw.index(), port: nport.index() },
+                    Err(host) => LinkDown::Host(host.index()),
+                };
+                let credits = match down {
+                    LinkDown::Switch { .. } => Self::input_credit_view(&cfg, radix, hosts),
+                    LinkDown::Host(_) => CreditView::Infinite,
+                };
+                links.push(LinkState {
+                    fwd_busy_until: Picos::ZERO,
+                    rev_busy_until: Picos::ZERO,
+                    fwd_busy_total: Picos::ZERO,
+                    credits,
+                    up: LinkUp::Switch { sw: s, port: p },
+                    down,
+                });
+            }
+        }
+
+        let switches = (0..nswitches)
+            .map(|s| Switch {
+                inputs: (0..radix)
+                    .map(|_| {
+                        QueueSet::new(
+                            cfg.scheme,
+                            PortSide::SwitchInput,
+                            radix as u32,
+                            hosts as u32,
+                            cfg.input_mem,
+                        )
+                    })
+                    .collect(),
+                outputs: (0..radix)
+                    .map(|p| {
+                        QueueSet::new(
+                            cfg.scheme,
+                            PortSide::SwitchOutput { turn: p as u8 },
+                            radix as u32,
+                            hosts as u32,
+                            cfg.output_mem,
+                        )
+                    })
+                    .collect(),
+                in_flight: (0..radix).map(|_| None).collect(),
+                out_busy: vec![false; radix],
+                input_arb_scheduled: false,
+                output_arb_scheduled: vec![false; radix],
+                in_rr: 0,
+                out_link: (0..radix).map(|p| hosts + s * radix + p).collect(),
+                in_link: vec![usize::MAX; radix],
+            })
+            .collect::<Vec<_>>();
+
+        let mut network = Network {
+            cfg,
+            topo,
+            switches,
+            nics: sources
+                .into_iter()
+                .enumerate()
+                .map(|(h, source)| Nic {
+                    admit: (0..hosts).map(|_| std::collections::VecDeque::new()).collect(),
+                    admit_bytes: vec![0; hosts],
+                    admit_rr: 0,
+                    inject: QueueSet::new(
+                        cfg.scheme,
+                        PortSide::NicInjection,
+                        radix as u32,
+                        hosts as u32,
+                        cfg.nic_inject_mem,
+                    ),
+                    link: h,
+                    arb_scheduled: false,
+                    transfer_scheduled: false,
+                    source,
+                    pending: None,
+                    next_seq: vec![0; hosts],
+                })
+                .collect(),
+            links,
+            observer,
+            counters: NetCounters::default(),
+            expect_seq: vec![0; hosts * hosts],
+            next_packet_id: 0,
+            saq_in: vec![0; nswitches * radix],
+            saq_out: vec![0; nswitches * radix],
+            saq_nic: vec![0; hosts],
+            saq_total: 0,
+            max_saq_in: 0,
+            max_saq_out: 0,
+            scratch: Vec::new(),
+            packet_size,
+        };
+        // Wire in_link back-pointers.
+        for l in 0..network.links.len() {
+            if let LinkDown::Switch { sw, port } = network.links[l].down {
+                network.switches[sw].in_link[port] = l;
+            }
+        }
+        network
+    }
+
+    fn input_credit_view(cfg: &FabricConfig, radix: usize, hosts: usize) -> CreditView {
+        match cfg.scheme {
+            SchemeKind::OneQ => CreditView::per_queue(cfg.input_mem, 1),
+            SchemeKind::FourQ => CreditView::per_queue(cfg.input_mem, 4),
+            SchemeKind::VoqSw => CreditView::per_queue(cfg.input_mem, radix),
+            SchemeKind::VoqNet => CreditView::per_queue(cfg.input_mem, hosts),
+            SchemeKind::Recn(_) => CreditView::pooled(cfg.input_mem),
+        }
+    }
+
+    /// Seeds the initial traffic events (the first message of every
+    /// source). Call once before running the engine.
+    pub fn prime(&mut self, q: &mut EventQueue<Event>) {
+        for h in 0..self.nics.len() {
+            if let Some(msg) = self.nics[h].source.next_message() {
+                self.nics[h].pending = Some(msg);
+                q.schedule(msg.at, Event::NextMessage { host: h });
+            }
+        }
+    }
+
+    /// Convenience: wraps the network in a primed [`simcore::Engine`].
+    pub fn build_engine(self) -> simcore::Engine<Network> {
+        let mut engine = simcore::Engine::new(self);
+        let mut queue = std::mem::take(engine.queue_mut());
+        engine.model_mut().prime(&mut queue);
+        *engine.queue_mut() = queue;
+        engine
+    }
+
+    /// Simulation counters.
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
+    /// The topology this network was built on.
+    pub fn topology(&self) -> &MinTopology {
+        &self.topo
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Packets injected but not yet delivered.
+    pub fn packets_in_flight(&self) -> u64 {
+        self.counters.injected_packets - self.counters.delivered_packets
+    }
+
+    /// Whether every buffer in the network has drained (useful at the end
+    /// of tests: with sources exhausted this means every packet was
+    /// delivered and no resource leaked).
+    pub fn is_quiescent(&self) -> bool {
+        self.packets_in_flight() == 0
+            && self.switches.iter().all(|s| {
+                s.inputs.iter().all(QueueSet::is_drained)
+                    && s.outputs.iter().all(QueueSet::is_drained)
+                    && s.in_flight.iter().all(Option::is_none)
+            })
+            && self
+                .nics
+                .iter()
+                .all(|n| n.inject.is_drained() && n.admit.iter().all(|a| a.is_empty()))
+    }
+
+    /// Mean forward-channel utilization over all links at `now`
+    /// (busy-time fraction, data + control traffic).
+    pub fn mean_link_utilization(&self, now: Picos) -> f64 {
+        if now == Picos::ZERO || self.links.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.links.iter().map(|l| l.fwd_busy_total.as_ns_f64()).sum();
+        busy / (self.links.len() as f64 * now.as_ns_f64())
+    }
+
+    /// The `top` most utilized links at `now`: `(description, fraction)`.
+    pub fn hottest_links(&self, now: Picos, top: usize) -> Vec<(String, f64)> {
+        if now == Picos::ZERO {
+            return Vec::new();
+        }
+        let mut all: Vec<(String, f64)> = self
+            .links
+            .iter()
+            .map(|l| {
+                let name = match (l.up, l.down) {
+                    (LinkUp::Nic(h), _) => format!("inject h{h}"),
+                    (LinkUp::Switch { sw, port }, LinkDown::Host(h)) => {
+                        format!("sw{sw}.out{port}->h{h}")
+                    }
+                    (LinkUp::Switch { sw, port }, LinkDown::Switch { sw: d, port: dp }) => {
+                        format!("sw{sw}.out{port}->sw{d}.in{dp}")
+                    }
+                };
+                (name, l.fwd_busy_total.as_ns_f64() / now.as_ns_f64())
+            })
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        all.truncate(top);
+        all
+    }
+
+    /// Total SAQs allocated right now (switch ports + NIC injection ports).
+    pub fn saq_total(&self) -> u32 {
+        self.saq_total
+    }
+
+    /// Current SAQ census: (max per switch-input port, max per
+    /// switch-output port, network total).
+    pub fn saq_census(&self) -> (u32, u32, u32) {
+        (self.max_saq_in, self.max_saq_out, self.saq_total)
+    }
+
+    /// Direct access to a switch input queue set (tests/metrics).
+    pub fn switch_input(&self, sw: usize, port: usize) -> &QueueSet {
+        &self.switches[sw].inputs[port]
+    }
+
+    /// Direct access to a switch output queue set (tests/metrics).
+    pub fn switch_output(&self, sw: usize, port: usize) -> &QueueSet {
+        &self.switches[sw].outputs[port]
+    }
+
+    /// Direct access to a NIC injection queue set (tests/metrics).
+    pub fn nic_injection(&self, host: usize) -> &QueueSet {
+        &self.nics[host].inject
+    }
+
+    /// Replaces the observer (e.g. to install probes between phases).
+    pub fn set_observer(&mut self, observer: Box<dyn NetObserver>) {
+        self.observer = observer;
+    }
+
+    // ------------------------------------------------------------------
+    // Link helpers
+    // ------------------------------------------------------------------
+
+    /// Sends a control payload on the forward (data) channel of `link`.
+    pub(crate) fn send_fwd_ctrl(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        link: usize,
+        payload: Payload,
+    ) {
+        let bytes = payload.wire_bytes();
+        let l = &mut self.links[link];
+        let depart = l.fwd_busy_until.max(now);
+        let ser = Picos::serialize_bytes(bytes, self.cfg.link_gbps);
+        l.fwd_busy_until = depart + ser;
+        l.fwd_busy_total += ser;
+        q.schedule(depart + ser + self.cfg.link_delay, Event::Deliver { link, payload });
+    }
+
+    /// Sends a control payload on the reverse channel of `link`.
+    pub(crate) fn send_rev_ctrl(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        link: usize,
+        payload: RevPayload,
+    ) {
+        let bytes = payload.wire_bytes();
+        let l = &mut self.links[link];
+        let depart = l.rev_busy_until.max(now);
+        let ser = Picos::serialize_bytes(bytes, self.cfg.link_gbps);
+        l.rev_busy_until = depart + ser;
+        q.schedule(depart + ser + self.cfg.link_delay, Event::DeliverRev { link, payload });
+    }
+
+    /// Schedules an `InputArb` for `sw` unless one is already pending.
+    pub(crate) fn kick_input_arb(&mut self, now: Picos, q: &mut EventQueue<Event>, sw: usize) {
+        if !self.switches[sw].input_arb_scheduled {
+            self.switches[sw].input_arb_scheduled = true;
+            q.schedule(now, Event::InputArb { sw });
+        }
+    }
+
+    /// Schedules an `OutputArb` for `(sw, port)` at `at` unless one is
+    /// already pending.
+    pub(crate) fn kick_output_arb(
+        &mut self,
+        at: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+    ) {
+        if !self.switches[sw].output_arb_scheduled[port] {
+            self.switches[sw].output_arb_scheduled[port] = true;
+            q.schedule(at, Event::OutputArb { sw, port });
+        }
+    }
+
+    /// Schedules a `NicArb` unless pending.
+    pub(crate) fn kick_nic_arb(&mut self, at: Picos, q: &mut EventQueue<Event>, host: usize) {
+        if !self.nics[host].arb_scheduled {
+            self.nics[host].arb_scheduled = true;
+            q.schedule(at, Event::NicArb { host });
+        }
+    }
+
+    /// Schedules a `NicTransfer` unless pending.
+    pub(crate) fn kick_nic_transfer(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
+        if !self.nics[host].transfer_scheduled {
+            self.nics[host].transfer_scheduled = true;
+            q.schedule(now, Event::NicTransfer { host });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deliveries
+    // ------------------------------------------------------------------
+
+    fn on_deliver(&mut self, now: Picos, q: &mut EventQueue<Event>, link: usize, payload: Payload) {
+        match self.links[link].down {
+            LinkDown::Host(h) => self.deliver_to_host(now, h, payload),
+            LinkDown::Switch { sw, port } => match payload {
+                Payload::Data { pkt, target_queue } => {
+                    self.switch_input_arrival(now, q, sw, port, pkt, target_queue)
+                }
+                Payload::RecnAck { path, line } => self.ingress_recn_ack(now, q, sw, port, path, line),
+                Payload::RecnReject { path } => self.ingress_recn_reject(now, q, sw, port, path),
+                Payload::RecnToken { path } => self.ingress_recn_token(now, q, sw, port, path),
+            },
+        }
+    }
+
+    fn deliver_to_host(&mut self, now: Picos, host: usize, payload: Payload) {
+        let Payload::Data { pkt, .. } = payload else {
+            unreachable!("delivery links never carry RECN control traffic");
+        };
+        assert_eq!(pkt.dst.index(), host, "misrouted packet: {} at host {host}", pkt.dst);
+        assert!(pkt.route.is_exhausted(), "packet delivered with unconsumed turns");
+        let hosts = self.topo.params().hosts() as usize;
+        let flow = pkt.src.index() * hosts + pkt.dst.index();
+        let expected = self.expect_seq[flow];
+        if pkt.flow_seq != expected {
+            self.counters.order_violations += 1;
+            assert!(
+                !self.cfg.strict_order,
+                "out-of-order delivery on flow {}->{}: got {}, expected {expected}",
+                pkt.src, pkt.dst, pkt.flow_seq
+            );
+            // Resynchronize past the gap.
+            self.expect_seq[flow] = self.expect_seq[flow].max(pkt.flow_seq + 1);
+        } else {
+            self.expect_seq[flow] = expected + 1;
+        }
+        self.counters.delivered_packets += 1;
+        self.counters.delivered_bytes += pkt.size as u64;
+        let latency = now.saturating_sub(pkt.injected_at);
+        self.counters.latency_ns.push(latency.as_ns_f64());
+        self.observer.on_delivered(now, &pkt);
+    }
+
+    fn on_deliver_rev(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        link: usize,
+        payload: RevPayload,
+    ) {
+        match payload {
+            RevPayload::Credit { queue, bytes } => {
+                self.links[link].credits.replenish(queue, bytes as u64);
+                match self.links[link].up {
+                    LinkUp::Nic(h) => self.kick_nic_arb(now, q, h),
+                    LinkUp::Switch { sw, port } => self.kick_output_arb(now, q, sw, port),
+                }
+            }
+            RevPayload::RecnNotification { path } => {
+                self.egress_recn_notification(now, q, link, path)
+            }
+            RevPayload::RecnXoff { path } => {
+                self.counters.xoffs += 1;
+                self.egress_set_remote_xoff(link, path, true);
+            }
+            RevPayload::RecnXon { path } => {
+                self.counters.xons += 1;
+                self.egress_set_remote_xoff(link, path, false);
+                // The SAQ may transmit again.
+                match self.links[link].up {
+                    LinkUp::Nic(h) => self.kick_nic_arb(now, q, h),
+                    LinkUp::Switch { sw, port } => self.kick_output_arb(now, q, sw, port),
+                }
+            }
+        }
+    }
+}
+
+impl SimModel for Network {
+    type Event = Event;
+
+    fn handle(&mut self, now: Picos, event: Event, q: &mut EventQueue<Event>) {
+        match event {
+            Event::NextMessage { host } => self.on_next_message(now, q, host),
+            Event::NicTransfer { host } => self.on_nic_transfer(now, q, host),
+            Event::NicArb { host } => self.on_nic_arb(now, q, host),
+            Event::Deliver { link, payload } => self.on_deliver(now, q, link, payload),
+            Event::DeliverRev { link, payload } => self.on_deliver_rev(now, q, link, payload),
+            Event::InputArb { sw } => self.on_input_arb(now, q, sw),
+            Event::XbarDone { sw, input, output } => self.on_xbar_done(now, q, sw, input, output),
+            Event::OutputArb { sw, port } => self.on_output_arb(now, q, sw, port),
+            Event::SaqIdleCheck { port, saq } => self.on_saq_idle_check(now, q, port, saq),
+        }
+    }
+}
+
+/// A RECN-scheme network builder shortcut used across tests and examples.
+///
+/// ```
+/// use fabric::{paper_network, SchemeKind};
+/// use topology::MinParams;
+///
+/// let net = paper_network(MinParams::paper_64(), SchemeKind::VoqNet, 64);
+/// assert_eq!(net.topology().params().hosts(), 64);
+/// ```
+pub fn paper_network(params: MinParams, scheme: SchemeKind, packet_size: u32) -> Network {
+    let sources: Vec<Box<dyn MessageSource>> = (0..params.hosts())
+        .map(|_| Box::new(crate::source::SilentSource) as Box<dyn MessageSource>)
+        .collect();
+    Network::new(
+        params,
+        FabricConfig::paper(scheme),
+        packet_size,
+        sources,
+        Box::new(NullObserver),
+    )
+}

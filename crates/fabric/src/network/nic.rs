@@ -1,0 +1,207 @@
+//! NIC behaviour: message admittance, packetization, transfer to the
+//! injection port, and injection-link arbitration.
+
+use simcore::{EventQueue, Picos};
+
+use crate::packet::{Packet, Payload, QueueItem};
+use crate::queue::QueueSet;
+
+use super::{Event, Network};
+
+impl Network {
+    /// `Event::NextMessage` — a source's message is due: packetize it into
+    /// the admittance VOQ and schedule the following message.
+    pub(crate) fn on_next_message(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
+        let hosts = self.topo.params().hosts() as usize;
+        let msg = self.nics[host].pending.take().expect("NextMessage without pending message");
+        debug_assert_eq!(msg.at, now, "message fired at the wrong time");
+        let dst = msg.dst;
+        assert!(dst.index() < hosts, "message to nonexistent host {dst}");
+        let route = self.topo.route(dst);
+        if self.nics[host].admit_bytes[dst.index()] >= self.cfg.admit_cap {
+            // Admittance VOQ full: the message is dropped at the source
+            // (application back-pressure); it never enters the network.
+            self.counters.source_dropped_messages += 1;
+            self.counters.source_dropped_bytes += msg.bytes as u64;
+        } else {
+        let mut remaining = msg.bytes;
+        while remaining > 0 {
+            let size = remaining.min(self.packet_size);
+            let seq = self.nics[host].next_seq[dst.index()];
+            self.nics[host].next_seq[dst.index()] += 1;
+            let pkt = Packet {
+                id: self.next_packet_id,
+                src: topology::HostId::new(host as u32),
+                dst,
+                size,
+                route,
+                injected_at: now,
+                flow_seq: seq,
+            };
+            self.next_packet_id += 1;
+            self.counters.injected_packets += 1;
+            self.counters.injected_bytes += size as u64;
+            self.observer.on_injected(now, &pkt);
+            self.nics[host].admit[dst.index()].push_back(pkt);
+            self.nics[host].admit_bytes[dst.index()] += size as u64;
+            remaining -= size;
+        }
+        }
+        if let Some(next) = self.nics[host].source.next_message() {
+            assert!(next.at >= now, "source times must be non-decreasing");
+            self.nics[host].pending = Some(next);
+            q.schedule(next.at, Event::NextMessage { host });
+        }
+        self.kick_nic_transfer(now, q, host);
+    }
+
+    /// `Event::NicTransfer` — move packets from the admittance VOQs into
+    /// the injection port while buffer space allows, round-robin across
+    /// destinations (paper §4.1).
+    pub(crate) fn on_nic_transfer(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
+        self.nics[host].transfer_scheduled = false;
+        let hosts = self.topo.params().hosts() as usize;
+        let mut moved_any = false;
+        loop {
+            let mut progress = false;
+            for off in 0..hosts {
+                let d = (self.nics[host].admit_rr + off) % hosts;
+                let Some(front) = self.nics[host].admit[d].front() else { continue };
+                let size = front.size as u64;
+                let queue = self.nics[host].inject.classify(front);
+                if !self.nics[host].inject.has_room(queue, size) {
+                    continue;
+                }
+                // An injection SAQ past its Xoff threshold stops pulling
+                // from the admittance stage — the same per-SAQ flow control
+                // that bounds SAQs inside the fabric. The admittance VOQ
+                // then backs up and the admit-cap drop applies source
+                // back-pressure; otherwise a congested source would spool
+                // its entire backlog into the injection SAQ and keep the
+                // congestion tree alive long after the burst ends.
+                if queue != 0 {
+                    if let Some(saq) = self.nics[host].inject.saq_at_queue(queue) {
+                        let recn = self.nics[host].inject.recn().expect("SAQ implies RECN");
+                        if recn.occupancy(saq) >= recn.config().xoff_threshold {
+                            continue;
+                        }
+                    }
+                }
+                let pkt = self.nics[host].admit[d].pop_front().expect("front checked");
+                self.nics[host].admit_bytes[d] -= size;
+                self.nics[host].inject.push_direct(queue, QueueItem::Packet(pkt));
+                if queue != 0 {
+                    if let Some(saq) = self.nics[host].inject.saq_at_queue(queue) {
+                        // NIC injection is terminal: enqueue signals never
+                        // propagate further upstream, but occupancy must be
+                        // tracked for Xoff bookkeeping and deallocation.
+                        let _ = self.nics[host]
+                            .inject
+                            .recn_mut()
+                            .expect("SAQ queue implies RECN")
+                            .saq_enqueued(saq, size);
+                    }
+                }
+                progress = true;
+                moved_any = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+        self.nics[host].admit_rr = (self.nics[host].admit_rr + 1) % hosts;
+        if moved_any {
+            self.kick_nic_arb(now, q, host);
+        }
+    }
+
+    /// `Event::NicArb` — try to transmit one packet from the injection port
+    /// onto the injection link.
+    pub(crate) fn on_nic_arb(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
+        self.nics[host].arb_scheduled = false;
+        let link = self.nics[host].link;
+        let busy = self.links[link].fwd_busy_until;
+        if busy > now {
+            self.kick_nic_arb(busy, q, host);
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.nics[host].inject.service_order(&mut scratch);
+        let mut granted: Option<(usize, u16)> = None;
+        for &qidx in &scratch {
+            let QueueItem::Packet(p) = self.nics[host].inject.head(qidx).expect("listed queue")
+            else {
+                unreachable!("markers are drained before reaching arbitration");
+            };
+            let tq = self.downstream_queue(link, p);
+            if self.links[link].credits.has_room(tq, p.size as u64) {
+                granted = Some((qidx, tq));
+                break;
+            }
+        }
+        self.scratch = scratch;
+        let Some((qidx, tq)) = granted else { return };
+        let QueueItem::Packet(pkt) = self.nics[host].inject.pop(qidx) else {
+            unreachable!("head was a packet");
+        };
+        let size = pkt.size as u64;
+        if self.nics[host].inject.is_saq_queue(qidx) {
+            // SAQ dequeue bookkeeping; a NIC SAQ is always a leaf, so it may
+            // become deallocatable right here.
+            let saq = self.nics[host]
+                .inject
+                .saq_at_queue(qidx)
+                .expect("popped from a live SAQ queue");
+            let signals = self.nics[host]
+                .inject
+                .recn_mut()
+                .expect("SAQ queue implies RECN")
+                .saq_dequeued(saq, size);
+            self.drain_nic_markers(now, q, host, qidx);
+            if signals.deallocatable {
+                self.nic_dealloc(now, q, host, saq);
+            }
+        } else if qidx == 0 {
+            self.drain_nic_markers(now, q, host, 0);
+        }
+        self.links[link].credits.consume(tq, size);
+        let ser = self.cfg.link_time(size);
+        self.links[link].fwd_busy_until = now + ser;
+        self.links[link].fwd_busy_total += ser;
+        q.schedule(
+            now + ser + self.cfg.link_delay,
+            Event::Deliver { link, payload: Payload::Data { pkt, target_queue: tq } },
+        );
+        self.nics[host].inject.rr_granted(qidx);
+        if self.nics[host].inject.has_items() {
+            self.kick_nic_arb(now + ser, q, host);
+        }
+        // Injection buffer space freed: refill from admittance.
+        self.kick_nic_transfer(now, q, host);
+    }
+
+    /// The queue index a packet will occupy at the downstream switch input
+    /// port, as reserved by the sender's credit view.
+    pub(crate) fn downstream_queue(&self, link: usize, pkt: &Packet) -> u16 {
+        use crate::config::SchemeKind;
+        match self.links[link].down {
+            super::LinkDown::Host(_) => 0,
+            super::LinkDown::Switch { .. } => match self.cfg.scheme {
+                SchemeKind::OneQ => 0,
+                SchemeKind::FourQ => self.links[link].credits.roomiest_queue(),
+                SchemeKind::VoqSw => {
+                    pkt.route.remaining().first().copied().unwrap_or(0) as u16
+                }
+                SchemeKind::VoqNet => pkt.dst.index() as u16,
+                SchemeKind::Recn(_) => crate::credit::POOLED_QUEUE,
+            },
+        }
+    }
+}
+
+impl QueueSet {
+    /// Whether any queue holds at least one item.
+    pub fn has_items(&self) -> bool {
+        (0..self.num_queues()).any(|q| self.queue_len(q) > 0)
+    }
+}

@@ -1,0 +1,543 @@
+//! Fabric-side plumbing of the RECN protocol: delivering notifications,
+//! routing tokens through dealloc cascades, consuming in-order markers and
+//! maintaining the network-wide SAQ census.
+
+use recn::{NotifOutcome, RootChange, SaqId, TokenDest};
+use simcore::{EventQueue, Picos};
+use topology::PathSpec;
+
+use crate::packet::{Payload, QueueItem, RevPayload};
+use crate::queue::QueueSet;
+
+use super::{Event, LinkUp, Network, PortRef};
+
+/// Which census bucket a port belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Site {
+    In,
+    Out,
+    Nic,
+}
+
+impl Network {
+    // ------------------------------------------------------------------
+    // Notifications
+    // ------------------------------------------------------------------
+
+    /// An egress port notified same-switch input port `input` about the
+    /// congestion tree at `path` (input-port coordinates). Internal wiring:
+    /// processed immediately.
+    pub(crate) fn deliver_internal_notification(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        egress_port: usize,
+        input: usize,
+        path: PathSpec,
+    ) {
+        self.counters.recn_notifications += 1;
+        let outcome = self.switches[sw].inputs[input]
+            .recn_mut()
+            .expect("RECN scheme")
+            .alloc_on_notification(path);
+        match outcome {
+            NotifOutcome::Accepted { saq } => {
+                self.counters.saq_allocs += 1;
+                self.census_change(now, Site::In, self.port_index(sw, input), 1);
+                self.place_marker_input(now, q, sw, input, saq);
+            }
+            NotifOutcome::AlreadyPresent { .. } | NotifOutcome::Rejected => {
+                if matches!(outcome, NotifOutcome::Rejected) {
+                    self.counters.recn_rejects += 1;
+                } else {
+                    self.counters.recn_duplicates += 1;
+                }
+                // The token bounces straight back to the notifying egress
+                // port; its notified flag stays set (§3.8).
+                let (_, path_at_egress) =
+                    path.split_first().expect("internal notification paths are nonempty");
+                let (change, dealloc) = self.switches[sw].outputs[egress_port]
+                    .recn_mut()
+                    .expect("RECN scheme")
+                    .on_token_rejected_from_input(input, path_at_egress);
+                self.note_root_change(now, sw, egress_port, change);
+                if let Some(saq) = dealloc {
+                    self.egress_dealloc(now, q, sw, egress_port, saq);
+                }
+            }
+        }
+    }
+
+    /// A notification arrived over a link's reverse channel at its upstream
+    /// egress port (switch output or NIC injection).
+    pub(crate) fn egress_recn_notification(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        link: usize,
+        path: PathSpec,
+    ) {
+        let up = self.links[link].up;
+        let outcome = self
+            .egress_port_mut(up)
+            .recn_mut()
+            .expect("RECN scheme")
+            .alloc_on_notification(path);
+        match outcome {
+            NotifOutcome::Accepted { saq } => {
+                self.counters.saq_allocs += 1;
+                match up {
+                    LinkUp::Nic(h) => {
+                        self.census_change(now, Site::Nic, h, 1);
+                        self.place_marker_nic(now, q, h, saq);
+                    }
+                    LinkUp::Switch { sw, port } => {
+                        self.census_change(now, Site::Out, self.port_index(sw, port), 1);
+                        self.place_marker_output(now, q, sw, port, saq);
+                    }
+                }
+                self.send_fwd_ctrl(
+                    now,
+                    q,
+                    link,
+                    Payload::RecnAck { path, line: saq.line() as u8 },
+                );
+            }
+            NotifOutcome::AlreadyPresent { .. } => {
+                self.counters.recn_duplicates += 1;
+                self.send_fwd_ctrl(now, q, link, Payload::RecnReject { path });
+            }
+            NotifOutcome::Rejected => {
+                self.counters.recn_rejects += 1;
+                self.send_fwd_ctrl(now, q, link, Payload::RecnReject { path });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Acks / rejects / tokens arriving at ingress ports
+    // ------------------------------------------------------------------
+
+    pub(crate) fn ingress_recn_ack(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+        path: PathSpec,
+        line: u8,
+    ) {
+        let xoff_now = self.switches[sw].inputs[port]
+            .recn_mut()
+            .expect("RECN scheme")
+            .on_upstream_ack(path, line);
+        if xoff_now {
+            let in_link = self.switches[sw].in_link[port];
+            self.counters.xoffs += 1;
+            self.send_rev_ctrl(now, q, in_link, RevPayload::RecnXoff { path });
+        }
+    }
+
+    pub(crate) fn ingress_recn_reject(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+        path: PathSpec,
+    ) {
+        let dealloc = self.switches[sw].inputs[port]
+            .recn_mut()
+            .expect("RECN scheme")
+            .on_upstream_reject(path);
+        if let Some(saq) = dealloc {
+            self.ingress_dealloc(now, q, sw, port, saq);
+        }
+    }
+
+    pub(crate) fn ingress_recn_token(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+        path: PathSpec,
+    ) {
+        let dealloc = self.switches[sw].inputs[port]
+            .recn_mut()
+            .expect("RECN scheme")
+            .on_token_from_upstream(path);
+        if let Some(saq) = dealloc {
+            self.ingress_dealloc(now, q, sw, port, saq);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deallocation cascades
+    // ------------------------------------------------------------------
+
+    /// Deallocates an ingress SAQ and hands its token to the parent egress
+    /// port of the same switch, which may clear its root or cascade.
+    pub(crate) fn ingress_dealloc(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        input: usize,
+        saq: SaqId,
+    ) {
+        let action = self.switches[sw].inputs[input]
+            .recn_mut()
+            .expect("RECN scheme")
+            .dealloc(saq);
+        self.counters.saq_deallocs += 1;
+        self.census_change(now, Site::In, self.port_index(sw, input), -1);
+        let TokenDest::EgressSameSwitch { out_port, path_at_egress } = action.token_to else {
+            unreachable!("ingress SAQ tokens stay within the switch");
+        };
+        if action.xon_needed {
+            let in_link = self.switches[sw].in_link[input];
+            let path = path_at_egress.prepend(out_port);
+            self.counters.xons += 1;
+            self.send_rev_ctrl(now, q, in_link, RevPayload::RecnXon { path });
+        }
+        let (change, dealloc) = self.switches[sw].outputs[out_port as usize]
+            .recn_mut()
+            .expect("RECN scheme")
+            .on_token_from_input(input, path_at_egress);
+        self.note_root_change(now, sw, out_port as usize, change);
+        if let Some(next) = dealloc {
+            self.egress_dealloc(now, q, sw, out_port as usize, next);
+        }
+    }
+
+    /// Deallocates a switch-egress SAQ and sends its token downstream
+    /// across the output link.
+    pub(crate) fn egress_dealloc(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+        saq: SaqId,
+    ) {
+        let action = self.switches[sw].outputs[port]
+            .recn_mut()
+            .expect("RECN scheme")
+            .dealloc(saq);
+        self.counters.saq_deallocs += 1;
+        self.census_change(now, Site::Out, self.port_index(sw, port), -1);
+        let TokenDest::DownstreamLink { path } = action.token_to else {
+            unreachable!("egress SAQ tokens cross the downstream link");
+        };
+        let link = self.switches[sw].out_link[port];
+        self.counters.recn_tokens += 1;
+        self.send_fwd_ctrl(now, q, link, Payload::RecnToken { path });
+    }
+
+    /// Deallocates a NIC-injection SAQ and sends its token downstream on
+    /// the injection link.
+    pub(crate) fn nic_dealloc(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        host: usize,
+        saq: SaqId,
+    ) {
+        let action = self.nics[host]
+            .inject
+            .recn_mut()
+            .expect("RECN scheme")
+            .dealloc(saq);
+        self.counters.saq_deallocs += 1;
+        self.census_change(now, Site::Nic, host, -1);
+        let TokenDest::DownstreamLink { path } = action.token_to else {
+            unreachable!("NIC SAQ tokens cross the injection link");
+        };
+        let link = self.nics[host].link;
+        self.counters.recn_tokens += 1;
+        self.send_fwd_ctrl(now, q, link, Payload::RecnToken { path });
+    }
+
+    // ------------------------------------------------------------------
+    // In-order markers
+    // ------------------------------------------------------------------
+
+    fn place_marker_input(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        input: usize,
+        saq: SaqId,
+    ) {
+        let plan = self.switches[sw].inputs[input]
+            .recn()
+            .expect("RECN scheme")
+            .marker_plan(saq);
+        for target in Self::marker_queues(&plan) {
+            self.counters.markers += 1;
+            self.switches[sw].inputs[input].push_direct(target, QueueItem::Marker(saq));
+            self.drain_input_markers(now, q, sw, input, target);
+        }
+    }
+
+    fn place_marker_output(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+        saq: SaqId,
+    ) {
+        let plan = self.switches[sw].outputs[port]
+            .recn()
+            .expect("RECN scheme")
+            .marker_plan(saq);
+        for target in Self::marker_queues(&plan) {
+            self.counters.markers += 1;
+            self.switches[sw].outputs[port].push_direct(target, QueueItem::Marker(saq));
+            self.drain_output_markers(now, q, sw, port, target);
+        }
+    }
+
+    fn place_marker_nic(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize, saq: SaqId) {
+        let plan = self.nics[host]
+            .inject
+            .recn()
+            .expect("RECN scheme")
+            .marker_plan(saq);
+        for target in Self::marker_queues(&plan) {
+            self.counters.markers += 1;
+            self.nics[host].inject.push_direct(target, QueueItem::Marker(saq));
+            self.drain_nic_markers(now, q, host, target);
+        }
+    }
+
+    /// Queue indices to receive markers: the normal queue plus the queue
+    /// slot of every proper-prefix SAQ from the plan.
+    fn marker_queues(plan: &[SaqId]) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(0).chain(plan.iter().map(|&s| QueueSet::saq_queue(s)))
+    }
+
+    /// Consumes markers at the head of an input-port queue, unblocking
+    /// (and possibly deallocating) the SAQs they reference.
+    pub(crate) fn drain_input_markers(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        input: usize,
+        queue: usize,
+    ) {
+        while let Some(QueueItem::Marker(_)) = self.switches[sw].inputs[input].head(queue) {
+            let QueueItem::Marker(saq) = self.switches[sw].inputs[input].pop(queue) else {
+                unreachable!("head was a marker");
+            };
+            let recn = self.switches[sw].inputs[input].recn_mut().expect("RECN scheme");
+            let ready = recn.marker_consumed(saq);
+            if ready {
+                self.ingress_dealloc(now, q, sw, input, saq);
+            } else if self.switches[sw].inputs[input]
+                .recn()
+                .expect("RECN scheme")
+                .is_empty_leaf(saq)
+            {
+                self.schedule_idle_check(now, q, PortRef::SwitchIn { sw, port: input }, saq);
+            }
+        }
+        // Unblocked SAQs may now compete for the crossbar.
+        self.kick_input_arb(now, q, sw);
+    }
+
+    /// Same for an output-port queue.
+    pub(crate) fn drain_output_markers(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+        queue: usize,
+    ) {
+        while let Some(QueueItem::Marker(_)) = self.switches[sw].outputs[port].head(queue) {
+            let QueueItem::Marker(saq) = self.switches[sw].outputs[port].pop(queue) else {
+                unreachable!("head was a marker");
+            };
+            let ready = self.switches[sw].outputs[port]
+                .recn_mut()
+                .expect("RECN scheme")
+                .marker_consumed(saq);
+            if ready {
+                self.egress_dealloc(now, q, sw, port, saq);
+            } else if self.switches[sw].outputs[port]
+                .recn()
+                .expect("RECN scheme")
+                .is_empty_leaf(saq)
+            {
+                self.schedule_idle_check(now, q, PortRef::SwitchOut { sw, port }, saq);
+            }
+        }
+        self.kick_output_arb(now, q, sw, port);
+    }
+
+    /// Same for a NIC injection-port queue.
+    pub(crate) fn drain_nic_markers(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        host: usize,
+        queue: usize,
+    ) {
+        while let Some(QueueItem::Marker(_)) = self.nics[host].inject.head(queue) {
+            let QueueItem::Marker(saq) = self.nics[host].inject.pop(queue) else {
+                unreachable!("head was a marker");
+            };
+            let ready = self.nics[host]
+                .inject
+                .recn_mut()
+                .expect("RECN scheme")
+                .marker_consumed(saq);
+            if ready {
+                self.nic_dealloc(now, q, host, saq);
+            } else if self.nics[host].inject.recn().expect("RECN scheme").is_empty_leaf(saq) {
+                self.schedule_idle_check(now, q, PortRef::Nic { host }, saq);
+            }
+        }
+        self.kick_nic_arb(now, q, host);
+    }
+
+    // ------------------------------------------------------------------
+    // Remote Xon/Xoff
+    // ------------------------------------------------------------------
+
+    pub(crate) fn egress_set_remote_xoff(&mut self, link: usize, path: PathSpec, xoff: bool) {
+        let up = self.links[link].up;
+        self.egress_port_mut(up)
+            .recn_mut()
+            .expect("RECN scheme")
+            .set_remote_xoff(path, xoff);
+    }
+
+    fn egress_port_mut(&mut self, up: LinkUp) -> &mut QueueSet {
+        match up {
+            LinkUp::Nic(h) => &mut self.nics[h].inject,
+            LinkUp::Switch { sw, port } => &mut self.switches[sw].outputs[port],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Census & root bookkeeping
+    // ------------------------------------------------------------------
+
+    pub(crate) fn note_root_change(
+        &mut self,
+        now: Picos,
+        sw: usize,
+        port: usize,
+        change: Option<RootChange>,
+    ) {
+        match change {
+            Some(RootChange::BecameRoot) => {
+                self.counters.root_activations += 1;
+                self.observer.on_root_change(now, sw, port, true);
+            }
+            Some(RootChange::ClearedRoot) => {
+                self.counters.root_clears += 1;
+                self.observer.on_root_change(now, sw, port, false);
+            }
+            None => {}
+        }
+    }
+
+    /// Schedules a deferred reclaim check for a never-used SAQ.
+    fn schedule_idle_check(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        port: PortRef,
+        saq: SaqId,
+    ) {
+        q.schedule(now + self.cfg.saq_idle_timeout, Event::SaqIdleCheck { port, saq });
+    }
+
+    /// `Event::SaqIdleCheck` — reclaim the SAQ if it is still an empty,
+    /// unblocked leaf (stale or busy handles are ignored).
+    pub(crate) fn on_saq_idle_check(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        port: PortRef,
+        saq: SaqId,
+    ) {
+        let idle = match port {
+            PortRef::SwitchIn { sw, port } => {
+                self.switches[sw].inputs[port].recn().expect("RECN scheme").is_empty_leaf(saq)
+            }
+            PortRef::SwitchOut { sw, port } => {
+                self.switches[sw].outputs[port].recn().expect("RECN scheme").is_empty_leaf(saq)
+            }
+            PortRef::Nic { host } => {
+                self.nics[host].inject.recn().expect("RECN scheme").is_empty_leaf(saq)
+            }
+        };
+        if !idle {
+            return;
+        }
+        match port {
+            PortRef::SwitchIn { sw, port } => self.ingress_dealloc(now, q, sw, port, saq),
+            PortRef::SwitchOut { sw, port } => self.egress_dealloc(now, q, sw, port, saq),
+            PortRef::Nic { host } => self.nic_dealloc(now, q, host, saq),
+        }
+    }
+
+    fn port_index(&self, sw: usize, port: usize) -> usize {
+        sw * self.topo.params().radix() as usize + port
+    }
+
+    fn census_change(&mut self, now: Picos, site: Site, idx: usize, delta: i32) {
+        let (vec, max_tracker) = match site {
+            Site::In => (&mut self.saq_in, Some(&mut self.max_saq_in)),
+            Site::Out => (&mut self.saq_out, Some(&mut self.max_saq_out)),
+            Site::Nic => (&mut self.saq_nic, None),
+        };
+        let old = vec[idx];
+        let new = (old as i32 + delta).max(0) as u16;
+        vec[idx] = new;
+        self.saq_total = (self.saq_total as i64 + delta as i64).max(0) as u32;
+        if let Some(max) = max_tracker {
+            if new as u32 > *max {
+                *max = new as u32;
+            } else if delta < 0 && old as u32 == *max {
+                // The port that defined the max shrank: recompute.
+                let recomputed = vec.iter().copied().max().unwrap_or(0) as u32;
+                *max = recomputed;
+            }
+        }
+        let (mi, mo, tot) = (self.max_saq_in, self.max_saq_out, self.saq_total);
+        self.observer.on_saq_census(now, mi, mo, tot);
+    }
+}
+
+/// Sanity helper: asserts that no RECN resource is still allocated anywhere
+/// in `net` (used by tests after congestion has fully subsided).
+pub fn assert_recn_idle(net: &Network) {
+    let radix = net.topo.params().radix() as usize;
+    for (s, sw) in net.switches.iter().enumerate() {
+        for p in 0..radix {
+            if let Some(r) = sw.inputs[p].recn() {
+                assert_eq!(r.saqs_in_use(), 0, "leaked ingress SAQ at sw{s} port {p}");
+            }
+            if let Some(r) = sw.outputs[p].recn() {
+                assert_eq!(r.saqs_in_use(), 0, "leaked egress SAQ at sw{s} port {p}");
+                assert!(!r.is_root(), "stale root at sw{s} port {p}");
+            }
+        }
+    }
+    for (h, nic) in net.nics.iter().enumerate() {
+        if let Some(r) = nic.inject.recn() {
+            assert_eq!(r.saqs_in_use(), 0, "leaked NIC SAQ at host {h}");
+        }
+    }
+    assert_eq!(net.saq_total(), 0, "census out of sync");
+}

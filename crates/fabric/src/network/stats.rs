@@ -1,0 +1,71 @@
+//! Simulation counters.
+
+use simcore::Running;
+
+/// Aggregate counters maintained by [`super::Network`].
+#[derive(Debug, Clone, Default)]
+pub struct NetCounters {
+    /// Packets admitted to NIC admittance queues.
+    pub injected_packets: u64,
+    /// Bytes admitted.
+    pub injected_bytes: u64,
+    /// Packets delivered to hosts.
+    pub delivered_packets: u64,
+    /// Bytes delivered.
+    pub delivered_bytes: u64,
+    /// Per-flow order violations observed at delivery (only possible under
+    /// 4Q; fatal under the other schemes).
+    pub order_violations: u64,
+    /// End-to-end packet latency in nanoseconds (admittance → delivery).
+    pub latency_ns: Running,
+    /// RECN notifications sent (internal + across links).
+    pub recn_notifications: u64,
+    /// Notifications accepted (SAQ allocated).
+    pub saq_allocs: u64,
+    /// SAQs deallocated.
+    pub saq_deallocs: u64,
+    /// Notifications rejected for lack of a free SAQ.
+    pub recn_rejects: u64,
+    /// Duplicate-path notifications (protocol races).
+    pub recn_duplicates: u64,
+    /// Tokens returned toward roots.
+    pub recn_tokens: u64,
+    /// Xoff messages sent.
+    pub xoffs: u64,
+    /// Xon messages sent.
+    pub xons: u64,
+    /// In-order markers placed.
+    pub markers: u64,
+    /// Times any egress port became a congestion-tree root.
+    pub root_activations: u64,
+    /// Times a root cleared.
+    pub root_clears: u64,
+    /// Messages dropped at the source because the admittance VOQ was full.
+    pub source_dropped_messages: u64,
+    /// Bytes dropped at the source.
+    pub source_dropped_bytes: u64,
+}
+
+impl NetCounters {
+    /// Mean delivered throughput in bytes/ns over `elapsed_ns`.
+    pub fn mean_throughput(&self, elapsed_ns: f64) -> f64 {
+        if elapsed_ns <= 0.0 {
+            0.0
+        } else {
+            self.delivered_bytes as f64 / elapsed_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let mut c = NetCounters::default();
+        c.delivered_bytes = 1000;
+        assert_eq!(c.mean_throughput(100.0), 10.0);
+        assert_eq!(c.mean_throughput(0.0), 0.0);
+    }
+}

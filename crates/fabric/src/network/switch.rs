@@ -1,0 +1,349 @@
+//! Switch behaviour: input arrival, crossbar arbitration and transfer,
+//! and output-link arbitration.
+
+use simcore::{EventQueue, Picos};
+
+use crate::config::SchemeKind;
+use crate::credit::POOLED_QUEUE;
+use crate::packet::{Packet, Payload, QueueItem, RevPayload};
+
+use super::{Event, Network, XbarTransfer};
+
+impl Network {
+    /// A data packet arrived at a switch input port.
+    pub(crate) fn switch_input_arrival(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+        pkt: Packet,
+        target_queue: u16,
+    ) {
+        let size = pkt.size as u64;
+        let is_recn = matches!(self.cfg.scheme, SchemeKind::Recn(_));
+        let queue = if is_recn {
+            self.switches[sw].inputs[port].classify(&pkt)
+        } else {
+            target_queue as usize
+        };
+        self.switches[sw].inputs[port].push_direct(queue, QueueItem::Packet(pkt));
+        if is_recn && queue != 0 {
+            let input = &mut self.switches[sw].inputs[port];
+            let saq = input.saq_at_queue(queue).expect("packet stored in a live SAQ");
+            let signals =
+                input.recn_mut().expect("RECN scheme").saq_enqueued(saq, size);
+            let in_link = self.switches[sw].in_link[port];
+            if let Some(path) = signals.propagate {
+                self.counters.recn_notifications += 1;
+                self.send_rev_ctrl(now, q, in_link, RevPayload::RecnNotification { path });
+            }
+            if signals.xoff {
+                let path = self.switches[sw].inputs[port]
+                    .recn()
+                    .expect("RECN scheme")
+                    .path_of(saq);
+                self.counters.xoffs += 1;
+                self.send_rev_ctrl(now, q, in_link, RevPayload::RecnXoff { path });
+            }
+        }
+        self.kick_input_arb(now, q, sw);
+    }
+
+    /// `Event::InputArb` — grant crossbar transfers at `sw`.
+    pub(crate) fn on_input_arb(&mut self, now: Picos, q: &mut EventQueue<Event>, sw: usize) {
+        self.switches[sw].input_arb_scheduled = false;
+        let radix = self.topo.params().radix() as usize;
+        let start = self.switches[sw].in_rr;
+        self.switches[sw].in_rr = (start + 1) % radix;
+        let is_recn = matches!(self.cfg.scheme, SchemeKind::Recn(_));
+
+        for off in 0..radix {
+            let i = (start + off) % radix;
+            if self.switches[sw].in_flight[i].is_some() {
+                continue;
+            }
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.switches[sw].inputs[i].service_order(&mut scratch);
+            // (queue, output, reserved output queue)
+            let mut grant: Option<(usize, usize, Option<usize>)> = None;
+            // RECN: every *examined* head packet counts as the input port
+            // "sending a packet to" its egress port, so congestion
+            // notifications fire at request time — crucially also when the
+            // request is blocked by a full egress SAQ, otherwise the very
+            // packets suffering HOL blocking would never trigger the
+            // notification that removes it.
+            let mut notify_pending: Vec<Packet> = Vec::new();
+            for &qidx in &scratch {
+                let switch = &self.switches[sw];
+                let QueueItem::Packet(p) = switch.inputs[i].head(qidx).expect("listed queue")
+                else {
+                    unreachable!("markers are drained before reaching arbitration");
+                };
+                let out = p.route.next_turn() as usize;
+                let size = p.size as u64;
+                if is_recn {
+                    notify_pending.push(*p);
+                    if switch.out_busy[out] {
+                        continue;
+                    }
+                    if !switch.outputs[out].has_room(0, size) {
+                        continue;
+                    }
+                    // Per-SAQ internal backpressure — Xon/Xoff governs
+                    // transmission *between SAQs* only (paper §3.7): an
+                    // ingress SAQ must not feed an egress SAQ past its Xoff
+                    // threshold, but normal-queue packets always flow (the
+                    // pooled-memory check above bounds them), otherwise a
+                    // congested packet at the normal queue's head would
+                    // freeze the queue and the in-order markers behind it.
+                    if qidx != 0 {
+                        let after_turn = &p.route.remaining()[1..];
+                        if switch.outputs[out]
+                            .recn()
+                            .expect("RECN scheme")
+                            .internal_xoff(after_turn)
+                        {
+                            continue;
+                        }
+                    }
+                    grant = Some((qidx, out, None));
+                } else {
+                    if switch.out_busy[out] {
+                        continue;
+                    }
+                    let mut advanced = *p;
+                    advanced.route.advance();
+                    let oq = switch.outputs[out].classify(&advanced);
+                    if !switch.outputs[out].has_room(oq, size) {
+                        continue;
+                    }
+                    grant = Some((qidx, out, Some(oq)));
+                }
+                break;
+            }
+            self.scratch = scratch;
+            for pending in notify_pending {
+                self.request_notifications(now, q, sw, i, &pending);
+            }
+            let Some((qidx, out, to_queue)) = grant else { continue };
+
+            let QueueItem::Packet(mut pkt) = self.switches[sw].inputs[i].pop(qidx) else {
+                unreachable!("head was a packet");
+            };
+            let size = pkt.size as u64;
+            if is_recn {
+                if qidx != 0 {
+                    let saq = self.switches[sw].inputs[i]
+                        .saq_at_queue(qidx)
+                        .expect("popped from a live SAQ queue");
+                    let recn_port =
+                        self.switches[sw].inputs[i].recn_mut().expect("RECN scheme");
+                    let path = recn_port.path_of(saq);
+                    let signals = recn_port.saq_dequeued(saq, size);
+                    // Markers of younger nested SAQs may now head this queue.
+                    self.drain_input_markers(now, q, sw, i, qidx);
+                    if signals.xon {
+                        let in_link = self.switches[sw].in_link[i];
+                        self.counters.xons += 1;
+                        self.send_rev_ctrl(now, q, in_link, RevPayload::RecnXon { path });
+                    }
+                    if signals.deallocatable {
+                        self.ingress_dealloc(now, q, sw, i, saq);
+                    }
+                } else {
+                    self.drain_input_markers(now, q, sw, i, 0);
+                }
+            }
+            pkt.route.advance();
+            match to_queue {
+                None => self.switches[sw].outputs[out].reserve_pooled(size),
+                Some(oq) => self.switches[sw].outputs[out].reserve_queue(oq, size),
+            }
+            self.switches[sw].inputs[i].rr_granted(qidx);
+            self.switches[sw].in_flight[i] =
+                Some(XbarTransfer { pkt, from_queue: qidx, to_output: out, to_queue });
+            self.switches[sw].out_busy[out] = true;
+            q.schedule(
+                now + self.cfg.xbar_time(size),
+                Event::XbarDone { sw, input: i, output: out },
+            );
+        }
+    }
+
+    /// Runs the RECN request-time notification hook for a head packet at
+    /// input `i` toward its requested egress port: if that port is a root
+    /// (or holds a propagating SAQ the packet maps to) and this input has
+    /// not been notified yet, the notification is delivered immediately.
+    fn request_notifications(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        i: usize,
+        pkt: &Packet,
+    ) {
+        let out = pkt.route.next_turn() as usize;
+        let class = self.switches[sw].outputs[out]
+            .recn()
+            .expect("RECN scheme")
+            .classify(&pkt.route.remaining()[1..]);
+        let notifs = self.switches[sw].outputs[out]
+            .recn_mut()
+            .expect("RECN scheme")
+            .on_forward_from_input(i, class);
+        for path in notifs.iter() {
+            self.deliver_internal_notification(now, q, sw, out, i, path);
+        }
+    }
+
+    /// `Event::XbarDone` — a packet finished crossing the crossbar: commit
+    /// it to the output port, run RECN egress hooks, and return the credit
+    /// upstream.
+    pub(crate) fn on_xbar_done(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        input: usize,
+        output: usize,
+    ) {
+        let t = self.switches[sw].in_flight[input].take().expect("transfer in flight");
+        debug_assert_eq!(t.to_output, output);
+        self.switches[sw].out_busy[output] = false;
+        let size = t.pkt.size as u64;
+
+        match t.to_queue {
+            Some(oq) => {
+                self.switches[sw].outputs[output].commit_reserved(oq, QueueItem::Packet(t.pkt));
+            }
+            None => {
+                // RECN: classify at commit time so packets never land behind
+                // a marker they logically precede.
+                let recn_class = self.switches[sw].outputs[output]
+                    .recn()
+                    .expect("pooled reservation implies RECN")
+                    .classify(t.pkt.route.remaining());
+                let queue = match recn_class {
+                    recn::Classify::Normal => 0,
+                    recn::Classify::Saq(s) => crate::queue::QueueSet::saq_queue(s),
+                };
+                self.switches[sw].outputs[output].commit_pooled(queue, QueueItem::Packet(t.pkt));
+                match recn_class {
+                    recn::Classify::Saq(saq) => {
+                        // Egress SAQs never emit signals on enqueue (they
+                        // switch to notify-on-forward mode internally).
+                        let _ = self.switches[sw].outputs[output]
+                            .recn_mut()
+                            .expect("RECN scheme")
+                            .saq_enqueued(saq, size);
+                    }
+                    recn::Classify::Normal => {
+                        let occ = self.switches[sw].outputs[output].queue_bytes(0);
+                        let change = self.switches[sw].outputs[output]
+                            .recn_mut()
+                            .expect("RECN scheme")
+                            .normal_occupancy_changed(occ);
+                        self.note_root_change(now, sw, output, change);
+                    }
+                }
+                let notifs = self.switches[sw].outputs[output]
+                    .recn_mut()
+                    .expect("RECN scheme")
+                    .on_forward_from_input(input, recn_class);
+                for path in notifs.iter() {
+                    self.deliver_internal_notification(now, q, sw, output, input, path);
+                }
+            }
+        }
+
+        // Credit for the freed input-port bytes flows upstream.
+        let in_link = self.switches[sw].in_link[input];
+        let queue = match self.cfg.scheme {
+            SchemeKind::Recn(_) => POOLED_QUEUE,
+            _ => t.from_queue as u16,
+        };
+        self.send_rev_ctrl(now, q, in_link, RevPayload::Credit { queue, bytes: size as u32 });
+
+        self.kick_output_arb(now, q, sw, output);
+        self.kick_input_arb(now, q, sw);
+    }
+
+    /// `Event::OutputArb` — transmit one packet from an output port onto
+    /// its link.
+    pub(crate) fn on_output_arb(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+    ) {
+        self.switches[sw].output_arb_scheduled[port] = false;
+        let link = self.switches[sw].out_link[port];
+        let busy = self.links[link].fwd_busy_until;
+        if busy > now {
+            self.kick_output_arb(busy, q, sw, port);
+            return;
+        }
+        let is_recn = matches!(self.cfg.scheme, SchemeKind::Recn(_));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.switches[sw].outputs[port].service_order(&mut scratch);
+        let mut granted: Option<(usize, u16)> = None;
+        for &qidx in &scratch {
+            let QueueItem::Packet(p) =
+                self.switches[sw].outputs[port].head(qidx).expect("listed queue")
+            else {
+                unreachable!("markers are drained before reaching arbitration");
+            };
+            let tq = self.downstream_queue(link, p);
+            if self.links[link].credits.has_room(tq, p.size as u64) {
+                granted = Some((qidx, tq));
+                break;
+            }
+        }
+        self.scratch = scratch;
+        let Some((qidx, tq)) = granted else { return };
+        let QueueItem::Packet(pkt) = self.switches[sw].outputs[port].pop(qidx) else {
+            unreachable!("head was a packet");
+        };
+        let size = pkt.size as u64;
+        if is_recn {
+            if qidx != 0 {
+                let saq = self.switches[sw].outputs[port]
+                    .saq_at_queue(qidx)
+                    .expect("popped from a live SAQ queue");
+                let signals = self.switches[sw].outputs[port]
+                    .recn_mut()
+                    .expect("RECN scheme")
+                    .saq_dequeued(saq, size);
+                debug_assert!(!signals.xon, "egress SAQs have no upstream Xoff");
+                self.drain_output_markers(now, q, sw, port, qidx);
+                if signals.deallocatable {
+                    self.egress_dealloc(now, q, sw, port, saq);
+                }
+            } else {
+                let occ = self.switches[sw].outputs[port].queue_bytes(0);
+                let change = self.switches[sw].outputs[port]
+                    .recn_mut()
+                    .expect("RECN scheme")
+                    .normal_occupancy_changed(occ);
+                self.note_root_change(now, sw, port, change);
+                self.drain_output_markers(now, q, sw, port, 0);
+            }
+        }
+        self.links[link].credits.consume(tq, size);
+        let ser = self.cfg.link_time(size);
+        self.links[link].fwd_busy_until = now + ser;
+        self.links[link].fwd_busy_total += ser;
+        q.schedule(
+            now + ser + self.cfg.link_delay,
+            Event::Deliver { link, payload: Payload::Data { pkt, target_queue: tq } },
+        );
+        self.switches[sw].outputs[port].rr_granted(qidx);
+        if self.switches[sw].outputs[port].has_items() {
+            self.kick_output_arb(now + ser, q, sw, port);
+        }
+        // Output buffer space freed: inputs may proceed.
+        self.kick_input_arb(now, q, sw);
+    }
+}

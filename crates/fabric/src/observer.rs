@@ -1,0 +1,55 @@
+//! Observation hooks for measurement without coupling the simulator to a
+//! particular metrics stack.
+
+use simcore::Picos;
+
+use crate::packet::Packet;
+
+/// Where a SAQ-count change happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaqSite {
+    /// A switch input port.
+    SwitchIngress,
+    /// A switch output port.
+    SwitchEgress,
+    /// A NIC injection port.
+    NicInjection,
+}
+
+/// Receives simulation events of interest. All methods have empty default
+/// bodies so observers implement only what they need.
+pub trait NetObserver {
+    /// A packet entered a NIC admittance queue.
+    fn on_injected(&mut self, _now: Picos, _pkt: &Packet) {}
+
+    /// A packet was delivered to its destination host.
+    fn on_delivered(&mut self, _now: Picos, _pkt: &Packet) {}
+
+    /// The network-wide SAQ census changed. `max_ingress` / `max_egress`
+    /// are the highest per-port counts over all switch input / output
+    /// ports; `total` includes NIC injection ports.
+    fn on_saq_census(&mut self, _now: Picos, _max_ingress: u32, _max_egress: u32, _total: u32) {}
+
+    /// An egress port became (`true`) or stopped being (`false`) a
+    /// congestion-tree root.
+    fn on_root_change(&mut self, _now: Picos, _switch: usize, _port: usize, _active: bool) {}
+}
+
+/// An observer that records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl NetObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Picos;
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let mut o = NullObserver;
+        o.on_saq_census(Picos::ZERO, 1, 2, 3);
+        o.on_root_change(Picos::ZERO, 0, 0, true);
+    }
+}

@@ -1,0 +1,142 @@
+//! Message sources: the interface the traffic generators implement.
+
+use simcore::Picos;
+use topology::HostId;
+
+/// One message to be injected by a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourcedMessage {
+    /// Generation time: the message enters the NIC admittance queue then.
+    pub at: Picos,
+    /// Destination host.
+    pub dst: HostId,
+    /// Message size in bytes (packetized by the NIC).
+    pub bytes: u32,
+}
+
+/// An open-loop stream of messages from one host. The network pulls the
+/// next message lazily and schedules its arrival; implementations must
+/// return non-decreasing times.
+pub trait MessageSource {
+    /// The next message, or `None` when the source is exhausted.
+    fn next_message(&mut self) -> Option<SourcedMessage>;
+}
+
+/// A source that never generates traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentSource;
+
+impl MessageSource for SilentSource {
+    fn next_message(&mut self) -> Option<SourcedMessage> {
+        None
+    }
+}
+
+/// A source that replays a fixed script of messages (useful in tests).
+#[derive(Debug, Clone)]
+pub struct ScriptSource {
+    script: std::vec::IntoIter<SourcedMessage>,
+}
+
+impl ScriptSource {
+    /// Creates a source from messages (must be in time order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script times decrease.
+    pub fn new(script: Vec<SourcedMessage>) -> ScriptSource {
+        assert!(
+            script.windows(2).all(|w| w[0].at <= w[1].at),
+            "script must be time-ordered"
+        );
+        ScriptSource { script: script.into_iter() }
+    }
+}
+
+impl MessageSource for ScriptSource {
+    fn next_message(&mut self) -> Option<SourcedMessage> {
+        self.script.next()
+    }
+}
+
+/// A source sending fixed-size messages to one destination at a constant
+/// byte rate (fraction of link bandwidth), between `start` and `end`.
+#[derive(Debug, Clone)]
+pub struct ConstantRateSource {
+    dst: HostId,
+    msg_bytes: u32,
+    interval: Picos,
+    next_at: Picos,
+    end: Picos,
+}
+
+impl ConstantRateSource {
+    /// A source injecting `msg_bytes`-byte messages to `dst` every
+    /// `interval`, from `start` until `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(dst: HostId, msg_bytes: u32, interval: Picos, start: Picos, end: Picos) -> Self {
+        assert!(interval > Picos::ZERO, "interval must be positive");
+        ConstantRateSource { dst, msg_bytes, interval, next_at: start, end }
+    }
+}
+
+impl MessageSource for ConstantRateSource {
+    fn next_message(&mut self) -> Option<SourcedMessage> {
+        if self.next_at >= self.end {
+            return None;
+        }
+        let msg = SourcedMessage { at: self.next_at, dst: self.dst, bytes: self.msg_bytes };
+        self.next_at += self.interval;
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_source_is_empty() {
+        assert!(SilentSource.next_message().is_none());
+    }
+
+    #[test]
+    fn script_source_replays_in_order() {
+        let mut s = ScriptSource::new(vec![
+            SourcedMessage { at: Picos::from_ns(1), dst: HostId::new(2), bytes: 64 },
+            SourcedMessage { at: Picos::from_ns(5), dst: HostId::new(3), bytes: 128 },
+        ]);
+        assert_eq!(s.next_message().unwrap().dst, HostId::new(2));
+        assert_eq!(s.next_message().unwrap().bytes, 128);
+        assert!(s.next_message().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_script_rejected() {
+        let _ = ScriptSource::new(vec![
+            SourcedMessage { at: Picos::from_ns(5), dst: HostId::new(2), bytes: 64 },
+            SourcedMessage { at: Picos::from_ns(1), dst: HostId::new(3), bytes: 64 },
+        ]);
+    }
+
+    #[test]
+    fn constant_rate_counts_messages() {
+        let mut s = ConstantRateSource::new(
+            HostId::new(7),
+            64,
+            Picos::from_ns(128), // 0.5 B/ns at 64-byte messages
+            Picos::ZERO,
+            Picos::from_ns(1024),
+        );
+        let mut n = 0;
+        while let Some(m) = s.next_message() {
+            assert_eq!(m.dst, HostId::new(7));
+            n += 1;
+        }
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,366 @@
+//! End-to-end fabric tests: every scheme must deliver all traffic, keep
+//! per-flow order (except 4Q), never overflow a buffer (asserted inside the
+//! model), and — for RECN — reclaim every SAQ once congestion subsides.
+
+use fabric::{
+    assert_recn_idle, ConstantRateSource, FabricConfig, MessageSource, Network, NullObserver,
+    SchemeKind, ScriptSource, SilentSource, SourcedMessage,
+};
+use recn::RecnConfig;
+use simcore::{Picos, Xoshiro256};
+use topology::{HostId, MinParams};
+
+fn schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::OneQ,
+        SchemeKind::FourQ,
+        SchemeKind::VoqSw,
+        SchemeKind::VoqNet,
+        SchemeKind::Recn(test_recn_config()),
+    ]
+}
+
+/// RECN thresholds scaled down so small tests actually exercise the
+/// protocol (the paper-scale defaults need tens of KB of queue buildup).
+fn test_recn_config() -> RecnConfig {
+    RecnConfig {
+        max_saqs: 8,
+        detection_threshold: 2 * 1024,
+        propagation_threshold: 512,
+        xoff_threshold: 1024,
+        xon_threshold: 256,
+        drain_boost_pkts: 2,
+        root_clear_threshold: 1024,
+    }
+}
+
+/// Uniform random message scripts: every host sends `msgs` messages of
+/// `bytes` bytes to random destinations at `rate_bytes_per_ns`.
+fn random_sources(
+    hosts: u32,
+    msgs: usize,
+    bytes: u32,
+    rate_bytes_per_ns: f64,
+    seed: u64,
+) -> Vec<Box<dyn MessageSource>> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..hosts)
+        .map(|_| {
+            let mut r = rng.fork();
+            let interval = Picos::new((bytes as f64 / rate_bytes_per_ns * 1000.0) as u64);
+            let mut at = Picos::ZERO;
+            let script: Vec<SourcedMessage> = (0..msgs)
+                .map(|_| {
+                    let dst = HostId::new(r.next_below(hosts as u64) as u32);
+                    let m = SourcedMessage { at, dst, bytes };
+                    at += interval;
+                    m
+                })
+                .collect();
+            Box::new(ScriptSource::new(script)) as Box<dyn MessageSource>
+        })
+        .collect()
+}
+
+fn run_to_drain(net: Network) -> Network {
+    let mut engine = net.build_engine();
+    engine.run_to_completion();
+    engine.into_model()
+}
+
+#[test]
+fn all_schemes_deliver_uniform_traffic() {
+    for scheme in schemes() {
+        let params = MinParams::new(16, 4, 2);
+        let sources = random_sources(16, 200, 64, 0.5, 42);
+        let net = Network::new(
+            params,
+            FabricConfig::paper(scheme),
+            64,
+            sources,
+            Box::new(NullObserver),
+        );
+        let net = run_to_drain(net);
+        let c = net.counters();
+        assert_eq!(c.injected_packets, 16 * 200, "{}", scheme.name());
+        assert_eq!(c.delivered_packets, c.injected_packets, "{}", scheme.name());
+        assert!(net.is_quiescent(), "{} left residue", scheme.name());
+        if scheme.preserves_order() {
+            assert_eq!(c.order_violations, 0, "{} reordered", scheme.name());
+        }
+        assert!(c.latency_ns.mean() > 0.0);
+    }
+}
+
+#[test]
+fn all_schemes_deliver_with_512_byte_packets() {
+    for scheme in schemes() {
+        let params = MinParams::new(16, 4, 2);
+        // 2 KB messages packetized into 512-byte packets.
+        let sources = random_sources(16, 50, 2048, 0.5, 7);
+        let net = Network::new(
+            params,
+            FabricConfig::paper(scheme),
+            512,
+            sources,
+            Box::new(NullObserver),
+        );
+        let net = run_to_drain(net);
+        let c = net.counters();
+        assert_eq!(c.injected_packets, 16 * 50 * 4, "{}", scheme.name());
+        assert_eq!(c.delivered_packets, c.injected_packets, "{}", scheme.name());
+        assert!(net.is_quiescent());
+    }
+}
+
+#[test]
+fn three_stage_network_delivers() {
+    for scheme in [SchemeKind::VoqSw, SchemeKind::Recn(test_recn_config())] {
+        let params = MinParams::paper_64();
+        let sources = random_sources(64, 50, 64, 0.5, 99);
+        let net = Network::new(
+            params,
+            FabricConfig::paper(scheme),
+            64,
+            sources,
+            Box::new(NullObserver),
+        );
+        let net = run_to_drain(net);
+        assert_eq!(net.counters().delivered_packets, 64 * 50);
+        assert_eq!(net.counters().order_violations, 0);
+        assert!(net.is_quiescent());
+    }
+}
+
+/// Builds the HOL-blocking scenario: congestors swamp one destination while
+/// a victim flow shares queues with them but targets an idle destination.
+fn hotspot_sources(
+    hosts: u32,
+    congestors: &[u32],
+    hot_dst: u32,
+    victim: u32,
+    victim_dst: u32,
+    until: Picos,
+) -> Vec<Box<dyn MessageSource>> {
+    (0..hosts)
+        .map(|h| {
+            if congestors.contains(&h) {
+                Box::new(ConstantRateSource::new(
+                    HostId::new(hot_dst),
+                    64,
+                    Picos::from_ns(64), // full link rate
+                    Picos::ZERO,
+                    until,
+                )) as Box<dyn MessageSource>
+            } else if h == victim {
+                Box::new(ConstantRateSource::new(
+                    HostId::new(victim_dst),
+                    64,
+                    Picos::from_ns(64),
+                    Picos::ZERO,
+                    until,
+                )) as Box<dyn MessageSource>
+            } else {
+                Box::new(SilentSource) as Box<dyn MessageSource>
+            }
+        })
+        .collect()
+}
+
+/// Victim throughput per scheme under a sustained hotspot. dst 12 and the
+/// hotspot dst 15 share the same last-stage switch, so the victim's packets
+/// cross the congestion tree's region without contributing to it.
+fn victim_delivered(scheme: SchemeKind) -> u64 {
+    let params = MinParams::new(16, 4, 2);
+    let horizon = Picos::from_us(300);
+    let sources = hotspot_sources(16, &[0, 1, 2, 3, 4, 5], 15, 8, 12, horizon);
+    let net = Network::new(
+        params,
+        FabricConfig::paper(scheme),
+        64,
+        sources,
+        Box::new(NullObserver),
+    );
+    struct VictimCount(std::rc::Rc<std::cell::Cell<u64>>);
+    impl fabric::NetObserver for VictimCount {
+        fn on_delivered(&mut self, _now: Picos, pkt: &fabric::Packet) {
+            if pkt.dst == HostId::new(12) {
+                self.0.set(self.0.get() + pkt.size as u64);
+            }
+        }
+    }
+    let count = std::rc::Rc::new(std::cell::Cell::new(0));
+    let mut net = net;
+    net.set_observer(Box::new(VictimCount(count.clone())));
+    let mut engine = net.build_engine();
+    engine.run_until(horizon);
+    count.get()
+}
+
+#[test]
+fn recn_shields_victim_from_hotspot() {
+    let recn = victim_delivered(SchemeKind::Recn(test_recn_config()));
+    let oneq = victim_delivered(SchemeKind::OneQ);
+    let voqnet = victim_delivered(SchemeKind::VoqNet);
+    // RECN must decisively beat 1Q and come close to the VOQnet bound.
+    assert!(
+        recn as f64 > 2.0 * oneq as f64,
+        "RECN {recn} should be well above 1Q {oneq}"
+    );
+    assert!(
+        recn as f64 > 0.8 * voqnet as f64,
+        "RECN {recn} should approach VOQnet {voqnet}"
+    );
+}
+
+#[test]
+fn recn_reclaims_all_resources_after_congestion() {
+    let params = MinParams::new(16, 4, 2);
+    let burst_end = Picos::from_us(150);
+    let sources = hotspot_sources(16, &[0, 1, 2, 3, 4, 5], 15, 8, 12, burst_end);
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::Recn(test_recn_config())),
+        64,
+        sources,
+        Box::new(NullObserver),
+    );
+    let net = run_to_drain(net);
+    let c = net.counters();
+    assert!(c.root_activations > 0, "the hotspot must trigger detection");
+    assert!(c.saq_allocs > 0, "SAQs must be allocated");
+    assert_eq!(c.saq_allocs, c.saq_deallocs, "every SAQ must be reclaimed");
+    assert_eq!(c.root_activations, c.root_clears, "every root must clear");
+    assert_eq!(c.delivered_packets, c.injected_packets);
+    assert_eq!(c.order_violations, 0);
+    assert!(net.is_quiescent());
+    assert_recn_idle(&net);
+    assert_eq!(net.saq_census(), (net.saq_census().0, net.saq_census().1, 0));
+}
+
+#[test]
+fn recn_tracks_saq_census_peaks() {
+    let params = MinParams::new(16, 4, 2);
+    let burst_end = Picos::from_us(100);
+    let sources = hotspot_sources(16, &[0, 1, 2, 3, 4, 5], 15, 8, 12, burst_end);
+    struct Peak {
+        max_total: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl fabric::NetObserver for Peak {
+        fn on_saq_census(&mut self, _now: Picos, _mi: u32, _me: u32, total: u32) {
+            if total > self.max_total.get() {
+                self.max_total.set(total);
+            }
+        }
+    }
+    let peak = std::rc::Rc::new(std::cell::Cell::new(0));
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::Recn(test_recn_config())),
+        64,
+        sources,
+        Box::new(Peak { max_total: peak.clone() }),
+    );
+    let net = run_to_drain(net);
+    assert!(peak.get() > 0, "census must observe allocations");
+    assert_eq!(net.saq_total(), 0, "census returns to zero");
+}
+
+#[test]
+fn saturating_uniform_traffic_is_lossless_everywhere() {
+    // All hosts at 100% injection — the network saturates internally; the
+    // lossless asserts inside the model are the real check here.
+    for scheme in schemes() {
+        let params = MinParams::new(16, 4, 2);
+        let sources = random_sources(16, 400, 64, 1.0, 1234);
+        let net = Network::new(
+            params,
+            FabricConfig::paper(scheme),
+            64,
+            sources,
+            Box::new(NullObserver),
+        );
+        let net = run_to_drain(net);
+        assert_eq!(net.counters().delivered_packets, 16 * 400, "{}", scheme.name());
+        assert!(net.is_quiescent());
+    }
+}
+
+#[test]
+fn recn_exhaustion_degrades_gracefully() {
+    // Only 1 SAQ per port: multiple hotspots force rejections; traffic must
+    // still flow and clean up.
+    let cfg = RecnConfig { max_saqs: 1, ..test_recn_config() };
+    let params = MinParams::new(16, 4, 2);
+    let until = Picos::from_us(120);
+    let sources: Vec<Box<dyn MessageSource>> = (0..16)
+        .map(|h| match h {
+            0..=2 => Box::new(ConstantRateSource::new(
+                HostId::new(15),
+                64,
+                Picos::from_ns(64),
+                Picos::ZERO,
+                until,
+            )) as Box<dyn MessageSource>,
+            3..=5 => Box::new(ConstantRateSource::new(
+                HostId::new(14),
+                64,
+                Picos::from_ns(64),
+                Picos::ZERO,
+                until,
+            )),
+            6..=8 => Box::new(ConstantRateSource::new(
+                HostId::new(13),
+                64,
+                Picos::from_ns(64),
+                Picos::ZERO,
+                until,
+            )),
+            _ => Box::new(SilentSource),
+        })
+        .collect();
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::Recn(cfg)),
+        64,
+        sources,
+        Box::new(NullObserver),
+    );
+    let net = run_to_drain(net);
+    let c = net.counters();
+    assert_eq!(c.delivered_packets, c.injected_packets);
+    assert_eq!(c.order_violations, 0);
+    assert_eq!(c.saq_allocs, c.saq_deallocs);
+    assert!(net.is_quiescent());
+    assert_recn_idle(&net);
+}
+
+#[test]
+fn self_traffic_roundtrips_through_network() {
+    // A host sending to itself still traverses every stage.
+    let params = MinParams::new(16, 4, 2);
+    let sources: Vec<Box<dyn MessageSource>> = (0..16)
+        .map(|h| {
+            if h == 5 {
+                Box::new(ScriptSource::new(vec![SourcedMessage {
+                    at: Picos::ZERO,
+                    dst: HostId::new(5),
+                    bytes: 64,
+                }])) as Box<dyn MessageSource>
+            } else {
+                Box::new(SilentSource)
+            }
+        })
+        .collect();
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::OneQ),
+        64,
+        sources,
+        Box::new(NullObserver),
+    );
+    let net = run_to_drain(net);
+    assert_eq!(net.counters().delivered_packets, 1);
+    // Two stages + injection/delivery: latency well above zero.
+    assert!(net.counters().latency_ns.mean() > 100.0);
+}

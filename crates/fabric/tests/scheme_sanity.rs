@@ -1,0 +1,181 @@
+//! Cross-scheme sanity: in scenarios without contention, all five
+//! queueing mechanisms must behave identically — any divergence would mean
+//! a scheme pays costs the model should not charge it.
+
+use fabric::{
+    FabricConfig, MessageSource, Network, NullObserver, SchemeKind, ScriptSource, SourcedMessage,
+};
+use recn::RecnConfig;
+use simcore::Picos;
+use topology::{HostId, MinParams};
+
+fn all_schemes() -> [SchemeKind; 5] {
+    [
+        SchemeKind::OneQ,
+        SchemeKind::FourQ,
+        SchemeKind::VoqSw,
+        SchemeKind::VoqNet,
+        SchemeKind::Recn(RecnConfig::default()),
+    ]
+}
+
+fn single_flow_run(scheme: SchemeKind, packet: u32) -> (u64, u64, f64) {
+    // One flow, host 3 → host 9, 100 messages at half rate: zero contention.
+    let params = MinParams::new(16, 4, 2);
+    let sources: Vec<Box<dyn MessageSource>> = (0..16)
+        .map(|h| {
+            if h == 3 {
+                let script = (0..100)
+                    .map(|i| SourcedMessage {
+                        at: Picos::from_ns(i * 2 * packet as u64),
+                        dst: HostId::new(9),
+                        bytes: packet,
+                    })
+                    .collect();
+                Box::new(ScriptSource::new(script)) as Box<dyn MessageSource>
+            } else {
+                Box::new(fabric::SilentSource) as Box<dyn MessageSource>
+            }
+        })
+        .collect();
+    let net = Network::new(
+        params,
+        FabricConfig::paper(scheme),
+        packet,
+        sources,
+        Box::new(NullObserver),
+    );
+    let mut engine = net.build_engine();
+    engine.run_to_completion();
+    let c = engine.model().counters();
+    assert!(engine.model().is_quiescent());
+    (c.delivered_packets, c.delivered_bytes, c.latency_ns.mean())
+}
+
+#[test]
+fn uncontended_flow_is_scheme_invariant() {
+    for packet in [64u32, 512] {
+        let reference = single_flow_run(SchemeKind::OneQ, packet);
+        for scheme in all_schemes() {
+            let got = single_flow_run(scheme, packet);
+            assert_eq!(got.0, reference.0, "{} packet count", scheme.name());
+            assert_eq!(got.1, reference.1, "{} byte count", scheme.name());
+            // Latency identical too: no queueing happens anywhere.
+            assert!(
+                (got.2 - reference.2).abs() < 1.0,
+                "{} latency {} vs {}",
+                scheme.name(),
+                got.2,
+                reference.2
+            );
+        }
+    }
+}
+
+#[test]
+fn recn_allocates_nothing_without_congestion() {
+    let params = MinParams::new(16, 4, 2);
+    // Light uniform traffic: far below any detection threshold.
+    let sources: Vec<Box<dyn MessageSource>> = (0..16)
+        .map(|h| {
+            let script = (0..50)
+                .map(|i| SourcedMessage {
+                    at: Picos::from_ns(i * 1000),
+                    dst: HostId::new(((h + i as u32) % 16) as u32),
+                    bytes: 64,
+                })
+                .collect();
+            Box::new(ScriptSource::new(script)) as Box<dyn MessageSource>
+        })
+        .collect();
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::Recn(RecnConfig::default())),
+        64,
+        sources,
+        Box::new(NullObserver),
+    );
+    let mut engine = net.build_engine();
+    engine.run_to_completion();
+    let c = engine.model().counters();
+    assert_eq!(c.saq_allocs, 0, "no congestion, no SAQs");
+    assert_eq!(c.root_activations, 0);
+    assert_eq!(c.recn_notifications, 0);
+    assert_eq!(c.delivered_packets, 16 * 50);
+}
+
+#[test]
+fn link_utilization_accounting_tracks_delivery() {
+    // A single saturating flow should drive its path's links to ~100%
+    // utilization and leave the rest idle.
+    let params = MinParams::new(16, 4, 2);
+    let horizon = Picos::from_us(50);
+    let sources: Vec<Box<dyn MessageSource>> = (0..16)
+        .map(|h| {
+            if h == 0 {
+                Box::new(fabric::ConstantRateSource::new(
+                    HostId::new(9),
+                    64,
+                    Picos::from_ns(64),
+                    Picos::ZERO,
+                    horizon,
+                )) as Box<dyn MessageSource>
+            } else {
+                Box::new(fabric::SilentSource) as Box<dyn MessageSource>
+            }
+        })
+        .collect();
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::OneQ),
+        64,
+        sources,
+        Box::new(NullObserver),
+    );
+    let mut engine = net.build_engine();
+    engine.run_until(horizon);
+    let model = engine.model();
+    let hot = model.hottest_links(horizon, 3);
+    assert_eq!(hot.len(), 3, "injection + 2 hops");
+    for (name, util) in &hot {
+        assert!(*util > 0.9, "{name} at {util}");
+    }
+    // 3 busy links out of 16 + 32 + ... : mean utilization is small.
+    let mean = model.mean_link_utilization(horizon);
+    assert!(mean > 0.0 && mean < 0.2, "mean {mean}");
+}
+
+#[test]
+fn order_preserved_across_packet_sizes_mixed() {
+    // Messages of mixed sizes from one source to one destination must
+    // arrive in order under every order-preserving scheme.
+    for scheme in [SchemeKind::OneQ, SchemeKind::VoqSw, SchemeKind::VoqNet] {
+        let params = MinParams::new(16, 4, 2);
+        let sources: Vec<Box<dyn MessageSource>> = (0..16)
+            .map(|h| {
+                if h == 5 {
+                    let script = (0..60)
+                        .map(|i| SourcedMessage {
+                            at: Picos::from_ns(i * 300),
+                            dst: HostId::new(11),
+                            bytes: if i % 3 == 0 { 512 } else { 64 },
+                        })
+                        .collect();
+                    Box::new(ScriptSource::new(script)) as Box<dyn MessageSource>
+                } else {
+                    Box::new(fabric::SilentSource) as Box<dyn MessageSource>
+                }
+            })
+            .collect();
+        let net = Network::new(
+            params,
+            FabricConfig::paper(scheme),
+            64,
+            sources,
+            Box::new(NullObserver),
+        );
+        let mut engine = net.build_engine();
+        engine.run_to_completion();
+        assert_eq!(engine.model().counters().order_violations, 0, "{}", scheme.name());
+    }
+}

@@ -1,0 +1,202 @@
+//! # metrics — probes and reports for the RECN experiments
+//!
+//! Thin measurement layer between the `fabric` simulator and the
+//! `experiments` harness:
+//!
+//! * [`Probe`] — a [`fabric::NetObserver`] that records everything the
+//!   paper plots: delivered-throughput time series (Figures 2, 3, 6) and
+//!   the SAQ census series (max per ingress port, max per egress port,
+//!   network total — Figures 4, 5, 6). Results are read back through the
+//!   shared [`ProbeHandle`] after the run.
+//! * [`report`] — plain-text table / CSV rendering of labeled series, in
+//!   the shape of the paper's figures (one time column, one column per
+//!   mechanism).
+//!
+//! ```
+//! use metrics::Probe;
+//! use simcore::Picos;
+//!
+//! let (probe, handle) = Probe::new(Picos::from_us(5));
+//! // ... Network::new(..., Box::new(probe)) ... run ...
+//! let series = handle.throughput(Picos::from_us(100));
+//! assert_eq!(series.len(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fabric::{NetObserver, Packet};
+use simcore::{BinnedSeries, GaugeSeries, Picos, SeriesPoint};
+
+/// Shared measurement state filled by a [`Probe`] during a run.
+#[derive(Debug)]
+pub struct ProbeState {
+    delivered: BinnedSeries,
+    injected: BinnedSeries,
+    saq_max_ingress: GaugeSeries,
+    saq_max_egress: GaugeSeries,
+    saq_total: GaugeSeries,
+    peak_saq_total: u32,
+    peak_saq_ingress: u32,
+    peak_saq_egress: u32,
+    root_events: Vec<(Picos, usize, usize, bool)>,
+}
+
+/// Read side of a probe; alive after the network consumed the observer.
+#[derive(Debug, Clone)]
+pub struct ProbeHandle(Rc<RefCell<ProbeState>>);
+
+/// The observer half: install into [`fabric::Network`] via
+/// `Box::new(probe)`.
+#[derive(Debug)]
+pub struct Probe(Rc<RefCell<ProbeState>>);
+
+impl Probe {
+    /// Creates a probe with the given series bin width (the paper uses a
+    /// few microseconds per point).
+    pub fn new(bin: Picos) -> (Probe, ProbeHandle) {
+        let state = Rc::new(RefCell::new(ProbeState {
+            delivered: BinnedSeries::new(bin),
+            injected: BinnedSeries::new(bin),
+            saq_max_ingress: GaugeSeries::new(bin),
+            saq_max_egress: GaugeSeries::new(bin),
+            saq_total: GaugeSeries::new(bin),
+            peak_saq_total: 0,
+            peak_saq_ingress: 0,
+            peak_saq_egress: 0,
+            root_events: Vec::new(),
+        }));
+        (Probe(state.clone()), ProbeHandle(state))
+    }
+}
+
+impl NetObserver for Probe {
+    fn on_injected(&mut self, now: Picos, pkt: &Packet) {
+        self.0.borrow_mut().injected.add(now, pkt.size as f64);
+    }
+
+    fn on_delivered(&mut self, now: Picos, pkt: &Packet) {
+        self.0.borrow_mut().delivered.add(now, pkt.size as f64);
+    }
+
+    fn on_saq_census(&mut self, now: Picos, max_ingress: u32, max_egress: u32, total: u32) {
+        let mut s = self.0.borrow_mut();
+        s.saq_max_ingress.set(now, max_ingress as f64);
+        s.saq_max_egress.set(now, max_egress as f64);
+        s.saq_total.set(now, total as f64);
+        s.peak_saq_total = s.peak_saq_total.max(total);
+        s.peak_saq_ingress = s.peak_saq_ingress.max(max_ingress);
+        s.peak_saq_egress = s.peak_saq_egress.max(max_egress);
+    }
+
+    fn on_root_change(&mut self, now: Picos, switch: usize, port: usize, active: bool) {
+        self.0.borrow_mut().root_events.push((now, switch, port, active));
+    }
+}
+
+impl ProbeHandle {
+    /// Delivered throughput in bytes/ns per bin, up to `horizon`.
+    pub fn throughput(&self, horizon: Picos) -> Vec<SeriesPoint> {
+        self.0.borrow().delivered.rate_per_ns(horizon)
+    }
+
+    /// Injected (offered) throughput in bytes/ns per bin.
+    pub fn offered(&self, horizon: Picos) -> Vec<SeriesPoint> {
+        self.0.borrow().injected.rate_per_ns(horizon)
+    }
+
+    /// Total bytes delivered.
+    pub fn delivered_bytes(&self) -> f64 {
+        self.0.borrow().delivered.total()
+    }
+
+    /// Per-bin maximum of "most SAQs at any switch input port".
+    pub fn saq_max_ingress(&self, horizon: Picos) -> Vec<SeriesPoint> {
+        self.0.borrow().saq_max_ingress.maxima_until(horizon)
+    }
+
+    /// Per-bin maximum of "most SAQs at any switch output port".
+    pub fn saq_max_egress(&self, horizon: Picos) -> Vec<SeriesPoint> {
+        self.0.borrow().saq_max_egress.maxima_until(horizon)
+    }
+
+    /// Per-bin maximum of the network-wide SAQ total.
+    pub fn saq_total(&self, horizon: Picos) -> Vec<SeriesPoint> {
+        self.0.borrow().saq_total.maxima_until(horizon)
+    }
+
+    /// Highest values observed over the whole run:
+    /// `(max ingress, max egress, max total)`.
+    pub fn saq_peaks(&self) -> (u32, u32, u32) {
+        let s = self.0.borrow();
+        (s.peak_saq_ingress, s.peak_saq_egress, s.peak_saq_total)
+    }
+
+    /// Chronological root activations/clears: `(time, switch, port, active)`.
+    pub fn root_events(&self) -> Vec<(Picos, usize, usize, bool)> {
+        self.0.borrow().root_events.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{HostId, Route};
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            id: 0,
+            src: HostId::new(0),
+            dst: HostId::new(1),
+            size,
+            route: Route::to_host(HostId::new(1), 4, 2),
+            injected_at: Picos::ZERO,
+            flow_seq: 0,
+        }
+    }
+
+    #[test]
+    fn probe_accumulates_throughput() {
+        let (mut probe, handle) = Probe::new(Picos::from_us(1));
+        let p = pkt(1000);
+        probe.on_delivered(Picos::from_ns(100), &p);
+        probe.on_delivered(Picos::from_ns(200), &p);
+        probe.on_injected(Picos::from_ns(100), &p);
+        let series = handle.throughput(Picos::from_us(2));
+        assert_eq!(series.len(), 2);
+        assert!((series[0].value - 2.0).abs() < 1e-12, "2000 B in 1000 ns");
+        assert_eq!(series[1].value, 0.0);
+        assert_eq!(handle.delivered_bytes(), 2000.0);
+        assert_eq!(handle.offered(Picos::from_us(1)).len(), 1);
+    }
+
+    #[test]
+    fn probe_tracks_saq_peaks() {
+        let (mut probe, handle) = Probe::new(Picos::from_us(1));
+        probe.on_saq_census(Picos::from_ns(10), 2, 1, 5);
+        probe.on_saq_census(Picos::from_ns(20), 1, 3, 9);
+        probe.on_saq_census(Picos::from_us(1) + Picos::from_ns(1), 0, 0, 0);
+        assert_eq!(handle.saq_peaks(), (2, 3, 9));
+        let total = handle.saq_total(Picos::from_us(3));
+        assert_eq!(total[0].value, 9.0);
+        // The gauge holds 9 into bin 1 before the drop, so that bin's
+        // maximum is still 9; the drop is visible from bin 2 on.
+        assert_eq!(total[1].value, 9.0);
+        assert_eq!(total[2].value, 0.0);
+    }
+
+    #[test]
+    fn probe_records_root_events() {
+        let (mut probe, handle) = Probe::new(Picos::from_us(1));
+        probe.on_root_change(Picos::from_ns(5), 3, 1, true);
+        probe.on_root_change(Picos::from_ns(9), 3, 1, false);
+        let ev = handle.root_events();
+        assert_eq!(ev.len(), 2);
+        assert!(ev[0].3 && !ev[1].3);
+    }
+}

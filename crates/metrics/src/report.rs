@@ -1,0 +1,184 @@
+//! Plain-text rendering of labeled series, shaped like the paper's plots:
+//! one time column plus one column per mechanism.
+
+use simcore::SeriesPoint;
+
+/// A named data series (one curve of a figure).
+#[derive(Debug, Clone)]
+pub struct Labeled {
+    /// Curve label (e.g. a scheme name).
+    pub label: String,
+    /// The points; all series of one table must share bin times.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Labeled {
+    /// Creates a labeled series.
+    pub fn new(label: impl Into<String>, points: Vec<SeriesPoint>) -> Labeled {
+        Labeled { label: label.into(), points }
+    }
+}
+
+/// Renders series as an aligned text table.
+///
+/// ```
+/// use metrics::report::{render_table, Labeled};
+/// use simcore::SeriesPoint;
+///
+/// let s = vec![Labeled::new("RECN", vec![SeriesPoint { t_us: 0.0, value: 24.9 }])];
+/// let out = render_table("throughput (bytes/ns)", &s);
+/// assert!(out.contains("RECN"));
+/// assert!(out.contains("24.90"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the series have inconsistent lengths.
+pub fn render_table(title: &str, series: &[Labeled]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    if series.is_empty() {
+        return out;
+    }
+    let len = series[0].points.len();
+    assert!(
+        series.iter().all(|s| s.points.len() == len),
+        "all series must share the time axis"
+    );
+    out.push_str(&format!("{:>10}", "t(us)"));
+    for s in series {
+        out.push_str(&format!(" {:>12}", s.label));
+    }
+    out.push('\n');
+    for i in 0..len {
+        out.push_str(&format!("{:>10.1}", series[0].points[i].t_us));
+        for s in series {
+            out.push_str(&format!(" {:>12.2}", s.points[i].value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as CSV (`t_us,label1,label2,...`).
+///
+/// # Panics
+///
+/// Panics if the series have inconsistent lengths.
+pub fn render_csv(series: &[Labeled]) -> String {
+    let mut out = String::new();
+    if series.is_empty() {
+        return out;
+    }
+    let len = series[0].points.len();
+    assert!(
+        series.iter().all(|s| s.points.len() == len),
+        "all series must share the time axis"
+    );
+    out.push_str("t_us");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    for i in 0..len {
+        out.push_str(&format!("{}", series[0].points[i].t_us));
+        for s in series {
+            out.push_str(&format!(",{}", s.points[i].value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Summarizes a series over a window: `(mean, min, max)` of values whose
+/// bin start lies in `[from_us, to_us)`.
+pub fn window_stats(points: &[SeriesPoint], from_us: f64, to_us: f64) -> (f64, f64, f64) {
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|p| p.t_us >= from_us && p.t_us < to_us)
+        .map(|p| p.value)
+        .collect();
+    if vals.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (mean, min, max)
+}
+
+/// Downsamples a series by keeping every `stride`-th point (for compact
+/// printouts of long runs).
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn thin(points: &[SeriesPoint], stride: usize) -> Vec<SeriesPoint> {
+    assert!(stride > 0, "stride must be positive");
+    points.iter().copied().step_by(stride).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(vals: &[f64]) -> Vec<SeriesPoint> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| SeriesPoint { t_us: i as f64 * 5.0, value: v })
+            .collect()
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let series = vec![
+            Labeled::new("1Q", pts(&[1.0, 2.0])),
+            Labeled::new("RECN", pts(&[3.0, 4.0])),
+        ];
+        let t = render_table("x", &series);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("1Q") && lines[1].contains("RECN"));
+        assert!(lines[3].contains("4.00"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let series = vec![Labeled::new("a", pts(&[1.5]))];
+        let c = render_csv(&series);
+        assert_eq!(c, "t_us,a\n0,1.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "share the time axis")]
+    fn mismatched_lengths_rejected() {
+        let series = vec![
+            Labeled::new("a", pts(&[1.0])),
+            Labeled::new("b", pts(&[1.0, 2.0])),
+        ];
+        let _ = render_table("x", &series);
+    }
+
+    #[test]
+    fn window_stats_filters() {
+        let p = pts(&[1.0, 2.0, 3.0, 4.0]); // at t = 0, 5, 10, 15
+        let (mean, min, max) = window_stats(&p, 5.0, 15.0);
+        assert_eq!((mean, min, max), (2.5, 2.0, 3.0));
+        assert_eq!(window_stats(&p, 100.0, 200.0), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn thin_strides() {
+        let p = pts(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let t = thin(&p, 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].value, 2.0);
+    }
+
+    #[test]
+    fn empty_series_render() {
+        assert_eq!(render_table("t", &[]), "# t\n");
+        assert_eq!(render_csv(&[]), "");
+    }
+}

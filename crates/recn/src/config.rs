@@ -1,0 +1,162 @@
+//! RECN tunables.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the RECN mechanism at every port.
+///
+/// The paper specifies the *structure* of the thresholds (detection,
+/// propagation, Xon/Xoff, drain boost) but not concrete byte values; the
+/// defaults here are the values used by our experiment reproduction and are
+/// expressed as fractions of the paper's 128 KB per-port memory.
+///
+/// Construct with [`RecnConfig::default`] and override fields through the
+/// with-methods:
+///
+/// ```
+/// use recn::RecnConfig;
+/// let cfg = RecnConfig::default().with_max_saqs(64).with_detection_threshold(16 * 1024);
+/// assert_eq!(cfg.max_saqs, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecnConfig {
+    /// SAQs (= CAM lines) per port. The paper evaluates 8 and states that 64
+    /// fit in the reclaimed VOQ RAM of their switch design.
+    pub max_saqs: usize,
+    /// Output-port normal-queue occupancy (bytes) at which the port becomes
+    /// the root of a congestion tree.
+    pub detection_threshold: u64,
+    /// SAQ occupancy (bytes) at which the congestion notification is
+    /// propagated one hop further upstream.
+    pub propagation_threshold: u64,
+    /// SAQ occupancy (bytes) at which Xoff is sent to the upstream SAQ.
+    /// Must be at least `xon_threshold`.
+    pub xoff_threshold: u64,
+    /// SAQ occupancy (bytes) below which Xon re-enables the upstream SAQ.
+    pub xon_threshold: u64,
+    /// A SAQ holding at most this many packets *and* owning its token gets
+    /// highest arbitration priority, so lingering SAQs drain and deallocate
+    /// quickly (paper §3.8).
+    pub drain_boost_pkts: u32,
+    /// Root clears when its normal queue drops below this many bytes (and
+    /// all tokens have returned). Usually below `detection_threshold` to
+    /// give the root detector hysteresis.
+    pub root_clear_threshold: u64,
+}
+
+impl Default for RecnConfig {
+    fn default() -> Self {
+        RecnConfig {
+            max_saqs: 8,
+            detection_threshold: 32 * 1024,
+            propagation_threshold: 8 * 1024,
+            xoff_threshold: 16 * 1024,
+            xon_threshold: 4 * 1024,
+            drain_boost_pkts: 2,
+            root_clear_threshold: 16 * 1024,
+        }
+    }
+}
+
+impl RecnConfig {
+    /// Returns the config with a different SAQ pool size.
+    pub fn with_max_saqs(mut self, n: usize) -> Self {
+        self.max_saqs = n;
+        self
+    }
+
+    /// Returns the config with a different detection threshold (bytes).
+    pub fn with_detection_threshold(mut self, bytes: u64) -> Self {
+        self.detection_threshold = bytes;
+        self.root_clear_threshold = self.root_clear_threshold.min(bytes);
+        self
+    }
+
+    /// Returns the config with a different propagation threshold (bytes).
+    pub fn with_propagation_threshold(mut self, bytes: u64) -> Self {
+        self.propagation_threshold = bytes;
+        self
+    }
+
+    /// Returns the config with different Xoff/Xon thresholds (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xoff < xon`.
+    pub fn with_xoff_xon(mut self, xoff: u64, xon: u64) -> Self {
+        assert!(xoff >= xon, "xoff threshold must be at least xon threshold");
+        self.xoff_threshold = xoff;
+        self.xon_threshold = xon;
+        self
+    }
+
+    /// Returns the config with a different drain-boost packet count.
+    pub fn with_drain_boost(mut self, pkts: u32) -> Self {
+        self.drain_boost_pkts = pkts;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are inconsistent (xoff < xon, clear > detect,
+    /// or an empty SAQ pool).
+    pub fn validate(&self) {
+        assert!(self.max_saqs >= 1, "need at least one SAQ");
+        assert!(self.max_saqs <= 64, "paper hardware bounds the CAM at 64 lines");
+        assert!(
+            self.xoff_threshold >= self.xon_threshold,
+            "xoff threshold must be at least xon threshold"
+        );
+        assert!(
+            self.root_clear_threshold <= self.detection_threshold,
+            "root hysteresis must not exceed the detection threshold"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RecnConfig::default().validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = RecnConfig::default()
+            .with_max_saqs(16)
+            .with_detection_threshold(1024)
+            .with_propagation_threshold(256)
+            .with_xoff_xon(512, 128)
+            .with_drain_boost(4);
+        assert_eq!(cfg.max_saqs, 16);
+        assert_eq!(cfg.detection_threshold, 1024);
+        assert_eq!(cfg.propagation_threshold, 256);
+        assert_eq!(cfg.xoff_threshold, 512);
+        assert_eq!(cfg.xon_threshold, 128);
+        assert_eq!(cfg.drain_boost_pkts, 4);
+        cfg.validate();
+    }
+
+    #[test]
+    fn detection_override_keeps_hysteresis_consistent() {
+        let cfg = RecnConfig::default().with_detection_threshold(1000);
+        assert!(cfg.root_clear_threshold <= cfg.detection_threshold);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "xoff threshold must be at least xon")]
+    fn inverted_xoff_xon_panics() {
+        let _ = RecnConfig::default().with_xoff_xon(10, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SAQ")]
+    fn zero_saqs_invalid() {
+        RecnConfig::default().with_max_saqs(0).validate();
+    }
+}

@@ -1,0 +1,225 @@
+//! Property tests for the RECN state machines: the CAM must agree with a
+//! naive longest-prefix matcher under arbitrary allocate/free/match
+//! sequences, and a randomly driven port must keep its token/marker
+//! bookkeeping consistent.
+
+use proptest::prelude::*;
+use recn::{CamTable, Classify, NotifOutcome, RecnConfig, RecnPort};
+use topology::PathSpec;
+
+#[derive(Debug, Clone)]
+enum CamOp {
+    Alloc(Vec<u8>),
+    FreeNth(usize),
+    Match(Vec<u8>),
+}
+
+fn cam_ops() -> impl Strategy<Value = Vec<CamOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(0u8..4, 0..5).prop_map(CamOp::Alloc),
+            (0usize..16).prop_map(CamOp::FreeNth),
+            prop::collection::vec(0u8..4, 0..6).prop_map(CamOp::Match),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    /// CamTable versus a naive Vec<(path, id)> model.
+    #[test]
+    fn cam_matches_naive_model(ops in cam_ops()) {
+        let mut cam = CamTable::new(8);
+        let mut model: Vec<(Vec<u8>, recn::SaqId)> = Vec::new();
+        for op in ops {
+            match op {
+                CamOp::Alloc(path) => {
+                    let spec = PathSpec::from_turns(&path);
+                    if model.iter().any(|(p, _)| *p == path) {
+                        prop_assert!(cam.find_path(&spec).is_some());
+                        continue;
+                    }
+                    match cam.allocate(spec) {
+                        Some(id) => {
+                            prop_assert!(model.len() < 8);
+                            model.push((path, id));
+                        }
+                        None => prop_assert_eq!(model.len(), 8),
+                    }
+                }
+                CamOp::FreeNth(n) => {
+                    if !model.is_empty() {
+                        let (_, id) = model.remove(n % model.len());
+                        cam.free(id);
+                        prop_assert!(!cam.is_live(id));
+                    }
+                }
+                CamOp::Match(rem) => {
+                    let naive = model
+                        .iter()
+                        .filter(|(p, _)| rem.len() >= p.len() && rem[..p.len()] == p[..])
+                        .max_by_key(|(p, _)| p.len())
+                        .map(|(_, id)| *id);
+                    prop_assert_eq!(cam.longest_match(&rem), naive);
+                }
+            }
+            prop_assert_eq!(cam.in_use(), model.len());
+        }
+    }
+}
+
+/// Random single-port protocol driving: an ingress port receives
+/// notifications, packets, token returns and marker consumptions in
+/// arbitrary order; the invariants must hold throughout and every SAQ must
+/// be reclaimable at the end.
+#[derive(Debug, Clone)]
+enum PortOp {
+    Notify(Vec<u8>),
+    Enqueue(usize, u16),
+    Dequeue(usize),
+    ConsumeMarker(usize),
+    TokenFromUpstream(usize),
+}
+
+fn port_ops() -> impl Strategy<Value = Vec<PortOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(0u8..4, 1..4).prop_map(PortOp::Notify),
+            (0usize..8, 1u16..2000).prop_map(|(i, b)| PortOp::Enqueue(i, b)),
+            (0usize..8).prop_map(PortOp::Dequeue),
+            (0usize..8).prop_map(PortOp::ConsumeMarker),
+            (0usize..8).prop_map(PortOp::TokenFromUpstream),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn ingress_port_protocol_invariants(ops in port_ops()) {
+        let cfg = RecnConfig {
+            max_saqs: 8,
+            detection_threshold: 4000,
+            propagation_threshold: 1500,
+            xoff_threshold: 3000,
+            xon_threshold: 500,
+            drain_boost_pkts: 2,
+            root_clear_threshold: 2000,
+        };
+        let mut port = RecnPort::new_ingress(cfg);
+        // Shadow model per live SAQ: (queue of packet sizes, markers left,
+        // upstream child outstanding).
+        let mut live: Vec<(recn::SaqId, Vec<u16>, u32, bool)> = Vec::new();
+
+        for op in ops {
+            match op {
+                PortOp::Notify(path) => {
+                    let spec = PathSpec::from_turns(&path);
+                    match port.alloc_on_notification(spec) {
+                        NotifOutcome::Accepted { saq } => {
+                            let markers = 1 + port.marker_plan(saq).len() as u32;
+                            live.push((saq, Vec::new(), markers, false));
+                        }
+                        NotifOutcome::AlreadyPresent { saq } => {
+                            prop_assert!(port.is_live(saq));
+                        }
+                        NotifOutcome::Rejected => {
+                            prop_assert_eq!(port.saqs_in_use(), 8);
+                        }
+                    }
+                }
+                PortOp::Enqueue(i, bytes) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (saq, q, _, child) = &mut live[idx];
+                        let signals = port.saq_enqueued(*saq, bytes as u64);
+                        q.push(bytes);
+                        if signals.propagate.is_some() {
+                            prop_assert!(!*child, "no double propagation");
+                            *child = true;
+                        }
+                    }
+                }
+                PortOp::Dequeue(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (saq, q, markers, child) = &mut live[idx];
+                        // Only unblocked, nonempty SAQs may transmit.
+                        if *markers == 0 && !q.is_empty() {
+                            let bytes = q.remove(0);
+                            let signals = port.saq_dequeued(*saq, bytes as u64);
+                            if signals.deallocatable {
+                                prop_assert!(q.is_empty());
+                                prop_assert!(!*child);
+                                let saq = *saq;
+                                live.remove(idx);
+                                port.dealloc(saq);
+                            }
+                        }
+                    }
+                }
+                PortOp::ConsumeMarker(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (saq, q, markers, child) = &mut live[idx];
+                        if *markers > 0 {
+                            let ready = port.marker_consumed(*saq);
+                            *markers -= 1;
+                            // Ready only when unblocked, empty, leaf, used.
+                            if ready {
+                                prop_assert_eq!(*markers, 0);
+                                prop_assert!(q.is_empty());
+                                prop_assert!(!*child);
+                                let saq = *saq;
+                                live.remove(idx);
+                                port.dealloc(saq);
+                            }
+                        }
+                    }
+                }
+                PortOp::TokenFromUpstream(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (saq, q, markers, child) = &mut live[idx];
+                        if *child {
+                            let path = port.path_of(*saq);
+                            *child = false;
+                            if let Some(d) = port.on_token_from_upstream(path) {
+                                prop_assert_eq!(d, *saq);
+                                prop_assert!(q.is_empty() && *markers == 0);
+                                let saq = *saq;
+                                live.remove(idx);
+                                port.dealloc(saq);
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(port.saqs_in_use(), live.len());
+        }
+
+        // Drain everything: consume markers, return tokens, dequeue.
+        while let Some((saq, mut q, mut markers, mut child)) = live.pop() {
+            while markers > 0 {
+                port.marker_consumed(saq);
+                markers -= 1;
+            }
+            if child {
+                let path = port.path_of(saq);
+                port.on_token_from_upstream(path);
+                child = false;
+            }
+            let _ = child;
+            while let Some(bytes) = q.pop() {
+                port.saq_dequeued(saq, bytes as u64);
+            }
+            if port.is_live(saq) {
+                // Idle (never-used) or freshly drained: both must satisfy
+                // the reclaim predicate now.
+                prop_assert!(port.is_empty_leaf(saq), "SAQ not reclaimable at drain");
+                port.dealloc(saq);
+            }
+        }
+        prop_assert_eq!(port.saqs_in_use(), 0);
+    }
+}

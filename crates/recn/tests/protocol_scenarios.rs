@@ -1,0 +1,340 @@
+//! Scripted end-to-end protocol scenarios over *pure* RECN state machines:
+//! a miniature two-switch pipeline is wired out of `RecnPort`s with no
+//! simulator underneath, and complete congestion-tree lifecycles are
+//! driven through it — growth across both hop types, Xoff/Xon chains,
+//! branch-token collection, rejection handling, and teardown ordering.
+//!
+//! The fabric crate tests the same protocol with timing and buffering; the
+//! value here is that every step is explicit, so a regression pinpoints
+//! the exact protocol transition that broke.
+
+use recn::{Classify, NotifOutcome, RecnConfig, RecnPort, SaqId, TokenDest};
+use topology::PathSpec;
+
+fn cfg() -> RecnConfig {
+    RecnConfig {
+        max_saqs: 4,
+        detection_threshold: 1000,
+        propagation_threshold: 300,
+        xoff_threshold: 600,
+        xon_threshold: 150,
+        drain_boost_pkts: 2,
+        root_clear_threshold: 500,
+    }
+}
+
+fn accept(o: NotifOutcome) -> SaqId {
+    match o {
+        NotifOutcome::Accepted { saq } => saq,
+        other => panic!("expected acceptance, got {other:?}"),
+    }
+}
+
+/// A two-switch pipeline around one congested egress port:
+///
+/// ```text
+/// NIC ─▶ [up_in ─ up_eg] ─link─ [down_in ─ down_eg(=hotspot root)]
+/// ```
+///
+/// Only the RECN control state is modeled; "packets" are byte counts fed
+/// to the enqueue/dequeue hooks.
+struct Pipeline {
+    nic: RecnPort,
+    up_in: RecnPort,
+    up_eg: RecnPort,
+    down_in: RecnPort,
+    down_eg: RecnPort,
+}
+
+impl Pipeline {
+    fn new() -> Pipeline {
+        Pipeline {
+            nic: RecnPort::new_nic_injection(cfg()),
+            up_in: RecnPort::new_ingress(cfg()),
+            // The upstream egress is port 1 of its switch; the packets'
+            // turn toward the root at the downstream switch is 2.
+            up_eg: RecnPort::new_egress(cfg(), 1),
+            down_in: RecnPort::new_ingress(cfg()),
+            down_eg: RecnPort::new_egress(cfg(), 2),
+        }
+    }
+}
+
+/// Full lifecycle: detection at the root, notification hop by hop to the
+/// NIC, Xoff chain, then teardown leaf-to-root with token accounting.
+#[test]
+fn full_tree_lifecycle_across_two_switches() {
+    let mut p = Pipeline::new();
+
+    // 1. Root detection at the downstream egress.
+    assert!(p.down_eg.normal_occupancy_changed(1000).is_some());
+    assert!(p.down_eg.is_root());
+
+    // 2. A packet forwarded from down_in (input 0) triggers the internal
+    //    notification with path [2] (the root's turn).
+    let n = p.down_eg.on_forward_from_input(0, Classify::Normal);
+    let path_at_down_in = n.root.expect("root notifies first forwarder");
+    assert_eq!(path_at_down_in, PathSpec::from_turns(&[2]));
+    let down_saq = accept(p.down_in.alloc_on_notification(path_at_down_in));
+    // The marker plan for a first SAQ is just the normal queue.
+    assert!(p.down_in.marker_plan(down_saq).is_empty());
+    assert!(!p.down_in.marker_consumed(down_saq), "never-used SAQ stays");
+
+    // 3. The ingress SAQ fills past the propagation threshold and notifies
+    //    the upstream egress across the link (path unchanged).
+    let sig = p.down_in.saq_enqueued(down_saq, 350);
+    assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[2])));
+    let up_saq = accept(p.up_eg.alloc_on_notification(PathSpec::from_turns(&[2])));
+    assert!(p.down_in.on_upstream_ack(PathSpec::from_turns(&[2]), up_saq.line() as u8) == false);
+
+    // 4. The upstream egress SAQ fills and switches to notify-on-forward;
+    //    forwarding from up_in extends the path with the egress turn (1).
+    assert!(!p.up_eg.marker_consumed(up_saq));
+    p.up_eg.saq_enqueued(up_saq, 350);
+    let n = p.up_eg.on_forward_from_input(3, Classify::Saq(up_saq));
+    let path_at_up_in = n.tree.expect("propagating SAQ notifies");
+    assert_eq!(path_at_up_in, PathSpec::from_turns(&[1, 2]));
+    let up_in_saq = accept(p.up_in.alloc_on_notification(path_at_up_in));
+
+    // 5. And one more hop to the NIC injection port.
+    p.up_in.marker_consumed(up_in_saq);
+    let sig = p.up_in.saq_enqueued(up_in_saq, 400);
+    assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[1, 2])));
+    let nic_saq = accept(p.nic.alloc_on_notification(PathSpec::from_turns(&[1, 2])));
+    assert!(p.up_in.on_upstream_ack(PathSpec::from_turns(&[1, 2]), nic_saq.line() as u8) == false);
+
+    // 6. Xoff chain: down_in crosses its Xoff threshold.
+    let sig = p.down_in.saq_enqueued(down_saq, 300); // 650 >= 600
+    assert!(sig.xoff, "must throttle the upstream SAQ");
+    p.up_eg.set_remote_xoff(PathSpec::from_turns(&[2]), true);
+    assert!(!p.up_eg.may_transmit(up_saq));
+
+    // 7. Drain downstream (already unblocked in step 2); Xon released when
+    //    occupancy falls below the threshold.
+    let sig = p.down_in.saq_dequeued(down_saq, 550); // 100 < 150
+    assert!(sig.xon);
+    p.up_eg.set_remote_xoff(PathSpec::from_turns(&[2]), false);
+    assert!(p.up_eg.may_transmit(up_saq));
+
+    // 8. Teardown, leaf to root. The NIC SAQ is used then drains empty.
+    p.nic.marker_consumed(nic_saq);
+    p.nic.saq_enqueued(nic_saq, 64);
+    assert!(p.nic.saq_dequeued(nic_saq, 64).deallocatable);
+    let act = p.nic.dealloc(nic_saq);
+    assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[1, 2]) });
+
+    // up_in receives the token, drains, deallocates toward up_eg.
+    let ready = p.up_in.on_token_from_upstream(PathSpec::from_turns(&[1, 2]));
+    assert!(ready.is_none(), "still holds 400 bytes");
+    assert!(p.up_in.saq_dequeued(up_in_saq, 400).deallocatable);
+    let act = p.up_in.dealloc(up_in_saq);
+    let TokenDest::EgressSameSwitch { out_port, path_at_egress } = act.token_to else {
+        panic!("ingress token stays in-switch");
+    };
+    assert_eq!(out_port, 1);
+    assert_eq!(path_at_egress, PathSpec::from_turns(&[2]));
+
+    // up_eg collects the branch token, drains, deallocates across the link.
+    let (_, dealloc) = p.up_eg.on_token_from_input(3, path_at_egress);
+    assert!(dealloc.is_none(), "up_eg still holds bytes");
+    assert!(p.up_eg.saq_dequeued(up_saq, 350).deallocatable);
+    let act = p.up_eg.dealloc(up_saq);
+    assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[2]) });
+
+    // down_in gets the token back, drains the rest, returns to the root.
+    assert!(p.down_in.on_token_from_upstream(PathSpec::from_turns(&[2])).is_none());
+    assert!(p.down_in.saq_dequeued(down_saq, 100).deallocatable);
+    let act = p.down_in.dealloc(down_saq);
+    assert_eq!(
+        act.token_to,
+        TokenDest::EgressSameSwitch { out_port: 2, path_at_egress: PathSpec::EMPTY }
+    );
+
+    // Root: token home + queue drained = tree gone.
+    let (change, _) = p.down_eg.on_token_from_input(0, PathSpec::EMPTY);
+    assert!(change.is_none(), "occupancy still above the clear threshold");
+    assert!(p.down_eg.normal_occupancy_changed(100).is_some(), "root clears");
+    assert!(!p.down_eg.is_root());
+
+    // Everything reclaimed.
+    for port in [&p.nic, &p.up_in, &p.up_eg, &p.down_in, &p.down_eg] {
+        assert_eq!(port.saqs_in_use(), 0);
+    }
+}
+
+/// Two roots on different egress ports of one switch: the shared input
+/// port holds one SAQ per tree and classifies by first turn.
+#[test]
+fn parallel_trees_share_an_input_port() {
+    let mut input = RecnPort::new_ingress(cfg());
+    let mut eg_a = RecnPort::new_egress(cfg(), 0);
+    let mut eg_b = RecnPort::new_egress(cfg(), 3);
+    eg_a.normal_occupancy_changed(1200);
+    eg_b.normal_occupancy_changed(1200);
+
+    let na = eg_a.on_forward_from_input(1, Classify::Normal).root.unwrap();
+    let nb = eg_b.on_forward_from_input(1, Classify::Normal).root.unwrap();
+    let sa = accept(input.alloc_on_notification(na));
+    let sb = accept(input.alloc_on_notification(nb));
+    // Disjoint paths: no nesting, each gets only the normal-queue marker.
+    assert!(input.marker_plan(sa).is_empty());
+    assert!(input.marker_plan(sb).is_empty());
+    assert_eq!(input.classify(&[0, 2]), Classify::Saq(sa));
+    assert_eq!(input.classify(&[3, 2]), Classify::Saq(sb));
+    assert_eq!(input.classify(&[1, 2]), Classify::Normal);
+
+    // Independent teardown.
+    input.marker_consumed(sa);
+    input.saq_enqueued(sa, 10);
+    assert!(input.saq_dequeued(sa, 10).deallocatable);
+    input.dealloc(sa);
+    assert_eq!(input.classify(&[0, 2]), Classify::Normal, "tree A gone");
+    assert_eq!(input.classify(&[3, 2]), Classify::Saq(sb), "tree B unaffected");
+}
+
+/// Nested trees: allocating the deeper path after the shallower one makes
+/// the marker plan include the prefix SAQ; classification prefers the
+/// longest match while both live and falls back after teardown.
+#[test]
+fn nested_trees_marker_plan_and_fallback() {
+    let mut input = RecnPort::new_ingress(cfg());
+    let shallow = accept(input.alloc_on_notification(PathSpec::from_turns(&[2])));
+    input.marker_consumed(shallow);
+    let deep = accept(input.alloc_on_notification(PathSpec::from_turns(&[2, 1])));
+    assert_eq!(input.marker_plan(deep), vec![shallow], "prefix SAQ gets a marker");
+
+    // Two markers outstanding: normal queue + the shallow SAQ's queue.
+    assert!(input.is_blocked(deep));
+    assert!(!input.marker_consumed(deep), "one marker left");
+    assert!(input.is_blocked(deep));
+    assert!(!input.marker_consumed(deep), "unblocked but never used");
+    assert!(!input.is_blocked(deep));
+
+    assert_eq!(input.classify(&[2, 1, 0]), Classify::Saq(deep));
+    assert_eq!(input.classify(&[2, 0, 0]), Classify::Saq(shallow));
+
+    // Tear down the deep tree; its flows fall back to the shallow SAQ.
+    input.saq_enqueued(deep, 64);
+    assert!(input.saq_dequeued(deep, 64).deallocatable);
+    input.dealloc(deep);
+    assert_eq!(input.classify(&[2, 1, 0]), Classify::Saq(shallow));
+}
+
+/// Rejection at a full CAM returns the token without disturbing the tree,
+/// and the egress keeps its notified flag so there is no notification
+/// storm.
+#[test]
+fn rejection_keeps_tree_consistent() {
+    let small = RecnConfig { max_saqs: 1, ..cfg() };
+    let mut input = RecnPort::new_ingress(small);
+    let mut egress = RecnPort::new_egress(small, 0);
+    egress.normal_occupancy_changed(1200);
+
+    // First tree takes the only line.
+    let other = accept(input.alloc_on_notification(PathSpec::from_turns(&[3])));
+    let path = egress.on_forward_from_input(2, Classify::Normal).root.unwrap();
+    assert_eq!(input.alloc_on_notification(path), NotifOutcome::Rejected);
+    // Token returns as a rejection: flag stays, no re-notify on the next
+    // forward from the same input.
+    let (change, dealloc) = egress.on_token_rejected_from_input(2, PathSpec::EMPTY);
+    assert!(change.is_none() && dealloc.is_none());
+    assert!(egress.on_forward_from_input(2, Classify::Normal).is_empty());
+    // A different input still gets notified.
+    assert!(egress.on_forward_from_input(3, Classify::Normal).root.is_some());
+
+    // The unrelated tree is untouched.
+    assert!(input.is_live(other));
+}
+
+/// Re-congestion while a tree is tearing down: the flag cleared by a token
+/// return allows a fresh notification and a fresh SAQ generation.
+#[test]
+fn recongestion_after_token_return() {
+    let mut input = RecnPort::new_ingress(cfg());
+    let mut egress = RecnPort::new_egress(cfg(), 0);
+    egress.normal_occupancy_changed(1200);
+
+    let path = egress.on_forward_from_input(0, Classify::Normal).root.unwrap();
+    let saq1 = accept(input.alloc_on_notification(path));
+    input.marker_consumed(saq1);
+    input.saq_enqueued(saq1, 64);
+    assert!(input.saq_dequeued(saq1, 64).deallocatable);
+    let act = input.dealloc(saq1);
+    let TokenDest::EgressSameSwitch { out_port, path_at_egress } = act.token_to else {
+        panic!("in-switch token expected");
+    };
+    let (change, _) = egress.on_token_from_input(out_port as usize, path_at_egress);
+    // Wait: token came from input 0; the egress clears that input's flag.
+    assert!(change.is_none(), "queue still above clear threshold");
+
+    // Congestion persists: the next forward re-notifies input 0.
+    let n2 = egress.on_forward_from_input(0, Classify::Normal);
+    let saq2 = accept(input.alloc_on_notification(n2.root.unwrap()));
+    assert_ne!(saq1, saq2, "fresh generation");
+    assert!(!input.is_live(saq1));
+    assert!(input.is_live(saq2));
+}
+
+/// Branch tokens: an egress SAQ that notified several inputs only
+/// deallocates after every branch returned its token — mixed acceptance
+/// and rejection included.
+#[test]
+fn branch_tokens_with_mixed_outcomes() {
+    let small = RecnConfig { max_saqs: 1, ..cfg() };
+    let mut egress = RecnPort::new_egress(cfg(), 1);
+    let mut in_full = RecnPort::new_ingress(small);
+    let mut in_free = RecnPort::new_ingress(cfg());
+    // Make in_full's CAM full.
+    let _occupier = accept(in_full.alloc_on_notification(PathSpec::from_turns(&[0])));
+
+    let tree = accept(egress.alloc_on_notification(PathSpec::from_turns(&[3])));
+    assert!(!egress.marker_consumed(tree));
+    egress.saq_enqueued(tree, 400); // propagating
+
+    let n0 = egress.on_forward_from_input(0, Classify::Saq(tree)).tree.unwrap();
+    let n1 = egress.on_forward_from_input(1, Classify::Saq(tree)).tree.unwrap();
+    assert_eq!(n0, PathSpec::from_turns(&[1, 3]));
+
+    // Input 0 rejects; input 1 accepts.
+    assert_eq!(in_full.alloc_on_notification(n0), NotifOutcome::Rejected);
+    let (_, d) = egress.on_token_rejected_from_input(0, PathSpec::from_turns(&[3]));
+    assert!(d.is_none());
+    let child = accept(in_free.alloc_on_notification(n1));
+
+    // Egress drains empty but must wait for input 1's token.
+    assert!(!egress.saq_dequeued(tree, 400).deallocatable);
+
+    // Input 1 tears down (used once) and returns its token.
+    in_free.marker_consumed(child);
+    in_free.saq_enqueued(child, 64);
+    assert!(in_free.saq_dequeued(child, 64).deallocatable);
+    let act = in_free.dealloc(child);
+    let TokenDest::EgressSameSwitch { path_at_egress, .. } = act.token_to else {
+        panic!("in-switch token expected");
+    };
+    let (_, dealloc) = egress.on_token_from_input(1, path_at_egress);
+    assert_eq!(dealloc, Some(tree), "all branches home, empty: tear down");
+    let act = egress.dealloc(tree);
+    assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[3]) });
+}
+
+/// The drain-boost rule kicks in exactly when a lingering SAQ owns its
+/// token and holds at most `drain_boost_pkts` packets.
+#[test]
+fn drain_boost_window() {
+    let mut input = RecnPort::new_ingress(cfg());
+    let saq = accept(input.alloc_on_notification(PathSpec::from_turns(&[2])));
+    input.marker_consumed(saq);
+    for _ in 0..3 {
+        input.saq_enqueued(saq, 64);
+    }
+    assert!(!input.drain_boost(saq), "3 packets > boost window of 2");
+    input.saq_dequeued(saq, 64);
+    assert!(input.drain_boost(saq), "2 packets, token owned");
+    // Spawning an upstream child suspends the boost until the token is home.
+    input.saq_enqueued(saq, 400); // crosses propagation threshold
+    assert!(!input.drain_boost(saq));
+    input.on_token_from_upstream(PathSpec::from_turns(&[2]));
+    input.saq_dequeued(saq, 400);
+    assert!(input.drain_boost(saq));
+}

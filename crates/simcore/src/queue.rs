@@ -1,0 +1,177 @@
+//! Stable event priority queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Picos;
+
+/// An event with its scheduled delivery time and a tie-breaking sequence
+/// number assigned at insertion.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Delivery time.
+    pub time: Picos,
+    /// Insertion sequence; earlier insertions fire first at equal times.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+/// Min-heap wrapper ordered by `(time, seq)`.
+struct Entry<E>(ScheduledEvent<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest first.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
+/// A stable priority queue of simulation events.
+///
+/// Events are delivered in nondecreasing time order; events scheduled for
+/// the same instant are delivered in the order they were scheduled. This
+/// stability is what makes multi-component simulations reproducible.
+///
+/// ```
+/// use simcore::{EventQueue, Picos};
+/// let mut q = EventQueue::new();
+/// q.schedule(Picos::from_ns(5), "b");
+/// q.schedule(Picos::from_ns(1), "a");
+/// q.schedule(Picos::from_ns(5), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("time", &self.0.time)
+            .field("seq", &self.0.seq)
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `event` for delivery at `time`.
+    pub fn schedule(&mut self, time: Picos, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry(ScheduledEvent { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Picos> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for engine statistics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_ns(30), 3);
+        q.schedule(Picos::from_ns(10), 1);
+        q.schedule(Picos::from_ns(20), 2);
+        assert_eq!(q.peek_time(), Some(Picos::from_ns(10)));
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Picos::from_ns(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            let ev = q.pop().unwrap();
+            assert_eq!(ev.event, i);
+            assert_eq!(ev.time, t);
+        }
+    }
+
+    #[test]
+    fn counters_track_inserts() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Picos::ZERO, ());
+        q.schedule(Picos::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_stable() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_ns(5), "first@5");
+        q.schedule(Picos::from_ns(1), "only@1");
+        assert_eq!(q.pop().unwrap().event, "only@1");
+        // Scheduled later but same time as the remaining one: must come after.
+        q.schedule(Picos::from_ns(5), "second@5");
+        assert_eq!(q.pop().unwrap().event, "first@5");
+        assert_eq!(q.pop().unwrap().event, "second@5");
+    }
+}

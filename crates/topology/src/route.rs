@@ -1,0 +1,198 @@
+//! Destination-tag routes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::HostId;
+
+/// Maximum number of stages supported (fixed so routes are inline/`Copy`).
+/// Eight radix-4 stages address 65 536 hosts — far beyond the paper's nets.
+pub const MAX_STAGES: usize = 8;
+
+/// The turn sequence a packet carries: one output-port digit per stage,
+/// most significant first, plus a cursor over the digits already consumed.
+///
+/// In a delta MIN with deterministic routing the turns are exactly the
+/// base-`k` digits of the destination address, so the "turnpool" in a packet
+/// header is derived from the destination — this type materializes it once
+/// at injection.
+///
+/// ```
+/// use topology::{HostId, Route};
+/// // Destination 27 in a 3-stage radix-4 MIN: 27 = 1*16 + 2*4 + 3.
+/// let r = Route::to_host(HostId::new(27), 4, 3);
+/// assert_eq!(r.remaining(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    digits: [u8; MAX_STAGES],
+    len: u8,
+    pos: u8,
+    dest: HostId,
+}
+
+impl Route {
+    /// Builds the route to `dest` for a MIN with the given switch radix and
+    /// stage count: digit *s* is `(dest / radix^(stages-1-s)) % radix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` exceeds [`MAX_STAGES`], `radix < 2`, or the
+    /// destination is not addressable in `stages` digits.
+    pub fn to_host(dest: HostId, radix: u32, stages: usize) -> Route {
+        assert!(stages <= MAX_STAGES, "too many stages");
+        assert!(radix >= 2, "radix must be at least 2");
+        let capacity = (radix as u64).pow(stages as u32);
+        assert!(
+            (dest.index() as u64) < capacity,
+            "destination {dest} not addressable in {stages} base-{radix} digits"
+        );
+        let mut digits = [0u8; MAX_STAGES];
+        let mut v = dest.index() as u64;
+        for s in (0..stages).rev() {
+            digits[s] = (v % radix as u64) as u8;
+            v /= radix as u64;
+        }
+        Route { digits, len: stages as u8, pos: 0, dest }
+    }
+
+    /// The destination host.
+    pub fn dest(&self) -> HostId {
+        self.dest
+    }
+
+    /// Total number of turns (network stages).
+    pub fn stages(&self) -> usize {
+        self.len as usize
+    }
+
+    /// How many turns have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos as usize
+    }
+
+    /// The turns not yet taken; the first element is the output port the
+    /// packet will request at the switch it is currently entering.
+    pub fn remaining(&self) -> &[u8] {
+        &self.digits[self.pos as usize..self.len as usize]
+    }
+
+    /// The full turn sequence regardless of progress.
+    pub fn all_turns(&self) -> &[u8] {
+        &self.digits[..self.len as usize]
+    }
+
+    /// The next turn (output port at the current switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is exhausted.
+    pub fn next_turn(&self) -> u8 {
+        self.remaining()
+            .first()
+            .copied()
+            .expect("route already exhausted")
+    }
+
+    /// Consumes one turn, returning it. Called when the packet is switched
+    /// from an input port to the chosen output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is exhausted.
+    pub fn advance(&mut self) -> u8 {
+        let t = self.next_turn();
+        self.pos += 1;
+        t
+    }
+
+    /// Whether all turns have been consumed (packet is at its last-stage
+    /// output, about to be delivered).
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.len
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "->{}[", self.dest)?;
+        for (i, d) in self.all_turns().iter().enumerate() {
+            if i == self.pos as usize {
+                write!(f, "*")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_msb_first() {
+        let r = Route::to_host(HostId::new(57), 4, 3); // 57 = 3*16 + 2*4 + 1
+        assert_eq!(r.remaining(), &[3, 2, 1]);
+        assert_eq!(r.dest(), HostId::new(57));
+        assert_eq!(r.stages(), 3);
+    }
+
+    #[test]
+    fn leading_digit_small_for_non_power() {
+        // 512 hosts, 5 radix-4 stages: leading digit is dest/256 in {0,1}.
+        let r = Route::to_host(HostId::new(511), 4, 5);
+        assert_eq!(r.remaining(), &[1, 3, 3, 3, 3]);
+        let r0 = Route::to_host(HostId::new(0), 4, 5);
+        assert_eq!(r0.remaining(), &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn advance_consumes_in_order() {
+        let mut r = Route::to_host(HostId::new(27), 4, 3);
+        assert_eq!(r.next_turn(), 1);
+        assert_eq!(r.advance(), 1);
+        assert_eq!(r.consumed(), 1);
+        assert_eq!(r.remaining(), &[2, 3]);
+        assert_eq!(r.advance(), 2);
+        assert_eq!(r.advance(), 3);
+        assert!(r.is_exhausted());
+        assert_eq!(r.remaining(), &[] as &[u8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "route already exhausted")]
+    fn advance_past_end_panics() {
+        let mut r = Route::to_host(HostId::new(0), 2, 1);
+        r.advance();
+        r.advance();
+    }
+
+    #[test]
+    #[should_panic(expected = "not addressable")]
+    fn unaddressable_destination_panics() {
+        let _ = Route::to_host(HostId::new(64), 4, 3);
+    }
+
+    #[test]
+    fn display_marks_cursor() {
+        let mut r = Route::to_host(HostId::new(27), 4, 3);
+        r.advance();
+        let s = r.to_string();
+        assert!(s.contains('*'), "{s}");
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn reconstructs_destination() {
+        for d in 0..64u32 {
+            let r = Route::to_host(HostId::new(d), 4, 3);
+            let mut v = 0u32;
+            for &t in r.all_turns() {
+                v = v * 4 + t as u32;
+            }
+            assert_eq!(v, d);
+        }
+    }
+}

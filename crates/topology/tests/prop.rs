@@ -1,0 +1,127 @@
+//! Property tests: the delta (destination-tag) property must hold for all
+//! generated MIN shapes, and the turnpool path algebra must be consistent.
+
+use proptest::prelude::*;
+use topology::{HostId, MinParams, MinTopology, PathSpec, Route};
+
+/// Strategy over valid MIN shapes (radix 2 or 4, hosts a multiple of the
+/// radix, enough stages to address every host, sometimes more).
+fn min_shapes() -> impl Strategy<Value = MinParams> {
+    // hosts must divide radix^stages, so hosts = radix * 2^j.
+    (2u32..=4, 0u32..=6, 0u32..=2).prop_filter_map(
+        "valid shapes only",
+        |(radix_sel, pow, extra)| {
+            let radix = if radix_sel == 3 { 2 } else { radix_sel };
+            let hosts = radix << pow;
+            if hosts > 256 {
+                return None;
+            }
+            let mut stages = 0;
+            let mut cap = 1u64;
+            while cap < hosts as u64 {
+                cap *= radix as u64;
+                stages += 1;
+            }
+            let mut stages = stages.max(1) + extra;
+            // Redundant stages keep divisibility automatically (hosts is a
+            // power of two and so is radix^stages) — but cap at MAX_STAGES.
+            stages = stages.min(8);
+            if (radix as u64).pow(stages) % hosts as u64 != 0 {
+                return None;
+            }
+            Some(MinParams::new(hosts, radix, stages))
+        },
+    )
+}
+
+proptest! {
+    /// Every source reaches every destination through the wiring, even with
+    /// redundant stages and non-power-of-radix host counts.
+    #[test]
+    fn delta_property_holds(params in min_shapes()) {
+        let topo = MinTopology::new(params);
+        let hosts = params.hosts();
+        // Exhaustive for small networks, sampled diagonal walk for larger.
+        if hosts <= 16 {
+            topo.verify_delta();
+        } else {
+            for k in 0..hosts {
+                let s = HostId::new(k);
+                let d = HostId::new((k * 7 + 3) % hosts);
+                let _ = topo.trace(s, d);
+            }
+        }
+    }
+
+    /// Routes have exactly `stages` turns, each below the radix, and the
+    /// digits reconstruct the destination.
+    #[test]
+    fn route_digits_well_formed(params in min_shapes(), dst_sel in 0u32..1024) {
+        let dst = HostId::new(dst_sel % params.hosts());
+        let r = Route::to_host(dst, params.radix(), params.stages() as usize);
+        prop_assert_eq!(r.stages(), params.stages() as usize);
+        let mut v = 0u64;
+        for &t in r.all_turns() {
+            prop_assert!((t as u32) < params.radix());
+            v = v * params.radix() as u64 + t as u64;
+        }
+        prop_assert_eq!(v, dst.index() as u64);
+    }
+
+    /// Host ingress mapping is a bijection onto stage-0 input ports.
+    #[test]
+    fn ingress_is_bijective(params in min_shapes()) {
+        let topo = MinTopology::new(params);
+        let mut seen = std::collections::HashSet::new();
+        for h in topo.hosts() {
+            prop_assert!(seen.insert(topo.host_ingress(h)));
+        }
+        prop_assert_eq!(seen.len() as u32, params.hosts());
+    }
+
+    /// prepend/split_first are inverse, and prefix matching agrees with a
+    /// naive slice comparison.
+    #[test]
+    fn path_algebra(turns in prop::collection::vec(0u8..4, 0..8),
+                    remaining in prop::collection::vec(0u8..4, 0..8),
+                    extra in 0u8..4) {
+        let p = PathSpec::from_turns(&turns);
+        prop_assert_eq!(p.len(), turns.len());
+        prop_assert_eq!(p.turns(), &turns[..]);
+
+        // matches_turns == naive prefix test.
+        let naive = remaining.len() >= turns.len() && remaining[..turns.len()] == turns[..];
+        prop_assert_eq!(p.matches_turns(&remaining), naive);
+
+        // prepend then split_first round-trips.
+        if turns.len() < 8 {
+            let q = p.prepend(extra);
+            prop_assert_eq!(q.len(), turns.len() + 1);
+            let (head, rest) = q.split_first().unwrap();
+            prop_assert_eq!(head, extra);
+            prop_assert_eq!(rest, p);
+            // And the prefix relation holds.
+            prop_assert!(rest.is_prefix_of(&rest));
+        }
+    }
+
+    /// A path matches a route exactly when the route's remaining turns
+    /// start with the path, tracked across route advancement.
+    #[test]
+    fn path_matches_route_as_it_advances(dst in 0u32..64, cut in 0usize..3) {
+        let mut route = Route::to_host(HostId::new(dst), 4, 3);
+        for _ in 0..cut {
+            route.advance();
+        }
+        let rem: Vec<u8> = route.remaining().to_vec();
+        for take in 0..=rem.len() {
+            let p = PathSpec::from_turns(&rem[..take]);
+            prop_assert!(p.matches(&route));
+        }
+        // A mismatching first turn never matches (when remaining nonempty).
+        if let Some(&first) = rem.first() {
+            let wrong = PathSpec::from_turns(&[(first + 1) % 4]);
+            prop_assert!(!wrong.matches(&route));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The corner-case scenarios of Table 1 (and their Figure-6 scaling).
+//!
+//! Both corner cases run background random traffic on most sources for the
+//! whole simulation while a subset of sources gang up on one destination at
+//! full link rate during a 170 µs window, forming a congestion tree:
+//!
+//! | case | random sources | random rate | hotspot sources | window |
+//! |------|----------------|-------------|-----------------|--------|
+//! | 1    | 48 of 64       | 50 %        | 16 → host 32    | 800–970 µs |
+//! | 2    | 48 of 64       | 100 %       | 16 → host 32    | 800–970 µs |
+//!
+//! Figure 6 scales case 2: 192 random + 64 hotspot sources (256 hosts) and
+//! 384 random + 128 hotspot sources (512 hosts).
+
+use fabric::{ConstantRateSource, MessageSource};
+use simcore::Picos;
+use topology::HostId;
+
+use crate::RandomUniformSource;
+
+/// Parameters of a corner-case scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerCase {
+    /// Total hosts in the network.
+    pub hosts: u32,
+    /// Number of sources injecting background random traffic (the rest
+    /// form the hotspot gang).
+    pub random_sources: u32,
+    /// Background injection rate as a fraction of link bandwidth.
+    pub random_rate: f64,
+    /// The hotspot destination.
+    pub hotspot_dst: HostId,
+    /// Hotspot burst window start.
+    pub hotspot_start: Picos,
+    /// Hotspot burst window end.
+    pub hotspot_end: Picos,
+    /// Message/packet size in bytes.
+    pub msg_bytes: u32,
+    /// Seed for the random-destination streams.
+    pub seed: u64,
+}
+
+impl CornerCase {
+    /// Table 1, corner case 1: 48 random sources at 50%, 16 hotspot
+    /// sources to host 32 at 100% during 800–970 µs.
+    pub fn case1_64() -> CornerCase {
+        CornerCase {
+            hosts: 64,
+            random_sources: 48,
+            random_rate: 0.5,
+            hotspot_dst: HostId::new(32),
+            hotspot_start: Picos::from_us(800),
+            hotspot_end: Picos::from_us(970),
+            msg_bytes: 64,
+            seed: 2005,
+        }
+    }
+
+    /// Table 1, corner case 2: like case 1 but background at 100%.
+    pub fn case2_64() -> CornerCase {
+        CornerCase { random_rate: 1.0, ..CornerCase::case1_64() }
+    }
+
+    /// Figure 6(a): 256-host network, 192 random sources at 100%, 64
+    /// hotspot sources during 170 µs.
+    pub fn case2_256() -> CornerCase {
+        CornerCase {
+            hosts: 256,
+            random_sources: 192,
+            random_rate: 1.0,
+            hotspot_dst: HostId::new(128),
+            ..CornerCase::case1_64()
+        }
+    }
+
+    /// Figure 6(b): 512-host network, 384 random sources at 100%, 128
+    /// hotspot sources during 170 µs.
+    pub fn case2_512() -> CornerCase {
+        CornerCase {
+            hosts: 512,
+            random_sources: 384,
+            random_rate: 1.0,
+            hotspot_dst: HostId::new(256),
+            ..CornerCase::case1_64()
+        }
+    }
+
+    /// Overrides the message/packet size (the paper also runs 512 bytes).
+    pub fn with_msg_bytes(mut self, bytes: u32) -> CornerCase {
+        self.msg_bytes = bytes;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> CornerCase {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales the whole scenario's time axis (useful for fast test runs):
+    /// the hotspot window becomes `start/f .. end/f`.
+    pub fn shrunk(mut self, factor: u64) -> CornerCase {
+        self.hotspot_start = self.hotspot_start / factor;
+        self.hotspot_end = self.hotspot_end / factor;
+        self
+    }
+
+    /// Number of hotspot sources.
+    pub fn hotspot_sources(&self) -> u32 {
+        self.hosts - self.random_sources
+    }
+
+    /// Whether host `h` belongs to the hotspot gang. The gang is the last
+    /// `hosts - random_sources` hosts, skipping the hotspot destination
+    /// itself (host `random_sources - 1` joins instead when needed).
+    pub fn is_hotspot_source(&self, h: u32) -> bool {
+        let gang_start = self.random_sources;
+        if self.hotspot_dst.index() as u32 >= gang_start {
+            // The destination sits inside the nominal gang range: it stays
+            // a random source and the host just below the range joins.
+            if h == self.hotspot_dst.index() as u32 {
+                return false;
+            }
+            if h == gang_start - 1 {
+                return true;
+            }
+        }
+        h >= gang_start
+    }
+
+    /// Builds the per-host message sources (index = host id), `sim_end`
+    /// bounding the background traffic.
+    pub fn build_sources(&self, sim_end: Picos) -> Vec<Box<dyn MessageSource>> {
+        (0..self.hosts)
+            .map(|h| {
+                if self.is_hotspot_source(h) {
+                    let interval = Picos::from_ns(self.msg_bytes as u64); // 100% of 1 B/ns
+                    Box::new(ConstantRateSource::new(
+                        self.hotspot_dst,
+                        self.msg_bytes,
+                        interval,
+                        self.hotspot_start,
+                        self.hotspot_end,
+                    )) as Box<dyn MessageSource>
+                } else {
+                    Box::new(
+                        RandomUniformSource::new(
+                            self.hosts,
+                            Some(HostId::new(h)),
+                            self.msg_bytes,
+                            self.random_rate,
+                        )
+                        .window(Picos::ZERO, sim_end)
+                        .seed(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(h as u64))
+                        .build(),
+                    ) as Box<dyn MessageSource>
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        let c1 = CornerCase::case1_64();
+        assert_eq!(c1.hosts, 64);
+        assert_eq!(c1.random_sources, 48);
+        assert_eq!(c1.hotspot_sources(), 16);
+        assert_eq!(c1.random_rate, 0.5);
+        assert_eq!(c1.hotspot_dst, HostId::new(32));
+        assert_eq!(c1.hotspot_start, Picos::from_us(800));
+        assert_eq!(c1.hotspot_end, Picos::from_us(970));
+        let c2 = CornerCase::case2_64();
+        assert_eq!(c2.random_rate, 1.0);
+    }
+
+    #[test]
+    fn figure6_scaling() {
+        let a = CornerCase::case2_256();
+        assert_eq!((a.hosts, a.random_sources, a.hotspot_sources()), (256, 192, 64));
+        let b = CornerCase::case2_512();
+        assert_eq!((b.hosts, b.random_sources, b.hotspot_sources()), (512, 384, 128));
+        // Window length stays 170 µs.
+        assert_eq!(b.hotspot_end - b.hotspot_start, Picos::from_us(170));
+    }
+
+    #[test]
+    fn gang_membership_avoids_destination() {
+        // dst 32 lies within hosts 48..64? No — within 0..48, so the gang
+        // is simply the last 16 hosts.
+        let c = CornerCase::case1_64();
+        let gang: Vec<u32> = (0..64).filter(|&h| c.is_hotspot_source(h)).collect();
+        assert_eq!(gang.len(), 16);
+        assert!(gang.iter().all(|&h| h >= 48));
+        assert!(!gang.contains(&32));
+
+        // Force the destination inside the gang range: membership shifts.
+        let c = CornerCase { hotspot_dst: HostId::new(60), ..c };
+        let gang: Vec<u32> = (0..64).filter(|&h| c.is_hotspot_source(h)).collect();
+        assert_eq!(gang.len(), 16);
+        assert!(!gang.contains(&60));
+        assert!(gang.contains(&47));
+    }
+
+    #[test]
+    fn sources_match_spec() {
+        let c = CornerCase::case1_64().shrunk(100); // hotspot at 8–9.7 µs
+        let mut sources = c.build_sources(Picos::from_us(20));
+        // Host 0: background random at 50%.
+        let m = sources[0].next_message().unwrap();
+        assert_eq!(m.at, Picos::ZERO);
+        assert_eq!(m.bytes, 64);
+        // Host 63: hotspot source, first message at the window start.
+        let m = sources[63].next_message().unwrap();
+        assert_eq!(m.at, Picos::from_us(8));
+        assert_eq!(m.dst, HostId::new(32));
+        // Full rate: next message 64 ns later.
+        let m2 = sources[63].next_message().unwrap();
+        assert_eq!(m2.at, Picos::from_us(8) + Picos::from_ns(64));
+    }
+
+    #[test]
+    fn message_size_override() {
+        let c = CornerCase::case2_64().with_msg_bytes(512);
+        let mut sources = c.build_sources(Picos::from_us(1));
+        let m = sources[0].next_message().unwrap();
+        assert_eq!(m.bytes, 512);
+    }
+}

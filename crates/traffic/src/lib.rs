@@ -1,0 +1,32 @@
+//! # traffic — workload generators for the RECN evaluation
+//!
+//! Three workload families drive the paper's experiments:
+//!
+//! * [`RandomUniformSource`] — constant-rate injection to uniformly random
+//!   destinations (the background traffic of every scenario).
+//! * [`corner`] — the two *corner cases* of Table 1: background random
+//!   traffic plus a synchronized hotspot burst (16 of 64 sources sending to
+//!   destination 32 at full rate from 800 µs to 970 µs), generalized to the
+//!   256- and 512-host networks of Figure 6.
+//! * [`san`] — a synthetic reconstruction of the Hewlett-Packard `cello`
+//!   I/O traces used in Figures 3 and 5. The original 1999 traces are not
+//!   redistributable; the generator reproduces the structural features RECN
+//!   is sensitive to — client/disk request/reply asymmetry, heavy-tailed
+//!   bursts, destination locality, and transient gang-ups on hot disks —
+//!   and exposes the paper's *time compression factor* knob.
+//!
+//! All generators are deterministic given a seed and implement
+//! [`fabric::MessageSource`], so complete experiments are reproducible
+//! bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corner;
+pub mod san;
+pub mod trace;
+
+mod random;
+
+pub use random::{RandomUniformSource, Spacing};
+pub use trace::Trace;

@@ -1,0 +1,115 @@
+//! Statistical properties of the workload generators — the traffic
+//! features the paper's experiments depend on must actually be present in
+//! the generated streams.
+
+use fabric::MessageSource;
+use simcore::Picos;
+use topology::HostId;
+use traffic::corner::CornerCase;
+use traffic::san::SanParams;
+use traffic::RandomUniformSource;
+
+/// Uniform-random destinations really are uniform (chi-square-ish bound).
+#[test]
+fn random_destinations_are_uniform() {
+    let hosts = 16u32;
+    let mut counts = vec![0u64; hosts as usize];
+    let mut src = RandomUniformSource::new(hosts, None, 64, 1.0)
+        .window(Picos::ZERO, Picos::from_us(1000))
+        .seed(4242)
+        .build();
+    let mut n = 0u64;
+    while let Some(m) = src.next_message() {
+        counts[m.dst.index()] += 1;
+        n += 1;
+    }
+    let expect = n as f64 / hosts as f64;
+    for (d, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expect).abs() / expect;
+        // ~980 samples per destination: a 15% band is ≈ 4.7 sigma.
+        assert!(dev < 0.15, "destination {d}: {c} vs expected {expect:.0}");
+    }
+}
+
+/// The SAN generator produces heavy-tailed message sizes: the coefficient
+/// of variation must exceed 1 (burstier than exponential), and the largest
+/// messages must dwarf the median.
+#[test]
+fn san_sizes_are_heavy_tailed() {
+    let p = SanParams::cello_like(20.0);
+    let scripts = p.build_scripts(64, Picos::from_us(1000));
+    let mut sizes: Vec<f64> = scripts.iter().flatten().map(|m| m.bytes as f64).collect();
+    assert!(sizes.len() > 500, "need a real sample, got {}", sizes.len());
+    let n = sizes.len() as f64;
+    let mean = sizes.iter().sum::<f64>() / n;
+    let var = sizes.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let cv = var.sqrt() / mean;
+    assert!(cv > 1.0, "coefficient of variation {cv:.2} not heavy-tailed");
+    sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sizes[sizes.len() / 2];
+    let p999 = sizes[(sizes.len() as f64 * 0.999) as usize];
+    assert!(p999 > 5.0 * median, "tail {p999} vs median {median}");
+}
+
+/// SAN interarrival times are bursty: the busiest 100 µs window carries
+/// several times the average window's traffic.
+#[test]
+fn san_arrivals_are_bursty() {
+    let p = SanParams::cello_like(20.0);
+    let scripts = p.build_scripts(64, Picos::from_us(1600));
+    let window = Picos::from_us(100);
+    let nwin = 16usize;
+    let mut per_window = vec![0u64; nwin];
+    for m in scripts.iter().flatten() {
+        let w = (m.at.div_duration(window) as usize).min(nwin - 1);
+        per_window[w] += m.bytes as u64;
+    }
+    let total: u64 = per_window.iter().sum();
+    let mean = total as f64 / nwin as f64;
+    let max = *per_window.iter().max().unwrap() as f64;
+    // 41 aggregated clients smooth the envelope; a >25% peak over the mean
+    // in 100 µs windows still distinguishes the bursty process from CBR
+    // (a constant-rate stream stays within ~2% here).
+    assert!(max > 1.25 * mean, "peak window {max:.0} vs mean {mean:.0}");
+}
+
+/// The corner-case hotspot is exactly synchronized: every gang member's
+/// first message lands at the window start and the last before its end.
+#[test]
+fn corner_hotspot_window_is_sharp() {
+    let c = CornerCase::case2_64();
+    let mut sources = c.build_sources(Picos::from_us(1600));
+    for (h, src) in sources.iter_mut().enumerate() {
+        if !c.is_hotspot_source(h as u32) {
+            continue;
+        }
+        let mut first = None;
+        let mut last = Picos::ZERO;
+        while let Some(m) = src.next_message() {
+            assert_eq!(m.dst, HostId::new(32));
+            first.get_or_insert(m.at);
+            last = m.at;
+        }
+        assert_eq!(first, Some(Picos::from_us(800)), "host {h}");
+        assert!(last < Picos::from_us(970), "host {h} ended at {last}");
+        assert!(last >= Picos::from_us(969), "host {h} stopped early at {last}");
+    }
+}
+
+/// Background sources cover (almost) the whole destination space over the
+/// full run — the random traffic the hotspot interferes with is global.
+#[test]
+fn corner_background_spreads_over_destinations() {
+    let c = CornerCase::case1_64();
+    let mut sources = c.build_sources(Picos::from_us(200));
+    let mut seen = std::collections::HashSet::new();
+    for (h, src) in sources.iter_mut().enumerate() {
+        if c.is_hotspot_source(h as u32) {
+            continue;
+        }
+        while let Some(m) = src.next_message() {
+            seen.insert(m.dst);
+        }
+    }
+    assert!(seen.len() >= 60, "only {} destinations covered", seen.len());
+}

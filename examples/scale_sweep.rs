@@ -1,0 +1,76 @@
+//! Scalability sweep: the paper's central claim is that RECN's resource
+//! demand depends on the number of concurrent congestion trees, *not* on
+//! network size. This example sweeps 16-, 64- and 256-host MINs under an
+//! equivalent hotspot scenario and reports the per-port SAQ peaks.
+//!
+//! ```bash
+//! cargo run --release --example scale_sweep
+//! ```
+
+use std::error::Error;
+
+use fabric::{ConstantRateSource, FabricConfig, MessageSource, Network, SchemeKind};
+use metrics::Probe;
+use simcore::Picos;
+use topology::{HostId, MinParams};
+use traffic::RandomUniformSource;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let horizon = Picos::from_us(300);
+    println!("hosts  switches  stages  max-SAQ/ingress  max-SAQ/egress  peak-total  total/ports");
+    for hosts in [16u32, 64, 256] {
+        let params = MinParams::for_hosts(hosts, 4);
+        // 1/4 of the hosts gang up on host hosts/2 during 100–200 µs; the
+        // rest send random traffic at 80%.
+        let gang_start = hosts - hosts / 4;
+        let hot = HostId::new(hosts / 2);
+        let sources: Vec<Box<dyn MessageSource>> = (0..hosts)
+            .map(|h| {
+                if h >= gang_start {
+                    Box::new(ConstantRateSource::new(
+                        hot,
+                        64,
+                        Picos::from_ns(64),
+                        Picos::from_us(100),
+                        Picos::from_us(200),
+                    )) as Box<dyn MessageSource>
+                } else {
+                    Box::new(
+                        RandomUniformSource::new(hosts, Some(HostId::new(h)), 64, 0.8)
+                            .window(Picos::ZERO, horizon)
+                            .seed(1000 + h as u64)
+                            .build(),
+                    ) as Box<dyn MessageSource>
+                }
+            })
+            .collect();
+        let (probe, handle) = Probe::new(Picos::from_us(5));
+        let net = Network::new(
+            params,
+            FabricConfig::paper(SchemeKind::Recn(experiments::runner::scaled_recn_config(8))),
+            64,
+            sources,
+            Box::new(probe),
+        );
+        let mut engine = net.build_engine();
+        engine.run_until(horizon);
+        let (pi, pe, pt) = handle.saq_peaks();
+        let ports = params.total_switches() * params.radix() * 2;
+        println!(
+            "{:>5}  {:>8}  {:>6}  {:>15}  {:>14}  {:>10}  {:>11.3}",
+            hosts,
+            params.total_switches(),
+            params.stages(),
+            pi,
+            pe,
+            pt,
+            pt as f64 / ports as f64,
+        );
+        assert!(pi <= 8 && pe <= 8, "per-port SAQ demand must not grow with size");
+    }
+    println!(
+        "\nPer-port SAQ demand stays flat as the network grows ~16x — RECN's\n\
+         cost tracks the number of overlapping congestion trees, not hosts."
+    );
+    Ok(())
+}

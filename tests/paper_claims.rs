@@ -1,0 +1,139 @@
+//! Workspace-level integration tests: exercise the public API the way the
+//! paper's evaluation does and check its headline claims end to end.
+//!
+//! These use 16×-time-compressed scenarios so the whole file runs in
+//! seconds; the full-scale reproduction lives in the `experiments`
+//! binaries.
+
+use experiments::runner::{run_one, scaled_recn_config, Workload};
+use experiments::table1;
+use fabric::SchemeKind;
+use metrics::report::window_stats;
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+use traffic::san::SanParams;
+
+const DIV: u64 = 16;
+
+fn corner(case: u8) -> Workload {
+    let base = match case {
+        1 => CornerCase::case1_64(),
+        _ => CornerCase::case2_64(),
+    };
+    Workload::Corner(base.shrunk(DIV))
+}
+
+fn horizon() -> Picos {
+    Picos::from_us(1600 / DIV)
+}
+
+fn recn() -> SchemeKind {
+    SchemeKind::Recn(scaled_recn_config(DIV))
+}
+
+fn run(scheme: SchemeKind, workload: &Workload) -> experiments::RunOutput {
+    run_one(MinParams::paper_64(), scheme, workload, 64, horizon(), Picos::from_us(1))
+}
+
+/// Mean throughput inside the (compressed) congestion window.
+fn window_mean(out: &experiments::RunOutput) -> f64 {
+    window_stats(&out.throughput, 810.0 / DIV as f64, 960.0 / DIV as f64).0
+}
+
+#[test]
+fn claim_recn_tracks_voqnet_under_congestion() {
+    let w = corner(1);
+    let recn_out = run(recn(), &w);
+    let voqnet = run(SchemeKind::VoqNet, &w);
+    let one_q = run(SchemeKind::OneQ, &w);
+    let (r, v, q) = (window_mean(&recn_out), window_mean(&voqnet), window_mean(&one_q));
+    assert!(r > 0.88 * v, "RECN {r:.1} should track VOQnet {v:.1}");
+    assert!(r > q, "RECN {r:.1} should beat 1Q {q:.1}");
+}
+
+#[test]
+fn claim_small_saq_pool_suffices() {
+    // Paper: 8 SAQs per port remove all HOL blocking in the corner cases.
+    let out = run(recn(), &corner(2));
+    let (pi, pe, _total) = out.saq_peaks;
+    assert!(pi >= 1, "congestion must allocate ingress SAQs");
+    assert!(pi <= 8 && pe <= 8, "per-port demand within 8: {:?}", out.saq_peaks);
+    assert_eq!(out.counters.order_violations, 0, "in-order delivery preserved");
+}
+
+#[test]
+fn claim_resources_fully_reclaimed() {
+    // Run the corner case until every source is exhausted and the fabric
+    // drains completely: nothing may leak.
+    let sources = CornerCase::case2_64().shrunk(DIV).build_sources(horizon());
+    let net = fabric::Network::new(
+        MinParams::paper_64(),
+        fabric::FabricConfig::paper(recn()),
+        64,
+        sources,
+        Box::new(fabric::NullObserver),
+    );
+    let mut engine = net.build_engine();
+    engine.run_to_completion();
+    let model = engine.model();
+    let c = model.counters();
+    assert!(c.saq_allocs > 0);
+    assert_eq!(c.saq_allocs, c.saq_deallocs, "every SAQ returns to the pool");
+    assert_eq!(c.root_activations, c.root_clears, "every tree dissolves");
+    assert!(model.is_quiescent());
+    fabric::assert_recn_idle(model);
+}
+
+#[test]
+fn claim_scales_to_larger_networks() {
+    // Figure 6 (compressed): the 256-host network still needs ≤ 8 SAQs per
+    // port and RECN stays above VOQsw inside the congestion window.
+    let w = Workload::Corner(CornerCase::case2_256().shrunk(DIV));
+    let recn_out = run_one(MinParams::paper_256(), recn(), &w, 64, horizon(), Picos::from_us(1));
+    let voqsw =
+        run_one(MinParams::paper_256(), SchemeKind::VoqSw, &w, 64, horizon(), Picos::from_us(1));
+    assert!(recn_out.saq_peaks.0 <= 8 && recn_out.saq_peaks.1 <= 8);
+    let (r, s) = (window_mean(&recn_out), window_mean(&voqsw));
+    assert!(r > 0.95 * s, "RECN {r:.1} at least matches VOQsw {s:.1} at 256 hosts");
+}
+
+#[test]
+fn san_traces_run_under_all_trace_schemes() {
+    let w = Workload::San(SanParams::cello_like(40.0));
+    for scheme in [SchemeKind::VoqNet, SchemeKind::OneQ, recn()] {
+        let out = run_one(MinParams::paper_64(), scheme, &w, 512, horizon(), Picos::from_us(1));
+        assert!(
+            out.counters.delivered_packets > 0,
+            "{} must deliver SAN traffic",
+            scheme.name()
+        );
+        assert_eq!(out.counters.order_violations, 0);
+    }
+}
+
+#[test]
+fn table1_spec_and_generators_agree() {
+    let rows = table1::spec();
+    assert_eq!(rows.len(), 4);
+    let (bg, hot) = table1::audit_rates(&CornerCase::case1_64().shrunk(DIV), horizon());
+    assert!((bg - 0.5).abs() < 0.05, "background rate {bg}");
+    assert!((hot - 1.0).abs() < 0.05, "hotspot rate {hot}");
+}
+
+#[test]
+fn figure_runs_are_deterministic() {
+    let collect = || {
+        let out = run(recn(), &corner(1));
+        (
+            out.counters.delivered_packets,
+            out.counters.saq_allocs,
+            out.saq_peaks,
+            out.throughput
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, p)| acc ^ p.value.to_bits().rotate_left(i as u32)),
+        )
+    };
+    assert_eq!(collect(), collect(), "same inputs, bit-identical outputs");
+}
