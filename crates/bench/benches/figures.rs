@@ -1,16 +1,17 @@
-//! One criterion benchmark per paper figure, on time-compressed kernels.
+//! One benchmark kernel per paper figure, on time-compressed scenarios,
+//! fanned out over the `experiments::sweep::Sweep` worker pool.
 //!
-//! Beyond timing the simulator, every iteration asserts the figure's
+//! Beyond timing the simulator (wall seconds and events/sec per kernel,
+//! straight from the `RunOutput`s), every kernel asserts the figure's
 //! headline *shape* (who wins), so `cargo bench` doubles as a regression
-//! harness for the reproduction.
+//! harness for the reproduction. Pass `--jobs N` to bound the pool.
 
 use bench::{
-    bench_recn_config, corner_kernel, san_kernel, scale_kernel, window_mean, BENCH_TIME_DIV,
+    audit_table1, bench_recn_config, bench_jobs, corner_spec, render_bench_table, san_spec,
+    scale_spec, window_mean,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::sweep::Sweep;
 use fabric::SchemeKind;
-use simcore::Picos;
-use std::hint::black_box;
 
 fn schemes_all() -> Vec<SchemeKind> {
     vec![
@@ -22,29 +23,19 @@ fn schemes_all() -> Vec<SchemeKind> {
     ]
 }
 
-fn fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_corner_cases");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let jobs = bench_jobs(std::env::args().skip(1));
+
+    // fig2: both corner cases under all five mechanisms.
+    let mut specs = Vec::new();
+    let mut names = Vec::new();
     for case in [1u8, 2] {
         for scheme in schemes_all() {
-            g.bench_function(format!("case{case}_{}", scheme.name()), |b| {
-                b.iter(|| {
-                    let out = corner_kernel(case, scheme);
-                    black_box(window_mean(&out))
-                })
-            });
+            names.push(format!("fig2_case{case}_{}", scheme.name()));
+            specs.push(corner_spec(case, scheme).label(format!("fig2_case{case}")));
         }
     }
-    g.finish();
-}
-
-fn fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_san_traces");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+    // fig3/fig5: the SAN traces at both compressions.
     for compression in [20.0, 40.0] {
         for scheme in [
             SchemeKind::VoqNet,
@@ -52,93 +43,63 @@ fn fig3(c: &mut Criterion) {
             SchemeKind::OneQ,
             SchemeKind::Recn(bench_recn_config()),
         ] {
-            g.bench_function(format!("c{}_{}", compression as u32, scheme.name()), |b| {
-                b.iter(|| black_box(san_kernel(compression, scheme).counters.delivered_bytes))
-            });
+            names.push(format!("fig3_c{}_{}", compression as u32, scheme.name()));
+            specs.push(san_spec(compression, scheme));
         }
     }
-    g.finish();
-}
+    // fig6: the 256-host network under the scalability set.
+    for scheme in
+        [SchemeKind::VoqNet, SchemeKind::VoqSw, SchemeKind::Recn(bench_recn_config())]
+    {
+        names.push(format!("fig6_net256_{}", scheme.name()));
+        specs.push(scale_spec(scheme));
+    }
 
-fn fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_saq_census");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
+    // Cargo runs benches with the package dir as CWD; anchor the summary
+    // to the workspace-level results/ directory.
+    let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let outs = Sweep::new(specs).jobs(jobs).progress(true).json(results, "bench_figures").run();
+
+    // Shape assertions, per figure (the former criterion in-loop checks).
+    let by_name = |needle: &str| -> Vec<(&str, &experiments::RunOutput)> {
+        names
+            .iter()
+            .zip(&outs)
+            .filter(|(n, _)| n.contains(needle))
+            .map(|(n, o)| (n.as_str(), o))
+            .collect()
+    };
+    for (name, out) in by_name("") {
+        assert!(out.counters.delivered_packets > 0, "{name} must deliver traffic");
+    }
+    for (name, out) in by_name("fig2").into_iter().filter(|(n, _)| n.ends_with("RECN")) {
+        // Figure 4's claim rides along: a handful of SAQs per port suffices.
+        assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8, "{name}: {:?}", out.saq_peaks);
+        assert!(out.saq_peaks.2 > 0, "{name} must allocate SAQs");
+    }
+    for (name, out) in by_name("fig6_net256_RECN") {
+        // The paper's scalability claim: SAQ demand does not grow with
+        // network size.
+        assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8, "{name}: {:?}", out.saq_peaks);
+    }
     for case in [1u8, 2] {
-        g.bench_function(format!("case{case}_recn"), |b| {
-            b.iter(|| {
-                let out = corner_kernel(case, SchemeKind::Recn(bench_recn_config()));
-                // Figure 4's claim: a handful of SAQs per port suffices.
-                assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8);
-                assert!(out.saq_peaks.2 > 0);
-                black_box(out.saq_peaks)
-            })
-        });
+        let get = |scheme: &str| {
+            by_name(&format!("fig2_case{case}_{scheme}"))
+                .first()
+                .map(|(_, o)| window_mean(o))
+                .expect("kernel present")
+        };
+        assert!(
+            get("RECN") > get("1Q"),
+            "case {case}: RECN must beat 1Q inside the congestion window"
+        );
     }
-    g.finish();
-}
 
-fn fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_san_saq_census");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    for compression in [20.0, 40.0] {
-        g.bench_function(format!("c{}_recn", compression as u32), |b| {
-            b.iter(|| {
-                let out = san_kernel(compression, SchemeKind::Recn(bench_recn_config()));
-                black_box(out.saq_peaks)
-            })
-        });
-    }
-    g.finish();
-}
+    // Table 1 is a specification; audit that the generators realize it.
+    audit_table1();
 
-fn fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_scalability");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    for scheme in [
-        SchemeKind::VoqNet,
-        SchemeKind::VoqSw,
-        SchemeKind::Recn(bench_recn_config()),
-    ] {
-        g.bench_function(format!("net256_{}", scheme.name()), |b| {
-            b.iter(|| {
-                let out = scale_kernel(scheme);
-                if out.scheme == "RECN" {
-                    // The paper's scalability claim: SAQ demand does not
-                    // grow with network size.
-                    assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8);
-                }
-                black_box(out.counters.delivered_bytes)
-            })
-        });
-    }
-    g.finish();
+    let rows: Vec<(String, &experiments::RunOutput)> =
+        names.into_iter().zip(outs.iter()).collect();
+    println!("{}", render_bench_table("figure kernels (time-compressed)", &rows));
+    println!("all figure-shape assertions held");
 }
-
-fn table1(c: &mut Criterion) {
-    // Table 1 is a specification; the bench audits that the traffic
-    // generators realize it (rates within 2%).
-    let mut g = c.benchmark_group("table1_generator_audit");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("audit", |b| {
-        b.iter(|| {
-            let corner = traffic::corner::CornerCase::case1_64().shrunk(BENCH_TIME_DIV);
-            let (bg, hot) =
-                experiments::table1::audit_rates(&corner, Picos::from_us(1600 / BENCH_TIME_DIV));
-            assert!((bg - 0.5).abs() < 0.05, "background rate {bg}");
-            assert!((hot - 1.0).abs() < 0.05, "hotspot rate {hot}");
-            black_box((bg, hot))
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(figures, fig2, fig3, fig4, fig5, fig6, table1);
-criterion_main!(figures);

@@ -1,10 +1,18 @@
-//! # bench — criterion harness for the RECN reproduction
+//! # bench — wall-clock benchmark harness for the RECN reproduction
 //!
 //! Each benchmark regenerates one of the paper's tables/figures on a
 //! time-compressed (quick-mode) kernel, so `cargo bench` both exercises the
 //! full experiment pipeline and reports the simulation cost of each
 //! mechanism. The full-scale reproduction lives in the `experiments`
 //! binaries (`cargo run -p experiments --bin all_figures --release`).
+//!
+//! The harness is self-contained (the offline build has no criterion):
+//! every kernel is described as an [`experiments::sweep::RunSpec`], the
+//! bench mains fan the whole set out over an
+//! [`experiments::sweep::Sweep`] worker pool, and per-kernel wall seconds
+//! and events/sec come straight from the [`RunOutput`]s. Each kernel
+//! still asserts the figure's headline *shape* (who wins), so
+//! `cargo bench` doubles as a regression harness for the reproduction.
 //!
 //! Benchmarks (see `benches/`):
 //!
@@ -16,7 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use experiments::runner::{run_one, RunOutput, Workload};
+use experiments::runner::{run_one, RunOutput};
+use experiments::sweep::RunSpec;
 use fabric::SchemeKind;
 use recn::RecnConfig;
 use simcore::Picos;
@@ -32,54 +41,57 @@ pub fn bench_recn_config() -> RecnConfig {
     experiments::runner::scaled_recn_config(BENCH_TIME_DIV)
 }
 
-/// Runs the corner-case kernel under a scheme and returns the output
-/// (checked, so benches also act as regression tests).
-pub fn corner_kernel(case: u8, scheme: SchemeKind) -> RunOutput {
+fn bench_horizon() -> Picos {
+    Picos::from_us(1600 / BENCH_TIME_DIV)
+}
+
+/// The corner-case kernel as a spec (fan these out with a `Sweep`).
+pub fn corner_spec(case: u8, scheme: SchemeKind) -> RunSpec {
     let corner = match case {
         1 => CornerCase::case1_64(),
         _ => CornerCase::case2_64(),
     }
     .shrunk(BENCH_TIME_DIV);
-    let horizon = Picos::from_us(1600 / BENCH_TIME_DIV);
-    let out = run_one(
-        MinParams::paper_64(),
-        scheme,
-        &Workload::Corner(corner),
-        64,
-        horizon,
-        Picos::from_us(1),
-    );
+    RunSpec::corner(MinParams::paper_64(), scheme, corner)
+        .horizon(bench_horizon())
+        .bin(Picos::from_us(1))
+        .label(format!("case{case}"))
+}
+
+/// The SAN-trace kernel as a spec.
+pub fn san_spec(compression: f64, scheme: SchemeKind) -> RunSpec {
+    RunSpec::san(scheme, traffic::san::SanParams::cello_like(compression))
+        .horizon(bench_horizon())
+        .bin(Picos::from_us(1))
+        .label(format!("san_c{}", compression as u32))
+}
+
+/// The 256-host scalability kernel as a spec.
+pub fn scale_spec(scheme: SchemeKind) -> RunSpec {
+    RunSpec::corner(MinParams::paper_256(), scheme, CornerCase::case2_256().shrunk(BENCH_TIME_DIV))
+        .horizon(bench_horizon())
+        .bin(Picos::from_us(1))
+        .label("scale256")
+}
+
+/// Runs the corner-case kernel under a scheme and returns the output
+/// (checked, so benches also act as regression tests).
+pub fn corner_kernel(case: u8, scheme: SchemeKind) -> RunOutput {
+    let out = run_one(&corner_spec(case, scheme));
     assert!(out.counters.delivered_packets > 0);
     out
 }
 
 /// Runs the SAN-trace kernel.
 pub fn san_kernel(compression: f64, scheme: SchemeKind) -> RunOutput {
-    let horizon = Picos::from_us(1600 / BENCH_TIME_DIV);
-    let out = run_one(
-        MinParams::paper_64(),
-        scheme,
-        &Workload::San(traffic::san::SanParams::cello_like(compression)),
-        64,
-        horizon,
-        Picos::from_us(1),
-    );
+    let out = run_one(&san_spec(compression, scheme));
     assert!(out.counters.delivered_packets > 0);
     out
 }
 
 /// Runs the 256-host scalability kernel.
 pub fn scale_kernel(scheme: SchemeKind) -> RunOutput {
-    let corner = CornerCase::case2_256().shrunk(BENCH_TIME_DIV);
-    let horizon = Picos::from_us(1600 / BENCH_TIME_DIV);
-    let out = run_one(
-        MinParams::paper_256(),
-        scheme,
-        &Workload::Corner(corner),
-        64,
-        horizon,
-        Picos::from_us(1),
-    );
+    let out = run_one(&scale_spec(scheme));
     assert!(out.counters.delivered_packets > 0);
     out
 }
@@ -107,6 +119,51 @@ pub fn window_mean(out: &RunOutput) -> f64 {
     metrics::report::window_stats(&out.throughput, from, to).0
 }
 
+/// Audit that the traffic generators realize Table 1's rates within 5%
+/// on the compressed kernel (shared by the `figures` bench main).
+pub fn audit_table1() {
+    let corner = CornerCase::case1_64().shrunk(BENCH_TIME_DIV);
+    let (bg, hot) = experiments::table1::audit_rates(&corner, bench_horizon());
+    assert!((bg - 0.5).abs() < 0.05, "background rate {bg}");
+    assert!((hot - 1.0).abs() < 0.05, "hotspot rate {hot}");
+}
+
+/// Renders the per-kernel result table the bench mains print: name, wall
+/// seconds, events/sec, window-mean throughput, delivered packets.
+pub fn render_bench_table(title: &str, rows: &[(String, &RunOutput)]) -> String {
+    let mut s = format!("# {title}\n");
+    s.push_str(&format!(
+        "{:<28} {:>9} {:>12} {:>13} {:>12}\n",
+        "kernel", "wall(s)", "events/s", "win-thr(B/ns)", "delivered"
+    ));
+    for (name, out) in rows {
+        s.push_str(&format!(
+            "{:<28} {:>9.2} {:>12.2e} {:>13.2} {:>12}\n",
+            name,
+            out.wall_secs,
+            experiments::sweep::events_per_sec(out),
+            window_mean(out),
+            out.counters.delivered_packets,
+        ));
+    }
+    s
+}
+
+/// Parses the argument list cargo passes to a bench main: `--jobs N` is
+/// honored, the standard `--bench`/filter arguments are ignored.
+pub fn bench_jobs(args: impl IntoIterator<Item = String>) -> usize {
+    let mut jobs = 0; // 0 = available parallelism
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            if let Some(v) = it.next() {
+                jobs = v.parse().unwrap_or(0);
+            }
+        }
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +185,15 @@ mod tests {
         } else {
             panic!("expected RECN scheme");
         }
+    }
+
+    #[test]
+    fn bench_table_renders() {
+        let out = corner_kernel(1, SchemeKind::OneQ);
+        let rows = vec![("case1_1Q".to_owned(), &out)];
+        let text = render_bench_table("smoke", &rows);
+        assert!(text.contains("case1_1Q") && text.contains("events/s"));
+        assert_eq!(bench_jobs(["--bench".into(), "--jobs".into(), "3".into()]), 3);
+        assert_eq!(bench_jobs(["--bench".into()]), 0);
     }
 }

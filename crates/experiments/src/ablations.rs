@@ -19,7 +19,8 @@ use topology::{HostId, MinParams};
 use traffic::corner::CornerCase;
 
 use crate::opts::Opts;
-use crate::runner::{run_one, scaled_recn_config, Workload};
+use crate::runner::{scaled_recn_config, RunOutput, Workload};
+use crate::sweep::RunSpec;
 
 /// One row of an ablation table.
 #[derive(Debug, Clone)]
@@ -42,44 +43,49 @@ fn corner2(opts: &Opts) -> Workload {
     )
 }
 
-fn run_recn(opts: &Opts, cfg: RecnConfig, setting: String) -> AblationRow {
-    let horizon = Picos::from_us(1600 / opts.time_div());
-    let out = run_one(
-        MinParams::paper_64(),
-        SchemeKind::Recn(cfg),
-        &corner2(opts),
-        opts.packet_size(),
-        horizon,
-        Picos::from_us((5 / opts.time_div()).max(1)),
-    );
-    let from = 810.0 / opts.time_div() as f64;
-    let to = 960.0 / opts.time_div() as f64;
-    AblationRow {
-        setting,
-        window_throughput: window_stats(&out.throughput, from, to).0,
-        saq_peaks: out.saq_peaks,
-        rejects: out.counters.recn_rejects,
-        allocs: out.counters.saq_allocs,
-    }
+/// Fans the RECN configurations out over one parallel sweep (corner case
+/// 2 for all of them) and folds each output into an [`AblationRow`].
+fn run_recn_sweep(opts: &Opts, name: &str, settings: Vec<(String, RecnConfig)>) -> Vec<AblationRow> {
+    let specs = settings
+        .iter()
+        .map(|(setting, cfg)| {
+            RunSpec::new(MinParams::paper_64(), SchemeKind::Recn(*cfg), corner2(opts))
+                .packet_size(opts.packet_size())
+                .horizon(Picos::from_us(1600 / opts.time_div()))
+                .bin(Picos::from_us((5 / opts.time_div()).max(1)))
+                .label(format!("{name}:{setting}"))
+        })
+        .collect();
+    let row = |setting: String, out: RunOutput| {
+        let from = 810.0 / opts.time_div() as f64;
+        let to = 960.0 / opts.time_div() as f64;
+        AblationRow {
+            setting,
+            window_throughput: window_stats(&out.throughput, from, to).0,
+            saq_peaks: out.saq_peaks,
+            rejects: out.counters.recn_rejects,
+            allocs: out.counters.saq_allocs,
+        }
+    };
+    settings
+        .into_iter()
+        .zip(opts.sweep(name, specs))
+        .map(|((setting, _), out)| row(setting, out))
+        .collect()
 }
 
 /// Sweep the SAQ pool size (corner case 2).
 pub fn saq_pool_sweep(opts: &Opts) -> Vec<AblationRow> {
-    [1usize, 2, 4, 8, 16, 64]
+    let settings = [1usize, 2, 4, 8, 16, 64]
         .into_iter()
-        .map(|n| {
-            run_recn(
-                opts,
-                scaled_recn_config(opts.time_div()).with_max_saqs(n),
-                format!("saqs={n}"),
-            )
-        })
-        .collect()
+        .map(|n| (format!("saqs={n}"), scaled_recn_config(opts.time_div()).with_max_saqs(n)))
+        .collect();
+    run_recn_sweep(opts, "ablation_saq_pool", settings)
 }
 
 /// Sweep the detection threshold (corner case 2).
 pub fn detection_sweep(opts: &Opts) -> Vec<AblationRow> {
-    [2u64, 4, 8, 16, 32, 64]
+    let settings = [2u64, 4, 8, 16, 32, 64]
         .into_iter()
         .map(|kb| {
             let base = scaled_recn_config(opts.time_div());
@@ -89,23 +95,21 @@ pub fn detection_sweep(opts: &Opts) -> Vec<AblationRow> {
                 root_clear_threshold: base.root_clear_threshold.min(detection),
                 ..base
             };
-            run_recn(opts, cfg, format!("detect={kb}KB"))
+            (format!("detect={kb}KB"), cfg)
         })
-        .collect()
+        .collect();
+    run_recn_sweep(opts, "ablation_detection", settings)
 }
 
 /// Drain boost on vs off (corner case 2).
 pub fn drain_boost_ablation(opts: &Opts) -> Vec<AblationRow> {
-    [("boost=on", 2u32), ("boost=off", 0)]
+    let settings = [("boost=on", 2u32), ("boost=off", 0)]
         .into_iter()
         .map(|(label, pkts)| {
-            run_recn(
-                opts,
-                scaled_recn_config(opts.time_div()).with_drain_boost(pkts),
-                label.to_owned(),
-            )
+            (label.to_owned(), scaled_recn_config(opts.time_div()).with_drain_boost(pkts))
         })
-        .collect()
+        .collect();
+    run_recn_sweep(opts, "ablation_drain_boost", settings)
 }
 
 /// Renders ablation rows as an aligned table.

@@ -5,7 +5,7 @@ use experiments::{ablations, Opts};
 use fabric::SchemeKind;
 
 fn main() {
-    let opts = Opts::parse(std::env::args().skip(1));
+    let opts = Opts::from_env();
     println!("{}", ablations::render_rows("SAQ pool size sweep (corner case 2)", &ablations::saq_pool_sweep(&opts)));
     println!("{}", ablations::render_rows("detection threshold sweep (corner case 2)", &ablations::detection_sweep(&opts)));
     println!("{}", ablations::render_rows("drain-boost rule (paper §3.8)", &ablations::drain_boost_ablation(&opts)));

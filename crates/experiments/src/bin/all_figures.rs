@@ -3,7 +3,7 @@
 use experiments::{figures, Opts};
 
 fn main() {
-    let opts = Opts::parse(std::env::args().skip(1));
+    let opts = Opts::from_env();
     eprintln!("== Figure 2 ==");
     for f in figures::fig2(&opts) {
         f.print(&opts);

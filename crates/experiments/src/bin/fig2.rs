@@ -3,7 +3,7 @@
 use experiments::{figures, Opts};
 
 fn main() {
-    let opts = Opts::parse(std::env::args().skip(1));
+    let opts = Opts::from_env();
     for fig in figures::fig2(&opts) {
         fig.print(&opts);
     }

@@ -12,7 +12,7 @@ use topology::MinParams;
 use traffic::corner::CornerCase;
 
 fn main() {
-    let opts = Opts::parse(std::env::args().skip(1));
+    let opts = Opts::from_env();
     let div = opts.time_div();
     let corner = CornerCase::case2_64().with_msg_bytes(opts.packet_size()).shrunk(div);
     let recn_cfg = if div == 1 { paper_recn_config() } else { scaled_recn_config(div) };

@@ -1,4 +1,10 @@
 //! One function per figure of the paper.
+//!
+//! Each figure describes its runs as [`RunSpec`]s and executes them in a
+//! single [`Sweep`](crate::sweep::Sweep) (via [`Opts::sweep`]), so the
+//! whole figure is bound by its slowest simulation instead of the sum of
+//! all of them. Outputs come back in submission order, which keeps the
+//! tables and CSVs bit-identical to a serial run.
 
 use metrics::report::{render_csv, render_table, thin, window_stats, Labeled};
 use simcore::Picos;
@@ -7,7 +13,8 @@ use traffic::corner::CornerCase;
 use traffic::san::SanParams;
 
 use crate::opts::Opts;
-use crate::runner::{run_one, summarize, RunOutput, SchemeSet, Workload};
+use crate::runner::{summarize, RunOutput, SchemeSet};
+use crate::sweep::RunSpec;
 
 /// A reproduced figure: its labeled series plus run summaries.
 #[derive(Debug)]
@@ -58,20 +65,47 @@ fn corner_case(which: u8, opts: &Opts) -> CornerCase {
     base.with_msg_bytes(opts.packet_size()).shrunk(opts.time_div())
 }
 
+/// A corner-case spec with the figure defaults from `opts` applied.
+fn corner_spec(
+    opts: &Opts,
+    params: MinParams,
+    scheme: fabric::SchemeKind,
+    corner: CornerCase,
+    label: impl Into<String>,
+) -> RunSpec {
+    RunSpec::corner(params, scheme, corner)
+        .packet_size(opts.packet_size())
+        .horizon(corner_horizon(opts))
+        .bin(series_bin(opts))
+        .label(label)
+}
+
 /// Figure 2: network throughput over time for corner cases 1 and 2 under
 /// all five mechanisms (64-host MIN, 64-byte packets), plus the
 /// RECN-vs-VOQnet zoom of Figures 2c/2d around the congestion-tree window.
 pub fn fig2(opts: &Opts) -> Vec<Figure> {
-    let mut figures = Vec::new();
-    for (case, sub) in [(1u8, 'a'), (2, 'b')] {
+    let schemes = SchemeSet::All.schemes_scaled(opts.time_div());
+    let per_case = schemes.len();
+    let cases = [(1u8, 'a'), (2, 'b')];
+    let mut specs = Vec::new();
+    for (case, sub) in cases {
         let corner = corner_case(case, opts);
-        let horizon = corner_horizon(opts);
-        let bin = series_bin(opts);
-        let workload = Workload::Corner(corner);
+        for scheme in &schemes {
+            specs.push(corner_spec(
+                opts,
+                MinParams::paper_64(),
+                *scheme,
+                corner,
+                format!("fig2{sub}"),
+            ));
+        }
+    }
+    let mut outs = opts.sweep("fig2", specs).into_iter();
+    let mut figures = Vec::new();
+    for (case, sub) in cases {
         let mut series = Vec::new();
         let mut runs = Vec::new();
-        for scheme in SchemeSet::All.schemes_scaled(opts.time_div()) {
-            let out = run_one(MinParams::paper_64(), scheme, &workload, opts.packet_size(), horizon, bin);
+        for out in outs.by_ref().take(per_case) {
             series.push(Labeled::new(out.scheme, out.throughput.clone()));
             runs.push(out);
         }
@@ -124,20 +158,24 @@ pub fn fig3(opts: &Opts) -> Vec<Figure> {
 /// Figure 4: SAQ utilization over time for the corner cases (RECN):
 /// max at any ingress port, max at any egress port, network total.
 pub fn fig4(opts: &Opts) -> Vec<Figure> {
-    let mut figures = Vec::new();
-    for case in [1u8, 2] {
-        let corner = corner_case(case, opts);
-        let horizon = corner_horizon(opts);
-        let workload = Workload::Corner(corner);
-        let out = run_one(
-            MinParams::paper_64(),
-            SchemeSet::RecnOnly.schemes_scaled(opts.time_div())[0],
-            &workload,
-            opts.packet_size(),
-            horizon,
-            series_bin(opts),
-        );
-        figures.push(Figure {
+    let cases = [1u8, 2];
+    let specs = cases
+        .iter()
+        .map(|&case| {
+            corner_spec(
+                opts,
+                MinParams::paper_64(),
+                SchemeSet::RecnOnly.schemes_scaled(opts.time_div())[0],
+                corner_case(case, opts),
+                format!("fig4_case{case}"),
+            )
+        })
+        .collect();
+    let outs = opts.sweep("fig4", specs);
+    cases
+        .into_iter()
+        .zip(outs)
+        .map(|(case, out)| Figure {
             name: format!("fig4_case{case}"),
             title: format!("SAQ utilization, corner case {case} (peaks {:?})", out.saq_peaks),
             series: vec![
@@ -146,9 +184,8 @@ pub fn fig4(opts: &Opts) -> Vec<Figure> {
                 Labeled::new("total", out.saq_total.clone()),
             ],
             runs: vec![out],
-        });
-    }
-    figures
+        })
+        .collect()
 }
 
 /// Figure 5: SAQ utilization over time for the SAN traces (RECN).
@@ -163,22 +200,27 @@ fn san_figures(
     what: &str,
     saq_series: bool,
 ) -> Vec<Figure> {
+    let schemes = set.schemes_scaled(opts.time_div());
+    let per_group = schemes.len();
+    let compressions = [20.0, 40.0];
+    let mut specs = Vec::new();
+    for compression in compressions {
+        for scheme in &schemes {
+            specs.push(
+                RunSpec::san(*scheme, SanParams::cello_like(compression))
+                    .packet_size(opts.pkt.unwrap_or(64))
+                    .horizon(corner_horizon(opts))
+                    .bin(series_bin(opts))
+                    .label(format!("{prefix}_c{}", compression as u32)),
+            );
+        }
+    }
+    let mut outs = opts.sweep(prefix, specs).into_iter();
     let mut figures = Vec::new();
-    for compression in [20.0, 40.0] {
-        let horizon = corner_horizon(opts);
-        let bin = series_bin(opts);
-        let workload = Workload::San(SanParams::cello_like(compression));
+    for compression in compressions {
         let mut series = Vec::new();
         let mut runs = Vec::new();
-        for scheme in set.schemes_scaled(opts.time_div()) {
-            let out = run_one(
-                MinParams::paper_64(),
-                scheme,
-                &workload,
-                opts.pkt.unwrap_or(64),
-                horizon,
-                bin,
-            );
+        for out in outs.by_ref().take(per_group) {
             if saq_series {
                 series.push(Labeled::new("max_ingress", out.saq_ingress.clone()));
                 series.push(Labeled::new("max_egress", out.saq_egress.clone()));
@@ -201,31 +243,36 @@ fn san_figures(
 /// Figure 6: throughput and RECN SAQ utilization on the 256- and 512-host
 /// networks under the scaled corner case 2.
 pub fn fig6(opts: &Opts) -> Vec<Figure> {
-    let mut figures = Vec::new();
     let nets: Vec<u32> = match opts.net {
         Some(n) => vec![n],
         None => vec![256, 512],
     };
-    for hosts in nets {
+    // Threshold scaling is capped at 2x for the large networks: their
+    // saturated uniform traffic legitimately builds multi-KB queues, so
+    // fully time-scaled (sub-KB) detection thresholds would flag every
+    // transient as a congestion tree. The hotspot still fills an 8 KB
+    // root queue within the compressed window.
+    let schemes = SchemeSet::Scalability.schemes_scaled(opts.time_div().min(2));
+    let per_net = schemes.len();
+    let mut specs = Vec::new();
+    for &hosts in &nets {
         let (params, corner) = match hosts {
             256 => (MinParams::paper_256(), CornerCase::case2_256()),
             512 => (MinParams::paper_512(), CornerCase::case2_512()),
             other => panic!("fig6 supports 256 or 512 hosts, not {other}"),
         };
         let corner = corner.with_msg_bytes(opts.packet_size()).shrunk(opts.time_div());
-        let horizon = corner_horizon(opts);
-        let bin = series_bin(opts);
-        let workload = Workload::Corner(corner);
+        for scheme in &schemes {
+            specs.push(corner_spec(opts, params, *scheme, corner, format!("fig6_{hosts}")));
+        }
+    }
+    let mut outs = opts.sweep("fig6", specs).into_iter();
+    let mut figures = Vec::new();
+    for hosts in nets {
         let mut series = Vec::new();
         let mut saq = Vec::new();
         let mut runs = Vec::new();
-        // Threshold scaling is capped at 2x for the large networks: their
-        // saturated uniform traffic legitimately builds multi-KB queues, so
-        // fully time-scaled (sub-KB) detection thresholds would flag every
-        // transient as a congestion tree. The hotspot still fills an 8 KB
-        // root queue within the compressed window.
-        for scheme in SchemeSet::Scalability.schemes_scaled(opts.time_div().min(2)) {
-            let out = run_one(params, scheme, &workload, opts.packet_size(), horizon, bin);
+        for out in outs.by_ref().take(per_net) {
             series.push(Labeled::new(out.scheme, out.throughput.clone()));
             if out.scheme == "RECN" {
                 saq = vec![

@@ -21,6 +21,13 @@
 //! compared, and prints the figure's series as aligned text tables (or CSV
 //! via `--csv <dir>`). Pass `--quick` for an 8× time-compressed variant
 //! used by the benchmark harness and CI.
+//!
+//! Since every figure is a sweep of independent simulations, the harness
+//! describes each run as a [`sweep::RunSpec`] and fans batches out over a
+//! [`sweep::Sweep`] worker pool (`--jobs N`, default = available
+//! parallelism). Results return in submission order, so tables and CSVs
+//! are bit-identical to serial runs, and each sweep writes a
+//! machine-readable JSON summary under `results/` (`--json DIR|none`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +36,9 @@ pub mod ablations;
 pub mod figures;
 pub mod opts;
 pub mod runner;
+pub mod sweep;
 pub mod table1;
 
 pub use opts::Opts;
 pub use runner::{run_one, RunOutput, SchemeSet, Workload};
+pub use sweep::{RunSpec, Sweep};

@@ -2,6 +2,13 @@
 
 use std::path::PathBuf;
 
+use crate::runner::RunOutput;
+use crate::sweep::{RunSpec, Sweep};
+
+/// Usage text printed by `--help` and attached to parse errors.
+pub const USAGE: &str = "options: [--quick] [--pkt 64|512] [--csv DIR] [--json DIR|none] \
+                         [--jobs N] [--net 256|512] [--stride N]";
+
 /// Options common to every experiment binary.
 #[derive(Debug, Clone, Default)]
 pub struct Opts {
@@ -12,6 +19,12 @@ pub struct Opts {
     pub pkt: Option<u32>,
     /// Write CSV files into this directory in addition to stdout tables.
     pub csv_dir: Option<PathBuf>,
+    /// Write machine-readable JSON sweep summaries into this directory.
+    /// [`Opts::parse`] defaults it to `results/` (`--json none` disables);
+    /// the programmatic `Opts::default()` leaves it off.
+    pub json_dir: Option<PathBuf>,
+    /// Sweep worker count (`--jobs N`; default = available parallelism).
+    pub jobs: Option<usize>,
     /// Network size selector for `fig6` (256 or 512; both when `None`).
     pub net: Option<u32>,
     /// Print every Nth series row (default 4; 1 = all rows).
@@ -21,44 +34,72 @@ pub struct Opts {
 impl Opts {
     /// Parses `args` (without the program name).
     ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown flags.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Opts {
-        let mut opts = Opts { stride: 4, ..Opts::default() };
+    /// Returns `Err` with a message that includes the usage text on
+    /// unknown flags or missing/invalid values. `--help` still prints the
+    /// usage and exits successfully.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Opts, String> {
+        let mut opts =
+            Opts { stride: 4, json_dir: Some(PathBuf::from("results")), ..Opts::default() };
         let mut it = args.into_iter();
+        fn value(
+            it: &mut impl Iterator<Item = String>,
+            flag: &str,
+            what: &str,
+        ) -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs {what}; {USAGE}"))
+        }
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => opts.quick = true,
                 "--pkt" => {
-                    let v = it.next().expect("--pkt needs a value");
-                    opts.pkt = Some(v.parse().expect("--pkt expects bytes"));
+                    let v = value(&mut it, "--pkt", "a value")?;
+                    opts.pkt =
+                        Some(v.parse().map_err(|_| format!("--pkt expects bytes, got {v:?}"))?);
                 }
                 "--csv" => {
-                    let v = it.next().expect("--csv needs a directory");
-                    opts.csv_dir = Some(PathBuf::from(v));
+                    opts.csv_dir = Some(PathBuf::from(value(&mut it, "--csv", "a directory")?));
+                }
+                "--json" => {
+                    let v = value(&mut it, "--json", "a directory (or `none`)")?;
+                    opts.json_dir = if v == "none" { None } else { Some(PathBuf::from(v)) };
+                }
+                "--jobs" => {
+                    let v = value(&mut it, "--jobs", "a worker count")?;
+                    let n: usize =
+                        v.parse().map_err(|_| format!("--jobs expects a count, got {v:?}"))?;
+                    opts.jobs = Some(n.max(1));
                 }
                 "--net" => {
-                    let v = it.next().expect("--net needs 256 or 512");
-                    opts.net = Some(v.parse().expect("--net expects a host count"));
+                    let v = value(&mut it, "--net", "256 or 512")?;
+                    opts.net = Some(
+                        v.parse().map_err(|_| format!("--net expects a host count, got {v:?}"))?,
+                    );
                 }
                 "--stride" => {
-                    let v = it.next().expect("--stride needs a value");
-                    opts.stride = v.parse().expect("--stride expects a count");
+                    let v = value(&mut it, "--stride", "a value")?;
+                    opts.stride =
+                        v.parse().map_err(|_| format!("--stride expects a count, got {v:?}"))?;
                 }
                 "--help" | "-h" => {
-                    println!(
-                        "options: [--quick] [--pkt 64|512] [--csv DIR] [--net 256|512] [--stride N]"
-                    );
+                    println!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown option {other}; try --help"),
+                other => return Err(format!("unknown option {other}; {USAGE}")),
             }
         }
         if opts.stride == 0 {
             opts.stride = 1;
         }
-        opts
+        Ok(opts)
+    }
+
+    /// Parses the process arguments; prints the error and exits with
+    /// status 2 on bad input (the binaries' entry point).
+    pub fn from_env() -> Opts {
+        Opts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     }
 
     /// Packet size to use (default 64, per the paper's headline figures).
@@ -73,6 +114,18 @@ impl Opts {
         } else {
             1
         }
+    }
+
+    /// Runs `specs` through a [`Sweep`] configured from these options:
+    /// `--jobs` workers (default = available parallelism), progress lines
+    /// on stderr, and a JSON summary named after the sweep when
+    /// `--json` is active.
+    pub fn sweep(&self, name: &str, specs: Vec<RunSpec>) -> Vec<RunOutput> {
+        let mut sweep = Sweep::new(specs).jobs(self.jobs.unwrap_or(0)).progress(true);
+        if let Some(dir) = &self.json_dir {
+            sweep = sweep.json(dir.clone(), name);
+        }
+        sweep.run()
     }
 
     /// Writes a CSV file if `--csv` was given.
@@ -90,38 +143,66 @@ impl Opts {
 mod tests {
     use super::*;
 
-    fn parse(words: &[&str]) -> Opts {
+    fn parse(words: &[&str]) -> Result<Opts, String> {
         Opts::parse(words.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults() {
-        let o = parse(&[]);
+        let o = parse(&[]).unwrap();
         assert!(!o.quick);
         assert_eq!(o.packet_size(), 64);
         assert_eq!(o.time_div(), 1);
         assert_eq!(o.stride, 4);
+        assert_eq!(o.jobs, None);
+        // CLI parsing defaults the JSON summaries on, under results/.
+        assert_eq!(o.json_dir, Some(PathBuf::from("results")));
+        // ... while the programmatic default leaves them off.
+        assert_eq!(Opts::default().json_dir, None);
     }
 
     #[test]
     fn flags_parse() {
-        let o = parse(&["--quick", "--pkt", "512", "--net", "256", "--stride", "2"]);
+        let o = parse(&[
+            "--quick", "--pkt", "512", "--net", "256", "--stride", "2", "--jobs", "4", "--json",
+            "out",
+        ])
+        .unwrap();
         assert!(o.quick);
         assert_eq!(o.packet_size(), 512);
         assert_eq!(o.time_div(), 8);
         assert_eq!(o.net, Some(256));
         assert_eq!(o.stride, 2);
+        assert_eq!(o.jobs, Some(4));
+        assert_eq!(o.json_dir, Some(PathBuf::from("out")));
     }
 
     #[test]
-    #[should_panic(expected = "unknown option")]
-    fn unknown_flag_panics() {
-        let _ = parse(&["--bogus"]);
+    fn unknown_flag_is_an_error() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown option --bogus"), "{err}");
+        assert!(err.contains("--jobs"), "usage text attached: {err}");
     }
 
     #[test]
     fn zero_stride_coerced() {
-        let o = parse(&["--stride", "0"]);
+        let o = parse(&["--stride", "0"]).unwrap();
         assert_eq!(o.stride, 1);
+    }
+
+    #[test]
+    fn missing_or_bad_values_are_errors() {
+        assert!(parse(&["--jobs"]).unwrap_err().contains("--jobs needs"));
+        assert!(parse(&["--pkt", "tiny"]).unwrap_err().contains("--pkt expects bytes"));
+        assert!(parse(&["--jobs", "zero"]).unwrap_err().contains("--jobs expects a count"));
+    }
+
+    #[test]
+    fn json_none_disables_summaries() {
+        let o = parse(&["--json", "none"]).unwrap();
+        assert_eq!(o.json_dir, None);
+        // --jobs 0 is coerced to 1 rather than an empty pool.
+        let o = parse(&["--jobs", "0"]).unwrap();
+        assert_eq!(o.jobs, Some(1));
     }
 }

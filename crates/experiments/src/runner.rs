@@ -7,9 +7,10 @@ use fabric::{FabricConfig, MessageSource, NetCounters, Network, SchemeKind};
 use metrics::{Probe, ProbeHandle};
 use recn::RecnConfig;
 use simcore::{Picos, SeriesPoint};
-use topology::MinParams;
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
+
+use crate::sweep::RunSpec;
 
 /// The workload of a run.
 #[derive(Debug, Clone)]
@@ -137,32 +138,31 @@ impl SchemeSet {
     }
 }
 
-/// Runs one `(workload, scheme)` pair to `horizon`, sampling series into
-/// `bin`-wide buckets.
-pub fn run_one(
-    params: MinParams,
-    scheme: SchemeKind,
-    workload: &Workload,
-    packet_size: u32,
-    horizon: Picos,
-    bin: Picos,
-) -> RunOutput {
-    let mut fabric_cfg = if params.hosts() >= 512 {
-        FabricConfig::paper_512(scheme)
+/// Runs one fully-described simulation to its horizon, sampling series
+/// into the spec's bin-wide buckets.
+///
+/// The run is self-contained and deterministic: the `Network` and its
+/// `Probe` are constructed here, used only on the calling thread (`Probe`
+/// is `Rc<RefCell>`-based and not `Send`), and dropped before returning —
+/// only the plain-data [`RunOutput`] escapes, which is what lets
+/// [`crate::sweep::Sweep`] fan runs out across threads.
+pub fn run_one(spec: &RunSpec) -> RunOutput {
+    let mut fabric_cfg = if spec.params.hosts() >= 512 {
+        FabricConfig::paper_512(spec.scheme)
     } else {
-        FabricConfig::paper(scheme)
+        FabricConfig::paper(spec.scheme)
     };
-    fabric_cfg.admit_cap = workload.admit_cap();
-    let sources = workload.sources(params.hosts(), horizon);
-    let (probe, handle) = Probe::new(bin);
-    let net = Network::new(params, fabric_cfg, packet_size, sources, Box::new(probe));
+    fabric_cfg.admit_cap = spec.workload.admit_cap();
+    let sources = spec.workload.sources(spec.params.hosts(), spec.horizon);
+    let (probe, handle) = Probe::new(spec.bin);
+    let net = Network::new(spec.params, fabric_cfg, spec.packet_size, sources, Box::new(probe));
     let started = Instant::now();
     let mut engine = net.build_engine();
-    engine.run_until(horizon);
+    engine.run_until(spec.horizon);
     let wall_secs = started.elapsed().as_secs_f64();
     let events = engine.processed();
     let model = engine.into_model();
-    finish(scheme, model, handle, horizon, wall_secs, events)
+    finish(spec.scheme, model, handle, spec.horizon, wall_secs, events)
 }
 
 fn finish(
@@ -186,15 +186,17 @@ fn finish(
     }
 }
 
-/// One-line run summary for progress logging.
+/// One-line run summary for the stdout tables. Deliberately omits wall
+/// time, which varies run to run (and with `--jobs`), so the tables stay
+/// byte-identical at any parallelism; timing lives in the sweep progress
+/// lines and the JSON summary instead.
 pub fn summarize(out: &RunOutput) -> String {
     format!(
-        "{:>6}: {:>11} pkts delivered, mean latency {:>9.0} ns, peak SAQs {:?}, {:>5.1}s wall ({} events)",
+        "{:>6}: {:>11} pkts delivered, mean latency {:>9.0} ns, peak SAQs {:?} ({} events)",
         out.scheme,
         out.counters.delivered_packets,
         out.counters.latency_ns.mean(),
         out.saq_peaks,
-        out.wall_secs,
         out.events,
     )
 }
@@ -202,6 +204,7 @@ pub fn summarize(out: &RunOutput) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use topology::MinParams;
 
     #[test]
     fn scheme_sets_have_expected_members() {
@@ -215,15 +218,10 @@ mod tests {
     #[test]
     fn quick_corner_run_produces_series() {
         let corner = CornerCase::case1_64().shrunk(40); // hotspot 20–24.25 µs
-        let horizon = Picos::from_us(40);
-        let out = run_one(
-            MinParams::paper_64(),
-            SchemeKind::OneQ,
-            &Workload::Corner(corner),
-            64,
-            horizon,
-            Picos::from_us(2),
-        );
+        let spec = RunSpec::corner(MinParams::paper_64(), SchemeKind::OneQ, corner)
+            .horizon(Picos::from_us(40))
+            .bin(Picos::from_us(2));
+        let out = run_one(&spec);
         assert_eq!(out.throughput.len(), 20);
         assert!(out.counters.delivered_packets > 0);
         assert!(out.throughput.iter().any(|p| p.value > 1.0));
@@ -233,14 +231,14 @@ mod tests {
     #[test]
     fn recn_run_allocates_saqs_under_hotspot() {
         let corner = CornerCase::case2_64().shrunk(40);
-        let out = run_one(
+        let spec = RunSpec::corner(
             MinParams::paper_64(),
             SchemeKind::Recn(scaled_recn_config(40)),
-            &Workload::Corner(corner),
-            64,
-            Picos::from_us(40),
-            Picos::from_us(2),
-        );
+            corner,
+        )
+        .horizon(Picos::from_us(40))
+        .bin(Picos::from_us(2));
+        let out = run_one(&spec);
         assert!(out.saq_peaks.2 > 0, "hotspot must allocate SAQs: {:?}", out.saq_peaks);
         assert!(out.counters.order_violations == 0);
     }

@@ -1,0 +1,413 @@
+//! Parallel sweep executor.
+//!
+//! Every paper figure is a sweep of independent `(workload, scheme,
+//! network-size)` simulations, so the harness fans them out over a worker
+//! pool instead of running them back to back:
+//!
+//! * [`RunSpec`] — a fully-described simulation run (named fields instead
+//!   of `run_one`'s former six positional arguments), with builder-style
+//!   constructors for the common shapes ([`RunSpec::corner`],
+//!   [`RunSpec::san`]).
+//! * [`Sweep`] — takes a `Vec<RunSpec>`, runs them on a
+//!   [`std::thread::scope`] pool (`--jobs N`, default = available
+//!   parallelism), and returns the [`RunOutput`]s **in submission order**
+//!   regardless of completion order, so tables and CSVs are bit-identical
+//!   to a serial run.
+//!
+//! ## Thread-locality contract
+//!
+//! The measurement [`metrics::Probe`] is `Rc<RefCell>`-based and not
+//! `Send`, and neither is the event engine. The executor therefore never
+//! shares simulation state across threads: each worker claims a spec index,
+//! constructs its *own* `Network` + `Probe` locally, runs it to completion,
+//! and only the plain-data [`RunOutput`] crosses the thread boundary. One
+//! probe per worker per run, never shared.
+//!
+//! ## Machine-readable summaries
+//!
+//! [`Sweep::json`] writes a JSON summary of the sweep (per run: scheme,
+//! delivered packets/bytes, mean latency, SAQ peaks, wall seconds,
+//! events/sec) under a directory — the binaries default this to
+//! `results/`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use fabric::SchemeKind;
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+use traffic::san::SanParams;
+
+use crate::runner::{run_one, RunOutput, Workload};
+
+/// A fully-described simulation run: what `run_one` executes.
+///
+/// Replaces the former six positional arguments of `run_one` with named
+/// fields plus chainable setters, so call sites read as specifications:
+///
+/// ```
+/// use experiments::sweep::RunSpec;
+/// use fabric::SchemeKind;
+/// use simcore::Picos;
+/// use topology::MinParams;
+/// use traffic::corner::CornerCase;
+///
+/// let spec = RunSpec::corner(
+///     MinParams::paper_64(),
+///     SchemeKind::OneQ,
+///     CornerCase::case1_64().shrunk(40),
+/// )
+/// .horizon(Picos::from_us(40))
+/// .bin(Picos::from_us(2))
+/// .label("quickcheck");
+/// assert_eq!(spec.packet_size, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Context tag for progress lines and JSON summaries (e.g. `fig2a`).
+    pub label: String,
+    /// Network topology parameters.
+    pub params: MinParams,
+    /// Queueing scheme under test.
+    pub scheme: SchemeKind,
+    /// Traffic offered to the network.
+    pub workload: Workload,
+    /// Packet size in bytes (paper headline figures: 64).
+    pub packet_size: u32,
+    /// Simulated time to run to.
+    pub horizon: Picos,
+    /// Series bucket width for the probe.
+    pub bin: Picos,
+}
+
+impl RunSpec {
+    /// A run of `workload` under `scheme` on a `params`-sized MIN, with the
+    /// paper's defaults (64-byte packets, 1600 µs horizon, 5 µs bins).
+    pub fn new(params: MinParams, scheme: SchemeKind, workload: Workload) -> RunSpec {
+        RunSpec {
+            label: scheme.name().to_owned(),
+            params,
+            scheme,
+            workload,
+            packet_size: 64,
+            horizon: Picos::from_us(1600),
+            bin: Picos::from_us(5),
+        }
+    }
+
+    /// A corner-case run (Table 1 traffic).
+    pub fn corner(params: MinParams, scheme: SchemeKind, corner: CornerCase) -> RunSpec {
+        RunSpec::new(params, scheme, Workload::Corner(corner))
+    }
+
+    /// A SAN-trace run on the paper's 64-host network.
+    pub fn san(scheme: SchemeKind, san: SanParams) -> RunSpec {
+        RunSpec::new(MinParams::paper_64(), scheme, Workload::San(san))
+    }
+
+    /// Sets the packet size in bytes.
+    pub fn packet_size(mut self, bytes: u32) -> RunSpec {
+        self.packet_size = bytes;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn horizon(mut self, horizon: Picos) -> RunSpec {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the series bucket width.
+    pub fn bin(mut self, bin: Picos) -> RunSpec {
+        self.bin = bin;
+        self
+    }
+
+    /// Sets the context label shown in progress lines and JSON summaries.
+    pub fn label(mut self, label: impl Into<String>) -> RunSpec {
+        self.label = label.into();
+        self
+    }
+}
+
+/// A batch of independent simulation runs fanned out over a worker pool.
+///
+/// Results come back in **submission order** regardless of completion
+/// order; a `jobs(1)` sweep and a `jobs(N)` sweep of the same specs return
+/// bit-identical outputs (each run constructs its own seeded, deterministic
+/// simulation — see the module docs for the thread-locality contract).
+#[derive(Debug)]
+pub struct Sweep {
+    specs: Vec<RunSpec>,
+    jobs: usize,
+    progress: bool,
+    json: Option<(PathBuf, String)>,
+}
+
+impl Sweep {
+    /// A sweep over `specs` using all available parallelism, silent, with
+    /// no JSON summary.
+    pub fn new(specs: Vec<RunSpec>) -> Sweep {
+        Sweep { specs, jobs: default_jobs(), progress: false, json: None }
+    }
+
+    /// Sets the worker count (`0` or `None`-like values fall back to the
+    /// available parallelism; the pool never exceeds the number of specs).
+    pub fn jobs(mut self, jobs: usize) -> Sweep {
+        self.jobs = if jobs == 0 { default_jobs() } else { jobs };
+        self
+    }
+
+    /// Enables per-job progress lines on stderr:
+    /// `[3/20] RECN fig2a … 4.1s wall, 2.1M events/s`.
+    pub fn progress(mut self, on: bool) -> Sweep {
+        self.progress = on;
+        self
+    }
+
+    /// Writes a machine-readable JSON summary named `<name>.sweep.json`
+    /// under `dir` after the run.
+    pub fn json(mut self, dir: impl Into<PathBuf>, name: impl Into<String>) -> Sweep {
+        self.json = Some((dir.into(), name.into()));
+        self
+    }
+
+    /// Runs every spec and returns the outputs in submission order.
+    pub fn run(self) -> Vec<RunOutput> {
+        let Sweep { specs, jobs, progress, json } = self;
+        let n = specs.len();
+        let workers = jobs.clamp(1, n.max(1));
+        let started = Instant::now();
+
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            // The worker builds Network + Probe thread-locally inside
+            // run_one; only the Send-able RunOutput leaves this closure.
+            let out = run_one(&specs[i]);
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if progress {
+                eprintln!(
+                    "[{finished}/{n}] {} {} … {:.1}s wall, {:.1}M events/s",
+                    out.scheme,
+                    specs[i].label,
+                    out.wall_secs,
+                    events_per_sec(&out) / 1e6,
+                );
+            }
+            *slots[i].lock().expect("result slot poisoned") = Some(out);
+        };
+
+        if workers <= 1 {
+            work();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(work);
+                }
+            });
+        }
+
+        let outputs: Vec<RunOutput> = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed spec stores an output")
+            })
+            .collect();
+
+        if let Some((dir, name)) = json {
+            match write_summary(&dir, &name, workers, started.elapsed().as_secs_f64(), &specs, &outputs) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("sweep summary not written: {e}"),
+            }
+        }
+        outputs
+    }
+}
+
+/// Worker count used when none is requested: the machine's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Simulated events per wall-clock second of a finished run.
+pub fn events_per_sec(out: &RunOutput) -> f64 {
+    if out.wall_secs > 0.0 {
+        out.events as f64 / out.wall_secs
+    } else {
+        0.0
+    }
+}
+
+/// Writes the JSON sweep summary and returns its path.
+fn write_summary(
+    dir: &Path,
+    name: &str,
+    jobs: usize,
+    total_wall_secs: f64,
+    specs: &[RunSpec],
+    outputs: &[RunOutput],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.sweep.json"));
+    std::fs::write(&path, render_summary(name, jobs, total_wall_secs, specs, outputs))?;
+    Ok(path)
+}
+
+/// Renders the machine-readable summary (hand-rolled JSON: the offline
+/// build's serde is a no-op stub, and the shape is small and stable).
+pub fn render_summary(
+    name: &str,
+    jobs: usize,
+    total_wall_secs: f64,
+    specs: &[RunSpec],
+    outputs: &[RunOutput],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"sweep\": {},\n", jstr(name)));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"total_wall_secs\": {},\n", jnum(total_wall_secs)));
+    s.push_str("  \"runs\": [\n");
+    for (i, (spec, out)) in specs.iter().zip(outputs).enumerate() {
+        let sep = if i + 1 == outputs.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"label\": {}, \"scheme\": {}, \"hosts\": {}, \"packet_size\": {}, \
+             \"delivered_packets\": {}, \"delivered_bytes\": {}, \"mean_latency_ns\": {}, \
+             \"saq_peaks\": [{}, {}, {}], \"wall_secs\": {}, \"events\": {}, \
+             \"events_per_sec\": {}}}{sep}\n",
+            jstr(&spec.label),
+            jstr(out.scheme),
+            spec.params.hosts(),
+            spec.packet_size,
+            out.counters.delivered_packets,
+            out.counters.delivered_bytes,
+            jnum(out.counters.latency_ns.mean()),
+            out.saq_peaks.0,
+            out.saq_peaks.1,
+            out.saq_peaks.2,
+            jnum(out.wall_secs),
+            out.events,
+            jnum(events_per_sec(out)),
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SchemeSet;
+    use simcore::SeriesPoint;
+
+    /// Quick corner sweep of every scheme (tiny 40 µs horizon).
+    fn quick_specs() -> Vec<RunSpec> {
+        let corner = CornerCase::case1_64().shrunk(40);
+        SchemeSet::All
+            .schemes_scaled(40)
+            .into_iter()
+            .map(|scheme| {
+                RunSpec::corner(MinParams::paper_64(), scheme, corner)
+                    .horizon(Picos::from_us(40))
+                    .bin(Picos::from_us(2))
+                    .label("quick")
+            })
+            .collect()
+    }
+
+    fn series_eq(a: &[SeriesPoint], b: &[SeriesPoint]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.t_us.to_bits() == y.t_us.to_bits() && x.value.to_bits() == y.value.to_bits()
+            })
+    }
+
+    /// The tentpole determinism contract: a 4-job parallel sweep returns
+    /// outputs bit-identical (same SeriesPoint values, same order) to the
+    /// serial sweep.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let serial = Sweep::new(quick_specs()).jobs(1).run();
+        let parallel = Sweep::new(quick_specs()).jobs(4).run();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.scheme, p.scheme, "submission order must be preserved");
+            assert!(series_eq(&s.throughput, &p.throughput), "{}", s.scheme);
+            assert!(series_eq(&s.saq_ingress, &p.saq_ingress), "{}", s.scheme);
+            assert!(series_eq(&s.saq_egress, &p.saq_egress), "{}", s.scheme);
+            assert!(series_eq(&s.saq_total, &p.saq_total), "{}", s.scheme);
+            assert_eq!(s.saq_peaks, p.saq_peaks);
+            assert_eq!(s.counters.delivered_packets, p.counters.delivered_packets);
+            assert_eq!(s.counters.delivered_bytes, p.counters.delivered_bytes);
+            assert_eq!(s.events, p.events);
+        }
+    }
+
+    #[test]
+    fn oversized_job_count_is_clamped() {
+        let outs = Sweep::new(quick_specs()).jobs(64).run();
+        assert_eq!(outs.len(), 5);
+        assert!(outs.iter().all(|o| o.counters.delivered_packets > 0));
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let specs = quick_specs();
+        let outs = Sweep::new(specs.clone()).jobs(2).run();
+        let json = render_summary("smoke", 2, 1.25, &specs, &outs);
+        assert!(json.contains("\"sweep\": \"smoke\""));
+        assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains("\"wall_secs\""));
+        assert!(json.contains("\"events_per_sec\""));
+        // One runs-array entry per spec, comma-separated except the last.
+        assert_eq!(json.matches("\"label\"").count(), specs.len());
+        assert_eq!(json.matches("},\n").count(), specs.len() - 1);
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the offline build).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn jstr_escapes() {
+        assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(2.5), "2.5");
+    }
+}

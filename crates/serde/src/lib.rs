@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal replacement: the `Serialize`/`Deserialize` traits
+//! exist (so `use serde::{Serialize, Deserialize}` and derive attributes
+//! compile) but carry no methods, and the re-exported derive macros expand
+//! to nothing. Nothing in the workspace performs serde serialization —
+//! reports are hand-rendered text/CSV/JSON — so this is sufficient. To
+//! restore real serde, point the `serde` workspace dependency back at
+//! crates.io.
+
+#![forbid(unsafe_code)]
+
+/// Inert stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Inert stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

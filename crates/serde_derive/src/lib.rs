@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this no-op replacement: `#[derive(Serialize, Deserialize)]`
+//! attributes across the tree keep compiling, but expand to nothing.
+//! Nothing in the workspace serializes through serde (reports are
+//! hand-rendered text/CSV/JSON), so no impls are needed. Swap the
+//! `serde`/`serde_derive` workspace entries back to the crates.io
+//! versions to restore real serialization support.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

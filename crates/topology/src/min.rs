@@ -29,7 +29,7 @@ impl MinParams {
     /// and `stages ≤ MAX_STAGES`.
     pub fn new(hosts: u32, radix: u32, stages: u32) -> MinParams {
         assert!(radix >= 2, "radix must be at least 2");
-        assert!(hosts >= radix && hosts % radix == 0, "radix must divide hosts");
+        assert!(hosts >= radix && hosts.is_multiple_of(radix), "radix must divide hosts");
         assert!(stages as usize <= MAX_STAGES, "too many stages");
         let capacity = (radix as u64).pow(stages);
         assert!(
@@ -37,7 +37,7 @@ impl MinParams {
             "{stages} base-{radix} stages address only {capacity} < {hosts} hosts"
         );
         assert!(
-            capacity % hosts as u64 == 0,
+            capacity.is_multiple_of(hosts as u64),
             "hosts must divide radix^stages ({hosts} ∤ {capacity}): destination-tag              routing over the perfect shuffle is only a delta network then"
         );
         MinParams { hosts, radix, stages }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint, and smoke-test the parallel sweep
+# executor. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q =="
+cargo test -q
+
+echo "== tier1: cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== tier1: quick-mode sweep smoke test (fig2, --jobs 4 vs --jobs 1) =="
+# The parallel executor must return results in submission order, so the
+# rendered tables are byte-identical at any parallelism; the JSON sweep
+# summary must report per-run wall seconds and events/sec.
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+(cd "$smoke" && "$OLDPWD/target/release/fig2" --quick --jobs 1 --json j1 > serial.txt 2> /dev/null)
+(cd "$smoke" && "$OLDPWD/target/release/fig2" --quick --jobs 4 --json j4 > parallel.txt 2> /dev/null)
+cmp "$smoke/serial.txt" "$smoke/parallel.txt"
+grep -q '"wall_secs"' "$smoke/j4/fig2.sweep.json"
+grep -q '"events_per_sec"' "$smoke/j4/fig2.sweep.json"
+echo "smoke test passed: parallel output byte-identical to serial, JSON summary written"
+
+echo "== tier1: all checks passed =="

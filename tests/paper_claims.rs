@@ -6,6 +6,7 @@
 //! binaries.
 
 use experiments::runner::{run_one, scaled_recn_config, Workload};
+use experiments::sweep::RunSpec;
 use experiments::table1;
 use fabric::SchemeKind;
 use metrics::report::window_stats;
@@ -32,8 +33,12 @@ fn recn() -> SchemeKind {
     SchemeKind::Recn(scaled_recn_config(DIV))
 }
 
+fn spec(params: MinParams, scheme: SchemeKind, workload: &Workload) -> RunSpec {
+    RunSpec::new(params, scheme, workload.clone()).horizon(horizon()).bin(Picos::from_us(1))
+}
+
 fn run(scheme: SchemeKind, workload: &Workload) -> experiments::RunOutput {
-    run_one(MinParams::paper_64(), scheme, workload, 64, horizon(), Picos::from_us(1))
+    run_one(&spec(MinParams::paper_64(), scheme, workload))
 }
 
 /// Mean throughput inside the (compressed) congestion window.
@@ -90,9 +95,8 @@ fn claim_scales_to_larger_networks() {
     // Figure 6 (compressed): the 256-host network still needs ≤ 8 SAQs per
     // port and RECN stays above VOQsw inside the congestion window.
     let w = Workload::Corner(CornerCase::case2_256().shrunk(DIV));
-    let recn_out = run_one(MinParams::paper_256(), recn(), &w, 64, horizon(), Picos::from_us(1));
-    let voqsw =
-        run_one(MinParams::paper_256(), SchemeKind::VoqSw, &w, 64, horizon(), Picos::from_us(1));
+    let recn_out = run_one(&spec(MinParams::paper_256(), recn(), &w));
+    let voqsw = run_one(&spec(MinParams::paper_256(), SchemeKind::VoqSw, &w));
     assert!(recn_out.saq_peaks.0 <= 8 && recn_out.saq_peaks.1 <= 8);
     let (r, s) = (window_mean(&recn_out), window_mean(&voqsw));
     assert!(r > 0.95 * s, "RECN {r:.1} at least matches VOQsw {s:.1} at 256 hosts");
@@ -102,7 +106,7 @@ fn claim_scales_to_larger_networks() {
 fn san_traces_run_under_all_trace_schemes() {
     let w = Workload::San(SanParams::cello_like(40.0));
     for scheme in [SchemeKind::VoqNet, SchemeKind::OneQ, recn()] {
-        let out = run_one(MinParams::paper_64(), scheme, &w, 512, horizon(), Picos::from_us(1));
+        let out = run_one(&spec(MinParams::paper_64(), scheme, &w).packet_size(512));
         assert!(
             out.counters.delivered_packets > 0,
             "{} must deliver SAN traffic",
