@@ -2,11 +2,18 @@
 //! middle of the congestion window and prints the most loaded ports with
 //! their SAQ state — a window into how the congestion tree is isolated.
 //!
+//! With `--trace FILE` the run records an event trace (ring capacity
+//! `--trace-last N`, digest over the whole run) and writes it to FILE as
+//! JSONL; every run also rides a `ValidatingObserver`, so reaching the
+//! report at all means no lossless invariant broke on the way there.
+//!
 //! Options: the common flags plus everything in `--help`.
 
 use experiments::runner::{paper_recn_config, scaled_recn_config};
 use experiments::Opts;
-use fabric::{render_port, FabricConfig, Network, NullObserver, SchemeKind};
+use fabric::{
+    render_port, FabricConfig, FanoutObserver, Network, SchemeKind, TraceSink, ValidatingObserver,
+};
 use simcore::Picos;
 use topology::MinParams;
 use traffic::corner::CornerCase;
@@ -17,12 +24,22 @@ fn main() {
     let corner = CornerCase::case2_64().with_msg_bytes(opts.packet_size()).shrunk(div);
     let recn_cfg = if div == 1 { paper_recn_config() } else { scaled_recn_config(div) };
     let sources = corner.build_sources(Picos::from_us(1600 / div));
+
+    let (validator, vhandle) = ValidatingObserver::new();
+    let mut fan = FanoutObserver::new().push(Box::new(validator));
+    let mut trace = None;
+    if opts.trace_file.is_some() {
+        let (sink, handle) = TraceSink::new(opts.trace_capacity(), "inspect case2_64 RECN");
+        fan = fan.push(Box::new(sink));
+        trace = Some(handle);
+    }
+
     let net = Network::new(
         MinParams::paper_64(),
         FabricConfig::paper(SchemeKind::Recn(recn_cfg)),
         opts.packet_size(),
         sources,
-        Box::new(NullObserver),
+        Box::new(fan),
     );
     let mut engine = net.build_engine();
     // Halt in the middle of the congestion window (paper: 800–970 µs).
@@ -42,9 +59,26 @@ fn main() {
         c.root_activations,
         c.root_clears,
     );
+    println!(
+        "validated {} events: {} in flight, {} SAQs live, {} source drops",
+        vhandle.events_checked(),
+        vhandle.in_flight(),
+        vhandle.live_saqs(),
+        vhandle.drop_attempts().0,
+    );
     let (pi, po, pn) = net.peak_occupancies();
     println!("peak buffer occupancy: inputs {pi}B, outputs {po}B, NICs {pn}B\n");
     for (name, snap) in net.hottest_ports(24) {
         println!("{}", render_port(&name, &snap));
+    }
+    if let (Some(handle), Some(path)) = (trace, &opts.trace_file) {
+        std::fs::write(path, handle.render_jsonl()).expect("write trace file");
+        eprintln!(
+            "wrote {} ({} of {} events retained, digest {:#018x})",
+            path.display(),
+            handle.retained(),
+            handle.recorded(),
+            handle.digest(),
+        );
     }
 }

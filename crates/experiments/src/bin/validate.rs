@@ -1,0 +1,44 @@
+//! Validation smoke: one corner-case hotspot run per scheme with the
+//! online [`fabric::ValidatingObserver`] fanned in. The validator panics
+//! on the first invariant violation, so this binary finishing at all means
+//! every scheme completed its run with zero violations; it also prints
+//! each run's stable trace digest for eyeballing against the golden-trace
+//! regression suite.
+//!
+//! `--quick` shortens the run 8× further (used by `scripts/tier1.sh`).
+
+use experiments::runner::{summarize, SchemeSet};
+use experiments::sweep::RunSpec;
+use experiments::{Opts, Sweep};
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+
+fn main() {
+    let opts = Opts::from_env();
+    // Time-compressed hotspot: corner case 2 exercises every RECN path
+    // (SAQ allocation, markers, Xon/Xoff, dealloc cascades) while staying
+    // fast enough for a CI gate.
+    let div = 40 * opts.time_div();
+    let horizon = Picos::from_us(1600 / div);
+    let corner = CornerCase::case2_64().shrunk(div);
+    let specs: Vec<RunSpec> = SchemeSet::All
+        .schemes_scaled(div)
+        .into_iter()
+        .map(|scheme| {
+            RunSpec::corner(MinParams::paper_64(), scheme, corner)
+                .horizon(horizon)
+                .bin(Picos::from_us(2))
+                .label("validate")
+                .validate(true)
+                .trace(opts.trace_capacity())
+        })
+        .collect();
+    let n = specs.len();
+    let outs = Sweep::new(specs).jobs(opts.jobs.unwrap_or(0)).run();
+    for out in &outs {
+        let digest = out.trace_digest.expect("tracing was requested");
+        println!("{}  trace digest {digest:#018x}", summarize(out));
+    }
+    println!("{n} schemes validated: zero invariant violations");
+}

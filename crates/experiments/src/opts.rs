@@ -7,7 +7,8 @@ use crate::sweep::{RunSpec, Sweep};
 
 /// Usage text printed by `--help` and attached to parse errors.
 pub const USAGE: &str = "options: [--quick] [--pkt 64|512] [--csv DIR] [--json DIR|none] \
-                         [--jobs N] [--net 256|512] [--stride N]";
+                         [--jobs N] [--net 256|512] [--stride N] [--trace FILE] \
+                         [--trace-last N]";
 
 /// Options common to every experiment binary.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +30,13 @@ pub struct Opts {
     pub net: Option<u32>,
     /// Print every Nth series row (default 4; 1 = all rows).
     pub stride: usize,
+    /// Write an event-trace JSONL file here (`--trace FILE`; binaries that
+    /// support it install a [`fabric::TraceSink`]).
+    pub trace_file: Option<PathBuf>,
+    /// Ring-buffer capacity for `--trace`: how many of the run's last
+    /// events the JSONL retains (`--trace-last N`, default 4096; the
+    /// digest always covers the whole run).
+    pub trace_last: usize,
 }
 
 impl Opts {
@@ -38,8 +46,12 @@ impl Opts {
     /// unknown flags or missing/invalid values. `--help` still prints the
     /// usage and exits successfully.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Opts, String> {
-        let mut opts =
-            Opts { stride: 4, json_dir: Some(PathBuf::from("results")), ..Opts::default() };
+        let mut opts = Opts {
+            stride: 4,
+            json_dir: Some(PathBuf::from("results")),
+            trace_last: 4096,
+            ..Opts::default()
+        };
         let mut it = args.into_iter();
         fn value(
             it: &mut impl Iterator<Item = String>,
@@ -80,6 +92,16 @@ impl Opts {
                     opts.stride =
                         v.parse().map_err(|_| format!("--stride expects a count, got {v:?}"))?;
                 }
+                "--trace" => {
+                    opts.trace_file = Some(PathBuf::from(value(&mut it, "--trace", "a file")?));
+                }
+                "--trace-last" => {
+                    let v = value(&mut it, "--trace-last", "a record count")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--trace-last expects a count, got {v:?}"))?;
+                    opts.trace_last = n.max(1);
+                }
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -91,6 +113,11 @@ impl Opts {
             opts.stride = 1;
         }
         Ok(opts)
+    }
+
+    /// The trace ring capacity when tracing is on (always at least 1).
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_last.max(1)
     }
 
     /// Parses the process arguments; prints the error and exits with
@@ -195,6 +222,24 @@ mod tests {
         assert!(parse(&["--jobs"]).unwrap_err().contains("--jobs needs"));
         assert!(parse(&["--pkt", "tiny"]).unwrap_err().contains("--pkt expects bytes"));
         assert!(parse(&["--jobs", "zero"]).unwrap_err().contains("--jobs expects a count"));
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = parse(&["--trace", "out.jsonl", "--trace-last", "100"]).unwrap();
+        assert_eq!(o.trace_file, Some(PathBuf::from("out.jsonl")));
+        assert_eq!(o.trace_capacity(), 100);
+        // Defaults: tracing off, generous ring.
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.trace_file, None);
+        assert_eq!(o.trace_capacity(), 4096);
+        // A zero ring is coerced to hold at least one record.
+        let o = parse(&["--trace-last", "0"]).unwrap();
+        assert_eq!(o.trace_capacity(), 1);
+        assert!(parse(&["--trace"]).unwrap_err().contains("--trace needs"));
+        assert!(parse(&["--trace-last", "many"])
+            .unwrap_err()
+            .contains("--trace-last expects a count"));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 
 use std::time::Instant;
 
-use fabric::{FabricConfig, MessageSource, NetCounters, Network, SchemeKind};
+use fabric::{
+    FabricConfig, FanoutObserver, MessageSource, NetCounters, Network, SchemeKind, TraceHandle,
+    TraceSink, ValidatingObserver,
+};
 use metrics::{Probe, ProbeHandle};
 use recn::RecnConfig;
 use simcore::{Picos, SeriesPoint};
@@ -66,6 +69,9 @@ pub struct RunOutput {
     pub wall_secs: f64,
     /// Simulated events processed.
     pub events: u64,
+    /// Stable 64-bit digest of the run's event trace (only when the spec
+    /// enabled tracing via [`RunSpec::trace`](crate::sweep::RunSpec::trace)).
+    pub trace_digest: Option<u64>,
 }
 
 /// The RECN configuration used by all paper-scale experiments: thresholds
@@ -155,14 +161,30 @@ pub fn run_one(spec: &RunSpec) -> RunOutput {
     fabric_cfg.admit_cap = spec.workload.admit_cap();
     let sources = spec.workload.sources(spec.params.hosts(), spec.horizon);
     let (probe, handle) = Probe::new(spec.bin);
-    let net = Network::new(spec.params, fabric_cfg, spec.packet_size, sources, Box::new(probe));
+    // Validator and tracer ride the same observer slot as the probe via a
+    // fan-out; all three are Rc<RefCell>-based and constructed here, on the
+    // worker thread, per the sweep's thread-locality contract.
+    let mut fan = FanoutObserver::new().push(Box::new(probe));
+    if spec.validate {
+        let (validator, _vhandle) = ValidatingObserver::new();
+        fan = fan.push(Box::new(validator));
+    }
+    let mut trace: Option<TraceHandle> = None;
+    if let Some(capacity) = spec.trace_capacity {
+        let (sink, thandle) = TraceSink::new(capacity, spec.label.clone());
+        fan = fan.push(Box::new(sink));
+        trace = Some(thandle);
+    }
+    let net = Network::new(spec.params, fabric_cfg, spec.packet_size, sources, Box::new(fan));
     let started = Instant::now();
     let mut engine = net.build_engine();
     engine.run_until(spec.horizon);
     let wall_secs = started.elapsed().as_secs_f64();
     let events = engine.processed();
     let model = engine.into_model();
-    finish(spec.scheme, model, handle, spec.horizon, wall_secs, events)
+    let mut out = finish(spec.scheme, model, handle, spec.horizon, wall_secs, events);
+    out.trace_digest = trace.map(|t| t.digest());
+    out
 }
 
 fn finish(
@@ -183,6 +205,7 @@ fn finish(
         counters: model.counters().clone(),
         wall_secs,
         events,
+        trace_digest: None,
     }
 }
 

@@ -81,6 +81,14 @@ pub struct RunSpec {
     pub horizon: Picos,
     /// Series bucket width for the probe.
     pub bin: Picos,
+    /// Run with a [`fabric::ValidatingObserver`] fanned in: every event is
+    /// cross-checked against the lossless-network invariants and the run
+    /// panics on the first violation.
+    pub validate: bool,
+    /// Record a [`fabric::TraceSink`] retaining this many events; the
+    /// run's stable digest lands in
+    /// [`RunOutput::trace_digest`](crate::runner::RunOutput::trace_digest).
+    pub trace_capacity: Option<usize>,
 }
 
 impl RunSpec {
@@ -95,6 +103,8 @@ impl RunSpec {
             packet_size: 64,
             horizon: Picos::from_us(1600),
             bin: Picos::from_us(5),
+            validate: false,
+            trace_capacity: None,
         }
     }
 
@@ -129,6 +139,20 @@ impl RunSpec {
     /// Sets the context label shown in progress lines and JSON summaries.
     pub fn label(mut self, label: impl Into<String>) -> RunSpec {
         self.label = label.into();
+        self
+    }
+
+    /// Enables online invariant checking for this run (see
+    /// [`fabric::ValidatingObserver`]).
+    pub fn validate(mut self, on: bool) -> RunSpec {
+        self.validate = on;
+        self
+    }
+
+    /// Enables event tracing with a ring buffer of `capacity` records; the
+    /// stable run digest is returned in `RunOutput::trace_digest`.
+    pub fn trace(mut self, capacity: usize) -> RunSpec {
+        self.trace_capacity = Some(capacity);
         self
     }
 }

@@ -1,0 +1,78 @@
+//! Golden-trace regression suite.
+//!
+//! Each scheme runs the 64-host corner-case-2 hotspot with tracing (and the
+//! online invariant validator) on; the trace digest folds every observer
+//! event of the run — injections, hops, queue ops, credit flow, SAQ
+//! lifecycle — into one stable 64-bit FNV value. The digests below are
+//! checked in: any behavioural drift in the simulator (event order, credit
+//! accounting, SAQ decisions) shows up as a digest mismatch even when the
+//! headline counters still agree.
+//!
+//! The same specs run through a serial and a 4-worker sweep, which extends
+//! the bit-identical determinism contract down to the per-event level.
+
+use experiments::runner::SchemeSet;
+use experiments::{RunSpec, Sweep};
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+
+/// Scheme name → expected whole-run trace digest for the spec built by
+/// [`golden_specs`]. Regenerate by running this test and copying the
+/// digests from the failure message — but first convince yourself the
+/// behaviour change is intended.
+const GOLDEN: &[(&str, u64)] = &[
+    ("VOQnet", 0xbbd0_e177_5201_b3cd),
+    ("VOQsw", 0x907a_0f2f_5fd1_ad98),
+    ("4Q", 0xba4c_8034_2b71_446d),
+    ("1Q", 0xb7f9_c468_9067_a8a6),
+    ("RECN", 0x8ccd_b1f1_e7cb_4c5d),
+];
+
+/// The corner-case hotspot run the digests are pinned to: time-compressed
+/// case 2 (all-to-hotspot plus victim flows), every scheme, validation on.
+fn golden_specs() -> Vec<RunSpec> {
+    let corner = CornerCase::case2_64().shrunk(40);
+    SchemeSet::All
+        .schemes_scaled(40)
+        .into_iter()
+        .map(|scheme| {
+            RunSpec::corner(MinParams::paper_64(), scheme, corner)
+                .horizon(Picos::from_us(40))
+                .bin(Picos::from_us(2))
+                .label("golden")
+                .validate(true)
+                .trace(64)
+        })
+        .collect()
+}
+
+#[test]
+fn trace_digests_match_golden_and_are_parallel_stable() {
+    let serial = Sweep::new(golden_specs()).jobs(1).run();
+    let parallel = Sweep::new(golden_specs()).jobs(4).run();
+    assert_eq!(serial.len(), GOLDEN.len());
+
+    let digests: Vec<(&str, u64)> = serial
+        .iter()
+        .map(|o| (o.scheme, o.trace_digest.expect("tracing was requested")))
+        .collect();
+
+    // Per-event determinism: a 4-worker sweep replays the exact same event
+    // sequence as the serial one, not merely the same summary numbers.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.scheme, p.scheme, "submission order must be preserved");
+        assert_eq!(
+            s.trace_digest, p.trace_digest,
+            "{}: parallel sweep diverged from serial at the event level",
+            s.scheme
+        );
+    }
+
+    // Regression pin: digests must match the checked-in golden values.
+    assert_eq!(
+        digests, GOLDEN,
+        "trace digests drifted from the checked-in golden values; if the \
+         behaviour change is intended, update GOLDEN in this test"
+    );
+}

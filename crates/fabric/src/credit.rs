@@ -14,6 +14,8 @@ pub enum CreditView {
     Pooled {
         /// Free bytes remaining in the view.
         free: u64,
+        /// Static capacity of the pool.
+        cap: u64,
     },
     /// Statically split per-queue pools (1Q/4Q/VOQsw/VOQnet).
     PerQueue {
@@ -33,7 +35,7 @@ pub const POOLED_QUEUE: u16 = u16::MAX;
 impl CreditView {
     /// A pooled view of `total` bytes.
     pub fn pooled(total: u64) -> CreditView {
-        CreditView::Pooled { free: total }
+        CreditView::Pooled { free: total, cap: total }
     }
 
     /// A per-queue view: `queues` pools of `total / queues` bytes each.
@@ -55,7 +57,7 @@ impl CreditView {
     /// capacity) — that would deadlock silently otherwise.
     pub fn has_room(&self, queue: u16, bytes: u64) -> bool {
         match self {
-            CreditView::Pooled { free } => *free >= bytes,
+            CreditView::Pooled { free, .. } => *free >= bytes,
             CreditView::PerQueue { free, cap } => {
                 assert!(
                     bytes <= *cap,
@@ -75,7 +77,7 @@ impl CreditView {
     /// Panics if the room was not checked first.
     pub fn consume(&mut self, queue: u16, bytes: u64) {
         match self {
-            CreditView::Pooled { free } => {
+            CreditView::Pooled { free, .. } => {
                 assert!(*free >= bytes, "credit underflow");
                 *free -= bytes;
             }
@@ -95,13 +97,35 @@ impl CreditView {
     /// Panics if the credit would exceed the pool capacity (protocol bug).
     pub fn replenish(&mut self, queue: u16, bytes: u64) {
         match self {
-            CreditView::Pooled { free } => *free += bytes,
+            CreditView::Pooled { free, cap } => {
+                *free += bytes;
+                assert!(*free <= *cap, "credit overflow: more returned than consumed");
+            }
             CreditView::PerQueue { free, cap } => {
                 let f = &mut free[queue as usize];
                 *f += bytes;
                 assert!(*f <= *cap, "credit overflow: more returned than consumed");
             }
             CreditView::Infinite => {}
+        }
+    }
+
+    /// Free bytes currently in the view toward `queue` (`None` for
+    /// infinite host sinks, where the question is meaningless).
+    pub fn free_bytes(&self, queue: u16) -> Option<u64> {
+        match self {
+            CreditView::Pooled { free, .. } => Some(*free),
+            CreditView::PerQueue { free, .. } => Some(free[queue as usize]),
+            CreditView::Infinite => None,
+        }
+    }
+
+    /// Static capacity of the pool backing `queue` (`None` for infinite).
+    pub fn queue_cap(&self) -> Option<u64> {
+        match self {
+            CreditView::Pooled { cap, .. } => Some(*cap),
+            CreditView::PerQueue { cap, .. } => Some(*cap),
+            CreditView::Infinite => None,
         }
     }
 
@@ -176,6 +200,29 @@ mod tests {
         v.consume(2, 20);
         v.consume(3, 20);
         assert_eq!(v.roomiest_queue(), 0);
+    }
+
+    #[test]
+    fn accessors_report_free_and_cap() {
+        let mut pooled = CreditView::pooled(100);
+        assert_eq!(pooled.free_bytes(POOLED_QUEUE), Some(100));
+        assert_eq!(pooled.queue_cap(), Some(100));
+        pooled.consume(POOLED_QUEUE, 40);
+        assert_eq!(pooled.free_bytes(POOLED_QUEUE), Some(60));
+
+        let per_q = CreditView::per_queue(100, 4);
+        assert_eq!(per_q.free_bytes(2), Some(25));
+        assert_eq!(per_q.queue_cap(), Some(25));
+
+        assert_eq!(CreditView::Infinite.free_bytes(0), None);
+        assert_eq!(CreditView::Infinite.queue_cap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn pooled_over_replenish_detected() {
+        let mut v = CreditView::pooled(100);
+        v.replenish(POOLED_QUEUE, 1);
     }
 
     #[test]

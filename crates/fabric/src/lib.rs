@@ -61,6 +61,8 @@ mod observer;
 mod packet;
 mod queue;
 mod source;
+mod trace;
+mod validate;
 
 pub use config::{FabricConfig, SchemeKind};
 pub use credit::{CreditView, POOLED_QUEUE};
@@ -68,7 +70,9 @@ pub use network::{
     assert_recn_idle, paper_network, render_port, Event, NetCounters, Network, PortRef,
     PortSnapshot, SaqSnapshot,
 };
-pub use observer::{NetObserver, NullObserver, SaqSite};
+pub use observer::{FanoutObserver, NetObserver, NullObserver, QueueKind, SaqSite};
+pub use trace::{json_escape, TraceEvent, TraceHandle, TraceRecord, TraceSink};
+pub use validate::{ValidatingObserver, ValidatorHandle};
 pub use packet::{Packet, Payload, QueueItem, RevPayload};
 pub use queue::{PortSide, QueueSet};
 pub use source::{ConstantRateSource, MessageSource, ScriptSource, SilentSource, SourcedMessage};

@@ -511,6 +511,29 @@ impl Network {
     // Link helpers
     // ------------------------------------------------------------------
 
+    /// Reports a credit consumption on `link` to the observer (no-op for
+    /// infinite host-sink views, which have no meaningful balance).
+    pub(crate) fn note_credit_consumed(&mut self, now: Picos, link: usize, queue: u16, bytes: u64) {
+        if let Some(free) = self.links[link].credits.free_bytes(queue) {
+            let cap = self.links[link].credits.queue_cap();
+            self.observer.on_credit_change(now, link, queue, -(bytes as i64), free, cap);
+        }
+    }
+
+    /// Reports a credit replenishment on `link` to the observer.
+    pub(crate) fn note_credit_replenished(
+        &mut self,
+        now: Picos,
+        link: usize,
+        queue: u16,
+        bytes: u64,
+    ) {
+        if let Some(free) = self.links[link].credits.free_bytes(queue) {
+            let cap = self.links[link].credits.queue_cap();
+            self.observer.on_credit_change(now, link, queue, bytes as i64, free, cap);
+        }
+    }
+
     /// Sends a control payload on the forward (data) channel of `link`.
     pub(crate) fn send_fwd_ctrl(
         &mut self,
@@ -639,6 +662,7 @@ impl Network {
         match payload {
             RevPayload::Credit { queue, bytes } => {
                 self.links[link].credits.replenish(queue, bytes as u64);
+                self.note_credit_replenished(now, link, queue, bytes as u64);
                 match self.links[link].up {
                     LinkUp::Nic(h) => self.kick_nic_arb(now, q, h),
                     LinkUp::Switch { sw, port } => self.kick_output_arb(now, q, sw, port),

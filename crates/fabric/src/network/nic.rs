@@ -3,10 +3,11 @@
 
 use simcore::{EventQueue, Picos};
 
+use crate::observer::QueueKind;
 use crate::packet::{Packet, Payload, QueueItem};
 use crate::queue::QueueSet;
 
-use super::{Event, Network};
+use super::{Event, Network, PortRef};
 
 impl Network {
     /// `Event::NextMessage` — a source's message is due: packetize it into
@@ -23,6 +24,7 @@ impl Network {
             // (application back-pressure); it never enters the network.
             self.counters.source_dropped_messages += 1;
             self.counters.source_dropped_bytes += msg.bytes as u64;
+            self.observer.on_drop_attempt(now, host, dst, msg.bytes);
         } else {
         let mut remaining = msg.bytes;
         while remaining > 0 {
@@ -90,6 +92,12 @@ impl Network {
                 let pkt = self.nics[host].admit[d].pop_front().expect("front checked");
                 self.nics[host].admit_bytes[d] -= size;
                 self.nics[host].inject.push_direct(queue, QueueItem::Packet(pkt));
+                let kind = if queue != 0 && self.nics[host].inject.is_saq_queue(queue) {
+                    QueueKind::Saq
+                } else {
+                    QueueKind::Normal
+                };
+                self.observer.on_enqueue(now, PortRef::Nic { host }, queue, kind, &pkt);
                 if queue != 0 {
                     if let Some(saq) = self.nics[host].inject.saq_at_queue(queue) {
                         // NIC injection is terminal: enqueue signals never
@@ -144,6 +152,12 @@ impl Network {
         let QueueItem::Packet(pkt) = self.nics[host].inject.pop(qidx) else {
             unreachable!("head was a packet");
         };
+        let kind = if self.nics[host].inject.is_saq_queue(qidx) {
+            QueueKind::Saq
+        } else {
+            QueueKind::Normal
+        };
+        self.observer.on_dequeue(now, PortRef::Nic { host }, qidx, kind, &pkt);
         let size = pkt.size as u64;
         if self.nics[host].inject.is_saq_queue(qidx) {
             // SAQ dequeue bookkeeping; a NIC SAQ is always a leaf, so it may
@@ -165,6 +179,8 @@ impl Network {
             self.drain_nic_markers(now, q, host, 0);
         }
         self.links[link].credits.consume(tq, size);
+        self.note_credit_consumed(now, link, tq, size);
+        self.observer.on_hop(now, &pkt, link);
         let ser = self.cfg.link_time(size);
         self.links[link].fwd_busy_until = now + ser;
         self.links[link].fwd_busy_total += ser;

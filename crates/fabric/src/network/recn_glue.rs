@@ -6,6 +6,7 @@ use recn::{NotifOutcome, RootChange, SaqId, TokenDest};
 use simcore::{EventQueue, Picos};
 use topology::PathSpec;
 
+use crate::observer::SaqSite;
 use crate::packet::{Payload, QueueItem, RevPayload};
 use crate::queue::QueueSet;
 
@@ -44,7 +45,9 @@ impl Network {
         match outcome {
             NotifOutcome::Accepted { saq } => {
                 self.counters.saq_allocs += 1;
-                self.census_change(now, Site::In, self.port_index(sw, input), 1);
+                let idx = self.port_index(sw, input);
+                self.observer.on_saq_alloc(now, SaqSite::SwitchIngress, idx, saq.line(), &path);
+                self.census_change(now, Site::In, idx, 1);
                 self.place_marker_input(now, q, sw, input, saq);
             }
             NotifOutcome::AlreadyPresent { .. } | NotifOutcome::Rejected => {
@@ -89,11 +92,26 @@ impl Network {
                 self.counters.saq_allocs += 1;
                 match up {
                     LinkUp::Nic(h) => {
+                        self.observer.on_saq_alloc(
+                            now,
+                            SaqSite::NicInjection,
+                            h,
+                            saq.line(),
+                            &path,
+                        );
                         self.census_change(now, Site::Nic, h, 1);
                         self.place_marker_nic(now, q, h, saq);
                     }
                     LinkUp::Switch { sw, port } => {
-                        self.census_change(now, Site::Out, self.port_index(sw, port), 1);
+                        let idx = self.port_index(sw, port);
+                        self.observer.on_saq_alloc(
+                            now,
+                            SaqSite::SwitchEgress,
+                            idx,
+                            saq.line(),
+                            &path,
+                        );
+                        self.census_change(now, Site::Out, idx, 1);
                         self.place_marker_output(now, q, sw, port, saq);
                     }
                 }
@@ -187,12 +205,16 @@ impl Network {
         input: usize,
         saq: SaqId,
     ) {
+        let path =
+            self.switches[sw].inputs[input].recn().expect("RECN scheme").path_of(saq);
         let action = self.switches[sw].inputs[input]
             .recn_mut()
             .expect("RECN scheme")
             .dealloc(saq);
         self.counters.saq_deallocs += 1;
-        self.census_change(now, Site::In, self.port_index(sw, input), -1);
+        let idx = self.port_index(sw, input);
+        self.observer.on_saq_dealloc(now, SaqSite::SwitchIngress, idx, saq.line(), &path);
+        self.census_change(now, Site::In, idx, -1);
         let TokenDest::EgressSameSwitch { out_port, path_at_egress } = action.token_to else {
             unreachable!("ingress SAQ tokens stay within the switch");
         };
@@ -222,12 +244,16 @@ impl Network {
         port: usize,
         saq: SaqId,
     ) {
+        let path =
+            self.switches[sw].outputs[port].recn().expect("RECN scheme").path_of(saq);
         let action = self.switches[sw].outputs[port]
             .recn_mut()
             .expect("RECN scheme")
             .dealloc(saq);
         self.counters.saq_deallocs += 1;
-        self.census_change(now, Site::Out, self.port_index(sw, port), -1);
+        let idx = self.port_index(sw, port);
+        self.observer.on_saq_dealloc(now, SaqSite::SwitchEgress, idx, saq.line(), &path);
+        self.census_change(now, Site::Out, idx, -1);
         let TokenDest::DownstreamLink { path } = action.token_to else {
             unreachable!("egress SAQ tokens cross the downstream link");
         };
@@ -245,12 +271,14 @@ impl Network {
         host: usize,
         saq: SaqId,
     ) {
+        let path = self.nics[host].inject.recn().expect("RECN scheme").path_of(saq);
         let action = self.nics[host]
             .inject
             .recn_mut()
             .expect("RECN scheme")
             .dealloc(saq);
         self.counters.saq_deallocs += 1;
+        self.observer.on_saq_dealloc(now, SaqSite::NicInjection, host, saq.line(), &path);
         self.census_change(now, Site::Nic, host, -1);
         let TokenDest::DownstreamLink { path } = action.token_to else {
             unreachable!("NIC SAQ tokens cross the injection link");

@@ -5,9 +5,20 @@ use simcore::{EventQueue, Picos};
 
 use crate::config::SchemeKind;
 use crate::credit::POOLED_QUEUE;
+use crate::observer::QueueKind;
 use crate::packet::{Packet, Payload, QueueItem, RevPayload};
 
-use super::{Event, Network, XbarTransfer};
+use super::{Event, Network, PortRef, XbarTransfer};
+
+/// Queue classification for observer events: under RECN every non-zero
+/// queue index is a SAQ slot; baseline schemes have only normal queues.
+fn kind_of(is_recn: bool, queue: usize) -> QueueKind {
+    if is_recn && queue != 0 {
+        QueueKind::Saq
+    } else {
+        QueueKind::Normal
+    }
+}
 
 impl Network {
     /// A data packet arrived at a switch input port.
@@ -28,6 +39,13 @@ impl Network {
             target_queue as usize
         };
         self.switches[sw].inputs[port].push_direct(queue, QueueItem::Packet(pkt));
+        self.observer.on_enqueue(
+            now,
+            PortRef::SwitchIn { sw, port },
+            queue,
+            kind_of(is_recn, queue),
+            &pkt,
+        );
         if is_recn && queue != 0 {
             let input = &mut self.switches[sw].inputs[port];
             let saq = input.saq_at_queue(queue).expect("packet stored in a live SAQ");
@@ -131,6 +149,13 @@ impl Network {
             let QueueItem::Packet(mut pkt) = self.switches[sw].inputs[i].pop(qidx) else {
                 unreachable!("head was a packet");
             };
+            self.observer.on_dequeue(
+                now,
+                PortRef::SwitchIn { sw, port: i },
+                qidx,
+                kind_of(is_recn, qidx),
+                &pkt,
+            );
             let size = pkt.size as u64;
             if is_recn {
                 if qidx != 0 {
@@ -216,6 +241,13 @@ impl Network {
         match t.to_queue {
             Some(oq) => {
                 self.switches[sw].outputs[output].commit_reserved(oq, QueueItem::Packet(t.pkt));
+                self.observer.on_enqueue(
+                    now,
+                    PortRef::SwitchOut { sw, port: output },
+                    oq,
+                    QueueKind::Normal,
+                    &t.pkt,
+                );
             }
             None => {
                 // RECN: classify at commit time so packets never land behind
@@ -229,6 +261,13 @@ impl Network {
                     recn::Classify::Saq(s) => crate::queue::QueueSet::saq_queue(s),
                 };
                 self.switches[sw].outputs[output].commit_pooled(queue, QueueItem::Packet(t.pkt));
+                self.observer.on_enqueue(
+                    now,
+                    PortRef::SwitchOut { sw, port: output },
+                    queue,
+                    kind_of(true, queue),
+                    &t.pkt,
+                );
                 match recn_class {
                     recn::Classify::Saq(saq) => {
                         // Egress SAQs never emit signals on enqueue (they
@@ -306,6 +345,13 @@ impl Network {
         let QueueItem::Packet(pkt) = self.switches[sw].outputs[port].pop(qidx) else {
             unreachable!("head was a packet");
         };
+        self.observer.on_dequeue(
+            now,
+            PortRef::SwitchOut { sw, port },
+            qidx,
+            kind_of(is_recn, qidx),
+            &pkt,
+        );
         let size = pkt.size as u64;
         if is_recn {
             if qidx != 0 {
@@ -332,6 +378,8 @@ impl Network {
             }
         }
         self.links[link].credits.consume(tq, size);
+        self.note_credit_consumed(now, link, tq, size);
+        self.observer.on_hop(now, &pkt, link);
         let ser = self.cfg.link_time(size);
         self.links[link].fwd_busy_until = now + ser;
         self.links[link].fwd_busy_total += ser;

@@ -1,8 +1,22 @@
 //! Observation hooks for measurement without coupling the simulator to a
 //! particular metrics stack.
+//!
+//! [`NetObserver`] started as the four coarse events the plotting probe
+//! needs; it now also carries fine-grained hooks (hops, enqueues/dequeues,
+//! credit changes, SAQ allocation lifecycle, drop attempts) so tracing
+//! ([`crate::trace::TraceSink`]) and online invariant checking
+//! ([`crate::validate::ValidatingObserver`]) can ride on the same channel.
+//! Every method has an empty default body, so observers implement only
+//! what they need and new hooks never break existing implementations.
+//!
+//! [`FanoutObserver`] drives several observers at once behind the single
+//! `Box<dyn NetObserver>` slot [`crate::Network::new`] accepts, so a probe,
+//! a tracer and a validator can all watch one run.
 
 use simcore::Picos;
+use topology::{HostId, PathSpec};
 
+use crate::network::PortRef;
 use crate::packet::Packet;
 
 /// Where a SAQ-count change happened.
@@ -14,6 +28,15 @@ pub enum SaqSite {
     SwitchEgress,
     /// A NIC injection port.
     NicInjection,
+}
+
+/// Classification of the queue an enqueue/dequeue event touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// A baseline-scheme queue or RECN's normal queue.
+    Normal,
+    /// A RECN set-aside queue (SAQ).
+    Saq,
 }
 
 /// Receives simulation events of interest. All methods have empty default
@@ -33,6 +56,81 @@ pub trait NetObserver {
     /// An egress port became (`true`) or stopped being (`false`) a
     /// congestion-tree root.
     fn on_root_change(&mut self, _now: Picos, _switch: usize, _port: usize, _active: bool) {}
+
+    /// A data packet started crossing `link` (injection or switch output).
+    fn on_hop(&mut self, _now: Picos, _pkt: &Packet, _link: usize) {}
+
+    /// A data packet was stored into queue `queue` of `port`.
+    fn on_enqueue(
+        &mut self,
+        _now: Picos,
+        _port: PortRef,
+        _queue: usize,
+        _kind: QueueKind,
+        _pkt: &Packet,
+    ) {
+    }
+
+    /// A data packet left queue `queue` of `port`.
+    fn on_dequeue(
+        &mut self,
+        _now: Picos,
+        _port: PortRef,
+        _queue: usize,
+        _kind: QueueKind,
+        _pkt: &Packet,
+    ) {
+    }
+
+    /// The sender-side credit view of `link` changed: `delta` bytes were
+    /// consumed (negative) or replenished (positive) toward `queue`,
+    /// leaving `free_after` bytes in the view. `cap` is the static pool
+    /// capacity the view must never exceed (`None` for infinite host
+    /// sinks).
+    fn on_credit_change(
+        &mut self,
+        _now: Picos,
+        _link: usize,
+        _queue: u16,
+        _delta: i64,
+        _free_after: u64,
+        _cap: Option<u64>,
+    ) {
+    }
+
+    /// A SAQ was allocated at CAM line `line` of the port identified by
+    /// `(site, index)` (`index` is `sw * radix + port` for switch sites and
+    /// the host index for NIC injection). `path` is the congestion-tree
+    /// path stored in the CAM, in the port's own turn coordinates.
+    fn on_saq_alloc(
+        &mut self,
+        _now: Picos,
+        _site: SaqSite,
+        _index: usize,
+        _line: usize,
+        _path: &PathSpec,
+    ) {
+    }
+
+    /// The SAQ at CAM line `line` of `(site, index)` was deallocated and
+    /// its token released. Every `on_saq_alloc` must eventually be balanced
+    /// by exactly one `on_saq_dealloc` for the same port.
+    fn on_saq_dealloc(
+        &mut self,
+        _now: Picos,
+        _site: SaqSite,
+        _index: usize,
+        _line: usize,
+        _path: &PathSpec,
+    ) {
+    }
+
+    /// A message of `bytes` bytes from `host` toward `dst` was refused at
+    /// the NIC admittance stage (application back-pressure). This is the
+    /// only place the model may ever discard traffic: packets already
+    /// inside the network are never dropped — that is the lossless
+    /// invariant [`crate::validate::ValidatingObserver`] enforces.
+    fn on_drop_attempt(&mut self, _now: Picos, _host: usize, _dst: HostId, _bytes: u32) {}
 }
 
 /// An observer that records nothing.
@@ -41,15 +139,187 @@ pub struct NullObserver;
 
 impl NetObserver for NullObserver {}
 
+/// Drives several observers from one `Box<dyn NetObserver>` slot, in the
+/// order they were added — so a [`metrics`-style probe](NetObserver), a
+/// [`crate::trace::TraceSink`] and a
+/// [`crate::validate::ValidatingObserver`] can watch the same run without
+/// changing the [`crate::Network::new`] construction API.
+#[derive(Default)]
+pub struct FanoutObserver {
+    observers: Vec<Box<dyn NetObserver>>,
+}
+
+impl FanoutObserver {
+    /// An empty fan-out (equivalent to [`NullObserver`]).
+    pub fn new() -> FanoutObserver {
+        FanoutObserver { observers: Vec::new() }
+    }
+
+    /// Builds a fan-out over `observers`, dispatched in `Vec` order.
+    pub fn over(observers: Vec<Box<dyn NetObserver>>) -> FanoutObserver {
+        FanoutObserver { observers }
+    }
+
+    /// Appends `observer`; events reach it after all earlier observers.
+    pub fn push(mut self, observer: Box<dyn NetObserver>) -> FanoutObserver {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Number of fanned-out observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Whether no observer is attached.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FanoutObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutObserver").field("observers", &self.observers.len()).finish()
+    }
+}
+
+impl NetObserver for FanoutObserver {
+    fn on_injected(&mut self, now: Picos, pkt: &Packet) {
+        for o in &mut self.observers {
+            o.on_injected(now, pkt);
+        }
+    }
+
+    fn on_delivered(&mut self, now: Picos, pkt: &Packet) {
+        for o in &mut self.observers {
+            o.on_delivered(now, pkt);
+        }
+    }
+
+    fn on_saq_census(&mut self, now: Picos, max_ingress: u32, max_egress: u32, total: u32) {
+        for o in &mut self.observers {
+            o.on_saq_census(now, max_ingress, max_egress, total);
+        }
+    }
+
+    fn on_root_change(&mut self, now: Picos, switch: usize, port: usize, active: bool) {
+        for o in &mut self.observers {
+            o.on_root_change(now, switch, port, active);
+        }
+    }
+
+    fn on_hop(&mut self, now: Picos, pkt: &Packet, link: usize) {
+        for o in &mut self.observers {
+            o.on_hop(now, pkt, link);
+        }
+    }
+
+    fn on_enqueue(&mut self, now: Picos, port: PortRef, queue: usize, kind: QueueKind, pkt: &Packet) {
+        for o in &mut self.observers {
+            o.on_enqueue(now, port, queue, kind, pkt);
+        }
+    }
+
+    fn on_dequeue(&mut self, now: Picos, port: PortRef, queue: usize, kind: QueueKind, pkt: &Packet) {
+        for o in &mut self.observers {
+            o.on_dequeue(now, port, queue, kind, pkt);
+        }
+    }
+
+    fn on_credit_change(
+        &mut self,
+        now: Picos,
+        link: usize,
+        queue: u16,
+        delta: i64,
+        free_after: u64,
+        cap: Option<u64>,
+    ) {
+        for o in &mut self.observers {
+            o.on_credit_change(now, link, queue, delta, free_after, cap);
+        }
+    }
+
+    fn on_saq_alloc(&mut self, now: Picos, site: SaqSite, index: usize, line: usize, path: &PathSpec) {
+        for o in &mut self.observers {
+            o.on_saq_alloc(now, site, index, line, path);
+        }
+    }
+
+    fn on_saq_dealloc(
+        &mut self,
+        now: Picos,
+        site: SaqSite,
+        index: usize,
+        line: usize,
+        path: &PathSpec,
+    ) {
+        for o in &mut self.observers {
+            o.on_saq_dealloc(now, site, index, line, path);
+        }
+    }
+
+    fn on_drop_attempt(&mut self, now: Picos, host: usize, dst: HostId, bytes: u32) {
+        for o in &mut self.observers {
+            o.on_drop_attempt(now, host, dst, bytes);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use simcore::Picos;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     #[test]
     fn null_observer_accepts_everything() {
         let mut o = NullObserver;
         o.on_saq_census(Picos::ZERO, 1, 2, 3);
         o.on_root_change(Picos::ZERO, 0, 0, true);
+        o.on_credit_change(Picos::ZERO, 0, 0, -64, 100, Some(128));
+        o.on_drop_attempt(Picos::ZERO, 0, HostId::new(1), 64);
+    }
+
+    /// Records the dispatch order so fan-out ordering is checkable.
+    struct Tagged(u32, Rc<RefCell<Vec<(u32, &'static str)>>>);
+
+    impl NetObserver for Tagged {
+        fn on_saq_census(&mut self, _now: Picos, _mi: u32, _me: u32, _t: u32) {
+            self.1.borrow_mut().push((self.0, "census"));
+        }
+        fn on_root_change(&mut self, _now: Picos, _sw: usize, _p: usize, _a: bool) {
+            self.1.borrow_mut().push((self.0, "root"));
+        }
+    }
+
+    #[test]
+    fn fanout_dispatches_in_push_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut fan = FanoutObserver::new()
+            .push(Box::new(Tagged(1, log.clone())))
+            .push(Box::new(Tagged(2, log.clone())))
+            .push(Box::new(Tagged(3, log.clone())));
+        assert_eq!(fan.len(), 3);
+        assert!(!fan.is_empty());
+        fan.on_saq_census(Picos::ZERO, 0, 0, 1);
+        fan.on_root_change(Picos::ZERO, 0, 0, true);
+        assert_eq!(
+            *log.borrow(),
+            vec![(1, "census"), (2, "census"), (3, "census"), (1, "root"), (2, "root"), (3, "root")]
+        );
+    }
+
+    #[test]
+    fn fanout_over_builds_from_vec() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut fan = FanoutObserver::over(vec![
+            Box::new(Tagged(7, log.clone())) as Box<dyn NetObserver>,
+            Box::new(NullObserver),
+        ]);
+        fan.on_saq_census(Picos::ZERO, 0, 0, 0);
+        assert_eq!(*log.borrow(), vec![(7, "census")]);
+        assert!(FanoutObserver::new().is_empty());
     }
 }

@@ -1,0 +1,460 @@
+//! Online invariant checking for lossless-network runs.
+//!
+//! [`ValidatingObserver`] is a [`NetObserver`] that cross-checks every
+//! event stream the simulator emits against the invariants the paper's
+//! claims rest on, and panics with a precise event-context message the
+//! moment one breaks:
+//!
+//! * **Packet conservation** — every delivered packet was injected exactly
+//!   once and is still in flight; no packet is injected twice or delivered
+//!   twice. At quiescence `injected == delivered + in-flight` degenerates
+//!   to `injected == delivered` ([`ValidatorHandle::assert_drained`]).
+//! * **Credit bounds** — the sender-side credit view of every link evolves
+//!   exactly by the reported deltas and never exceeds its static capacity
+//!   (credits can be conservative, never optimistic).
+//! * **SAQ balance** — a CAM line is never double-allocated, never freed
+//!   while empty, and deallocation reports the same congestion-tree path
+//!   the allocation installed.
+//! * **Queue occupancy** — a dequeue never fires on a queue the observer
+//!   has not seen a matching enqueue for.
+//! * **Monotone time** — event timestamps never run backwards.
+//!
+//! Source-side drop *attempts* ([`NetObserver::on_drop_attempt`]) are
+//! application back-pressure, not a lossless violation; they are counted,
+//! not fatal.
+//!
+//! Like [`crate::trace::TraceSink`], the observer half is consumed by
+//! [`crate::Network::new`] while the [`ValidatorHandle`] stays with the
+//! caller for end-of-run assertions.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simcore::Picos;
+use topology::{HostId, PathSpec};
+
+use crate::network::PortRef;
+use crate::observer::{NetObserver, QueueKind, SaqSite};
+use crate::packet::Packet;
+
+/// Canonical hashable key for a [`PortRef`].
+fn port_key(port: PortRef) -> (u8, u32, u32) {
+    match port {
+        PortRef::SwitchIn { sw, port } => (0, sw as u32, port as u32),
+        PortRef::SwitchOut { sw, port } => (1, sw as u32, port as u32),
+        PortRef::Nic { host } => (2, host as u32, 0),
+    }
+}
+
+fn site_name(site: SaqSite) -> &'static str {
+    match site {
+        SaqSite::SwitchIngress => "switch-ingress",
+        SaqSite::SwitchEgress => "switch-egress",
+        SaqSite::NicInjection => "nic-injection",
+    }
+}
+
+#[derive(Debug, Default)]
+struct ValidatorState {
+    /// Packets injected but not yet delivered, keyed by packet id, with
+    /// the injection context kept for error messages.
+    in_flight: HashMap<u64, (u32, u32, u32)>,
+    injected: u64,
+    delivered: u64,
+    /// Last reported free bytes per (link, queue) credit pool.
+    credit_free: HashMap<(u32, u16), u64>,
+    /// Live SAQs keyed by (site, port index, CAM line) → installed path.
+    live_saqs: HashMap<(u8, u32, u8), PathSpec>,
+    saq_allocs: u64,
+    saq_deallocs: u64,
+    /// Observed occupancy per (port, queue).
+    occupancy: HashMap<((u8, u32, u32), u16), u64>,
+    drop_attempts: u64,
+    dropped_bytes: u64,
+    last_now: Picos,
+    last_event: &'static str,
+    events: u64,
+}
+
+impl ValidatorState {
+    fn tick(&mut self, now: Picos, event: &'static str) {
+        assert!(
+            now >= self.last_now,
+            "invariant violation [monotone time]: event `{event}` at {now:?} after \
+             `{}` at {:?}",
+            self.last_event,
+            self.last_now,
+        );
+        self.last_now = now;
+        self.last_event = event;
+        self.events += 1;
+    }
+}
+
+/// The observer half of the validator; see the [module docs](self).
+#[derive(Debug)]
+pub struct ValidatingObserver(Rc<RefCell<ValidatorState>>);
+
+/// Read/assertion side of a validator, alive after the network consumed
+/// the observer.
+#[derive(Debug, Clone)]
+pub struct ValidatorHandle(Rc<RefCell<ValidatorState>>);
+
+impl ValidatingObserver {
+    /// Creates an observer/handle pair.
+    pub fn new() -> (ValidatingObserver, ValidatorHandle) {
+        let state = Rc::new(RefCell::new(ValidatorState {
+            last_event: "start",
+            ..ValidatorState::default()
+        }));
+        (ValidatingObserver(state.clone()), ValidatorHandle(state))
+    }
+}
+
+impl NetObserver for ValidatingObserver {
+    fn on_injected(&mut self, now: Picos, pkt: &Packet) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "inject");
+        let ctx = (pkt.src.index() as u32, pkt.dst.index() as u32, pkt.size);
+        if let Some(prev) = s.in_flight.insert(pkt.id, ctx) {
+            panic!(
+                "invariant violation [packet conservation]: packet id {} injected twice \
+                 (first as {}→{} {} B, now as {}→{} {} B) at {now:?}",
+                pkt.id, prev.0, prev.1, prev.2, ctx.0, ctx.1, ctx.2,
+            );
+        }
+        s.injected += 1;
+    }
+
+    fn on_delivered(&mut self, now: Picos, pkt: &Packet) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "deliver");
+        if s.in_flight.remove(&pkt.id).is_none() {
+            panic!(
+                "invariant violation [packet conservation]: packet id {} ({}→{}, {} B) \
+                 delivered at {now:?} but never injected (or delivered twice)",
+                pkt.id,
+                pkt.src.index(),
+                pkt.dst.index(),
+                pkt.size,
+            );
+        }
+        s.delivered += 1;
+    }
+
+    fn on_saq_census(&mut self, now: Picos, _max_ingress: u32, _max_egress: u32, total: u32) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "census");
+        let live = s.live_saqs.len() as u32;
+        assert!(
+            total == live,
+            "invariant violation [SAQ balance]: census reports {total} SAQs but \
+             alloc/dealloc events leave {live} live at {now:?}",
+        );
+    }
+
+    fn on_root_change(&mut self, now: Picos, _switch: usize, _port: usize, _active: bool) {
+        self.0.borrow_mut().tick(now, "root");
+    }
+
+    fn on_hop(&mut self, now: Picos, _pkt: &Packet, _link: usize) {
+        self.0.borrow_mut().tick(now, "hop");
+    }
+
+    fn on_enqueue(&mut self, now: Picos, port: PortRef, queue: usize, _kind: QueueKind, _pkt: &Packet) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "enqueue");
+        *s.occupancy.entry((port_key(port), queue as u16)).or_insert(0) += 1;
+    }
+
+    fn on_dequeue(&mut self, now: Picos, port: PortRef, queue: usize, _kind: QueueKind, pkt: &Packet) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "dequeue");
+        let occ = s.occupancy.entry((port_key(port), queue as u16)).or_insert(0);
+        assert!(
+            *occ > 0,
+            "invariant violation [queue occupancy]: dequeue of packet id {} from empty \
+             queue {queue} of {port:?} at {now:?}",
+            pkt.id,
+        );
+        *occ -= 1;
+    }
+
+    fn on_credit_change(
+        &mut self,
+        now: Picos,
+        link: usize,
+        queue: u16,
+        delta: i64,
+        free_after: u64,
+        cap: Option<u64>,
+    ) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "credit");
+        if let Some(cap) = cap {
+            assert!(
+                free_after <= cap,
+                "invariant violation [credit bounds]: link {link} queue {queue} reports \
+                 {free_after} free bytes above its {cap} B capacity at {now:?}",
+            );
+        }
+        if let Some(&prev) = s.credit_free.get(&(link as u32, queue)) {
+            let expected = prev as i128 + delta as i128;
+            assert!(
+                expected >= 0 && expected == free_after as i128,
+                "invariant violation [credit bounds]: link {link} queue {queue} had \
+                 {prev} free bytes, delta {delta} should leave {expected}, but \
+                 {free_after} reported at {now:?}",
+            );
+        }
+        s.credit_free.insert((link as u32, queue), free_after);
+    }
+
+    fn on_saq_alloc(&mut self, now: Picos, site: SaqSite, index: usize, line: usize, path: &PathSpec) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "saq_alloc");
+        let key = (port_key_site(site), index as u32, line as u8);
+        if let Some(prev) = s.live_saqs.insert(key, *path) {
+            panic!(
+                "invariant violation [SAQ balance]: CAM line {line} at {} port {index} \
+                 allocated for {:?} while still holding {:?} at {now:?}",
+                site_name(site),
+                path.turns(),
+                prev.turns(),
+            );
+        }
+        s.saq_allocs += 1;
+    }
+
+    fn on_saq_dealloc(
+        &mut self,
+        now: Picos,
+        site: SaqSite,
+        index: usize,
+        line: usize,
+        path: &PathSpec,
+    ) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "saq_dealloc");
+        let key = (port_key_site(site), index as u32, line as u8);
+        match s.live_saqs.remove(&key) {
+            None => panic!(
+                "invariant violation [SAQ balance]: CAM line {line} at {} port {index} \
+                 deallocated at {now:?} but was never allocated",
+                site_name(site),
+            ),
+            Some(installed) => assert!(
+                installed == *path,
+                "invariant violation [SAQ balance]: CAM line {line} at {} port {index} \
+                 deallocated with path {:?} but was allocated for {:?} at {now:?}",
+                site_name(site),
+                path.turns(),
+                installed.turns(),
+            ),
+        }
+        s.saq_deallocs += 1;
+    }
+
+    fn on_drop_attempt(&mut self, now: Picos, _host: usize, _dst: HostId, bytes: u32) {
+        let mut s = self.0.borrow_mut();
+        s.tick(now, "drop_attempt");
+        s.drop_attempts += 1;
+        s.dropped_bytes += bytes as u64;
+    }
+}
+
+fn port_key_site(site: SaqSite) -> u8 {
+    match site {
+        SaqSite::SwitchIngress => 0,
+        SaqSite::SwitchEgress => 1,
+        SaqSite::NicInjection => 2,
+    }
+}
+
+impl ValidatorHandle {
+    /// Events cross-checked so far.
+    pub fn events_checked(&self) -> u64 {
+        self.0.borrow().events
+    }
+
+    /// Packets injected but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.0.borrow().in_flight.len()
+    }
+
+    /// Packets injected / delivered so far.
+    pub fn conservation(&self) -> (u64, u64) {
+        let s = self.0.borrow();
+        (s.injected, s.delivered)
+    }
+
+    /// SAQs currently allocated (across all ports).
+    pub fn live_saqs(&self) -> usize {
+        self.0.borrow().live_saqs.len()
+    }
+
+    /// SAQ allocations / deallocations so far.
+    pub fn saq_balance(&self) -> (u64, u64) {
+        let s = self.0.borrow();
+        (s.saq_allocs, s.saq_deallocs)
+    }
+
+    /// Source-side drop attempts seen (count, bytes). These are
+    /// application back-pressure, not lossless violations.
+    pub fn drop_attempts(&self) -> (u64, u64) {
+        let s = self.0.borrow();
+        (s.drop_attempts, s.dropped_bytes)
+    }
+
+    /// Asserts the network drained completely: every injected packet was
+    /// delivered and every SAQ allocation was balanced by a deallocation.
+    /// Call after the run went quiescent (sources exhausted + idle
+    /// network); mid-run the weaker online invariants still hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if packets are still in flight or SAQs still allocated.
+    pub fn assert_drained(&self) {
+        let s = self.0.borrow();
+        assert!(
+            s.in_flight.is_empty(),
+            "invariant violation [packet conservation]: {} of {} injected packets \
+             undelivered at drain (ids like {:?})",
+            s.in_flight.len(),
+            s.injected,
+            s.in_flight.keys().take(4).collect::<Vec<_>>(),
+        );
+        assert!(
+            s.live_saqs.is_empty(),
+            "invariant violation [SAQ balance]: {} SAQs still allocated at drain \
+             ({} allocs vs {} deallocs)",
+            s.live_saqs.len(),
+            s.saq_allocs,
+            s.saq_deallocs,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::Route;
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id,
+            src: HostId::new(0),
+            dst: HostId::new(9),
+            size: 64,
+            route: Route::to_host(HostId::new(9), 4, 3),
+            injected_at: Picos::ZERO,
+            flow_seq: 0,
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let (mut v, h) = ValidatingObserver::new();
+        let p = pkt(1);
+        v.on_injected(Picos::from_ns(1), &p);
+        v.on_enqueue(Picos::from_ns(1), PortRef::Nic { host: 0 }, 9, QueueKind::Normal, &p);
+        v.on_dequeue(Picos::from_ns(2), PortRef::Nic { host: 0 }, 9, QueueKind::Normal, &p);
+        v.on_credit_change(Picos::from_ns(2), 3, 0, -64, 64, Some(128));
+        v.on_credit_change(Picos::from_ns(3), 3, 0, 64, 128, Some(128));
+        v.on_delivered(Picos::from_ns(4), &p);
+        assert_eq!(h.conservation(), (1, 1));
+        assert_eq!(h.in_flight(), 0);
+        assert_eq!(h.events_checked(), 6);
+        h.assert_drained();
+    }
+
+    #[test]
+    #[should_panic(expected = "injected twice")]
+    fn duplicate_injection_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_injected(Picos::ZERO, &pkt(7));
+        v.on_injected(Picos::ZERO, &pkt(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "never injected")]
+    fn phantom_delivery_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_delivered(Picos::ZERO, &pkt(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone time")]
+    fn time_reversal_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_hop(Picos::from_ns(5), &pkt(1), 0);
+        v.on_hop(Picos::from_ns(4), &pkt(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit bounds")]
+    fn credit_ledger_mismatch_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_credit_change(Picos::ZERO, 0, 0, -64, 64, Some(128));
+        v.on_credit_change(Picos::ZERO, 0, 0, -64, 32, Some(128)); // should be 0
+    }
+
+    #[test]
+    #[should_panic(expected = "above its")]
+    fn credit_over_capacity_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_credit_change(Picos::ZERO, 0, 0, 64, 256, Some(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty queue")]
+    fn dequeue_from_empty_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_dequeue(Picos::ZERO, PortRef::SwitchIn { sw: 0, port: 1 }, 0, QueueKind::Normal, &pkt(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "still holding")]
+    fn double_alloc_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        let path = PathSpec::from_turns(&[1]);
+        v.on_saq_alloc(Picos::ZERO, SaqSite::SwitchIngress, 3, 0, &path);
+        v.on_saq_alloc(Picos::ZERO, SaqSite::SwitchIngress, 3, 0, &path);
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn unbalanced_dealloc_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_saq_dealloc(Picos::ZERO, SaqSite::SwitchEgress, 3, 0, &PathSpec::EMPTY);
+    }
+
+    #[test]
+    fn alloc_dealloc_balance_and_drain() {
+        let (mut v, h) = ValidatingObserver::new();
+        let path = PathSpec::from_turns(&[2, 1]);
+        v.on_saq_alloc(Picos::ZERO, SaqSite::NicInjection, 5, 2, &path);
+        assert_eq!(h.live_saqs(), 1);
+        v.on_saq_census(Picos::ZERO, 0, 0, 1);
+        v.on_saq_dealloc(Picos::from_ns(1), SaqSite::NicInjection, 5, 2, &path);
+        assert_eq!(h.saq_balance(), (1, 1));
+        h.assert_drained();
+    }
+
+    #[test]
+    #[should_panic(expected = "census reports")]
+    fn census_mismatch_detected() {
+        let (mut v, _h) = ValidatingObserver::new();
+        v.on_saq_census(Picos::ZERO, 0, 0, 3);
+    }
+
+    #[test]
+    fn drop_attempts_are_counted_not_fatal() {
+        let (mut v, h) = ValidatingObserver::new();
+        v.on_drop_attempt(Picos::ZERO, 1, HostId::new(2), 512);
+        v.on_drop_attempt(Picos::ZERO, 1, HostId::new(2), 512);
+        assert_eq!(h.drop_attempts(), (2, 1024));
+        h.assert_drained();
+    }
+}

@@ -1,14 +1,26 @@
 //! End-to-end fabric tests: every scheme must deliver all traffic, keep
 //! per-flow order (except 4Q), never overflow a buffer (asserted inside the
 //! model), and — for RECN — reclaim every SAQ once congestion subsides.
+//!
+//! Every run here also rides a [`ValidatingObserver`], so the full set of
+//! lossless invariants (packet conservation, credit ledgers, SAQ lifecycle
+//! balance, monotone time) is cross-checked event by event.
 
 use fabric::{
-    assert_recn_idle, ConstantRateSource, FabricConfig, MessageSource, Network, NullObserver,
-    SchemeKind, ScriptSource, SilentSource, SourcedMessage,
+    assert_recn_idle, ConstantRateSource, FabricConfig, FanoutObserver, MessageSource, NetObserver,
+    Network, SchemeKind, ScriptSource, SilentSource, SourcedMessage, ValidatingObserver,
+    ValidatorHandle,
 };
 use recn::RecnConfig;
 use simcore::{Picos, Xoshiro256};
 use topology::{HostId, MinParams};
+
+/// An online invariant checker for one run: panics mid-simulation on the
+/// first violation, and the handle lets drained runs assert emptiness.
+fn validator() -> (Box<dyn NetObserver>, ValidatorHandle) {
+    let (v, h) = ValidatingObserver::new();
+    (Box::new(v), h)
+}
 
 fn schemes() -> Vec<SchemeKind> {
     vec![
@@ -73,14 +85,10 @@ fn all_schemes_deliver_uniform_traffic() {
     for scheme in schemes() {
         let params = MinParams::new(16, 4, 2);
         let sources = random_sources(16, 200, 64, 0.5, 42);
-        let net = Network::new(
-            params,
-            FabricConfig::paper(scheme),
-            64,
-            sources,
-            Box::new(NullObserver),
-        );
+        let (obs, vh) = validator();
+        let net = Network::new(params, FabricConfig::paper(scheme), 64, sources, obs);
         let net = run_to_drain(net);
+        vh.assert_drained();
         let c = net.counters();
         assert_eq!(c.injected_packets, 16 * 200, "{}", scheme.name());
         assert_eq!(c.delivered_packets, c.injected_packets, "{}", scheme.name());
@@ -98,14 +106,10 @@ fn all_schemes_deliver_with_512_byte_packets() {
         let params = MinParams::new(16, 4, 2);
         // 2 KB messages packetized into 512-byte packets.
         let sources = random_sources(16, 50, 2048, 0.5, 7);
-        let net = Network::new(
-            params,
-            FabricConfig::paper(scheme),
-            512,
-            sources,
-            Box::new(NullObserver),
-        );
+        let (obs, vh) = validator();
+        let net = Network::new(params, FabricConfig::paper(scheme), 512, sources, obs);
         let net = run_to_drain(net);
+        vh.assert_drained();
         let c = net.counters();
         assert_eq!(c.injected_packets, 16 * 50 * 4, "{}", scheme.name());
         assert_eq!(c.delivered_packets, c.injected_packets, "{}", scheme.name());
@@ -118,14 +122,10 @@ fn three_stage_network_delivers() {
     for scheme in [SchemeKind::VoqSw, SchemeKind::Recn(test_recn_config())] {
         let params = MinParams::paper_64();
         let sources = random_sources(64, 50, 64, 0.5, 99);
-        let net = Network::new(
-            params,
-            FabricConfig::paper(scheme),
-            64,
-            sources,
-            Box::new(NullObserver),
-        );
+        let (obs, vh) = validator();
+        let net = Network::new(params, FabricConfig::paper(scheme), 64, sources, obs);
         let net = run_to_drain(net);
+        vh.assert_drained();
         assert_eq!(net.counters().delivered_packets, 64 * 50);
         assert_eq!(net.counters().order_violations, 0);
         assert!(net.is_quiescent());
@@ -174,13 +174,6 @@ fn victim_delivered(scheme: SchemeKind) -> u64 {
     let params = MinParams::new(16, 4, 2);
     let horizon = Picos::from_us(300);
     let sources = hotspot_sources(16, &[0, 1, 2, 3, 4, 5], 15, 8, 12, horizon);
-    let net = Network::new(
-        params,
-        FabricConfig::paper(scheme),
-        64,
-        sources,
-        Box::new(NullObserver),
-    );
     struct VictimCount(std::rc::Rc<std::cell::Cell<u64>>);
     impl fabric::NetObserver for VictimCount {
         fn on_delivered(&mut self, _now: Picos, pkt: &fabric::Packet) {
@@ -190,8 +183,9 @@ fn victim_delivered(scheme: SchemeKind) -> u64 {
         }
     }
     let count = std::rc::Rc::new(std::cell::Cell::new(0));
-    let mut net = net;
-    net.set_observer(Box::new(VictimCount(count.clone())));
+    let (obs, _vh) = validator();
+    let fan = FanoutObserver::new().push(obs).push(Box::new(VictimCount(count.clone())));
+    let net = Network::new(params, FabricConfig::paper(scheme), 64, sources, Box::new(fan));
     let mut engine = net.build_engine();
     engine.run_until(horizon);
     count.get()
@@ -218,14 +212,18 @@ fn recn_reclaims_all_resources_after_congestion() {
     let params = MinParams::new(16, 4, 2);
     let burst_end = Picos::from_us(150);
     let sources = hotspot_sources(16, &[0, 1, 2, 3, 4, 5], 15, 8, 12, burst_end);
+    let (obs, vh) = validator();
     let net = Network::new(
         params,
         FabricConfig::paper(SchemeKind::Recn(test_recn_config())),
         64,
         sources,
-        Box::new(NullObserver),
+        obs,
     );
     let net = run_to_drain(net);
+    vh.assert_drained();
+    let (va, vd) = vh.saq_balance();
+    assert!(va > 0 && va == vd, "validator saw {va} allocs / {vd} deallocs");
     let c = net.counters();
     assert!(c.root_activations > 0, "the hotspot must trigger detection");
     assert!(c.saq_allocs > 0, "SAQs must be allocated");
@@ -254,14 +252,17 @@ fn recn_tracks_saq_census_peaks() {
         }
     }
     let peak = std::rc::Rc::new(std::cell::Cell::new(0));
+    let (obs, vh) = validator();
+    let fan = FanoutObserver::new().push(obs).push(Box::new(Peak { max_total: peak.clone() }));
     let net = Network::new(
         params,
         FabricConfig::paper(SchemeKind::Recn(test_recn_config())),
         64,
         sources,
-        Box::new(Peak { max_total: peak.clone() }),
+        Box::new(fan),
     );
     let net = run_to_drain(net);
+    vh.assert_drained();
     assert!(peak.get() > 0, "census must observe allocations");
     assert_eq!(net.saq_total(), 0, "census returns to zero");
 }
@@ -273,14 +274,10 @@ fn saturating_uniform_traffic_is_lossless_everywhere() {
     for scheme in schemes() {
         let params = MinParams::new(16, 4, 2);
         let sources = random_sources(16, 400, 64, 1.0, 1234);
-        let net = Network::new(
-            params,
-            FabricConfig::paper(scheme),
-            64,
-            sources,
-            Box::new(NullObserver),
-        );
+        let (obs, vh) = validator();
+        let net = Network::new(params, FabricConfig::paper(scheme), 64, sources, obs);
         let net = run_to_drain(net);
+        vh.assert_drained();
         assert_eq!(net.counters().delivered_packets, 16 * 400, "{}", scheme.name());
         assert!(net.is_quiescent());
     }
@@ -319,14 +316,10 @@ fn recn_exhaustion_degrades_gracefully() {
             _ => Box::new(SilentSource),
         })
         .collect();
-    let net = Network::new(
-        params,
-        FabricConfig::paper(SchemeKind::Recn(cfg)),
-        64,
-        sources,
-        Box::new(NullObserver),
-    );
+    let (obs, vh) = validator();
+    let net = Network::new(params, FabricConfig::paper(SchemeKind::Recn(cfg)), 64, sources, obs);
     let net = run_to_drain(net);
+    vh.assert_drained();
     let c = net.counters();
     assert_eq!(c.delivered_packets, c.injected_packets);
     assert_eq!(c.order_violations, 0);
@@ -352,14 +345,10 @@ fn self_traffic_roundtrips_through_network() {
             }
         })
         .collect();
-    let net = Network::new(
-        params,
-        FabricConfig::paper(SchemeKind::OneQ),
-        64,
-        sources,
-        Box::new(NullObserver),
-    );
+    let (obs, vh) = validator();
+    let net = Network::new(params, FabricConfig::paper(SchemeKind::OneQ), 64, sources, obs);
     let net = run_to_drain(net);
+    vh.assert_drained();
     assert_eq!(net.counters().delivered_packets, 1);
     // Two stages + injection/delivery: latency well above zero.
     assert!(net.counters().latency_ns.mean() > 100.0);

@@ -8,7 +8,7 @@
 
 use fabric::{
     assert_recn_idle, FabricConfig, MessageSource, Network, NullObserver, SchemeKind,
-    ScriptSource, SourcedMessage,
+    ScriptSource, SourcedMessage, ValidatingObserver,
 };
 use proptest::prelude::*;
 use recn::RecnConfig;
@@ -92,6 +92,33 @@ proptest! {
             prop_assert_eq!(c.root_activations, c.root_clears);
             assert_recn_idle(model);
         }
+    }
+
+    /// SAQ lifecycle balance as seen by the observer hooks: a validating
+    /// observer rides a random RECN run and its independently-tracked CAM
+    /// allocation ledger must agree with the fabric's own counters, drain
+    /// to zero, and never trip an invariant mid-run.
+    #[test]
+    fn observer_saq_ledger_balances(scripts in scripts(16)) {
+        let params = MinParams::new(16, 4, 2);
+        let sources: Vec<Box<dyn MessageSource>> = scripts
+            .into_iter()
+            .map(|s| Box::new(ScriptSource::new(s)) as Box<dyn MessageSource>)
+            .collect();
+        let mut cfg = FabricConfig::paper(SchemeKind::Recn(tiny_recn()));
+        cfg.admit_cap = 2048;
+        let (validator, vh) = ValidatingObserver::new();
+        let net = Network::new(params, cfg, 64, sources, Box::new(validator));
+        let mut engine = net.build_engine();
+        engine.run_to_completion();
+        let model = engine.model();
+        let c = model.counters();
+        vh.assert_drained();
+        let (allocs, deallocs) = vh.saq_balance();
+        prop_assert_eq!(allocs, deallocs, "observer ledger must balance");
+        prop_assert_eq!(allocs, c.saq_allocs, "hooks must see every CAM alloc");
+        prop_assert_eq!(vh.drop_attempts().0, c.source_dropped_messages);
+        prop_assert_eq!(vh.conservation(), (c.injected_packets, c.delivered_packets));
     }
 
     /// Deterministic replay: the same seed/script yields bit-identical

@@ -1,13 +1,22 @@
 //! Cross-scheme sanity: in scenarios without contention, all five
 //! queueing mechanisms must behave identically — any divergence would mean
 //! a scheme pays costs the model should not charge it.
+//!
+//! Every run rides a [`ValidatingObserver`] cross-checking the lossless
+//! invariants online.
 
 use fabric::{
-    FabricConfig, MessageSource, Network, NullObserver, SchemeKind, ScriptSource, SourcedMessage,
+    FabricConfig, MessageSource, NetObserver, Network, SchemeKind, ScriptSource, SourcedMessage,
+    ValidatingObserver, ValidatorHandle,
 };
 use recn::RecnConfig;
 use simcore::Picos;
 use topology::{HostId, MinParams};
+
+fn validator() -> (Box<dyn NetObserver>, ValidatorHandle) {
+    let (v, h) = ValidatingObserver::new();
+    (Box::new(v), h)
+}
 
 fn all_schemes() -> [SchemeKind; 5] {
     [
@@ -38,15 +47,11 @@ fn single_flow_run(scheme: SchemeKind, packet: u32) -> (u64, u64, f64) {
             }
         })
         .collect();
-    let net = Network::new(
-        params,
-        FabricConfig::paper(scheme),
-        packet,
-        sources,
-        Box::new(NullObserver),
-    );
+    let (obs, vh) = validator();
+    let net = Network::new(params, FabricConfig::paper(scheme), packet, sources, obs);
     let mut engine = net.build_engine();
     engine.run_to_completion();
+    vh.assert_drained();
     let c = engine.model().counters();
     assert!(engine.model().is_quiescent());
     (c.delivered_packets, c.delivered_bytes, c.latency_ns.mean())
@@ -88,15 +93,18 @@ fn recn_allocates_nothing_without_congestion() {
             Box::new(ScriptSource::new(script)) as Box<dyn MessageSource>
         })
         .collect();
+    let (obs, vh) = validator();
     let net = Network::new(
         params,
         FabricConfig::paper(SchemeKind::Recn(RecnConfig::default())),
         64,
         sources,
-        Box::new(NullObserver),
+        obs,
     );
     let mut engine = net.build_engine();
     engine.run_to_completion();
+    vh.assert_drained();
+    assert_eq!(vh.saq_balance(), (0, 0), "validator must see no SAQ traffic");
     let c = engine.model().counters();
     assert_eq!(c.saq_allocs, 0, "no congestion, no SAQs");
     assert_eq!(c.root_activations, 0);
@@ -125,13 +133,8 @@ fn link_utilization_accounting_tracks_delivery() {
             }
         })
         .collect();
-    let net = Network::new(
-        params,
-        FabricConfig::paper(SchemeKind::OneQ),
-        64,
-        sources,
-        Box::new(NullObserver),
-    );
+    let (obs, _vh) = validator();
+    let net = Network::new(params, FabricConfig::paper(SchemeKind::OneQ), 64, sources, obs);
     let mut engine = net.build_engine();
     engine.run_until(horizon);
     let model = engine.model();
@@ -167,15 +170,11 @@ fn order_preserved_across_packet_sizes_mixed() {
                 }
             })
             .collect();
-        let net = Network::new(
-            params,
-            FabricConfig::paper(scheme),
-            64,
-            sources,
-            Box::new(NullObserver),
-        );
+        let (obs, vh) = validator();
+        let net = Network::new(params, FabricConfig::paper(scheme), 64, sources, obs);
         let mut engine = net.build_engine();
         engine.run_to_completion();
+        vh.assert_drained();
         assert_eq!(engine.model().counters().order_violations, 0, "{}", scheme.name());
     }
 }

@@ -32,6 +32,7 @@ use std::rc::Rc;
 
 use fabric::{NetObserver, Packet};
 use simcore::{BinnedSeries, GaugeSeries, Picos, SeriesPoint};
+use topology::HostId;
 
 /// Shared measurement state filled by a [`Probe`] during a run.
 #[derive(Debug)]
@@ -45,6 +46,8 @@ pub struct ProbeState {
     peak_saq_ingress: u32,
     peak_saq_egress: u32,
     root_events: Vec<(Picos, usize, usize, bool)>,
+    source_drops: u64,
+    source_dropped_bytes: u64,
 }
 
 /// Read side of a probe; alive after the network consumed the observer.
@@ -70,6 +73,8 @@ impl Probe {
             peak_saq_ingress: 0,
             peak_saq_egress: 0,
             root_events: Vec::new(),
+            source_drops: 0,
+            source_dropped_bytes: 0,
         }));
         (Probe(state.clone()), ProbeHandle(state))
     }
@@ -96,6 +101,12 @@ impl NetObserver for Probe {
 
     fn on_root_change(&mut self, now: Picos, switch: usize, port: usize, active: bool) {
         self.0.borrow_mut().root_events.push((now, switch, port, active));
+    }
+
+    fn on_drop_attempt(&mut self, _now: Picos, _host: usize, _dst: HostId, bytes: u32) {
+        let mut s = self.0.borrow_mut();
+        s.source_drops += 1;
+        s.source_dropped_bytes += bytes as u64;
     }
 }
 
@@ -140,6 +151,13 @@ impl ProbeHandle {
     /// Chronological root activations/clears: `(time, switch, port, active)`.
     pub fn root_events(&self) -> Vec<(Picos, usize, usize, bool)> {
         self.0.borrow().root_events.clone()
+    }
+
+    /// Messages refused at the NIC admittance stage (application
+    /// back-pressure): `(count, bytes)`.
+    pub fn source_drops(&self) -> (u64, u64) {
+        let s = self.0.borrow();
+        (s.source_drops, s.source_dropped_bytes)
     }
 }
 
@@ -188,6 +206,15 @@ mod tests {
         // maximum is still 9; the drop is visible from bin 2 on.
         assert_eq!(total[1].value, 9.0);
         assert_eq!(total[2].value, 0.0);
+    }
+
+    #[test]
+    fn probe_counts_source_drops() {
+        let (mut probe, handle) = Probe::new(Picos::from_us(1));
+        assert_eq!(handle.source_drops(), (0, 0));
+        probe.on_drop_attempt(Picos::from_ns(3), 0, HostId::new(5), 4096);
+        probe.on_drop_attempt(Picos::from_ns(4), 1, HostId::new(5), 1024);
+        assert_eq!(handle.source_drops(), (2, 5120));
     }
 
     #[test]

@@ -72,6 +72,58 @@ proptest! {
     }
 }
 
+proptest! {
+    /// CAM alloc/free balance — the invariant the fabric's validating
+    /// observer enforces online via its `on_saq_alloc`/`on_saq_dealloc`
+    /// hooks, checked here at the CAM layer directly: `in_use` always
+    /// equals allocations minus frees, a freed slot is immediately
+    /// reusable, and a fully drained table offers its whole pool again.
+    #[test]
+    fn cam_alloc_free_balance(ops in cam_ops()) {
+        let mut cam = CamTable::new(8);
+        let mut live: Vec<(Vec<u8>, recn::SaqId)> = Vec::new();
+        let (mut allocs, mut frees) = (0u64, 0u64);
+        for op in ops {
+            match op {
+                CamOp::Alloc(path) => {
+                    if live.iter().any(|(p, _)| *p == path) {
+                        continue;
+                    }
+                    match cam.allocate(PathSpec::from_turns(&path)) {
+                        Some(id) => {
+                            allocs += 1;
+                            live.push((path, id));
+                        }
+                        None => prop_assert_eq!(live.len(), 8, "reject only when full"),
+                    }
+                }
+                CamOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (_, id) = live.remove(n % live.len());
+                        cam.free(id);
+                        frees += 1;
+                    }
+                }
+                CamOp::Match(rem) => {
+                    // Lookups must never perturb the balance.
+                    let _ = cam.longest_match(&rem);
+                }
+            }
+            prop_assert_eq!(cam.in_use() as u64, allocs - frees);
+            prop_assert_eq!(cam.in_use(), live.len());
+        }
+        for (_, id) in live.drain(..) {
+            cam.free(id);
+        }
+        prop_assert_eq!(cam.in_use(), 0, "drained table must be empty");
+        // The full pool is reusable after a drain.
+        for i in 0..8u8 {
+            prop_assert!(cam.allocate(PathSpec::from_turns(&[i % 4, i / 4])).is_some());
+        }
+        prop_assert_eq!(cam.in_use(), 8);
+    }
+}
+
 /// Random single-port protocol driving: an ingress port receives
 /// notifications, packets, token returns and marker consumptions in
 /// arbitrary order; the invariants must hold throughout and every SAQ must

@@ -30,6 +30,44 @@ fn accept(o: NotifOutcome) -> SaqId {
     }
 }
 
+/// Local stand-in for the fabric crate's `ValidatingObserver` (this crate
+/// sits below fabric and cannot depend on it): a per-scenario ledger of
+/// SAQ allocations keyed by `(port, line)` that enforces the same
+/// lifecycle invariants — no double allocation, no dealloc without a
+/// matching alloc, and exact alloc/dealloc balance at teardown.
+#[derive(Default)]
+struct InvariantLedger {
+    live: std::collections::HashSet<(usize, usize)>,
+    allocs: u64,
+    deallocs: u64,
+}
+
+impl InvariantLedger {
+    fn alloc(&mut self, port: usize, saq: SaqId) -> SaqId {
+        assert!(
+            self.live.insert((port, saq.line())),
+            "invariant violation: double allocation of line {} at port {port}",
+            saq.line()
+        );
+        self.allocs += 1;
+        saq
+    }
+
+    fn dealloc(&mut self, port: usize, saq: SaqId) {
+        assert!(
+            self.live.remove(&(port, saq.line())),
+            "invariant violation: dealloc of line {} at port {port} without an allocation",
+            saq.line()
+        );
+        self.deallocs += 1;
+    }
+
+    fn assert_balanced(&self) {
+        assert!(self.live.is_empty(), "SAQs leaked: {:?}", self.live);
+        assert_eq!(self.allocs, self.deallocs, "alloc/dealloc imbalance");
+    }
+}
+
 /// A two-switch pipeline around one congested egress port:
 ///
 /// ```text
@@ -65,6 +103,8 @@ impl Pipeline {
 #[test]
 fn full_tree_lifecycle_across_two_switches() {
     let mut p = Pipeline::new();
+    // Ledger ports: 0 = nic, 1 = up_in, 2 = up_eg, 3 = down_in.
+    let mut ledger = InvariantLedger::default();
 
     // 1. Root detection at the downstream egress.
     assert!(p.down_eg.normal_occupancy_changed(1000).is_some());
@@ -75,7 +115,7 @@ fn full_tree_lifecycle_across_two_switches() {
     let n = p.down_eg.on_forward_from_input(0, Classify::Normal);
     let path_at_down_in = n.root.expect("root notifies first forwarder");
     assert_eq!(path_at_down_in, PathSpec::from_turns(&[2]));
-    let down_saq = accept(p.down_in.alloc_on_notification(path_at_down_in));
+    let down_saq = ledger.alloc(3, accept(p.down_in.alloc_on_notification(path_at_down_in)));
     // The marker plan for a first SAQ is just the normal queue.
     assert!(p.down_in.marker_plan(down_saq).is_empty());
     assert!(!p.down_in.marker_consumed(down_saq), "never-used SAQ stays");
@@ -84,7 +124,7 @@ fn full_tree_lifecycle_across_two_switches() {
     //    the upstream egress across the link (path unchanged).
     let sig = p.down_in.saq_enqueued(down_saq, 350);
     assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[2])));
-    let up_saq = accept(p.up_eg.alloc_on_notification(PathSpec::from_turns(&[2])));
+    let up_saq = ledger.alloc(2, accept(p.up_eg.alloc_on_notification(PathSpec::from_turns(&[2]))));
     assert!(!p.down_in.on_upstream_ack(PathSpec::from_turns(&[2]), up_saq.line() as u8));
 
     // 4. The upstream egress SAQ fills and switches to notify-on-forward;
@@ -94,13 +134,13 @@ fn full_tree_lifecycle_across_two_switches() {
     let n = p.up_eg.on_forward_from_input(3, Classify::Saq(up_saq));
     let path_at_up_in = n.tree.expect("propagating SAQ notifies");
     assert_eq!(path_at_up_in, PathSpec::from_turns(&[1, 2]));
-    let up_in_saq = accept(p.up_in.alloc_on_notification(path_at_up_in));
+    let up_in_saq = ledger.alloc(1, accept(p.up_in.alloc_on_notification(path_at_up_in)));
 
     // 5. And one more hop to the NIC injection port.
     p.up_in.marker_consumed(up_in_saq);
     let sig = p.up_in.saq_enqueued(up_in_saq, 400);
     assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[1, 2])));
-    let nic_saq = accept(p.nic.alloc_on_notification(PathSpec::from_turns(&[1, 2])));
+    let nic_saq = ledger.alloc(0, accept(p.nic.alloc_on_notification(PathSpec::from_turns(&[1, 2]))));
     assert!(!p.up_in.on_upstream_ack(PathSpec::from_turns(&[1, 2]), nic_saq.line() as u8));
 
     // 6. Xoff chain: down_in crosses its Xoff threshold.
@@ -120,6 +160,7 @@ fn full_tree_lifecycle_across_two_switches() {
     p.nic.marker_consumed(nic_saq);
     p.nic.saq_enqueued(nic_saq, 64);
     assert!(p.nic.saq_dequeued(nic_saq, 64).deallocatable);
+    ledger.dealloc(0, nic_saq);
     let act = p.nic.dealloc(nic_saq);
     assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[1, 2]) });
 
@@ -127,6 +168,7 @@ fn full_tree_lifecycle_across_two_switches() {
     let ready = p.up_in.on_token_from_upstream(PathSpec::from_turns(&[1, 2]));
     assert!(ready.is_none(), "still holds 400 bytes");
     assert!(p.up_in.saq_dequeued(up_in_saq, 400).deallocatable);
+    ledger.dealloc(1, up_in_saq);
     let act = p.up_in.dealloc(up_in_saq);
     let TokenDest::EgressSameSwitch { out_port, path_at_egress } = act.token_to else {
         panic!("ingress token stays in-switch");
@@ -138,12 +180,14 @@ fn full_tree_lifecycle_across_two_switches() {
     let (_, dealloc) = p.up_eg.on_token_from_input(3, path_at_egress);
     assert!(dealloc.is_none(), "up_eg still holds bytes");
     assert!(p.up_eg.saq_dequeued(up_saq, 350).deallocatable);
+    ledger.dealloc(2, up_saq);
     let act = p.up_eg.dealloc(up_saq);
     assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[2]) });
 
     // down_in gets the token back, drains the rest, returns to the root.
     assert!(p.down_in.on_token_from_upstream(PathSpec::from_turns(&[2])).is_none());
     assert!(p.down_in.saq_dequeued(down_saq, 100).deallocatable);
+    ledger.dealloc(3, down_saq);
     let act = p.down_in.dealloc(down_saq);
     assert_eq!(
         act.token_to,
@@ -156,7 +200,8 @@ fn full_tree_lifecycle_across_two_switches() {
     assert!(p.down_eg.normal_occupancy_changed(100).is_some(), "root clears");
     assert!(!p.down_eg.is_root());
 
-    // Everything reclaimed.
+    // Everything reclaimed, and the ledger agrees event by event.
+    ledger.assert_balanced();
     for port in [&p.nic, &p.up_in, &p.up_eg, &p.down_in, &p.down_eg] {
         assert_eq!(port.saqs_in_use(), 0);
     }

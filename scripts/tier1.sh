@@ -4,8 +4,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier1: cargo build --release =="
-cargo build --release
+echo "== tier1: cargo build --release --workspace =="
+# --workspace: the root manifest is itself a package, so a bare build would
+# only cover it and skip the experiment binaries the smoke tests run.
+cargo build --release --workspace
 
 echo "== tier1: cargo test -q =="
 cargo test -q
@@ -25,5 +27,15 @@ cmp "$smoke/serial.txt" "$smoke/parallel.txt"
 grep -q '"wall_secs"' "$smoke/j4/fig2.sweep.json"
 grep -q '"events_per_sec"' "$smoke/j4/fig2.sweep.json"
 echo "smoke test passed: parallel output byte-identical to serial, JSON summary written"
+
+echo "== tier1: validation smoke test (every scheme, invariants on) =="
+# One corner-case hotspot run per scheme with the ValidatingObserver fanned
+# in: the binary panics on the first invariant violation, and its digests
+# must be identical at any parallelism (the golden-trace contract).
+(cd "$smoke" && "$OLDPWD/target/release/validate" --quick --jobs 1 --json none > v1.txt 2> /dev/null)
+(cd "$smoke" && "$OLDPWD/target/release/validate" --quick --jobs 4 --json none > v4.txt 2> /dev/null)
+cmp "$smoke/v1.txt" "$smoke/v4.txt"
+grep -q "zero invariant violations" "$smoke/v1.txt"
+echo "validation smoke passed: zero violations, digests parallel-stable"
 
 echo "== tier1: all checks passed =="

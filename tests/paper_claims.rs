@@ -34,7 +34,12 @@ fn recn() -> SchemeKind {
 }
 
 fn spec(params: MinParams, scheme: SchemeKind, workload: &Workload) -> RunSpec {
-    RunSpec::new(params, scheme, workload.clone()).horizon(horizon()).bin(Picos::from_us(1))
+    // validate(true): every claim below is also checked event-by-event
+    // against the lossless invariants by a fabric::ValidatingObserver.
+    RunSpec::new(params, scheme, workload.clone())
+        .horizon(horizon())
+        .bin(Picos::from_us(1))
+        .validate(true)
 }
 
 fn run(scheme: SchemeKind, workload: &Workload) -> experiments::RunOutput {
@@ -72,15 +77,17 @@ fn claim_resources_fully_reclaimed() {
     // Run the corner case until every source is exhausted and the fabric
     // drains completely: nothing may leak.
     let sources = CornerCase::case2_64().shrunk(DIV).build_sources(horizon());
+    let (validator, vh) = fabric::ValidatingObserver::new();
     let net = fabric::Network::new(
         MinParams::paper_64(),
         fabric::FabricConfig::paper(recn()),
         64,
         sources,
-        Box::new(fabric::NullObserver),
+        Box::new(validator),
     );
     let mut engine = net.build_engine();
     engine.run_to_completion();
+    vh.assert_drained();
     let model = engine.model();
     let c = model.counters();
     assert!(c.saq_allocs > 0);
@@ -128,11 +135,14 @@ fn table1_spec_and_generators_agree() {
 #[test]
 fn figure_runs_are_deterministic() {
     let collect = || {
-        let out = run(recn(), &corner(1));
+        // trace(16): the comparison includes the whole-run event digest, so
+        // determinism is checked at the per-event level, not just summaries.
+        let out = run_one(&spec(MinParams::paper_64(), recn(), &corner(1)).trace(16));
         (
             out.counters.delivered_packets,
             out.counters.saq_allocs,
             out.saq_peaks,
+            out.trace_digest.expect("tracing was requested"),
             out.throughput
                 .iter()
                 .enumerate()
