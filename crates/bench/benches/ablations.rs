@@ -36,11 +36,19 @@ fn main() {
     // Cargo runs benches with the package dir as CWD; anchor the summary
     // to the workspace-level results/ directory.
     let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
-    let outs =
-        Sweep::new(specs).jobs(jobs).progress(true).json(results, "bench_ablations").run();
+    let outs = Sweep::new(specs)
+        .jobs(jobs)
+        .progress(true)
+        .json(results, "bench_ablations")
+        .run();
 
     // A pool of one SAQ must reject more notifications than eight.
-    let idx = |needle: &str| names.iter().position(|n| n == needle).expect("kernel present");
+    let idx = |needle: &str| {
+        names
+            .iter()
+            .position(|n| n == needle)
+            .expect("kernel present")
+    };
     let one = &outs[idx("saq_pool_1")];
     let eight = &outs[idx("saq_pool_8")];
     assert!(
@@ -64,8 +72,10 @@ fn main() {
         );
     }
 
-    let rows: Vec<(String, &experiments::RunOutput)> =
-        names.into_iter().zip(outs.iter()).collect();
-    println!("{}", render_bench_table("RECN design ablations (corner case 2)", &rows));
+    let rows: Vec<(String, &experiments::RunOutput)> = names.into_iter().zip(outs.iter()).collect();
+    println!(
+        "{}",
+        render_bench_table("RECN design ablations (corner case 2)", &rows)
+    );
     println!("all ablation assertions held");
 }

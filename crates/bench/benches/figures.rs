@@ -7,7 +7,7 @@
 //! harness for the reproduction. Pass `--jobs N` to bound the pool.
 
 use bench::{
-    audit_table1, bench_recn_config, bench_jobs, corner_spec, render_bench_table, san_spec,
+    audit_table1, bench_jobs, bench_recn_config, corner_spec, render_bench_table, san_spec,
     scale_spec, window_mean,
 };
 use experiments::sweep::Sweep;
@@ -48,9 +48,11 @@ fn main() {
         }
     }
     // fig6: the 256-host network under the scalability set.
-    for scheme in
-        [SchemeKind::VoqNet, SchemeKind::VoqSw, SchemeKind::Recn(bench_recn_config())]
-    {
+    for scheme in [
+        SchemeKind::VoqNet,
+        SchemeKind::VoqSw,
+        SchemeKind::Recn(bench_recn_config()),
+    ] {
         names.push(format!("fig6_net256_{}", scheme.name()));
         specs.push(scale_spec(scheme));
     }
@@ -58,7 +60,11 @@ fn main() {
     // Cargo runs benches with the package dir as CWD; anchor the summary
     // to the workspace-level results/ directory.
     let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
-    let outs = Sweep::new(specs).jobs(jobs).progress(true).json(results, "bench_figures").run();
+    let outs = Sweep::new(specs)
+        .jobs(jobs)
+        .progress(true)
+        .json(results, "bench_figures")
+        .run();
 
     // Shape assertions, per figure (the former criterion in-loop checks).
     let by_name = |needle: &str| -> Vec<(&str, &experiments::RunOutput)> {
@@ -70,17 +76,31 @@ fn main() {
             .collect()
     };
     for (name, out) in by_name("") {
-        assert!(out.counters.delivered_packets > 0, "{name} must deliver traffic");
+        assert!(
+            out.counters.delivered_packets > 0,
+            "{name} must deliver traffic"
+        );
     }
-    for (name, out) in by_name("fig2").into_iter().filter(|(n, _)| n.ends_with("RECN")) {
+    for (name, out) in by_name("fig2")
+        .into_iter()
+        .filter(|(n, _)| n.ends_with("RECN"))
+    {
         // Figure 4's claim rides along: a handful of SAQs per port suffices.
-        assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8, "{name}: {:?}", out.saq_peaks);
+        assert!(
+            out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8,
+            "{name}: {:?}",
+            out.saq_peaks
+        );
         assert!(out.saq_peaks.2 > 0, "{name} must allocate SAQs");
     }
     for (name, out) in by_name("fig6_net256_RECN") {
         // The paper's scalability claim: SAQ demand does not grow with
         // network size.
-        assert!(out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8, "{name}: {:?}", out.saq_peaks);
+        assert!(
+            out.saq_peaks.0 <= 8 && out.saq_peaks.1 <= 8,
+            "{name}: {:?}",
+            out.saq_peaks
+        );
     }
     for case in [1u8, 2] {
         let get = |scheme: &str| {
@@ -98,8 +118,10 @@ fn main() {
     // Table 1 is a specification; audit that the generators realize it.
     audit_table1();
 
-    let rows: Vec<(String, &experiments::RunOutput)> =
-        names.into_iter().zip(outs.iter()).collect();
-    println!("{}", render_bench_table("figure kernels (time-compressed)", &rows));
+    let rows: Vec<(String, &experiments::RunOutput)> = names.into_iter().zip(outs.iter()).collect();
+    println!(
+        "{}",
+        render_bench_table("figure kernels (time-compressed)", &rows)
+    );
     println!("all figure-shape assertions held");
 }

@@ -1,0 +1,318 @@
+//! Criterion-free simulator-core benchmark: the repo's perf trajectory.
+//!
+//! Runs the corner-case hotspot and uniform-random workloads per scheme,
+//! each on **both** event-queue backends (calendar queue and the legacy
+//! binary heap), and writes `BENCH_simcore.json` in a stable, flat,
+//! line-oriented schema: one JSON object per kernel with
+//! `calendar_*`/`heap_*` metrics (events/sec, wall secs, peak
+//! event-queue depth) and the calendar-over-heap speedup.
+//!
+//! Because both backends are bit-exact (same `(time, seq)` delivery
+//! order), every kernel doubles as an A/B check: event counts and peak
+//! queue depths must match across backends or the run aborts.
+//!
+//! ```text
+//! bench_core [--small] [--only SUBSTR] [--repeat N] [--out FILE]
+//!            [--check BASELINE] [--tolerance F]
+//! ```
+//!
+//! * `--small`      CI subset (a few 64-host kernels; minutes not tens).
+//! * `--only S`     keep only kernels whose name contains `S`.
+//! * `--repeat N`   run each kernel×backend N times, keep the fastest
+//!   wall time (default 1; the minimum is the least noisy estimator on a
+//!   busy machine).
+//! * `--out FILE`   where to write the JSON (default `BENCH_simcore.json`).
+//! * `--check F`    compare against a baseline JSON (same schema); exit
+//!   nonzero if any kernel's calendar events/sec regressed more than the
+//!   tolerance (default 0.25) below the baseline.
+//! * `--tolerance F` fractional allowed regression for `--check`.
+
+use bench::BENCH_TIME_DIV;
+use experiments::runner::{run_one, RunOutput, SchemeSet, Workload};
+use experiments::sweep::{events_per_sec, RunSpec};
+use simcore::{Picos, SchedulerKind};
+use topology::MinParams;
+
+/// One workload × scheme cell of the benchmark matrix.
+struct Kernel {
+    /// Stable identifier, e.g. `hotspot64/RECN` (the `--check` join key).
+    name: String,
+    spec: RunSpec,
+    workload: &'static str,
+}
+
+/// Measurements of one kernel on one scheduler backend.
+struct Sample {
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    peak_depth: usize,
+}
+
+fn sample(out: &RunOutput) -> Sample {
+    Sample {
+        wall_secs: out.wall_secs,
+        events: out.events,
+        events_per_sec: events_per_sec(out),
+        peak_depth: out.peak_event_queue_depth,
+    }
+}
+
+fn uniform_spec(params: MinParams, scheme: fabric::SchemeKind) -> RunSpec {
+    RunSpec::new(
+        params,
+        scheme,
+        Workload::Uniform {
+            load: 0.6,
+            msg_bytes: 64,
+            seed: 0xBE7C,
+        },
+    )
+    .horizon(Picos::from_us(1600 / BENCH_TIME_DIV))
+    .bin(Picos::from_us(1))
+    .label("uniform")
+}
+
+/// The benchmark matrix. `small` restricts to the CI smoke subset.
+fn kernels(small: bool) -> Vec<Kernel> {
+    let mut v = Vec::new();
+    let schemes = if small {
+        vec![
+            fabric::SchemeKind::OneQ,
+            fabric::SchemeKind::Recn(bench::bench_recn_config()),
+        ]
+    } else {
+        SchemeSet::All.schemes_scaled(BENCH_TIME_DIV)
+    };
+    for scheme in &schemes {
+        v.push(Kernel {
+            name: format!("hotspot64/{}", scheme.name()),
+            spec: bench::corner_spec(2, *scheme),
+            workload: "corner_hotspot",
+        });
+    }
+    let uniform_schemes: &[fabric::SchemeKind] = if small { &schemes[..1] } else { &schemes[..] };
+    for scheme in uniform_schemes {
+        v.push(Kernel {
+            name: format!("uniform64/{}", scheme.name()),
+            spec: uniform_spec(MinParams::paper_64(), *scheme),
+            workload: "uniform",
+        });
+    }
+    if !small {
+        for scheme in [
+            fabric::SchemeKind::VoqSw,
+            fabric::SchemeKind::Recn(bench::bench_recn_config()),
+        ] {
+            v.push(Kernel {
+                name: format!("hotspot256/{}", scheme.name()),
+                spec: bench::scale_spec(scheme),
+                workload: "corner_hotspot",
+            });
+        }
+    }
+    v
+}
+
+/// One flat JSON object per kernel, one per line — trivially greppable
+/// and parseable without a JSON library (the offline serde is a stub).
+fn render(mode: &str, rows: &[(Kernel, Sample, Sample)]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"bench_core/v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"time_div\": {BENCH_TIME_DIV},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, (k, cal, heap)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let speedup = if heap.events_per_sec > 0.0 {
+            cal.events_per_sec / heap.events_per_sec
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workload\": \"{}\", \"hosts\": {}, \
+             \"events\": {}, \"peak_event_queue_depth\": {}, \
+             \"calendar_wall_secs\": {:.4}, \"calendar_events_per_sec\": {:.1}, \
+             \"heap_wall_secs\": {:.4}, \"heap_events_per_sec\": {:.1}, \
+             \"calendar_over_heap\": {:.4}}}{sep}\n",
+            k.name,
+            k.workload,
+            k.spec.params.hosts(),
+            cal.events,
+            cal.peak_depth,
+            cal.wall_secs,
+            cal.events_per_sec,
+            heap.wall_secs,
+            heap.events_per_sec,
+            speedup,
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `"key": <number>` from a flat kernel line.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"key": "<string>"` from a flat kernel line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Baseline kernel name → calendar events/sec, parsed line-by-line.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|l| {
+            let name = field_str(l, "name")?;
+            let eps = field_f64(l, "calendar_events_per_sec")?;
+            Some((name.to_owned(), eps))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut small = false;
+    let mut only: Option<String> = None;
+    let mut repeat = 1usize;
+    let mut out_path = String::from("BENCH_simcore.json");
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--only" => only = Some(args.next().expect("--only needs a substring")),
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse::<usize>()
+                    .expect("--repeat expects a count")
+                    .max(1)
+            }
+            "--out" => out_path = args.next().expect("--out needs a file"),
+            "--check" => check = Some(args.next().expect("--check needs a baseline file")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("--tolerance expects a number")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_core [--small] [--only SUBSTR] [--repeat N] [--out FILE] \
+                     [--check BASELINE] [--tolerance F]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mode = if small { "small" } else { "full" };
+    let mut ks = kernels(small);
+    if let Some(pat) = &only {
+        ks.retain(|k| k.name.contains(pat.as_str()));
+        assert!(!ks.is_empty(), "--only {pat} matches no kernel");
+    }
+    let n = ks.len();
+    let mut rows: Vec<(Kernel, Sample, Sample)> = Vec::with_capacity(n);
+    for (i, k) in ks.into_iter().enumerate() {
+        // Serial, alternating backends in one process, best-of-`repeat`
+        // wall time per backend: the fairest comparison this side of perf
+        // counters (the minimum discards scheduler/dvfs noise spikes).
+        let mut heap = run_one(&k.spec.clone().scheduler(SchedulerKind::Heap));
+        let mut cal = run_one(&k.spec.clone().scheduler(SchedulerKind::Calendar));
+        for _ in 1..repeat {
+            let h = run_one(&k.spec.clone().scheduler(SchedulerKind::Heap));
+            if h.wall_secs < heap.wall_secs {
+                heap = h;
+            }
+            let c = run_one(&k.spec.clone().scheduler(SchedulerKind::Calendar));
+            if c.wall_secs < cal.wall_secs {
+                cal = c;
+            }
+        }
+        // The backends are bit-exact by contract; a mismatch here means a
+        // scheduler bug, and timing it would be meaningless.
+        assert_eq!(
+            cal.events, heap.events,
+            "{}: backend event counts diverged",
+            k.name
+        );
+        assert_eq!(
+            cal.peak_event_queue_depth, heap.peak_event_queue_depth,
+            "{}: backend peak depths diverged",
+            k.name
+        );
+        eprintln!(
+            "[{}/{n}] {:<18} {:>10} events  calendar {:>9.2e} ev/s  heap {:>9.2e} ev/s  ({:.2}x)",
+            i + 1,
+            k.name,
+            cal.events,
+            events_per_sec(&cal),
+            events_per_sec(&heap),
+            events_per_sec(&cal) / events_per_sec(&heap).max(1e-9),
+        );
+        rows.push((k, sample(&cal), sample(&heap)));
+    }
+
+    let json = render(mode, &rows);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline = parse_baseline(&text);
+        let mut failures = Vec::new();
+        let mut compared = 0;
+        for (k, cal, _) in &rows {
+            let Some((_, base)) = baseline.iter().find(|(n, _)| *n == k.name) else {
+                eprintln!("note: kernel {} not in baseline, skipping", k.name);
+                continue;
+            };
+            compared += 1;
+            let floor = base * (1.0 - tolerance);
+            if cal.events_per_sec < floor {
+                failures.push(format!(
+                    "{}: {:.0} events/s < {:.0} (baseline {:.0} - {:.0}% tolerance)",
+                    k.name,
+                    cal.events_per_sec,
+                    floor,
+                    base,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        assert!(
+            compared > 0,
+            "no kernels in common with baseline {baseline_path}"
+        );
+        if failures.is_empty() {
+            eprintln!(
+                "perf check OK: {compared} kernels within {:.0}% of baseline",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("perf regression detected:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

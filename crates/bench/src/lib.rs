@@ -68,10 +68,14 @@ pub fn san_spec(compression: f64, scheme: SchemeKind) -> RunSpec {
 
 /// The 256-host scalability kernel as a spec.
 pub fn scale_spec(scheme: SchemeKind) -> RunSpec {
-    RunSpec::corner(MinParams::paper_256(), scheme, CornerCase::case2_256().shrunk(BENCH_TIME_DIV))
-        .horizon(bench_horizon())
-        .bin(Picos::from_us(1))
-        .label("scale256")
+    RunSpec::corner(
+        MinParams::paper_256(),
+        scheme,
+        CornerCase::case2_256().shrunk(BENCH_TIME_DIV),
+    )
+    .horizon(bench_horizon())
+    .bin(Picos::from_us(1))
+    .label("scale256")
 }
 
 /// Runs the corner-case kernel under a scheme and returns the output
@@ -193,7 +197,10 @@ mod tests {
         let rows = vec![("case1_1Q".to_owned(), &out)];
         let text = render_bench_table("smoke", &rows);
         assert!(text.contains("case1_1Q") && text.contains("events/s"));
-        assert_eq!(bench_jobs(["--bench".into(), "--jobs".into(), "3".into()]), 3);
+        assert_eq!(
+            bench_jobs(["--bench".into(), "--jobs".into(), "3".into()]),
+            3
+        );
         assert_eq!(bench_jobs(["--bench".into()]), 0);
     }
 }

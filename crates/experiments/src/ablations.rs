@@ -39,13 +39,19 @@ pub struct AblationRow {
 
 fn corner2(opts: &Opts) -> Workload {
     Workload::Corner(
-        CornerCase::case2_64().with_msg_bytes(opts.packet_size()).shrunk(opts.time_div()),
+        CornerCase::case2_64()
+            .with_msg_bytes(opts.packet_size())
+            .shrunk(opts.time_div()),
     )
 }
 
 /// Fans the RECN configurations out over one parallel sweep (corner case
 /// 2 for all of them) and folds each output into an [`AblationRow`].
-fn run_recn_sweep(opts: &Opts, name: &str, settings: Vec<(String, RecnConfig)>) -> Vec<AblationRow> {
+fn run_recn_sweep(
+    opts: &Opts,
+    name: &str,
+    settings: Vec<(String, RecnConfig)>,
+) -> Vec<AblationRow> {
     let specs = settings
         .iter()
         .map(|(setting, cfg)| {
@@ -78,7 +84,12 @@ fn run_recn_sweep(opts: &Opts, name: &str, settings: Vec<(String, RecnConfig)>) 
 pub fn saq_pool_sweep(opts: &Opts) -> Vec<AblationRow> {
     let settings = [1usize, 2, 4, 8, 16, 64]
         .into_iter()
-        .map(|n| (format!("saqs={n}"), scaled_recn_config(opts.time_div()).with_max_saqs(n)))
+        .map(|n| {
+            (
+                format!("saqs={n}"),
+                scaled_recn_config(opts.time_div()).with_max_saqs(n),
+            )
+        })
         .collect();
     run_recn_sweep(opts, "ablation_saq_pool", settings)
 }
@@ -106,7 +117,10 @@ pub fn drain_boost_ablation(opts: &Opts) -> Vec<AblationRow> {
     let settings = [("boost=on", 2u32), ("boost=off", 0)]
         .into_iter()
         .map(|(label, pkts)| {
-            (label.to_owned(), scaled_recn_config(opts.time_div()).with_drain_boost(pkts))
+            (
+                label.to_owned(),
+                scaled_recn_config(opts.time_div()).with_drain_boost(pkts),
+            )
         })
         .collect();
     run_recn_sweep(opts, "ablation_drain_boost", settings)
@@ -170,12 +184,19 @@ pub fn latency_split(opts: &Opts, scheme: SchemeKind) -> LatencySplit {
         FabricConfig::paper(scheme),
         opts.packet_size(),
         sources,
-        Box::new(SplitObserver { hot: HostId::new(32), state: state.clone() }),
+        Box::new(SplitObserver {
+            hot: HostId::new(32),
+            state: state.clone(),
+        }),
     );
     let mut engine = net.build_engine();
     engine.run_until(horizon);
     let (hotspot, innocent) = state.borrow().clone();
-    LatencySplit { scheme: scheme.name(), hotspot, innocent }
+    LatencySplit {
+        scheme: scheme.name(),
+        hotspot,
+        innocent,
+    }
 }
 
 /// Renders latency splits.
@@ -202,7 +223,11 @@ mod tests {
     use super::*;
 
     fn quick() -> Opts {
-        Opts { quick: true, stride: 8, ..Opts::default() }
+        Opts {
+            quick: true,
+            stride: 8,
+            ..Opts::default()
+        }
     }
 
     #[test]
@@ -221,10 +246,7 @@ mod tests {
     fn latency_split_separates_classes() {
         let splits = [
             latency_split(&quick(), SchemeKind::OneQ),
-            latency_split(
-                &quick(),
-                SchemeKind::Recn(scaled_recn_config(8)),
-            ),
+            latency_split(&quick(), SchemeKind::Recn(scaled_recn_config(8))),
         ];
         for s in &splits {
             assert!(s.hotspot.count() > 0 && s.innocent.count() > 0);

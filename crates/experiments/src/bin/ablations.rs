@@ -6,9 +6,27 @@ use fabric::SchemeKind;
 
 fn main() {
     let opts = Opts::from_env();
-    println!("{}", ablations::render_rows("SAQ pool size sweep (corner case 2)", &ablations::saq_pool_sweep(&opts)));
-    println!("{}", ablations::render_rows("detection threshold sweep (corner case 2)", &ablations::detection_sweep(&opts)));
-    println!("{}", ablations::render_rows("drain-boost rule (paper §3.8)", &ablations::drain_boost_ablation(&opts)));
+    println!(
+        "{}",
+        ablations::render_rows(
+            "SAQ pool size sweep (corner case 2)",
+            &ablations::saq_pool_sweep(&opts)
+        )
+    );
+    println!(
+        "{}",
+        ablations::render_rows(
+            "detection threshold sweep (corner case 2)",
+            &ablations::detection_sweep(&opts)
+        )
+    );
+    println!(
+        "{}",
+        ablations::render_rows(
+            "drain-boost rule (paper §3.8)",
+            &ablations::drain_boost_ablation(&opts)
+        )
+    );
     let splits: Vec<_> = [
         SchemeKind::VoqNet,
         SchemeKind::OneQ,

@@ -21,8 +21,14 @@ use traffic::corner::CornerCase;
 fn main() {
     let opts = Opts::from_env();
     let div = opts.time_div();
-    let corner = CornerCase::case2_64().with_msg_bytes(opts.packet_size()).shrunk(div);
-    let recn_cfg = if div == 1 { paper_recn_config() } else { scaled_recn_config(div) };
+    let corner = CornerCase::case2_64()
+        .with_msg_bytes(opts.packet_size())
+        .shrunk(div);
+    let recn_cfg = if div == 1 {
+        paper_recn_config()
+    } else {
+        scaled_recn_config(div)
+    };
     let sources = corner.build_sources(Picos::from_us(1600 / div));
 
     let (validator, vhandle) = ValidatingObserver::new();

@@ -38,7 +38,10 @@ impl Figure {
             .iter()
             .map(|l| Labeled::new(l.label.clone(), thin(&l.points, opts.stride)))
             .collect();
-        println!("{}", render_table(&format!("{} — {}", self.name, self.title), &thinned));
+        println!(
+            "{}",
+            render_table(&format!("{} — {}", self.name, self.title), &thinned)
+        );
         for r in &self.runs {
             println!("  {}", summarize(r));
         }
@@ -62,7 +65,8 @@ fn corner_case(which: u8, opts: &Opts) -> CornerCase {
         2 => CornerCase::case2_64(),
         other => panic!("no corner case {other}"),
     };
-    base.with_msg_bytes(opts.packet_size()).shrunk(opts.time_div())
+    base.with_msg_bytes(opts.packet_size())
+        .shrunk(opts.time_div())
 }
 
 /// A corner-case spec with the figure defaults from `opts` applied.
@@ -129,7 +133,11 @@ pub fn fig2(opts: &Opts) -> Vec<Figure> {
             let zoom = |l: &Labeled| {
                 Labeled::new(
                     l.label.clone(),
-                    l.points.iter().copied().filter(|p| p.t_us >= from && p.t_us < to).collect(),
+                    l.points
+                        .iter()
+                        .copied()
+                        .filter(|p| p.t_us >= from && p.t_us < to)
+                        .collect(),
                 )
             };
             Figure {
@@ -152,7 +160,13 @@ pub fn fig2(opts: &Opts) -> Vec<Figure> {
 /// Figure 3: throughput over time replaying the (synthetic) SAN traces at
 /// compression factors 20 and 40.
 pub fn fig3(opts: &Opts) -> Vec<Figure> {
-    san_figures(opts, SchemeSet::TraceComparison, "fig3", "network throughput (bytes/ns)", false)
+    san_figures(
+        opts,
+        SchemeSet::TraceComparison,
+        "fig3",
+        "network throughput (bytes/ns)",
+        false,
+    )
 }
 
 /// Figure 4: SAQ utilization over time for the corner cases (RECN):
@@ -177,7 +191,10 @@ pub fn fig4(opts: &Opts) -> Vec<Figure> {
         .zip(outs)
         .map(|(case, out)| Figure {
             name: format!("fig4_case{case}"),
-            title: format!("SAQ utilization, corner case {case} (peaks {:?})", out.saq_peaks),
+            title: format!(
+                "SAQ utilization, corner case {case} (peaks {:?})",
+                out.saq_peaks
+            ),
             series: vec![
                 Labeled::new("max_ingress", out.saq_ingress.clone()),
                 Labeled::new("max_egress", out.saq_egress.clone()),
@@ -261,9 +278,17 @@ pub fn fig6(opts: &Opts) -> Vec<Figure> {
             512 => (MinParams::paper_512(), CornerCase::case2_512()),
             other => panic!("fig6 supports 256 or 512 hosts, not {other}"),
         };
-        let corner = corner.with_msg_bytes(opts.packet_size()).shrunk(opts.time_div());
+        let corner = corner
+            .with_msg_bytes(opts.packet_size())
+            .shrunk(opts.time_div());
         for scheme in &schemes {
-            specs.push(corner_spec(opts, params, *scheme, corner, format!("fig6_{hosts}")));
+            specs.push(corner_spec(
+                opts,
+                params,
+                *scheme,
+                corner,
+                format!("fig6_{hosts}"),
+            ));
         }
     }
     let mut outs = opts.sweep("fig6", specs).into_iter();
@@ -315,7 +340,11 @@ mod tests {
     use super::*;
 
     fn quick_opts() -> Opts {
-        Opts { quick: true, stride: 8, ..Opts::default() }
+        Opts {
+            quick: true,
+            stride: 8,
+            ..Opts::default()
+        }
     }
 
     #[test]

@@ -2,13 +2,15 @@
 
 use std::path::PathBuf;
 
+use simcore::SchedulerKind;
+
 use crate::runner::RunOutput;
 use crate::sweep::{RunSpec, Sweep};
 
 /// Usage text printed by `--help` and attached to parse errors.
 pub const USAGE: &str = "options: [--quick] [--pkt 64|512] [--csv DIR] [--json DIR|none] \
                          [--jobs N] [--net 256|512] [--stride N] [--trace FILE] \
-                         [--trace-last N]";
+                         [--trace-last N] [--scheduler calendar|heap]";
 
 /// Options common to every experiment binary.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +39,10 @@ pub struct Opts {
     /// events the JSONL retains (`--trace-last N`, default 4096; the
     /// digest always covers the whole run).
     pub trace_last: usize,
+    /// Event-queue scheduler backend for every run of the sweep
+    /// (`--scheduler calendar|heap`; calendar is the default, the heap is
+    /// the A/B validation escape hatch — results are bit-identical).
+    pub scheduler: SchedulerKind,
 }
 
 impl Opts {
@@ -58,39 +64,49 @@ impl Opts {
             flag: &str,
             what: &str,
         ) -> Result<String, String> {
-            it.next().ok_or_else(|| format!("{flag} needs {what}; {USAGE}"))
+            it.next()
+                .ok_or_else(|| format!("{flag} needs {what}; {USAGE}"))
         }
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => opts.quick = true,
                 "--pkt" => {
                     let v = value(&mut it, "--pkt", "a value")?;
-                    opts.pkt =
-                        Some(v.parse().map_err(|_| format!("--pkt expects bytes, got {v:?}"))?);
+                    opts.pkt = Some(
+                        v.parse()
+                            .map_err(|_| format!("--pkt expects bytes, got {v:?}"))?,
+                    );
                 }
                 "--csv" => {
                     opts.csv_dir = Some(PathBuf::from(value(&mut it, "--csv", "a directory")?));
                 }
                 "--json" => {
                     let v = value(&mut it, "--json", "a directory (or `none`)")?;
-                    opts.json_dir = if v == "none" { None } else { Some(PathBuf::from(v)) };
+                    opts.json_dir = if v == "none" {
+                        None
+                    } else {
+                        Some(PathBuf::from(v))
+                    };
                 }
                 "--jobs" => {
                     let v = value(&mut it, "--jobs", "a worker count")?;
-                    let n: usize =
-                        v.parse().map_err(|_| format!("--jobs expects a count, got {v:?}"))?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--jobs expects a count, got {v:?}"))?;
                     opts.jobs = Some(n.max(1));
                 }
                 "--net" => {
                     let v = value(&mut it, "--net", "256 or 512")?;
                     opts.net = Some(
-                        v.parse().map_err(|_| format!("--net expects a host count, got {v:?}"))?,
+                        v.parse()
+                            .map_err(|_| format!("--net expects a host count, got {v:?}"))?,
                     );
                 }
                 "--stride" => {
                     let v = value(&mut it, "--stride", "a value")?;
-                    opts.stride =
-                        v.parse().map_err(|_| format!("--stride expects a count, got {v:?}"))?;
+                    opts.stride = v
+                        .parse()
+                        .map_err(|_| format!("--stride expects a count, got {v:?}"))?;
                 }
                 "--trace" => {
                     opts.trace_file = Some(PathBuf::from(value(&mut it, "--trace", "a file")?));
@@ -101,6 +117,11 @@ impl Opts {
                         .parse()
                         .map_err(|_| format!("--trace-last expects a count, got {v:?}"))?;
                     opts.trace_last = n.max(1);
+                }
+                "--scheduler" => {
+                    let v = value(&mut it, "--scheduler", "calendar or heap")?;
+                    opts.scheduler =
+                        SchedulerKind::parse(&v).map_err(|e| format!("{e}; {USAGE}"))?;
                 }
                 "--help" | "-h" => {
                     println!("{USAGE}");
@@ -148,7 +169,13 @@ impl Opts {
     /// on stderr, and a JSON summary named after the sweep when
     /// `--json` is active.
     pub fn sweep(&self, name: &str, specs: Vec<RunSpec>) -> Vec<RunOutput> {
-        let mut sweep = Sweep::new(specs).jobs(self.jobs.unwrap_or(0)).progress(true);
+        let specs: Vec<RunSpec> = specs
+            .into_iter()
+            .map(|s| s.scheduler(self.scheduler))
+            .collect();
+        let mut sweep = Sweep::new(specs)
+            .jobs(self.jobs.unwrap_or(0))
+            .progress(true);
         if let Some(dir) = &self.json_dir {
             sweep = sweep.json(dir.clone(), name);
         }
@@ -220,8 +247,12 @@ mod tests {
     #[test]
     fn missing_or_bad_values_are_errors() {
         assert!(parse(&["--jobs"]).unwrap_err().contains("--jobs needs"));
-        assert!(parse(&["--pkt", "tiny"]).unwrap_err().contains("--pkt expects bytes"));
-        assert!(parse(&["--jobs", "zero"]).unwrap_err().contains("--jobs expects a count"));
+        assert!(parse(&["--pkt", "tiny"])
+            .unwrap_err()
+            .contains("--pkt expects bytes"));
+        assert!(parse(&["--jobs", "zero"])
+            .unwrap_err()
+            .contains("--jobs expects a count"));
     }
 
     #[test]
@@ -240,6 +271,22 @@ mod tests {
         assert!(parse(&["--trace-last", "many"])
             .unwrap_err()
             .contains("--trace-last expects a count"));
+    }
+
+    #[test]
+    fn scheduler_flag_parses() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scheduler, SchedulerKind::Calendar);
+        let o = parse(&["--scheduler", "heap"]).unwrap();
+        assert_eq!(o.scheduler, SchedulerKind::Heap);
+        let o = parse(&["--scheduler", "calendar"]).unwrap();
+        assert_eq!(o.scheduler, SchedulerKind::Calendar);
+        assert!(parse(&["--scheduler", "wheel"])
+            .unwrap_err()
+            .contains("unknown scheduler"));
+        assert!(parse(&["--scheduler"])
+            .unwrap_err()
+            .contains("--scheduler needs"));
     }
 
     #[test]

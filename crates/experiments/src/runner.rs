@@ -22,6 +22,16 @@ pub enum Workload {
     Corner(CornerCase),
     /// The synthetic SAN traces at a compression factor.
     San(SanParams),
+    /// Every host injecting fixed-size messages to uniformly random
+    /// destinations (benchmark background traffic; no hotspot).
+    Uniform {
+        /// Offered load per host as a fraction of link rate, in `(0, 1]`.
+        load: f64,
+        /// Message size in bytes.
+        msg_bytes: u32,
+        /// Base PRNG seed; host `h` derives its stream from `seed + h`.
+        seed: u64,
+    },
 }
 
 impl Workload {
@@ -32,6 +42,24 @@ impl Workload {
                 c.build_sources(horizon)
             }
             Workload::San(p) => p.build_sources(hosts, horizon),
+            Workload::Uniform {
+                load,
+                msg_bytes,
+                seed,
+            } => (0..hosts)
+                .map(|h| {
+                    let src = traffic::RandomUniformSource::new(
+                        hosts,
+                        Some(topology::HostId::new(h)),
+                        *msg_bytes,
+                        *load,
+                    )
+                    .window(Picos::ZERO, horizon)
+                    .seed(seed.wrapping_add(h as u64))
+                    .build();
+                    Box::new(src) as Box<dyn MessageSource>
+                })
+                .collect(),
         }
     }
 
@@ -41,7 +69,7 @@ impl Workload {
     /// traces carry multi-KB messages and need room for a few of them.
     fn admit_cap(&self) -> u64 {
         match self {
-            Workload::Corner(_) => 4 * 1024,
+            Workload::Corner(_) | Workload::Uniform { .. } => 4 * 1024,
             Workload::San(_) => 64 * 1024,
         }
     }
@@ -69,6 +97,9 @@ pub struct RunOutput {
     pub wall_secs: f64,
     /// Simulated events processed.
     pub events: u64,
+    /// High-water mark of the event queue: the deepest the pending-event
+    /// set ever got during the run (the engine's binding memory metric).
+    pub peak_event_queue_depth: usize,
     /// Stable 64-bit digest of the run's event trace (only when the spec
     /// enabled tracing via [`RunSpec::trace`](crate::sweep::RunSpec::trace)).
     pub trace_digest: Option<u64>,
@@ -136,7 +167,12 @@ impl SchemeSet {
                 recn,
             ],
             SchemeSet::TraceComparison => {
-                vec![SchemeKind::VoqNet, SchemeKind::VoqSw, SchemeKind::OneQ, recn]
+                vec![
+                    SchemeKind::VoqNet,
+                    SchemeKind::VoqSw,
+                    SchemeKind::OneQ,
+                    recn,
+                ]
             }
             SchemeSet::Scalability => vec![SchemeKind::VoqNet, SchemeKind::VoqSw, recn],
             SchemeSet::RecnOnly => vec![recn],
@@ -175,14 +211,29 @@ pub fn run_one(spec: &RunSpec) -> RunOutput {
         fan = fan.push(Box::new(sink));
         trace = Some(thandle);
     }
-    let net = Network::new(spec.params, fabric_cfg, spec.packet_size, sources, Box::new(fan));
+    let net = Network::new(
+        spec.params,
+        fabric_cfg,
+        spec.packet_size,
+        sources,
+        Box::new(fan),
+    );
     let started = Instant::now();
-    let mut engine = net.build_engine();
+    let mut engine = net.build_engine_with(spec.scheduler);
     engine.run_until(spec.horizon);
     let wall_secs = started.elapsed().as_secs_f64();
     let events = engine.processed();
+    let peak_depth = engine.queue().peak_len();
     let model = engine.into_model();
-    let mut out = finish(spec.scheme, model, handle, spec.horizon, wall_secs, events);
+    let mut out = finish(
+        spec.scheme,
+        model,
+        handle,
+        spec.horizon,
+        wall_secs,
+        events,
+        peak_depth,
+    );
     out.trace_digest = trace.map(|t| t.digest());
     out
 }
@@ -194,6 +245,7 @@ fn finish(
     horizon: Picos,
     wall_secs: f64,
     events: u64,
+    peak_event_queue_depth: usize,
 ) -> RunOutput {
     RunOutput {
         scheme: scheme.name(),
@@ -205,6 +257,7 @@ fn finish(
         counters: model.counters().clone(),
         wall_secs,
         events,
+        peak_event_queue_depth,
         trace_digest: None,
     }
 }
@@ -262,7 +315,37 @@ mod tests {
         .horizon(Picos::from_us(40))
         .bin(Picos::from_us(2));
         let out = run_one(&spec);
-        assert!(out.saq_peaks.2 > 0, "hotspot must allocate SAQs: {:?}", out.saq_peaks);
+        assert!(
+            out.saq_peaks.2 > 0,
+            "hotspot must allocate SAQs: {:?}",
+            out.saq_peaks
+        );
         assert!(out.counters.order_violations == 0);
+    }
+
+    /// The scheduler A/B contract end-to-end: the same spec run on the
+    /// calendar queue and on the legacy heap produces the same events, the
+    /// same trace digest and the same peak queue depth.
+    #[test]
+    fn heap_and_calendar_runs_are_bit_identical() {
+        use simcore::SchedulerKind;
+        let corner = CornerCase::case1_64().shrunk(40);
+        let base = RunSpec::corner(MinParams::paper_64(), SchemeKind::OneQ, corner)
+            .horizon(Picos::from_us(40))
+            .bin(Picos::from_us(2))
+            .trace(64);
+        let cal = run_one(&base.clone().scheduler(SchedulerKind::Calendar));
+        let heap = run_one(&base.scheduler(SchedulerKind::Heap));
+        assert_eq!(cal.trace_digest, heap.trace_digest);
+        assert_eq!(cal.events, heap.events);
+        assert_eq!(
+            cal.counters.delivered_packets,
+            heap.counters.delivered_packets
+        );
+        assert_eq!(cal.peak_event_queue_depth, heap.peak_event_queue_depth);
+        assert!(
+            cal.peak_event_queue_depth > 0,
+            "a live run must queue events"
+        );
     }
 }

@@ -36,7 +36,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use fabric::SchemeKind;
-use simcore::Picos;
+use simcore::{Picos, SchedulerKind};
 use topology::MinParams;
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
@@ -89,6 +89,10 @@ pub struct RunSpec {
     /// run's stable digest lands in
     /// [`RunOutput::trace_digest`](crate::runner::RunOutput::trace_digest).
     pub trace_capacity: Option<usize>,
+    /// Event-queue scheduler backend for the run. Both backends deliver the
+    /// same event order (results are bit-identical); the heap is kept as an
+    /// A/B escape hatch. Defaults to the calendar queue.
+    pub scheduler: SchedulerKind,
 }
 
 impl RunSpec {
@@ -105,6 +109,7 @@ impl RunSpec {
             bin: Picos::from_us(5),
             validate: false,
             trace_capacity: None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -155,6 +160,13 @@ impl RunSpec {
         self.trace_capacity = Some(capacity);
         self
     }
+
+    /// Selects the event-queue scheduler backend (calendar by default; the
+    /// heap is the A/B validation escape hatch).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> RunSpec {
+        self.scheduler = kind;
+        self
+    }
 }
 
 /// A batch of independent simulation runs fanned out over a worker pool.
@@ -175,7 +187,12 @@ impl Sweep {
     /// A sweep over `specs` using all available parallelism, silent, with
     /// no JSON summary.
     pub fn new(specs: Vec<RunSpec>) -> Sweep {
-        Sweep { specs, jobs: default_jobs(), progress: false, json: None }
+        Sweep {
+            specs,
+            jobs: default_jobs(),
+            progress: false,
+            json: None,
+        }
     }
 
     /// Sets the worker count (`0` or `None`-like values fall back to the
@@ -201,7 +218,12 @@ impl Sweep {
 
     /// Runs every spec and returns the outputs in submission order.
     pub fn run(self) -> Vec<RunOutput> {
-        let Sweep { specs, jobs, progress, json } = self;
+        let Sweep {
+            specs,
+            jobs,
+            progress,
+            json,
+        } = self;
         let n = specs.len();
         let workers = jobs.clamp(1, n.max(1));
         let started = Instant::now();
@@ -251,7 +273,14 @@ impl Sweep {
             .collect();
 
         if let Some((dir, name)) = json {
-            match write_summary(&dir, &name, workers, started.elapsed().as_secs_f64(), &specs, &outputs) {
+            match write_summary(
+                &dir,
+                &name,
+                workers,
+                started.elapsed().as_secs_f64(),
+                &specs,
+                &outputs,
+            ) {
                 Ok(path) => eprintln!("wrote {}", path.display()),
                 Err(e) => eprintln!("sweep summary not written: {e}"),
             }
@@ -263,7 +292,9 @@ impl Sweep {
 /// Worker count used when none is requested: the machine's available
 /// parallelism.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Simulated events per wall-clock second of a finished run.
@@ -286,7 +317,10 @@ fn write_summary(
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.sweep.json"));
-    std::fs::write(&path, render_summary(name, jobs, total_wall_secs, specs, outputs))?;
+    std::fs::write(
+        &path,
+        render_summary(name, jobs, total_wall_secs, specs, outputs),
+    )?;
     Ok(path)
 }
 
@@ -302,17 +336,22 @@ pub fn render_summary(
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"sweep\": {},\n", jstr(name)));
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
-    s.push_str(&format!("  \"total_wall_secs\": {},\n", jnum(total_wall_secs)));
+    s.push_str(&format!(
+        "  \"total_wall_secs\": {},\n",
+        jnum(total_wall_secs)
+    ));
     s.push_str("  \"runs\": [\n");
     for (i, (spec, out)) in specs.iter().zip(outputs).enumerate() {
         let sep = if i + 1 == outputs.len() { "" } else { "," };
         s.push_str(&format!(
-            "    {{\"label\": {}, \"scheme\": {}, \"hosts\": {}, \"packet_size\": {}, \
+            "    {{\"label\": {}, \"scheme\": {}, \"scheduler\": {}, \"hosts\": {}, \
+             \"packet_size\": {}, \
              \"delivered_packets\": {}, \"delivered_bytes\": {}, \"mean_latency_ns\": {}, \
              \"saq_peaks\": [{}, {}, {}], \"wall_secs\": {}, \"events\": {}, \
-             \"events_per_sec\": {}}}{sep}\n",
+             \"events_per_sec\": {}, \"peak_event_queue_depth\": {}}}{sep}\n",
             jstr(&spec.label),
             jstr(out.scheme),
+            jstr(spec.scheduler.name()),
             spec.params.hosts(),
             spec.packet_size,
             out.counters.delivered_packets,
@@ -324,6 +363,7 @@ pub fn render_summary(
             jnum(out.wall_secs),
             out.events,
             jnum(events_per_sec(out)),
+            out.peak_event_queue_depth,
         ));
     }
     s.push_str("  ]\n}\n");
@@ -419,6 +459,8 @@ mod tests {
         assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("\"wall_secs\""));
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"scheduler\": \"calendar\""));
+        assert!(json.contains("\"peak_event_queue_depth\""));
         // One runs-array entry per spec, comma-separated except the last.
         assert_eq!(json.matches("\"label\"").count(), specs.len());
         assert_eq!(json.matches("},\n").count(), specs.len() - 1);

@@ -1,0 +1,253 @@
+//! A safe generational slab allocator for hot-path objects.
+//!
+//! Buffered packets and queue nodes are inserted and removed millions of
+//! times per run; a [`Arena`] keeps them in one contiguous `Vec` and
+//! recycles slots through a free list, so queue churn performs no
+//! per-item heap allocation after warm-up. Handles carry a generation
+//! counter: accessing a slot after its item was removed (and possibly
+//! reused) is detected and panics instead of silently aliasing — the
+//! same class of bug a use-after-free would be in an unsafe pool.
+//!
+//! The arena is deliberately minimal (insert / remove / get) because the
+//! queue structures built on top ([`crate::queue::QueueSet`], the NIC
+//! admittance VOQs) own all ordering; the arena only owns storage.
+
+/// A generation-tagged reference to a slot in an [`Arena`].
+///
+/// Handles are `Copy` and order-free: they identify storage, not
+/// position. A handle is invalidated by [`Arena::remove`]; using it
+/// afterwards panics ("stale handle").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    idx: u32,
+    gen: u32,
+}
+
+impl Handle {
+    /// Slot index (for diagnostics only — never use to index storage
+    /// directly).
+    pub fn index(self) -> u32 {
+        self.idx
+    }
+
+    /// Generation of the slot at the time the handle was issued.
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+#[derive(Debug)]
+enum Slot<T> {
+    Occupied {
+        gen: u32,
+        value: T,
+    },
+    /// Vacant slot remembering the generation to issue on next reuse.
+    Vacant {
+        next_gen: u32,
+    },
+}
+
+/// Generational slab: O(1) insert/remove/get, stable handles, recycled
+/// storage.
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Arena<T> {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty arena with room for `cap` items before the
+    /// backing storage reallocates.
+    pub fn with_capacity(cap: usize) -> Arena<T> {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots ever allocated (live + recyclable).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `value`, returning its handle. Reuses a free slot when one
+    /// exists; grows the backing storage otherwise.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            let gen = match *slot {
+                Slot::Vacant { next_gen } => next_gen,
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = Slot::Occupied { gen, value };
+            Handle { idx, gen }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 slots");
+            self.slots.push(Slot::Occupied { gen: 0, value });
+            Handle { idx, gen: 0 }
+        }
+    }
+
+    /// Removes and returns the item behind `h`, freeing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale (already removed, possibly reused).
+    pub fn remove(&mut self, h: Handle) -> T {
+        let slot = &mut self.slots[h.idx as usize];
+        match slot {
+            Slot::Occupied { gen, .. } if *gen == h.gen => {}
+            _ => panic!("stale arena handle {h:?}"),
+        }
+        // Generations wrap; a handle surviving 2^32 reuses of one slot is
+        // not a realistic hazard for simulation-length lifetimes.
+        let next = Slot::Vacant {
+            next_gen: h.gen.wrapping_add(1),
+        };
+        let Slot::Occupied { value, .. } = std::mem::replace(slot, next) else {
+            unreachable!("checked occupied above");
+        };
+        self.free.push(h.idx);
+        self.len -= 1;
+        value
+    }
+
+    /// Shared access to the item behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale.
+    pub fn get(&self, h: Handle) -> &T {
+        match &self.slots[h.idx as usize] {
+            Slot::Occupied { gen, value } if *gen == h.gen => value,
+            _ => panic!("stale arena handle {h:?}"),
+        }
+    }
+
+    /// Mutable access to the item behind `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale.
+    pub fn get_mut(&mut self, h: Handle) -> &mut T {
+        match &mut self.slots[h.idx as usize] {
+            Slot::Occupied { gen, value } if *gen == h.gen => value,
+            _ => panic!("stale arena handle {h:?}"),
+        }
+    }
+
+    /// Whether `h` still refers to a live item.
+    pub fn contains(&self, h: Handle) -> bool {
+        matches!(&self.slots[h.idx as usize], Slot::Occupied { gen, .. } if *gen == h.gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = Arena::new();
+        let h1 = a.insert("one");
+        let h2 = a.insert("two");
+        assert_eq!(a.len(), 2);
+        assert_eq!(*a.get(h1), "one");
+        assert_eq!(*a.get(h2), "two");
+        assert_eq!(a.remove(h1), "one");
+        assert_eq!(a.len(), 1);
+        assert!(!a.contains(h1));
+        assert!(a.contains(h2));
+    }
+
+    #[test]
+    fn slots_are_recycled_with_new_generation() {
+        let mut a = Arena::new();
+        let h1 = a.insert(10u32);
+        a.remove(h1);
+        let h2 = a.insert(20u32);
+        assert_eq!(h2.index(), h1.index(), "slot reused");
+        assert_ne!(h2.generation(), h1.generation(), "generation bumped");
+        assert_eq!(a.slot_count(), 1);
+        assert_eq!(*a.get(h2), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn stale_get_panics() {
+        let mut a = Arena::new();
+        let h = a.insert(1u8);
+        a.remove(h);
+        let _ = a.get(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn stale_remove_panics_even_after_reuse() {
+        let mut a = Arena::new();
+        let h = a.insert(1u8);
+        a.remove(h);
+        let _fresh = a.insert(2u8);
+        let _ = a.remove(h);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut a = Arena::new();
+        let h = a.insert(vec![1, 2]);
+        a.get_mut(h).push(3);
+        assert_eq!(a.get(h).len(), 3);
+    }
+
+    #[test]
+    fn many_inserts_and_removes_keep_len_consistent() {
+        let mut a = Arena::with_capacity(8);
+        let mut live = Vec::new();
+        for round in 0..100u32 {
+            for i in 0..16u32 {
+                live.push((a.insert(round * 100 + i), round * 100 + i));
+            }
+            // Remove every other item, oldest first.
+            let drain: Vec<_> = live.iter().step_by(2).copied().collect();
+            live.retain(|(h, _)| !drain.iter().any(|(d, _)| d == h));
+            for (h, v) in drain {
+                assert_eq!(a.remove(h), v);
+            }
+        }
+        assert_eq!(a.len(), live.len());
+        // Storage stayed bounded by the high-water mark, not total churn.
+        assert!(a.slot_count() <= 16 * 100);
+        for (h, v) in live {
+            assert_eq!(*a.get(h), v);
+        }
+    }
+}

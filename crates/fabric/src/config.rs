@@ -158,7 +158,10 @@ impl FabricConfig {
     ///
     /// Panics on zero rates or empty memories.
     pub fn validate(&self) {
-        assert!(self.link_gbps > 0 && self.xbar_gbps > 0, "rates must be positive");
+        assert!(
+            self.link_gbps > 0 && self.xbar_gbps > 0,
+            "rates must be positive"
+        );
         assert!(
             self.input_mem > 0 && self.output_mem > 0 && self.nic_inject_mem > 0,
             "port memories must be positive"

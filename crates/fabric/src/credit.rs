@@ -35,7 +35,10 @@ pub const POOLED_QUEUE: u16 = u16::MAX;
 impl CreditView {
     /// A pooled view of `total` bytes.
     pub fn pooled(total: u64) -> CreditView {
-        CreditView::Pooled { free: total, cap: total }
+        CreditView::Pooled {
+            free: total,
+            cap: total,
+        }
     }
 
     /// A per-queue view: `queues` pools of `total / queues` bytes each.
@@ -46,7 +49,10 @@ impl CreditView {
     pub fn per_queue(total: u64, queues: usize) -> CreditView {
         assert!(queues > 0, "need at least one queue");
         let cap = total / queues as u64;
-        CreditView::PerQueue { free: vec![cap; queues], cap }
+        CreditView::PerQueue {
+            free: vec![cap; queues],
+            cap,
+        }
     }
 
     /// Whether `bytes` can be sent toward `queue` right now.
@@ -99,7 +105,10 @@ impl CreditView {
         match self {
             CreditView::Pooled { free, cap } => {
                 *free += bytes;
-                assert!(*free <= *cap, "credit overflow: more returned than consumed");
+                assert!(
+                    *free <= *cap,
+                    "credit overflow: more returned than consumed"
+                );
             }
             CreditView::PerQueue { free, cap } => {
                 let f = &mut free[queue as usize];

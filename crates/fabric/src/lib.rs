@@ -16,6 +16,9 @@
 //! * **Credit-based flow control** at the port level — the lossless
 //!   invariant (no buffer ever overflows) is *asserted* at every enqueue —
 //!   plus per-SAQ Xon/Xoff under RECN.
+//! * **Slab-backed buffering**: buffered packets and queue nodes live in
+//!   generational [`Arena`] slabs, so steady-state queue churn recycles
+//!   storage instead of allocating per packet.
 //! * The five queueing schemes of the paper's comparison:
 //!   [`SchemeKind::OneQ`], [`SchemeKind::FourQ`], [`SchemeKind::VoqSw`],
 //!   [`SchemeKind::VoqNet`] and [`SchemeKind::Recn`].
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod config;
 mod credit;
 mod network;
@@ -64,6 +68,7 @@ mod source;
 mod trace;
 mod validate;
 
+pub use arena::{Arena, Handle};
 pub use config::{FabricConfig, SchemeKind};
 pub use credit::{CreditView, POOLED_QUEUE};
 pub use network::{
@@ -71,8 +76,8 @@ pub use network::{
     PortSnapshot, SaqSnapshot,
 };
 pub use observer::{FanoutObserver, NetObserver, NullObserver, QueueKind, SaqSite};
-pub use trace::{json_escape, TraceEvent, TraceHandle, TraceRecord, TraceSink};
-pub use validate::{ValidatingObserver, ValidatorHandle};
 pub use packet::{Packet, Payload, QueueItem, RevPayload};
 pub use queue::{PortSide, QueueSet};
 pub use source::{ConstantRateSource, MessageSource, ScriptSource, SilentSource, SourcedMessage};
+pub use trace::{json_escape, TraceEvent, TraceHandle, TraceRecord, TraceSink};
+pub use validate::{ValidatingObserver, ValidatorHandle};

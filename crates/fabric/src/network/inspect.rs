@@ -89,8 +89,14 @@ impl Network {
         for (s, sw) in self.switches.iter().enumerate() {
             let stage = self.topo.coords(topology::SwitchId::new(s as u32)).stage;
             for p in 0..radix {
-                all.push((format!("sw{s}(st{stage}).in{p}"), snapshot_of(&sw.inputs[p])));
-                all.push((format!("sw{s}(st{stage}).out{p}"), snapshot_of(&sw.outputs[p])));
+                all.push((
+                    format!("sw{s}(st{stage}).in{p}"),
+                    snapshot_of(&sw.inputs[p]),
+                ));
+                all.push((
+                    format!("sw{s}(st{stage}).out{p}"),
+                    snapshot_of(&sw.outputs[p]),
+                ));
             }
         }
         for (h, nic) in self.nics.iter().enumerate() {
@@ -113,7 +119,12 @@ impl Network {
                 pout = pout.max(sw.outputs[p].peak_used());
             }
         }
-        let pnic = self.nics.iter().map(|n| n.inject.peak_used()).max().unwrap_or(0);
+        let pnic = self
+            .nics
+            .iter()
+            .map(|n| n.inject.peak_used())
+            .max()
+            .unwrap_or(0);
         (pin, pout, pnic)
     }
 }
@@ -168,7 +179,9 @@ mod tests {
         );
         let hot = net.hottest_ports(5);
         assert_eq!(hot.len(), 5);
-        assert!(hot.windows(2).all(|w| w[0].1.used_bytes >= w[1].1.used_bytes));
+        assert!(hot
+            .windows(2)
+            .all(|w| w[0].1.used_bytes >= w[1].1.used_bytes));
         let line = render_port(&hot[0].0, &hot[0].1);
         assert!(line.contains("B/"), "{line}");
     }

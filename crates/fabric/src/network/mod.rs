@@ -163,8 +163,11 @@ pub(crate) struct Switch {
 
 pub(crate) struct Nic {
     /// Admittance VOQs, one per destination (unbounded: the generation
-    /// process itself is the bound).
-    pub admit: Vec<std::collections::VecDeque<Packet>>,
+    /// process itself is the bound). Queues hold handles into
+    /// `admit_pool` so packet churn reuses slab storage.
+    pub admit: Vec<std::collections::VecDeque<crate::arena::Handle>>,
+    /// Slab storing the packets queued across all admittance VOQs.
+    pub admit_pool: crate::arena::Arena<Packet>,
     /// Bytes stored per admittance VOQ (bounded by `cfg.admit_cap`).
     pub admit_bytes: Vec<u64>,
     pub admit_rr: usize,
@@ -264,16 +267,23 @@ impl Network {
                 fwd_busy_total: Picos::ZERO,
                 credits: Self::input_credit_view(&cfg, radix, hosts),
                 up: LinkUp::Nic(h),
-                down: LinkDown::Switch { sw: sw.index(), port: port.index() },
+                down: LinkDown::Switch {
+                    sw: sw.index(),
+                    port: port.index(),
+                },
             });
         }
         // Switch output links.
         for s in 0..nswitches {
             for p in 0..radix {
-                let down = match topo
-                    .next_hop(topology::SwitchId::new(s as u32), topology::PortId::new(p as u32))
-                {
-                    Ok((nsw, nport)) => LinkDown::Switch { sw: nsw.index(), port: nport.index() },
+                let down = match topo.next_hop(
+                    topology::SwitchId::new(s as u32),
+                    topology::PortId::new(p as u32),
+                ) {
+                    Ok((nsw, nport)) => LinkDown::Switch {
+                        sw: nsw.index(),
+                        port: nport.index(),
+                    },
                     Err(host) => LinkDown::Host(host.index()),
                 };
                 let credits = match down {
@@ -333,7 +343,10 @@ impl Network {
                 .into_iter()
                 .enumerate()
                 .map(|(h, source)| Nic {
-                    admit: (0..hosts).map(|_| std::collections::VecDeque::new()).collect(),
+                    admit: (0..hosts)
+                        .map(|_| std::collections::VecDeque::new())
+                        .collect(),
+                    admit_pool: crate::arena::Arena::new(),
                     admit_bytes: vec![0; hosts],
                     admit_rr: 0,
                     inject: QueueSet::new(
@@ -395,9 +408,16 @@ impl Network {
         }
     }
 
-    /// Convenience: wraps the network in a primed [`simcore::Engine`].
+    /// Convenience: wraps the network in a primed [`simcore::Engine`] on
+    /// the default scheduler.
     pub fn build_engine(self) -> simcore::Engine<Network> {
-        let mut engine = simcore::Engine::new(self);
+        self.build_engine_with(simcore::SchedulerKind::default())
+    }
+
+    /// Wraps the network in a primed [`simcore::Engine`] whose event queue
+    /// runs on the given scheduler backend.
+    pub fn build_engine_with(self, kind: simcore::SchedulerKind) -> simcore::Engine<Network> {
+        let mut engine = simcore::Engine::with_scheduler(self, kind);
         let mut queue = std::mem::take(engine.queue_mut());
         engine.model_mut().prime(&mut queue);
         *engine.queue_mut() = queue;
@@ -446,7 +466,11 @@ impl Network {
         if now == Picos::ZERO || self.links.is_empty() {
             return 0.0;
         }
-        let busy: f64 = self.links.iter().map(|l| l.fwd_busy_total.as_ns_f64()).sum();
+        let busy: f64 = self
+            .links
+            .iter()
+            .map(|l| l.fwd_busy_total.as_ns_f64())
+            .sum();
         busy / (self.links.len() as f64 * now.as_ns_f64())
     }
 
@@ -516,7 +540,8 @@ impl Network {
     pub(crate) fn note_credit_consumed(&mut self, now: Picos, link: usize, queue: u16, bytes: u64) {
         if let Some(free) = self.links[link].credits.free_bytes(queue) {
             let cap = self.links[link].credits.queue_cap();
-            self.observer.on_credit_change(now, link, queue, -(bytes as i64), free, cap);
+            self.observer
+                .on_credit_change(now, link, queue, -(bytes as i64), free, cap);
         }
     }
 
@@ -530,7 +555,8 @@ impl Network {
     ) {
         if let Some(free) = self.links[link].credits.free_bytes(queue) {
             let cap = self.links[link].credits.queue_cap();
-            self.observer.on_credit_change(now, link, queue, bytes as i64, free, cap);
+            self.observer
+                .on_credit_change(now, link, queue, bytes as i64, free, cap);
         }
     }
 
@@ -548,7 +574,10 @@ impl Network {
         let ser = Picos::serialize_bytes(bytes, self.cfg.link_gbps);
         l.fwd_busy_until = depart + ser;
         l.fwd_busy_total += ser;
-        q.schedule(depart + ser + self.cfg.link_delay, Event::Deliver { link, payload });
+        q.schedule(
+            depart + ser + self.cfg.link_delay,
+            Event::Deliver { link, payload },
+        );
     }
 
     /// Sends a control payload on the reverse channel of `link`.
@@ -564,7 +593,10 @@ impl Network {
         let depart = l.rev_busy_until.max(now);
         let ser = Picos::serialize_bytes(bytes, self.cfg.link_gbps);
         l.rev_busy_until = depart + ser;
-        q.schedule(depart + ser + self.cfg.link_delay, Event::DeliverRev { link, payload });
+        q.schedule(
+            depart + ser + self.cfg.link_delay,
+            Event::DeliverRev { link, payload },
+        );
     }
 
     /// Schedules an `InputArb` for `sw` unless one is already pending.
@@ -617,7 +649,9 @@ impl Network {
                 Payload::Data { pkt, target_queue } => {
                     self.switch_input_arrival(now, q, sw, port, pkt, target_queue)
                 }
-                Payload::RecnAck { path, line } => self.ingress_recn_ack(now, q, sw, port, path, line),
+                Payload::RecnAck { path, line } => {
+                    self.ingress_recn_ack(now, q, sw, port, path, line)
+                }
                 Payload::RecnReject { path } => self.ingress_recn_reject(now, q, sw, port, path),
                 Payload::RecnToken { path } => self.ingress_recn_token(now, q, sw, port, path),
             },
@@ -628,8 +662,16 @@ impl Network {
         let Payload::Data { pkt, .. } = payload else {
             unreachable!("delivery links never carry RECN control traffic");
         };
-        assert_eq!(pkt.dst.index(), host, "misrouted packet: {} at host {host}", pkt.dst);
-        assert!(pkt.route.is_exhausted(), "packet delivered with unconsumed turns");
+        assert_eq!(
+            pkt.dst.index(),
+            host,
+            "misrouted packet: {} at host {host}",
+            pkt.dst
+        );
+        assert!(
+            pkt.route.is_exhausted(),
+            "packet delivered with unconsumed turns"
+        );
         let hosts = self.topo.params().hosts() as usize;
         let flow = pkt.src.index() * hosts + pkt.dst.index();
         let expected = self.expect_seq[flow];

@@ -14,7 +14,10 @@ impl Network {
     /// the admittance VOQ and schedule the following message.
     pub(crate) fn on_next_message(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
         let hosts = self.topo.params().hosts() as usize;
-        let msg = self.nics[host].pending.take().expect("NextMessage without pending message");
+        let msg = self.nics[host]
+            .pending
+            .take()
+            .expect("NextMessage without pending message");
         debug_assert_eq!(msg.at, now, "message fired at the wrong time");
         let dst = msg.dst;
         assert!(dst.index() < hosts, "message to nonexistent host {dst}");
@@ -26,28 +29,29 @@ impl Network {
             self.counters.source_dropped_bytes += msg.bytes as u64;
             self.observer.on_drop_attempt(now, host, dst, msg.bytes);
         } else {
-        let mut remaining = msg.bytes;
-        while remaining > 0 {
-            let size = remaining.min(self.packet_size);
-            let seq = self.nics[host].next_seq[dst.index()];
-            self.nics[host].next_seq[dst.index()] += 1;
-            let pkt = Packet {
-                id: self.next_packet_id,
-                src: topology::HostId::new(host as u32),
-                dst,
-                size,
-                route,
-                injected_at: now,
-                flow_seq: seq,
-            };
-            self.next_packet_id += 1;
-            self.counters.injected_packets += 1;
-            self.counters.injected_bytes += size as u64;
-            self.observer.on_injected(now, &pkt);
-            self.nics[host].admit[dst.index()].push_back(pkt);
-            self.nics[host].admit_bytes[dst.index()] += size as u64;
-            remaining -= size;
-        }
+            let mut remaining = msg.bytes;
+            while remaining > 0 {
+                let size = remaining.min(self.packet_size);
+                let seq = self.nics[host].next_seq[dst.index()];
+                self.nics[host].next_seq[dst.index()] += 1;
+                let pkt = Packet {
+                    id: self.next_packet_id,
+                    src: topology::HostId::new(host as u32),
+                    dst,
+                    size,
+                    route,
+                    injected_at: now,
+                    flow_seq: seq,
+                };
+                self.next_packet_id += 1;
+                self.counters.injected_packets += 1;
+                self.counters.injected_bytes += size as u64;
+                self.observer.on_injected(now, &pkt);
+                let h = self.nics[host].admit_pool.insert(pkt);
+                self.nics[host].admit[dst.index()].push_back(h);
+                self.nics[host].admit_bytes[dst.index()] += size as u64;
+                remaining -= size;
+            }
         }
         if let Some(next) = self.nics[host].source.next_message() {
             assert!(next.at >= now, "source times must be non-decreasing");
@@ -68,7 +72,10 @@ impl Network {
             let mut progress = false;
             for off in 0..hosts {
                 let d = (self.nics[host].admit_rr + off) % hosts;
-                let Some(front) = self.nics[host].admit[d].front() else { continue };
+                let Some(&front_h) = self.nics[host].admit[d].front() else {
+                    continue;
+                };
+                let front = self.nics[host].admit_pool.get(front_h);
                 let size = front.size as u64;
                 let queue = self.nics[host].inject.classify(front);
                 if !self.nics[host].inject.has_room(queue, size) {
@@ -89,15 +96,19 @@ impl Network {
                         }
                     }
                 }
-                let pkt = self.nics[host].admit[d].pop_front().expect("front checked");
+                let h = self.nics[host].admit[d].pop_front().expect("front checked");
+                let pkt = self.nics[host].admit_pool.remove(h);
                 self.nics[host].admit_bytes[d] -= size;
-                self.nics[host].inject.push_direct(queue, QueueItem::Packet(pkt));
+                self.nics[host]
+                    .inject
+                    .push_direct(queue, QueueItem::Packet(pkt));
                 let kind = if queue != 0 && self.nics[host].inject.is_saq_queue(queue) {
                     QueueKind::Saq
                 } else {
                     QueueKind::Normal
                 };
-                self.observer.on_enqueue(now, PortRef::Nic { host }, queue, kind, &pkt);
+                self.observer
+                    .on_enqueue(now, PortRef::Nic { host }, queue, kind, &pkt);
                 if queue != 0 {
                     if let Some(saq) = self.nics[host].inject.saq_at_queue(queue) {
                         // NIC injection is terminal: enqueue signals never
@@ -157,7 +168,8 @@ impl Network {
         } else {
             QueueKind::Normal
         };
-        self.observer.on_dequeue(now, PortRef::Nic { host }, qidx, kind, &pkt);
+        self.observer
+            .on_dequeue(now, PortRef::Nic { host }, qidx, kind, &pkt);
         let size = pkt.size as u64;
         if self.nics[host].inject.is_saq_queue(qidx) {
             // SAQ dequeue bookkeeping; a NIC SAQ is always a leaf, so it may
@@ -186,7 +198,13 @@ impl Network {
         self.links[link].fwd_busy_total += ser;
         q.schedule(
             now + ser + self.cfg.link_delay,
-            Event::Deliver { link, payload: Payload::Data { pkt, target_queue: tq } },
+            Event::Deliver {
+                link,
+                payload: Payload::Data {
+                    pkt,
+                    target_queue: tq,
+                },
+            },
         );
         self.nics[host].inject.rr_granted(qidx);
         if self.nics[host].inject.has_items() {
@@ -205,9 +223,7 @@ impl Network {
             super::LinkDown::Switch { .. } => match self.cfg.scheme {
                 SchemeKind::OneQ => 0,
                 SchemeKind::FourQ => self.links[link].credits.roomiest_queue(),
-                SchemeKind::VoqSw => {
-                    pkt.route.remaining().first().copied().unwrap_or(0) as u16
-                }
+                SchemeKind::VoqSw => pkt.route.remaining().first().copied().unwrap_or(0) as u16,
                 SchemeKind::VoqNet => pkt.dst.index() as u16,
                 SchemeKind::Recn(_) => crate::credit::POOLED_QUEUE,
             },

@@ -46,7 +46,8 @@ impl Network {
             NotifOutcome::Accepted { saq } => {
                 self.counters.saq_allocs += 1;
                 let idx = self.port_index(sw, input);
-                self.observer.on_saq_alloc(now, SaqSite::SwitchIngress, idx, saq.line(), &path);
+                self.observer
+                    .on_saq_alloc(now, SaqSite::SwitchIngress, idx, saq.line(), &path);
                 self.census_change(now, Site::In, idx, 1);
                 self.place_marker_input(now, q, sw, input, saq);
             }
@@ -58,8 +59,9 @@ impl Network {
                 }
                 // The token bounces straight back to the notifying egress
                 // port; its notified flag stays set (§3.8).
-                let (_, path_at_egress) =
-                    path.split_first().expect("internal notification paths are nonempty");
+                let (_, path_at_egress) = path
+                    .split_first()
+                    .expect("internal notification paths are nonempty");
                 let (change, dealloc) = self.switches[sw].outputs[egress_port]
                     .recn_mut()
                     .expect("RECN scheme")
@@ -119,7 +121,10 @@ impl Network {
                     now,
                     q,
                     link,
-                    Payload::RecnAck { path, line: saq.line() as u8 },
+                    Payload::RecnAck {
+                        path,
+                        line: saq.line() as u8,
+                    },
                 );
             }
             NotifOutcome::AlreadyPresent { .. } => {
@@ -205,17 +210,24 @@ impl Network {
         input: usize,
         saq: SaqId,
     ) {
-        let path =
-            self.switches[sw].inputs[input].recn().expect("RECN scheme").path_of(saq);
+        let path = self.switches[sw].inputs[input]
+            .recn()
+            .expect("RECN scheme")
+            .path_of(saq);
         let action = self.switches[sw].inputs[input]
             .recn_mut()
             .expect("RECN scheme")
             .dealloc(saq);
         self.counters.saq_deallocs += 1;
         let idx = self.port_index(sw, input);
-        self.observer.on_saq_dealloc(now, SaqSite::SwitchIngress, idx, saq.line(), &path);
+        self.observer
+            .on_saq_dealloc(now, SaqSite::SwitchIngress, idx, saq.line(), &path);
         self.census_change(now, Site::In, idx, -1);
-        let TokenDest::EgressSameSwitch { out_port, path_at_egress } = action.token_to else {
+        let TokenDest::EgressSameSwitch {
+            out_port,
+            path_at_egress,
+        } = action.token_to
+        else {
             unreachable!("ingress SAQ tokens stay within the switch");
         };
         if action.xon_needed {
@@ -244,15 +256,18 @@ impl Network {
         port: usize,
         saq: SaqId,
     ) {
-        let path =
-            self.switches[sw].outputs[port].recn().expect("RECN scheme").path_of(saq);
+        let path = self.switches[sw].outputs[port]
+            .recn()
+            .expect("RECN scheme")
+            .path_of(saq);
         let action = self.switches[sw].outputs[port]
             .recn_mut()
             .expect("RECN scheme")
             .dealloc(saq);
         self.counters.saq_deallocs += 1;
         let idx = self.port_index(sw, port);
-        self.observer.on_saq_dealloc(now, SaqSite::SwitchEgress, idx, saq.line(), &path);
+        self.observer
+            .on_saq_dealloc(now, SaqSite::SwitchEgress, idx, saq.line(), &path);
         self.census_change(now, Site::Out, idx, -1);
         let TokenDest::DownstreamLink { path } = action.token_to else {
             unreachable!("egress SAQ tokens cross the downstream link");
@@ -271,14 +286,19 @@ impl Network {
         host: usize,
         saq: SaqId,
     ) {
-        let path = self.nics[host].inject.recn().expect("RECN scheme").path_of(saq);
+        let path = self.nics[host]
+            .inject
+            .recn()
+            .expect("RECN scheme")
+            .path_of(saq);
         let action = self.nics[host]
             .inject
             .recn_mut()
             .expect("RECN scheme")
             .dealloc(saq);
         self.counters.saq_deallocs += 1;
-        self.observer.on_saq_dealloc(now, SaqSite::NicInjection, host, saq.line(), &path);
+        self.observer
+            .on_saq_dealloc(now, SaqSite::NicInjection, host, saq.line(), &path);
         self.census_change(now, Site::Nic, host, -1);
         let TokenDest::DownstreamLink { path } = action.token_to else {
             unreachable!("NIC SAQ tokens cross the injection link");
@@ -338,7 +358,9 @@ impl Network {
             .marker_plan(saq);
         for target in Self::marker_queues(&plan) {
             self.counters.markers += 1;
-            self.nics[host].inject.push_direct(target, QueueItem::Marker(saq));
+            self.nics[host]
+                .inject
+                .push_direct(target, QueueItem::Marker(saq));
             self.drain_nic_markers(now, q, host, target);
         }
     }
@@ -363,7 +385,9 @@ impl Network {
             let QueueItem::Marker(saq) = self.switches[sw].inputs[input].pop(queue) else {
                 unreachable!("head was a marker");
             };
-            let recn = self.switches[sw].inputs[input].recn_mut().expect("RECN scheme");
+            let recn = self.switches[sw].inputs[input]
+                .recn_mut()
+                .expect("RECN scheme");
             let ready = recn.marker_consumed(saq);
             if ready {
                 self.ingress_dealloc(now, q, sw, input, saq);
@@ -428,7 +452,12 @@ impl Network {
                 .marker_consumed(saq);
             if ready {
                 self.nic_dealloc(now, q, host, saq);
-            } else if self.nics[host].inject.recn().expect("RECN scheme").is_empty_leaf(saq) {
+            } else if self.nics[host]
+                .inject
+                .recn()
+                .expect("RECN scheme")
+                .is_empty_leaf(saq)
+            {
                 self.schedule_idle_check(now, q, PortRef::Nic { host }, saq);
             }
         }
@@ -486,7 +515,10 @@ impl Network {
         port: PortRef,
         saq: SaqId,
     ) {
-        q.schedule(now + self.cfg.saq_idle_timeout, Event::SaqIdleCheck { port, saq });
+        q.schedule(
+            now + self.cfg.saq_idle_timeout,
+            Event::SaqIdleCheck { port, saq },
+        );
     }
 
     /// `Event::SaqIdleCheck` — reclaim the SAQ if it is still an empty,
@@ -499,15 +531,19 @@ impl Network {
         saq: SaqId,
     ) {
         let idle = match port {
-            PortRef::SwitchIn { sw, port } => {
-                self.switches[sw].inputs[port].recn().expect("RECN scheme").is_empty_leaf(saq)
-            }
-            PortRef::SwitchOut { sw, port } => {
-                self.switches[sw].outputs[port].recn().expect("RECN scheme").is_empty_leaf(saq)
-            }
-            PortRef::Nic { host } => {
-                self.nics[host].inject.recn().expect("RECN scheme").is_empty_leaf(saq)
-            }
+            PortRef::SwitchIn { sw, port } => self.switches[sw].inputs[port]
+                .recn()
+                .expect("RECN scheme")
+                .is_empty_leaf(saq),
+            PortRef::SwitchOut { sw, port } => self.switches[sw].outputs[port]
+                .recn()
+                .expect("RECN scheme")
+                .is_empty_leaf(saq),
+            PortRef::Nic { host } => self.nics[host]
+                .inject
+                .recn()
+                .expect("RECN scheme")
+                .is_empty_leaf(saq),
         };
         if !idle {
             return;

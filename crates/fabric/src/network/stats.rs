@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn throughput_math() {
-        let c = NetCounters { delivered_bytes: 1000, ..NetCounters::default() };
+        let c = NetCounters {
+            delivered_bytes: 1000,
+            ..NetCounters::default()
+        };
         assert_eq!(c.mean_throughput(100.0), 10.0);
         assert_eq!(c.mean_throughput(0.0), 0.0);
     }

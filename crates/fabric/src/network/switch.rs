@@ -48,9 +48,13 @@ impl Network {
         );
         if is_recn && queue != 0 {
             let input = &mut self.switches[sw].inputs[port];
-            let saq = input.saq_at_queue(queue).expect("packet stored in a live SAQ");
-            let signals =
-                input.recn_mut().expect("RECN scheme").saq_enqueued(saq, size);
+            let saq = input
+                .saq_at_queue(queue)
+                .expect("packet stored in a live SAQ");
+            let signals = input
+                .recn_mut()
+                .expect("RECN scheme")
+                .saq_enqueued(saq, size);
             let in_link = self.switches[sw].in_link[port];
             if let Some(path) = signals.propagate {
                 self.counters.recn_notifications += 1;
@@ -144,7 +148,9 @@ impl Network {
             for pending in notify_pending {
                 self.request_notifications(now, q, sw, i, &pending);
             }
-            let Some((qidx, out, to_queue)) = grant else { continue };
+            let Some((qidx, out, to_queue)) = grant else {
+                continue;
+            };
 
             let QueueItem::Packet(mut pkt) = self.switches[sw].inputs[i].pop(qidx) else {
                 unreachable!("head was a packet");
@@ -162,8 +168,7 @@ impl Network {
                     let saq = self.switches[sw].inputs[i]
                         .saq_at_queue(qidx)
                         .expect("popped from a live SAQ queue");
-                    let recn_port =
-                        self.switches[sw].inputs[i].recn_mut().expect("RECN scheme");
+                    let recn_port = self.switches[sw].inputs[i].recn_mut().expect("RECN scheme");
                     let path = recn_port.path_of(saq);
                     let signals = recn_port.saq_dequeued(saq, size);
                     // Markers of younger nested SAQs may now head this queue.
@@ -186,12 +191,20 @@ impl Network {
                 Some(oq) => self.switches[sw].outputs[out].reserve_queue(oq, size),
             }
             self.switches[sw].inputs[i].rr_granted(qidx);
-            self.switches[sw].in_flight[i] =
-                Some(XbarTransfer { pkt, from_queue: qidx, to_output: out, to_queue });
+            self.switches[sw].in_flight[i] = Some(XbarTransfer {
+                pkt,
+                from_queue: qidx,
+                to_output: out,
+                to_queue,
+            });
             self.switches[sw].out_busy[out] = true;
             q.schedule(
                 now + self.cfg.xbar_time(size),
-                Event::XbarDone { sw, input: i, output: out },
+                Event::XbarDone {
+                    sw,
+                    input: i,
+                    output: out,
+                },
             );
         }
     }
@@ -233,7 +246,9 @@ impl Network {
         input: usize,
         output: usize,
     ) {
-        let t = self.switches[sw].in_flight[input].take().expect("transfer in flight");
+        let t = self.switches[sw].in_flight[input]
+            .take()
+            .expect("transfer in flight");
         debug_assert_eq!(t.to_output, output);
         self.switches[sw].out_busy[output] = false;
         let size = t.pkt.size as u64;
@@ -302,7 +317,15 @@ impl Network {
             SchemeKind::Recn(_) => POOLED_QUEUE,
             _ => t.from_queue as u16,
         };
-        self.send_rev_ctrl(now, q, in_link, RevPayload::Credit { queue, bytes: size as u32 });
+        self.send_rev_ctrl(
+            now,
+            q,
+            in_link,
+            RevPayload::Credit {
+                queue,
+                bytes: size as u32,
+            },
+        );
 
         self.kick_output_arb(now, q, sw, output);
         self.kick_input_arb(now, q, sw);
@@ -329,8 +352,9 @@ impl Network {
         self.switches[sw].outputs[port].service_order(&mut scratch);
         let mut granted: Option<(usize, u16)> = None;
         for &qidx in &scratch {
-            let QueueItem::Packet(p) =
-                self.switches[sw].outputs[port].head(qidx).expect("listed queue")
+            let QueueItem::Packet(p) = self.switches[sw].outputs[port]
+                .head(qidx)
+                .expect("listed queue")
             else {
                 unreachable!("markers are drained before reaching arbitration");
             };
@@ -385,7 +409,13 @@ impl Network {
         self.links[link].fwd_busy_total += ser;
         q.schedule(
             now + ser + self.cfg.link_delay,
-            Event::Deliver { link, payload: Payload::Data { pkt, target_queue: tq } },
+            Event::Deliver {
+                link,
+                payload: Payload::Data {
+                    pkt,
+                    target_queue: tq,
+                },
+            },
         );
         self.switches[sw].outputs[port].rr_granted(qidx);
         if self.switches[sw].outputs[port].has_items() {

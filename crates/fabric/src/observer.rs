@@ -152,7 +152,9 @@ pub struct FanoutObserver {
 impl FanoutObserver {
     /// An empty fan-out (equivalent to [`NullObserver`]).
     pub fn new() -> FanoutObserver {
-        FanoutObserver { observers: Vec::new() }
+        FanoutObserver {
+            observers: Vec::new(),
+        }
     }
 
     /// Builds a fan-out over `observers`, dispatched in `Vec` order.
@@ -179,7 +181,9 @@ impl FanoutObserver {
 
 impl std::fmt::Debug for FanoutObserver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FanoutObserver").field("observers", &self.observers.len()).finish()
+        f.debug_struct("FanoutObserver")
+            .field("observers", &self.observers.len())
+            .finish()
     }
 }
 
@@ -214,13 +218,27 @@ impl NetObserver for FanoutObserver {
         }
     }
 
-    fn on_enqueue(&mut self, now: Picos, port: PortRef, queue: usize, kind: QueueKind, pkt: &Packet) {
+    fn on_enqueue(
+        &mut self,
+        now: Picos,
+        port: PortRef,
+        queue: usize,
+        kind: QueueKind,
+        pkt: &Packet,
+    ) {
         for o in &mut self.observers {
             o.on_enqueue(now, port, queue, kind, pkt);
         }
     }
 
-    fn on_dequeue(&mut self, now: Picos, port: PortRef, queue: usize, kind: QueueKind, pkt: &Packet) {
+    fn on_dequeue(
+        &mut self,
+        now: Picos,
+        port: PortRef,
+        queue: usize,
+        kind: QueueKind,
+        pkt: &Packet,
+    ) {
         for o in &mut self.observers {
             o.on_dequeue(now, port, queue, kind, pkt);
         }
@@ -240,7 +258,14 @@ impl NetObserver for FanoutObserver {
         }
     }
 
-    fn on_saq_alloc(&mut self, now: Picos, site: SaqSite, index: usize, line: usize, path: &PathSpec) {
+    fn on_saq_alloc(
+        &mut self,
+        now: Picos,
+        site: SaqSite,
+        index: usize,
+        line: usize,
+        path: &PathSpec,
+    ) {
         for o in &mut self.observers {
             o.on_saq_alloc(now, site, index, line, path);
         }
@@ -307,7 +332,14 @@ mod tests {
         fan.on_root_change(Picos::ZERO, 0, 0, true);
         assert_eq!(
             *log.borrow(),
-            vec![(1, "census"), (2, "census"), (3, "census"), (1, "root"), (2, "root"), (3, "root")]
+            vec![
+                (1, "census"),
+                (2, "census"),
+                (3, "census"),
+                (1, "root"),
+                (2, "root"),
+                (3, "root")
+            ]
         );
     }
 

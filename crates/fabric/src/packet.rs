@@ -156,11 +156,25 @@ mod tests {
     #[test]
     fn payload_sizes() {
         let p = sample_packet();
-        assert_eq!(Payload::Data { pkt: p, target_queue: 0 }.wire_bytes(), 64);
+        assert_eq!(
+            Payload::Data {
+                pkt: p,
+                target_queue: 0
+            }
+            .wire_bytes(),
+            64
+        );
         let path = PathSpec::from_turns(&[1, 2]);
         assert_eq!(Payload::RecnAck { path, line: 0 }.wire_bytes(), 10);
         assert_eq!(Payload::RecnToken { path }.wire_bytes(), 10);
-        assert_eq!(RevPayload::Credit { queue: 0, bytes: 64 }.wire_bytes(), 8);
+        assert_eq!(
+            RevPayload::Credit {
+                queue: 0,
+                bytes: 64
+            }
+            .wire_bytes(),
+            8
+        );
         assert_eq!(RevPayload::RecnNotification { path }.wire_bytes(), 10);
         assert_eq!(RevPayload::RecnXoff { path }.wire_bytes(), 8);
     }

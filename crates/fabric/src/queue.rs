@@ -2,6 +2,7 @@
 
 use recn::{Classify, RecnPort, SaqId};
 
+use crate::arena::{Arena, Handle};
 use crate::config::SchemeKind;
 use crate::packet::{Packet, QueueItem};
 
@@ -32,7 +33,10 @@ pub enum PortSide {
 /// crossbar.
 #[derive(Debug)]
 pub struct QueueSet {
-    queues: Vec<std::collections::VecDeque<QueueItem>>,
+    /// Queue order: handles into `items`. Items live in the slab so queue
+    /// churn reuses storage instead of reallocating per packet.
+    queues: Vec<std::collections::VecDeque<Handle>>,
+    items: Arena<QueueItem>,
     queue_bytes: Vec<u64>,
     used: u64,
     total_cap: u64,
@@ -65,7 +69,10 @@ impl QueueSet {
             }
         };
         QueueSet {
-            queues: (0..nqueues).map(|_| std::collections::VecDeque::new()).collect(),
+            queues: (0..nqueues)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            items: Arena::new(),
             queue_bytes: vec![0; nqueues],
             used: 0,
             total_cap: mem,
@@ -192,7 +199,10 @@ impl QueueSet {
     pub fn reserve_pooled(&mut self, bytes: u64) {
         self.used += bytes;
         self.peak_used = self.peak_used.max(self.used);
-        assert!(self.used <= self.total_cap, "buffer overflow: lossless invariant violated");
+        assert!(
+            self.used <= self.total_cap,
+            "buffer overflow: lossless invariant violated"
+        );
     }
 
     /// Reserves bytes on a specific queue (baseline crossbar grant).
@@ -204,23 +214,31 @@ impl QueueSet {
         self.used += bytes;
         self.queue_bytes[queue] += bytes;
         self.peak_used = self.peak_used.max(self.used);
-        assert!(self.used <= self.total_cap, "buffer overflow: lossless invariant violated");
+        assert!(
+            self.used <= self.total_cap,
+            "buffer overflow: lossless invariant violated"
+        );
         if let Some(cap) = self.per_queue_cap {
-            assert!(self.queue_bytes[queue] <= cap, "queue overflow: lossless invariant violated");
+            assert!(
+                self.queue_bytes[queue] <= cap,
+                "queue overflow: lossless invariant violated"
+            );
         }
     }
 
     /// Stores an item whose bytes were reserved via
     /// [`reserve_queue`](Self::reserve_queue).
     pub fn commit_reserved(&mut self, queue: usize, item: QueueItem) {
-        self.queues[queue].push_back(item);
+        let h = self.items.insert(item);
+        self.queues[queue].push_back(h);
     }
 
     /// Stores an item whose bytes were reserved via
     /// [`reserve_pooled`](Self::reserve_pooled), charging them to `queue`.
     pub fn commit_pooled(&mut self, queue: usize, item: QueueItem) {
         self.queue_bytes[queue] += item.bytes();
-        self.queues[queue].push_back(item);
+        let h = self.items.insert(item);
+        self.queues[queue].push_back(h);
     }
 
     /// Stores an item directly (link arrival — the sender's credit view
@@ -235,16 +253,23 @@ impl QueueSet {
         self.used += bytes;
         self.queue_bytes[queue] += bytes;
         self.peak_used = self.peak_used.max(self.used);
-        assert!(self.used <= self.total_cap, "buffer overflow: lossless invariant violated");
+        assert!(
+            self.used <= self.total_cap,
+            "buffer overflow: lossless invariant violated"
+        );
         if let Some(cap) = self.per_queue_cap {
-            assert!(self.queue_bytes[queue] <= cap, "queue overflow: lossless invariant violated");
+            assert!(
+                self.queue_bytes[queue] <= cap,
+                "queue overflow: lossless invariant violated"
+            );
         }
-        self.queues[queue].push_back(item);
+        let h = self.items.insert(item);
+        self.queues[queue].push_back(h);
     }
 
     /// The head item of a queue.
     pub fn head(&self, queue: usize) -> Option<&QueueItem> {
-        self.queues[queue].front()
+        self.queues[queue].front().map(|&h| self.items.get(h))
     }
 
     /// Removes and returns the head of a queue, releasing its bytes.
@@ -253,7 +278,10 @@ impl QueueSet {
     ///
     /// Panics if the queue is empty.
     pub fn pop(&mut self, queue: usize) -> QueueItem {
-        let item = self.queues[queue].pop_front().expect("pop from empty queue");
+        let h = self.queues[queue]
+            .pop_front()
+            .expect("pop from empty queue");
+        let item = self.items.remove(h);
         let bytes = item.bytes();
         self.queue_bytes[queue] -= bytes;
         self.used -= bytes;
@@ -327,7 +355,9 @@ impl QueueSet {
         if queue == 0 {
             return None;
         }
-        self.recn.as_ref().and_then(|r| r.cam().id_at_line(queue - 1))
+        self.recn
+            .as_ref()
+            .and_then(|r| r.cam().id_at_line(queue - 1))
     }
 
     /// Advances the round-robin pointer past the queue that was just
@@ -396,8 +426,13 @@ mod tests {
         // dst 27 = turns [1,2,3]
         let qs_in = QueueSet::new(SchemeKind::VoqSw, PortSide::SwitchInput, 4, 64, 4096);
         assert_eq!(qs_in.classify(&pkt(27, 0)), 1);
-        let qs_out =
-            QueueSet::new(SchemeKind::VoqSw, PortSide::SwitchOutput { turn: 1 }, 4, 64, 4096);
+        let qs_out = QueueSet::new(
+            SchemeKind::VoqSw,
+            PortSide::SwitchOutput { turn: 1 },
+            4,
+            64,
+            4096,
+        );
         assert_eq!(qs_out.classify(&pkt(27, 1)), 2, "next-switch turn");
         assert_eq!(qs_out.classify(&pkt(27, 3)), 0, "exhausted route: class 0");
     }
@@ -413,8 +448,13 @@ mod tests {
     #[test]
     fn recn_classifies_via_cam() {
         let cfg = RecnConfig::default().with_max_saqs(4);
-        let mut qs =
-            QueueSet::new(SchemeKind::Recn(cfg), PortSide::SwitchInput, 4, 64, 128 * 1024);
+        let mut qs = QueueSet::new(
+            SchemeKind::Recn(cfg),
+            PortSide::SwitchInput,
+            4,
+            64,
+            128 * 1024,
+        );
         assert_eq!(qs.num_queues(), 5);
         assert_eq!(qs.classify(&pkt(27, 0)), 0);
         let saq = match qs
@@ -480,18 +520,27 @@ mod tests {
             drain_boost_pkts: 1,
             root_clear_threshold: 1 << 20,
         };
-        let mut qs =
-            QueueSet::new(SchemeKind::Recn(cfg), PortSide::SwitchInput, 4, 64, 128 * 1024);
+        let mut qs = QueueSet::new(
+            SchemeKind::Recn(cfg),
+            PortSide::SwitchInput,
+            4,
+            64,
+            128 * 1024,
+        );
         // Allocate two SAQs: paths [1] and [2].
-        let s1 = match qs.recn_mut().unwrap().alloc_on_notification(
-            topology::PathSpec::from_turns(&[1]),
-        ) {
+        let s1 = match qs
+            .recn_mut()
+            .unwrap()
+            .alloc_on_notification(topology::PathSpec::from_turns(&[1]))
+        {
             recn::NotifOutcome::Accepted { saq } => saq,
             o => panic!("{o:?}"),
         };
-        let s2 = match qs.recn_mut().unwrap().alloc_on_notification(
-            topology::PathSpec::from_turns(&[2]),
-        ) {
+        let s2 = match qs
+            .recn_mut()
+            .unwrap()
+            .alloc_on_notification(topology::PathSpec::from_turns(&[2]))
+        {
             recn::NotifOutcome::Accepted { saq } => saq,
             o => panic!("{o:?}"),
         };
@@ -519,8 +568,13 @@ mod tests {
     #[test]
     fn pooled_reserve_commit_cycle() {
         let cfg = RecnConfig::default().with_max_saqs(2);
-        let mut qs =
-            QueueSet::new(SchemeKind::Recn(cfg), PortSide::SwitchOutput { turn: 0 }, 4, 64, 128);
+        let mut qs = QueueSet::new(
+            SchemeKind::Recn(cfg),
+            PortSide::SwitchOutput { turn: 0 },
+            4,
+            64,
+            128,
+        );
         assert!(qs.has_room(0, 64));
         qs.reserve_pooled(64);
         qs.reserve_pooled(64);

@@ -49,7 +49,9 @@ impl ScriptSource {
             script.windows(2).all(|w| w[0].at <= w[1].at),
             "script must be time-ordered"
         );
-        ScriptSource { script: script.into_iter() }
+        ScriptSource {
+            script: script.into_iter(),
+        }
     }
 }
 
@@ -79,7 +81,13 @@ impl ConstantRateSource {
     /// Panics if `interval` is zero.
     pub fn new(dst: HostId, msg_bytes: u32, interval: Picos, start: Picos, end: Picos) -> Self {
         assert!(interval > Picos::ZERO, "interval must be positive");
-        ConstantRateSource { dst, msg_bytes, interval, next_at: start, end }
+        ConstantRateSource {
+            dst,
+            msg_bytes,
+            interval,
+            next_at: start,
+            end,
+        }
     }
 }
 
@@ -88,7 +96,11 @@ impl MessageSource for ConstantRateSource {
         if self.next_at >= self.end {
             return None;
         }
-        let msg = SourcedMessage { at: self.next_at, dst: self.dst, bytes: self.msg_bytes };
+        let msg = SourcedMessage {
+            at: self.next_at,
+            dst: self.dst,
+            bytes: self.msg_bytes,
+        };
         self.next_at += self.interval;
         Some(msg)
     }
@@ -106,8 +118,16 @@ mod tests {
     #[test]
     fn script_source_replays_in_order() {
         let mut s = ScriptSource::new(vec![
-            SourcedMessage { at: Picos::from_ns(1), dst: HostId::new(2), bytes: 64 },
-            SourcedMessage { at: Picos::from_ns(5), dst: HostId::new(3), bytes: 128 },
+            SourcedMessage {
+                at: Picos::from_ns(1),
+                dst: HostId::new(2),
+                bytes: 64,
+            },
+            SourcedMessage {
+                at: Picos::from_ns(5),
+                dst: HostId::new(3),
+                bytes: 128,
+            },
         ]);
         assert_eq!(s.next_message().unwrap().dst, HostId::new(2));
         assert_eq!(s.next_message().unwrap().bytes, 128);
@@ -118,8 +138,16 @@ mod tests {
     #[should_panic(expected = "time-ordered")]
     fn out_of_order_script_rejected() {
         let _ = ScriptSource::new(vec![
-            SourcedMessage { at: Picos::from_ns(5), dst: HostId::new(2), bytes: 64 },
-            SourcedMessage { at: Picos::from_ns(1), dst: HostId::new(3), bytes: 64 },
+            SourcedMessage {
+                at: Picos::from_ns(5),
+                dst: HostId::new(2),
+                bytes: 64,
+            },
+            SourcedMessage {
+                at: Picos::from_ns(1),
+                dst: HostId::new(3),
+                bytes: 64,
+            },
         ]);
     }
 

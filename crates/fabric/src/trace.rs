@@ -253,7 +253,12 @@ impl TraceEvent {
                 h.u64(*id);
                 h.u32(*link);
             }
-            TraceEvent::Enqueue { port, queue, saq, id } => {
+            TraceEvent::Enqueue {
+                port,
+                queue,
+                saq,
+                id,
+            } => {
                 h.u8(4);
                 let (t, a, b) = port_tag(*port);
                 h.u8(t);
@@ -263,7 +268,12 @@ impl TraceEvent {
                 h.u8(*saq as u8);
                 h.u64(*id);
             }
-            TraceEvent::Dequeue { port, queue, saq, id } => {
+            TraceEvent::Dequeue {
+                port,
+                queue,
+                saq,
+                id,
+            } => {
                 h.u8(5);
                 let (t, a, b) = port_tag(*port);
                 h.u8(t);
@@ -273,14 +283,24 @@ impl TraceEvent {
                 h.u8(*saq as u8);
                 h.u64(*id);
             }
-            TraceEvent::Credit { link, queue, delta, free_after } => {
+            TraceEvent::Credit {
+                link,
+                queue,
+                delta,
+                free_after,
+            } => {
                 h.u8(6);
                 h.u32(*link);
                 h.u16(*queue);
                 h.i64(*delta);
                 h.u64(*free_after);
             }
-            TraceEvent::SaqAlloc { site, index, line, path } => {
+            TraceEvent::SaqAlloc {
+                site,
+                index,
+                line,
+                path,
+            } => {
                 h.u8(7);
                 h.u8(site_tag(*site));
                 h.u32(*index);
@@ -288,7 +308,12 @@ impl TraceEvent {
                 h.u8(path.len() as u8);
                 h.bytes(path.turns());
             }
-            TraceEvent::SaqDealloc { site, index, line, path } => {
+            TraceEvent::SaqDealloc {
+                site,
+                index,
+                line,
+                path,
+            } => {
                 h.u8(8);
                 h.u8(site_tag(*site));
                 h.u32(*index);
@@ -302,7 +327,11 @@ impl TraceEvent {
                 h.u32(*dst);
                 h.u32(*bytes);
             }
-            TraceEvent::Census { max_ingress, max_egress, total } => {
+            TraceEvent::Census {
+                max_ingress,
+                max_egress,
+                total,
+            } => {
                 h.u8(10);
                 h.u32(*max_ingress);
                 h.u32(*max_egress);
@@ -322,13 +351,26 @@ impl TraceEvent {
         match self {
             TraceEvent::Injected { id, src, dst, size }
             | TraceEvent::Delivered { id, src, dst, size } => {
-                let _ = write!(out, "\"id\":{id},\"src\":{src},\"dst\":{dst},\"size\":{size}");
+                let _ = write!(
+                    out,
+                    "\"id\":{id},\"src\":{src},\"dst\":{dst},\"size\":{size}"
+                );
             }
             TraceEvent::Hop { id, link } => {
                 let _ = write!(out, "\"id\":{id},\"link\":{link}");
             }
-            TraceEvent::Enqueue { port, queue, saq, id }
-            | TraceEvent::Dequeue { port, queue, saq, id } => {
+            TraceEvent::Enqueue {
+                port,
+                queue,
+                saq,
+                id,
+            }
+            | TraceEvent::Dequeue {
+                port,
+                queue,
+                saq,
+                id,
+            } => {
                 let (t, a, b) = port_tag(*port);
                 let side = ["in", "out", "nic"][t as usize];
                 let _ = write!(
@@ -337,14 +379,29 @@ impl TraceEvent {
                      \"saq\":{saq},\"id\":{id}"
                 );
             }
-            TraceEvent::Credit { link, queue, delta, free_after } => {
+            TraceEvent::Credit {
+                link,
+                queue,
+                delta,
+                free_after,
+            } => {
                 let _ = write!(
                     out,
                     "\"link\":{link},\"queue\":{queue},\"delta\":{delta},\"free\":{free_after}"
                 );
             }
-            TraceEvent::SaqAlloc { site, index, line, path }
-            | TraceEvent::SaqDealloc { site, index, line, path } => {
+            TraceEvent::SaqAlloc {
+                site,
+                index,
+                line,
+                path,
+            }
+            | TraceEvent::SaqDealloc {
+                site,
+                index,
+                line,
+                path,
+            } => {
                 let site = ["ingress", "egress", "nic"][site_tag(*site) as usize];
                 let _ = write!(
                     out,
@@ -355,7 +412,11 @@ impl TraceEvent {
             TraceEvent::DropAttempt { host, dst, bytes } => {
                 let _ = write!(out, "\"host\":{host},\"dst\":{dst},\"bytes\":{bytes}");
             }
-            TraceEvent::Census { max_ingress, max_egress, total } => {
+            TraceEvent::Census {
+                max_ingress,
+                max_egress,
+                total,
+            } => {
                 let _ = write!(
                     out,
                     "\"max_ingress\":{max_ingress},\"max_egress\":{max_egress},\"total\":{total}"
@@ -406,7 +467,11 @@ impl TraceState {
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
         }
-        self.ring.push_back(TraceRecord { seq: self.recorded, at, event });
+        self.ring.push_back(TraceRecord {
+            seq: self.recorded,
+            at,
+            event,
+        });
         self.recorded += 1;
     }
 }
@@ -426,7 +491,10 @@ impl TraceSink {
     /// still covers every event). `label` identifies the run in the JSONL
     /// header and may contain arbitrary characters (it is escaped).
     pub fn new(capacity: usize, label: impl Into<String>) -> (TraceSink, TraceHandle) {
-        assert!(capacity > 0, "trace ring needs room for at least one record");
+        assert!(
+            capacity > 0,
+            "trace ring needs room for at least one record"
+        );
         let state = Rc::new(RefCell::new(TraceState {
             ring: VecDeque::with_capacity(capacity),
             capacity,
@@ -464,20 +532,45 @@ impl NetObserver for TraceSink {
     }
 
     fn on_saq_census(&mut self, now: Picos, max_ingress: u32, max_egress: u32, total: u32) {
-        self.0.borrow_mut().record(now, TraceEvent::Census { max_ingress, max_egress, total });
+        self.0.borrow_mut().record(
+            now,
+            TraceEvent::Census {
+                max_ingress,
+                max_egress,
+                total,
+            },
+        );
     }
 
     fn on_root_change(&mut self, now: Picos, switch: usize, port: usize, active: bool) {
-        self.0
-            .borrow_mut()
-            .record(now, TraceEvent::Root { sw: switch as u32, port: port as u32, active });
+        self.0.borrow_mut().record(
+            now,
+            TraceEvent::Root {
+                sw: switch as u32,
+                port: port as u32,
+                active,
+            },
+        );
     }
 
     fn on_hop(&mut self, now: Picos, pkt: &Packet, link: usize) {
-        self.0.borrow_mut().record(now, TraceEvent::Hop { id: pkt.id, link: link as u32 });
+        self.0.borrow_mut().record(
+            now,
+            TraceEvent::Hop {
+                id: pkt.id,
+                link: link as u32,
+            },
+        );
     }
 
-    fn on_enqueue(&mut self, now: Picos, port: PortRef, queue: usize, kind: QueueKind, pkt: &Packet) {
+    fn on_enqueue(
+        &mut self,
+        now: Picos,
+        port: PortRef,
+        queue: usize,
+        kind: QueueKind,
+        pkt: &Packet,
+    ) {
         self.0.borrow_mut().record(
             now,
             TraceEvent::Enqueue {
@@ -489,7 +582,14 @@ impl NetObserver for TraceSink {
         );
     }
 
-    fn on_dequeue(&mut self, now: Picos, port: PortRef, queue: usize, kind: QueueKind, pkt: &Packet) {
+    fn on_dequeue(
+        &mut self,
+        now: Picos,
+        port: PortRef,
+        queue: usize,
+        kind: QueueKind,
+        pkt: &Packet,
+    ) {
         self.0.borrow_mut().record(
             now,
             TraceEvent::Dequeue {
@@ -510,15 +610,33 @@ impl NetObserver for TraceSink {
         free_after: u64,
         _cap: Option<u64>,
     ) {
-        self.0
-            .borrow_mut()
-            .record(now, TraceEvent::Credit { link: link as u32, queue, delta, free_after });
-    }
-
-    fn on_saq_alloc(&mut self, now: Picos, site: SaqSite, index: usize, line: usize, path: &PathSpec) {
         self.0.borrow_mut().record(
             now,
-            TraceEvent::SaqAlloc { site, index: index as u32, line: line as u8, path: *path },
+            TraceEvent::Credit {
+                link: link as u32,
+                queue,
+                delta,
+                free_after,
+            },
+        );
+    }
+
+    fn on_saq_alloc(
+        &mut self,
+        now: Picos,
+        site: SaqSite,
+        index: usize,
+        line: usize,
+        path: &PathSpec,
+    ) {
+        self.0.borrow_mut().record(
+            now,
+            TraceEvent::SaqAlloc {
+                site,
+                index: index as u32,
+                line: line as u8,
+                path: *path,
+            },
         );
     }
 
@@ -532,14 +650,23 @@ impl NetObserver for TraceSink {
     ) {
         self.0.borrow_mut().record(
             now,
-            TraceEvent::SaqDealloc { site, index: index as u32, line: line as u8, path: *path },
+            TraceEvent::SaqDealloc {
+                site,
+                index: index as u32,
+                line: line as u8,
+                path: *path,
+            },
         );
     }
 
     fn on_drop_attempt(&mut self, now: Picos, host: usize, dst: HostId, bytes: u32) {
         self.0.borrow_mut().record(
             now,
-            TraceEvent::DropAttempt { host: host as u32, dst: dst.index() as u32, bytes },
+            TraceEvent::DropAttempt {
+                host: host as u32,
+                dst: dst.index() as u32,
+                bytes,
+            },
         );
     }
 }
@@ -601,12 +728,15 @@ mod tests {
     use super::*;
 
     fn ev(i: u64) -> TraceEvent {
-        TraceEvent::Hop { id: i, link: (i % 7) as u32 }
+        TraceEvent::Hop {
+            id: i,
+            link: (i % 7) as u32,
+        }
     }
 
     #[test]
     fn ring_buffer_wraps_at_capacity() {
-        let (mut sink, handle) = TraceSink::new(4, "wrap");
+        let (sink, handle) = TraceSink::new(4, "wrap");
         for i in 0..10u64 {
             let pkt_time = Picos::from_ns(i);
             sink.0.borrow_mut().record(pkt_time, ev(i));
@@ -635,7 +765,10 @@ mod tests {
         let d2 = run(4);
         let d3 = run(1024);
         assert_eq!(d1, d2, "same sequence, same digest");
-        assert_eq!(d1, d3, "digest covers all events, not just the retained window");
+        assert_eq!(
+            d1, d3,
+            "digest covers all events, not just the retained window"
+        );
         // Pinned: any change to the canonical encoding is a breaking
         // change for checked-in golden digests and must be deliberate.
         assert_eq!(run(4), 0x2ef0_f20e_de83_e865, "canonical encoding changed");
@@ -659,7 +792,10 @@ mod tests {
         let (_sink, handle) = TraceSink::new(2, "evil \"label\"\nwith\tctrl\u{1}");
         let jsonl = handle.render_jsonl();
         let header = jsonl.lines().next().unwrap();
-        assert!(header.contains("evil \\\"label\\\"\\nwith\\tctrl\\u0001"), "{header}");
+        assert!(
+            header.contains("evil \\\"label\\\"\\nwith\\tctrl\\u0001"),
+            "{header}"
+        );
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\\b"), "a\\\\b");
         assert_eq!(json_escape("\r"), "\\r");

@@ -162,16 +162,35 @@ impl NetObserver for ValidatingObserver {
         self.0.borrow_mut().tick(now, "hop");
     }
 
-    fn on_enqueue(&mut self, now: Picos, port: PortRef, queue: usize, _kind: QueueKind, _pkt: &Packet) {
+    fn on_enqueue(
+        &mut self,
+        now: Picos,
+        port: PortRef,
+        queue: usize,
+        _kind: QueueKind,
+        _pkt: &Packet,
+    ) {
         let mut s = self.0.borrow_mut();
         s.tick(now, "enqueue");
-        *s.occupancy.entry((port_key(port), queue as u16)).or_insert(0) += 1;
+        *s.occupancy
+            .entry((port_key(port), queue as u16))
+            .or_insert(0) += 1;
     }
 
-    fn on_dequeue(&mut self, now: Picos, port: PortRef, queue: usize, _kind: QueueKind, pkt: &Packet) {
+    fn on_dequeue(
+        &mut self,
+        now: Picos,
+        port: PortRef,
+        queue: usize,
+        _kind: QueueKind,
+        pkt: &Packet,
+    ) {
         let mut s = self.0.borrow_mut();
         s.tick(now, "dequeue");
-        let occ = s.occupancy.entry((port_key(port), queue as u16)).or_insert(0);
+        let occ = s
+            .occupancy
+            .entry((port_key(port), queue as u16))
+            .or_insert(0);
         assert!(
             *occ > 0,
             "invariant violation [queue occupancy]: dequeue of packet id {} from empty \
@@ -211,7 +230,14 @@ impl NetObserver for ValidatingObserver {
         s.credit_free.insert((link as u32, queue), free_after);
     }
 
-    fn on_saq_alloc(&mut self, now: Picos, site: SaqSite, index: usize, line: usize, path: &PathSpec) {
+    fn on_saq_alloc(
+        &mut self,
+        now: Picos,
+        site: SaqSite,
+        index: usize,
+        line: usize,
+        path: &PathSpec,
+    ) {
         let mut s = self.0.borrow_mut();
         s.tick(now, "saq_alloc");
         let key = (port_key_site(site), index as u32, line as u8);
@@ -358,8 +384,20 @@ mod tests {
         let (mut v, h) = ValidatingObserver::new();
         let p = pkt(1);
         v.on_injected(Picos::from_ns(1), &p);
-        v.on_enqueue(Picos::from_ns(1), PortRef::Nic { host: 0 }, 9, QueueKind::Normal, &p);
-        v.on_dequeue(Picos::from_ns(2), PortRef::Nic { host: 0 }, 9, QueueKind::Normal, &p);
+        v.on_enqueue(
+            Picos::from_ns(1),
+            PortRef::Nic { host: 0 },
+            9,
+            QueueKind::Normal,
+            &p,
+        );
+        v.on_dequeue(
+            Picos::from_ns(2),
+            PortRef::Nic { host: 0 },
+            9,
+            QueueKind::Normal,
+            &p,
+        );
         v.on_credit_change(Picos::from_ns(2), 3, 0, -64, 64, Some(128));
         v.on_credit_change(Picos::from_ns(3), 3, 0, 64, 128, Some(128));
         v.on_delivered(Picos::from_ns(4), &p);
@@ -411,7 +449,13 @@ mod tests {
     #[should_panic(expected = "empty queue")]
     fn dequeue_from_empty_detected() {
         let (mut v, _h) = ValidatingObserver::new();
-        v.on_dequeue(Picos::ZERO, PortRef::SwitchIn { sw: 0, port: 1 }, 0, QueueKind::Normal, &pkt(1));
+        v.on_dequeue(
+            Picos::ZERO,
+            PortRef::SwitchIn { sw: 0, port: 1 },
+            0,
+            QueueKind::Normal,
+            &pkt(1),
+        );
     }
 
     #[test]

@@ -184,8 +184,16 @@ fn victim_delivered(scheme: SchemeKind) -> u64 {
     }
     let count = std::rc::Rc::new(std::cell::Cell::new(0));
     let (obs, _vh) = validator();
-    let fan = FanoutObserver::new().push(obs).push(Box::new(VictimCount(count.clone())));
-    let net = Network::new(params, FabricConfig::paper(scheme), 64, sources, Box::new(fan));
+    let fan = FanoutObserver::new()
+        .push(obs)
+        .push(Box::new(VictimCount(count.clone())));
+    let net = Network::new(
+        params,
+        FabricConfig::paper(scheme),
+        64,
+        sources,
+        Box::new(fan),
+    );
     let mut engine = net.build_engine();
     engine.run_until(horizon);
     count.get()
@@ -223,7 +231,10 @@ fn recn_reclaims_all_resources_after_congestion() {
     let net = run_to_drain(net);
     vh.assert_drained();
     let (va, vd) = vh.saq_balance();
-    assert!(va > 0 && va == vd, "validator saw {va} allocs / {vd} deallocs");
+    assert!(
+        va > 0 && va == vd,
+        "validator saw {va} allocs / {vd} deallocs"
+    );
     let c = net.counters();
     assert!(c.root_activations > 0, "the hotspot must trigger detection");
     assert!(c.saq_allocs > 0, "SAQs must be allocated");
@@ -233,7 +244,10 @@ fn recn_reclaims_all_resources_after_congestion() {
     assert_eq!(c.order_violations, 0);
     assert!(net.is_quiescent());
     assert_recn_idle(&net);
-    assert_eq!(net.saq_census(), (net.saq_census().0, net.saq_census().1, 0));
+    assert_eq!(
+        net.saq_census(),
+        (net.saq_census().0, net.saq_census().1, 0)
+    );
 }
 
 #[test]
@@ -253,7 +267,9 @@ fn recn_tracks_saq_census_peaks() {
     }
     let peak = std::rc::Rc::new(std::cell::Cell::new(0));
     let (obs, vh) = validator();
-    let fan = FanoutObserver::new().push(obs).push(Box::new(Peak { max_total: peak.clone() }));
+    let fan = FanoutObserver::new().push(obs).push(Box::new(Peak {
+        max_total: peak.clone(),
+    }));
     let net = Network::new(
         params,
         FabricConfig::paper(SchemeKind::Recn(test_recn_config())),
@@ -278,7 +294,12 @@ fn saturating_uniform_traffic_is_lossless_everywhere() {
         let net = Network::new(params, FabricConfig::paper(scheme), 64, sources, obs);
         let net = run_to_drain(net);
         vh.assert_drained();
-        assert_eq!(net.counters().delivered_packets, 16 * 400, "{}", scheme.name());
+        assert_eq!(
+            net.counters().delivered_packets,
+            16 * 400,
+            "{}",
+            scheme.name()
+        );
         assert!(net.is_quiescent());
     }
 }
@@ -287,7 +308,10 @@ fn saturating_uniform_traffic_is_lossless_everywhere() {
 fn recn_exhaustion_degrades_gracefully() {
     // Only 1 SAQ per port: multiple hotspots force rejections; traffic must
     // still flow and clean up.
-    let cfg = RecnConfig { max_saqs: 1, ..test_recn_config() };
+    let cfg = RecnConfig {
+        max_saqs: 1,
+        ..test_recn_config()
+    };
     let params = MinParams::new(16, 4, 2);
     let until = Picos::from_us(120);
     let sources: Vec<Box<dyn MessageSource>> = (0..16)
@@ -317,7 +341,13 @@ fn recn_exhaustion_degrades_gracefully() {
         })
         .collect();
     let (obs, vh) = validator();
-    let net = Network::new(params, FabricConfig::paper(SchemeKind::Recn(cfg)), 64, sources, obs);
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::Recn(cfg)),
+        64,
+        sources,
+        obs,
+    );
     let net = run_to_drain(net);
     vh.assert_drained();
     let c = net.counters();
@@ -346,7 +376,13 @@ fn self_traffic_roundtrips_through_network() {
         })
         .collect();
     let (obs, vh) = validator();
-    let net = Network::new(params, FabricConfig::paper(SchemeKind::OneQ), 64, sources, obs);
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::OneQ),
+        64,
+        sources,
+        obs,
+    );
     let net = run_to_drain(net);
     vh.assert_drained();
     assert_eq!(net.counters().delivered_packets, 1);

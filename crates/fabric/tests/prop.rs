@@ -7,8 +7,8 @@
 #![cfg(feature = "slow-proptests")]
 
 use fabric::{
-    assert_recn_idle, FabricConfig, MessageSource, Network, NullObserver, SchemeKind,
-    ScriptSource, SourcedMessage, ValidatingObserver,
+    assert_recn_idle, FabricConfig, MessageSource, Network, NullObserver, SchemeKind, ScriptSource,
+    SourcedMessage, ValidatingObserver,
 };
 use proptest::prelude::*;
 use recn::RecnConfig;

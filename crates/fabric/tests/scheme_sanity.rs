@@ -104,7 +104,11 @@ fn recn_allocates_nothing_without_congestion() {
     let mut engine = net.build_engine();
     engine.run_to_completion();
     vh.assert_drained();
-    assert_eq!(vh.saq_balance(), (0, 0), "validator must see no SAQ traffic");
+    assert_eq!(
+        vh.saq_balance(),
+        (0, 0),
+        "validator must see no SAQ traffic"
+    );
     let c = engine.model().counters();
     assert_eq!(c.saq_allocs, 0, "no congestion, no SAQs");
     assert_eq!(c.root_activations, 0);
@@ -134,7 +138,13 @@ fn link_utilization_accounting_tracks_delivery() {
         })
         .collect();
     let (obs, _vh) = validator();
-    let net = Network::new(params, FabricConfig::paper(SchemeKind::OneQ), 64, sources, obs);
+    let net = Network::new(
+        params,
+        FabricConfig::paper(SchemeKind::OneQ),
+        64,
+        sources,
+        obs,
+    );
     let mut engine = net.build_engine();
     engine.run_until(horizon);
     let model = engine.model();
@@ -175,6 +185,11 @@ fn order_preserved_across_packet_sizes_mixed() {
         let mut engine = net.build_engine();
         engine.run_to_completion();
         vh.assert_drained();
-        assert_eq!(engine.model().counters().order_violations, 0, "{}", scheme.name());
+        assert_eq!(
+            engine.model().counters().order_violations,
+            0,
+            "{}",
+            scheme.name()
+        );
     }
 }

@@ -100,7 +100,10 @@ impl NetObserver for Probe {
     }
 
     fn on_root_change(&mut self, now: Picos, switch: usize, port: usize, active: bool) {
-        self.0.borrow_mut().root_events.push((now, switch, port, active));
+        self.0
+            .borrow_mut()
+            .root_events
+            .push((now, switch, port, active));
     }
 
     fn on_drop_attempt(&mut self, _now: Picos, _host: usize, _dst: HostId, bytes: u32) {

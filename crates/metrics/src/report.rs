@@ -15,7 +15,10 @@ pub struct Labeled {
 impl Labeled {
     /// Creates a labeled series.
     pub fn new(label: impl Into<String>, points: Vec<SeriesPoint>) -> Labeled {
-        Labeled { label: label.into(), points }
+        Labeled {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -126,7 +129,10 @@ mod tests {
     fn pts(vals: &[f64]) -> Vec<SeriesPoint> {
         vals.iter()
             .enumerate()
-            .map(|(i, &v)| SeriesPoint { t_us: i as f64 * 5.0, value: v })
+            .map(|(i, &v)| SeriesPoint {
+                t_us: i as f64 * 5.0,
+                value: v,
+            })
             .collect()
     }
 

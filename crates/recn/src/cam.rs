@@ -178,7 +178,10 @@ impl CamTable {
         self.lines[free] = Some(CamLine::new(path, generation));
         self.in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.in_use);
-        Some(SaqId { line: free as u8, generation })
+        Some(SaqId {
+            line: free as u8,
+            generation,
+        })
     }
 
     /// Frees a line.
@@ -197,8 +200,7 @@ impl CamTable {
 
     /// The line with exactly this path, if any.
     pub fn find_path(&self, path: &PathSpec) -> Option<SaqId> {
-        self.iter_ids()
-            .find(|id| self.get(*id).path == *path)
+        self.iter_ids().find(|id| self.get(*id).path == *path)
     }
 
     /// Longest-prefix match of the allocated paths against a packet's
@@ -208,8 +210,7 @@ impl CamTable {
         let mut best_len = 0usize;
         for id in self.iter_ids() {
             let line = self.get(id);
-            if line.path.matches_turns(remaining)
-                && (best.is_none() || line.path.len() > best_len)
+            if line.path.matches_turns(remaining) && (best.is_none() || line.path.len() > best_len)
             {
                 best_len = line.path.len();
                 best = Some(id);
@@ -229,7 +230,10 @@ impl CamTable {
     /// Iterates over handles of all allocated lines.
     pub fn iter_ids(&self) -> impl Iterator<Item = SaqId> + '_ {
         self.lines.iter().enumerate().filter_map(|(i, l)| {
-            l.as_ref().map(|line| SaqId { line: i as u8, generation: line.generation })
+            l.as_ref().map(|line| SaqId {
+                line: i as u8,
+                generation: line.generation,
+            })
         })
     }
 
@@ -243,13 +247,17 @@ impl CamTable {
     }
 
     pub(crate) fn get(&self, id: SaqId) -> &CamLine {
-        let line = self.lines[id.line()].as_ref().expect("unallocated CAM line");
+        let line = self.lines[id.line()]
+            .as_ref()
+            .expect("unallocated CAM line");
         assert_eq!(line.generation, id.generation, "stale SAQ handle");
         line
     }
 
     pub(crate) fn get_mut(&mut self, id: SaqId) -> &mut CamLine {
-        let line = self.lines[id.line()].as_mut().expect("unallocated CAM line");
+        let line = self.lines[id.line()]
+            .as_mut()
+            .expect("unallocated CAM line");
         assert_eq!(line.generation, id.generation, "stale SAQ handle");
         line
     }
@@ -257,10 +265,13 @@ impl CamTable {
     /// Line handle by raw line index, if allocated (used to resolve
     /// compressed flow-control addressing).
     pub fn id_at_line(&self, line: usize) -> Option<SaqId> {
-        self.lines.get(line).and_then(Option::as_ref).map(|l| SaqId {
-            line: line as u8,
-            generation: l.generation,
-        })
+        self.lines
+            .get(line)
+            .and_then(Option::as_ref)
+            .map(|l| SaqId {
+                line: line as u8,
+                generation: l.generation,
+            })
     }
 }
 

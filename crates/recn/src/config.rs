@@ -103,7 +103,10 @@ impl RecnConfig {
     /// or an empty SAQ pool).
     pub fn validate(&self) {
         assert!(self.max_saqs >= 1, "need at least one SAQ");
-        assert!(self.max_saqs <= 64, "paper hardware bounds the CAM at 64 lines");
+        assert!(
+            self.max_saqs <= 64,
+            "paper hardware bounds the CAM at 64 lines"
+        );
         assert!(
             self.xoff_threshold >= self.xon_threshold,
             "xoff threshold must be at least xon threshold"

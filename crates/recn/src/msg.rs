@@ -87,11 +87,21 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_path() {
-        let short = RecnMsg::Notification { path: PathSpec::from_turns(&[1]) };
-        let long = RecnMsg::Notification { path: PathSpec::from_turns(&[1, 2, 3]) };
+        let short = RecnMsg::Notification {
+            path: PathSpec::from_turns(&[1]),
+        };
+        let long = RecnMsg::Notification {
+            path: PathSpec::from_turns(&[1, 2, 3]),
+        };
         assert_eq!(short.wire_bytes(), 9);
         assert_eq!(long.wire_bytes(), 11);
-        assert_eq!(RecnMsg::Xoff { path: PathSpec::from_turns(&[1, 2, 3]) }.wire_bytes(), 8);
+        assert_eq!(
+            RecnMsg::Xoff {
+                path: PathSpec::from_turns(&[1, 2, 3])
+            }
+            .wire_bytes(),
+            8
+        );
     }
 
     #[test]

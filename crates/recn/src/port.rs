@@ -154,7 +154,9 @@ enum Role {
     Ingress,
     /// Egress of a switch: `turn` is this output port's index, prepended to
     /// paths when notifying same-switch input ports.
-    Egress { turn: u8 },
+    Egress {
+        turn: u8,
+    },
     /// NIC injection port: egress-like, but terminal (never notifies
     /// further; packets originate here).
     NicInjection,
@@ -290,7 +292,10 @@ impl RecnPort {
             return false;
         }
         let line = self.cam.get_mut(saq);
-        assert!(line.markers_outstanding > 0, "consumed more markers than placed");
+        assert!(
+            line.markers_outstanding > 0,
+            "consumed more markers than placed"
+        );
         line.markers_outstanding -= 1;
         !line.is_blocked() && line.packets == 0 && line.is_leaf() && line.ever_used
     }
@@ -362,7 +367,10 @@ impl RecnPort {
         let xon_threshold = self.cfg.xon_threshold;
         let line = self.cam.get_mut(saq);
         assert!(!line.is_blocked(), "a blocked SAQ transmitted a packet");
-        assert!(line.occupancy >= bytes && line.packets >= 1, "SAQ accounting underflow");
+        assert!(
+            line.occupancy >= bytes && line.packets >= 1,
+            "SAQ accounting underflow"
+        );
         line.occupancy -= bytes;
         line.packets -= 1;
         let mut signals = DequeueSignals::default();
@@ -388,7 +396,10 @@ impl RecnPort {
     ///
     /// Panics when called on an ingress port.
     pub fn normal_occupancy_changed(&mut self, bytes_now: u64) -> Option<RootChange> {
-        assert!(self.is_egress_like(), "root detection is an egress-side mechanism");
+        assert!(
+            self.is_egress_like(),
+            "root detection is an egress-side mechanism"
+        );
         self.normal_occupancy = bytes_now;
         if !self.root.active && bytes_now >= self.cfg.detection_threshold {
             self.root.active = true;
@@ -479,7 +490,10 @@ impl RecnPort {
         input: usize,
         path_at_egress: PathSpec,
     ) -> (Option<RootChange>, Option<SaqId>) {
-        assert!(self.is_egress_like(), "tokens from inputs arrive at egress ports");
+        assert!(
+            self.is_egress_like(),
+            "tokens from inputs arrive at egress ports"
+        );
         let bit = 1u64 << input;
         if path_at_egress.is_empty() {
             self.root.tokens_returned += 1;
@@ -509,7 +523,10 @@ impl RecnPort {
         _input: usize,
         path_at_egress: PathSpec,
     ) -> (Option<RootChange>, Option<SaqId>) {
-        assert!(self.is_egress_like(), "tokens from inputs arrive at egress ports");
+        assert!(
+            self.is_egress_like(),
+            "tokens from inputs arrive at egress ports"
+        );
         if path_at_egress.is_empty() {
             self.root.tokens_returned += 1;
             return (self.try_clear_root(), None);
@@ -529,7 +546,10 @@ impl RecnPort {
     /// if Xoff must be sent right away (occupancy already past the
     /// threshold when the ack arrived).
     pub fn on_upstream_ack(&mut self, path: PathSpec, remote_line: u8) -> bool {
-        assert!(matches!(self.role, Role::Ingress), "acks arrive at ingress ports");
+        assert!(
+            matches!(self.role, Role::Ingress),
+            "acks arrive at ingress ports"
+        );
         let xoff_threshold = self.cfg.xoff_threshold;
         if let Some(saq) = self.cam.find_path(&path) {
             let line = self.cam.get_mut(saq);
@@ -547,7 +567,10 @@ impl RecnPort {
     /// is cleared so the tree can regrow once the SAQ occupancy dips below
     /// and crosses the propagation threshold again.
     pub fn on_upstream_reject(&mut self, path: PathSpec) -> Option<SaqId> {
-        assert!(matches!(self.role, Role::Ingress), "rejects arrive at ingress ports");
+        assert!(
+            matches!(self.role, Role::Ingress),
+            "rejects arrive at ingress ports"
+        );
         if let Some(saq) = self.cam.find_path(&path) {
             let line = self.cam.get_mut(saq);
             line.tokens_returned += 1;
@@ -564,7 +587,10 @@ impl RecnPort {
     /// Ingress only: the upstream SAQ (our child) deallocated and returned
     /// its token. Returns the SAQ if it is now deallocatable itself.
     pub fn on_token_from_upstream(&mut self, path: PathSpec) -> Option<SaqId> {
-        assert!(matches!(self.role, Role::Ingress), "upstream tokens arrive at ingress ports");
+        assert!(
+            matches!(self.role, Role::Ingress),
+            "upstream tokens arrive at ingress ports"
+        );
         if let Some(saq) = self.cam.find_path(&path) {
             let line = self.cam.get_mut(saq);
             line.tokens_returned += 1;
@@ -601,14 +627,21 @@ impl RecnPort {
         let path = line.path;
         let token_to = match self.role {
             Role::Ingress => {
-                let (out_port, path_at_egress) =
-                    path.split_first().expect("ingress SAQ path cannot be empty");
-                TokenDest::EgressSameSwitch { out_port, path_at_egress }
+                let (out_port, path_at_egress) = path
+                    .split_first()
+                    .expect("ingress SAQ path cannot be empty");
+                TokenDest::EgressSameSwitch {
+                    out_port,
+                    path_at_egress,
+                }
             }
             Role::Egress { .. } | Role::NicInjection => TokenDest::DownstreamLink { path },
         };
         self.cam.free(saq);
-        DeallocAction { token_to, xon_needed }
+        DeallocAction {
+            token_to,
+            xon_needed,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -740,13 +773,19 @@ mod tests {
 
         let sig = p.saq_enqueued(saq, 30);
         assert_eq!(sig, EnqueueSignals::default());
-        assert!(!p.marker_consumed(saq), "holds a packet: not yet deallocatable");
+        assert!(
+            !p.marker_consumed(saq),
+            "holds a packet: not yet deallocatable"
+        );
         let sig = p.saq_dequeued(saq, 30);
         assert!(sig.deallocatable);
         let act = p.dealloc(saq);
         assert_eq!(
             act.token_to,
-            TokenDest::EgressSameSwitch { out_port: 2, path_at_egress: PathSpec::EMPTY }
+            TokenDest::EgressSameSwitch {
+                out_port: 2,
+                path_at_egress: PathSpec::EMPTY
+            }
         );
         assert!(!act.xon_needed);
         assert!(!p.is_live(saq));
@@ -785,7 +824,10 @@ mod tests {
         // Drain below and refill: still no repeat while notified_upstream.
         p.saq_dequeued(saq, 60);
         let s4 = p.saq_enqueued(saq, 60);
-        assert!(s4.propagate.is_none(), "flag prevents repeat while child alive");
+        assert!(
+            s4.propagate.is_none(),
+            "flag prevents repeat while child alive"
+        );
     }
 
     #[test]
@@ -811,7 +853,10 @@ mod tests {
         p.marker_consumed(saq);
         let s = p.saq_enqueued(saq, 60);
         assert!(s.propagate.is_some());
-        assert!(!p.on_upstream_ack(PathSpec::from_turns(&[3]), 1), "below xoff at ack time");
+        assert!(
+            !p.on_upstream_ack(PathSpec::from_turns(&[3]), 1),
+            "below xoff at ack time"
+        );
         let s2 = p.saq_enqueued(saq, 30); // 90 >= 80
         assert!(s2.xoff);
     }
@@ -858,7 +903,10 @@ mod tests {
     fn egress_root_detection_and_clear() {
         let mut e = RecnPort::new_egress(small_cfg(), 2);
         assert_eq!(e.normal_occupancy_changed(99), None);
-        assert_eq!(e.normal_occupancy_changed(100), Some(RootChange::BecameRoot));
+        assert_eq!(
+            e.normal_occupancy_changed(100),
+            Some(RootChange::BecameRoot)
+        );
         assert!(e.is_root());
         // Forward from input 3: notify once with path [2].
         let n = e.on_forward_from_input(3, Classify::Normal);
@@ -875,7 +923,10 @@ mod tests {
         assert!(!e.is_root());
         assert_eq!(e.root_activations(), 1);
         // Re-congestion re-detects and re-notifies.
-        assert_eq!(e.normal_occupancy_changed(150), Some(RootChange::BecameRoot));
+        assert_eq!(
+            e.normal_occupancy_changed(150),
+            Some(RootChange::BecameRoot)
+        );
         let n3 = e.on_forward_from_input(3, Classify::Normal);
         assert_eq!(n3.root, Some(PathSpec::from_turns(&[2])));
     }
@@ -888,7 +939,11 @@ mod tests {
         e.marker_consumed(saq);
         e.saq_enqueued(saq, 60); // crosses propagation threshold -> propagating
         let n = e.on_forward_from_input(0, Classify::Saq(saq));
-        assert_eq!(n.tree, Some(PathSpec::from_turns(&[1, 3])), "path extended by turn");
+        assert_eq!(
+            n.tree,
+            Some(PathSpec::from_turns(&[1, 3])),
+            "path extended by turn"
+        );
         assert!(n.root.is_none());
         assert!(e.on_forward_from_input(0, Classify::Saq(saq)).is_empty());
         // A different input gets its own notification.
@@ -931,10 +986,16 @@ mod tests {
 
     #[test]
     fn rejection_when_cam_full() {
-        let cfg = RecnConfig { max_saqs: 1, ..small_cfg() };
+        let cfg = RecnConfig {
+            max_saqs: 1,
+            ..small_cfg()
+        };
         let mut p = RecnPort::new_ingress(cfg);
         let _a = accepted(p.alloc_on_notification(PathSpec::from_turns(&[1])));
-        assert_eq!(p.alloc_on_notification(PathSpec::from_turns(&[2])), NotifOutcome::Rejected);
+        assert_eq!(
+            p.alloc_on_notification(PathSpec::from_turns(&[2])),
+            NotifOutcome::Rejected
+        );
         // Same path: AlreadyPresent, not a fresh allocation.
         match p.alloc_on_notification(PathSpec::from_turns(&[1])) {
             NotifOutcome::AlreadyPresent { .. } => {}

@@ -124,8 +124,13 @@ fn full_tree_lifecycle_across_two_switches() {
     //    the upstream egress across the link (path unchanged).
     let sig = p.down_in.saq_enqueued(down_saq, 350);
     assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[2])));
-    let up_saq = ledger.alloc(2, accept(p.up_eg.alloc_on_notification(PathSpec::from_turns(&[2]))));
-    assert!(!p.down_in.on_upstream_ack(PathSpec::from_turns(&[2]), up_saq.line() as u8));
+    let up_saq = ledger.alloc(
+        2,
+        accept(p.up_eg.alloc_on_notification(PathSpec::from_turns(&[2]))),
+    );
+    assert!(!p
+        .down_in
+        .on_upstream_ack(PathSpec::from_turns(&[2]), up_saq.line() as u8));
 
     // 4. The upstream egress SAQ fills and switches to notify-on-forward;
     //    forwarding from up_in extends the path with the egress turn (1).
@@ -140,8 +145,13 @@ fn full_tree_lifecycle_across_two_switches() {
     p.up_in.marker_consumed(up_in_saq);
     let sig = p.up_in.saq_enqueued(up_in_saq, 400);
     assert_eq!(sig.propagate, Some(PathSpec::from_turns(&[1, 2])));
-    let nic_saq = ledger.alloc(0, accept(p.nic.alloc_on_notification(PathSpec::from_turns(&[1, 2]))));
-    assert!(!p.up_in.on_upstream_ack(PathSpec::from_turns(&[1, 2]), nic_saq.line() as u8));
+    let nic_saq = ledger.alloc(
+        0,
+        accept(p.nic.alloc_on_notification(PathSpec::from_turns(&[1, 2]))),
+    );
+    assert!(!p
+        .up_in
+        .on_upstream_ack(PathSpec::from_turns(&[1, 2]), nic_saq.line() as u8));
 
     // 6. Xoff chain: down_in crosses its Xoff threshold.
     let sig = p.down_in.saq_enqueued(down_saq, 300); // 650 >= 600
@@ -162,15 +172,26 @@ fn full_tree_lifecycle_across_two_switches() {
     assert!(p.nic.saq_dequeued(nic_saq, 64).deallocatable);
     ledger.dealloc(0, nic_saq);
     let act = p.nic.dealloc(nic_saq);
-    assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[1, 2]) });
+    assert_eq!(
+        act.token_to,
+        TokenDest::DownstreamLink {
+            path: PathSpec::from_turns(&[1, 2])
+        }
+    );
 
     // up_in receives the token, drains, deallocates toward up_eg.
-    let ready = p.up_in.on_token_from_upstream(PathSpec::from_turns(&[1, 2]));
+    let ready = p
+        .up_in
+        .on_token_from_upstream(PathSpec::from_turns(&[1, 2]));
     assert!(ready.is_none(), "still holds 400 bytes");
     assert!(p.up_in.saq_dequeued(up_in_saq, 400).deallocatable);
     ledger.dealloc(1, up_in_saq);
     let act = p.up_in.dealloc(up_in_saq);
-    let TokenDest::EgressSameSwitch { out_port, path_at_egress } = act.token_to else {
+    let TokenDest::EgressSameSwitch {
+        out_port,
+        path_at_egress,
+    } = act.token_to
+    else {
         panic!("ingress token stays in-switch");
     };
     assert_eq!(out_port, 1);
@@ -182,22 +203,39 @@ fn full_tree_lifecycle_across_two_switches() {
     assert!(p.up_eg.saq_dequeued(up_saq, 350).deallocatable);
     ledger.dealloc(2, up_saq);
     let act = p.up_eg.dealloc(up_saq);
-    assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[2]) });
+    assert_eq!(
+        act.token_to,
+        TokenDest::DownstreamLink {
+            path: PathSpec::from_turns(&[2])
+        }
+    );
 
     // down_in gets the token back, drains the rest, returns to the root.
-    assert!(p.down_in.on_token_from_upstream(PathSpec::from_turns(&[2])).is_none());
+    assert!(p
+        .down_in
+        .on_token_from_upstream(PathSpec::from_turns(&[2]))
+        .is_none());
     assert!(p.down_in.saq_dequeued(down_saq, 100).deallocatable);
     ledger.dealloc(3, down_saq);
     let act = p.down_in.dealloc(down_saq);
     assert_eq!(
         act.token_to,
-        TokenDest::EgressSameSwitch { out_port: 2, path_at_egress: PathSpec::EMPTY }
+        TokenDest::EgressSameSwitch {
+            out_port: 2,
+            path_at_egress: PathSpec::EMPTY
+        }
     );
 
     // Root: token home + queue drained = tree gone.
     let (change, _) = p.down_eg.on_token_from_input(0, PathSpec::EMPTY);
-    assert!(change.is_none(), "occupancy still above the clear threshold");
-    assert!(p.down_eg.normal_occupancy_changed(100).is_some(), "root clears");
+    assert!(
+        change.is_none(),
+        "occupancy still above the clear threshold"
+    );
+    assert!(
+        p.down_eg.normal_occupancy_changed(100).is_some(),
+        "root clears"
+    );
     assert!(!p.down_eg.is_root());
 
     // Everything reclaimed, and the ledger agrees event by event.
@@ -217,8 +255,14 @@ fn parallel_trees_share_an_input_port() {
     eg_a.normal_occupancy_changed(1200);
     eg_b.normal_occupancy_changed(1200);
 
-    let na = eg_a.on_forward_from_input(1, Classify::Normal).root.unwrap();
-    let nb = eg_b.on_forward_from_input(1, Classify::Normal).root.unwrap();
+    let na = eg_a
+        .on_forward_from_input(1, Classify::Normal)
+        .root
+        .unwrap();
+    let nb = eg_b
+        .on_forward_from_input(1, Classify::Normal)
+        .root
+        .unwrap();
     let sa = accept(input.alloc_on_notification(na));
     let sb = accept(input.alloc_on_notification(nb));
     // Disjoint paths: no nesting, each gets only the normal-queue marker.
@@ -234,7 +278,11 @@ fn parallel_trees_share_an_input_port() {
     assert!(input.saq_dequeued(sa, 10).deallocatable);
     input.dealloc(sa);
     assert_eq!(input.classify(&[0, 2]), Classify::Normal, "tree A gone");
-    assert_eq!(input.classify(&[3, 2]), Classify::Saq(sb), "tree B unaffected");
+    assert_eq!(
+        input.classify(&[3, 2]),
+        Classify::Saq(sb),
+        "tree B unaffected"
+    );
 }
 
 /// Nested trees: allocating the deeper path after the shallower one makes
@@ -246,7 +294,11 @@ fn nested_trees_marker_plan_and_fallback() {
     let shallow = accept(input.alloc_on_notification(PathSpec::from_turns(&[2])));
     input.marker_consumed(shallow);
     let deep = accept(input.alloc_on_notification(PathSpec::from_turns(&[2, 1])));
-    assert_eq!(input.marker_plan(deep), vec![shallow], "prefix SAQ gets a marker");
+    assert_eq!(
+        input.marker_plan(deep),
+        vec![shallow],
+        "prefix SAQ gets a marker"
+    );
 
     // Two markers outstanding: normal queue + the shallow SAQ's queue.
     assert!(input.is_blocked(deep));
@@ -270,14 +322,20 @@ fn nested_trees_marker_plan_and_fallback() {
 /// storm.
 #[test]
 fn rejection_keeps_tree_consistent() {
-    let small = RecnConfig { max_saqs: 1, ..cfg() };
+    let small = RecnConfig {
+        max_saqs: 1,
+        ..cfg()
+    };
     let mut input = RecnPort::new_ingress(small);
     let mut egress = RecnPort::new_egress(small, 0);
     egress.normal_occupancy_changed(1200);
 
     // First tree takes the only line.
     let other = accept(input.alloc_on_notification(PathSpec::from_turns(&[3])));
-    let path = egress.on_forward_from_input(2, Classify::Normal).root.unwrap();
+    let path = egress
+        .on_forward_from_input(2, Classify::Normal)
+        .root
+        .unwrap();
     assert_eq!(input.alloc_on_notification(path), NotifOutcome::Rejected);
     // Token returns as a rejection: flag stays, no re-notify on the next
     // forward from the same input.
@@ -285,7 +343,10 @@ fn rejection_keeps_tree_consistent() {
     assert!(change.is_none() && dealloc.is_none());
     assert!(egress.on_forward_from_input(2, Classify::Normal).is_empty());
     // A different input still gets notified.
-    assert!(egress.on_forward_from_input(3, Classify::Normal).root.is_some());
+    assert!(egress
+        .on_forward_from_input(3, Classify::Normal)
+        .root
+        .is_some());
 
     // The unrelated tree is untouched.
     assert!(input.is_live(other));
@@ -299,13 +360,20 @@ fn recongestion_after_token_return() {
     let mut egress = RecnPort::new_egress(cfg(), 0);
     egress.normal_occupancy_changed(1200);
 
-    let path = egress.on_forward_from_input(0, Classify::Normal).root.unwrap();
+    let path = egress
+        .on_forward_from_input(0, Classify::Normal)
+        .root
+        .unwrap();
     let saq1 = accept(input.alloc_on_notification(path));
     input.marker_consumed(saq1);
     input.saq_enqueued(saq1, 64);
     assert!(input.saq_dequeued(saq1, 64).deallocatable);
     let act = input.dealloc(saq1);
-    let TokenDest::EgressSameSwitch { out_port, path_at_egress } = act.token_to else {
+    let TokenDest::EgressSameSwitch {
+        out_port,
+        path_at_egress,
+    } = act.token_to
+    else {
         panic!("in-switch token expected");
     };
     let (change, _) = egress.on_token_from_input(out_port as usize, path_at_egress);
@@ -325,7 +393,10 @@ fn recongestion_after_token_return() {
 /// and rejection included.
 #[test]
 fn branch_tokens_with_mixed_outcomes() {
-    let small = RecnConfig { max_saqs: 1, ..cfg() };
+    let small = RecnConfig {
+        max_saqs: 1,
+        ..cfg()
+    };
     let mut egress = RecnPort::new_egress(cfg(), 1);
     let mut in_full = RecnPort::new_ingress(small);
     let mut in_free = RecnPort::new_ingress(cfg());
@@ -336,8 +407,14 @@ fn branch_tokens_with_mixed_outcomes() {
     assert!(!egress.marker_consumed(tree));
     egress.saq_enqueued(tree, 400); // propagating
 
-    let n0 = egress.on_forward_from_input(0, Classify::Saq(tree)).tree.unwrap();
-    let n1 = egress.on_forward_from_input(1, Classify::Saq(tree)).tree.unwrap();
+    let n0 = egress
+        .on_forward_from_input(0, Classify::Saq(tree))
+        .tree
+        .unwrap();
+    let n1 = egress
+        .on_forward_from_input(1, Classify::Saq(tree))
+        .tree
+        .unwrap();
     assert_eq!(n0, PathSpec::from_turns(&[1, 3]));
 
     // Input 0 rejects; input 1 accepts.
@@ -360,7 +437,12 @@ fn branch_tokens_with_mixed_outcomes() {
     let (_, dealloc) = egress.on_token_from_input(1, path_at_egress);
     assert_eq!(dealloc, Some(tree), "all branches home, empty: tear down");
     let act = egress.dealloc(tree);
-    assert_eq!(act.token_to, TokenDest::DownstreamLink { path: PathSpec::from_turns(&[3]) });
+    assert_eq!(
+        act.token_to,
+        TokenDest::DownstreamLink {
+            path: PathSpec::from_turns(&[3])
+        }
+    );
 }
 
 /// The drain-boost rule kicks in exactly when a lingering SAQ owns its

@@ -1,0 +1,493 @@
+//! Calendar-queue event scheduler.
+//!
+//! A classic calendar queue (Brown 1988) adapted to the simulator's
+//! integer-picosecond time base: pending events live in a circular array
+//! of "day" buckets, each bucket a sorted run of `(time, seq)` keys. For
+//! the near-uniform event-time distributions a cycle-ish switch model
+//! produces (most events land within a couple of link times of `now`),
+//! `schedule` and `pop` are O(1) amortized, versus the O(log n) of the
+//! binary-heap scheduler it replaces.
+//!
+//! ## Ordering contract
+//!
+//! Delivery order is *exactly* nondecreasing `(time, seq)` — identical,
+//! event for event, to the legacy heap (see
+//! [`SchedulerKind`](crate::SchedulerKind)). This is load-bearing: the
+//! golden-trace digests pin whole-run event sequences, so the scheduler
+//! swap must be invisible at the per-event level. The differential tests
+//! in `tests/` drive random schedules through both backends and assert
+//! identical pop sequences, including FIFO stability at equal times.
+//!
+//! ## Mechanics
+//!
+//! * A *day* is `1 << width_shift` picoseconds; day `d` lives in bucket
+//!   `d % nbuckets`. Buckets are `VecDeque`s kept ascending by
+//!   `(time, seq)`, so the common append (later key into its day) and the
+//!   common removal (pop the front) are both O(1); out-of-order inserts
+//!   binary-search their slot.
+//! * An occupancy bitmap (one bit per bucket) mirrors which buckets are
+//!   non-empty, so head relocation skips runs of empty buckets a word at
+//!   a time instead of touching every `VecDeque` header.
+//! * `cur_day` tracks the day being drained. A pop takes the cached head;
+//!   relocating the next head scans the bitmap forward from `cur_day`,
+//!   visiting each *occupied* bucket at most once per lap. If a whole lap
+//!   finds nothing due (events clustered laps ahead), a direct search
+//!   over the occupied bucket fronts finds the global minimum and jumps
+//!   `cur_day` to it, which keeps sparse queues correct (just not O(1)).
+//! * Scheduling *earlier* than the current head simply rewinds `cur_day`.
+//! * Buckets only hold events inside the current *window* of
+//!   `nbuckets` days; events due past it go to an unsorted *overflow*
+//!   tier (à la the ladder queue). Without it, far-future events wrap
+//!   around the circular array and sit in the same buckets as the dense
+//!   cluster near `now`, turning the majority of near-term schedules
+//!   into binary-search mid-`VecDeque` inserts — the dominant cost in
+//!   hotspot workloads. Every overflow key is strictly greater than
+//!   every bucketed key, so the head always lives in the buckets; when
+//!   the window drains, a cheap migration (sort the mostly-sorted
+//!   overflow, append the next cohort) re-anchors it at the overflow
+//!   minimum.
+//! * A rebuild (bucket overload, a run outgrowing [`LONG_RUN`], or a
+//!   migration finding mostly tail) re-derives the geometry: the day
+//!   width is the *coarsest* one whose longest same-day run stays within
+//!   [`RUN_LIMIT`] (so mid-`VecDeque` inserts shift little — same-time
+//!   events can't be split by any width, but they arrive in `seq` order
+//!   and append), and the bucket count gives ~2 buckets per event *and*
+//!   a window reaching the last pending event's day (capped), so only
+//!   the far tail overflows.
+
+use std::collections::VecDeque;
+
+use crate::queue::ScheduledEvent;
+use crate::Picos;
+
+/// Lower bound on the day width: a single picosecond (the time base's
+/// resolution). Hotspot workloads really do reach >1 event/ps near the
+/// head — clamping coarser than this packs hundreds of events per day
+/// and turns same-day schedules into long mid-`VecDeque` shifts.
+const MIN_WIDTH_SHIFT: u32 = 0;
+/// Upper bound on the day width (2²⁰ ps ≈ 1.05 µs): events further apart
+/// than this are rare enough that coarse buckets suffice.
+const MAX_WIDTH_SHIFT: u32 = 20;
+/// Bucket-count bounds (powers of two).
+const MIN_BUCKETS: usize = 64;
+const MAX_BUCKETS: usize = 1 << 20;
+/// Day-width selection: the rebuild picks the coarsest width whose
+/// longest same-day run stays within this bound, so mid-`VecDeque`
+/// inserts shift at most this many events.
+const RUN_LIMIT: usize = 16;
+/// A bucket run growing past this between rebuilds (the workload got
+/// denser than the last width choice) forces an early re-width.
+const LONG_RUN: usize = 4 * RUN_LIMIT;
+
+/// A calendar queue over [`ScheduledEvent`]s; see the module docs.
+///
+/// The key `(time, seq)` is strictly unique (`seq` is an insertion
+/// counter), which is what makes the total order — and therefore FIFO
+/// stability at equal times — exact.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue<E> {
+    buckets: Vec<VecDeque<ScheduledEvent<E>>>,
+    /// Bit `b` set ⇔ `buckets[b]` is non-empty.
+    occupied: Vec<u64>,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: u64,
+    /// log2 of the day width in picoseconds.
+    width_shift: u32,
+    /// Day currently being drained; no pending event has an earlier day.
+    cur_day: u64,
+    /// First day of the calendar window `[epoch_day, epoch_day + nbuckets)`.
+    /// Events due past the window live in `overflow`, not in buckets.
+    epoch_day: u64,
+    /// Far-future events (day ≥ `epoch_day + nbuckets`), unsorted. Every
+    /// overflow key is strictly greater than every bucketed key, so the
+    /// head always lives in the buckets; when they drain, `rebuild`
+    /// re-anchors the window at the overflow minimum and pulls the next
+    /// cohort in.
+    overflow: Vec<ScheduledEvent<E>>,
+    /// Cached head `(time, seq, bucket)`, kept valid between mutations.
+    head: Option<(Picos, u64, usize)>,
+    /// Events resident in buckets (excludes `overflow`).
+    cal_len: usize,
+    len: usize,
+    /// Schedules since the last rebuild (cooldown for early re-widths).
+    sched_since_rebuild: usize,
+    pub(crate) stats: CalStats,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CalStats {
+    pub sched_empty: u64,
+    pub sched_append: u64,
+    pub sched_insert: u64,
+    pub sched_overflow: u64,
+    pub sched_rewind: u64,
+    pub pop_fast: u64,
+    pub pop_scan: u64,
+    pub pop_fallback: u64,
+    pub scan_steps: u64,
+    pub rebuilds: u64,
+    pub migrations: u64,
+}
+
+/// Longest run of events (in a `(time, seq)`-sorted slice) sharing a day
+/// at the given width shift. Monotone nondecreasing in `shift`.
+fn max_run<E>(events: &[ScheduledEvent<E>], shift: u32) -> usize {
+    let mut best = 1;
+    let mut cur = 1;
+    for pair in events.windows(2) {
+        if pair[0].time.as_ps() >> shift == pair[1].time.as_ps() >> shift {
+            cur += 1;
+            best = best.max(cur);
+        } else {
+            cur = 1;
+        }
+    }
+    best
+}
+
+impl<E> Drop for CalendarQueue<E> {
+    fn drop(&mut self) {
+        if std::env::var_os("CAL_STATS").is_some() && self.stats.rebuilds > 0 {
+            eprintln!(
+                "CAL_STATS shift={} nbuckets={} {:?}",
+                self.width_shift,
+                self.buckets.len(),
+                self.stats
+            );
+        }
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    pub(crate) fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            occupied: vec![0; MIN_BUCKETS / 64],
+            mask: (MIN_BUCKETS - 1) as u64,
+            width_shift: 13, // 8.2 ns: a fraction of a 64 B serialization time
+            cur_day: 0,
+            epoch_day: 0,
+            overflow: Vec::new(),
+            head: None,
+            cal_len: 0,
+            len: 0,
+            sched_since_rebuild: 0,
+            stats: CalStats::default(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn peek(&self) -> Option<(Picos, u64)> {
+        self.head.map(|(t, s, _)| (t, s))
+    }
+
+    fn day_of(&self, time: Picos) -> u64 {
+        time.as_ps() >> self.width_shift
+    }
+
+    #[inline]
+    fn set_bit(&mut self, b: usize) {
+        self.occupied[b >> 6] |= 1 << (b & 63);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, b: usize) {
+        self.occupied[b >> 6] &= !(1 << (b & 63));
+    }
+
+    /// Circular distance from bucket `start` to the next occupied bucket
+    /// (0 if `start` itself is occupied); `None` if the bitmap is empty.
+    fn next_occupied_offset(&self, start: usize) -> Option<u64> {
+        let nb = self.buckets.len();
+        let nw = self.occupied.len(); // power of two (nb is, and nb >= 64)
+        let mut wi = start >> 6;
+        let mut w = self.occupied[wi] & (!0u64 << (start & 63));
+        for _ in 0..=nw {
+            if w != 0 {
+                let b = (wi << 6) + w.trailing_zeros() as usize;
+                return Some(((b + nb - start) & (nb - 1)) as u64);
+            }
+            wi = (wi + 1) & (nw - 1);
+            w = self.occupied[wi];
+        }
+        None
+    }
+
+    pub(crate) fn schedule(&mut self, ev: ScheduledEvent<E>) {
+        let key = (ev.time, ev.seq);
+        let day = self.day_of(ev.time);
+        if self.len == 0 {
+            // Empty queue: re-anchor the window at this event.
+            self.epoch_day = day;
+        } else if day >= self.epoch_day + self.buckets.len() as u64 {
+            // Past the window: park it in the overflow tier. Every
+            // overflow key exceeds every bucketed key, so the cached head
+            // is untouched, and the window stays dense — far-future
+            // events never pollute the near buckets with mid-run inserts.
+            self.stats.sched_overflow += 1;
+            self.overflow.push(ev);
+            self.len += 1;
+            return;
+        }
+        let b = (day & self.mask) as usize;
+        let bucket = &mut self.buckets[b];
+        let mut long_run = false;
+        if bucket.is_empty() {
+            self.stats.sched_empty += 1;
+            bucket.push_back(ev);
+            self.set_bit(b);
+        } else if bucket
+            .back()
+            .is_some_and(|back| (back.time, back.seq) > key)
+        {
+            // Out-of-order for this bucket: binary-search the slot.
+            self.stats.sched_insert += 1;
+            long_run = bucket.len() >= LONG_RUN;
+            let pos = bucket.partition_point(|e| (e.time, e.seq) < key);
+            bucket.insert(pos, ev);
+        } else {
+            // Fast path: the key extends the bucket's ascending run.
+            self.stats.sched_append += 1;
+            bucket.push_back(ev);
+        }
+        self.len += 1;
+        self.cal_len += 1;
+        self.sched_since_rebuild += 1;
+        match self.head {
+            Some((ht, hs, _)) if (ht, hs) < key => {}
+            // New earliest event (or empty queue): rewind to its day.
+            _ => {
+                self.stats.sched_rewind += 1;
+                self.cur_day = day;
+                self.head = Some((key.0, key.1, b));
+            }
+        }
+        if self.cal_len > self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild();
+        } else if long_run
+            && self.width_shift > MIN_WIDTH_SHIFT
+            && self.sched_since_rebuild > self.len
+        {
+            // The workload got denser than the last width choice: a run
+            // has outgrown LONG_RUN and every insert into it shifts that
+            // much. Re-derive the width (cooldown: at most one early
+            // re-width per queue's-worth of schedules).
+            self.rebuild();
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let (_, _, b) = self.head?;
+        let ev = self.buckets[b]
+            .pop_front()
+            .expect("cached head bucket is non-empty");
+        self.len -= 1;
+        self.cal_len -= 1;
+        // Fast path: the drained bucket's next front is due the same day —
+        // it is the new head, and the bucket is already in cache.
+        if let Some(front) = self.buckets[b].front() {
+            if self.day_of(front.time) == self.cur_day {
+                self.stats.pop_fast += 1;
+                self.head = Some((front.time, front.seq, b));
+                return Some(ev);
+            }
+        } else {
+            self.clear_bit(b);
+        }
+        if self.cal_len == 0 && !self.overflow.is_empty() {
+            self.migrate(); // window drained: re-anchor at the overflow min
+        } else {
+            self.locate_head();
+        }
+        Some(ev)
+    }
+
+    /// Recomputes the cached head: scan the occupancy bitmap one lap
+    /// forward from `cur_day`, falling back to a direct search over the
+    /// occupied fronts when the lap comes up empty.
+    fn locate_head(&mut self) {
+        if self.cal_len == 0 {
+            // `pop` migrates the overflow before the window can run dry.
+            debug_assert!(self.overflow.is_empty());
+            self.head = None;
+            return;
+        }
+        let nb = self.buckets.len() as u64;
+        let mut off = 0u64;
+        while off < nb {
+            self.stats.scan_steps += 1;
+            let from = ((self.cur_day + off) & self.mask) as usize;
+            let Some(extra) = self.next_occupied_offset(from) else {
+                break;
+            };
+            off += extra;
+            if off >= nb {
+                break;
+            }
+            let day = self.cur_day + off;
+            let b = (day & self.mask) as usize;
+            let front = self.buckets[b].front().expect("bitmap says non-empty");
+            if self.day_of(front.time) == day {
+                self.stats.pop_scan += 1;
+                self.cur_day = day;
+                self.head = Some((front.time, front.seq, b));
+                return;
+            }
+            // Front belongs to a later lap: skip this bucket for now.
+            off += 1;
+        }
+        // Sparse tail: nothing due within a lap. Take the minimum over the
+        // occupied bucket fronts (each front is its bucket's minimum).
+        self.stats.pop_fallback += 1;
+        let mut best: Option<(Picos, u64, usize)> = None;
+        for (wi, &word) in self.occupied.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let front = self.buckets[b].front().expect("bitmap says non-empty");
+                let key = (front.time, front.seq);
+                if best.is_none_or(|(t, s, _)| key < (t, s)) {
+                    best = Some((key.0, key.1, b));
+                }
+            }
+        }
+        let (t, s, b) = best.expect("len > 0 implies some bucket is non-empty");
+        self.cur_day = self.day_of(t);
+        self.head = Some((t, s, b));
+    }
+
+    /// Advances the drained window to the overflow minimum: sort the
+    /// overflow (mostly sorted already — the suffix left by the previous
+    /// migration is, only since-pushed events aren't) and move the
+    /// in-window prefix into the (all empty) buckets as O(1) appends.
+    /// No reallocation, no re-derived width: orders of magnitude cheaper
+    /// than a full [`rebuild`](Self::rebuild), which matters because a
+    /// fine-grained width migrates often. A nearly-empty prefix means the
+    /// width is too fine for what's left, so fall through to `rebuild`.
+    fn migrate(&mut self) {
+        debug_assert!(self.cal_len == 0 && !self.overflow.is_empty());
+        self.overflow.sort_unstable_by_key(|e| (e.time, e.seq));
+        let first_day = self.day_of(self.overflow[0].time);
+        let limit = first_day + self.buckets.len() as u64;
+        let split = self
+            .overflow
+            .partition_point(|e| self.day_of(e.time) < limit);
+        if split * 16 < self.overflow.len() {
+            self.rebuild(); // re-derive the width for the sparser tail
+            return;
+        }
+        self.stats.migrations += 1;
+        self.epoch_day = first_day;
+        self.cur_day = first_day;
+        self.cal_len = split;
+        let first = &self.overflow[0];
+        self.head = Some((first.time, first.seq, (first_day & self.mask) as usize));
+        for ev in self.overflow.drain(..split) {
+            let b = ((ev.time.as_ps() >> self.width_shift) & self.mask) as usize;
+            self.buckets[b].push_back(ev);
+            self.occupied[b >> 6] |= 1 << (b & 63);
+        }
+    }
+
+    /// Resizes the calendar to the current population: ~2 buckets per
+    /// event, with the day width re-derived from the inter-event gaps of
+    /// the events nearest the head (robust against far-future stragglers
+    /// stretching the span — see the module docs).
+    fn rebuild(&mut self) {
+        self.stats.rebuilds += 1;
+        self.sched_since_rebuild = 0;
+        let mut events: Vec<ScheduledEvent<E>> = Vec::with_capacity(self.len);
+        // Drain via the bitmap: empty buckets (the vast majority in a
+        // sparse calendar) aren't even touched.
+        for (wi, word) in self.occupied.iter().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let b = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                events.extend(self.buckets[b].drain(..));
+            }
+        }
+        events.append(&mut self.overflow);
+        debug_assert_eq!(events.len(), self.len);
+        events.sort_unstable_by_key(|e| (e.time, e.seq));
+
+        // Coarsest day width whose longest same-day run stays within
+        // RUN_LIMIT (max_run is monotone in the shift, so binary search).
+        // Wider days mean a larger window (fewer overflow migrations);
+        // the run bound keeps every mid-insert shift small. Events at the
+        // *identical* picosecond can't be split by any width; if even
+        // 1 ps days exceed the bound, take them anyway (same-time events
+        // arrive in seq order, so they append rather than shift).
+        if events.len() > 1 {
+            if max_run(&events, MIN_WIDTH_SHIFT) > RUN_LIMIT {
+                self.width_shift = MIN_WIDTH_SHIFT;
+            } else {
+                let (mut lo, mut hi) = (MIN_WIDTH_SHIFT, MAX_WIDTH_SHIFT);
+                while lo < hi {
+                    let mid = (lo + hi).div_ceil(2);
+                    if max_run(&events, mid) <= RUN_LIMIT {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                self.width_shift = lo;
+            }
+        }
+
+        // Bucket count: enough for ~2 buckets per event AND for the
+        // window to reach the 90th-percentile event's day, so only the
+        // far tail overflows. Dense workloads with a wide reach get big
+        // sparse arrays — that's fine, the occupancy bitmap makes empty
+        // buckets nearly free, while a too-narrow window would drain and
+        // migrate constantly.
+        let nbuckets = {
+            let pop = (2 * self.len).next_power_of_two();
+            let cover = if events.is_empty() {
+                0
+            } else {
+                let last = &events[events.len() - 1];
+                let days = (last.time.as_ps() >> self.width_shift)
+                    .saturating_sub(events[0].time.as_ps() >> self.width_shift)
+                    + 1;
+                days.min(MAX_BUCKETS as u64).next_power_of_two() as usize
+            };
+            pop.max(cover).clamp(MIN_BUCKETS, MAX_BUCKETS)
+        };
+
+        if self.buckets.len() != nbuckets {
+            self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+            self.mask = (nbuckets - 1) as u64;
+            self.occupied = vec![0; nbuckets / 64];
+        } else {
+            self.occupied.fill(0);
+        }
+        // Re-anchor the window at the earliest event and redistribute in
+        // ascending key order: every in-window push is the O(1) append
+        // fast path, and the (sorted) past-window tail returns to the
+        // overflow tier.
+        self.epoch_day = events.first().map(|e| self.day_of(e.time)).unwrap_or(0);
+        self.cur_day = self.epoch_day;
+        self.head = events
+            .first()
+            .map(|e| (e.time, e.seq, ((self.day_of(e.time)) & self.mask) as usize));
+        let limit = self.epoch_day + nbuckets as u64;
+        self.cal_len = 0;
+        for ev in events {
+            let day = self.day_of(ev.time);
+            if day < limit {
+                let b = (day & self.mask) as usize;
+                self.buckets[b].push_back(ev);
+                self.occupied[b >> 6] |= 1 << (b & 63);
+                self.cal_len += 1;
+            } else {
+                self.overflow.push(ev);
+            }
+        }
+        debug_assert!(self.cal_len > 0 || self.len == 0);
+    }
+}

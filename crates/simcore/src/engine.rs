@@ -1,6 +1,6 @@
 //! The simulation driver loop.
 
-use crate::{EventQueue, Picos};
+use crate::{EventQueue, Picos, SchedulerKind};
 
 /// A simulation model driven by [`Engine`].
 ///
@@ -28,14 +28,26 @@ pub struct Engine<M: SimModel> {
 }
 
 impl<M: SimModel> Engine<M> {
-    /// Creates an engine around `model` with an empty event queue.
+    /// Creates an engine around `model` with an empty event queue on the
+    /// default scheduler.
     pub fn new(model: M) -> Self {
+        Engine::with_scheduler(model, SchedulerKind::default())
+    }
+
+    /// Creates an engine whose event queue runs on the given scheduler
+    /// backend (see [`SchedulerKind`]).
+    pub fn with_scheduler(model: M, kind: SchedulerKind) -> Self {
         Engine {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_scheduler(kind),
             now: Picos::ZERO,
             processed: 0,
         }
+    }
+
+    /// Shared access to the event queue (e.g. to read `peak_len`).
+    pub fn queue(&self) -> &EventQueue<M::Event> {
+        &self.queue
     }
 
     /// Current simulated time (time of the last processed event).
@@ -132,7 +144,10 @@ mod tests {
 
     #[test]
     fn run_until_respects_deadline() {
-        let mut eng = Engine::new(Recorder { log: vec![], chain: 100 });
+        let mut eng = Engine::new(Recorder {
+            log: vec![],
+            chain: 100,
+        });
         eng.queue_mut().schedule(Picos::ZERO, 0);
         let n = eng.run_until(Picos::from_ns(10));
         assert_eq!(n, 11); // events at 0..=10 ns
@@ -145,7 +160,10 @@ mod tests {
 
     #[test]
     fn deadline_advances_time_even_without_events() {
-        let mut eng = Engine::new(Recorder { log: vec![], chain: 0 });
+        let mut eng = Engine::new(Recorder {
+            log: vec![],
+            chain: 0,
+        });
         eng.run_until(Picos::from_us(5));
         assert_eq!(eng.now(), Picos::from_us(5));
         assert_eq!(eng.processed(), 0);
@@ -153,7 +171,10 @@ mod tests {
 
     #[test]
     fn run_to_completion_drains() {
-        let mut eng = Engine::new(Recorder { log: vec![], chain: 5 });
+        let mut eng = Engine::new(Recorder {
+            log: vec![],
+            chain: 5,
+        });
         eng.queue_mut().schedule(Picos::from_ns(3), 0);
         eng.run_to_completion();
         assert_eq!(eng.model().log.len(), 6);
@@ -163,7 +184,10 @@ mod tests {
 
     #[test]
     fn into_model_returns_state() {
-        let mut eng = Engine::new(Recorder { log: vec![], chain: 1 });
+        let mut eng = Engine::new(Recorder {
+            log: vec![],
+            chain: 1,
+        });
         eng.queue_mut().schedule(Picos::ZERO, 0);
         eng.run_to_completion();
         let model = eng.into_model();

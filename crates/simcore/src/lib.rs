@@ -8,7 +8,9 @@
 //! * [`EventQueue`] and [`Engine`]: a stable priority queue of events and a
 //!   driver loop. Events scheduled for the same instant are delivered in
 //!   insertion order, which makes the simulation deterministic even when many
-//!   components act "simultaneously".
+//!   components act "simultaneously". Two [`SchedulerKind`] backends deliver
+//!   that exact order: a calendar queue (default, O(1) amortized) and the
+//!   legacy binary heap (escape hatch for A/B validation).
 //! * [`SplitMix64`] / [`Xoshiro256`]: small, dependency-free PRNGs with
 //!   explicit seeding, so traffic generation is reproducible.
 //! * [`BinnedSeries`], [`GaugeSeries`], [`Histogram`], [`Running`]: light
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod engine;
 mod queue;
 mod rng;
@@ -48,7 +51,7 @@ mod stats;
 mod time;
 
 pub use engine::{Engine, SimModel};
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{EventQueue, ScheduledEvent, SchedulerKind};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use series::{BinnedSeries, GaugeSeries, SeriesPoint};
 pub use stats::{Histogram, Running};

@@ -1,8 +1,9 @@
-//! Stable event priority queue.
+//! Stable event priority queue with pluggable scheduler backends.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calendar::CalendarQueue;
 use crate::Picos;
 
 /// An event with its scheduled delivery time and a tie-breaking sequence
@@ -15,6 +16,44 @@ pub struct ScheduledEvent<E> {
     pub seq: u64,
     /// The payload.
     pub event: E,
+}
+
+/// Which scheduler backend an [`EventQueue`] runs on.
+///
+/// Both deliver the exact same `(time, seq)` order — the calendar queue is
+/// the default (O(1) amortized for the clustered event times the fabric
+/// model produces); the binary heap is kept as an escape hatch for A/B
+/// validation and for adversarial schedules where the calendar's density
+/// assumptions don't hold. Selectable per run via
+/// `experiments::RunSpec::scheduler`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Calendar queue / timing wheel (the default; see `calendar.rs`).
+    #[default]
+    Calendar,
+    /// The legacy `BinaryHeap` scheduler.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Display name (also the `--scheduler` CLI value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Calendar => "calendar",
+            SchedulerKind::Heap => "heap",
+        }
+    }
+
+    /// Parses a `--scheduler` CLI value.
+    pub fn parse(s: &str) -> Result<SchedulerKind, String> {
+        match s {
+            "calendar" => Ok(SchedulerKind::Calendar),
+            "heap" => Ok(SchedulerKind::Heap),
+            other => Err(format!(
+                "unknown scheduler {other:?} (expected calendar|heap)"
+            )),
+        }
+    }
 }
 
 /// Min-heap wrapper ordered by `(time, seq)`.
@@ -38,11 +77,32 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("time", &self.0.time)
+            .field("seq", &self.0.seq)
+            .finish()
+    }
+}
+
+// One queue exists per engine, so the header-size asymmetry between the
+// calendar (bucket array + bitmap + overflow bookkeeping) and the bare
+// heap is irrelevant — and boxing the calendar would cost a pointer chase
+// on the hottest path in the simulator.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Backend<E> {
+    Calendar(CalendarQueue<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A stable priority queue of simulation events.
 ///
 /// Events are delivered in nondecreasing time order; events scheduled for
 /// the same instant are delivered in the order they were scheduled. This
-/// stability is what makes multi-component simulations reproducible.
+/// stability is what makes multi-component simulations reproducible, and
+/// it holds identically on every [`SchedulerKind`] backend.
 ///
 /// ```
 /// use simcore::{EventQueue, Picos};
@@ -55,27 +115,37 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     scheduled_total: u64,
-}
-
-impl<E> std::fmt::Debug for Entry<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Entry")
-            .field("time", &self.0.time)
-            .field("seq", &self.0.seq)
-            .finish()
-    }
+    peak_len: usize,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default scheduler (calendar queue).
     pub fn new() -> Self {
+        EventQueue::with_scheduler(SchedulerKind::default())
+    }
+
+    /// Creates an empty queue on the given scheduler backend.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        let backend = match kind {
+            SchedulerKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+            SchedulerKind::Heap => Backend::Heap(BinaryHeap::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             next_seq: 0,
             scheduled_total: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// The scheduler backend this queue runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.backend {
+            Backend::Calendar(_) => SchedulerKind::Calendar,
+            Backend::Heap(_) => SchedulerKind::Heap,
         }
     }
 
@@ -84,32 +154,53 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry(ScheduledEvent { time, seq, event }));
+        let ev = ScheduledEvent { time, seq, event };
+        match &mut self.backend {
+            Backend::Calendar(c) => c.schedule(ev),
+            Backend::Heap(h) => h.push(Entry(ev)),
+        }
+        self.peak_len = self.peak_len.max(self.len());
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap.pop().map(|e| e.0)
+        match &mut self.backend {
+            Backend::Calendar(c) => c.pop(),
+            Backend::Heap(h) => h.pop().map(|e| e.0),
+        }
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Picos> {
-        self.heap.peek().map(|e| e.0.time)
+        match &self.backend {
+            Backend::Calendar(c) => c.peek().map(|(t, _)| t),
+            Backend::Heap(h) => h.peek().map(|e| e.0.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(c) => c.len(),
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (for engine statistics).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// High-water mark of [`len`](Self::len): the deepest the pending-event
+    /// set ever got. The binding memory metric of a run — reported in
+    /// `RunOutput` and the `--json` sweep summaries.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -123,55 +214,126 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Every unit test runs against both backends: the contract is
+    /// backend-independent.
+    fn both(test: impl Fn(EventQueue<i32>)) {
+        test(EventQueue::with_scheduler(SchedulerKind::Calendar));
+        test(EventQueue::with_scheduler(SchedulerKind::Heap));
+    }
+
     #[test]
     fn delivers_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Picos::from_ns(30), 3);
-        q.schedule(Picos::from_ns(10), 1);
-        q.schedule(Picos::from_ns(20), 2);
-        assert_eq!(q.peek_time(), Some(Picos::from_ns(10)));
-        assert_eq!(q.pop().unwrap().event, 1);
-        assert_eq!(q.pop().unwrap().event, 2);
-        assert_eq!(q.pop().unwrap().event, 3);
-        assert!(q.pop().is_none());
+        both(|mut q| {
+            q.schedule(Picos::from_ns(30), 3);
+            q.schedule(Picos::from_ns(10), 1);
+            q.schedule(Picos::from_ns(20), 2);
+            assert_eq!(q.peek_time(), Some(Picos::from_ns(10)));
+            assert_eq!(q.pop().unwrap().event, 1);
+            assert_eq!(q.pop().unwrap().event, 2);
+            assert_eq!(q.pop().unwrap().event, 3);
+            assert!(q.pop().is_none());
+            assert_eq!(q.peek_time(), None);
+        });
     }
 
     #[test]
     fn equal_times_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = Picos::from_ns(7);
-        for i in 0..100 {
-            q.schedule(t, i);
-        }
-        for i in 0..100 {
-            let ev = q.pop().unwrap();
-            assert_eq!(ev.event, i);
-            assert_eq!(ev.time, t);
-        }
+        both(|mut q| {
+            let t = Picos::from_ns(7);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            for i in 0..100 {
+                let ev = q.pop().unwrap();
+                assert_eq!(ev.event, i);
+                assert_eq!(ev.time, t);
+            }
+        });
     }
 
     #[test]
     fn counters_track_inserts() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(Picos::ZERO, ());
-        q.schedule(Picos::ZERO, ());
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.scheduled_total(), 2);
-        q.pop();
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.scheduled_total(), 2);
+        both(|mut q| {
+            assert!(q.is_empty());
+            q.schedule(Picos::ZERO, 0);
+            q.schedule(Picos::ZERO, 0);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.scheduled_total(), 2);
+            q.pop();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.scheduled_total(), 2);
+            assert_eq!(q.peak_len(), 2);
+        });
     }
 
     #[test]
     fn interleaved_schedule_and_pop_is_stable() {
-        let mut q = EventQueue::new();
-        q.schedule(Picos::from_ns(5), "first@5");
-        q.schedule(Picos::from_ns(1), "only@1");
-        assert_eq!(q.pop().unwrap().event, "only@1");
-        // Scheduled later but same time as the remaining one: must come after.
-        q.schedule(Picos::from_ns(5), "second@5");
-        assert_eq!(q.pop().unwrap().event, "first@5");
-        assert_eq!(q.pop().unwrap().event, "second@5");
+        both(|mut q| {
+            q.schedule(Picos::from_ns(5), 50);
+            q.schedule(Picos::from_ns(1), 1);
+            assert_eq!(q.pop().unwrap().event, 1);
+            // Scheduled later but same time as the remaining one: must come
+            // after.
+            q.schedule(Picos::from_ns(5), 51);
+            assert_eq!(q.pop().unwrap().event, 50);
+            assert_eq!(q.pop().unwrap().event, 51);
+        });
+    }
+
+    #[test]
+    fn schedule_before_current_head_rewinds() {
+        both(|mut q| {
+            q.schedule(Picos::from_us(100), 2);
+            q.pop();
+            // An earlier time than anything seen so far (standalone-queue
+            // usage; the engine forbids this but the queue supports it).
+            q.schedule(Picos::from_ns(1), 1);
+            q.schedule(Picos::from_us(200), 3);
+            assert_eq!(q.peek_time(), Some(Picos::from_ns(1)));
+            assert_eq!(q.pop().unwrap().event, 1);
+            assert_eq!(q.pop().unwrap().event, 3);
+        });
+    }
+
+    #[test]
+    fn wide_time_span_resizes_correctly() {
+        // Push enough events across a huge span to force calendar rebuilds
+        // (growth past 2× buckets) and the sparse direct-search fallback.
+        both(|mut q| {
+            let mut expect = Vec::new();
+            for i in 0u64..2000 {
+                // Deliberately non-monotone and spanning ns..ms.
+                let t = Picos::new((i * 2_654_435_761) % 1_000_000_007);
+                q.schedule(t, i as i32);
+                expect.push((t, i));
+            }
+            expect.sort();
+            let mut popped = Vec::new();
+            while let Some(e) = q.pop() {
+                popped.push((e.time, e.seq));
+            }
+            assert_eq!(popped, expect);
+            assert_eq!(q.peak_len(), 2000);
+        });
+    }
+
+    #[test]
+    fn default_scheduler_is_calendar() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.scheduler(), SchedulerKind::Calendar);
+        let q: EventQueue<()> = EventQueue::with_scheduler(SchedulerKind::Heap);
+        assert_eq!(q.scheduler(), SchedulerKind::Heap);
+    }
+
+    #[test]
+    fn scheduler_kind_parses() {
+        assert_eq!(
+            SchedulerKind::parse("calendar"),
+            Ok(SchedulerKind::Calendar)
+        );
+        assert_eq!(SchedulerKind::parse("heap"), Ok(SchedulerKind::Heap));
+        assert!(SchedulerKind::parse("wheel").is_err());
+        assert_eq!(SchedulerKind::Calendar.name(), "calendar");
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Calendar);
     }
 }

@@ -117,7 +117,10 @@ impl Xoshiro256 {
     ///
     /// Panics if `xm` or `alpha` is not positive.
     pub fn next_pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = 1.0 - self.next_f64(); // in (0, 1]
         xm / u.powf(1.0 / alpha)
     }

@@ -42,7 +42,10 @@ impl BinnedSeries {
     /// Panics if `bin` is zero.
     pub fn new(bin: Picos) -> Self {
         assert!(bin > Picos::ZERO, "bin width must be positive");
-        BinnedSeries { bin, sums: Vec::new() }
+        BinnedSeries {
+            bin,
+            sums: Vec::new(),
+        }
     }
 
     /// Bin width.
@@ -81,7 +84,10 @@ impl BinnedSeries {
         let ns_per_bin = self.bin.as_ns_f64();
         self.sums_until(horizon)
             .into_iter()
-            .map(|p| SeriesPoint { t_us: p.t_us, value: p.value / ns_per_bin })
+            .map(|p| SeriesPoint {
+                t_us: p.t_us,
+                value: p.value / ns_per_bin,
+            })
             .collect()
     }
 }
@@ -108,7 +114,12 @@ impl GaugeSeries {
     /// Panics if `bin` is zero.
     pub fn new(bin: Picos) -> Self {
         assert!(bin > Picos::ZERO, "bin width must be positive");
-        GaugeSeries { bin, maxima: Vec::new(), current: 0.0, last_bin_touched: 0 }
+        GaugeSeries {
+            bin,
+            maxima: Vec::new(),
+            current: 0.0,
+            last_bin_touched: 0,
+        }
     }
 
     /// Sets the gauge to `value` at time `t`.
@@ -159,7 +170,10 @@ impl GaugeSeries {
                 } else {
                     self.current
                 };
-                SeriesPoint { t_us: (self.bin * i as u64).as_us_f64(), value }
+                SeriesPoint {
+                    t_us: (self.bin * i as u64).as_us_f64(),
+                    value,
+                }
             })
             .collect()
     }

@@ -122,7 +122,12 @@ impl Histogram {
     /// Panics if `base` is zero.
     pub fn new(base: Picos) -> Self {
         assert!(base > Picos::ZERO, "base bucket must be positive");
-        Histogram { base_ps: base.as_ps(), counts: vec![0; 64], total: 0, sum_ps: 0 }
+        Histogram {
+            base_ps: base.as_ps(),
+            counts: vec![0; 64],
+            total: 0,
+            sum_ps: 0,
+        }
     }
 
     /// Records one duration.
@@ -208,7 +213,11 @@ mod tests {
         let mut a = Running::new();
         let mut b = Running::new();
         for (i, &x) in xs.iter().enumerate() {
-            if i % 2 == 0 { a.push(x) } else { b.push(x) }
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
         }
         a.merge(&b);
         assert_eq!(a.count(), all.count());

@@ -7,9 +7,64 @@
 #![cfg(feature = "slow-proptests")]
 
 use proptest::prelude::*;
-use simcore::{BinnedSeries, EventQueue, GaugeSeries, Histogram, Picos, Running};
+use simcore::{BinnedSeries, EventQueue, GaugeSeries, Histogram, Picos, Running, SchedulerKind};
+
+/// An op for the scheduler differential property: schedule at a (possibly
+/// colliding) time, or pop.
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(u64),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    // Time quantization to 64 ps makes same-instant collisions common, so
+    // shrunk counterexamples exercise the FIFO tie-break.
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u64..10_000_000u64).prop_map(|t| Op::Schedule(t / 64 * 64)),
+            2 => Just(Op::Pop),
+        ],
+        0..2_000,
+    )
+}
 
 proptest! {
+    /// The scheduler stability contract: pop order — times, tie-breaking
+    /// seqs, and payloads — is identical on the calendar-queue and legacy
+    /// heap backends for any interleaved schedule. (The always-on
+    /// PRNG-driven variant lives in `tests/scheduler_equivalence.rs`.)
+    #[test]
+    fn calendar_matches_heap(ops in ops()) {
+        let mut cal: EventQueue<u64> = EventQueue::with_scheduler(SchedulerKind::Calendar);
+        let mut heap: EventQueue<u64> = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let mut payload = 0u64;
+        for op in &ops {
+            match op {
+                Op::Schedule(t) => {
+                    cal.schedule(Picos::new(*t), payload);
+                    heap.schedule(Picos::new(*t), payload);
+                    payload += 1;
+                }
+                Op::Pop => {
+                    let a = cal.pop().map(|e| (e.time, e.seq, e.event));
+                    let b = heap.pop().map(|e| (e.time, e.seq, e.event));
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        loop {
+            let a = cal.pop().map(|e| (e.time, e.seq, e.event));
+            let b = heap.pop().map(|e| (e.time, e.seq, e.event));
+            let done = a.is_none();
+            prop_assert_eq!(a, b);
+            if done { break; }
+        }
+        prop_assert_eq!(cal.peak_len(), heap.peak_len());
+    }
+
     /// Popping everything yields time order; ties keep insertion order.
     #[test]
     fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..100, 1..200)) {

@@ -29,7 +29,10 @@ impl MinParams {
     /// and `stages ≤ MAX_STAGES`.
     pub fn new(hosts: u32, radix: u32, stages: u32) -> MinParams {
         assert!(radix >= 2, "radix must be at least 2");
-        assert!(hosts >= radix && hosts.is_multiple_of(radix), "radix must divide hosts");
+        assert!(
+            hosts >= radix && hosts.is_multiple_of(radix),
+            "radix must divide hosts"
+        );
         assert!(stages as usize <= MAX_STAGES, "too many stages");
         let capacity = (radix as u64).pow(stages);
         assert!(
@@ -40,7 +43,11 @@ impl MinParams {
             capacity.is_multiple_of(hosts as u64),
             "hosts must divide radix^stages ({hosts} ∤ {capacity}): destination-tag              routing over the perfect shuffle is only a delta network then"
         );
-        MinParams { hosts, radix, stages }
+        MinParams {
+            hosts,
+            radix,
+            stages,
+        }
     }
 
     /// Minimal parameters for `hosts` endpoints with the given switch radix:
@@ -149,7 +156,10 @@ impl MinTopology {
     /// Panics if the coordinates are out of range.
     pub fn switch_id(&self, coords: SwitchCoords) -> SwitchId {
         assert!(coords.stage < self.params.stages, "stage out of range");
-        assert!(coords.index < self.params.switches_per_stage(), "index out of range");
+        assert!(
+            coords.index < self.params.switches_per_stage(),
+            "index out of range"
+        );
         SwitchId::new(coords.stage * self.params.switches_per_stage() + coords.index)
     }
 
@@ -162,7 +172,10 @@ impl MinTopology {
         let per = self.params.switches_per_stage();
         let raw = id.index() as u32;
         assert!(raw < self.params.total_switches(), "switch id out of range");
-        SwitchCoords { stage: raw / per, index: raw % per }
+        SwitchCoords {
+            stage: raw / per,
+            index: raw % per,
+        }
     }
 
     /// Where host `h`'s injection link lands: `(switch, input port)` at
@@ -174,7 +187,10 @@ impl MinTopology {
     pub fn host_ingress(&self, h: HostId) -> (SwitchId, PortId) {
         assert!((h.index() as u32) < self.params.hosts, "host out of range");
         let pos = self.shuffle(h.index() as u32);
-        let sw = self.switch_id(SwitchCoords { stage: 0, index: pos / self.params.radix });
+        let sw = self.switch_id(SwitchCoords {
+            stage: 0,
+            index: pos / self.params.radix,
+        });
         (sw, PortId::new(pos % self.params.radix))
     }
 
@@ -184,7 +200,10 @@ impl MinTopology {
     /// directly to a host.
     pub fn next_hop(&self, sw: SwitchId, out_port: PortId) -> Result<(SwitchId, PortId), HostId> {
         let c = self.coords(sw);
-        assert!((out_port.index() as u32) < self.params.radix, "port out of range");
+        assert!(
+            (out_port.index() as u32) < self.params.radix,
+            "port out of range"
+        );
         let pos = c.index * self.params.radix + out_port.index() as u32;
         if c.stage + 1 == self.params.stages {
             return Err(HostId::new(pos));
@@ -203,7 +222,10 @@ impl MinTopology {
     ///
     /// Panics if the destination is out of range.
     pub fn route(&self, dest: HostId) -> Route {
-        assert!((dest.index() as u32) < self.params.hosts, "destination out of range");
+        assert!(
+            (dest.index() as u32) < self.params.hosts,
+            "destination out of range"
+        );
         Route::to_host(dest, self.params.radix, self.params.stages as usize)
     }
 
@@ -267,11 +289,20 @@ mod tests {
     #[test]
     fn paper_presets_match_table() {
         let p64 = MinParams::paper_64();
-        assert_eq!((p64.hosts(), p64.stages(), p64.total_switches()), (64, 3, 48));
+        assert_eq!(
+            (p64.hosts(), p64.stages(), p64.total_switches()),
+            (64, 3, 48)
+        );
         let p256 = MinParams::paper_256();
-        assert_eq!((p256.hosts(), p256.stages(), p256.total_switches()), (256, 4, 256));
+        assert_eq!(
+            (p256.hosts(), p256.stages(), p256.total_switches()),
+            (256, 4, 256)
+        );
         let p512 = MinParams::paper_512();
-        assert_eq!((p512.hosts(), p512.stages(), p512.total_switches()), (512, 5, 640));
+        assert_eq!(
+            (p512.hosts(), p512.stages(), p512.total_switches()),
+            (512, 5, 640)
+        );
     }
 
     #[test]
@@ -358,7 +389,10 @@ mod tests {
         let per = topo.params().switches_per_stage();
         let mut delivered = std::collections::HashSet::new();
         for idx in 0..per {
-            let sw = topo.switch_id(SwitchCoords { stage: 2, index: idx });
+            let sw = topo.switch_id(SwitchCoords {
+                stage: 2,
+                index: idx,
+            });
             for p in 0..4 {
                 match topo.next_hop(sw, PortId::new(p)) {
                     Err(h) => {
@@ -377,7 +411,10 @@ mod tests {
         let per = topo.params().switches_per_stage();
         let mut targets = std::collections::HashSet::new();
         for idx in 0..per {
-            let sw = topo.switch_id(SwitchCoords { stage: 1, index: idx });
+            let sw = topo.switch_id(SwitchCoords {
+                stage: 1,
+                index: idx,
+            });
             for p in 0..4 {
                 let (next, port) = topo.next_hop(sw, PortId::new(p)).unwrap();
                 assert_eq!(topo.coords(next).stage, 2);

@@ -34,7 +34,10 @@ pub struct PathSpec {
 
 impl PathSpec {
     /// The empty path (root at this very port).
-    pub const EMPTY: PathSpec = PathSpec { turns: [0; MAX_STAGES], len: 0 };
+    pub const EMPTY: PathSpec = PathSpec {
+        turns: [0; MAX_STAGES],
+        len: 0,
+    };
 
     /// Builds a path from explicit turns.
     ///
@@ -45,7 +48,10 @@ impl PathSpec {
         assert!(turns.len() <= MAX_STAGES, "path too long");
         let mut t = [0u8; MAX_STAGES];
         t[..turns.len()].copy_from_slice(turns);
-        PathSpec { turns: t, len: turns.len() as u8 }
+        PathSpec {
+            turns: t,
+            len: turns.len() as u8,
+        }
     }
 
     /// The turns, root-most last.
@@ -77,7 +83,10 @@ impl PathSpec {
         let mut t = [0u8; MAX_STAGES];
         t[0] = turn;
         t[1..=self.len as usize].copy_from_slice(self.turns());
-        PathSpec { turns: t, len: self.len + 1 }
+        PathSpec {
+            turns: t,
+            len: self.len + 1,
+        }
     }
 
     /// Path seen from one hop downstream (drops the leading turn), the
@@ -89,7 +98,13 @@ impl PathSpec {
         }
         let mut t = [0u8; MAX_STAGES];
         t[..self.len as usize - 1].copy_from_slice(&self.turns[1..self.len as usize]);
-        Some((self.turns[0], PathSpec { turns: t, len: self.len - 1 }))
+        Some((
+            self.turns[0],
+            PathSpec {
+                turns: t,
+                len: self.len - 1,
+            },
+        ))
     }
 
     /// The first turn: which output port of the local switch leads to the

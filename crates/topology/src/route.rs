@@ -54,7 +54,12 @@ impl Route {
             digits[s] = (v % radix as u64) as u8;
             v /= radix as u64;
         }
-        Route { digits, len: stages as u8, pos: 0, dest }
+        Route {
+            digits,
+            len: stages as u8,
+            pos: 0,
+            dest,
+        }
     }
 
     /// The destination host.

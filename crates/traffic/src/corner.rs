@@ -58,7 +58,10 @@ impl CornerCase {
 
     /// Table 1, corner case 2: like case 1 but background at 100%.
     pub fn case2_64() -> CornerCase {
-        CornerCase { random_rate: 1.0, ..CornerCase::case1_64() }
+        CornerCase {
+            random_rate: 1.0,
+            ..CornerCase::case1_64()
+        }
     }
 
     /// Figure 6(a): 256-host network, 192 random sources at 100%, 64
@@ -181,9 +184,15 @@ mod tests {
     #[test]
     fn figure6_scaling() {
         let a = CornerCase::case2_256();
-        assert_eq!((a.hosts, a.random_sources, a.hotspot_sources()), (256, 192, 64));
+        assert_eq!(
+            (a.hosts, a.random_sources, a.hotspot_sources()),
+            (256, 192, 64)
+        );
         let b = CornerCase::case2_512();
-        assert_eq!((b.hosts, b.random_sources, b.hotspot_sources()), (512, 384, 128));
+        assert_eq!(
+            (b.hosts, b.random_sources, b.hotspot_sources()),
+            (512, 384, 128)
+        );
         // Window length stays 170 µs.
         assert_eq!(b.hotspot_end - b.hotspot_start, Picos::from_us(170));
     }
@@ -199,7 +208,10 @@ mod tests {
         assert!(!gang.contains(&32));
 
         // Force the destination inside the gang range: membership shifts.
-        let c = CornerCase { hotspot_dst: HostId::new(60), ..c };
+        let c = CornerCase {
+            hotspot_dst: HostId::new(60),
+            ..c
+        };
         let gang: Vec<u32> = (0..64).filter(|&h| c.is_hotspot_source(h)).collect();
         assert_eq!(gang.len(), 16);
         assert!(!gang.contains(&60));

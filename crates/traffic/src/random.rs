@@ -123,7 +123,11 @@ impl MessageSource for RandomUniformStream {
             Spacing::Poisson => self.rng.next_exp(self.cfg.interval_ps),
         };
         self.next_at_ps += gap.max(1.0);
-        Some(SourcedMessage { at, dst, bytes: self.cfg.msg_bytes })
+        Some(SourcedMessage {
+            at,
+            dst,
+            bytes: self.cfg.msg_bytes,
+        })
     }
 }
 
@@ -150,7 +154,9 @@ mod tests {
     #[test]
     fn destinations_cover_space_excluding_self() {
         let me = HostId::new(5);
-        let mut s = RandomUniformSource::new(8, Some(me), 64, 1.0).seed(3).build();
+        let mut s = RandomUniformSource::new(8, Some(me), 64, 1.0)
+            .seed(3)
+            .build();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
             let m = s.next_message().unwrap();

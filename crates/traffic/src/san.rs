@@ -73,10 +73,10 @@ impl SanParams {
             disks: 23,
             compression,
             seed: 1999,
-            think_ns: 4_000_000.0,   // 4 ms between bursts
+            think_ns: 4_000_000.0, // 4 ms between bursts
             burst_xm: 4.0,
-            burst_alpha: 1.2,        // heavy tail, mean ≈ 24 requests
-            intra_gap_ns: 40_000.0,  // 40 µs between requests in a burst
+            burst_alpha: 1.2,       // heavy tail, mean ≈ 24 requests
+            intra_gap_ns: 40_000.0, // 40 µs between requests in a burst
             write_fraction: 0.6,
             payload_xm: 1_024.0,
             payload_alpha: 1.3,
@@ -248,7 +248,11 @@ mod tests {
         let disks = p.disk_hosts(64);
         for client in 0..41u32 {
             for m in &scripts[client as usize] {
-                assert!(disks.contains(&(m.dst.index() as u32)), "client wrote to {}", m.dst);
+                assert!(
+                    disks.contains(&(m.dst.index() as u32)),
+                    "client wrote to {}",
+                    m.dst
+                );
             }
         }
         // Disks only reply to clients.

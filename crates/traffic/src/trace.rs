@@ -113,12 +113,20 @@ impl Trace {
                 return Err(ParseTraceError::WrongFieldCount { line });
             }
             let parse = |s: &str| -> Result<u64, ParseTraceError> {
-                s.parse().map_err(|source| ParseTraceError::BadInteger { line, source })
+                s.parse()
+                    .map_err(|source| ParseTraceError::BadInteger { line, source })
             };
-            let (t, src, dst, bytes) =
-                (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?, parse(fields[3])?);
+            let (t, src, dst, bytes) = (
+                parse(fields[0])?,
+                parse(fields[1])?,
+                parse(fields[2])?,
+                parse(fields[3])?,
+            );
             if src >= hosts as u64 {
-                return Err(ParseTraceError::SourceOutOfRange { line, src: src as u32 });
+                return Err(ParseTraceError::SourceOutOfRange {
+                    line,
+                    src: src as u32,
+                });
             }
             let script = &mut scripts[src as usize];
             let at = Picos::from_ns(t);
@@ -145,8 +153,15 @@ impl Trace {
         all.sort_by_key(|&(src, m)| (m.at, src));
         let mut out = String::from("# time_ns src dst bytes\n");
         for (src, m) in all {
-            writeln!(out, "{} {} {} {}", m.at.as_ns(), src, m.dst.index(), m.bytes)
-                .expect("string writes are infallible");
+            writeln!(
+                out,
+                "{} {} {} {}",
+                m.at.as_ns(),
+                src,
+                m.dst.index(),
+                m.bytes
+            )
+            .expect("string writes are infallible");
         }
         out
     }
@@ -179,7 +194,10 @@ impl Trace {
                 .iter()
                 .map(|s| {
                     s.iter()
-                        .map(|m| SourcedMessage { at: m.at / factor, ..*m })
+                        .map(|m| SourcedMessage {
+                            at: m.at / factor,
+                            ..*m
+                        })
                         .collect()
                 })
                 .collect(),

@@ -44,7 +44,10 @@ fn san_sizes_are_heavy_tailed() {
     let mean = sizes.iter().sum::<f64>() / n;
     let var = sizes.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
     let cv = var.sqrt() / mean;
-    assert!(cv > 1.0, "coefficient of variation {cv:.2} not heavy-tailed");
+    assert!(
+        cv > 1.0,
+        "coefficient of variation {cv:.2} not heavy-tailed"
+    );
     sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = sizes[sizes.len() / 2];
     let p999 = sizes[(sizes.len() as f64 * 0.999) as usize];
@@ -92,7 +95,10 @@ fn corner_hotspot_window_is_sharp() {
         }
         assert_eq!(first, Some(Picos::from_us(800)), "host {h}");
         assert!(last < Picos::from_us(970), "host {h} ended at {last}");
-        assert!(last >= Picos::from_us(969), "host {h} stopped early at {last}");
+        assert!(
+            last >= Picos::from_us(969),
+            "host {h} stopped early at {last}"
+        );
     }
 }
 

@@ -75,12 +75,18 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let model = engine.model();
     let c = model.counters();
-    println!("delivered {} packets ({} dropped at sources)", c.delivered_packets, c.source_dropped_messages);
+    println!(
+        "delivered {} packets ({} dropped at sources)",
+        c.delivered_packets, c.source_dropped_messages
+    );
     println!(
         "congestion trees: {} roots formed, {} cleared; SAQs: {} allocated, {} reclaimed, {} rejections",
         c.root_activations, c.root_clears, c.saq_allocs, c.saq_deallocs, c.recn_rejects
     );
-    println!("SAQ peaks (max ingress, max egress, total): {:?}", handle.saq_peaks());
+    println!(
+        "SAQ peaks (max ingress, max egress, total): {:?}",
+        handle.saq_peaks()
+    );
 
     println!("\nSAQ total over time:");
     for p in metrics::report::thin(&handle.saq_total(horizon), 4) {
@@ -93,7 +99,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!(
             "  {:>9.2}us sw{sw} port {port}: {}",
             t.as_us_f64(),
-            if active { "tree formed" } else { "tree cleared" }
+            if active {
+                "tree formed"
+            } else {
+                "tree cleared"
+            }
         );
     }
 

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .iter()
         .map(|l| Labeled::new(l.label.clone(), metrics::report::thin(&l.points, 8)))
         .collect();
-    println!("{}", render_table("network throughput (bytes/ns)", &thinned));
+    println!(
+        "{}",
+        render_table("network throughput (bytes/ns)", &thinned)
+    );
 
     // Inside the congestion window RECN should stay near the no-hotspot
     // level while 1Q suffers HOL blocking.

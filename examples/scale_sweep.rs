@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             pt,
             pt as f64 / ports as f64,
         );
-        assert!(pi <= 8 && pe <= 8, "per-port SAQ demand must not grow with size");
+        assert!(
+            pi <= 8 && pe <= 8,
+            "per-port SAQ demand must not grow with size"
+        );
     }
     println!(
         "\nPer-port SAQ demand stays flat as the network grows ~16x — RECN's\n\

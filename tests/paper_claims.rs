@@ -57,7 +57,11 @@ fn claim_recn_tracks_voqnet_under_congestion() {
     let recn_out = run(recn(), &w);
     let voqnet = run(SchemeKind::VoqNet, &w);
     let one_q = run(SchemeKind::OneQ, &w);
-    let (r, v, q) = (window_mean(&recn_out), window_mean(&voqnet), window_mean(&one_q));
+    let (r, v, q) = (
+        window_mean(&recn_out),
+        window_mean(&voqnet),
+        window_mean(&one_q),
+    );
     assert!(r > 0.88 * v, "RECN {r:.1} should track VOQnet {v:.1}");
     assert!(r > q, "RECN {r:.1} should beat 1Q {q:.1}");
 }
@@ -68,8 +72,15 @@ fn claim_small_saq_pool_suffices() {
     let out = run(recn(), &corner(2));
     let (pi, pe, _total) = out.saq_peaks;
     assert!(pi >= 1, "congestion must allocate ingress SAQs");
-    assert!(pi <= 8 && pe <= 8, "per-port demand within 8: {:?}", out.saq_peaks);
-    assert_eq!(out.counters.order_violations, 0, "in-order delivery preserved");
+    assert!(
+        pi <= 8 && pe <= 8,
+        "per-port demand within 8: {:?}",
+        out.saq_peaks
+    );
+    assert_eq!(
+        out.counters.order_violations, 0,
+        "in-order delivery preserved"
+    );
 }
 
 #[test]
@@ -91,7 +102,10 @@ fn claim_resources_fully_reclaimed() {
     let model = engine.model();
     let c = model.counters();
     assert!(c.saq_allocs > 0);
-    assert_eq!(c.saq_allocs, c.saq_deallocs, "every SAQ returns to the pool");
+    assert_eq!(
+        c.saq_allocs, c.saq_deallocs,
+        "every SAQ returns to the pool"
+    );
     assert_eq!(c.root_activations, c.root_clears, "every tree dissolves");
     assert!(model.is_quiescent());
     fabric::assert_recn_idle(model);
@@ -106,7 +120,10 @@ fn claim_scales_to_larger_networks() {
     let voqsw = run_one(&spec(MinParams::paper_256(), SchemeKind::VoqSw, &w));
     assert!(recn_out.saq_peaks.0 <= 8 && recn_out.saq_peaks.1 <= 8);
     let (r, s) = (window_mean(&recn_out), window_mean(&voqsw));
-    assert!(r > 0.95 * s, "RECN {r:.1} at least matches VOQsw {s:.1} at 256 hosts");
+    assert!(
+        r > 0.95 * s,
+        "RECN {r:.1} at least matches VOQsw {s:.1} at 256 hosts"
+    );
 }
 
 #[test]
@@ -143,10 +160,9 @@ fn figure_runs_are_deterministic() {
             out.counters.saq_allocs,
             out.saq_peaks,
             out.trace_digest.expect("tracing was requested"),
-            out.throughput
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, p)| acc ^ p.value.to_bits().rotate_left(i as u32)),
+            out.throughput.iter().enumerate().fold(0u64, |acc, (i, p)| {
+                acc ^ p.value.to_bits().rotate_left(i as u32)
+            }),
         )
     };
     assert_eq!(collect(), collect(), "same inputs, bit-identical outputs");
