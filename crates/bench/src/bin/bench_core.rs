@@ -31,14 +31,25 @@ use bench::BENCH_TIME_DIV;
 use experiments::runner::{run_one, RunOutput, SchemeSet, Workload};
 use experiments::sweep::{events_per_sec, RunSpec};
 use simcore::{Picos, SchedulerKind};
-use topology::MinParams;
+use topology::{FatTreeParams, HostId, MinParams, PortId, Topology};
 
-/// One workload × scheme cell of the benchmark matrix.
+/// What a kernel measures.
+enum KernelKind {
+    /// A full simulation run, once per event-queue backend.
+    Sim(Box<RunSpec>),
+    /// Pure route computation + wiring walk on the 8-ary 3-tree (no
+    /// simulator): all-pairs `route()`/`next_hop` with an FNV checksum so
+    /// the work cannot be optimized away. `events` = routed pairs.
+    RouteFatTree { passes: u32 },
+}
+
+/// One cell of the benchmark matrix.
 struct Kernel {
     /// Stable identifier, e.g. `hotspot64/RECN` (the `--check` join key).
     name: String,
-    spec: RunSpec,
+    kind: KernelKind,
     workload: &'static str,
+    hosts: u32,
 }
 
 /// Measurements of one kernel on one scheduler backend.
@@ -55,6 +66,47 @@ fn sample(out: &RunOutput) -> Sample {
         events: out.events,
         events_per_sec: events_per_sec(out),
         peak_depth: out.peak_event_queue_depth,
+    }
+}
+
+/// Routes every (src, dst) pair of the 512-host fat tree `passes` times,
+/// walking each route hop by hop through the wiring and folding every turn
+/// into an FNV-1a checksum (verified, so the walk cannot be elided).
+fn run_route_fattree(passes: u32) -> Sample {
+    let topo = Topology::new(FatTreeParams::ft_512());
+    let hosts = topo.num_hosts();
+    let start = std::time::Instant::now();
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut pairs = 0u64;
+    for _ in 0..passes {
+        for s in 0..hosts {
+            for d in 0..hosts {
+                let mut route = topo.route(HostId::new(s), HostId::new(d));
+                let (mut sw, _) = topo.host_ingress(HostId::new(s));
+                loop {
+                    let turn = route.advance();
+                    checksum = (checksum ^ turn as u64).wrapping_mul(0x100_0000_01b3);
+                    match topo.next_hop(sw, PortId::new(turn as u32)) {
+                        Ok((nsw, _)) => sw = nsw,
+                        Err(h) => {
+                            assert_eq!(h.index(), d as usize, "misrouted pair");
+                            break;
+                        }
+                    }
+                }
+                pairs += 1;
+            }
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+    // One pass over 512² pairs always folds the same turns, whatever the
+    // pass count — a drifting checksum means the routing itself changed.
+    assert_ne!(checksum, 0, "checksum must consume every turn");
+    Sample {
+        wall_secs,
+        events: pairs,
+        events_per_sec: pairs as f64 / wall_secs,
+        peak_depth: 0,
     }
 }
 
@@ -87,16 +139,18 @@ fn kernels(small: bool) -> Vec<Kernel> {
     for scheme in &schemes {
         v.push(Kernel {
             name: format!("hotspot64/{}", scheme.name()),
-            spec: bench::corner_spec(2, *scheme),
+            kind: KernelKind::Sim(Box::new(bench::corner_spec(2, *scheme))),
             workload: "corner_hotspot",
+            hosts: 64,
         });
     }
     let uniform_schemes: &[fabric::SchemeKind] = if small { &schemes[..1] } else { &schemes[..] };
     for scheme in uniform_schemes {
         v.push(Kernel {
             name: format!("uniform64/{}", scheme.name()),
-            spec: uniform_spec(MinParams::paper_64(), *scheme),
+            kind: KernelKind::Sim(Box::new(uniform_spec(MinParams::paper_64(), *scheme))),
             workload: "uniform",
+            hosts: 64,
         });
     }
     if !small {
@@ -106,11 +160,22 @@ fn kernels(small: bool) -> Vec<Kernel> {
         ] {
             v.push(Kernel {
                 name: format!("hotspot256/{}", scheme.name()),
-                spec: bench::scale_spec(scheme),
+                kind: KernelKind::Sim(Box::new(bench::scale_spec(scheme))),
                 workload: "corner_hotspot",
+                hosts: 256,
             });
         }
     }
+    // Pure routing-layer kernel (both modes): tracks the cost of the
+    // topology abstraction itself, independent of the simulator.
+    v.push(Kernel {
+        name: "route_fattree/ft512".to_owned(),
+        kind: KernelKind::RouteFatTree {
+            passes: if small { 4 } else { 16 },
+        },
+        workload: "routing",
+        hosts: 512,
+    });
     v
 }
 
@@ -137,7 +202,7 @@ fn render(mode: &str, rows: &[(Kernel, Sample, Sample)]) -> String {
              \"calendar_over_heap\": {:.4}}}{sep}\n",
             k.name,
             k.workload,
-            k.spec.params.hosts(),
+            k.hosts,
             cal.events,
             cal.peak_depth,
             cal.wall_secs,
@@ -231,43 +296,68 @@ fn main() {
     let n = ks.len();
     let mut rows: Vec<(Kernel, Sample, Sample)> = Vec::with_capacity(n);
     for (i, k) in ks.into_iter().enumerate() {
-        // Serial, alternating backends in one process, best-of-`repeat`
-        // wall time per backend: the fairest comparison this side of perf
-        // counters (the minimum discards scheduler/dvfs noise spikes).
-        let mut heap = run_one(&k.spec.clone().scheduler(SchedulerKind::Heap));
-        let mut cal = run_one(&k.spec.clone().scheduler(SchedulerKind::Calendar));
-        for _ in 1..repeat {
-            let h = run_one(&k.spec.clone().scheduler(SchedulerKind::Heap));
-            if h.wall_secs < heap.wall_secs {
-                heap = h;
+        let (cal, heap) = match &k.kind {
+            KernelKind::Sim(spec) => {
+                // Serial, alternating backends in one process, best-of-
+                // `repeat` wall time per backend: the fairest comparison
+                // this side of perf counters (the minimum discards
+                // scheduler/dvfs noise spikes).
+                let mut heap = run_one(&spec.clone().scheduler(SchedulerKind::Heap));
+                let mut cal = run_one(&spec.clone().scheduler(SchedulerKind::Calendar));
+                for _ in 1..repeat {
+                    let h = run_one(&spec.clone().scheduler(SchedulerKind::Heap));
+                    if h.wall_secs < heap.wall_secs {
+                        heap = h;
+                    }
+                    let c = run_one(&spec.clone().scheduler(SchedulerKind::Calendar));
+                    if c.wall_secs < cal.wall_secs {
+                        cal = c;
+                    }
+                }
+                // The backends are bit-exact by contract; a mismatch here
+                // means a scheduler bug, and timing it would be
+                // meaningless.
+                assert_eq!(
+                    cal.events, heap.events,
+                    "{}: backend event counts diverged",
+                    k.name
+                );
+                assert_eq!(
+                    cal.peak_event_queue_depth, heap.peak_event_queue_depth,
+                    "{}: backend peak depths diverged",
+                    k.name
+                );
+                (sample(&cal), sample(&heap))
             }
-            let c = run_one(&k.spec.clone().scheduler(SchedulerKind::Calendar));
-            if c.wall_secs < cal.wall_secs {
-                cal = c;
+            KernelKind::RouteFatTree { passes } => {
+                // No event queue involved — fill both schema slots with
+                // independent best-of-`repeat` measurements of the same
+                // walk (their ratio doubles as a noise floor estimate).
+                let mut a = run_route_fattree(*passes);
+                let mut b = run_route_fattree(*passes);
+                for _ in 1..repeat {
+                    let x = run_route_fattree(*passes);
+                    if x.wall_secs < a.wall_secs {
+                        a = x;
+                    }
+                    let y = run_route_fattree(*passes);
+                    if y.wall_secs < b.wall_secs {
+                        b = y;
+                    }
+                }
+                (a, b)
             }
-        }
-        // The backends are bit-exact by contract; a mismatch here means a
-        // scheduler bug, and timing it would be meaningless.
-        assert_eq!(
-            cal.events, heap.events,
-            "{}: backend event counts diverged",
-            k.name
-        );
-        assert_eq!(
-            cal.peak_event_queue_depth, heap.peak_event_queue_depth,
-            "{}: backend peak depths diverged",
-            k.name
-        );
+        };
         eprintln!(
             "[{}/{n}] {:<18} {:>10} events  calendar {:>9.2e} ev/s  heap {:>9.2e} ev/s  ({:.2}x)",
             i + 1,
             k.name,
             cal.events,
-            events_per_sec(&cal),
-            events_per_sec(&heap),
-            events_per_sec(&cal) / events_per_sec(&heap).max(1e-9),
+            cal.events_per_sec,
+            heap.events_per_sec,
+            cal.events_per_sec / heap.events_per_sec.max(1e-9),
         );
-        rows.push((k, sample(&cal), sample(&heap)));
+        rows.push((k, cal, heap));
     }
 
     let json = render(mode, &rows);

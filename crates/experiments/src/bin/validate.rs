@@ -5,28 +5,40 @@
 //! each run's stable trace digest for eyeballing against the golden-trace
 //! regression suite.
 //!
-//! `--quick` shortens the run 8× further (used by `scripts/tier1.sh`).
+//! `--quick` shortens the run 8× further (used by `scripts/tier1.sh`);
+//! `--topology fattree` validates the same scheme matrix on the 64-host
+//! 4-ary 3-tree hotspot instead of the paper's MIN.
 
 use experiments::runner::{summarize, SchemeSet};
 use experiments::sweep::RunSpec;
-use experiments::{Opts, Sweep};
+use experiments::{Opts, Sweep, TopologyChoice};
 use simcore::Picos;
-use topology::MinParams;
+use topology::{FatTreeParams, MinParams, TopoParams};
 use traffic::corner::CornerCase;
 
 fn main() {
     let opts = Opts::from_env();
-    // Time-compressed hotspot: corner case 2 exercises every RECN path
+    // Time-compressed hotspot: the corner case exercises every RECN path
     // (SAQ allocation, markers, Xon/Xoff, dealloc cascades) while staying
     // fast enough for a CI gate.
     let div = 40 * opts.time_div();
     let horizon = Picos::from_us(1600 / div);
-    let corner = CornerCase::case2_64().shrunk(div);
+    let (params, corner) = match opts.topology {
+        TopologyChoice::Min => (
+            TopoParams::from(MinParams::paper_64()),
+            CornerCase::case2_64(),
+        ),
+        TopologyChoice::FatTree => (
+            TopoParams::from(FatTreeParams::ft_64()),
+            CornerCase::fattree_64(),
+        ),
+    };
+    let corner = corner.shrunk(div);
     let specs: Vec<RunSpec> = SchemeSet::All
         .schemes_scaled(div)
         .into_iter()
         .map(|scheme| {
-            RunSpec::corner(MinParams::paper_64(), scheme, corner)
+            RunSpec::corner(params, scheme, corner)
                 .horizon(horizon)
                 .bin(Picos::from_us(2))
                 .label("validate")

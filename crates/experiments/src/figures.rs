@@ -8,11 +8,11 @@
 
 use metrics::report::{render_csv, render_table, thin, window_stats, Labeled};
 use simcore::Picos;
-use topology::MinParams;
+use topology::{FatTreeParams, MinParams, TopoParams};
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
 
-use crate::opts::Opts;
+use crate::opts::{Opts, TopologyChoice};
 use crate::runner::{summarize, RunOutput, SchemeSet};
 use crate::sweep::RunSpec;
 
@@ -72,7 +72,7 @@ fn corner_case(which: u8, opts: &Opts) -> CornerCase {
 /// A corner-case spec with the figure defaults from `opts` applied.
 fn corner_spec(
     opts: &Opts,
-    params: MinParams,
+    params: impl Into<TopoParams>,
     scheme: fabric::SchemeKind,
     corner: CornerCase,
     label: impl Into<String>,
@@ -324,6 +324,52 @@ pub fn fig6(opts: &Opts) -> Vec<Figure> {
     figures
 }
 
+/// The five-scheme hotspot comparison on the topology selected by
+/// `--topology`: corner case 2 on the paper's 64-host MIN, or the strided
+/// hotspot scenario on the 64-host 4-ary 3-tree (one attacker per leaf
+/// switch, so the congestion tree spans every level). One throughput curve
+/// per scheme — the `figures` binary renders this as the cross-topology
+/// headline table.
+pub fn topology_hotspot(opts: &Opts) -> Figure {
+    let (params, corner, desc) = match opts.topology {
+        TopologyChoice::Min => (
+            TopoParams::from(MinParams::paper_64()),
+            CornerCase::case2_64(),
+            "64-host MIN, corner case 2",
+        ),
+        TopologyChoice::FatTree => (
+            TopoParams::from(FatTreeParams::ft_64()),
+            CornerCase::fattree_64(),
+            "64-host 4-ary 3-tree, one-attacker-per-leaf hotspot",
+        ),
+    };
+    let corner = corner
+        .with_msg_bytes(opts.packet_size())
+        .shrunk(opts.time_div());
+    let name = format!("hotspot_{}", opts.topology.name());
+    let specs = SchemeSet::All
+        .schemes_scaled(opts.time_div())
+        .into_iter()
+        .map(|scheme| corner_spec(opts, params, scheme, corner, name.clone()))
+        .collect();
+    let outs = opts.sweep(&name, specs);
+    let mut series = Vec::new();
+    let mut runs = Vec::new();
+    for out in outs {
+        series.push(Labeled::new(out.scheme, out.throughput.clone()));
+        runs.push(out);
+    }
+    Figure {
+        name,
+        title: format!(
+            "network throughput (bytes/ns), {desc}, {}B packets",
+            opts.packet_size()
+        ),
+        series,
+        runs,
+    }
+}
+
 /// Convenience: the headline comparison behind the paper's abstract —
 /// mean throughput inside the congestion window for each mechanism.
 pub fn congestion_window_means(fig: &Figure, opts: &Opts) -> Vec<(String, f64)> {
@@ -364,6 +410,30 @@ mod tests {
         assert!(get("VOQnet") > get("1Q") + 1.0, "{means:?}");
         // Zoom figures carry only the two reference curves.
         assert_eq!(figs[2].series.len(), 2);
+    }
+
+    #[test]
+    fn fattree_hotspot_quick_recn_wins() {
+        let opts = Opts {
+            topology: TopologyChoice::FatTree,
+            ..quick_opts()
+        };
+        let fig = topology_hotspot(&opts);
+        assert_eq!(fig.name, "hotspot_fattree");
+        assert_eq!(fig.series.len(), 5);
+        let means = congestion_window_means(&fig, &opts);
+        let get = |name: &str| means.iter().find(|(l, _)| l == name).unwrap().1;
+        // The fat tree has full bisection bandwidth, so the congestion tree
+        // only costs the blocking schemes ~1 byte/ns inside the window — but
+        // the HOL-blocking ordering still holds: RECN recovers the ideal
+        // VOQnet throughput while 1Q pays for sharing queues with the
+        // hotspot flows.
+        assert!(get("RECN") > 0.97 * get("VOQnet"), "{means:?}");
+        assert!(get("RECN") > get("1Q") + 0.4, "{means:?}");
+        assert!(get("VOQnet") > get("1Q") + 0.4, "{means:?}");
+        // RECN must actually have built a congestion tree to earn the win.
+        let recn = fig.runs.iter().find(|r| r.scheme == "RECN").unwrap();
+        assert!(recn.saq_peaks.2 > 0, "hotspot must allocate SAQs");
     }
 
     #[test]

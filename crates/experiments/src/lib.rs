@@ -39,6 +39,6 @@ pub mod runner;
 pub mod sweep;
 pub mod table1;
 
-pub use opts::Opts;
+pub use opts::{Opts, TopologyChoice};
 pub use runner::{run_one, RunOutput, SchemeSet, Workload};
 pub use sweep::{RunSpec, Sweep};

@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 use simcore::SchedulerKind;
+use topology::{FatTreeParams, MinParams, TopoParams};
 
 use crate::runner::RunOutput;
 use crate::sweep::{RunSpec, Sweep};
@@ -10,7 +11,55 @@ use crate::sweep::{RunSpec, Sweep};
 /// Usage text printed by `--help` and attached to parse errors.
 pub const USAGE: &str = "options: [--quick] [--pkt 64|512] [--csv DIR] [--json DIR|none] \
                          [--jobs N] [--net 256|512] [--stride N] [--trace FILE] \
-                         [--trace-last N] [--scheduler calendar|heap]";
+                         [--trace-last N] [--scheduler calendar|heap] \
+                         [--topology min|fattree]";
+
+/// Which topology family the binaries should build (`--topology`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyChoice {
+    /// The paper's perfect-shuffle MIN (default).
+    #[default]
+    Min,
+    /// The k-ary n-tree fat tree.
+    FatTree,
+}
+
+impl TopologyChoice {
+    /// Parses a `--topology` value.
+    pub fn parse(s: &str) -> Result<TopologyChoice, String> {
+        match s {
+            "min" => Ok(TopologyChoice::Min),
+            "fattree" | "fat-tree" => Ok(TopologyChoice::FatTree),
+            other => Err(format!("unknown topology {other:?} (min|fattree)")),
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyChoice::Min => "min",
+            TopologyChoice::FatTree => "fattree",
+        }
+    }
+
+    /// The preset topology parameters for a paper-sized host count (64,
+    /// 256 or 512 — the sizes the experiment binaries sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a host count without a preset.
+    pub fn params_for(&self, hosts: u32) -> TopoParams {
+        match (self, hosts) {
+            (TopologyChoice::Min, 64) => MinParams::paper_64().into(),
+            (TopologyChoice::Min, 256) => MinParams::paper_256().into(),
+            (TopologyChoice::Min, 512) => MinParams::paper_512().into(),
+            (TopologyChoice::FatTree, 64) => FatTreeParams::ft_64().into(),
+            (TopologyChoice::FatTree, 256) => FatTreeParams::ft_256().into(),
+            (TopologyChoice::FatTree, 512) => FatTreeParams::ft_512().into(),
+            (t, h) => panic!("no {} preset for {h} hosts", t.name()),
+        }
+    }
+}
 
 /// Options common to every experiment binary.
 #[derive(Debug, Clone, Default)]
@@ -43,6 +92,8 @@ pub struct Opts {
     /// (`--scheduler calendar|heap`; calendar is the default, the heap is
     /// the A/B validation escape hatch — results are bit-identical).
     pub scheduler: SchedulerKind,
+    /// Topology family to build (`--topology min|fattree`; MIN default).
+    pub topology: TopologyChoice,
 }
 
 impl Opts {
@@ -122,6 +173,11 @@ impl Opts {
                     let v = value(&mut it, "--scheduler", "calendar or heap")?;
                     opts.scheduler =
                         SchedulerKind::parse(&v).map_err(|e| format!("{e}; {USAGE}"))?;
+                }
+                "--topology" => {
+                    let v = value(&mut it, "--topology", "min or fattree")?;
+                    opts.topology =
+                        TopologyChoice::parse(&v).map_err(|e| format!("{e}; {USAGE}"))?;
                 }
                 "--help" | "-h" => {
                     println!("{USAGE}");
@@ -287,6 +343,24 @@ mod tests {
         assert!(parse(&["--scheduler"])
             .unwrap_err()
             .contains("--scheduler needs"));
+    }
+
+    #[test]
+    fn topology_flag_parses() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.topology, TopologyChoice::Min);
+        let o = parse(&["--topology", "fattree"]).unwrap();
+        assert_eq!(o.topology, TopologyChoice::FatTree);
+        assert_eq!(o.topology.params_for(64), FatTreeParams::ft_64().into());
+        assert_eq!(o.topology.params_for(512).total_switches(), 192);
+        let o = parse(&["--topology", "min"]).unwrap();
+        assert_eq!(o.topology.params_for(256), MinParams::paper_256().into());
+        assert!(parse(&["--topology", "torus"])
+            .unwrap_err()
+            .contains("unknown topology"));
+        assert!(parse(&["--topology"])
+            .unwrap_err()
+            .contains("--topology needs"));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use fabric::SchemeKind;
 use simcore::{Picos, SchedulerKind};
-use topology::MinParams;
+use topology::TopoParams;
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
 
@@ -69,8 +69,9 @@ use crate::runner::{run_one, RunOutput, Workload};
 pub struct RunSpec {
     /// Context tag for progress lines and JSON summaries (e.g. `fig2a`).
     pub label: String,
-    /// Network topology parameters.
-    pub params: MinParams,
+    /// Network topology parameters (MIN or fat tree; `MinParams` and
+    /// `FatTreeParams` convert via `.into()` at the constructors).
+    pub params: TopoParams,
     /// Queueing scheme under test.
     pub scheme: SchemeKind,
     /// Traffic offered to the network.
@@ -96,12 +97,13 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// A run of `workload` under `scheme` on a `params`-sized MIN, with the
-    /// paper's defaults (64-byte packets, 1600 µs horizon, 5 µs bins).
-    pub fn new(params: MinParams, scheme: SchemeKind, workload: Workload) -> RunSpec {
+    /// A run of `workload` under `scheme` on a `params`-shaped network,
+    /// with the paper's defaults (64-byte packets, 1600 µs horizon, 5 µs
+    /// bins).
+    pub fn new(params: impl Into<TopoParams>, scheme: SchemeKind, workload: Workload) -> RunSpec {
         RunSpec {
             label: scheme.name().to_owned(),
-            params,
+            params: params.into(),
             scheme,
             workload,
             packet_size: 64,
@@ -114,13 +116,17 @@ impl RunSpec {
     }
 
     /// A corner-case run (Table 1 traffic).
-    pub fn corner(params: MinParams, scheme: SchemeKind, corner: CornerCase) -> RunSpec {
+    pub fn corner(
+        params: impl Into<TopoParams>,
+        scheme: SchemeKind,
+        corner: CornerCase,
+    ) -> RunSpec {
         RunSpec::new(params, scheme, Workload::Corner(corner))
     }
 
     /// A SAN-trace run on the paper's 64-host network.
     pub fn san(scheme: SchemeKind, san: SanParams) -> RunSpec {
-        RunSpec::new(MinParams::paper_64(), scheme, Workload::San(san))
+        RunSpec::new(topology::MinParams::paper_64(), scheme, Workload::San(san))
     }
 
     /// Sets the packet size in bytes.
@@ -344,7 +350,8 @@ pub fn render_summary(
     for (i, (spec, out)) in specs.iter().zip(outputs).enumerate() {
         let sep = if i + 1 == outputs.len() { "" } else { "," };
         s.push_str(&format!(
-            "    {{\"label\": {}, \"scheme\": {}, \"scheduler\": {}, \"hosts\": {}, \
+            "    {{\"label\": {}, \"scheme\": {}, \"scheduler\": {}, \"topology\": {}, \
+             \"hosts\": {}, \
              \"packet_size\": {}, \
              \"delivered_packets\": {}, \"delivered_bytes\": {}, \"mean_latency_ns\": {}, \
              \"saq_peaks\": [{}, {}, {}], \"wall_secs\": {}, \"events\": {}, \
@@ -352,6 +359,7 @@ pub fn render_summary(
             jstr(&spec.label),
             jstr(out.scheme),
             jstr(spec.scheduler.name()),
+            jstr(spec.params.name()),
             spec.params.hosts(),
             spec.packet_size,
             out.counters.delivered_packets,
@@ -399,6 +407,7 @@ mod tests {
     use super::*;
     use crate::runner::SchemeSet;
     use simcore::SeriesPoint;
+    use topology::MinParams;
 
     /// Quick corner sweep of every scheme (tiny 40 µs horizon).
     fn quick_specs() -> Vec<RunSpec> {
@@ -460,6 +469,7 @@ mod tests {
         assert!(json.contains("\"wall_secs\""));
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"scheduler\": \"calendar\""));
+        assert!(json.contains("\"topology\": \"min\""));
         assert!(json.contains("\"peak_event_queue_depth\""));
         // One runs-array entry per spec, comma-separated except the last.
         assert_eq!(json.matches("\"label\"").count(), specs.len());

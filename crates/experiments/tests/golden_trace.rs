@@ -14,7 +14,7 @@
 use experiments::runner::SchemeSet;
 use experiments::{RunSpec, Sweep};
 use simcore::Picos;
-use topology::MinParams;
+use topology::{FatTreeParams, MinParams, TopoParams};
 use traffic::corner::CornerCase;
 
 /// Scheme name → expected whole-run trace digest for the spec built by
@@ -29,15 +29,29 @@ const GOLDEN: &[(&str, u64)] = &[
     ("RECN", 0x8ccd_b1f1_e7cb_4c5d),
 ];
 
+/// Scheme name → expected whole-run trace digest for the fat-tree spec
+/// built by [`golden_specs`]: the same scheme matrix on the 64-host 4-ary
+/// 3-tree with the one-attacker-per-leaf strided hotspot.
+const GOLDEN_FATTREE: &[(&str, u64)] = &[
+    ("VOQnet", 0x7560_caeb_6845_f39c),
+    ("VOQsw", 0xe599_77e5_e15f_6063),
+    ("4Q", 0xac91_3765_ab20_65b1),
+    ("1Q", 0xe22c_0994_a3e2_737e),
+    ("RECN", 0x4fea_8599_fe14_b8e5),
+];
+
 /// The corner-case hotspot run the digests are pinned to: time-compressed
-/// case 2 (all-to-hotspot plus victim flows), every scheme, validation on.
-fn golden_specs() -> Vec<RunSpec> {
-    let corner = CornerCase::case2_64().shrunk(40);
+/// hotspot (all-to-hotspot plus victim flows), every scheme, validation on.
+/// On the MIN this is the paper's corner case 2; on the fat tree it is the
+/// strided-gang variant that plants one attacker under every leaf switch.
+fn golden_specs(params: impl Into<TopoParams>, corner: CornerCase) -> Vec<RunSpec> {
+    let params = params.into();
+    let corner = corner.shrunk(40);
     SchemeSet::All
         .schemes_scaled(40)
         .into_iter()
         .map(|scheme| {
-            RunSpec::corner(MinParams::paper_64(), scheme, corner)
+            RunSpec::corner(params, scheme, corner)
                 .horizon(Picos::from_us(40))
                 .bin(Picos::from_us(2))
                 .label("golden")
@@ -47,11 +61,12 @@ fn golden_specs() -> Vec<RunSpec> {
         .collect()
 }
 
-#[test]
-fn trace_digests_match_golden_and_are_parallel_stable() {
-    let serial = Sweep::new(golden_specs()).jobs(1).run();
-    let parallel = Sweep::new(golden_specs()).jobs(4).run();
-    assert_eq!(serial.len(), GOLDEN.len());
+/// Runs the spec list serially and with 4 workers, asserts the two agree
+/// per event, and pins the serial digests against `golden`.
+fn check_golden(specs: impl Fn() -> Vec<RunSpec>, golden: &[(&str, u64)]) {
+    let serial = Sweep::new(specs()).jobs(1).run();
+    let parallel = Sweep::new(specs()).jobs(4).run();
+    assert_eq!(serial.len(), golden.len());
 
     let digests: Vec<(&str, u64)> = serial
         .iter()
@@ -71,8 +86,24 @@ fn trace_digests_match_golden_and_are_parallel_stable() {
 
     // Regression pin: digests must match the checked-in golden values.
     assert_eq!(
-        digests, GOLDEN,
+        digests, golden,
         "trace digests drifted from the checked-in golden values; if the \
-         behaviour change is intended, update GOLDEN in this test"
+         behaviour change is intended, update the golden table in this test"
+    );
+}
+
+#[test]
+fn trace_digests_match_golden_and_are_parallel_stable() {
+    check_golden(
+        || golden_specs(MinParams::paper_64(), CornerCase::case2_64()),
+        GOLDEN,
+    );
+}
+
+#[test]
+fn fattree_trace_digests_match_golden_and_are_parallel_stable() {
+    check_golden(
+        || golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64()),
+        GOLDEN_FATTREE,
     );
 }

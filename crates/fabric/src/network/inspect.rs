@@ -84,17 +84,17 @@ impl Network {
     /// `(description, snapshot)`, most loaded first. Useful to find where
     /// a congestion tree lives.
     pub fn hottest_ports(&self, top: usize) -> Vec<(String, PortSnapshot)> {
-        let radix = self.topo.params().radix() as usize;
+        let tag = self.topo.stage_tag();
         let mut all: Vec<(String, PortSnapshot)> = Vec::new();
         for (s, sw) in self.switches.iter().enumerate() {
-            let stage = self.topo.coords(topology::SwitchId::new(s as u32)).stage;
-            for p in 0..radix {
+            let stage = self.topo.stage_of(topology::SwitchId::new(s as u32));
+            for p in 0..sw.inputs.len() {
                 all.push((
-                    format!("sw{s}(st{stage}).in{p}"),
+                    format!("sw{s}({tag}{stage}).in{p}"),
                     snapshot_of(&sw.inputs[p]),
                 ));
                 all.push((
-                    format!("sw{s}(st{stage}).out{p}"),
+                    format!("sw{s}({tag}{stage}).out{p}"),
                     snapshot_of(&sw.outputs[p]),
                 ));
             }
@@ -110,11 +110,10 @@ impl Network {
     /// Peak buffer occupancy (bytes) ever reached by any port, by class:
     /// `(switch inputs, switch outputs, NIC injection)`.
     pub fn peak_occupancies(&self) -> (u64, u64, u64) {
-        let radix = self.topo.params().radix() as usize;
         let mut pin = 0;
         let mut pout = 0;
         for sw in &self.switches {
-            for p in 0..radix {
+            for p in 0..sw.inputs.len() {
                 pin = pin.max(sw.inputs[p].peak_used());
                 pout = pout.max(sw.outputs[p].peak_used());
             }

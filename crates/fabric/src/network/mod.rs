@@ -7,7 +7,7 @@ mod stats;
 mod switch;
 
 use simcore::{EventQueue, Picos, SimModel};
-use topology::{HostId, MinParams, MinTopology};
+use topology::{HostId, TopoParams, Topology};
 
 use crate::config::{FabricConfig, SchemeKind};
 use crate::credit::CreditView;
@@ -190,14 +190,14 @@ impl std::fmt::Debug for Nic {
     }
 }
 
-/// The full fabric model: a [`MinTopology`] populated with switches, NICs
+/// The full fabric model: a [`Topology`] populated with switches, NICs
 /// and links, driven by [`simcore::Engine`].
 ///
 /// Construct with [`Network::new`], seed the initial traffic events with
 /// [`Network::prime`] (or use [`Network::build_engine`]), then run.
 pub struct Network {
     pub(crate) cfg: FabricConfig,
-    pub(crate) topo: MinTopology,
+    pub(crate) topo: Topology,
     pub(crate) switches: Vec<Switch>,
     pub(crate) nics: Vec<Nic>,
     pub(crate) links: Vec<LinkState>,
@@ -206,6 +206,11 @@ pub struct Network {
     /// Expected next flow_seq at the receiver, indexed `src * hosts + dst`.
     pub(crate) expect_seq: Vec<u64>,
     pub(crate) next_packet_id: u64,
+    /// Prefix sums of per-switch port counts: flat per-port arrays (SAQ
+    /// census, link ids) index with `port_base[sw] + port`. Port counts
+    /// vary per switch on the fat tree (top-level switches have no
+    /// up-ports), so `sw * radix + port` no longer works in general.
+    pub(crate) port_base: Vec<usize>,
     /// SAQ census (see `recn_glue`).
     pub(crate) saq_in: Vec<u16>,
     pub(crate) saq_out: Vec<u16>,
@@ -222,7 +227,7 @@ pub struct Network {
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("hosts", &self.topo.params().hosts())
+            .field("hosts", &self.topo.num_hosts())
             .field("scheme", &self.cfg.scheme.name())
             .field("counters", &self.counters)
             .finish_non_exhaustive()
@@ -240,7 +245,7 @@ impl Network {
     /// Panics if `sources.len()` differs from the host count, or the
     /// configuration is invalid.
     pub fn new(
-        params: MinParams,
+        params: impl Into<TopoParams>,
         cfg: FabricConfig,
         packet_size: u32,
         sources: Vec<Box<dyn MessageSource>>,
@@ -248,14 +253,25 @@ impl Network {
     ) -> Network {
         cfg.validate();
         assert!(packet_size > 0, "packet size must be positive");
-        let topo = MinTopology::new(params);
-        let hosts = params.hosts() as usize;
-        let radix = params.radix() as usize;
+        let topo = params.into().build();
+        let hosts = topo.num_hosts() as usize;
         assert_eq!(sources.len(), hosts, "one source per host required");
 
-        let nswitches = params.total_switches() as usize;
-        // Links: 0..hosts are injection links; then radix per switch.
-        let nlinks = hosts + nswitches * radix;
+        let nswitches = topo.num_switches() as usize;
+        // Per-switch port counts: uniform (`radix`) on the MIN, but on the
+        // fat tree top-level switches have no up-ports.
+        let ports: Vec<usize> = (0..nswitches)
+            .map(|s| topo.ports(topology::SwitchId::new(s as u32)) as usize)
+            .collect();
+        let mut port_base = Vec::with_capacity(nswitches);
+        let mut total_ports = 0usize;
+        for &np in &ports {
+            port_base.push(total_ports);
+            total_ports += np;
+        }
+        // Links: 0..hosts are injection links; then one per switch output
+        // port, in (switch, port) order.
+        let nlinks = hosts + total_ports;
 
         let mut links: Vec<LinkState> = Vec::with_capacity(nlinks);
         // Injection links.
@@ -265,7 +281,7 @@ impl Network {
                 fwd_busy_until: Picos::ZERO,
                 rev_busy_until: Picos::ZERO,
                 fwd_busy_total: Picos::ZERO,
-                credits: Self::input_credit_view(&cfg, radix, hosts),
+                credits: Self::input_credit_view(&cfg, ports[sw.index()], hosts),
                 up: LinkUp::Nic(h),
                 down: LinkDown::Switch {
                     sw: sw.index(),
@@ -275,7 +291,7 @@ impl Network {
         }
         // Switch output links.
         for s in 0..nswitches {
-            for p in 0..radix {
+            for p in 0..ports[s] {
                 let down = match topo.next_hop(
                     topology::SwitchId::new(s as u32),
                     topology::PortId::new(p as u32),
@@ -287,7 +303,7 @@ impl Network {
                     Err(host) => LinkDown::Host(host.index()),
                 };
                 let credits = match down {
-                    LinkDown::Switch { .. } => Self::input_credit_view(&cfg, radix, hosts),
+                    LinkDown::Switch { sw, .. } => Self::input_credit_view(&cfg, ports[sw], hosts),
                     LinkDown::Host(_) => CreditView::Infinite,
                 };
                 links.push(LinkState {
@@ -302,38 +318,47 @@ impl Network {
         }
 
         let switches = (0..nswitches)
-            .map(|s| Switch {
-                inputs: (0..radix)
-                    .map(|_| {
-                        QueueSet::new(
-                            cfg.scheme,
-                            PortSide::SwitchInput,
-                            radix as u32,
-                            hosts as u32,
-                            cfg.input_mem,
-                        )
-                    })
-                    .collect(),
-                outputs: (0..radix)
-                    .map(|p| {
-                        QueueSet::new(
-                            cfg.scheme,
-                            PortSide::SwitchOutput { turn: p as u8 },
-                            radix as u32,
-                            hosts as u32,
-                            cfg.output_mem,
-                        )
-                    })
-                    .collect(),
-                in_flight: (0..radix).map(|_| None).collect(),
-                out_busy: vec![false; radix],
-                input_arb_scheduled: false,
-                output_arb_scheduled: vec![false; radix],
-                in_rr: 0,
-                out_link: (0..radix).map(|p| hosts + s * radix + p).collect(),
-                in_link: vec![usize::MAX; radix],
+            .map(|s| {
+                let np = ports[s];
+                Switch {
+                    inputs: (0..np)
+                        .map(|_| {
+                            QueueSet::new(
+                                cfg.scheme,
+                                PortSide::SwitchInput,
+                                np as u32,
+                                hosts as u32,
+                                cfg.input_mem,
+                            )
+                        })
+                        .collect(),
+                    outputs: (0..np)
+                        .map(|p| {
+                            QueueSet::new(
+                                cfg.scheme,
+                                PortSide::SwitchOutput { turn: p as u8 },
+                                np as u32,
+                                hosts as u32,
+                                cfg.output_mem,
+                            )
+                        })
+                        .collect(),
+                    in_flight: (0..np).map(|_| None).collect(),
+                    out_busy: vec![false; np],
+                    input_arb_scheduled: false,
+                    output_arb_scheduled: vec![false; np],
+                    in_rr: 0,
+                    out_link: (0..np).map(|p| hosts + port_base[s] + p).collect(),
+                    in_link: vec![usize::MAX; np],
+                }
             })
             .collect::<Vec<_>>();
+
+        // The NIC injection queue set mirrors the ingress switch's port
+        // count (VOQsw keeps one queue per downstream output port).
+        let inject_ports: Vec<usize> = (0..hosts)
+            .map(|h| ports[topo.host_ingress(HostId::new(h as u32)).0.index()])
+            .collect();
 
         let mut network = Network {
             cfg,
@@ -352,7 +377,7 @@ impl Network {
                     inject: QueueSet::new(
                         cfg.scheme,
                         PortSide::NicInjection,
-                        radix as u32,
+                        inject_ports[h] as u32,
                         hosts as u32,
                         cfg.nic_inject_mem,
                     ),
@@ -369,8 +394,9 @@ impl Network {
             counters: NetCounters::default(),
             expect_seq: vec![0; hosts * hosts],
             next_packet_id: 0,
-            saq_in: vec![0; nswitches * radix],
-            saq_out: vec![0; nswitches * radix],
+            port_base,
+            saq_in: vec![0; total_ports],
+            saq_out: vec![0; total_ports],
             saq_nic: vec![0; hosts],
             saq_total: 0,
             max_saq_in: 0,
@@ -387,11 +413,11 @@ impl Network {
         network
     }
 
-    fn input_credit_view(cfg: &FabricConfig, radix: usize, hosts: usize) -> CreditView {
+    fn input_credit_view(cfg: &FabricConfig, ports: usize, hosts: usize) -> CreditView {
         match cfg.scheme {
             SchemeKind::OneQ => CreditView::per_queue(cfg.input_mem, 1),
             SchemeKind::FourQ => CreditView::per_queue(cfg.input_mem, 4),
-            SchemeKind::VoqSw => CreditView::per_queue(cfg.input_mem, radix),
+            SchemeKind::VoqSw => CreditView::per_queue(cfg.input_mem, ports),
             SchemeKind::VoqNet => CreditView::per_queue(cfg.input_mem, hosts),
             SchemeKind::Recn(_) => CreditView::pooled(cfg.input_mem),
         }
@@ -430,7 +456,7 @@ impl Network {
     }
 
     /// The topology this network was built on.
-    pub fn topology(&self) -> &MinTopology {
+    pub fn topology(&self) -> &Topology {
         &self.topo
     }
 
@@ -495,7 +521,10 @@ impl Network {
                 (name, l.fwd_busy_total.as_ns_f64() / now.as_ns_f64())
             })
             .collect();
-        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Stable sort on a total order: equal-utilization links keep their
+        // (deterministic) link-index order, so reports never flap between
+        // runs.
+        all.sort_by(|a, b| b.1.total_cmp(&a.1));
         all.truncate(top);
         all
     }
@@ -672,7 +701,7 @@ impl Network {
             pkt.route.is_exhausted(),
             "packet delivered with unconsumed turns"
         );
-        let hosts = self.topo.params().hosts() as usize;
+        let hosts = self.topo.num_hosts() as usize;
         let flow = pkt.src.index() * hosts + pkt.dst.index();
         let expected = self.expect_seq[flow];
         if pkt.flow_seq != expected {
@@ -748,16 +777,25 @@ impl SimModel for Network {
     }
 }
 
-/// A RECN-scheme network builder shortcut used across tests and examples.
+/// A paper-configured network builder shortcut used across tests and
+/// examples. Accepts any topology parameters (`MinParams`,
+/// `FatTreeParams`, or `TopoParams`).
 ///
 /// ```
 /// use fabric::{paper_network, SchemeKind};
-/// use topology::MinParams;
+/// use topology::{FatTreeParams, MinParams};
 ///
 /// let net = paper_network(MinParams::paper_64(), SchemeKind::VoqNet, 64);
 /// assert_eq!(net.topology().params().hosts(), 64);
+/// let ft = paper_network(FatTreeParams::ft_64(), SchemeKind::VoqNet, 64);
+/// assert_eq!(ft.topology().params().name(), "fattree");
 /// ```
-pub fn paper_network(params: MinParams, scheme: SchemeKind, packet_size: u32) -> Network {
+pub fn paper_network(
+    params: impl Into<TopoParams>,
+    scheme: SchemeKind,
+    packet_size: u32,
+) -> Network {
+    let params = params.into();
     let sources: Vec<Box<dyn MessageSource>> = (0..params.hosts())
         .map(|_| Box::new(crate::source::SilentSource) as Box<dyn MessageSource>)
         .collect();

@@ -13,7 +13,7 @@ impl Network {
     /// `Event::NextMessage` — a source's message is due: packetize it into
     /// the admittance VOQ and schedule the following message.
     pub(crate) fn on_next_message(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
-        let hosts = self.topo.params().hosts() as usize;
+        let hosts = self.topo.num_hosts() as usize;
         let msg = self.nics[host]
             .pending
             .take()
@@ -21,7 +21,7 @@ impl Network {
         debug_assert_eq!(msg.at, now, "message fired at the wrong time");
         let dst = msg.dst;
         assert!(dst.index() < hosts, "message to nonexistent host {dst}");
-        let route = self.topo.route(dst);
+        let route = self.topo.route(topology::HostId::new(host as u32), dst);
         if self.nics[host].admit_bytes[dst.index()] >= self.cfg.admit_cap {
             // Admittance VOQ full: the message is dropped at the source
             // (application back-pressure); it never enters the network.
@@ -66,7 +66,7 @@ impl Network {
     /// destinations (paper §4.1).
     pub(crate) fn on_nic_transfer(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
         self.nics[host].transfer_scheduled = false;
-        let hosts = self.topo.params().hosts() as usize;
+        let hosts = self.topo.num_hosts() as usize;
         let mut moved_any = false;
         loop {
             let mut progress = false;

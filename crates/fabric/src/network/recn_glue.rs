@@ -556,7 +556,7 @@ impl Network {
     }
 
     fn port_index(&self, sw: usize, port: usize) -> usize {
-        sw * self.topo.params().radix() as usize + port
+        self.port_base[sw] + port
     }
 
     fn census_change(&mut self, now: Picos, site: Site, idx: usize, delta: i32) {
@@ -586,9 +586,8 @@ impl Network {
 /// Sanity helper: asserts that no RECN resource is still allocated anywhere
 /// in `net` (used by tests after congestion has fully subsided).
 pub fn assert_recn_idle(net: &Network) {
-    let radix = net.topo.params().radix() as usize;
     for (s, sw) in net.switches.iter().enumerate() {
-        for p in 0..radix {
+        for p in 0..sw.inputs.len() {
             if let Some(r) = sw.inputs[p].recn() {
                 assert_eq!(r.saqs_in_use(), 0, "leaked ingress SAQ at sw{s} port {p}");
             }

@@ -75,13 +75,13 @@ impl Network {
     /// `Event::InputArb` — grant crossbar transfers at `sw`.
     pub(crate) fn on_input_arb(&mut self, now: Picos, q: &mut EventQueue<Event>, sw: usize) {
         self.switches[sw].input_arb_scheduled = false;
-        let radix = self.topo.params().radix() as usize;
+        let nports = self.switches[sw].inputs.len();
         let start = self.switches[sw].in_rr;
-        self.switches[sw].in_rr = (start + 1) % radix;
+        self.switches[sw].in_rr = (start + 1) % nports;
         let is_recn = matches!(self.cfg.scheme, SchemeKind::Recn(_));
 
-        for off in 0..radix {
-            let i = (start + off) % radix;
+        for off in 0..nports {
+            let i = (start + off) % nports;
             if self.switches[sw].in_flight[i].is_some() {
                 continue;
             }

@@ -389,3 +389,23 @@ fn self_traffic_roundtrips_through_network() {
     // Two stages + injection/delivery: latency well above zero.
     assert!(net.counters().latency_ns.mean() > 100.0);
 }
+
+#[test]
+fn hottest_links_order_is_deterministic_on_ties() {
+    // With zero traffic every link ties at 0.0 utilization; the report must
+    // fall back to link-index order (injection links first, in host order)
+    // and be identical across calls — equal-utilization ordering is part of
+    // the determinism contract, not an accident of the sort.
+    let net = fabric::paper_network(MinParams::paper_64(), SchemeKind::OneQ, 64);
+    let now = Picos::from_us(1);
+    let a = net.hottest_links(now, 8);
+    let b = net.hottest_links(now, 8);
+    assert_eq!(a, b);
+    let names: Vec<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        (0..8).map(|h| format!("inject h{h}")).collect::<Vec<_>>(),
+        "tied links must report in stable link-index order"
+    );
+    assert!(a.iter().all(|&(_, u)| u == 0.0));
+}

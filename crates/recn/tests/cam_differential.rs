@@ -1,0 +1,118 @@
+//! CAM turnpool generalization checks.
+//!
+//! The turnpool used to assume MIN destination-tag routes: one turn per
+//! stage, every digit below the (single, global) switch radix. The
+//! topology abstraction widened that to variable-radix digits (a fat-tree
+//! switch has up to `2k` ports and up-turns live in `k..2k`). These tests
+//! pin two facts:
+//!
+//! 1. **Differential on the MIN**: the old encoding
+//!    (`Route::to_host(dst, radix, stages)`) and the new topology-driven
+//!    one (`Topology::route(src, dst)`) produce identical turn sequences,
+//!    so every CAM path and longest-prefix match is bit-identical on MIN
+//!    paths before and after the generalization.
+//! 2. **Variable radix**: longest-prefix matching is pure digit-sequence
+//!    comparison — digits up to 15 (an 8-ary tree's up-turns) behave
+//!    exactly like the MIN's 0..8 digits.
+
+use recn::CamTable;
+use topology::{FatTreeParams, HostId, MinParams, PathSpec, Route, Topology};
+
+#[test]
+fn min_routes_identical_under_old_and_new_encoding() {
+    let params = MinParams::paper_64();
+    let topo = Topology::new(params);
+    for s in 0..params.hosts() {
+        for d in 0..params.hosts() {
+            let old = Route::to_host(HostId::new(d), params.radix(), params.stages() as usize);
+            let new = topo.route(HostId::new(s), HostId::new(d));
+            assert_eq!(
+                old.all_turns(),
+                new.all_turns(),
+                "MIN route for {s}->{d} changed under the topology abstraction"
+            );
+        }
+    }
+}
+
+/// Builds a CAM whose lines are every proper prefix (depth ≥ 1) of the
+/// route to `dst`, the way nested congestion trees allocate SAQs.
+fn cam_of_route_prefixes(turns: &[u8]) -> CamTable {
+    let mut cam = CamTable::new(8);
+    for depth in 1..=turns.len() {
+        cam.allocate(PathSpec::from_turns(&turns[..depth])).unwrap();
+    }
+    cam
+}
+
+#[test]
+fn lpm_identical_on_min_paths_before_and_after_generalization() {
+    let params = MinParams::paper_64();
+    let topo = Topology::new(params);
+    // A handful of destinations spanning the digit space; for each, build
+    // the prefix CAM from both encodings and compare every lookup a packet
+    // could make (all suffix lengths of all-pairs routes).
+    for d in [0u32, 1, 21, 42, 63] {
+        let old = Route::to_host(HostId::new(d), params.radix(), params.stages() as usize);
+        let cam_old = cam_of_route_prefixes(old.all_turns());
+        let cam_new = cam_of_route_prefixes(topo.route(HostId::new(0), HostId::new(d)).all_turns());
+        for s in 0..params.hosts() {
+            for probe_dst in 0..params.hosts() {
+                let route = topo.route(HostId::new(s), HostId::new(probe_dst));
+                for consumed in 0..=route.stages() {
+                    let remaining = &route.all_turns()[consumed..];
+                    let o = cam_old.longest_match(remaining);
+                    let n = cam_new.longest_match(remaining);
+                    assert_eq!(
+                        o.map(|id| cam_old.path_of(id)),
+                        n.map(|id| cam_new.path_of(id)),
+                        "LPM diverged for remaining={remaining:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lpm_handles_variable_radix_digits() {
+    // An 8-ary 3-tree route uses up-turn digits in 8..16 and down-turn
+    // digits in 0..8; nested prefixes of a real route must match deepest-
+    // first exactly as on the MIN.
+    let ft = Topology::new(FatTreeParams::ft_512());
+    let route = ft.route(HostId::new(448), HostId::new(63));
+    let turns = route.all_turns();
+    assert!(
+        turns.iter().any(|&t| t >= 8),
+        "route must exercise digits above the MIN radix: {turns:?}"
+    );
+    assert!(turns.iter().all(|&t| t < 16), "8-ary digits fit in 0..16");
+
+    let cam = cam_of_route_prefixes(turns);
+    // A packet on the same route matches the deepest allocated prefix at
+    // every point along its life.
+    for consumed in 0..turns.len() {
+        let remaining = &turns[consumed..];
+        let hit = cam.longest_match(remaining);
+        if consumed == 0 {
+            let id = hit.expect("full route must match");
+            assert_eq!(cam.path_of(id).turns(), turns, "deepest prefix wins");
+        } else {
+            // Suffixes no longer start at the tree root: they only match if
+            // some allocated prefix happens to be a prefix of the suffix.
+            let naive = (1..=turns.len())
+                .filter(|&depth| remaining.starts_with(&turns[..depth]))
+                .max();
+            assert_eq!(hit.map(|id| cam.path_of(id).len()), naive);
+        }
+    }
+
+    // Digit 8 and digit 15 are distinct CAM keys (the old all-digits-
+    // below-radix assumption would have aliased or rejected them).
+    let mut cam = CamTable::new(4);
+    let low = cam.allocate(PathSpec::from_turns(&[8, 0])).unwrap();
+    let high = cam.allocate(PathSpec::from_turns(&[15, 0])).unwrap();
+    assert_eq!(cam.longest_match(&[8, 0, 3]), Some(low));
+    assert_eq!(cam.longest_match(&[15, 0, 3]), Some(high));
+    assert_eq!(cam.longest_match(&[9, 0, 3]), None);
+}

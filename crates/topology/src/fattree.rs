@@ -1,0 +1,491 @@
+//! k-ary n-tree fat-tree construction (a bidirectional MIN).
+//!
+//! A k-ary n-tree connects `k^n` hosts through `n` levels of `k^(n-1)`
+//! switches each. Level 0 is the leaf level (host-attached), level `n-1`
+//! the top. Every switch is identified by `(level, label)` where the label
+//! is an `(n-1)`-digit base-`k` number; a level-`l` switch is cabled to the
+//! level-`l+1` switches whose labels agree with its own in every digit
+//! except digit `l`.
+//!
+//! Port numbering per switch: ports `0..k` point **down** (towards hosts),
+//! ports `k..2k` point **up**. Top-level switches have only the `k` down
+//! ports, so per-switch port counts vary — the property that forces the
+//! rest of the stack to stop assuming one global radix.
+//!
+//! Routing is deterministic up*/down* self-routing: a packet climbs to the
+//! nearest common ancestor level `m` (the highest base-`k` digit where
+//! source and destination host addresses differ), choosing up-port
+//! `k + s_j` at level `j` from the **source** digits, then descends taking
+//! down-port `d_j` at level `j+1 → j` from the **destination** digits; the
+//! final level-0 down-turn `d_0` delivers to the host. Source-digit upturns
+//! make the route a pure function of `(src, dst)` — deterministic, so a
+//! congestion tree's turnpool prefix identifies the same set of paths on
+//! every run.
+use serde::{Deserialize, Serialize};
+
+use crate::{HostId, PortId, Route, SwitchId, MAX_STAGES};
+
+/// Shape of a k-ary n-tree: `k^n` hosts, `n` levels of `k^(n-1)` switches.
+///
+/// Presets mirror the paper's MIN host counts so the corner-case scenarios
+/// carry over unchanged:
+///
+/// * [`FatTreeParams::ft_64`] — 4-ary 3-tree: 64 hosts, 48 switches
+/// * [`FatTreeParams::ft_256`] — 4-ary 4-tree: 256 hosts, 256 switches
+/// * [`FatTreeParams::ft_512`] — 8-ary 3-tree: 512 hosts, 192 switches
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FatTreeParams {
+    k: u32,
+    n: u32,
+}
+
+impl FatTreeParams {
+    /// Creates explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k ≥ 2`, `n ≥ 1`, the longest route (`2n − 1` turns)
+    /// fits in [`MAX_STAGES`], and the up-turn digits `k..2k` fit in a
+    /// `u8` (`k ≤ 128`).
+    pub fn new(k: u32, n: u32) -> FatTreeParams {
+        assert!(k >= 2, "arity must be at least 2");
+        assert!(n >= 1, "need at least one level");
+        assert!(
+            (2 * n - 1) as usize <= MAX_STAGES,
+            "{n} levels need {} turns > MAX_STAGES ({MAX_STAGES})",
+            2 * n - 1
+        );
+        assert!(k <= 128, "up-turn digits k..2k must fit in a u8");
+        FatTreeParams { k, n }
+    }
+
+    /// 4-ary 3-tree: 64 hosts, 3 levels × 16 switches.
+    pub fn ft_64() -> FatTreeParams {
+        FatTreeParams::new(4, 3)
+    }
+
+    /// 4-ary 4-tree: 256 hosts, 4 levels × 64 switches.
+    pub fn ft_256() -> FatTreeParams {
+        FatTreeParams::new(4, 4)
+    }
+
+    /// 8-ary 3-tree: 512 hosts, 3 levels × 64 switches.
+    pub fn ft_512() -> FatTreeParams {
+        FatTreeParams::new(8, 3)
+    }
+
+    /// Tree arity (down-ports per switch; inner switches add `k` up-ports).
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of levels.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of hosts (`k^n`).
+    pub fn hosts(&self) -> u32 {
+        self.k.pow(self.n)
+    }
+
+    /// Switches per level (`k^(n-1)`).
+    pub fn switches_per_level(&self) -> u32 {
+        self.k.pow(self.n - 1)
+    }
+
+    /// Total switch count (`n · k^(n-1)`).
+    pub fn total_switches(&self) -> u32 {
+        self.n * self.switches_per_level()
+    }
+
+    /// Port count of a switch at `level`: `2k` for inner levels, `k` at
+    /// the top (no up-ports above the root level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level is out of range.
+    pub fn ports_at_level(&self, level: u32) -> u32 {
+        assert!(level < self.n, "level out of range");
+        if level + 1 == self.n {
+            self.k
+        } else {
+            2 * self.k
+        }
+    }
+
+    /// Length of the longest route (`2n − 1` turns: `n − 1` up, `n` down).
+    pub fn max_route_turns(&self) -> u32 {
+        2 * self.n - 1
+    }
+}
+
+/// A fully-wired k-ary n-tree: switch identity, cabling, host attachment,
+/// and deterministic up*/down* routing. See the [module docs](self) for the
+/// labelling scheme.
+#[derive(Debug, Clone)]
+pub struct FatTreeTopology {
+    params: FatTreeParams,
+}
+
+impl FatTreeTopology {
+    /// Builds the topology.
+    pub fn new(params: FatTreeParams) -> FatTreeTopology {
+        FatTreeTopology { params }
+    }
+
+    /// The shape parameters.
+    pub fn params(&self) -> &FatTreeParams {
+        &self.params
+    }
+
+    /// Base-`k` digit `i` of `x` (digit 0 least significant).
+    fn digit(&self, x: u32, i: u32) -> u32 {
+        (x / self.params.k.pow(i)) % self.params.k
+    }
+
+    /// `x` with base-`k` digit `i` replaced by `v`.
+    fn with_digit(&self, x: u32, i: u32, v: u32) -> u32 {
+        let p = self.params.k.pow(i);
+        x - self.digit(x, i) * p + v * p
+    }
+
+    /// Flat switch id from `(level, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    pub fn switch_id(&self, level: u32, label: u32) -> SwitchId {
+        assert!(level < self.params.n, "level out of range");
+        assert!(
+            label < self.params.switches_per_level(),
+            "label out of range"
+        );
+        SwitchId::new(level * self.params.switches_per_level() + label)
+    }
+
+    /// Level of a flat switch id (0 = leaf, `n-1` = top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn level_of(&self, sw: SwitchId) -> u32 {
+        let raw = sw.index() as u32;
+        assert!(raw < self.params.total_switches(), "switch id out of range");
+        raw / self.params.switches_per_level()
+    }
+
+    /// Label of a flat switch id (an `(n-1)`-digit base-`k` number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn label_of(&self, sw: SwitchId) -> u32 {
+        let raw = sw.index() as u32;
+        assert!(raw < self.params.total_switches(), "switch id out of range");
+        raw % self.params.switches_per_level()
+    }
+
+    /// Port count of switch `sw` (`2k` inner, `k` at the top level).
+    pub fn ports(&self, sw: SwitchId) -> u32 {
+        self.params.ports_at_level(self.level_of(sw))
+    }
+
+    /// Where host `h` attaches: down-port `h mod k` of leaf switch
+    /// `h div k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host id is out of range.
+    pub fn host_ingress(&self, h: HostId) -> (SwitchId, PortId) {
+        let h = h.index() as u32;
+        assert!(h < self.params.hosts(), "host out of range");
+        let sw = self.switch_id(0, h / self.params.k);
+        (sw, PortId::new(h % self.params.k))
+    }
+
+    /// The cable leaving `(switch, output port)`: `Ok((next switch, input
+    /// port))`, or `Err(host)` for a leaf down-port (direct delivery).
+    ///
+    /// A level-`l` up-port `k + u` reaches the level-`l+1` switch whose
+    /// label has digit `l` replaced by `u`, arriving at that switch's
+    /// down-port `digit_l(label)`; a level-`l+1` down-port `p` inverts
+    /// this exactly (see the `up_down_ports_are_inverse` test).
+    pub fn next_hop(&self, sw: SwitchId, out_port: PortId) -> Result<(SwitchId, PortId), HostId> {
+        let k = self.params.k;
+        let level = self.level_of(sw);
+        let label = self.label_of(sw);
+        let p = out_port.index() as u32;
+        assert!(p < self.ports(sw), "port out of range");
+        if p < k {
+            // Down. At the leaf level this delivers to a host.
+            if level == 0 {
+                return Err(HostId::new(label * k + p));
+            }
+            let below = level - 1;
+            let lower = self.with_digit(label, below, p);
+            Ok((
+                self.switch_id(below, lower),
+                PortId::new(k + self.digit(label, below)),
+            ))
+        } else {
+            // Up: only inner levels have up-ports, so level + 1 < n here.
+            let u = p - k;
+            let upper = self.with_digit(label, level, u);
+            Ok((
+                self.switch_id(level + 1, upper),
+                PortId::new(self.digit(label, level)),
+            ))
+        }
+    }
+
+    /// Level of the nearest common ancestor switches of `src` and `dst`:
+    /// the highest base-`k` digit where the two host addresses differ
+    /// (0 when they share a leaf switch, including `src == dst`).
+    pub fn nca_level(&self, src: HostId, dst: HostId) -> u32 {
+        let (s, d) = (src.index() as u32, dst.index() as u32);
+        let mut m = 0;
+        for i in 0..self.params.n {
+            if self.digit(s, i) != self.digit(d, i) {
+                m = i;
+            }
+        }
+        m
+    }
+
+    /// The deterministic route from `src` to `dst`: up-turns `k + s_j` for
+    /// levels `j = 0..m` chosen from the source digits, then down-turns
+    /// `d_m, …, d_0` from the destination digits (`m` = NCA level). Length
+    /// `2m + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host id is out of range.
+    pub fn route(&self, src: HostId, dst: HostId) -> Route {
+        let hosts = self.params.hosts();
+        assert!((src.index() as u32) < hosts, "source out of range");
+        assert!((dst.index() as u32) < hosts, "destination out of range");
+        let k = self.params.k;
+        let (s, d) = (src.index() as u32, dst.index() as u32);
+        let m = self.nca_level(src, dst);
+        let mut turns = [0u8; MAX_STAGES];
+        let mut len = 0;
+        for j in 0..m {
+            turns[len] = (k + self.digit(s, j)) as u8;
+            len += 1;
+        }
+        for j in (0..=m).rev() {
+            turns[len] = self.digit(d, j) as u8;
+            len += 1;
+        }
+        Route::from_turns(dst, &turns[..len])
+    }
+
+    /// Iterates over all switch ids, level by level.
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.params.total_switches()).map(SwitchId::new)
+    }
+
+    /// Iterates over all host ids.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.params.hosts()).map(HostId::new)
+    }
+
+    /// Walks the route from `src` to `dst` through the cabling and returns
+    /// the `(switch, in_port, out_port)` hops, checking delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if routing would not reach `dst` — that would be a topology
+    /// construction bug.
+    pub fn trace(&self, src: HostId, dst: HostId) -> Vec<(SwitchId, PortId, PortId)> {
+        let mut hops = Vec::with_capacity(self.params.max_route_turns() as usize);
+        let mut route = self.route(src, dst);
+        let (mut sw, mut in_port) = self.host_ingress(src);
+        loop {
+            let out = PortId::new(route.advance() as u32);
+            hops.push((sw, in_port, out));
+            match self.next_hop(sw, out) {
+                Ok((next, port)) => {
+                    sw = next;
+                    in_port = port;
+                }
+                Err(delivered) => {
+                    assert_eq!(
+                        delivered, dst,
+                        "up*/down* routing violated: {src}->{dst} delivered to {delivered}"
+                    );
+                    assert!(route.is_exhausted(), "route not exhausted at delivery");
+                    return hops;
+                }
+            }
+        }
+    }
+
+    /// Exhaustively verifies that every source reaches every destination.
+    pub fn verify_routes(&self) {
+        for s in self.hosts() {
+            for d in self.hosts() {
+                let _ = self.trace(s, d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_shape() {
+        let t64 = FatTreeParams::ft_64();
+        assert_eq!((t64.hosts(), t64.n(), t64.total_switches()), (64, 3, 48));
+        let t256 = FatTreeParams::ft_256();
+        assert_eq!(
+            (t256.hosts(), t256.n(), t256.total_switches()),
+            (256, 4, 256)
+        );
+        let t512 = FatTreeParams::ft_512();
+        assert_eq!(
+            (t512.hosts(), t512.n(), t512.total_switches()),
+            (512, 3, 192)
+        );
+        assert_eq!(t512.max_route_turns(), 5);
+    }
+
+    #[test]
+    fn top_level_has_only_down_ports() {
+        let p = FatTreeParams::ft_64();
+        assert_eq!(p.ports_at_level(0), 8);
+        assert_eq!(p.ports_at_level(1), 8);
+        assert_eq!(p.ports_at_level(2), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_STAGES")]
+    fn too_many_levels_rejected() {
+        let _ = FatTreeParams::new(2, 5);
+    }
+
+    #[test]
+    fn host_attachment_is_a_bijection() {
+        let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+        let mut seen = std::collections::HashSet::new();
+        for h in topo.hosts() {
+            let (sw, port) = topo.host_ingress(h);
+            assert_eq!(topo.level_of(sw), 0);
+            assert!((port.index() as u32) < topo.params().k(), "not a down-port");
+            assert!(seen.insert((sw, port)), "two hosts on one port");
+            // The down-port delivers back to the same host.
+            assert_eq!(topo.next_hop(sw, port), Err(h));
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn up_down_ports_are_inverse() {
+        // Climbing any up-port and then descending through the arrival
+        // port's mirror returns to the starting switch — the cabling is a
+        // consistent set of bidirectional links.
+        for params in [
+            FatTreeParams::ft_64(),
+            FatTreeParams::ft_256(),
+            FatTreeParams::new(2, 4),
+        ] {
+            let topo = FatTreeTopology::new(params);
+            let k = params.k();
+            for sw in topo.switches() {
+                if topo.level_of(sw) + 1 == params.n() {
+                    continue;
+                }
+                for u in 0..k {
+                    let (upper, arrive) = topo.next_hop(sw, PortId::new(k + u)).unwrap();
+                    assert!((arrive.index() as u32) < k, "must arrive on a down-port");
+                    let (back, back_port) = topo.next_hop(upper, arrive).unwrap();
+                    assert_eq!(back, sw);
+                    assert_eq!(back_port, PortId::new(k + u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn down_links_form_complete_trees() {
+        // Every switch's down-port p at level l>0 reaches a distinct
+        // level-(l-1) switch; collectively each level's down-links touch
+        // every switch of the level below.
+        let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+        let k = topo.params().k();
+        for level in 1..topo.params().n() {
+            let mut reached = std::collections::HashSet::new();
+            for label in 0..topo.params().switches_per_level() {
+                let sw = topo.switch_id(level, label);
+                for p in 0..k {
+                    let (lower, port) = topo.next_hop(sw, PortId::new(p)).unwrap();
+                    assert_eq!(topo.level_of(lower), level - 1);
+                    assert!(reached.insert((lower, port)), "two cables to one input");
+                }
+            }
+            assert_eq!(reached.len(), 64);
+        }
+    }
+
+    #[test]
+    fn route_shape_follows_nca() {
+        let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+        // Same leaf switch: single down-turn.
+        let r = topo.route(HostId::new(5), HostId::new(6));
+        assert_eq!(r.all_turns(), &[2]);
+        // Self-route: deliver straight back down.
+        let r = topo.route(HostId::new(5), HostId::new(5));
+        assert_eq!(r.all_turns(), &[1]);
+        // Full-height route: src 0 (digits 0,0,0) to dst 63 (3,3,3).
+        let r = topo.route(HostId::new(0), HostId::new(63));
+        assert_eq!(r.all_turns(), &[4, 4, 3, 3, 3]);
+        assert_eq!(topo.nca_level(HostId::new(0), HostId::new(63)), 2);
+    }
+
+    #[test]
+    fn up_turns_use_source_digits() {
+        let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+        // src 27 = digits (3, 2, 1); dst 54 = digits (2, 1, 3): NCA level 2.
+        let r = topo.route(HostId::new(27), HostId::new(54));
+        assert_eq!(r.all_turns(), &[4 + 3, 4 + 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn exhaustive_small_trees_deliver() {
+        for params in [
+            FatTreeParams::new(2, 2),
+            FatTreeParams::new(2, 4),
+            FatTreeParams::new(3, 3),
+            FatTreeParams::ft_64(),
+        ] {
+            FatTreeTopology::new(params).verify_routes();
+        }
+    }
+
+    #[test]
+    fn ft_512_sampled_routes_deliver() {
+        // Exhaustive is 512² traces (done by tests/exhaustive.rs); keep a
+        // fast coprime-stride sample in the unit suite.
+        let topo = FatTreeTopology::new(FatTreeParams::ft_512());
+        for s in (0..512).step_by(17) {
+            for d in (0..512).step_by(13) {
+                let hops = topo.trace(HostId::new(s), HostId::new(d));
+                assert!(hops.len() <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_levels_rise_then_fall() {
+        let topo = FatTreeTopology::new(FatTreeParams::ft_256());
+        let hops = topo.trace(HostId::new(3), HostId::new(250));
+        let levels: Vec<u32> = hops.iter().map(|&(sw, _, _)| topo.level_of(sw)).collect();
+        let peak = *levels.iter().max().unwrap();
+        let up: Vec<u32> = (0..=peak).collect();
+        let down: Vec<u32> = (0..peak).rev().collect();
+        assert_eq!(levels, [up, down].concat());
+    }
+}

@@ -62,6 +62,28 @@ impl Route {
         }
     }
 
+    /// Builds a route from an explicit per-hop turn sequence. Used by
+    /// topologies whose turns are not destination digits — the fat tree's
+    /// up*/down* self-routing picks up-turns from the *source* address —
+    /// while [`Route::to_host`] stays the MIN destination-tag constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `turns` is empty (delivery always takes at least the final
+    /// down/output turn) or longer than [`MAX_STAGES`].
+    pub fn from_turns(dest: HostId, turns: &[u8]) -> Route {
+        assert!(!turns.is_empty(), "route needs at least one turn");
+        assert!(turns.len() <= MAX_STAGES, "too many turns");
+        let mut digits = [0u8; MAX_STAGES];
+        digits[..turns.len()].copy_from_slice(turns);
+        Route {
+            digits,
+            len: turns.len() as u8,
+            pos: 0,
+            dest,
+        }
+    }
+
     /// The destination host.
     pub fn dest(&self) -> HostId {
         self.dest
@@ -187,6 +209,31 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains('*'), "{s}");
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_turns_preserves_sequence() {
+        let mut r = Route::from_turns(HostId::new(9), &[6, 1, 2]);
+        assert_eq!(r.dest(), HostId::new(9));
+        assert_eq!(r.stages(), 3);
+        assert_eq!(r.remaining(), &[6, 1, 2]);
+        assert_eq!(r.advance(), 6);
+        assert_eq!(r.remaining(), &[1, 2]);
+    }
+
+    #[test]
+    fn from_turns_matches_to_host_on_min_digits() {
+        for d in 0..64u32 {
+            let via_digits = Route::to_host(HostId::new(d), 4, 3);
+            let via_turns = Route::from_turns(HostId::new(d), via_digits.all_turns());
+            assert_eq!(via_digits, via_turns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "route needs at least one turn")]
+    fn from_turns_rejects_empty() {
+        let _ = Route::from_turns(HostId::new(0), &[]);
     }
 
     #[test]

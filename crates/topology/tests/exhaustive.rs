@@ -1,6 +1,6 @@
 //! Exhaustive routing verification for the paper's network shapes.
 
-use topology::{HostId, MinParams, MinTopology};
+use topology::{FatTreeParams, FatTreeTopology, HostId, MinParams, MinTopology, Topology};
 
 #[test]
 fn paper_64_all_pairs_route_correctly() {
@@ -13,17 +13,31 @@ fn paper_256_all_pairs_route_correctly() {
 }
 
 #[test]
-fn paper_512_dense_sample_routes_correctly() {
-    // 512² = 262 144 full traces is slow in debug; a dense coprime-stride
-    // sample covers every source and destination row/column.
+fn paper_512_all_pairs_route_correctly() {
+    // 512² = 262 144 full traces — every source × destination pair of the
+    // paper's largest network walks the wiring end to end.
     let topo = MinTopology::new(MinParams::paper_512());
-    for s in 0..512u32 {
-        for k in 0..16u32 {
-            let d = (s.wrapping_mul(31).wrapping_add(k * 37 + 1)) % 512;
-            let hops = topo.trace(HostId::new(s), HostId::new(d));
-            assert_eq!(hops.len(), 5);
-        }
-    }
+    topo.verify_delta();
+    // Spot-check the hop count too: 5 radix-8 stages.
+    assert_eq!(topo.trace(HostId::new(0), HostId::new(511)).len(), 5);
+}
+
+#[test]
+fn fattree_presets_all_pairs_route_correctly() {
+    FatTreeTopology::new(FatTreeParams::ft_64()).verify_routes(); // 4096
+    FatTreeTopology::new(FatTreeParams::ft_256()).verify_routes(); // 65 536
+}
+
+#[test]
+fn ft_512_all_pairs_route_correctly() {
+    // 512² up*/down* traces on the 8-ary 3-tree.
+    FatTreeTopology::new(FatTreeParams::ft_512()).verify_routes();
+}
+
+#[test]
+fn topology_enum_verifies_both_backends() {
+    Topology::new(MinParams::paper_64()).verify_routes();
+    Topology::new(FatTreeParams::ft_64()).verify_routes();
 }
 
 #[test]

@@ -6,7 +6,9 @@
 #![cfg(feature = "slow-proptests")]
 
 use proptest::prelude::*;
-use topology::{HostId, MinParams, MinTopology, PathSpec, Route};
+use topology::{
+    FatTreeParams, HostId, MinParams, MinTopology, PathSpec, PortId, Route, TopoParams, Topology,
+};
 
 /// Strategy over valid MIN shapes (radix 2 or 4, hosts a multiple of the
 /// radix, enough stages to address every host, sometimes more).
@@ -38,7 +40,69 @@ fn min_shapes() -> impl Strategy<Value = MinParams> {
     )
 }
 
+/// Strategy over valid k-ary n-tree shapes with at most 512 hosts.
+fn fattree_shapes() -> impl Strategy<Value = FatTreeParams> {
+    (2u32..=8, 1u32..=3).prop_filter_map("k^n <= 512 only", |(k, n)| {
+        if k.pow(n) > 512 {
+            return None;
+        }
+        Some(FatTreeParams::new(k, n))
+    })
+}
+
+/// Strategy over both topology families behind the [`TopoParams`] enum.
+fn any_topo() -> impl Strategy<Value = TopoParams> {
+    prop_oneof![
+        min_shapes().prop_map(TopoParams::from),
+        fattree_shapes().prop_map(TopoParams::from),
+    ]
+}
+
+/// Follows `route(src, dst)` hop by hop through `next_hop` and checks it
+/// delivers to `dst` with `trace()` agreeing (mirrors the always-on
+/// deterministic version in `roundtrip.rs`).
+fn roundtrip(topo: &Topology, src: HostId, dst: HostId) -> Result<(), TestCaseError> {
+    let mut route = topo.route(src, dst);
+    let (mut sw, mut in_port) = topo.host_ingress(src);
+    let mut hops = Vec::new();
+    loop {
+        let turn = route.advance();
+        prop_assert!((turn as u32) < topo.ports(sw));
+        let out = PortId::new(turn as u32);
+        hops.push((sw, in_port, out));
+        match topo.next_hop(sw, out) {
+            Ok((nsw, nport)) => {
+                prop_assert!(!route.is_exhausted());
+                sw = nsw;
+                in_port = nport;
+            }
+            Err(h) => {
+                prop_assert_eq!(h, dst);
+                prop_assert!(route.is_exhausted());
+                break;
+            }
+        }
+    }
+    prop_assert_eq!(hops, topo.trace(src, dst));
+    Ok(())
+}
+
 proptest! {
+    /// Random (src, dst) pairs on random shapes of both topology families:
+    /// the wiring delivers the route to its destination and `trace()`
+    /// agrees with the hop-by-hop walk.
+    #[test]
+    fn route_roundtrips_on_both_topologies(
+        params in any_topo(),
+        src_sel in 0u32..4096,
+        dst_sel in 0u32..4096,
+    ) {
+        let topo = params.build();
+        let src = HostId::new(src_sel % params.hosts());
+        let dst = HostId::new(dst_sel % params.hosts());
+        roundtrip(&topo, src, dst)?;
+    }
+
     /// Every source reaches every destination through the wiring, even with
     /// redundant stages and non-power-of-radix host counts.
     #[test]

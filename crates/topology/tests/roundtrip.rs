@@ -1,0 +1,115 @@
+//! Route/wiring round-trip: following `route()` hop by hop through
+//! `next_hop` must land on the destination, and must agree with `trace()`.
+//!
+//! These are the always-on deterministic companions to the gated proptest
+//! in `prop.rs`: `REGRESSION_SEEDS` replays pairs that shook out of
+//! property-test runs (plus hand-picked corner pairs), and the sampled
+//! sweeps cover every source on both backends.
+
+use topology::{FatTreeParams, HostId, MinParams, PortId, TopoParams, Topology};
+
+/// Walks `route(src, dst)` turn by turn through the wiring and asserts it
+/// delivers to `dst`, mirrors `trace()`, and keeps port indices in range.
+fn roundtrip(topo: &Topology, src: HostId, dst: HostId) {
+    let mut route = topo.route(src, dst);
+    let (mut sw, mut in_port) = topo.host_ingress(src);
+    let mut hops = Vec::new();
+    loop {
+        let turn = route.advance();
+        assert!(
+            (turn as u32) < topo.ports(sw),
+            "turn {turn} out of range at sw{sw} ({} ports)",
+            topo.ports(sw)
+        );
+        let out = PortId::new(turn as u32);
+        hops.push((sw, in_port, out));
+        match topo.next_hop(sw, out) {
+            Ok((nsw, nport)) => {
+                assert!(!route.is_exhausted(), "route exhausted before delivery");
+                sw = nsw;
+                in_port = nport;
+            }
+            Err(h) => {
+                assert_eq!(h, dst, "delivered to the wrong host");
+                assert!(route.is_exhausted(), "turns left over after delivery");
+                break;
+            }
+        }
+    }
+    assert_eq!(hops, topo.trace(src, dst), "trace() disagrees with walk");
+}
+
+fn both_topologies() -> Vec<Topology> {
+    vec![
+        Topology::new(MinParams::paper_64()),
+        Topology::new(MinParams::paper_512()),
+        Topology::new(FatTreeParams::ft_64()),
+        Topology::new(FatTreeParams::ft_512()),
+    ]
+}
+
+/// (hosts, src, dst) triples replayed on every matching topology. Keep
+/// failures from the `slow-proptests` runs here so they stay covered in
+/// the default build.
+const REGRESSION_SEEDS: &[(u32, u32, u32)] = &[
+    (64, 0, 0),    // self-traffic, NCA level 0
+    (64, 0, 63),   // full-diameter pair
+    (64, 63, 0),   // and its mirror
+    (64, 21, 23),  // same leaf switch (one-hop route on the fat tree)
+    (64, 27, 54),  // distinct digits at every level
+    (512, 0, 511), // full diameter at paper scale
+    (512, 257, 256),
+    (512, 448, 63),
+];
+
+#[test]
+fn regression_seeds_roundtrip() {
+    for topo in both_topologies() {
+        for &(hosts, s, d) in REGRESSION_SEEDS {
+            if topo.num_hosts() == hosts {
+                roundtrip(&topo, HostId::new(s), HostId::new(d));
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_pairs_roundtrip_on_both_backends() {
+    // Deterministic LCG sample: every source appears, destinations spread
+    // over the whole host range (including src == dst).
+    for topo in both_topologies() {
+        let hosts = topo.num_hosts() as u64;
+        let mut x = 0x9e37_79b9u64;
+        for s in 0..hosts {
+            for _ in 0..8 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let d = (x >> 33) % hosts;
+                roundtrip(&topo, HostId::new(s as u32), HostId::new(d as u32));
+            }
+        }
+    }
+}
+
+#[test]
+fn min_route_ignores_source_fattree_route_uses_it() {
+    let min = Topology::new(MinParams::paper_64());
+    let ft = Topology::new(FatTreeParams::ft_64());
+    let dst = HostId::new(42);
+    let a = min.route(HostId::new(0), dst);
+    let b = min.route(HostId::new(63), dst);
+    assert_eq!(a.remaining(), b.remaining(), "MIN routes are dest-tag only");
+    // On the fat tree the upturn digits come from the source, so two
+    // sources in different subtrees must take different turns.
+    let a = ft.route(HostId::new(0), dst);
+    let b = ft.route(HostId::new(63), dst);
+    assert_ne!(
+        a.remaining(),
+        b.remaining(),
+        "fat-tree upturns are source-picked"
+    );
+
+    let params: TopoParams = FatTreeParams::ft_64().into();
+    assert_eq!(params.name(), "fattree");
+}

@@ -18,6 +18,24 @@ use topology::HostId;
 
 use crate::RandomUniformSource;
 
+/// How the hotspot gang is picked from the host range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GangLayout {
+    /// The gang is the last `hosts - random_sources` hosts — the paper's
+    /// MIN scenarios, where host numbering has no locality structure.
+    TailRange,
+    /// One gang member out of every `stride` consecutive hosts (those with
+    /// `h % stride == stride - 1`). On a k-ary n-tree with `stride == k`
+    /// this plants exactly one attacker under every leaf switch, so the
+    /// congestion tree's branches climb through all levels of the fat tree
+    /// instead of staying inside one subtree.
+    Strided {
+        /// Gang spacing; must divide `hosts` with `hosts / stride` equal
+        /// to the gang size.
+        stride: u32,
+    },
+}
+
 /// Parameters of a corner-case scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CornerCase {
@@ -38,6 +56,8 @@ pub struct CornerCase {
     pub msg_bytes: u32,
     /// Seed for the random-destination streams.
     pub seed: u64,
+    /// How the gang members are distributed over the host range.
+    pub gang: GangLayout,
 }
 
 impl CornerCase {
@@ -53,6 +73,7 @@ impl CornerCase {
             hotspot_end: Picos::from_us(970),
             msg_bytes: 64,
             seed: 2005,
+            gang: GangLayout::TailRange,
         }
     }
 
@@ -88,6 +109,33 @@ impl CornerCase {
         }
     }
 
+    /// Fat-tree hotspot scenario (64 hosts, 4-ary 3-tree): like corner
+    /// case 2, but the 16-member gang is strided so each of the 16 leaf
+    /// switches hosts exactly one attacker — the congestion tree reaches
+    /// the hotspot's full up/down path set rather than one subtree.
+    pub fn fattree_64() -> CornerCase {
+        CornerCase {
+            // 21 ≡ 1 (mod 4): off the gang stride, so membership needs no
+            // substitution, and off the hosts' own leaf ports of gang
+            // members (digits of 21 are (1,1,1)).
+            hotspot_dst: HostId::new(21),
+            gang: GangLayout::Strided { stride: 4 },
+            ..CornerCase::case2_64()
+        }
+    }
+
+    /// Fat-tree hotspot scenario at 512 hosts (8-ary 3-tree): one attacker
+    /// under every leaf switch (64 of 512 hosts), background at 100%.
+    pub fn fattree_512() -> CornerCase {
+        CornerCase {
+            hosts: 512,
+            random_sources: 448,
+            hotspot_dst: HostId::new(257),
+            gang: GangLayout::Strided { stride: 8 },
+            ..CornerCase::case2_64()
+        }
+    }
+
     /// Overrides the message/packet size (the paper also runs 512 bytes).
     pub fn with_msg_bytes(mut self, bytes: u32) -> CornerCase {
         self.msg_bytes = bytes;
@@ -113,22 +161,42 @@ impl CornerCase {
         self.hosts - self.random_sources
     }
 
-    /// Whether host `h` belongs to the hotspot gang. The gang is the last
-    /// `hosts - random_sources` hosts, skipping the hotspot destination
-    /// itself (host `random_sources - 1` joins instead when needed).
+    /// Whether host `h` belongs to the hotspot gang (see [`GangLayout`]).
+    /// The hotspot destination never attacks itself: if it falls on a
+    /// nominal gang slot, a neighbouring host joins instead (host
+    /// `random_sources - 1` for [`GangLayout::TailRange`], `dst - 1` for
+    /// [`GangLayout::Strided`]), keeping the gang size constant.
     pub fn is_hotspot_source(&self, h: u32) -> bool {
-        let gang_start = self.random_sources;
-        if self.hotspot_dst.index() as u32 >= gang_start {
-            // The destination sits inside the nominal gang range: it stays
-            // a random source and the host just below the range joins.
-            if h == self.hotspot_dst.index() as u32 {
-                return false;
+        let dst = self.hotspot_dst.index() as u32;
+        match self.gang {
+            GangLayout::TailRange => {
+                let gang_start = self.random_sources;
+                if dst >= gang_start {
+                    // The destination sits inside the nominal gang range:
+                    // it stays a random source and the host just below the
+                    // range joins.
+                    if h == dst {
+                        return false;
+                    }
+                    if h == gang_start - 1 {
+                        return true;
+                    }
+                }
+                h >= gang_start
             }
-            if h == gang_start - 1 {
-                return true;
+            GangLayout::Strided { stride } => {
+                let on_slot = |x: u32| x % stride == stride - 1;
+                if on_slot(dst) {
+                    if h == dst {
+                        return false;
+                    }
+                    if h + 1 == dst {
+                        return true;
+                    }
+                }
+                on_slot(h)
             }
         }
-        h >= gang_start
     }
 
     /// Builds the per-host message sources (index = host id), `sim_end`
@@ -216,6 +284,38 @@ mod tests {
         assert_eq!(gang.len(), 16);
         assert!(!gang.contains(&60));
         assert!(gang.contains(&47));
+    }
+
+    #[test]
+    fn strided_gang_covers_every_leaf() {
+        let c = CornerCase::fattree_64();
+        let gang: Vec<u32> = (0..64).filter(|&h| c.is_hotspot_source(h)).collect();
+        assert_eq!(gang.len(), c.hotspot_sources() as usize);
+        assert_eq!(gang, (0..16).map(|i| 4 * i + 3).collect::<Vec<u32>>());
+        // One attacker under each of the 16 leaf switches.
+        let leaves: std::collections::HashSet<u32> = gang.iter().map(|h| h / 4).collect();
+        assert_eq!(leaves.len(), 16);
+        assert!(!gang.contains(&c.hotspot_dst.index().try_into().unwrap()));
+
+        let c = CornerCase::fattree_512();
+        let gang: Vec<u32> = (0..512).filter(|&h| c.is_hotspot_source(h)).collect();
+        assert_eq!(gang.len(), 64);
+        let leaves: std::collections::HashSet<u32> = gang.iter().map(|h| h / 8).collect();
+        assert_eq!(leaves.len(), 64);
+    }
+
+    #[test]
+    fn strided_gang_skips_destination_on_slot() {
+        // Force the destination onto a gang slot: it stays a random
+        // source and its left neighbour joins, keeping the size constant.
+        let c = CornerCase {
+            hotspot_dst: HostId::new(23), // 23 % 4 == 3
+            ..CornerCase::fattree_64()
+        };
+        let gang: Vec<u32> = (0..64).filter(|&h| c.is_hotspot_source(h)).collect();
+        assert_eq!(gang.len(), 16);
+        assert!(!gang.contains(&23));
+        assert!(gang.contains(&22));
     }
 
     #[test]

@@ -38,4 +38,14 @@ cmp "$smoke/v1.txt" "$smoke/v4.txt"
 grep -q "zero invariant violations" "$smoke/v1.txt"
 echo "validation smoke passed: zero violations, digests parallel-stable"
 
+echo "== tier1: fat-tree smoke test (--topology fattree, validator on) =="
+# The same scheme matrix on the 64-host 4-ary 3-tree: self-routing,
+# variable-width turnpool digits, and the RECN glue must all hold up under
+# the strided hotspot with the invariant checker fanned in.
+(cd "$smoke" && "$OLDPWD/target/release/validate" --quick --topology fattree --jobs 1 --json none > ft1.txt 2> /dev/null)
+(cd "$smoke" && "$OLDPWD/target/release/validate" --quick --topology fattree --jobs 4 --json none > ft4.txt 2> /dev/null)
+cmp "$smoke/ft1.txt" "$smoke/ft4.txt"
+grep -q "zero invariant violations" "$smoke/ft1.txt"
+echo "fat-tree smoke passed: zero violations, digests parallel-stable"
+
 echo "== tier1: all checks passed =="

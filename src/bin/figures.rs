@@ -1,0 +1,17 @@
+//! Cross-topology headline table: the five-scheme hotspot comparison
+//! (1Q / 4Q / VOQsw / VOQnet / RECN) on the topology selected with
+//! `--topology min|fattree`. Prints the throughput-over-time table plus
+//! the mean throughput inside the congestion window. See `--help`.
+
+use experiments::figures::{congestion_window_means, topology_hotspot};
+use experiments::Opts;
+
+fn main() {
+    let opts = Opts::from_env();
+    let fig = topology_hotspot(&opts);
+    fig.print(&opts);
+    println!("mean throughput inside the congestion window:");
+    for (label, mean) in congestion_window_means(&fig, &opts) {
+        println!("  {label:>7}: {mean:.3} bytes/ns");
+    }
+}
