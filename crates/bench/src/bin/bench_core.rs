@@ -39,8 +39,11 @@ enum KernelKind {
     Sim(Box<RunSpec>),
     /// Pure route computation + wiring walk on the 8-ary 3-tree (no
     /// simulator): all-pairs `route()`/`next_hop` with an FNV checksum so
-    /// the work cannot be optimized away. `events` = routed pairs.
-    RouteFatTree { passes: u32 },
+    /// the work cannot be optimized away. `events` = routed pairs. With
+    /// `adaptive` the walk uses `route_adaptive()` and binds every
+    /// rebindable up-turn from an LCG pick over the switch's up-ports —
+    /// the cost of the late-bound up-phase relative to the fixed one.
+    RouteFatTree { passes: u32, adaptive: bool },
 }
 
 /// One cell of the benchmark matrix.
@@ -71,19 +74,35 @@ fn sample(out: &RunOutput) -> Sample {
 
 /// Routes every (src, dst) pair of the 512-host fat tree `passes` times,
 /// walking each route hop by hop through the wiring and folding every turn
-/// into an FNV-1a checksum (verified, so the walk cannot be elided).
-fn run_route_fattree(passes: u32) -> Sample {
+/// into an FNV-1a checksum (verified, so the walk cannot be elided). In
+/// `adaptive` mode the route's rebindable up-turns are bound mid-walk from
+/// a deterministic LCG pick over the current switch's up-ports, mimicking
+/// what a switch does under `RoutingPolicy::AdaptiveUp`.
+fn run_route_fattree(passes: u32, adaptive: bool) -> Sample {
     let topo = Topology::new(FatTreeParams::ft_512());
     let hosts = topo.num_hosts();
     let start = std::time::Instant::now();
     let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut rng = 0x5eed_c0de_u64;
     let mut pairs = 0u64;
     for _ in 0..passes {
         for s in 0..hosts {
             for d in 0..hosts {
-                let mut route = topo.route(HostId::new(s), HostId::new(d));
+                let mut route = if adaptive {
+                    topo.route_adaptive(HostId::new(s), HostId::new(d))
+                } else {
+                    topo.route(HostId::new(s), HostId::new(d))
+                };
                 let (mut sw, _) = topo.host_ingress(HostId::new(s));
                 loop {
+                    if route.next_turn_rebindable() {
+                        let ports = topo.up_ports(sw);
+                        rng = rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let span = (ports.end - ports.start) as u64;
+                        route.bind_next_turn((ports.start + ((rng >> 33) % span) as u32) as u8);
+                    }
                     let turn = route.advance();
                     checksum = (checksum ^ turn as u64).wrapping_mul(0x100_0000_01b3);
                     match topo.next_hop(sw, PortId::new(turn as u32)) {
@@ -166,16 +185,24 @@ fn kernels(small: bool) -> Vec<Kernel> {
             });
         }
     }
-    // Pure routing-layer kernel (both modes): tracks the cost of the
-    // topology abstraction itself, independent of the simulator.
-    v.push(Kernel {
-        name: "route_fattree/ft512".to_owned(),
-        kind: KernelKind::RouteFatTree {
-            passes: if small { 4 } else { 16 },
-        },
-        workload: "routing",
-        hosts: 512,
-    });
+    // Pure routing-layer kernels (both modes): track the cost of the
+    // topology abstraction itself, independent of the simulator, and the
+    // overhead of the late-bound adaptive up-phase relative to it.
+    for adaptive in [false, true] {
+        v.push(Kernel {
+            name: if adaptive {
+                "route_fattree_adaptive/ft512".to_owned()
+            } else {
+                "route_fattree/ft512".to_owned()
+            },
+            kind: KernelKind::RouteFatTree {
+                passes: if small { 4 } else { 16 },
+                adaptive,
+            },
+            workload: "routing",
+            hosts: 512,
+        });
+    }
     v
 }
 
@@ -329,18 +356,18 @@ fn main() {
                 );
                 (sample(&cal), sample(&heap))
             }
-            KernelKind::RouteFatTree { passes } => {
+            KernelKind::RouteFatTree { passes, adaptive } => {
                 // No event queue involved — fill both schema slots with
                 // independent best-of-`repeat` measurements of the same
                 // walk (their ratio doubles as a noise floor estimate).
-                let mut a = run_route_fattree(*passes);
-                let mut b = run_route_fattree(*passes);
+                let mut a = run_route_fattree(*passes, *adaptive);
+                let mut b = run_route_fattree(*passes, *adaptive);
                 for _ in 1..repeat {
-                    let x = run_route_fattree(*passes);
+                    let x = run_route_fattree(*passes, *adaptive);
                     if x.wall_secs < a.wall_secs {
                         a = x;
                     }
-                    let y = run_route_fattree(*passes);
+                    let y = run_route_fattree(*passes, *adaptive);
                     if y.wall_secs < b.wall_secs {
                         b = y;
                     }

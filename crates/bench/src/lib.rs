@@ -20,6 +20,20 @@
 //!   `fig6_scale256`: one kernel per paper figure.
 //! * `ablations` — design-choice sweeps DESIGN.md calls out: SAQ pool
 //!   size, detection threshold, and the drain-boost rule.
+//!
+//! Kernels are plain [`RunSpec`]s, so they compose with everything the
+//! experiments crate offers:
+//!
+//! ```
+//! use bench::{corner_spec, BENCH_TIME_DIV};
+//! use fabric::SchemeKind;
+//!
+//! let spec = corner_spec(2, SchemeKind::OneQ);
+//! assert_eq!(spec.label, "case2");
+//! assert_eq!(spec.horizon, simcore::Picos::from_us(1600 / BENCH_TIME_DIV));
+//! // bench::corner_kernel(2, SchemeKind::OneQ) runs it and sanity-checks
+//! // the output; the bench mains fan many such specs over a Sweep.
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

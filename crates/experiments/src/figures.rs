@@ -346,7 +346,13 @@ pub fn topology_hotspot(opts: &Opts) -> Figure {
     let corner = corner
         .with_msg_bytes(opts.packet_size())
         .shrunk(opts.time_div());
-    let name = format!("hotspot_{}", opts.topology.name());
+    // Adaptive sweeps get their own summary file so a back-to-back
+    // deterministic baseline (routing_comparison) does not overwrite it.
+    let name = if opts.routing.is_adaptive() {
+        format!("hotspot_{}_adaptive", opts.topology.name())
+    } else {
+        format!("hotspot_{}", opts.topology.name())
+    };
     let specs = SchemeSet::All
         .schemes_scaled(opts.time_div())
         .into_iter()
@@ -379,6 +385,79 @@ pub fn congestion_window_means(fig: &Figure, opts: &Opts) -> Vec<(String, f64)> 
         .iter()
         .map(|l| (l.label.clone(), window_stats(&l.points, from, to).0))
         .collect()
+}
+
+/// One scheme's deterministic-vs-adaptive hotspot comparison.
+#[derive(Debug)]
+pub struct RoutingRow {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Congestion-window mean throughput (bytes/ns) under deterministic
+    /// self-routing.
+    pub deterministic: f64,
+    /// Congestion-window mean throughput under adaptive up-routing.
+    pub adaptive: f64,
+    /// Whole-run network-wide SAQ peaks `(deterministic, adaptive)` —
+    /// nonzero only for RECN.
+    pub saq_totals: (u32, u32),
+}
+
+/// The deterministic-vs-adaptive comparison: reruns the hotspot of
+/// `adaptive_fig` (which must come from a `--routing adaptive`
+/// [`topology_hotspot`] sweep) under [`fabric::RoutingPolicy::Deterministic`]
+/// and pairs the congestion-window means scheme by scheme.
+pub fn routing_comparison(adaptive_fig: &Figure, opts: &Opts) -> Vec<RoutingRow> {
+    assert!(
+        opts.routing.is_adaptive(),
+        "routing_comparison needs an adaptive figure to compare against"
+    );
+    let det_opts = Opts {
+        routing: fabric::RoutingPolicy::Deterministic,
+        ..opts.clone()
+    };
+    let det_fig = topology_hotspot(&det_opts);
+    let a_means = congestion_window_means(adaptive_fig, opts);
+    let d_means = congestion_window_means(&det_fig, &det_opts);
+    let mean_of = |means: &[(String, f64)], scheme: &str| {
+        means
+            .iter()
+            .find(|(l, _)| l == scheme)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    adaptive_fig
+        .runs
+        .iter()
+        .zip(&det_fig.runs)
+        .map(|(a, d)| {
+            assert_eq!(a.scheme, d.scheme, "sweeps must share submission order");
+            RoutingRow {
+                scheme: a.scheme,
+                deterministic: mean_of(&d_means, d.scheme),
+                adaptive: mean_of(&a_means, a.scheme),
+                saq_totals: (d.saq_peaks.2, a.saq_peaks.2),
+            }
+        })
+        .collect()
+}
+
+/// Renders the deterministic-vs-adaptive rows as a text table.
+pub fn render_routing_comparison(rows: &[RoutingRow]) -> String {
+    let mut s =
+        String::from("congestion-window mean throughput (bytes/ns), deterministic vs adaptive\n");
+    s.push_str("scheme   deterministic   adaptive      delta   peak SAQs (det -> adaptive)\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:>6}   {:>13.2}   {:>8.2}   {:>+8.2}   {:>9} -> {}\n",
+            r.scheme,
+            r.deterministic,
+            r.adaptive,
+            r.adaptive - r.deterministic,
+            r.saq_totals.0,
+            r.saq_totals.1,
+        ));
+    }
+    s
 }
 
 #[cfg(test)]
@@ -434,6 +513,40 @@ mod tests {
         // RECN must actually have built a congestion tree to earn the win.
         let recn = fig.runs.iter().find(|r| r.scheme == "RECN").unwrap();
         assert!(recn.saq_peaks.2 > 0, "hotspot must allocate SAQs");
+    }
+
+    #[test]
+    fn fattree_adaptive_quick_beats_deterministic_where_it_should() {
+        let opts = Opts {
+            topology: TopologyChoice::FatTree,
+            routing: fabric::RoutingPolicy::adaptive(),
+            ..quick_opts()
+        };
+        let fig = topology_hotspot(&opts);
+        assert_eq!(fig.name, "hotspot_fattree_adaptive");
+        let rows = routing_comparison(&fig, &opts);
+        assert_eq!(rows.len(), 5);
+        let get = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap();
+        // The acceptance shape of the adaptive experiment: spreading the
+        // victims' climbs across roots helps exactly the scheme that
+        // shares queues with the hotspot (1Q), while RECN+adaptive holds
+        // the ideal VOQnet throughput and segregates *less* (the rebound
+        // climbs dodge the roots the gang saturates, so fewer upstream
+        // ports ever cross the detection threshold).
+        assert!(
+            get("1Q").adaptive > get("1Q").deterministic,
+            "adaptive 1Q must strictly improve: {rows:?}"
+        );
+        let recn = get("RECN");
+        assert!(
+            recn.adaptive >= 0.95 * get("VOQnet").adaptive,
+            "RECN+adaptive must stay within 5% of VOQnet: {rows:?}"
+        );
+        let (det_saqs, ada_saqs) = recn.saq_totals;
+        assert!(
+            ada_saqs < det_saqs,
+            "adaptivity must reduce SAQ allocations: {det_saqs} -> {ada_saqs}"
+        );
     }
 
     #[test]

@@ -28,6 +28,29 @@
 //! parallelism). Results return in submission order, so tables and CSVs
 //! are bit-identical to serial runs, and each sweep writes a
 //! machine-readable JSON summary under `results/` (`--json DIR|none`).
+//!
+//! [`RunSpec`] is the single description of "one simulation run" shared by
+//! the figures, the benches, and the golden-trace suite:
+//!
+//! ```
+//! use experiments::RunSpec;
+//! use fabric::{RoutingPolicy, SchemeKind};
+//! use simcore::Picos;
+//! use topology::FatTreeParams;
+//! use traffic::corner::CornerCase;
+//!
+//! // The fat-tree hotspot under 1Q with adaptive up-routing, 8× shrunk.
+//! let spec = RunSpec::corner(
+//!     FatTreeParams::ft_64(),
+//!     SchemeKind::OneQ,
+//!     CornerCase::fattree_64().shrunk(8),
+//! )
+//! .horizon(Picos::from_us(200))
+//! .routing(RoutingPolicy::adaptive())
+//! .label("example");
+//! assert_eq!(spec.routing.name(), "adaptive");
+//! // `experiments::run_one(&spec)` (or a `Sweep` of many specs) runs it.
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,7 +12,8 @@ use crate::sweep::{RunSpec, Sweep};
 pub const USAGE: &str = "options: [--quick] [--pkt 64|512] [--csv DIR] [--json DIR|none] \
                          [--jobs N] [--net 256|512] [--stride N] [--trace FILE] \
                          [--trace-last N] [--scheduler calendar|heap] \
-                         [--topology min|fattree]";
+                         [--topology min|fattree] \
+                         [--routing deterministic|adaptive]";
 
 /// Which topology family the binaries should build (`--topology`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +95,11 @@ pub struct Opts {
     pub scheduler: SchedulerKind,
     /// Topology family to build (`--topology min|fattree`; MIN default).
     pub topology: TopologyChoice,
+    /// Routing policy for every run of the sweep
+    /// (`--routing deterministic|adaptive`; deterministic default — the
+    /// paper's self-routing; adaptive lets fat-tree switches pick up-ports
+    /// at forwarding time).
+    pub routing: fabric::RoutingPolicy,
 }
 
 impl Opts {
@@ -179,6 +185,12 @@ impl Opts {
                     opts.topology =
                         TopologyChoice::parse(&v).map_err(|e| format!("{e}; {USAGE}"))?;
                 }
+                "--routing" => {
+                    let v = value(&mut it, "--routing", "deterministic or adaptive")?;
+                    opts.routing = fabric::RoutingPolicy::parse(&v).ok_or_else(|| {
+                        format!("unknown routing policy {v:?} (deterministic|adaptive); {USAGE}")
+                    })?;
+                }
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -227,7 +239,7 @@ impl Opts {
     pub fn sweep(&self, name: &str, specs: Vec<RunSpec>) -> Vec<RunOutput> {
         let specs: Vec<RunSpec> = specs
             .into_iter()
-            .map(|s| s.scheduler(self.scheduler))
+            .map(|s| s.scheduler(self.scheduler).routing(self.routing))
             .collect();
         let mut sweep = Sweep::new(specs)
             .jobs(self.jobs.unwrap_or(0))
@@ -361,6 +373,23 @@ mod tests {
         assert!(parse(&["--topology"])
             .unwrap_err()
             .contains("--topology needs"));
+    }
+
+    #[test]
+    fn routing_flag_parses() {
+        use fabric::RoutingPolicy;
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.routing, RoutingPolicy::Deterministic);
+        let o = parse(&["--routing", "adaptive"]).unwrap();
+        assert_eq!(o.routing, RoutingPolicy::adaptive());
+        let o = parse(&["--routing", "deterministic"]).unwrap();
+        assert_eq!(o.routing, RoutingPolicy::Deterministic);
+        assert!(parse(&["--routing", "random"])
+            .unwrap_err()
+            .contains("unknown routing policy"));
+        assert!(parse(&["--routing"])
+            .unwrap_err()
+            .contains("--routing needs"));
     }
 
     #[test]

@@ -193,7 +193,8 @@ pub fn run_one(spec: &RunSpec) -> RunOutput {
         FabricConfig::paper_512(spec.scheme)
     } else {
         FabricConfig::paper(spec.scheme)
-    };
+    }
+    .with_routing(spec.routing);
     fabric_cfg.admit_cap = spec.workload.admit_cap();
     let sources = spec.workload.sources(spec.params.hosts(), spec.horizon);
     let (probe, handle) = Probe::new(spec.bin);

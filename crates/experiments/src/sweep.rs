@@ -94,6 +94,10 @@ pub struct RunSpec {
     /// same event order (results are bit-identical); the heap is kept as an
     /// A/B escape hatch. Defaults to the calendar queue.
     pub scheduler: SchedulerKind,
+    /// Routing policy: the paper's deterministic self-routing (default) or
+    /// adaptive up-routing where fat-tree switches select up-ports at
+    /// forwarding time.
+    pub routing: fabric::RoutingPolicy,
 }
 
 impl RunSpec {
@@ -112,6 +116,7 @@ impl RunSpec {
             validate: false,
             trace_capacity: None,
             scheduler: SchedulerKind::default(),
+            routing: fabric::RoutingPolicy::Deterministic,
         }
     }
 
@@ -171,6 +176,13 @@ impl RunSpec {
     /// heap is the A/B validation escape hatch).
     pub fn scheduler(mut self, kind: SchedulerKind) -> RunSpec {
         self.scheduler = kind;
+        self
+    }
+
+    /// Selects the routing policy (deterministic by default; adaptive lets
+    /// fat-tree switches pick up-ports at forwarding time).
+    pub fn routing(mut self, routing: fabric::RoutingPolicy) -> RunSpec {
+        self.routing = routing;
         self
     }
 }
@@ -351,6 +363,7 @@ pub fn render_summary(
         let sep = if i + 1 == outputs.len() { "" } else { "," };
         s.push_str(&format!(
             "    {{\"label\": {}, \"scheme\": {}, \"scheduler\": {}, \"topology\": {}, \
+             \"routing\": {}, \
              \"hosts\": {}, \
              \"packet_size\": {}, \
              \"delivered_packets\": {}, \"delivered_bytes\": {}, \"mean_latency_ns\": {}, \
@@ -360,6 +373,7 @@ pub fn render_summary(
             jstr(out.scheme),
             jstr(spec.scheduler.name()),
             jstr(spec.params.name()),
+            jstr(spec.routing.name()),
             spec.params.hosts(),
             spec.packet_size,
             out.counters.delivered_packets,
@@ -470,6 +484,7 @@ mod tests {
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"scheduler\": \"calendar\""));
         assert!(json.contains("\"topology\": \"min\""));
+        assert!(json.contains("\"routing\": \"deterministic\""));
         assert!(json.contains("\"peak_event_queue_depth\""));
         // One runs-array entry per spec, comma-separated except the last.
         assert_eq!(json.matches("\"label\"").count(), specs.len());

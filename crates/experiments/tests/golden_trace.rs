@@ -40,6 +40,18 @@ const GOLDEN_FATTREE: &[(&str, u64)] = &[
     ("RECN", 0x4fea_8599_fe14_b8e5),
 ];
 
+/// Scheme name → expected whole-run trace digest for the fat-tree spec
+/// under `--routing adaptive` (credit-weighted up-port selection with the
+/// leaf turn pinned). The selector is deterministic, so adaptive runs pin
+/// to a digest of their own exactly like the deterministic rows above.
+const GOLDEN_FATTREE_ADAPTIVE: &[(&str, u64)] = &[
+    ("VOQnet", 0x35c2_25f6_9bdd_8ac0),
+    ("VOQsw", 0x591b_449b_9e44_0707),
+    ("4Q", 0xf5a0_7b9e_f64d_2fa4),
+    ("1Q", 0x4794_be48_152f_869b),
+    ("RECN", 0xd73d_c2fb_3983_78a9),
+];
+
 /// The corner-case hotspot run the digests are pinned to: time-compressed
 /// hotspot (all-to-hotspot plus victim flows), every scheme, validation on.
 /// On the MIN this is the paper's corner case 2; on the fat tree it is the
@@ -105,5 +117,18 @@ fn fattree_trace_digests_match_golden_and_are_parallel_stable() {
     check_golden(
         || golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64()),
         GOLDEN_FATTREE,
+    );
+}
+
+#[test]
+fn fattree_adaptive_trace_digests_match_golden_and_are_parallel_stable() {
+    check_golden(
+        || {
+            golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64())
+                .into_iter()
+                .map(|s| s.routing(fabric::RoutingPolicy::adaptive()))
+                .collect()
+        },
+        GOLDEN_FATTREE_ADAPTIVE,
     );
 }

@@ -70,6 +70,69 @@ impl SchemeKind {
     }
 }
 
+/// How a switch picks among equivalent output ports when the topology
+/// offers a choice (the fat tree's up*/down* climbing phase).
+///
+/// Selection is fully deterministic — no RNG — so runs stay bit-identical
+/// per policy and the golden-trace digests remain meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpSelector {
+    /// Score each candidate up-port by local output occupancy plus
+    /// consumed downstream credit (bytes in flight or queued downstream),
+    /// and take the minimum with a stable `(score, port_id)` tie-break.
+    CreditWeighted,
+}
+
+/// Routing policy threaded from the run spec into NIC injection and
+/// per-switch forwarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// The paper's deterministic self-routing: one fixed path per
+    /// `(src, dst)` pair (source-digit up-turns on the fat tree).
+    #[default]
+    Deterministic,
+    /// Adaptive up-phase routing: fat-tree routes are injected with a
+    /// late-bound up-phase and each climbing switch binds the next up-turn
+    /// at forwarding time using `selector`. Topologies without path
+    /// diversity (the MIN) fall back to deterministic routes.
+    AdaptiveUp {
+        /// The deterministic output-port selector.
+        selector: UpSelector,
+    },
+}
+
+impl RoutingPolicy {
+    /// The adaptive policy with the default (credit-weighted) selector.
+    pub fn adaptive() -> RoutingPolicy {
+        RoutingPolicy::AdaptiveUp {
+            selector: UpSelector::CreditWeighted,
+        }
+    }
+
+    /// The CLI / JSON name (`"deterministic"` or `"adaptive"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::Deterministic => "deterministic",
+            RoutingPolicy::AdaptiveUp { .. } => "adaptive",
+        }
+    }
+
+    /// Parses a policy from its [`name`](Self::name) (case-insensitive).
+    /// Round-trips with `name()`.
+    pub fn parse(s: &str) -> Option<RoutingPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "deterministic" => Some(RoutingPolicy::Deterministic),
+            "adaptive" => Some(RoutingPolicy::adaptive()),
+            _ => None,
+        }
+    }
+
+    /// Whether this policy ever rebinds turns at forwarding time.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, RoutingPolicy::AdaptiveUp { .. })
+    }
+}
+
 /// Physical and architectural parameters of the fabric (paper §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FabricConfig {
@@ -105,6 +168,11 @@ pub struct FabricConfig {
     /// Whether a per-flow order violation panics (defaults to the scheme's
     /// order guarantee) — violations are always counted either way.
     pub strict_order: bool,
+    /// Output-port selection policy at forwarding time. Defaults to the
+    /// paper's deterministic self-routing; `AdaptiveUp` lets fat-tree
+    /// switches pick among equivalent up-ports (and relaxes
+    /// `strict_order`, since per-packet path choice can reorder a flow).
+    pub routing: RoutingPolicy,
 }
 
 impl FabricConfig {
@@ -121,7 +189,19 @@ impl FabricConfig {
             admit_cap: 4 * 1024,
             saq_idle_timeout: Picos::from_us(20),
             strict_order: scheme.preserves_order(),
+            routing: RoutingPolicy::Deterministic,
         }
+    }
+
+    /// Installs a routing policy. Adaptive routing may deliver one flow's
+    /// packets over different paths, so it clears `strict_order` (order
+    /// violations are still counted).
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> FabricConfig {
+        self.routing = routing;
+        if routing.is_adaptive() {
+            self.strict_order = false;
+        }
+        self
     }
 
     /// The paper's parameters for the 512-host network (192 KB per port so
@@ -221,6 +301,28 @@ mod tests {
         assert_eq!(SchemeKind::parse("voqNET"), Some(SchemeKind::VoqNet));
         assert_eq!(SchemeKind::parse("8q"), None);
         assert_eq!(SchemeKind::parse(""), None);
+    }
+
+    #[test]
+    fn routing_policy_parse_round_trips() {
+        for p in [RoutingPolicy::Deterministic, RoutingPolicy::adaptive()] {
+            assert_eq!(RoutingPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(
+            RoutingPolicy::parse("Adaptive"),
+            Some(RoutingPolicy::adaptive())
+        );
+        assert_eq!(RoutingPolicy::parse("oblivious"), None);
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::Deterministic);
+    }
+
+    #[test]
+    fn adaptive_routing_relaxes_order() {
+        let cfg = FabricConfig::paper(SchemeKind::OneQ).with_routing(RoutingPolicy::adaptive());
+        assert!(!cfg.strict_order);
+        assert!(cfg.routing.is_adaptive());
+        let det = FabricConfig::paper(SchemeKind::OneQ).with_routing(RoutingPolicy::Deterministic);
+        assert!(det.strict_order);
     }
 
     #[test]

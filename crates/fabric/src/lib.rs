@@ -69,7 +69,7 @@ mod trace;
 mod validate;
 
 pub use arena::{Arena, Handle};
-pub use config::{FabricConfig, SchemeKind};
+pub use config::{FabricConfig, RoutingPolicy, SchemeKind, UpSelector};
 pub use credit::{CreditView, POOLED_QUEUE};
 pub use network::{
     assert_recn_idle, paper_network, render_port, Event, NetCounters, Network, PortRef,

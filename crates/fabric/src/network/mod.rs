@@ -159,6 +159,9 @@ pub(crate) struct Switch {
     pub out_link: Vec<usize>,
     /// Link feeding each input port.
     pub in_link: Vec<usize>,
+    /// Output ports an adaptive up-phase turn may bind to (the topology's
+    /// up-ports; empty on the MIN and at the fat tree's top level).
+    pub up_ports: std::ops::Range<usize>,
 }
 
 pub(crate) struct Nic {
@@ -350,6 +353,10 @@ impl Network {
                     in_rr: 0,
                     out_link: (0..np).map(|p| hosts + port_base[s] + p).collect(),
                     in_link: vec![usize::MAX; np],
+                    up_ports: {
+                        let r = topo.up_ports(topology::SwitchId::new(s as u32));
+                        r.start as usize..r.end as usize
+                    },
                 }
             })
             .collect::<Vec<_>>();
@@ -501,21 +508,29 @@ impl Network {
     }
 
     /// The `top` most utilized links at `now`: `(description, fraction)`.
+    /// Under adaptive routing every label carries an ` [adaptive]` suffix,
+    /// so link reports from the two policies are never mistaken for one
+    /// another (deterministic labels are unchanged).
     pub fn hottest_links(&self, now: Picos, top: usize) -> Vec<(String, f64)> {
         if now == Picos::ZERO {
             return Vec::new();
         }
+        let suffix = if self.cfg.routing.is_adaptive() {
+            " [adaptive]"
+        } else {
+            ""
+        };
         let mut all: Vec<(String, f64)> = self
             .links
             .iter()
             .map(|l| {
                 let name = match (l.up, l.down) {
-                    (LinkUp::Nic(h), _) => format!("inject h{h}"),
+                    (LinkUp::Nic(h), _) => format!("inject h{h}{suffix}"),
                     (LinkUp::Switch { sw, port }, LinkDown::Host(h)) => {
-                        format!("sw{sw}.out{port}->h{h}")
+                        format!("sw{sw}.out{port}->h{h}{suffix}")
                     }
                     (LinkUp::Switch { sw, port }, LinkDown::Switch { sw: d, port: dp }) => {
-                        format!("sw{sw}.out{port}->sw{d}.in{dp}")
+                        format!("sw{sw}.out{port}->sw{d}.in{dp}{suffix}")
                     }
                 };
                 (name, l.fwd_busy_total.as_ns_f64() / now.as_ns_f64())

@@ -21,7 +21,14 @@ impl Network {
         debug_assert_eq!(msg.at, now, "message fired at the wrong time");
         let dst = msg.dst;
         assert!(dst.index() < hosts, "message to nonexistent host {dst}");
-        let route = self.topo.route(topology::HostId::new(host as u32), dst);
+        let src = topology::HostId::new(host as u32);
+        let route = if self.cfg.routing.is_adaptive() {
+            // Fat-tree up-turns come back late-bound; switches pick them at
+            // forwarding time. The NIC itself never selects.
+            self.topo.route_adaptive(src, dst)
+        } else {
+            self.topo.route(src, dst)
+        };
         if self.nics[host].admit_bytes[dst.index()] >= self.cfg.admit_cap {
             // Admittance VOQ full: the message is dropped at the source
             // (application back-pressure); it never enters the network.

@@ -89,6 +89,8 @@ impl Network {
             self.switches[sw].inputs[i].service_order(&mut scratch);
             // (queue, output, reserved output queue)
             let mut grant: Option<(usize, usize, Option<usize>)> = None;
+            // Up-port an adaptive head packet must bind before advancing.
+            let mut bind: Option<u8> = None;
             // RECN: every *examined* head packet counts as the input port
             // "sending a packet to" its egress port, so congestion
             // notifications fire at request time — crucially also when the
@@ -102,6 +104,22 @@ impl Network {
                 else {
                     unreachable!("markers are drained before reaching arbitration");
                 };
+                if p.route.next_turn_rebindable() {
+                    // Adaptive up-phase: the packet has not committed to an
+                    // egress port, so it cannot sit in a SAQ, fires no
+                    // request-time notification (there is no "requested"
+                    // port yet — up-port congestion is dissolved by routing
+                    // around it, not by building a tree toward it), and a
+                    // blocked candidate set just means re-selection at the
+                    // next arbitration round.
+                    let head = *p;
+                    if let Some((out, oq)) = self.select_up_port(sw, &head, is_recn) {
+                        grant = Some((qidx, out, oq));
+                        bind = Some(out as u8);
+                        break;
+                    }
+                    continue;
+                }
                 let out = p.route.next_turn() as usize;
                 let size = p.size as u64;
                 if is_recn {
@@ -120,7 +138,7 @@ impl Network {
                     // congested packet at the normal queue's head would
                     // freeze the queue and the in-order markers behind it.
                     if qidx != 0 {
-                        let after_turn = &p.route.remaining()[1..];
+                        let after_turn = p.route.resolved_remaining(1);
                         if switch.outputs[out]
                             .recn()
                             .expect("RECN scheme")
@@ -185,6 +203,9 @@ impl Network {
                     self.drain_input_markers(now, q, sw, i, 0);
                 }
             }
+            if let Some(up) = bind {
+                pkt.route.bind_next_turn(up);
+            }
             pkt.route.advance();
             match to_queue {
                 None => self.switches[sw].outputs[out].reserve_pooled(size),
@@ -209,6 +230,72 @@ impl Network {
         }
     }
 
+    /// Picks the best admissible up-port for a head packet whose next turn
+    /// is a late-bound adaptive placeholder, or `None` when every candidate
+    /// is blocked (busy crossbar output or no buffer/credit admissibility) —
+    /// the packet then simply re-selects at the next arbitration round.
+    ///
+    /// Scoring implements [`UpSelector::CreditWeighted`]: bytes accounted at
+    /// the candidate output port plus downstream credit already consumed on
+    /// its link, minimized with a stable `(score, port)` tie-break — fully
+    /// deterministic, so runs stay bit-identical per policy. Returns the
+    /// chosen output and, for per-queue (non-RECN) schemes, the output queue
+    /// to reserve.
+    fn select_up_port(
+        &self,
+        sw: usize,
+        p: &Packet,
+        is_recn: bool,
+    ) -> Option<(usize, Option<usize>)> {
+        use crate::config::{RoutingPolicy, UpSelector};
+        match self.cfg.routing {
+            RoutingPolicy::AdaptiveUp {
+                selector: UpSelector::CreditWeighted,
+            } => {}
+            RoutingPolicy::Deterministic => {
+                unreachable!("rebindable turn under deterministic routing")
+            }
+        }
+        let size = p.size as u64;
+        let switch = &self.switches[sw];
+        let mut best: Option<(u64, usize, Option<usize>)> = None;
+        for out in switch.up_ports.clone() {
+            if switch.out_busy[out] {
+                continue;
+            }
+            // The committed copy: bind the candidate and advance exactly as
+            // the grant path will, so output classification and downstream
+            // queue mapping see the route the packet would actually carry.
+            let mut committed = *p;
+            committed.route.bind_next_turn(out as u8);
+            committed.route.advance();
+            let oq = if is_recn {
+                if !switch.outputs[out].has_room(0, size) {
+                    continue;
+                }
+                None
+            } else {
+                let oq = switch.outputs[out].classify(&committed);
+                if !switch.outputs[out].has_room(oq, size) {
+                    continue;
+                }
+                Some(oq)
+            };
+            let link = switch.out_link[out];
+            let credits = &self.links[link].credits;
+            let tq = self.downstream_queue(link, &committed);
+            let consumed = match (credits.queue_cap(), credits.free_bytes(tq)) {
+                (Some(cap), Some(free)) => cap - free,
+                _ => 0,
+            };
+            let score = switch.outputs[out].used() + consumed;
+            if best.is_none_or(|(b, _, _)| score < b) {
+                best = Some((score, out, oq));
+            }
+        }
+        best.map(|(_, out, oq)| (out, oq))
+    }
+
     /// Runs the RECN request-time notification hook for a head packet at
     /// input `i` toward its requested egress port: if that port is a root
     /// (or holds a propagating SAQ the packet maps to) and this input has
@@ -225,7 +312,7 @@ impl Network {
         let class = self.switches[sw].outputs[out]
             .recn()
             .expect("RECN scheme")
-            .classify(&pkt.route.remaining()[1..]);
+            .classify(pkt.route.resolved_remaining(1));
         let notifs = self.switches[sw].outputs[out]
             .recn_mut()
             .expect("RECN scheme")
@@ -270,7 +357,7 @@ impl Network {
                 let recn_class = self.switches[sw].outputs[output]
                     .recn()
                     .expect("pooled reservation implies RECN")
-                    .classify(t.pkt.route.remaining());
+                    .classify(t.pkt.route.resolved_remaining(0));
                 let queue = match recn_class {
                     recn::Classify::Normal => 0,
                     recn::Classify::Saq(s) => crate::queue::QueueSet::saq_queue(s),

@@ -28,7 +28,8 @@ pub enum PortSide {
 ///
 /// Byte accounting supports two-phase insertion for crossbar transfers:
 /// [`reserve_queue`](Self::reserve_queue) / [`reserve_pooled`](Self::reserve_pooled)
-/// at grant time and [`commit`](Self::commit) at completion, so buffer
+/// at grant time and [`commit_reserved`](Self::commit_reserved) /
+/// [`commit_pooled`](Self::commit_pooled) at completion, so buffer
 /// space is never oversubscribed while a packet is in flight through the
 /// crossbar.
 #[derive(Debug)]
@@ -170,7 +171,10 @@ impl QueueSet {
             SchemeKind::VoqNet => pkt.dst.index(),
             SchemeKind::Recn(_) => {
                 let recn = self.recn.as_ref().expect("RECN scheme has a port");
-                match recn.classify(pkt.route.remaining()) {
+                // Only the *resolved* prefix of the route is matchable: a
+                // packet whose next turns are still adaptive placeholders
+                // has not committed to any congestion-tree path yet.
+                match recn.classify(pkt.route.resolved_remaining(0)) {
                     Classify::Normal => 0,
                     Classify::Saq(saq) => Self::saq_queue(saq),
                 }

@@ -92,7 +92,8 @@ impl ValidatorState {
     }
 }
 
-/// The observer half of the validator; see the [module docs](self).
+/// The observer half of the validator; drained by the network at
+/// construction, leaving a [`ValidatorHandle`] for assertions.
 #[derive(Debug)]
 pub struct ValidatingObserver(Rc<RefCell<ValidatorState>>);
 

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use topology::PathSpec;
+use topology::{PathSpec, Route};
 
 /// Handle to an allocated SAQ (CAM line). Carries a generation counter so a
 /// stale handle (marker for a line that was deallocated and reallocated)
@@ -217,6 +217,39 @@ impl CamTable {
             }
         }
         best
+    }
+
+    /// Longest-prefix match against the **resolved** remaining turns of a
+    /// route — the route-aware entry point for classification. Equivalent
+    /// to `longest_match(route.resolved_remaining(0))`: turns of a
+    /// late-bound adaptive up-phase that no switch has committed to yet are
+    /// invisible to the CAM, so a packet still free to re-route is never
+    /// pinned to a congestion-tree path ([`PathSpec::matches_turns`]
+    /// requires the whole stored path to be present).
+    ///
+    /// ```
+    /// use recn::CamTable;
+    /// use topology::{HostId, PathSpec, Route};
+    ///
+    /// let mut cam = CamTable::new(4);
+    /// let saq = cam.allocate(PathSpec::from_turns(&[4])).unwrap();
+    ///
+    /// // A deterministic route climbing through port 4 matches the line.
+    /// let det = Route::from_turns(HostId::new(63), &[4, 3, 3]);
+    /// assert_eq!(cam.lookup(&det), Some(saq));
+    ///
+    /// // The same turns as an unbound adaptive up-phase do not: the packet
+    /// // has not committed to climbing through port 4 yet.
+    /// let ada = Route::from_turns_adaptive(HostId::new(63), &[4, 3, 3], 2);
+    /// assert_eq!(cam.lookup(&ada), None);
+    ///
+    /// // Once the switch binds the choice, the CAM sees the real path.
+    /// let mut bound = ada;
+    /// bound.bind_next_turn(4);
+    /// assert_eq!(cam.lookup(&bound), Some(saq));
+    /// ```
+    pub fn lookup(&self, route: &Route) -> Option<SaqId> {
+        self.longest_match(route.resolved_remaining(0))
     }
 
     /// Checks a handle is current.

@@ -162,8 +162,8 @@ enum Role {
     NicInjection,
 }
 
-/// The RECN state machine of one port. See the [module docs](self) for the
-/// protocol overview and the crate docs for an end-to-end example.
+/// The RECN state machine of one port. See the [crate docs](crate) for the
+/// protocol overview and an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct RecnPort {
     cfg: RecnConfig,

@@ -8,6 +8,15 @@
 //! reports are hand-rendered text/CSV/JSON — so this is sufficient. To
 //! restore real serde, point the `serde` workspace dependency back at
 //! crates.io.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! struct Nothing;
+//! // The traits are inert markers: implementing them requires no methods.
+//! impl Serialize for Nothing {}
+//! impl<'de> Deserialize<'de> for Nothing {}
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -7,6 +7,16 @@
 //! hand-rendered text/CSV/JSON), so no impls are needed. Swap the
 //! `serde`/`serde_derive` workspace entries back to the crates.io
 //! versions to restore real serialization support.
+//!
+//! ```
+//! use serde_derive::{Deserialize, Serialize};
+//!
+//! // Expands to nothing — no serde traits or impls are required.
+//! #[derive(Serialize, Deserialize)]
+//! struct Nothing {
+//!     field: u32,
+//! }
+//! ```
 
 use proc_macro::TokenStream;
 

@@ -121,7 +121,7 @@ impl FatTreeParams {
 }
 
 /// A fully-wired k-ary n-tree: switch identity, cabling, host attachment,
-/// and deterministic up*/down* routing. See the [module docs](self) for the
+/// and deterministic up*/down* routing. See the [crate docs](crate) for the
 /// labelling scheme.
 #[derive(Debug, Clone)]
 pub struct FatTreeTopology {
@@ -279,6 +279,61 @@ impl FatTreeTopology {
             len += 1;
         }
         Route::from_turns(dst, &turns[..len])
+    }
+
+    /// Like [`FatTreeTopology::route`], but the up-turns **above the leaf
+    /// level** are built as a late-bound up-phase
+    /// ([`Route::from_turns_adaptive`]): any of the `k` up-ports at each
+    /// climbing switch reaches the NCA set, so switches may rebind them at
+    /// forwarding time. The stored placeholders are the deterministic
+    /// source-digit turns, and the down-phase is fixed — a bound route is
+    /// always a valid up*/down* path.
+    ///
+    /// The **first** up-turn stays pinned to its deterministic value: under
+    /// source-digit self-routing, leaf up-port `k + s_0` is dedicated to the
+    /// one host attached at down-port `s_0`, so the level-0 climb is
+    /// contention-free by construction and rebinding it could only merge
+    /// otherwise-independent injection streams into shared queues. Upper
+    /// levels aggregate many hosts, which is where load-aware selection
+    /// pays off.
+    ///
+    /// ```
+    /// use topology::{FatTreeParams, FatTreeTopology, HostId};
+    /// let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+    /// let mut r = topo.route_adaptive(HostId::new(0), HostId::new(63));
+    /// assert_eq!(r.up_len(), 2);
+    /// assert!(!r.next_turn_rebindable()); // leaf up-turn stays pinned
+    /// assert_eq!(r.all_turns(), topo.route(HostId::new(0), HostId::new(63)).all_turns());
+    /// r.advance();
+    /// assert!(r.next_turn_rebindable()); // the level-1 up-turn adapts
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host id is out of range.
+    pub fn route_adaptive(&self, src: HostId, dst: HostId) -> Route {
+        let det = self.route(src, dst);
+        let m = self.nca_level(src, dst) as usize;
+        if m <= 1 {
+            // Zero or one climbing level: the only up-turn (if any) is the
+            // dedicated leaf port, so the route is fully deterministic.
+            return det;
+        }
+        let mut r = Route::from_turns_adaptive(dst, det.all_turns(), m);
+        r.bind_next_turn(det.all_turns()[0]);
+        r
+    }
+
+    /// The up-port numbers of switch `sw` (`k..2k`; empty at the top
+    /// level). Any of them is a valid next hop for a packet still in its
+    /// up*/down* climbing phase.
+    pub fn up_ports(&self, sw: SwitchId) -> std::ops::Range<u32> {
+        let k = self.params.k;
+        if self.level_of(sw) + 1 == self.params.n {
+            k..k
+        } else {
+            k..2 * k
+        }
     }
 
     /// Iterates over all switch ids, level by level.
@@ -451,6 +506,75 @@ mod tests {
         // src 27 = digits (3, 2, 1); dst 54 = digits (2, 1, 3): NCA level 2.
         let r = topo.route(HostId::new(27), HostId::new(54));
         assert_eq!(r.all_turns(), &[4 + 3, 4 + 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn adaptive_route_placeholders_match_deterministic() {
+        let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+        for (s, d) in [(0u32, 63u32), (27, 54), (5, 6), (5, 5), (17, 40), (0, 5)] {
+            let det = topo.route(HostId::new(s), HostId::new(d));
+            let ada = topo.route_adaptive(HostId::new(s), HostId::new(d));
+            assert_eq!(det.all_turns(), ada.all_turns());
+            let m = topo.nca_level(HostId::new(s), HostId::new(d)) as usize;
+            // One climbing level means the only up-turn is the dedicated
+            // leaf port, so the route degrades to fully deterministic.
+            assert_eq!(ada.up_len(), if m <= 1 { 0 } else { m });
+            // The leaf up-turn is never rebindable.
+            assert!(!ada.next_turn_rebindable());
+        }
+        // Same-leaf routes have no up-phase and stay fully deterministic.
+        let r = topo.route_adaptive(HostId::new(5), HostId::new(6));
+        assert!(!r.next_turn_rebindable());
+        assert_eq!(r.up_len(), 0);
+    }
+
+    #[test]
+    fn up_ports_cover_inner_levels_only() {
+        let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+        for sw in topo.switches() {
+            let ports = topo.up_ports(sw);
+            if topo.level_of(sw) + 1 == topo.params().n() {
+                assert!(ports.is_empty());
+            } else {
+                assert_eq!(ports, 4..8);
+                for u in ports {
+                    // Every up-port is cabled one level up.
+                    let (upper, _) = topo.next_hop(sw, PortId::new(u)).unwrap();
+                    assert_eq!(topo.level_of(upper), topo.level_of(sw) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_up_port_binding_still_delivers() {
+        // Replace every rebindable up-turn of an adaptive route with an
+        // arbitrary (non-deterministic) choice and walk the cabling:
+        // up*/down* must still deliver to the destination.
+        let topo = FatTreeTopology::new(FatTreeParams::ft_64());
+        for (s, d, picks) in [(0u32, 63u32, [7u32]), (27, 54, [4]), (3, 60, [6])] {
+            let mut route = topo.route_adaptive(HostId::new(s), HostId::new(d));
+            let (mut sw, _) = topo.host_ingress(HostId::new(s));
+            let mut up = 0;
+            loop {
+                if route.next_turn_rebindable() {
+                    let pick = picks[up];
+                    assert!(topo.up_ports(sw).contains(&pick));
+                    route.bind_next_turn(pick as u8);
+                    up += 1;
+                }
+                let out = PortId::new(route.advance() as u32);
+                match topo.next_hop(sw, out) {
+                    Ok((next, _)) => sw = next,
+                    Err(host) => {
+                        assert_eq!(host, HostId::new(d), "adaptive binding misrouted");
+                        assert!(route.is_exhausted());
+                        break;
+                    }
+                }
+            }
+            assert_eq!(up, 1, "the level-1 up-turn should have been rebindable");
+        }
     }
 
     #[test]

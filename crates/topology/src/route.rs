@@ -29,6 +29,13 @@ pub struct Route {
     digits: [u8; MAX_STAGES],
     len: u8,
     pos: u8,
+    /// Turns `0..up_len` form a late-bound up-phase: they hold placeholder
+    /// digits (the deterministic source-digit choice) until a switch binds
+    /// them at forwarding time. Deterministic routes have `up_len == 0`.
+    up_len: u8,
+    /// How many of the up-phase turns have been bound so far. A position
+    /// `i` is *resolved* iff `i < bound || i >= up_len`.
+    bound: u8,
     dest: HostId,
 }
 
@@ -58,6 +65,8 @@ impl Route {
             digits,
             len: stages as u8,
             pos: 0,
+            up_len: 0,
+            bound: 0,
             dest,
         }
     }
@@ -80,8 +89,32 @@ impl Route {
             digits,
             len: turns.len() as u8,
             pos: 0,
+            up_len: 0,
+            bound: 0,
             dest,
         }
+    }
+
+    /// Builds a route whose first `up_len` turns form a **late-bound
+    /// up-phase**: the stored digits are deterministic placeholders (the
+    /// source-digit choice) that a switch may rebind at forwarding time via
+    /// [`Route::bind_next_turn`]. The remaining turns (the down-phase) are
+    /// fixed at construction. With `up_len == 0` this is identical to
+    /// [`Route::from_turns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Route::from_turns`], or if
+    /// `up_len >= turns.len()` (the down-phase needs at least the final
+    /// delivery turn).
+    pub fn from_turns_adaptive(dest: HostId, turns: &[u8], up_len: usize) -> Route {
+        assert!(
+            up_len < turns.len(),
+            "up-phase must leave at least one fixed down-turn"
+        );
+        let mut r = Route::from_turns(dest, turns);
+        r.up_len = up_len as u8;
+        r
     }
 
     /// The destination host.
@@ -127,11 +160,61 @@ impl Route {
     ///
     /// # Panics
     ///
-    /// Panics if the route is exhausted.
+    /// Panics if the route is exhausted, or if the next turn is a
+    /// still-unbound up-phase placeholder (bind it first with
+    /// [`Route::bind_next_turn`]).
     pub fn advance(&mut self) -> u8 {
         let t = self.next_turn();
+        assert!(
+            !self.next_turn_rebindable(),
+            "advancing past an unbound adaptive turn"
+        );
         self.pos += 1;
         t
+    }
+
+    /// Number of late-bound up-phase turns (0 for deterministic routes).
+    pub fn up_len(&self) -> usize {
+        self.up_len as usize
+    }
+
+    /// Whether the next turn is an up-phase placeholder that the current
+    /// switch may still rebind. False once the route is exhausted, past the
+    /// up-phase, or the turn has already been bound.
+    pub fn next_turn_rebindable(&self) -> bool {
+        self.pos >= self.bound && self.pos < self.up_len
+    }
+
+    /// Binds the next turn to `port`, fixing the adaptive choice the switch
+    /// just made. The digit becomes part of the resolved prefix that RECN's
+    /// CAM matching may inspect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the next turn is not rebindable.
+    pub fn bind_next_turn(&mut self, port: u8) {
+        assert!(self.next_turn_rebindable(), "next turn is not rebindable");
+        self.digits[self.pos as usize] = port;
+        self.bound = self.pos + 1;
+    }
+
+    /// The *resolved* prefix of `remaining()[skip..]`: the turns from
+    /// position `pos + skip` up to (not including) the first still-unbound
+    /// up-phase placeholder. For deterministic routes this is exactly
+    /// `&remaining()[skip..]`. RECN path matching uses this slice so a CAM
+    /// line can never claim turns the switch has not committed to yet.
+    pub fn resolved_remaining(&self, skip: usize) -> &[u8] {
+        let len = self.len as usize;
+        let from = (self.pos as usize + skip).min(len);
+        let (bound, up_len) = (self.bound as usize, self.up_len as usize);
+        if bound >= up_len || from >= up_len {
+            // No unbound placeholders at or after `from`.
+            &self.digits[from..len]
+        } else if from < bound {
+            &self.digits[from..bound]
+        } else {
+            &[]
+        }
     }
 
     /// Whether all turns have been consumed (packet is at its last-stage
@@ -148,7 +231,11 @@ impl fmt::Display for Route {
             if i == self.pos as usize {
                 write!(f, "*")?;
             }
-            write!(f, "{d}")?;
+            if i >= self.bound as usize && i < self.up_len as usize {
+                write!(f, "?")?;
+            } else {
+                write!(f, "{d}")?;
+            }
         }
         write!(f, "]")
     }
@@ -234,6 +321,83 @@ mod tests {
     #[should_panic(expected = "route needs at least one turn")]
     fn from_turns_rejects_empty() {
         let _ = Route::from_turns(HostId::new(0), &[]);
+    }
+
+    #[test]
+    fn adaptive_with_zero_up_len_is_deterministic() {
+        let det = Route::from_turns(HostId::new(9), &[6, 1, 2]);
+        let ada = Route::from_turns_adaptive(HostId::new(9), &[6, 1, 2], 0);
+        assert_eq!(det, ada);
+        assert!(!ada.next_turn_rebindable());
+        assert_eq!(ada.resolved_remaining(0), &[6, 1, 2]);
+        assert_eq!(ada.resolved_remaining(1), &[1, 2]);
+    }
+
+    #[test]
+    fn bind_resolves_placeholders_in_order() {
+        // 2 up-turns (placeholders 4, 5), then fixed down-turns 3, 1, 2.
+        let mut r = Route::from_turns_adaptive(HostId::new(54), &[4, 5, 3, 1, 2], 2);
+        assert!(r.next_turn_rebindable());
+        // Nothing resolved at the cursor yet; skipping past the up-phase
+        // reveals the fixed down-phase.
+        assert_eq!(r.resolved_remaining(0), &[] as &[u8]);
+        assert_eq!(r.resolved_remaining(2), &[3, 1, 2]);
+        // Placeholder digit still drives next_turn() for storage mapping.
+        assert_eq!(r.next_turn(), 4);
+
+        r.bind_next_turn(7);
+        assert!(!r.next_turn_rebindable());
+        assert_eq!(r.resolved_remaining(0), &[7]);
+        assert_eq!(r.advance(), 7);
+
+        assert!(r.next_turn_rebindable());
+        r.bind_next_turn(6);
+        assert_eq!(r.advance(), 6);
+        // Fully bound: the rest of the route is the fixed down-phase.
+        assert!(!r.next_turn_rebindable());
+        assert_eq!(r.resolved_remaining(0), &[3, 1, 2]);
+        assert_eq!(r.all_turns(), &[7, 6, 3, 1, 2]);
+    }
+
+    #[test]
+    fn resolved_remaining_stops_at_first_unbound_turn() {
+        let mut r = Route::from_turns_adaptive(HostId::new(0), &[4, 4, 3, 3, 3], 2);
+        r.bind_next_turn(5);
+        // Position 0 bound, position 1 not: the resolved prefix is one turn.
+        assert_eq!(r.resolved_remaining(0), &[5]);
+        assert_eq!(r.resolved_remaining(1), &[] as &[u8]);
+        assert_eq!(r.resolved_remaining(2), &[3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound adaptive turn")]
+    fn advance_refuses_unbound_turn() {
+        let mut r = Route::from_turns_adaptive(HostId::new(0), &[4, 3], 1);
+        r.advance();
+    }
+
+    #[test]
+    #[should_panic(expected = "not rebindable")]
+    fn bind_refuses_fixed_turn() {
+        let mut r = Route::from_turns_adaptive(HostId::new(0), &[4, 3], 1);
+        r.bind_next_turn(5);
+        r.advance();
+        r.bind_next_turn(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fixed down-turn")]
+    fn adaptive_needs_a_down_phase() {
+        let _ = Route::from_turns_adaptive(HostId::new(0), &[4], 1);
+    }
+
+    #[test]
+    fn display_marks_unbound_turns() {
+        let mut r = Route::from_turns_adaptive(HostId::new(0), &[4, 4, 3, 3, 3], 2);
+        assert!(r.to_string().contains("??"), "{r}");
+        r.bind_next_turn(6);
+        let s = r.to_string();
+        assert!(s.contains('6') && s.contains('?'), "{s}");
     }
 
     #[test]

@@ -199,6 +199,31 @@ impl Topology {
         }
     }
 
+    /// The adaptive-routing variant of [`Topology::route`]: on a fat tree
+    /// the up-phase turns come back late-bound
+    /// ([`Route::next_turn_rebindable`]) so switches can pick among
+    /// equivalent up-ports at forwarding time. The MIN has a single path
+    /// per `(src, dst)` pair, so this degrades to the deterministic route.
+    pub fn route_adaptive(&self, src: HostId, dst: HostId) -> Route {
+        match self {
+            Topology::Min(t) => t.route(dst),
+            Topology::FatTree(t) => t.route_adaptive(src, dst),
+        }
+    }
+
+    /// The up-port numbers of switch `sw` — the candidate set an adaptive
+    /// up-phase turn may bind to. Empty on the MIN (no path diversity) and
+    /// at the fat tree's top level.
+    pub fn up_ports(&self, sw: SwitchId) -> std::ops::Range<u32> {
+        match self {
+            Topology::Min(t) => {
+                let _ = t.coords(sw); // range check
+                0..0
+            }
+            Topology::FatTree(t) => t.up_ports(sw),
+        }
+    }
+
     /// Walks the route from `src` to `dst` through the wiring, returning
     /// the `(switch, in_port, out_port)` hops and asserting delivery.
     pub fn trace(&self, src: HostId, dst: HostId) -> Vec<(SwitchId, PortId, PortId)> {

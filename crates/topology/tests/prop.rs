@@ -7,7 +7,8 @@
 
 use proptest::prelude::*;
 use topology::{
-    FatTreeParams, HostId, MinParams, MinTopology, PathSpec, PortId, Route, TopoParams, Topology,
+    FatTreeParams, FatTreeTopology, HostId, MinParams, MinTopology, PathSpec, PortId, Route,
+    TopoParams, Topology,
 };
 
 /// Strategy over valid MIN shapes (radix 2 or 4, hosts a multiple of the
@@ -171,6 +172,56 @@ proptest! {
             // And the prefix relation holds.
             prop_assert!(rest.is_prefix_of(&rest));
         }
+    }
+
+    /// Adaptive routes stay valid up*/down* paths under *any* up-port
+    /// binding: random picks at every rebindable turn still climb through
+    /// real up-ports to the NCA level and deliver on the deterministic
+    /// down-phase digits. Shrunk failures go into `REGRESSION_SEEDS` in
+    /// `adaptive.rs`, the always-on deterministic companion.
+    #[test]
+    fn adaptive_bindings_are_valid_up_down_paths(
+        params in fattree_shapes(),
+        src_sel in 0u32..4096,
+        dst_sel in 0u32..4096,
+        picks in prop::collection::vec(0u32..8, 8),
+    ) {
+        let topo = FatTreeTopology::new(params);
+        let src = HostId::new(src_sel % params.hosts());
+        let dst = HostId::new(dst_sel % params.hosts());
+        let det = topo.route(src, dst);
+        let mut route = topo.route_adaptive(src, dst);
+        let up_len = route.up_len();
+        let m = topo.nca_level(src, dst);
+        prop_assert_eq!(up_len, if m <= 1 { 0 } else { m as usize });
+
+        let (mut sw, _) = topo.host_ingress(src);
+        let mut levels = Vec::new();
+        let mut picks = picks.into_iter();
+        loop {
+            if route.next_turn_rebindable() {
+                let ports = topo.up_ports(sw);
+                prop_assert!(!ports.is_empty());
+                let span = ports.end - ports.start;
+                let pick = ports.start + picks.next().unwrap() % span;
+                route.bind_next_turn(pick as u8);
+            }
+            levels.push(topo.level_of(sw));
+            let out = PortId::new(route.advance() as u32);
+            match topo.next_hop(sw, out) {
+                Ok((next, _)) => sw = next,
+                Err(host) => {
+                    prop_assert_eq!(host, dst);
+                    prop_assert!(route.is_exhausted());
+                    break;
+                }
+            }
+        }
+        let peak = *levels.iter().max().unwrap();
+        prop_assert_eq!(peak, m);
+        let expect: Vec<u32> = (0..=peak).chain((0..peak).rev()).collect();
+        prop_assert_eq!(levels, expect);
+        prop_assert_eq!(&route.all_turns()[up_len..], &det.all_turns()[up_len..]);
     }
 
     /// A path matches a route exactly when the route's remaining turns

@@ -17,7 +17,22 @@
 //!
 //! All generators are deterministic given a seed and implement
 //! [`fabric::MessageSource`], so complete experiments are reproducible
-//! bit-for-bit.
+//! bit-for-bit:
+//!
+//! ```
+//! use fabric::MessageSource;
+//! use simcore::Picos;
+//! use traffic::RandomUniformSource;
+//!
+//! // Host 3's background source from the corner cases: 64 B messages to
+//! // uniformly random other hosts at half the link rate.
+//! let mut src = RandomUniformSource::new(64, Some(topology::HostId::new(3)), 64, 0.5)
+//!     .window(Picos::ZERO, Picos::from_us(1))
+//!     .seed(7)
+//!     .build();
+//! let m = src.next_message().expect("window is open");
+//! assert_ne!(m.dst.index(), 3, "never sends to itself");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -15,6 +15,11 @@ cargo test -q
 echo "== tier1: cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== tier1: rustdoc gate (RUSTDOCFLAGS=-D warnings) + doc tests =="
+# All nine crates warn on missing_docs and every doc example must run.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+cargo test --workspace --doc -q
+
 echo "== tier1: quick-mode sweep smoke test (fig2, --jobs 4 vs --jobs 1) =="
 # The parallel executor must return results in submission order, so the
 # rendered tables are byte-identical at any parallelism; the JSON sweep

@@ -1,9 +1,14 @@
 //! Cross-topology headline table: the five-scheme hotspot comparison
 //! (1Q / 4Q / VOQsw / VOQnet / RECN) on the topology selected with
 //! `--topology min|fattree`. Prints the throughput-over-time table plus
-//! the mean throughput inside the congestion window. See `--help`.
+//! the mean throughput inside the congestion window. With `--routing
+//! adaptive` the sweep additionally reruns under deterministic
+//! self-routing and prints the deterministic-vs-adaptive comparison
+//! table (the EXPERIMENTS.md fat-tree headline). See `--help`.
 
-use experiments::figures::{congestion_window_means, topology_hotspot};
+use experiments::figures::{
+    congestion_window_means, render_routing_comparison, routing_comparison, topology_hotspot,
+};
 use experiments::Opts;
 
 fn main() {
@@ -13,5 +18,10 @@ fn main() {
     println!("mean throughput inside the congestion window:");
     for (label, mean) in congestion_window_means(&fig, &opts) {
         println!("  {label:>7}: {mean:.3} bytes/ns");
+    }
+    if opts.routing.is_adaptive() {
+        println!();
+        let rows = routing_comparison(&fig, &opts);
+        print!("{}", render_routing_comparison(&rows));
     }
 }
