@@ -18,20 +18,22 @@ fn main() {
     // the hardware could hold 64.)
     for saqs in [1usize, 2, 4, 8, 16] {
         names.push(format!("saq_pool_{saqs}"));
-        specs.push(corner_spec(2, recn_with_saqs(saqs)).label(format!("saqs={saqs}")));
+        specs.push(corner_spec(2, recn_with_saqs(saqs)).with_label(format!("saqs={saqs}")));
     }
     // Detection threshold: lower reacts faster (more transient trees),
     // higher tolerates transients (slower isolation).
     for kb in [1u64, 2, 4, 8, 16] {
         names.push(format!("detect_{kb}kb"));
-        specs.push(corner_spec(2, recn_with_detection(kb * 1024)).label(format!("detect={kb}KB")));
+        specs.push(
+            corner_spec(2, recn_with_detection(kb * 1024)).with_label(format!("detect={kb}KB")),
+        );
     }
     // The §3.8 drain-boost rule: without it, lingering near-empty SAQs
     // deallocate later (more SAQ-seconds in use).
     names.push("drain_boost_on".to_owned());
-    specs.push(corner_spec(2, SchemeKind::Recn(bench_recn_config())).label("boost=on"));
+    specs.push(corner_spec(2, SchemeKind::Recn(bench_recn_config())).with_label("boost=on"));
     names.push("drain_boost_off".to_owned());
-    specs.push(corner_spec(2, recn_without_drain_boost()).label("boost=off"));
+    specs.push(corner_spec(2, recn_without_drain_boost()).with_label("boost=off"));
 
     // Cargo runs benches with the package dir as CWD; anchor the summary
     // to the workspace-level results/ directory.

@@ -32,7 +32,7 @@ fn main() {
     for case in [1u8, 2] {
         for scheme in schemes_all() {
             names.push(format!("fig2_case{case}_{}", scheme.name()));
-            specs.push(corner_spec(case, scheme).label(format!("fig2_case{case}")));
+            specs.push(corner_spec(case, scheme).with_label(format!("fig2_case{case}")));
         }
     }
     // fig3/fig5: the SAN traces at both compressions.

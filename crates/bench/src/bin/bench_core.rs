@@ -12,11 +12,12 @@
 //! queue depths must match across backends or the run aborts.
 //!
 //! ```text
-//! bench_core [--small] [--only SUBSTR] [--repeat N] [--out FILE]
+//! bench_core [--quick] [--only SUBSTR] [--repeat N] [--out FILE]
 //!            [--check BASELINE] [--tolerance F]
 //! ```
 //!
-//! * `--small`      CI subset (a few 64-host kernels; minutes not tens).
+//! * `--quick`      CI subset (a few 64-host kernels; minutes not tens).
+//!   `--small` is the deprecated spelling and still works.
 //! * `--only S`     keep only kernels whose name contains `S`.
 //! * `--repeat N`   run each kernel×backend N times, keep the fastest
 //!   wall time (default 1; the minimum is the least noisy estimator on a
@@ -28,6 +29,7 @@
 //! * `--tolerance F` fractional allowed regression for `--check`.
 
 use bench::BENCH_TIME_DIV;
+use experiments::opts::{parse_flags, render_help, FlagDef};
 use experiments::runner::{run_one, RunOutput, SchemeSet, Workload};
 use experiments::sweep::{events_per_sec, RunSpec};
 use simcore::{Picos, SchedulerKind};
@@ -67,7 +69,8 @@ fn sample(out: &RunOutput) -> Sample {
     Sample {
         wall_secs: out.wall_secs,
         events: out.events,
-        events_per_sec: events_per_sec(out),
+        // A degenerate wall clock reports as rate 0, never infinity.
+        events_per_sec: events_per_sec(out).unwrap_or(0.0),
         peak_depth: out.peak_event_queue_depth,
     }
 }
@@ -139,9 +142,9 @@ fn uniform_spec(params: MinParams, scheme: fabric::SchemeKind) -> RunSpec {
             seed: 0xBE7C,
         },
     )
-    .horizon(Picos::from_us(1600 / BENCH_TIME_DIV))
-    .bin(Picos::from_us(1))
-    .label("uniform")
+    .with_horizon(Picos::from_us(1600 / BENCH_TIME_DIV))
+    .with_bin(Picos::from_us(1))
+    .with_label("uniform")
 }
 
 /// The benchmark matrix. `small` restricts to the CI smoke subset.
@@ -271,48 +274,112 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn main() {
-    let mut small = false;
-    let mut only: Option<String> = None;
-    let mut repeat = 1usize;
-    let mut out_path = String::from("BENCH_simcore.json");
-    let mut check: Option<String> = None;
-    let mut tolerance = 0.25f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--small" => small = true,
-            "--only" => only = Some(args.next().expect("--only needs a substring")),
+/// The flag table (shared parser machinery from `experiments::opts`;
+/// `--small` rides along as the deprecated spelling of `--quick`).
+const BENCH_FLAGS: &[FlagDef] = &[
+    FlagDef {
+        name: "--quick",
+        aliases: &["--small"],
+        value: None,
+        help: "CI subset (a few 64-host kernels; minutes not tens)",
+    },
+    FlagDef {
+        name: "--only",
+        aliases: &[],
+        value: Some(("SUBSTR", "a substring")),
+        help: "keep only kernels whose name contains SUBSTR",
+    },
+    FlagDef {
+        name: "--repeat",
+        aliases: &[],
+        value: Some(("N", "a count")),
+        help: "run each kernel x backend N times, keep the fastest (default 1)",
+    },
+    FlagDef {
+        name: "--out",
+        aliases: &[],
+        value: Some(("FILE", "a file")),
+        help: "where to write the JSON (default BENCH_simcore.json)",
+    },
+    FlagDef {
+        name: "--check",
+        aliases: &[],
+        value: Some(("BASELINE", "a baseline file")),
+        help: "fail if calendar events/sec regressed below BASELINE",
+    },
+    FlagDef {
+        name: "--tolerance",
+        aliases: &[],
+        value: Some(("F", "a fraction")),
+        help: "allowed fractional regression for --check (default 0.25)",
+    },
+];
+
+struct BenchArgs {
+    small: bool,
+    only: Option<String>,
+    repeat: usize,
+    out_path: String,
+    check: Option<String>,
+    tolerance: f64,
+    help: bool,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, String> {
+    let mut cfg = BenchArgs {
+        small: false,
+        only: None,
+        repeat: 1,
+        out_path: String::from("BENCH_simcore.json"),
+        check: None,
+        tolerance: 0.25,
+        help: false,
+    };
+    for (name, value) in parse_flags(args, BENCH_FLAGS)? {
+        let v = || value.clone().expect("value enforced by parse_flags");
+        match name {
+            "--quick" => cfg.small = true,
+            "--only" => cfg.only = Some(v()),
             "--repeat" => {
-                repeat = args
-                    .next()
-                    .expect("--repeat needs a count")
+                let v = v();
+                cfg.repeat = v
                     .parse::<usize>()
-                    .expect("--repeat expects a count")
-                    .max(1)
+                    .map_err(|_| format!("--repeat expects a count, got {v:?}"))?
+                    .max(1);
             }
-            "--out" => out_path = args.next().expect("--out needs a file"),
-            "--check" => check = Some(args.next().expect("--check needs a baseline file")),
+            "--out" => cfg.out_path = v(),
+            "--check" => cfg.check = Some(v()),
             "--tolerance" => {
-                tolerance = args
-                    .next()
-                    .expect("--tolerance needs a fraction")
+                let v = v();
+                cfg.tolerance = v
                     .parse()
-                    .expect("--tolerance expects a number")
+                    .map_err(|_| format!("--tolerance expects a number, got {v:?}"))?;
             }
-            "--help" | "-h" => {
-                println!(
-                    "bench_core [--small] [--only SUBSTR] [--repeat N] [--out FILE] \
-                     [--check BASELINE] [--tolerance F]"
-                );
-                return;
-            }
-            other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
-            }
+            "--help" => cfg.help = true,
+            other => unreachable!("flag {other} in table but not matched"),
         }
     }
+    Ok(cfg)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if args.help {
+        println!("{}", render_help(BENCH_FLAGS));
+        return;
+    }
+    let BenchArgs {
+        small,
+        only,
+        repeat,
+        out_path,
+        check,
+        tolerance,
+        ..
+    } = args;
 
     let mode = if small { "small" } else { "full" };
     let mut ks = kernels(small);
@@ -329,14 +396,14 @@ fn main() {
                 // `repeat` wall time per backend: the fairest comparison
                 // this side of perf counters (the minimum discards
                 // scheduler/dvfs noise spikes).
-                let mut heap = run_one(&spec.clone().scheduler(SchedulerKind::Heap));
-                let mut cal = run_one(&spec.clone().scheduler(SchedulerKind::Calendar));
+                let mut heap = run_one(&spec.clone().with_scheduler(SchedulerKind::Heap));
+                let mut cal = run_one(&spec.clone().with_scheduler(SchedulerKind::Calendar));
                 for _ in 1..repeat {
-                    let h = run_one(&spec.clone().scheduler(SchedulerKind::Heap));
+                    let h = run_one(&spec.clone().with_scheduler(SchedulerKind::Heap));
                     if h.wall_secs < heap.wall_secs {
                         heap = h;
                     }
-                    let c = run_one(&spec.clone().scheduler(SchedulerKind::Calendar));
+                    let c = run_one(&spec.clone().with_scheduler(SchedulerKind::Calendar));
                     if c.wall_secs < cal.wall_secs {
                         cal = c;
                     }

@@ -29,8 +29,8 @@
 //! use fabric::SchemeKind;
 //!
 //! let spec = corner_spec(2, SchemeKind::OneQ);
-//! assert_eq!(spec.label, "case2");
-//! assert_eq!(spec.horizon, simcore::Picos::from_us(1600 / BENCH_TIME_DIV));
+//! assert_eq!(spec.label(), "case2");
+//! assert_eq!(spec.horizon(), simcore::Picos::from_us(1600 / BENCH_TIME_DIV));
 //! // bench::corner_kernel(2, SchemeKind::OneQ) runs it and sanity-checks
 //! // the output; the bench mains fan many such specs over a Sweep.
 //! ```
@@ -67,17 +67,17 @@ pub fn corner_spec(case: u8, scheme: SchemeKind) -> RunSpec {
     }
     .shrunk(BENCH_TIME_DIV);
     RunSpec::corner(MinParams::paper_64(), scheme, corner)
-        .horizon(bench_horizon())
-        .bin(Picos::from_us(1))
-        .label(format!("case{case}"))
+        .with_horizon(bench_horizon())
+        .with_bin(Picos::from_us(1))
+        .with_label(format!("case{case}"))
 }
 
 /// The SAN-trace kernel as a spec.
 pub fn san_spec(compression: f64, scheme: SchemeKind) -> RunSpec {
     RunSpec::san(scheme, traffic::san::SanParams::cello_like(compression))
-        .horizon(bench_horizon())
-        .bin(Picos::from_us(1))
-        .label(format!("san_c{}", compression as u32))
+        .with_horizon(bench_horizon())
+        .with_bin(Picos::from_us(1))
+        .with_label(format!("san_c{}", compression as u32))
 }
 
 /// The 256-host scalability kernel as a spec.
@@ -87,9 +87,9 @@ pub fn scale_spec(scheme: SchemeKind) -> RunSpec {
         scheme,
         CornerCase::case2_256().shrunk(BENCH_TIME_DIV),
     )
-    .horizon(bench_horizon())
-    .bin(Picos::from_us(1))
-    .label("scale256")
+    .with_horizon(bench_horizon())
+    .with_bin(Picos::from_us(1))
+    .with_label("scale256")
 }
 
 /// Runs the corner-case kernel under a scheme and returns the output
@@ -155,11 +155,15 @@ pub fn render_bench_table(title: &str, rows: &[(String, &RunOutput)]) -> String 
         "kernel", "wall(s)", "events/s", "win-thr(B/ns)", "delivered"
     ));
     for (name, out) in rows {
+        let rate = match experiments::sweep::events_per_sec(out) {
+            Some(r) => format!("{r:.2e}"),
+            None => "n/a".to_owned(),
+        };
         s.push_str(&format!(
-            "{:<28} {:>9.2} {:>12.2e} {:>13.2} {:>12}\n",
+            "{:<28} {:>9.2} {:>12} {:>13.2} {:>12}\n",
             name,
             out.wall_secs,
-            experiments::sweep::events_per_sec(out),
+            rate,
             window_mean(out),
             out.counters.delivered_packets,
         ));

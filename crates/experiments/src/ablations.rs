@@ -56,10 +56,10 @@ fn run_recn_sweep(
         .iter()
         .map(|(setting, cfg)| {
             RunSpec::new(MinParams::paper_64(), SchemeKind::Recn(*cfg), corner2(opts))
-                .packet_size(opts.packet_size())
-                .horizon(Picos::from_us(1600 / opts.time_div()))
-                .bin(Picos::from_us((5 / opts.time_div()).max(1)))
-                .label(format!("{name}:{setting}"))
+                .with_packet_size(opts.packet_size())
+                .with_horizon(Picos::from_us(1600 / opts.time_div()))
+                .with_bin(Picos::from_us((5 / opts.time_div()).max(1)))
+                .with_label(format!("{name}:{setting}"))
         })
         .collect();
     let row = |setting: String, out: RunOutput| {

@@ -39,11 +39,11 @@ fn main() {
         .into_iter()
         .map(|scheme| {
             RunSpec::corner(params, scheme, corner)
-                .horizon(horizon)
-                .bin(Picos::from_us(2))
-                .label("validate")
-                .validate(true)
-                .trace(opts.trace_capacity())
+                .with_horizon(horizon)
+                .with_bin(Picos::from_us(2))
+                .with_label("validate")
+                .with_validation(true)
+                .with_trace(opts.trace_capacity())
         })
         .collect();
     let n = specs.len();

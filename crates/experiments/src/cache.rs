@@ -1,0 +1,650 @@
+//! Content-addressed run cache: `results/cache/<spec_hash>.json`.
+//!
+//! Every cache entry stores one [`RunOutput`] under the FNV-1a 64 content
+//! address of its spec's canonical `spec_v1` encoding
+//! ([`RunSpec::spec_hash`]). The entry is written atomically (temp file +
+//! rename), schema-versioned, and checksummed; loading re-verifies the
+//! checksum and **evicts** entries that fail it, so a torn write (crash
+//! mid-sweep) degrades to a cache miss, never to corrupt results. That is
+//! what makes a [`crate::sweep::Sweep`] with a cache directory crash-safe
+//! resumable: re-submitting the same sweep skips every completed spec and
+//! reproduces byte-identical tables.
+//!
+//! Entries replay the original run's `wall_secs` and event counts, so a
+//! fully-cached sweep summary is byte-identical to the summary of the
+//! sweep that populated it (apart from the per-run `"cache"` marker and
+//! the sweep's own total wall time).
+//!
+//! The offline build's serde is a no-op stub, so both directions are
+//! hand-rolled: a one-line JSON body plus a tiny recursive-descent parser
+//! that keeps number tokens as text (`u64` and `f64` parse exactly —
+//! Rust's shortest-representation float formatting round-trips).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fabric::NetCounters;
+use simcore::{fnv1a64, Running, SeriesPoint};
+
+use crate::runner::{RunOutput, OUTPUT_SCHEMA_VERSION};
+use crate::spec::RunSpec;
+
+/// Version of the cache *entry envelope* (the fields around the body).
+/// Bumped independently of [`OUTPUT_SCHEMA_VERSION`], which versions the
+/// body/JSON-summary shape; a mismatch in either rejects the entry.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// How a sweep satisfied one spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No cache directory was configured.
+    Off,
+    /// Served from the cache without running the simulation.
+    Hit,
+    /// Ran the simulation (and stored the result).
+    Miss,
+}
+
+impl CacheStatus {
+    /// The JSON name (`"off"`, `"hit"` or `"miss"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheStatus::Off => "off",
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+        }
+    }
+}
+
+/// A content-addressed store of run outputs under one directory.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl RunCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> RunCache {
+        RunCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for `spec`: `<dir>/<16-hex spec hash>.json`.
+    pub fn path_for(&self, spec: &RunSpec) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", spec.spec_hash()))
+    }
+
+    /// Loads the cached output for `spec`, verifying the entry end to end
+    /// (schema versions, full `spec_v1` bytes against hash collisions, and
+    /// the body checksum). Corrupt entries are evicted and report a miss.
+    /// An entry without a trace digest does not satisfy a spec that
+    /// requests tracing (the run is repeated and the entry upgraded);
+    /// conversely a digest is masked off when the spec does not ask for
+    /// one, so hits are indistinguishable from fresh runs.
+    pub fn load(&self, spec: &RunSpec) -> Option<RunOutput> {
+        let path = self.path_for(spec);
+        let bytes = std::fs::read(&path).ok()?;
+        // A file that exists but is not UTF-8 is corruption, same as a bad
+        // checksum — treat both through the eviction path below.
+        let text = String::from_utf8(bytes).map_err(|_| "entry is not UTF-8".to_owned());
+        match text.and_then(|t| parse_entry(&t, spec)) {
+            Ok(Some(mut out)) => {
+                if spec.trace_capacity().is_some() && out.trace_digest.is_none() {
+                    return None; // needs a digest the entry lacks: re-run
+                }
+                if spec.trace_capacity().is_none() {
+                    out.trace_digest = None;
+                }
+                Some(out)
+            }
+            Ok(None) => None, // stale schema or foreign spec: overwrite later
+            Err(e) => {
+                eprintln!("evicting corrupt cache entry {}: {e}", path.display());
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `out` as the entry for `spec`, atomically: the entry is
+    /// written to a temp file in the same directory and renamed into
+    /// place, so readers only ever observe complete entries.
+    pub fn store(&self, spec: &RunSpec, out: &RunOutput) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(spec);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, render_entry(spec, out))?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+// ---- entry rendering ---------------------------------------------------
+
+/// Renders the complete cache entry for `spec`/`out`.
+pub fn render_entry(spec: &RunSpec, out: &RunOutput) -> String {
+    let body = render_body(out);
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"cache_schema\": {CACHE_SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"output_schema\": {OUTPUT_SCHEMA_VERSION},\n"));
+    s.push_str(&format!(
+        "  \"spec_hash\": \"{:016x}\",\n",
+        spec.spec_hash()
+    ));
+    s.push_str(&format!("  \"spec_v1\": \"{}\",\n", spec.encode_hex()));
+    s.push_str(&format!(
+        "  \"checksum\": \"{:016x}\",\n",
+        fnv1a64(body.as_bytes())
+    ));
+    s.push_str("  \"body\": ");
+    s.push_str(&body);
+    s.push_str("\n}\n");
+    s
+}
+
+fn series_json(points: &[SeriesPoint]) -> String {
+    let cells: Vec<String> = points
+        .iter()
+        .map(|p| format!("[{},{}]", fnum(p.t_us), fnum(p.value)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Finite floats as their shortest round-tripping decimal form. A
+/// non-finite value cannot appear in stored outputs; render it as `null`
+/// so the entry fails verification honestly instead of emitting bad JSON.
+fn fnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn fopt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => fnum(v),
+        None => "null".to_owned(),
+    }
+}
+
+fn render_body(out: &RunOutput) -> String {
+    let c = &out.counters;
+    let (count, mean, m2, min, max) = c.latency_ns.raw_parts();
+    format!(
+        "{{\"scheme\":\"{}\",\"throughput\":{},\"saq_ingress\":{},\"saq_egress\":{},\
+         \"saq_total\":{},\"saq_peaks\":[{},{},{}],\"counters\":{{\
+         \"injected_packets\":{},\"injected_bytes\":{},\"delivered_packets\":{},\
+         \"delivered_bytes\":{},\"order_violations\":{},\
+         \"latency_ns\":[{},{},{},{},{}],\
+         \"recn_notifications\":{},\"saq_allocs\":{},\"saq_deallocs\":{},\
+         \"recn_rejects\":{},\"recn_duplicates\":{},\"recn_tokens\":{},\
+         \"xoffs\":{},\"xons\":{},\"markers\":{},\"root_activations\":{},\
+         \"root_clears\":{},\"source_dropped_messages\":{},\"source_dropped_bytes\":{}}},\
+         \"wall_secs\":{},\"events\":{},\"peak_event_queue_depth\":{},\"trace_digest\":{}}}",
+        out.scheme,
+        series_json(&out.throughput),
+        series_json(&out.saq_ingress),
+        series_json(&out.saq_egress),
+        series_json(&out.saq_total),
+        out.saq_peaks.0,
+        out.saq_peaks.1,
+        out.saq_peaks.2,
+        c.injected_packets,
+        c.injected_bytes,
+        c.delivered_packets,
+        c.delivered_bytes,
+        c.order_violations,
+        count,
+        fnum(mean),
+        fnum(m2),
+        fopt(min),
+        fopt(max),
+        c.recn_notifications,
+        c.saq_allocs,
+        c.saq_deallocs,
+        c.recn_rejects,
+        c.recn_duplicates,
+        c.recn_tokens,
+        c.xoffs,
+        c.xons,
+        c.markers,
+        c.root_activations,
+        c.root_clears,
+        c.source_dropped_messages,
+        c.source_dropped_bytes,
+        fnum(out.wall_secs),
+        out.events,
+        out.peak_event_queue_depth,
+        match out.trace_digest {
+            Some(d) => format!("\"{d:016x}\""),
+            None => "null".to_owned(),
+        },
+    )
+}
+
+// ---- entry parsing -----------------------------------------------------
+
+/// Parses and verifies a cache entry against `spec`. `Ok(None)` means the
+/// entry is intact but does not apply (stale schema version, or a
+/// different spec landed on the same hash); `Err` means corruption.
+fn parse_entry(text: &str, spec: &RunSpec) -> Result<Option<RunOutput>, String> {
+    // Checksum the raw body substring before parsing anything: a torn
+    // write fails here without needing the parser to stumble on it.
+    const MARKER: &str = "\n  \"body\": ";
+    let idx = text.find(MARKER).ok_or("no body field")?;
+    let body_text = text[idx + MARKER.len()..]
+        .strip_suffix("\n}\n")
+        .ok_or("entry does not end with the envelope's closing brace")?;
+
+    let top = parse_json(text)?;
+    let field = |k: &str| top.get(k).ok_or_else(|| format!("missing {k:?} field"));
+    let cache_schema = field("cache_schema")?.u64().ok_or("bad cache_schema")?;
+    let output_schema = field("output_schema")?.u64().ok_or("bad output_schema")?;
+    let checksum = field("checksum")?.str().ok_or("bad checksum")?;
+
+    if checksum != format!("{:016x}", fnv1a64(body_text.as_bytes())) {
+        return Err("body checksum mismatch".into());
+    }
+    if cache_schema != CACHE_SCHEMA_VERSION as u64 || output_schema != OUTPUT_SCHEMA_VERSION as u64
+    {
+        return Ok(None);
+    }
+    // Full-encoding comparison: the 64-bit filename alone would serve a
+    // colliding spec's results.
+    if field("spec_v1")?.str() != Some(spec.encode_hex().as_str()) {
+        return Ok(None);
+    }
+
+    let body = field("body")?;
+    let series = |k: &str| -> Result<Vec<SeriesPoint>, String> {
+        body.get(k)
+            .and_then(|v| v.arr())
+            .ok_or_else(|| format!("missing series {k:?}"))?
+            .iter()
+            .map(|cell| {
+                let pair = cell
+                    .arr()
+                    .filter(|a| a.len() == 2)
+                    .ok_or("bad series cell")?;
+                Ok(SeriesPoint {
+                    t_us: pair[0].f64().ok_or("bad series time")?,
+                    value: pair[1].f64().ok_or("bad series value")?,
+                })
+            })
+            .collect()
+    };
+    let peaks = body
+        .get("saq_peaks")
+        .and_then(|v| v.arr())
+        .filter(|a| a.len() == 3)
+        .ok_or("bad saq_peaks")?;
+    let peak = |i: usize| -> Result<u32, String> {
+        peaks[i]
+            .u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| "bad saq peak".into())
+    };
+
+    let counters = body.get("counters").ok_or("missing counters")?;
+    let cnt = |k: &str| -> Result<u64, String> {
+        counters
+            .get(k)
+            .and_then(|v| v.u64())
+            .ok_or_else(|| format!("missing counter {k:?}"))
+    };
+    let lat = counters
+        .get("latency_ns")
+        .and_then(|v| v.arr())
+        .filter(|a| a.len() == 5)
+        .ok_or("bad latency_ns")?;
+    let latency_ns = Running::from_raw_parts(
+        lat[0].u64().ok_or("bad latency count")?,
+        lat[1].f64().ok_or("bad latency mean")?,
+        lat[2].f64().ok_or("bad latency m2")?,
+        lat[3].f64_or_null().ok_or("bad latency min")?,
+        lat[4].f64_or_null().ok_or("bad latency max")?,
+    );
+
+    let out = RunOutput {
+        schema_version: output_schema as u32,
+        scheme: spec.scheme().name(),
+        throughput: series("throughput")?,
+        saq_ingress: series("saq_ingress")?,
+        saq_egress: series("saq_egress")?,
+        saq_total: series("saq_total")?,
+        saq_peaks: (peak(0)?, peak(1)?, peak(2)?),
+        counters: NetCounters {
+            injected_packets: cnt("injected_packets")?,
+            injected_bytes: cnt("injected_bytes")?,
+            delivered_packets: cnt("delivered_packets")?,
+            delivered_bytes: cnt("delivered_bytes")?,
+            order_violations: cnt("order_violations")?,
+            latency_ns,
+            recn_notifications: cnt("recn_notifications")?,
+            saq_allocs: cnt("saq_allocs")?,
+            saq_deallocs: cnt("saq_deallocs")?,
+            recn_rejects: cnt("recn_rejects")?,
+            recn_duplicates: cnt("recn_duplicates")?,
+            recn_tokens: cnt("recn_tokens")?,
+            xoffs: cnt("xoffs")?,
+            xons: cnt("xons")?,
+            markers: cnt("markers")?,
+            root_activations: cnt("root_activations")?,
+            root_clears: cnt("root_clears")?,
+            source_dropped_messages: cnt("source_dropped_messages")?,
+            source_dropped_bytes: cnt("source_dropped_bytes")?,
+        },
+        wall_secs: body
+            .get("wall_secs")
+            .and_then(|v| v.f64())
+            .ok_or("bad wall_secs")?,
+        events: body
+            .get("events")
+            .and_then(|v| v.u64())
+            .ok_or("bad events")?,
+        peak_event_queue_depth: body
+            .get("peak_event_queue_depth")
+            .and_then(|v| v.u64())
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or("bad peak_event_queue_depth")?,
+        trace_digest: match body.get("trace_digest").ok_or("missing trace_digest")? {
+            Json::Null => None,
+            v => Some(
+                u64::from_str_radix(v.str().ok_or("bad trace_digest")?, 16)
+                    .map_err(|_| "bad trace_digest hex")?,
+            ),
+        },
+    };
+    Ok(Some(out))
+}
+
+// ---- minimal JSON ------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw token so integers parse as
+/// exact `u64` and floats as the exact shortest-representation `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its raw token.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, when a string.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, when an integer token.
+    pub fn u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, when a (finite) number token.
+    pub fn f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(t) => t.parse().ok().filter(|x: &f64| x.is_finite()),
+            _ => None,
+        }
+    }
+
+    /// Like [`f64`](Json::f64) but mapping `null` to `Some(None)`.
+    pub fn f64_or_null(&self) -> Option<Option<f64>> {
+        match self {
+            Json::Null => Some(None),
+            v => v.f64().map(Some),
+        }
+    }
+
+    /// The elements, when an array.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage). Supports the
+/// subset this crate writes: objects, arrays, strings with basic escapes,
+/// number tokens, `true`/`false`/`null`.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' if self.eat_word("true") => Ok(Json::Bool(true)),
+            b'f' if self.eat_word("false") => Ok(Json::Bool(false)),
+            b'n' if self.eat_word("null") => Ok(Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or("unterminated escape")? {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        c => return Err(format!("unknown escape \\{}", c as char)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if token.parse::<f64>().is_err() {
+            return Err(format!("bad number token {token:?}"));
+        }
+        Ok(Json::Num(token.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_round_trips_the_shapes_we_write() {
+        let v = parse_json(r#"{"a": [1, 2.5, null], "b": "x\"y", "c": {"d": true}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().arr().unwrap()[0].u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().arr().unwrap()[1].f64(), Some(2.5));
+        assert_eq!(v.get("a").unwrap().arr().unwrap()[2], Json::Null);
+        assert_eq!(v.get("b").unwrap().str(), Some("x\"y"));
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&Json::Bool(true)));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2] tail").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn float_tokens_parse_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-300, -0.0, 123_456_789.123_456_79] {
+            let text = format!("[{x}]");
+            let v = parse_json(&text).unwrap();
+            assert_eq!(
+                v.arr().unwrap()[0].f64().unwrap().to_bits(),
+                x.to_bits(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn status_names() {
+        assert_eq!(CacheStatus::Off.name(), "off");
+        assert_eq!(CacheStatus::Hit.name(), "hit");
+        assert_eq!(CacheStatus::Miss.name(), "miss");
+    }
+}

@@ -78,10 +78,10 @@ fn corner_spec(
     label: impl Into<String>,
 ) -> RunSpec {
     RunSpec::corner(params, scheme, corner)
-        .packet_size(opts.packet_size())
-        .horizon(corner_horizon(opts))
-        .bin(series_bin(opts))
-        .label(label)
+        .with_packet_size(opts.packet_size())
+        .with_horizon(corner_horizon(opts))
+        .with_bin(series_bin(opts))
+        .with_label(label)
 }
 
 /// Figure 2: network throughput over time for corner cases 1 and 2 under
@@ -225,10 +225,10 @@ fn san_figures(
         for scheme in &schemes {
             specs.push(
                 RunSpec::san(*scheme, SanParams::cello_like(compression))
-                    .packet_size(opts.pkt.unwrap_or(64))
-                    .horizon(corner_horizon(opts))
-                    .bin(series_bin(opts))
-                    .label(format!("{prefix}_c{}", compression as u32)),
+                    .with_packet_size(opts.pkt.unwrap_or(64))
+                    .with_horizon(corner_horizon(opts))
+                    .with_bin(series_bin(opts))
+                    .with_label(format!("{prefix}_c{}", compression as u32)),
             );
         }
     }

@@ -30,7 +30,8 @@
 //! machine-readable JSON summary under `results/` (`--json DIR|none`).
 //!
 //! [`RunSpec`] is the single description of "one simulation run" shared by
-//! the figures, the benches, and the golden-trace suite:
+//! the figures, the benches, the golden-trace suite and the run cache —
+//! see [`spec`] for its builder API and canonical `spec_v1` encoding:
 //!
 //! ```
 //! use experiments::RunSpec;
@@ -45,23 +46,29 @@
 //!     SchemeKind::OneQ,
 //!     CornerCase::fattree_64().shrunk(8),
 //! )
-//! .horizon(Picos::from_us(200))
-//! .routing(RoutingPolicy::adaptive())
-//! .label("example");
-//! assert_eq!(spec.routing.name(), "adaptive");
-//! // `experiments::run_one(&spec)` (or a `Sweep` of many specs) runs it.
+//! .with_horizon(Picos::from_us(200))
+//! .with_routing(RoutingPolicy::adaptive())
+//! .with_label("example");
+//! assert_eq!(spec.routing().name(), "adaptive");
+//! // `experiments::run_one(&spec)` (or a `Sweep` of many specs) runs it;
+//! // `spec.spec_hash()` is the content address the run cache files it
+//! // under (`Sweep::cache`, the `sweepd` service).
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cache;
 pub mod figures;
 pub mod opts;
 pub mod runner;
+pub mod spec;
 pub mod sweep;
 pub mod table1;
 
+pub use cache::{CacheStatus, RunCache};
 pub use opts::{Opts, TopologyChoice};
-pub use runner::{run_one, RunOutput, SchemeSet, Workload};
-pub use sweep::{RunSpec, Sweep};
+pub use runner::{run_one, RunOutput, SchemeSet, Workload, OUTPUT_SCHEMA_VERSION};
+pub use spec::RunSpec;
+pub use sweep::{Sweep, SweepReport};

@@ -1,4 +1,15 @@
-//! Minimal command-line options shared by the experiment binaries.
+//! Command-line options shared by the experiment binaries.
+//!
+//! Two layers:
+//!
+//! * A reusable declarative flag parser — [`FlagDef`], [`parse_flags`],
+//!   [`usage_line`], [`render_help`] — used by every binary in the
+//!   workspace (the figure binaries through [`Opts`], and `bench_core` /
+//!   `sweepd` with their own flag tables). One table per binary, one
+//!   `--help` renderer, `Result` errors instead of panics, and deprecated
+//!   flag spellings ride along as aliases.
+//! * [`Opts`], the typed option set of the figure/validation binaries,
+//!   built on that parser.
 
 use std::path::PathBuf;
 
@@ -6,14 +17,178 @@ use simcore::SchedulerKind;
 use topology::{FatTreeParams, MinParams, TopoParams};
 
 use crate::runner::RunOutput;
-use crate::sweep::{RunSpec, Sweep};
+use crate::sweep::{RunSpec, Sweep, SweepReport};
 
-/// Usage text printed by `--help` and attached to parse errors.
-pub const USAGE: &str = "options: [--quick] [--pkt 64|512] [--csv DIR] [--json DIR|none] \
-                         [--jobs N] [--net 256|512] [--stride N] [--trace FILE] \
-                         [--trace-last N] [--scheduler calendar|heap] \
-                         [--topology min|fattree] \
-                         [--routing deterministic|adaptive]";
+/// One command-line flag a binary accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagDef {
+    /// Canonical spelling, e.g. `--jobs`.
+    pub name: &'static str,
+    /// Deprecated spellings that still parse (mapped to `name`).
+    pub aliases: &'static [&'static str],
+    /// `Some((metavar, description))` when the flag takes a value — the
+    /// metavar lands in the usage line, the description in "needs" errors.
+    pub value: Option<(&'static str, &'static str)>,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// Parses `args` against a flag table. Returns `(canonical name, value)`
+/// pairs in argument order; `--help`/`-h` come back as a `"--help"` entry
+/// for the caller to render. Errors (with the usage line attached) on
+/// unknown flags and on missing values — value *syntax* is the caller's
+/// to check, so typed errors stay next to the typed fields.
+pub fn parse_flags(
+    args: impl IntoIterator<Item = String>,
+    defs: &[FlagDef],
+) -> Result<Vec<(&'static str, Option<String>)>, String> {
+    let usage = usage_line(defs);
+    let mut out = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--help" || arg == "-h" {
+            out.push(("--help", None));
+            continue;
+        }
+        let def = defs
+            .iter()
+            .find(|d| d.name == arg || d.aliases.contains(&arg.as_str()))
+            .ok_or_else(|| format!("unknown option {arg}; {usage}"))?;
+        let value = match def.value {
+            None => None,
+            Some((_, what)) => Some(
+                it.next()
+                    .ok_or_else(|| format!("{} needs {what}; {usage}", def.name))?,
+            ),
+        };
+        out.push((def.name, value));
+    }
+    Ok(out)
+}
+
+/// The one-line usage summary for a flag table:
+/// `options: [--quick] [--jobs N] …`.
+pub fn usage_line(defs: &[FlagDef]) -> String {
+    let mut s = String::from("options:");
+    for d in defs {
+        match d.value {
+            None => s.push_str(&format!(" [{}]", d.name)),
+            Some((metavar, _)) => s.push_str(&format!(" [{} {metavar}]", d.name)),
+        }
+    }
+    s
+}
+
+/// The full `--help` text for a flag table: the usage line plus one
+/// aligned line per flag (aliases marked deprecated).
+pub fn render_help(defs: &[FlagDef]) -> String {
+    let mut s = usage_line(defs);
+    s.push('\n');
+    let left: Vec<String> = defs
+        .iter()
+        .map(|d| match d.value {
+            None => d.name.to_owned(),
+            Some((metavar, _)) => format!("{} {metavar}", d.name),
+        })
+        .collect();
+    let width = left.iter().map(|l| l.len()).max().unwrap_or(0);
+    for (d, l) in defs.iter().zip(&left) {
+        s.push_str(&format!("  {l:width$}  {}", d.help));
+        if !d.aliases.is_empty() {
+            s.push_str(&format!(" (deprecated alias: {})", d.aliases.join(", ")));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// The flag table of the figure/validation binaries (what [`Opts::parse`]
+/// accepts).
+pub const OPTS_FLAGS: &[FlagDef] = &[
+    FlagDef {
+        name: "--quick",
+        aliases: &[],
+        value: None,
+        help: "8x time compression (benches/CI; curve shapes preserved)",
+    },
+    FlagDef {
+        name: "--pkt",
+        aliases: &[],
+        value: Some(("64|512", "a value")),
+        help: "packet size in bytes (default 64)",
+    },
+    FlagDef {
+        name: "--csv",
+        aliases: &[],
+        value: Some(("DIR", "a directory")),
+        help: "also write CSV files under DIR",
+    },
+    FlagDef {
+        name: "--json",
+        aliases: &[],
+        value: Some(("DIR|none", "a directory (or `none`)")),
+        help: "JSON sweep summaries under DIR (default results/; `none` disables)",
+    },
+    FlagDef {
+        name: "--cache",
+        aliases: &[],
+        value: Some(("DIR|none", "a directory (or `none`)")),
+        help: "content-addressed run cache under DIR (resumes interrupted sweeps)",
+    },
+    FlagDef {
+        name: "--jobs",
+        aliases: &[],
+        value: Some(("N", "a worker count")),
+        help: "sweep worker count (default = available parallelism)",
+    },
+    FlagDef {
+        name: "--net",
+        aliases: &[],
+        value: Some(("256|512", "256 or 512")),
+        help: "network size selector for fig6 (both when absent)",
+    },
+    FlagDef {
+        name: "--stride",
+        aliases: &[],
+        value: Some(("N", "a value")),
+        help: "print every Nth series row (default 4)",
+    },
+    FlagDef {
+        name: "--trace",
+        aliases: &[],
+        value: Some(("FILE", "a file")),
+        help: "write an event-trace JSONL file",
+    },
+    FlagDef {
+        name: "--trace-last",
+        aliases: &[],
+        value: Some(("N", "a record count")),
+        help: "trace ring capacity (default 4096; digest covers the whole run)",
+    },
+    FlagDef {
+        name: "--scheduler",
+        aliases: &[],
+        value: Some(("calendar|heap", "calendar or heap")),
+        help: "event-queue backend (A/B escape hatch; results bit-identical)",
+    },
+    FlagDef {
+        name: "--topology",
+        aliases: &[],
+        value: Some(("min|fattree", "min or fattree")),
+        help: "topology family to build (MIN default)",
+    },
+    FlagDef {
+        name: "--routing",
+        aliases: &[],
+        value: Some(("deterministic|adaptive", "deterministic or adaptive")),
+        help: "routing policy (deterministic default)",
+    },
+];
+
+/// The usage text attached to parse errors (generated from [`OPTS_FLAGS`]).
+pub fn usage() -> String {
+    usage_line(OPTS_FLAGS)
+}
 
 /// Which topology family the binaries should build (`--topology`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +251,10 @@ pub struct Opts {
     /// [`Opts::parse`] defaults it to `results/` (`--json none` disables);
     /// the programmatic `Opts::default()` leaves it off.
     pub json_dir: Option<PathBuf>,
+    /// Content-addressed run cache directory (`--cache DIR`; off by
+    /// default — completed runs are then served from disk and interrupted
+    /// sweeps resume where they stopped).
+    pub cache_dir: Option<PathBuf>,
     /// Sweep worker count (`--jobs N`; default = available parallelism).
     pub jobs: Option<usize>,
     /// Network size selector for `fig6` (256 or 512; both when `None`).
@@ -107,7 +286,7 @@ impl Opts {
     ///
     /// Returns `Err` with a message that includes the usage text on
     /// unknown flags or missing/invalid values. `--help` still prints the
-    /// usage and exits successfully.
+    /// full help and exits successfully.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Opts, String> {
         let mut opts = Opts {
             stride: 4,
@@ -115,87 +294,86 @@ impl Opts {
             trace_last: 4096,
             ..Opts::default()
         };
-        let mut it = args.into_iter();
-        fn value(
-            it: &mut impl Iterator<Item = String>,
-            flag: &str,
-            what: &str,
-        ) -> Result<String, String> {
-            it.next()
-                .ok_or_else(|| format!("{flag} needs {what}; {USAGE}"))
-        }
-        while let Some(a) = it.next() {
-            match a.as_str() {
+        for (name, value) in parse_flags(args, OPTS_FLAGS)? {
+            // Flags with a value always carry Some(..) here (parse_flags
+            // enforced it); unwrap via expect to keep the match readable.
+            let v = || value.clone().expect("value enforced by parse_flags");
+            match name {
                 "--quick" => opts.quick = true,
                 "--pkt" => {
-                    let v = value(&mut it, "--pkt", "a value")?;
+                    let v = v();
                     opts.pkt = Some(
                         v.parse()
                             .map_err(|_| format!("--pkt expects bytes, got {v:?}"))?,
                     );
                 }
-                "--csv" => {
-                    opts.csv_dir = Some(PathBuf::from(value(&mut it, "--csv", "a directory")?));
-                }
+                "--csv" => opts.csv_dir = Some(PathBuf::from(v())),
                 "--json" => {
-                    let v = value(&mut it, "--json", "a directory (or `none`)")?;
+                    let v = v();
                     opts.json_dir = if v == "none" {
                         None
                     } else {
                         Some(PathBuf::from(v))
                     };
                 }
+                "--cache" => {
+                    let v = v();
+                    opts.cache_dir = if v == "none" {
+                        None
+                    } else {
+                        Some(PathBuf::from(v))
+                    };
+                }
                 "--jobs" => {
-                    let v = value(&mut it, "--jobs", "a worker count")?;
+                    let v = v();
                     let n: usize = v
                         .parse()
                         .map_err(|_| format!("--jobs expects a count, got {v:?}"))?;
                     opts.jobs = Some(n.max(1));
                 }
                 "--net" => {
-                    let v = value(&mut it, "--net", "256 or 512")?;
+                    let v = v();
                     opts.net = Some(
                         v.parse()
                             .map_err(|_| format!("--net expects a host count, got {v:?}"))?,
                     );
                 }
                 "--stride" => {
-                    let v = value(&mut it, "--stride", "a value")?;
+                    let v = v();
                     opts.stride = v
                         .parse()
                         .map_err(|_| format!("--stride expects a count, got {v:?}"))?;
                 }
-                "--trace" => {
-                    opts.trace_file = Some(PathBuf::from(value(&mut it, "--trace", "a file")?));
-                }
+                "--trace" => opts.trace_file = Some(PathBuf::from(v())),
                 "--trace-last" => {
-                    let v = value(&mut it, "--trace-last", "a record count")?;
+                    let v = v();
                     let n: usize = v
                         .parse()
                         .map_err(|_| format!("--trace-last expects a count, got {v:?}"))?;
                     opts.trace_last = n.max(1);
                 }
                 "--scheduler" => {
-                    let v = value(&mut it, "--scheduler", "calendar or heap")?;
                     opts.scheduler =
-                        SchedulerKind::parse(&v).map_err(|e| format!("{e}; {USAGE}"))?;
+                        SchedulerKind::parse(&v()).map_err(|e| format!("{e}; {}", usage()))?;
                 }
                 "--topology" => {
-                    let v = value(&mut it, "--topology", "min or fattree")?;
                     opts.topology =
-                        TopologyChoice::parse(&v).map_err(|e| format!("{e}; {USAGE}"))?;
+                        TopologyChoice::parse(&v()).map_err(|e| format!("{e}; {}", usage()))?;
                 }
                 "--routing" => {
-                    let v = value(&mut it, "--routing", "deterministic or adaptive")?;
+                    let v = v();
                     opts.routing = fabric::RoutingPolicy::parse(&v).ok_or_else(|| {
-                        format!("unknown routing policy {v:?} (deterministic|adaptive); {USAGE}")
+                        format!(
+                            "unknown routing policy {v:?} (deterministic|adaptive); {}",
+                            usage()
+                        )
                     })?;
                 }
-                "--help" | "-h" => {
-                    println!("{USAGE}");
+                "--help" => {
+                    println!("{}", render_help(OPTS_FLAGS));
                     std::process::exit(0);
                 }
-                other => return Err(format!("unknown option {other}; {USAGE}")),
+                other => unreachable!("flag {other} in table but not matched"),
             }
         }
         if opts.stride == 0 {
@@ -234,12 +412,18 @@ impl Opts {
 
     /// Runs `specs` through a [`Sweep`] configured from these options:
     /// `--jobs` workers (default = available parallelism), progress lines
-    /// on stderr, and a JSON summary named after the sweep when
-    /// `--json` is active.
+    /// on stderr, a JSON summary named after the sweep when `--json` is
+    /// active, and the content-addressed run cache when `--cache` is.
     pub fn sweep(&self, name: &str, specs: Vec<RunSpec>) -> Vec<RunOutput> {
+        self.sweep_report(name, specs).outputs
+    }
+
+    /// Like [`sweep`](Opts::sweep) but returning the full [`SweepReport`]
+    /// (per-run cache statuses, sweep timing).
+    pub fn sweep_report(&self, name: &str, specs: Vec<RunSpec>) -> SweepReport {
         let specs: Vec<RunSpec> = specs
             .into_iter()
-            .map(|s| s.scheduler(self.scheduler).routing(self.routing))
+            .map(|s| s.with_scheduler(self.scheduler).with_routing(self.routing))
             .collect();
         let mut sweep = Sweep::new(specs)
             .jobs(self.jobs.unwrap_or(0))
@@ -247,7 +431,10 @@ impl Opts {
         if let Some(dir) = &self.json_dir {
             sweep = sweep.json(dir.clone(), name);
         }
-        sweep.run()
+        if let Some(dir) = &self.cache_dir {
+            sweep = sweep.cache(dir.clone());
+        }
+        sweep.run_report()
     }
 
     /// Writes a CSV file if `--csv` was given.
@@ -281,6 +468,8 @@ mod tests {
         assert_eq!(o.json_dir, Some(PathBuf::from("results")));
         // ... while the programmatic default leaves them off.
         assert_eq!(Opts::default().json_dir, None);
+        // The run cache is opt-in either way.
+        assert_eq!(o.cache_dir, None);
     }
 
     #[test]
@@ -399,5 +588,44 @@ mod tests {
         // --jobs 0 is coerced to 1 rather than an empty pool.
         let o = parse(&["--jobs", "0"]).unwrap();
         assert_eq!(o.jobs, Some(1));
+    }
+
+    #[test]
+    fn cache_flag_parses() {
+        let o = parse(&["--cache", "results/cache"]).unwrap();
+        assert_eq!(o.cache_dir, Some(PathBuf::from("results/cache")));
+        let o = parse(&["--cache", "none"]).unwrap();
+        assert_eq!(o.cache_dir, None);
+        assert!(parse(&["--cache"]).unwrap_err().contains("--cache needs"));
+    }
+
+    #[test]
+    fn flag_machinery_renders_usage_and_help() {
+        let u = usage();
+        assert!(u.starts_with("options:"));
+        assert!(u.contains("[--jobs N]"));
+        assert!(u.contains("[--cache DIR|none]"));
+        assert!(u.contains("[--quick]"), "boolean flags have no metavar");
+        let help = render_help(OPTS_FLAGS);
+        for d in OPTS_FLAGS {
+            assert!(help.contains(d.name), "{} in help", d.name);
+            assert!(help.contains(d.help), "{} help text present", d.name);
+        }
+    }
+
+    #[test]
+    fn flag_aliases_map_to_canonical_names() {
+        const DEFS: &[FlagDef] = &[FlagDef {
+            name: "--quick",
+            aliases: &["--small"],
+            value: None,
+            help: "short run",
+        }];
+        let parsed =
+            parse_flags(["--small".to_owned()], DEFS).expect("deprecated alias still parses");
+        assert_eq!(parsed, vec![("--quick", None)]);
+        assert!(render_help(DEFS).contains("deprecated alias: --small"));
+        let err = parse_flags(["--tiny".to_owned()], DEFS).unwrap_err();
+        assert!(err.contains("unknown option --tiny"), "{err}");
     }
 }

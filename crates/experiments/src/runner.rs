@@ -13,7 +13,12 @@ use simcore::{Picos, SeriesPoint};
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
 
-use crate::sweep::RunSpec;
+use crate::spec::RunSpec;
+
+/// Version of the run-output shape: the JSON sweep summaries and the run
+/// cache's body format. Bump on any field addition/removal/meaning change;
+/// cache entries written under another version are rejected on load.
+pub const OUTPUT_SCHEMA_VERSION: u32 = 2;
 
 /// The workload of a run.
 #[derive(Debug, Clone)]
@@ -78,6 +83,9 @@ impl Workload {
 /// Results of one simulation run.
 #[derive(Debug)]
 pub struct RunOutput {
+    /// Shape version of this output (always [`OUTPUT_SCHEMA_VERSION`] for
+    /// outputs produced by this build; cache loads verify it).
+    pub schema_version: u32,
     /// Scheme display name.
     pub scheme: &'static str,
     /// Delivered throughput, bytes/ns per bin.
@@ -101,7 +109,7 @@ pub struct RunOutput {
     /// set ever got during the run (the engine's binding memory metric).
     pub peak_event_queue_depth: usize,
     /// Stable 64-bit digest of the run's event trace (only when the spec
-    /// enabled tracing via [`RunSpec::trace`](crate::sweep::RunSpec::trace)).
+    /// enabled tracing via [`RunSpec::with_trace`](crate::spec::RunSpec::with_trace)).
     pub trace_digest: Option<u64>,
 }
 
@@ -189,48 +197,50 @@ impl SchemeSet {
 /// only the plain-data [`RunOutput`] escapes, which is what lets
 /// [`crate::sweep::Sweep`] fan runs out across threads.
 pub fn run_one(spec: &RunSpec) -> RunOutput {
-    let mut fabric_cfg = if spec.params.hosts() >= 512 {
-        FabricConfig::paper_512(spec.scheme)
+    let mut fabric_cfg = if spec.params().hosts() >= 512 {
+        FabricConfig::paper_512(spec.scheme())
     } else {
-        FabricConfig::paper(spec.scheme)
+        FabricConfig::paper(spec.scheme())
     }
-    .with_routing(spec.routing);
-    fabric_cfg.admit_cap = spec.workload.admit_cap();
-    let sources = spec.workload.sources(spec.params.hosts(), spec.horizon);
-    let (probe, handle) = Probe::new(spec.bin);
+    .with_routing(spec.routing());
+    fabric_cfg.admit_cap = spec.workload().admit_cap();
+    let sources = spec
+        .workload()
+        .sources(spec.params().hosts(), spec.horizon());
+    let (probe, handle) = Probe::new(spec.bin());
     // Validator and tracer ride the same observer slot as the probe via a
     // fan-out; all three are Rc<RefCell>-based and constructed here, on the
     // worker thread, per the sweep's thread-locality contract.
     let mut fan = FanoutObserver::new().push(Box::new(probe));
-    if spec.validate {
+    if spec.validation() {
         let (validator, _vhandle) = ValidatingObserver::new();
         fan = fan.push(Box::new(validator));
     }
     let mut trace: Option<TraceHandle> = None;
-    if let Some(capacity) = spec.trace_capacity {
-        let (sink, thandle) = TraceSink::new(capacity, spec.label.clone());
+    if let Some(capacity) = spec.trace_capacity() {
+        let (sink, thandle) = TraceSink::new(capacity, spec.label().to_owned());
         fan = fan.push(Box::new(sink));
         trace = Some(thandle);
     }
     let net = Network::new(
-        spec.params,
+        spec.params(),
         fabric_cfg,
-        spec.packet_size,
+        spec.packet_size(),
         sources,
         Box::new(fan),
     );
     let started = Instant::now();
-    let mut engine = net.build_engine_with(spec.scheduler);
-    engine.run_until(spec.horizon);
+    let mut engine = net.build_engine_with(spec.scheduler());
+    engine.run_until(spec.horizon());
     let wall_secs = started.elapsed().as_secs_f64();
     let events = engine.processed();
     let peak_depth = engine.queue().peak_len();
     let model = engine.into_model();
     let mut out = finish(
-        spec.scheme,
+        spec.scheme(),
         model,
         handle,
-        spec.horizon,
+        spec.horizon(),
         wall_secs,
         events,
         peak_depth,
@@ -249,6 +259,7 @@ fn finish(
     peak_event_queue_depth: usize,
 ) -> RunOutput {
     RunOutput {
+        schema_version: OUTPUT_SCHEMA_VERSION,
         scheme: scheme.name(),
         throughput: handle.throughput(horizon),
         saq_ingress: handle.saq_max_ingress(horizon),
@@ -296,10 +307,11 @@ mod tests {
     fn quick_corner_run_produces_series() {
         let corner = CornerCase::case1_64().shrunk(40); // hotspot 20–24.25 µs
         let spec = RunSpec::corner(MinParams::paper_64(), SchemeKind::OneQ, corner)
-            .horizon(Picos::from_us(40))
-            .bin(Picos::from_us(2));
+            .with_horizon(Picos::from_us(40))
+            .with_bin(Picos::from_us(2));
         let out = run_one(&spec);
         assert_eq!(out.throughput.len(), 20);
+        assert_eq!(out.schema_version, OUTPUT_SCHEMA_VERSION);
         assert!(out.counters.delivered_packets > 0);
         assert!(out.throughput.iter().any(|p| p.value > 1.0));
         assert!(!summarize(&out).is_empty());
@@ -313,8 +325,8 @@ mod tests {
             SchemeKind::Recn(scaled_recn_config(40)),
             corner,
         )
-        .horizon(Picos::from_us(40))
-        .bin(Picos::from_us(2));
+        .with_horizon(Picos::from_us(40))
+        .with_bin(Picos::from_us(2));
         let out = run_one(&spec);
         assert!(
             out.saq_peaks.2 > 0,
@@ -332,11 +344,11 @@ mod tests {
         use simcore::SchedulerKind;
         let corner = CornerCase::case1_64().shrunk(40);
         let base = RunSpec::corner(MinParams::paper_64(), SchemeKind::OneQ, corner)
-            .horizon(Picos::from_us(40))
-            .bin(Picos::from_us(2))
-            .trace(64);
-        let cal = run_one(&base.clone().scheduler(SchedulerKind::Calendar));
-        let heap = run_one(&base.scheduler(SchedulerKind::Heap));
+            .with_horizon(Picos::from_us(40))
+            .with_bin(Picos::from_us(2))
+            .with_trace(64);
+        let cal = run_one(&base.clone().with_scheduler(SchedulerKind::Calendar));
+        let heap = run_one(&base.with_scheduler(SchedulerKind::Heap));
         assert_eq!(cal.trace_digest, heap.trace_digest);
         assert_eq!(cal.events, heap.events);
         assert_eq!(

@@ -4,15 +4,22 @@
 //! network-size)` simulations, so the harness fans them out over a worker
 //! pool instead of running them back to back:
 //!
-//! * [`RunSpec`] — a fully-described simulation run (named fields instead
-//!   of `run_one`'s former six positional arguments), with builder-style
-//!   constructors for the common shapes ([`RunSpec::corner`],
-//!   [`RunSpec::san`]).
+//! * [`RunSpec`] — a fully-described simulation run (see [`crate::spec`]
+//!   for the builder API and its canonical `spec_v1` encoding).
 //! * [`Sweep`] — takes a `Vec<RunSpec>`, runs them on a
 //!   [`std::thread::scope`] pool (`--jobs N`, default = available
 //!   parallelism), and returns the [`RunOutput`]s **in submission order**
 //!   regardless of completion order, so tables and CSVs are bit-identical
 //!   to a serial run.
+//!
+//! ## Caching
+//!
+//! [`Sweep::cache`] routes every run through a content-addressed
+//! [`RunCache`]: specs whose `spec_v1` hash already has a verified entry
+//! are served from disk (bit-identical outputs, original wall time
+//! replayed), everything else runs and is stored atomically. Interrupt a
+//! sweep anywhere and re-submit it — completed runs are skipped and the
+//! final tables are byte-identical to an uninterrupted sweep.
 //!
 //! ## Thread-locality contract
 //!
@@ -27,165 +34,20 @@
 //!
 //! [`Sweep::json`] writes a JSON summary of the sweep (per run: scheme,
 //! delivered packets/bytes, mean latency, SAQ peaks, wall seconds,
-//! events/sec) under a directory — the binaries default this to
-//! `results/`.
+//! events/sec, cache status) under a directory — the binaries default this
+//! to `results/`. The shape is versioned by
+//! [`OUTPUT_SCHEMA_VERSION`] and
+//! documented in `DESIGN.md`.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use fabric::SchemeKind;
-use simcore::{Picos, SchedulerKind};
-use topology::TopoParams;
-use traffic::corner::CornerCase;
-use traffic::san::SanParams;
+use crate::cache::{CacheStatus, RunCache};
+use crate::runner::{run_one, RunOutput, OUTPUT_SCHEMA_VERSION};
 
-use crate::runner::{run_one, RunOutput, Workload};
-
-/// A fully-described simulation run: what `run_one` executes.
-///
-/// Replaces the former six positional arguments of `run_one` with named
-/// fields plus chainable setters, so call sites read as specifications:
-///
-/// ```
-/// use experiments::sweep::RunSpec;
-/// use fabric::SchemeKind;
-/// use simcore::Picos;
-/// use topology::MinParams;
-/// use traffic::corner::CornerCase;
-///
-/// let spec = RunSpec::corner(
-///     MinParams::paper_64(),
-///     SchemeKind::OneQ,
-///     CornerCase::case1_64().shrunk(40),
-/// )
-/// .horizon(Picos::from_us(40))
-/// .bin(Picos::from_us(2))
-/// .label("quickcheck");
-/// assert_eq!(spec.packet_size, 64);
-/// ```
-#[derive(Debug, Clone)]
-pub struct RunSpec {
-    /// Context tag for progress lines and JSON summaries (e.g. `fig2a`).
-    pub label: String,
-    /// Network topology parameters (MIN or fat tree; `MinParams` and
-    /// `FatTreeParams` convert via `.into()` at the constructors).
-    pub params: TopoParams,
-    /// Queueing scheme under test.
-    pub scheme: SchemeKind,
-    /// Traffic offered to the network.
-    pub workload: Workload,
-    /// Packet size in bytes (paper headline figures: 64).
-    pub packet_size: u32,
-    /// Simulated time to run to.
-    pub horizon: Picos,
-    /// Series bucket width for the probe.
-    pub bin: Picos,
-    /// Run with a [`fabric::ValidatingObserver`] fanned in: every event is
-    /// cross-checked against the lossless-network invariants and the run
-    /// panics on the first violation.
-    pub validate: bool,
-    /// Record a [`fabric::TraceSink`] retaining this many events; the
-    /// run's stable digest lands in
-    /// [`RunOutput::trace_digest`](crate::runner::RunOutput::trace_digest).
-    pub trace_capacity: Option<usize>,
-    /// Event-queue scheduler backend for the run. Both backends deliver the
-    /// same event order (results are bit-identical); the heap is kept as an
-    /// A/B escape hatch. Defaults to the calendar queue.
-    pub scheduler: SchedulerKind,
-    /// Routing policy: the paper's deterministic self-routing (default) or
-    /// adaptive up-routing where fat-tree switches select up-ports at
-    /// forwarding time.
-    pub routing: fabric::RoutingPolicy,
-}
-
-impl RunSpec {
-    /// A run of `workload` under `scheme` on a `params`-shaped network,
-    /// with the paper's defaults (64-byte packets, 1600 µs horizon, 5 µs
-    /// bins).
-    pub fn new(params: impl Into<TopoParams>, scheme: SchemeKind, workload: Workload) -> RunSpec {
-        RunSpec {
-            label: scheme.name().to_owned(),
-            params: params.into(),
-            scheme,
-            workload,
-            packet_size: 64,
-            horizon: Picos::from_us(1600),
-            bin: Picos::from_us(5),
-            validate: false,
-            trace_capacity: None,
-            scheduler: SchedulerKind::default(),
-            routing: fabric::RoutingPolicy::Deterministic,
-        }
-    }
-
-    /// A corner-case run (Table 1 traffic).
-    pub fn corner(
-        params: impl Into<TopoParams>,
-        scheme: SchemeKind,
-        corner: CornerCase,
-    ) -> RunSpec {
-        RunSpec::new(params, scheme, Workload::Corner(corner))
-    }
-
-    /// A SAN-trace run on the paper's 64-host network.
-    pub fn san(scheme: SchemeKind, san: SanParams) -> RunSpec {
-        RunSpec::new(topology::MinParams::paper_64(), scheme, Workload::San(san))
-    }
-
-    /// Sets the packet size in bytes.
-    pub fn packet_size(mut self, bytes: u32) -> RunSpec {
-        self.packet_size = bytes;
-        self
-    }
-
-    /// Sets the simulated horizon.
-    pub fn horizon(mut self, horizon: Picos) -> RunSpec {
-        self.horizon = horizon;
-        self
-    }
-
-    /// Sets the series bucket width.
-    pub fn bin(mut self, bin: Picos) -> RunSpec {
-        self.bin = bin;
-        self
-    }
-
-    /// Sets the context label shown in progress lines and JSON summaries.
-    pub fn label(mut self, label: impl Into<String>) -> RunSpec {
-        self.label = label.into();
-        self
-    }
-
-    /// Enables online invariant checking for this run (see
-    /// [`fabric::ValidatingObserver`]).
-    pub fn validate(mut self, on: bool) -> RunSpec {
-        self.validate = on;
-        self
-    }
-
-    /// Enables event tracing with a ring buffer of `capacity` records; the
-    /// stable run digest is returned in `RunOutput::trace_digest`.
-    pub fn trace(mut self, capacity: usize) -> RunSpec {
-        self.trace_capacity = Some(capacity);
-        self
-    }
-
-    /// Selects the event-queue scheduler backend (calendar by default; the
-    /// heap is the A/B validation escape hatch).
-    pub fn scheduler(mut self, kind: SchedulerKind) -> RunSpec {
-        self.scheduler = kind;
-        self
-    }
-
-    /// Selects the routing policy (deterministic by default; adaptive lets
-    /// fat-tree switches pick up-ports at forwarding time).
-    pub fn routing(mut self, routing: fabric::RoutingPolicy) -> RunSpec {
-        self.routing = routing;
-        self
-    }
-}
+pub use crate::spec::RunSpec;
 
 /// A batch of independent simulation runs fanned out over a worker pool.
 ///
@@ -199,17 +61,45 @@ pub struct Sweep {
     jobs: usize,
     progress: bool,
     json: Option<(PathBuf, String)>,
+    cache: Option<RunCache>,
+}
+
+/// Everything a finished [`Sweep`] knows: the specs, their outputs in
+/// submission order, how each was satisfied, and the sweep's own timing.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The specs, in submission order.
+    pub specs: Vec<RunSpec>,
+    /// One output per spec, same order.
+    pub outputs: Vec<RunOutput>,
+    /// How each spec was satisfied (cache hit/miss, or `Off`).
+    pub cache: Vec<CacheStatus>,
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Wall-clock seconds the whole sweep took.
+    pub total_wall_secs: f64,
+}
+
+impl SweepReport {
+    /// Number of cache hits in the sweep.
+    pub fn cache_hits(&self) -> usize {
+        self.cache
+            .iter()
+            .filter(|s| **s == CacheStatus::Hit)
+            .count()
+    }
 }
 
 impl Sweep {
     /// A sweep over `specs` using all available parallelism, silent, with
-    /// no JSON summary.
+    /// no JSON summary and no cache.
     pub fn new(specs: Vec<RunSpec>) -> Sweep {
         Sweep {
             specs,
             jobs: default_jobs(),
             progress: false,
             json: None,
+            cache: None,
         }
     }
 
@@ -234,13 +124,27 @@ impl Sweep {
         self
     }
 
+    /// Routes every run through a content-addressed [`RunCache`] rooted at
+    /// `dir` (see the module docs on crash-safe resumption).
+    pub fn cache(mut self, dir: impl Into<PathBuf>) -> Sweep {
+        self.cache = Some(RunCache::new(dir));
+        self
+    }
+
     /// Runs every spec and returns the outputs in submission order.
     pub fn run(self) -> Vec<RunOutput> {
+        self.run_report().outputs
+    }
+
+    /// Runs every spec and returns the full [`SweepReport`] (outputs plus
+    /// per-run cache statuses and sweep timing).
+    pub fn run_report(self) -> SweepReport {
         let Sweep {
             specs,
             jobs,
             progress,
             json,
+            cache,
         } = self;
         let n = specs.len();
         let workers = jobs.clamp(1, n.max(1));
@@ -248,7 +152,8 @@ impl Sweep {
 
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunOutput>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<(RunOutput, CacheStatus)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
 
         let work = || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -257,18 +162,37 @@ impl Sweep {
             }
             // The worker builds Network + Probe thread-locally inside
             // run_one; only the Send-able RunOutput leaves this closure.
-            let out = run_one(&specs[i]);
+            let (out, status) = match &cache {
+                None => (run_one(&specs[i]), CacheStatus::Off),
+                Some(c) => match c.load(&specs[i]) {
+                    Some(out) => (out, CacheStatus::Hit),
+                    None => {
+                        let out = run_one(&specs[i]);
+                        if let Err(e) = c.store(&specs[i], &out) {
+                            eprintln!("cache entry for {} not stored: {e}", specs[i].label());
+                        }
+                        (out, CacheStatus::Miss)
+                    }
+                },
+            };
             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
             if progress {
+                let rate = match events_per_sec(&out) {
+                    Some(eps) => format!("{:.1}M events/s", eps / 1e6),
+                    None => "events/s n/a".to_owned(),
+                };
+                let tag = match status {
+                    CacheStatus::Hit => " (cached)",
+                    _ => "",
+                };
                 eprintln!(
-                    "[{finished}/{n}] {} {} … {:.1}s wall, {:.1}M events/s",
+                    "[{finished}/{n}] {} {} … {:.1}s wall, {rate}{tag}",
                     out.scheme,
-                    specs[i].label,
+                    specs[i].label(),
                     out.wall_secs,
-                    events_per_sec(&out) / 1e6,
                 );
             }
-            *slots[i].lock().expect("result slot poisoned") = Some(out);
+            *slots[i].lock().expect("result slot poisoned") = Some((out, status));
         };
 
         if workers <= 1 {
@@ -281,29 +205,30 @@ impl Sweep {
             });
         }
 
-        let outputs: Vec<RunOutput> = slots
+        let (outputs, statuses): (Vec<RunOutput>, Vec<CacheStatus>) = slots
             .into_iter()
             .map(|m| {
                 m.into_inner()
                     .expect("result slot poisoned")
                     .expect("every claimed spec stores an output")
             })
-            .collect();
+            .unzip();
+
+        let report = SweepReport {
+            specs,
+            outputs,
+            cache: statuses,
+            jobs: workers,
+            total_wall_secs: started.elapsed().as_secs_f64(),
+        };
 
         if let Some((dir, name)) = json {
-            match write_summary(
-                &dir,
-                &name,
-                workers,
-                started.elapsed().as_secs_f64(),
-                &specs,
-                &outputs,
-            ) {
+            match write_summary(&dir, &name, &report) {
                 Ok(path) => eprintln!("wrote {}", path.display()),
                 Err(e) => eprintln!("sweep summary not written: {e}"),
             }
         }
-        outputs
+        report
     }
 }
 
@@ -315,67 +240,65 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Simulated events per wall-clock second of a finished run.
-pub fn events_per_sec(out: &RunOutput) -> f64 {
-    if out.wall_secs > 0.0 {
-        out.events as f64 / out.wall_secs
-    } else {
-        0.0
+/// Wall clock below which an events/sec rate is meaningless (a fully
+/// cached or degenerate run): the quotient would explode toward infinity.
+const MIN_RATE_WALL_SECS: f64 = 1e-9;
+
+/// Simulated events per wall-clock second of a finished run, or `None`
+/// when the wall time is too small (or not finite) to divide by — JSON
+/// renders that as `null` instead of `inf`/`NaN`.
+pub fn events_per_sec(out: &RunOutput) -> Option<f64> {
+    if !out.wall_secs.is_finite() || out.wall_secs < MIN_RATE_WALL_SECS {
+        return None;
     }
+    let rate = out.events as f64 / out.wall_secs;
+    rate.is_finite().then_some(rate)
 }
 
 /// Writes the JSON sweep summary and returns its path.
-fn write_summary(
-    dir: &Path,
-    name: &str,
-    jobs: usize,
-    total_wall_secs: f64,
-    specs: &[RunSpec],
-    outputs: &[RunOutput],
-) -> std::io::Result<PathBuf> {
+fn write_summary(dir: &Path, name: &str, report: &SweepReport) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.sweep.json"));
-    std::fs::write(
-        &path,
-        render_summary(name, jobs, total_wall_secs, specs, outputs),
-    )?;
+    std::fs::write(&path, render_summary(name, report))?;
     Ok(path)
 }
 
 /// Renders the machine-readable summary (hand-rolled JSON: the offline
-/// build's serde is a no-op stub, and the shape is small and stable).
-pub fn render_summary(
-    name: &str,
-    jobs: usize,
-    total_wall_secs: f64,
-    specs: &[RunSpec],
-    outputs: &[RunOutput],
-) -> String {
+/// build's serde is a no-op stub, and the shape is small and stable). The
+/// shape is versioned by the top-level `schema_version` field and
+/// documented in `DESIGN.md`.
+pub fn render_summary(name: &str, report: &SweepReport) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"sweep\": {},\n", jstr(name)));
-    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"schema_version\": {OUTPUT_SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     s.push_str(&format!(
         "  \"total_wall_secs\": {},\n",
-        jnum(total_wall_secs)
+        jnum(report.total_wall_secs)
     ));
     s.push_str("  \"runs\": [\n");
-    for (i, (spec, out)) in specs.iter().zip(outputs).enumerate() {
-        let sep = if i + 1 == outputs.len() { "" } else { "," };
+    let n = report.outputs.len();
+    for (i, (spec, out)) in report.specs.iter().zip(&report.outputs).enumerate() {
+        let sep = if i + 1 == n { "" } else { "," };
+        let status = report.cache.get(i).copied().unwrap_or(CacheStatus::Off);
         s.push_str(&format!(
             "    {{\"label\": {}, \"scheme\": {}, \"scheduler\": {}, \"topology\": {}, \
              \"routing\": {}, \
              \"hosts\": {}, \
              \"packet_size\": {}, \
+             \"spec_hash\": {}, \"cache\": {}, \
              \"delivered_packets\": {}, \"delivered_bytes\": {}, \"mean_latency_ns\": {}, \
              \"saq_peaks\": [{}, {}, {}], \"wall_secs\": {}, \"events\": {}, \
              \"events_per_sec\": {}, \"peak_event_queue_depth\": {}}}{sep}\n",
-            jstr(&spec.label),
+            jstr(spec.label()),
             jstr(out.scheme),
-            jstr(spec.scheduler.name()),
-            jstr(spec.params.name()),
-            jstr(spec.routing.name()),
-            spec.params.hosts(),
-            spec.packet_size,
+            jstr(spec.scheduler().name()),
+            jstr(spec.params().name()),
+            jstr(spec.routing().name()),
+            spec.params().hosts(),
+            spec.packet_size(),
+            jstr(&format!("{:016x}", spec.spec_hash())),
+            jstr(status.name()),
             out.counters.delivered_packets,
             out.counters.delivered_bytes,
             jnum(out.counters.latency_ns.mean()),
@@ -384,7 +307,7 @@ pub fn render_summary(
             out.saq_peaks.2,
             jnum(out.wall_secs),
             out.events,
-            jnum(events_per_sec(out)),
+            jopt(events_per_sec(out)),
             out.peak_event_queue_depth,
         ));
     }
@@ -416,12 +339,21 @@ fn jnum(x: f64) -> String {
     }
 }
 
+fn jopt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => jnum(v),
+        None => "null".to_owned(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::runner::SchemeSet;
-    use simcore::SeriesPoint;
+    use fabric::SchemeKind;
+    use simcore::{Picos, SeriesPoint};
     use topology::MinParams;
+    use traffic::corner::CornerCase;
 
     /// Quick corner sweep of every scheme (tiny 40 µs horizon).
     fn quick_specs() -> Vec<RunSpec> {
@@ -431,9 +363,9 @@ mod tests {
             .into_iter()
             .map(|scheme| {
                 RunSpec::corner(MinParams::paper_64(), scheme, corner)
-                    .horizon(Picos::from_us(40))
-                    .bin(Picos::from_us(2))
-                    .label("quick")
+                    .with_horizon(Picos::from_us(40))
+                    .with_bin(Picos::from_us(2))
+                    .with_label("quick")
             })
             .collect()
     }
@@ -476,21 +408,28 @@ mod tests {
     #[test]
     fn summary_json_is_well_formed() {
         let specs = quick_specs();
-        let outs = Sweep::new(specs.clone()).jobs(2).run();
-        let json = render_summary("smoke", 2, 1.25, &specs, &outs);
+        let mut report = Sweep::new(specs.clone()).jobs(2).run_report();
+        assert_eq!(report.jobs, 2);
+        assert!(report.cache.iter().all(|s| *s == CacheStatus::Off));
+        report.total_wall_secs = 1.25;
+        let json = render_summary("smoke", &report);
         assert!(json.contains("\"sweep\": \"smoke\""));
+        assert!(json.contains(&format!("\"schema_version\": {OUTPUT_SCHEMA_VERSION}")));
         assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains("\"total_wall_secs\": 1.25"));
         assert!(json.contains("\"wall_secs\""));
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"scheduler\": \"calendar\""));
         assert!(json.contains("\"topology\": \"min\""));
         assert!(json.contains("\"routing\": \"deterministic\""));
+        assert!(json.contains("\"cache\": \"off\""));
+        assert!(json.contains("\"spec_hash\": \""));
         assert!(json.contains("\"peak_event_queue_depth\""));
         // One runs-array entry per spec, comma-separated except the last.
         assert_eq!(json.matches("\"label\"").count(), specs.len());
         assert_eq!(json.matches("},\n").count(), specs.len() - 1);
-        // Balanced braces/brackets (cheap well-formedness check without a
-        // JSON parser in the offline build).
+        // Balanced braces/brackets (cheap well-formedness check without
+        // pulling the cache's JSON parser into this test).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -500,5 +439,25 @@ mod tests {
         assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(jnum(f64::NAN), "null");
         assert_eq!(jnum(2.5), "2.5");
+        assert_eq!(jopt(None), "null");
+        assert_eq!(jopt(Some(0.5)), "0.5");
+    }
+
+    /// The events/sec bug fix (satellite c): a near-zero wall clock must
+    /// report `None` (JSON `null`), never `inf`/`NaN`.
+    #[test]
+    fn events_per_sec_clamps_degenerate_wall_clock() {
+        let corner = CornerCase::case1_64().shrunk(40);
+        let spec = RunSpec::corner(MinParams::paper_64(), SchemeKind::OneQ, corner)
+            .with_horizon(Picos::from_us(40))
+            .with_bin(Picos::from_us(2));
+        let mut out = run_one(&spec);
+        assert!(events_per_sec(&out).is_some(), "a real run has a rate");
+        for degenerate in [0.0, 1e-12, -1.0, f64::NAN, f64::INFINITY] {
+            out.wall_secs = degenerate;
+            assert_eq!(events_per_sec(&out), None, "wall={degenerate}");
+        }
+        out.wall_secs = 2.0;
+        assert_eq!(events_per_sec(&out), Some(out.events as f64 / 2.0));
     }
 }

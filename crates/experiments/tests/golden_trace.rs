@@ -64,11 +64,11 @@ fn golden_specs(params: impl Into<TopoParams>, corner: CornerCase) -> Vec<RunSpe
         .into_iter()
         .map(|scheme| {
             RunSpec::corner(params, scheme, corner)
-                .horizon(Picos::from_us(40))
-                .bin(Picos::from_us(2))
-                .label("golden")
-                .validate(true)
-                .trace(64)
+                .with_horizon(Picos::from_us(40))
+                .with_bin(Picos::from_us(2))
+                .with_label("golden")
+                .with_validation(true)
+                .with_trace(64)
         })
         .collect()
 }
@@ -126,7 +126,7 @@ fn fattree_adaptive_trace_digests_match_golden_and_are_parallel_stable() {
         || {
             golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64())
                 .into_iter()
-                .map(|s| s.routing(fabric::RoutingPolicy::adaptive()))
+                .map(|s| s.with_routing(fabric::RoutingPolicy::adaptive()))
                 .collect()
         },
         GOLDEN_FATTREE_ADAPTIVE,

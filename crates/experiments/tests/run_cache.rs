@@ -1,0 +1,230 @@
+//! The content-addressed run cache, end to end: populate → hit →
+//! byte-identical replay, resume after a partial sweep, and corrupt-entry
+//! eviction. Everything runs on a 40×-compressed corner case so the whole
+//! file stays in the seconds range.
+
+use experiments::cache::{CacheStatus, RunCache};
+use experiments::runner::{scaled_recn_config, summarize};
+use experiments::spec::RunSpec;
+use experiments::sweep::{render_summary, Sweep};
+use fabric::SchemeKind;
+use simcore::Picos;
+use topology::MinParams;
+use traffic::corner::CornerCase;
+
+/// A fresh scratch directory under the target dir (unique per test so
+/// the suite can run in parallel).
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn quick_specs() -> Vec<RunSpec> {
+    [
+        SchemeKind::OneQ,
+        SchemeKind::VoqNet,
+        SchemeKind::Recn(scaled_recn_config(40)),
+    ]
+    .into_iter()
+    .map(|scheme| {
+        RunSpec::corner(
+            MinParams::paper_64(),
+            scheme,
+            CornerCase::case2_64().shrunk(40),
+        )
+        .with_horizon(Picos::from_us(40))
+        .with_bin(Picos::from_us(2))
+    })
+    .collect()
+}
+
+#[test]
+fn store_then_load_round_trips_every_field() {
+    let dir = scratch("cache_round_trip");
+    let cache = RunCache::new(&dir);
+    let spec = quick_specs().remove(2); // RECN: exercises every counter
+    let out = experiments::run_one(&spec);
+
+    assert!(cache.load(&spec).is_none(), "cold cache must miss");
+    let path = cache.store(&spec, &out).expect("store");
+    assert!(path.exists());
+    let back = cache.load(&spec).expect("hit after store");
+
+    // The replay must agree field for field, bit for bit.
+    assert_eq!(back.schema_version, out.schema_version);
+    assert_eq!(back.scheme, out.scheme);
+    assert_eq!(back.throughput, out.throughput);
+    assert_eq!(back.saq_ingress, out.saq_ingress);
+    assert_eq!(back.saq_egress, out.saq_egress);
+    assert_eq!(back.saq_total, out.saq_total);
+    assert_eq!(back.saq_peaks, out.saq_peaks);
+    assert_eq!(back.events, out.events);
+    assert_eq!(back.peak_event_queue_depth, out.peak_event_queue_depth);
+    assert_eq!(back.wall_secs.to_bits(), out.wall_secs.to_bits());
+    assert_eq!(back.trace_digest, out.trace_digest);
+    assert_eq!(
+        format!("{:?}", back.counters),
+        format!("{:?}", out.counters)
+    );
+    assert_eq!(summarize(&back), summarize(&out));
+}
+
+#[test]
+fn cached_sweep_is_byte_identical_and_all_hits() {
+    let dir = scratch("cache_sweep_twice");
+    let first = Sweep::new(quick_specs()).jobs(2).cache(&dir).run_report();
+    assert_eq!(first.cache, vec![CacheStatus::Miss; 3]);
+
+    let second = Sweep::new(quick_specs()).jobs(2).cache(&dir).run_report();
+    assert_eq!(second.cache, vec![CacheStatus::Hit; 3], "warm cache serves");
+    assert_eq!(second.cache_hits(), 3);
+
+    // Replayed outputs are byte-identical to the originals — including
+    // wall seconds and event totals, which are stored, not re-measured.
+    for (a, b) in first.outputs.iter().zip(&second.outputs) {
+        assert_eq!(summarize(a), summarize(b));
+        assert_eq!(a.wall_secs.to_bits(), b.wall_secs.to_bits());
+        assert_eq!(a.events, b.events);
+    }
+    // The JSON summaries agree except for the per-run cache status and
+    // the sweep's own wall time (masked here by fixing both).
+    let mask = |mut r: experiments::SweepReport| {
+        r.cache = vec![CacheStatus::Off; r.cache.len()];
+        r.total_wall_secs = 0.0;
+        r
+    };
+    assert_eq!(
+        render_summary("t", &mask(first)),
+        render_summary("t", &mask(second)),
+        "cached replay must reproduce the summary byte for byte"
+    );
+}
+
+#[test]
+fn interrupted_sweep_resumes_without_rerunning() {
+    let dir = scratch("cache_resume");
+    let specs = quick_specs();
+
+    // "Interrupted" sweep: only the first two runs completed and were
+    // cached before the crash.
+    let partial = Sweep::new(specs[..2].to_vec()).cache(&dir).run_report();
+    assert_eq!(partial.cache, vec![CacheStatus::Miss; 2]);
+
+    // The resumed full sweep re-serves those two from disk and only runs
+    // the remaining spec.
+    let resumed = Sweep::new(quick_specs()).cache(&dir).run_report();
+    assert_eq!(
+        resumed.cache,
+        vec![CacheStatus::Hit, CacheStatus::Hit, CacheStatus::Miss]
+    );
+    for (a, b) in partial.outputs.iter().zip(&resumed.outputs) {
+        assert_eq!(summarize(a), summarize(b));
+        assert_eq!(a.wall_secs.to_bits(), b.wall_secs.to_bits());
+    }
+
+    // An uninterrupted cold run elsewhere produces the same outputs the
+    // resumed sweep stitched together (determinism across resume).
+    let cold = Sweep::new(quick_specs())
+        .cache(scratch("cache_resume_cold"))
+        .run_report();
+    for (a, b) in cold.outputs.iter().zip(&resumed.outputs) {
+        assert_eq!(summarize(a), summarize(b));
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.trace_digest, b.trace_digest);
+    }
+}
+
+#[test]
+fn corrupt_entries_are_evicted_and_rerun() {
+    let dir = scratch("cache_corrupt");
+    let cache = RunCache::new(&dir);
+    let spec = quick_specs().remove(0);
+    let out = experiments::run_one(&spec);
+    let path = cache.store(&spec, &out).expect("store");
+
+    // Flip bytes in the middle of the entry: the checksum catches it, the
+    // loader evicts the file and reports a miss.
+    let mut text = std::fs::read(&path).expect("read entry");
+    let mid = text.len() / 2;
+    text[mid] ^= 0xFF;
+    std::fs::write(&path, &text).expect("rewrite corrupted");
+    assert!(cache.load(&spec).is_none(), "corrupt entry must miss");
+    assert!(!path.exists(), "corrupt entry must be evicted from disk");
+
+    // Truncation is likewise fatal, not a panic.
+    cache.store(&spec, &out).expect("store again");
+    let text = std::fs::read_to_string(&path).expect("read entry");
+    std::fs::write(&path, &text[..text.len() / 3]).expect("truncate");
+    assert!(cache.load(&spec).is_none(), "truncated entry must miss");
+    assert!(!path.exists());
+
+    // And the sweep recovers transparently: one miss, entry re-stored.
+    let report = Sweep::new(vec![quick_specs().remove(0)])
+        .cache(&dir)
+        .run_report();
+    assert_eq!(report.cache, vec![CacheStatus::Miss]);
+    assert!(path.exists(), "sweep repopulated the evicted entry");
+}
+
+#[test]
+fn stale_schema_or_foreign_spec_is_ignored_not_evicted() {
+    let dir = scratch("cache_stale");
+    let cache = RunCache::new(&dir);
+    let spec = quick_specs().remove(0);
+    let out = experiments::run_one(&spec);
+    let path = cache.store(&spec, &out).expect("store");
+
+    // Rewriting the entry with a bumped cache schema version makes it a
+    // plain miss (a future version's file is not corruption).
+    let text = std::fs::read_to_string(&path).expect("read entry");
+    let bumped = text.replace("\"cache_schema\": 1", "\"cache_schema\": 999");
+    assert_ne!(text, bumped, "schema field must be present to patch");
+    // Recompute nothing: the checksum only covers the body, so the
+    // envelope patch leaves the entry internally consistent.
+    std::fs::write(&path, &bumped).expect("rewrite");
+    assert!(cache.load(&spec).is_none(), "future schema is a miss");
+    assert!(path.exists(), "future schema must not be evicted");
+
+    // A hash collision with a different spec (simulated by planting the
+    // other spec's entry under this spec's path) is caught by the
+    // embedded spec_v1 bytes: a miss, and then a normal overwrite.
+    let other = quick_specs().remove(1);
+    let other_out = experiments::run_one(&other);
+    cache.store(&other, &other_out).expect("store other");
+    std::fs::copy(cache.path_for(&other), &path).expect("plant collision");
+    assert!(cache.load(&spec).is_none(), "foreign spec bytes are a miss");
+    assert!(path.exists(), "foreign entry must not be evicted");
+    cache
+        .store(&spec, &out)
+        .expect("overwrite repairs the slot");
+    assert!(cache.load(&spec).is_some());
+}
+
+#[test]
+fn trace_digest_rules() {
+    let dir = scratch("cache_trace");
+    let cache = RunCache::new(&dir);
+    let plain = quick_specs().remove(0);
+    let traced = quick_specs().remove(0).with_trace(64);
+
+    // A digest-less entry cannot serve a spec that wants the digest...
+    let out = experiments::run_one(&plain);
+    assert_eq!(out.trace_digest, None);
+    cache.store(&plain, &out).expect("store");
+    assert!(
+        cache.load(&traced).is_none(),
+        "traced spec needs the digest"
+    );
+
+    // ...but a digest-bearing entry serves both (masked for the plain
+    // spec, so cached and uncached runs stay indistinguishable).
+    let out = experiments::run_one(&traced);
+    assert!(out.trace_digest.is_some());
+    cache.store(&traced, &out).expect("store traced");
+    let for_traced = cache.load(&traced).expect("hit");
+    assert_eq!(for_traced.trace_digest, out.trace_digest);
+    let for_plain = cache.load(&plain).expect("hit");
+    assert_eq!(for_plain.trace_digest, None, "digest masked off");
+}

@@ -1,0 +1,115 @@
+//! Pinned `spec_v1` hashes: the content addresses of the run cache.
+//!
+//! These constants are the contract that makes cache directories (and
+//! spool files full of `spec_v1` hex) portable across versions: if any
+//! hash here drifts, old cache entries silently stop matching. A failure
+//! means the canonical encoding changed — that requires bumping
+//! `SPEC_VERSION`, not updating the table.
+
+use experiments::runner::paper_recn_config;
+use experiments::spec::RunSpec;
+use fabric::{RoutingPolicy, SchemeKind};
+use topology::{FatTreeParams, MinParams};
+use traffic::corner::CornerCase;
+
+/// The five schemes of the paper's comparison, paper-exact RECN config.
+fn schemes() -> [SchemeKind; 5] {
+    [
+        SchemeKind::OneQ,
+        SchemeKind::FourQ,
+        SchemeKind::VoqSw,
+        SchemeKind::VoqNet,
+        SchemeKind::Recn(paper_recn_config()),
+    ]
+}
+
+/// Corner case 2 on the 64-host MIN, spec defaults (64 B packets, 1600 µs
+/// horizon, deterministic routing) — one hash per scheme.
+const GOLDEN_MIN: [u64; 5] = [
+    0x677c1fa371b293d3,
+    0xd84bfa850b34d32c,
+    0x5b330ea3eb537441,
+    0x31e9e2ede9076c72,
+    0x2e48d447589a2725,
+];
+
+/// The fat-tree hotspot under the same five schemes with adaptive
+/// up-routing and 512-byte packets.
+const GOLDEN_FATTREE_ADAPTIVE: [u64; 5] = [
+    0xc6b4ca0da1e6785b,
+    0x6e962ee5380f4a92,
+    0x08f45ecd90096d8d,
+    0x127ffb1904d67e4c,
+    0xd89a0d4f5bab27c5,
+];
+
+fn min_spec(scheme: SchemeKind) -> RunSpec {
+    RunSpec::corner(MinParams::paper_64(), scheme, CornerCase::case2_64())
+}
+
+fn fattree_spec(scheme: SchemeKind) -> RunSpec {
+    RunSpec::corner(FatTreeParams::ft_64(), scheme, CornerCase::fattree_64())
+        .with_packet_size(512)
+        .with_routing(RoutingPolicy::adaptive())
+}
+
+#[test]
+fn min_spec_hashes_are_pinned() {
+    for (scheme, golden) in schemes().into_iter().zip(GOLDEN_MIN) {
+        let spec = min_spec(scheme);
+        assert_eq!(
+            spec.spec_hash(),
+            golden,
+            "{}: spec_v1 encoding drifted (hash {:#018x}); this breaks \
+             existing cache directories — bump SPEC_VERSION instead",
+            scheme.name(),
+            spec.spec_hash(),
+        );
+    }
+}
+
+#[test]
+fn fattree_adaptive_spec_hashes_are_pinned() {
+    for (scheme, golden) in schemes().into_iter().zip(GOLDEN_FATTREE_ADAPTIVE) {
+        let spec = fattree_spec(scheme);
+        assert_eq!(
+            spec.spec_hash(),
+            golden,
+            "{}: fat-tree spec_v1 encoding drifted (hash {:#018x})",
+            scheme.name(),
+            spec.spec_hash(),
+        );
+    }
+}
+
+#[test]
+fn hashes_survive_the_hex_round_trip() {
+    for scheme in schemes() {
+        for spec in [min_spec(scheme), fattree_spec(scheme)] {
+            let back = RunSpec::decode_hex(&spec.encode_hex()).expect("round trip");
+            assert_eq!(back.spec_hash(), spec.spec_hash());
+        }
+    }
+}
+
+#[test]
+fn observers_do_not_move_the_content_address() {
+    let base = min_spec(SchemeKind::VoqNet);
+    let decorated = min_spec(SchemeKind::VoqNet)
+        .with_label("renamed")
+        .with_validation(true)
+        .with_trace(128);
+    assert_eq!(base.spec_hash(), decorated.spec_hash());
+}
+
+#[test]
+fn every_scheme_gets_a_distinct_address() {
+    let mut hashes: Vec<u64> = GOLDEN_MIN
+        .iter()
+        .chain(GOLDEN_FATTREE_ADAPTIVE.iter())
+        .copied()
+        .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), 10, "all ten golden hashes are distinct");
+}

@@ -2,7 +2,7 @@
 
 use recn::RecnConfig;
 use serde::{Deserialize, Serialize};
-use simcore::Picos;
+use simcore::{Canon, CanonError, CanonReader, CanonWriter, Picos};
 
 /// The queueing scheme installed at every port — the five mechanisms
 /// compared in the paper's §4.3.
@@ -70,6 +70,32 @@ impl SchemeKind {
     }
 }
 
+impl Canon for SchemeKind {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        match self {
+            SchemeKind::OneQ => w.u8(0),
+            SchemeKind::FourQ => w.u8(1),
+            SchemeKind::VoqSw => w.u8(2),
+            SchemeKind::VoqNet => w.u8(3),
+            SchemeKind::Recn(cfg) => {
+                w.u8(4);
+                cfg.encode_canon(w);
+            }
+        }
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(SchemeKind::OneQ),
+            1 => Ok(SchemeKind::FourQ),
+            2 => Ok(SchemeKind::VoqSw),
+            3 => Ok(SchemeKind::VoqNet),
+            4 => Ok(SchemeKind::Recn(RecnConfig::decode_canon(r)?)),
+            t => Err(CanonError::new(format!("unknown scheme tag {t}"))),
+        }
+    }
+}
+
 /// How a switch picks among equivalent output ports when the topology
 /// offers a choice (the fat tree's up*/down* climbing phase).
 ///
@@ -130,6 +156,43 @@ impl RoutingPolicy {
     /// Whether this policy ever rebinds turns at forwarding time.
     pub fn is_adaptive(&self) -> bool {
         matches!(self, RoutingPolicy::AdaptiveUp { .. })
+    }
+}
+
+impl Canon for UpSelector {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        match self {
+            UpSelector::CreditWeighted => w.u8(0),
+        }
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(UpSelector::CreditWeighted),
+            t => Err(CanonError::new(format!("unknown up-selector tag {t}"))),
+        }
+    }
+}
+
+impl Canon for RoutingPolicy {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        match self {
+            RoutingPolicy::Deterministic => w.u8(0),
+            RoutingPolicy::AdaptiveUp { selector } => {
+                w.u8(1);
+                selector.encode_canon(w);
+            }
+        }
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(RoutingPolicy::Deterministic),
+            1 => Ok(RoutingPolicy::AdaptiveUp {
+                selector: UpSelector::decode_canon(r)?,
+            }),
+            t => Err(CanonError::new(format!("unknown routing tag {t}"))),
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! RECN tunables.
 
 use serde::{Deserialize, Serialize};
+use simcore::{Canon, CanonError, CanonReader, CanonWriter};
 
 /// Configuration of the RECN mechanism at every port.
 ///
@@ -95,6 +96,26 @@ impl RecnConfig {
         self
     }
 
+    /// Checks internal consistency, returning the first violated invariant
+    /// as an error message (the non-panicking form of
+    /// [`validate`](RecnConfig::validate), used when decoding untrusted
+    /// canonical bytes).
+    pub fn check(&self) -> Result<(), String> {
+        if self.max_saqs < 1 {
+            return Err("need at least one SAQ".into());
+        }
+        if self.max_saqs > 64 {
+            return Err("paper hardware bounds the CAM at 64 lines".into());
+        }
+        if self.xoff_threshold < self.xon_threshold {
+            return Err("xoff threshold must be at least xon threshold".into());
+        }
+        if self.root_clear_threshold > self.detection_threshold {
+            return Err("root hysteresis must not exceed the detection threshold".into());
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -102,19 +123,35 @@ impl RecnConfig {
     /// Panics if thresholds are inconsistent (xoff < xon, clear > detect,
     /// or an empty SAQ pool).
     pub fn validate(&self) {
-        assert!(self.max_saqs >= 1, "need at least one SAQ");
-        assert!(
-            self.max_saqs <= 64,
-            "paper hardware bounds the CAM at 64 lines"
-        );
-        assert!(
-            self.xoff_threshold >= self.xon_threshold,
-            "xoff threshold must be at least xon threshold"
-        );
-        assert!(
-            self.root_clear_threshold <= self.detection_threshold,
-            "root hysteresis must not exceed the detection threshold"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+}
+
+impl Canon for RecnConfig {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u64(self.max_saqs as u64);
+        w.u64(self.detection_threshold);
+        w.u64(self.propagation_threshold);
+        w.u64(self.xoff_threshold);
+        w.u64(self.xon_threshold);
+        w.u32(self.drain_boost_pkts);
+        w.u64(self.root_clear_threshold);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let cfg = RecnConfig {
+            max_saqs: r.u64()? as usize,
+            detection_threshold: r.u64()?,
+            propagation_threshold: r.u64()?,
+            xoff_threshold: r.u64()?,
+            xon_threshold: r.u64()?,
+            drain_boost_pkts: r.u32()?,
+            root_clear_threshold: r.u64()?,
+        };
+        cfg.check().map_err(CanonError::new)?;
+        Ok(cfg)
     }
 }
 

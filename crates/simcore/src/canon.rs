@@ -1,0 +1,302 @@
+//! Canonical byte encoding (`spec_v1`) — the substrate of content-addressed
+//! run caching.
+//!
+//! A *canonical* encoding is a stable, versioned, platform-independent byte
+//! string: the same value always encodes to the same bytes, on every
+//! machine, across releases of the same format version. Hashing the bytes
+//! therefore keys a durable cache — two run specifications collide exactly
+//! when they describe the same simulation.
+//!
+//! The format is deliberately minimal (this is not serde):
+//!
+//! * fixed-width little-endian integers (`u8`/`u32`/`u64`),
+//! * `f64` as its IEEE-754 bit pattern (little-endian), so `-0.0`, subnormals
+//!   and every other value round-trip exactly,
+//! * `bool` as one byte (`0`/`1`, anything else is a decode error),
+//! * enums as a one-byte discriminant tag followed by the variant payload,
+//! * **no field names, no padding, no varints** — decoding replays the
+//!   field order of encoding, and a trailing-byte check catches drift.
+//!
+//! Every behaviour-affecting type implements [`Canon`]; presentational
+//! fields (labels, progress settings) are excluded by *not encoding them*,
+//! which is what makes [`fnv1a64`] over the bytes a semantic hash.
+//!
+//! ```
+//! use simcore::{Canon, CanonReader, CanonWriter, Picos};
+//!
+//! let mut w = CanonWriter::new();
+//! Picos::from_us(800).encode_canon(&mut w);
+//! let bytes = w.finish();
+//! let mut r = CanonReader::new(&bytes);
+//! assert_eq!(Picos::decode_canon(&mut r).unwrap(), Picos::from_us(800));
+//! assert!(r.finish().is_ok());
+//! ```
+
+use std::fmt;
+
+use crate::{Picos, SchedulerKind};
+
+/// Error produced when canonical bytes cannot be decoded (truncation, an
+/// unknown enum tag, or a value that fails the type's own invariants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonError(String);
+
+impl CanonError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> CanonError {
+        CanonError(msg.into())
+    }
+}
+
+impl fmt::Display for CanonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "canonical decode failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+/// Append-only writer of canonical bytes.
+#[derive(Debug, Default)]
+pub struct CanonWriter {
+    buf: Vec<u8>,
+}
+
+impl CanonWriter {
+    /// An empty writer.
+    pub fn new() -> CanonWriter {
+        CanonWriter::default()
+    }
+
+    /// Appends one raw byte (also used for enum discriminant tags).
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the canonical bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over canonical bytes; every read is bounds-checked.
+#[derive(Debug)]
+pub struct CanonReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CanonReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> CanonReader<'a> {
+        CanonReader { buf: bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CanonError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CanonError::new(format!(
+                "truncated: wanted {n} bytes at offset {}, only {} left",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, CanonError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CanonError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CanonError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CanonError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`; bytes other than `0`/`1` are an error.
+    pub fn bool(&mut self) -> Result<bool, CanonError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CanonError::new(format!("invalid bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the reader consumed every byte — catches encodings that grew
+    /// fields a decoder does not know about.
+    pub fn finish(&self) -> Result<(), CanonError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CanonError::new(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// A type with a stable canonical byte encoding. See the module docs for
+/// the format rules; implementations must keep `decode_canon` an exact
+/// inverse of `encode_canon` and reject values that violate the type's
+/// invariants.
+pub trait Canon: Sized {
+    /// Appends this value's canonical bytes to `w`.
+    fn encode_canon(&self, w: &mut CanonWriter);
+    /// Decodes a value previously written by
+    /// [`encode_canon`](Canon::encode_canon).
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError>;
+}
+
+impl Canon for Picos {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u64(self.as_ps());
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        Ok(Picos::new(r.u64()?))
+    }
+}
+
+impl Canon for SchedulerKind {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u8(match self {
+            SchedulerKind::Calendar => 0,
+            SchedulerKind::Heap => 1,
+        });
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(SchedulerKind::Calendar),
+            1 => Ok(SchedulerKind::Heap),
+            t => Err(CanonError::new(format!("unknown scheduler tag {t}"))),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — the workspace's standard stable digest (the trace
+/// layer uses the same function for whole-run digests). Applied to a
+/// canonical encoding it yields a content address.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = CanonWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.f64(-0.0);
+        w.f64(f64::MIN_POSITIVE / 2.0); // subnormal
+        w.bool(true);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 1 + 4 + 8 + 8 + 8 + 1);
+
+        let mut r = CanonReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::MIN_POSITIVE / 2.0);
+        assert!(r.bool().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut r = CanonReader::new(&[1, 2]);
+        assert!(r.u64().is_err());
+
+        let r = CanonReader::new(&[1, 2]);
+        assert!(r.finish().is_err());
+
+        let mut r = CanonReader::new(&[2]);
+        assert!(r.bool().is_err(), "bool must reject bytes beyond 0/1");
+    }
+
+    #[test]
+    fn picos_and_scheduler_round_trip() {
+        for t in [Picos::ZERO, Picos::from_us(800), Picos::MAX] {
+            let mut w = CanonWriter::new();
+            t.encode_canon(&mut w);
+            let bytes = w.finish();
+            let mut r = CanonReader::new(&bytes);
+            assert_eq!(Picos::decode_canon(&mut r).unwrap(), t);
+        }
+        for k in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut w = CanonWriter::new();
+            k.encode_canon(&mut w);
+            let bytes = w.finish();
+            let mut r = CanonReader::new(&bytes);
+            assert_eq!(SchedulerKind::decode_canon(&mut r).unwrap(), k);
+        }
+        let mut r = CanonReader::new(&[9]);
+        assert!(SchedulerKind::decode_canon(&mut r).is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

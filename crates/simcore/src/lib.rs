@@ -13,6 +13,9 @@
 //!   legacy binary heap (escape hatch for A/B validation).
 //! * [`SplitMix64`] / [`Xoshiro256`]: small, dependency-free PRNGs with
 //!   explicit seeding, so traffic generation is reproducible.
+//! * [`Canon`], [`CanonWriter`], [`CanonReader`], [`fnv1a64`]: the stable
+//!   canonical byte encoding (`spec_v1`) that content-addressed run caching
+//!   is keyed on.
 //! * [`BinnedSeries`], [`GaugeSeries`], [`Histogram`], [`Running`]: light
 //!   measurement primitives used to build the paper's time-series plots.
 //!
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod calendar;
+mod canon;
 mod engine;
 mod queue;
 mod rng;
@@ -50,6 +54,7 @@ mod series;
 mod stats;
 mod time;
 
+pub use canon::{fnv1a64, Canon, CanonError, CanonReader, CanonWriter};
 pub use engine::{Engine, SimModel};
 pub use queue::{EventQueue, ScheduledEvent, SchedulerKind};
 pub use rng::{SplitMix64, Xoshiro256};

@@ -40,6 +40,32 @@ impl Running {
         self.max = Some(self.max.map_or(x, |m| m.max(x)));
     }
 
+    /// Reassembles an accumulator from the raw parts returned by
+    /// [`raw_parts`](Running::raw_parts) — used by the run cache to restore
+    /// a stored accumulator bit-for-bit (the mean and `m2` are
+    /// order-dependent, so they must be persisted, not recomputed).
+    pub fn from_raw_parts(
+        count: u64,
+        mean: f64,
+        m2: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Running {
+        Running {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
+    /// The complete internal state `(count, mean, m2, min, max)`; round-
+    /// trips exactly through [`from_raw_parts`](Running::from_raw_parts).
+    pub fn raw_parts(&self) -> (u64, f64, f64, Option<f64>, Option<f64>) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count

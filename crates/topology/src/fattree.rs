@@ -22,6 +22,7 @@
 //! congestion tree's turnpool prefix identifies the same set of paths on
 //! every run.
 use serde::{Deserialize, Serialize};
+use simcore::{Canon, CanonError, CanonReader, CanonWriter};
 
 use crate::{HostId, PortId, Route, SwitchId, MAX_STAGES};
 
@@ -48,15 +49,33 @@ impl FatTreeParams {
     /// fits in [`MAX_STAGES`], and the up-turn digits `k..2k` fit in a
     /// `u8` (`k ≤ 128`).
     pub fn new(k: u32, n: u32) -> FatTreeParams {
-        assert!(k >= 2, "arity must be at least 2");
-        assert!(n >= 1, "need at least one level");
-        assert!(
-            (2 * n - 1) as usize <= MAX_STAGES,
-            "{n} levels need {} turns > MAX_STAGES ({MAX_STAGES})",
-            2 * n - 1
-        );
-        assert!(k <= 128, "up-turn digits k..2k must fit in a u8");
-        FatTreeParams { k, n }
+        match FatTreeParams::checked(k, n) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor with the same invariants as
+    /// [`FatTreeParams::new`], for inputs that come from outside the
+    /// program (canonical decoding) where a panic would be the wrong
+    /// failure mode.
+    pub fn checked(k: u32, n: u32) -> Result<FatTreeParams, String> {
+        if k < 2 {
+            return Err("arity must be at least 2".to_owned());
+        }
+        if n < 1 {
+            return Err("need at least one level".to_owned());
+        }
+        if n as usize > MAX_STAGES || (2 * n - 1) as usize > MAX_STAGES {
+            return Err(format!(
+                "{n} levels need {} turns > MAX_STAGES ({MAX_STAGES})",
+                2 * n - 1
+            ));
+        }
+        if k > 128 {
+            return Err("up-turn digits k..2k must fit in a u8".to_owned());
+        }
+        Ok(FatTreeParams { k, n })
     }
 
     /// 4-ary 3-tree: 64 hosts, 3 levels × 16 switches.
@@ -117,6 +136,18 @@ impl FatTreeParams {
     /// Length of the longest route (`2n − 1` turns: `n − 1` up, `n` down).
     pub fn max_route_turns(&self) -> u32 {
         2 * self.n - 1
+    }
+}
+
+impl Canon for FatTreeParams {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u32(self.k);
+        w.u32(self.n);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let (k, n) = (r.u32()?, r.u32()?);
+        FatTreeParams::checked(k, n).map_err(CanonError::new)
     }
 }
 

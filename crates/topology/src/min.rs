@@ -1,6 +1,7 @@
 //! Perfect-shuffle (delta) multistage network construction.
 
 use serde::{Deserialize, Serialize};
+use simcore::{Canon, CanonError, CanonReader, CanonWriter};
 
 use crate::{HostId, PortId, Route, SwitchId, MAX_STAGES};
 
@@ -28,26 +29,41 @@ impl MinParams {
     /// Panics unless `radix ≥ 2` divides `hosts`, `radix^stages ≥ hosts`,
     /// and `stages ≤ MAX_STAGES`.
     pub fn new(hosts: u32, radix: u32, stages: u32) -> MinParams {
-        assert!(radix >= 2, "radix must be at least 2");
-        assert!(
-            hosts >= radix && hosts.is_multiple_of(radix),
-            "radix must divide hosts"
-        );
-        assert!(stages as usize <= MAX_STAGES, "too many stages");
-        let capacity = (radix as u64).pow(stages);
-        assert!(
-            capacity >= hosts as u64,
-            "{stages} base-{radix} stages address only {capacity} < {hosts} hosts"
-        );
-        assert!(
-            capacity.is_multiple_of(hosts as u64),
-            "hosts must divide radix^stages ({hosts} ∤ {capacity}): destination-tag              routing over the perfect shuffle is only a delta network then"
-        );
-        MinParams {
+        match MinParams::checked(hosts, radix, stages) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor with the same invariants as [`MinParams::new`],
+    /// for inputs that come from outside the program (canonical decoding,
+    /// config files) where a panic would be the wrong failure mode.
+    pub fn checked(hosts: u32, radix: u32, stages: u32) -> Result<MinParams, String> {
+        if radix < 2 {
+            return Err("radix must be at least 2".to_owned());
+        }
+        if hosts < radix || !hosts.is_multiple_of(radix) {
+            return Err("radix must divide hosts".to_owned());
+        }
+        if stages as usize > MAX_STAGES {
+            return Err("too many stages".to_owned());
+        }
+        let capacity = (radix as u64).checked_pow(stages).unwrap_or(u64::MAX);
+        if capacity < hosts as u64 {
+            return Err(format!(
+                "{stages} base-{radix} stages address only {capacity} < {hosts} hosts"
+            ));
+        }
+        if !capacity.is_multiple_of(hosts as u64) {
+            return Err(format!(
+                "hosts must divide radix^stages ({hosts} ∤ {capacity}): destination-tag              routing over the perfect shuffle is only a delta network then"
+            ));
+        }
+        Ok(MinParams {
             hosts,
             radix,
             stages,
-        }
+        })
     }
 
     /// Minimal parameters for `hosts` endpoints with the given switch radix:
@@ -105,6 +121,19 @@ impl MinParams {
     /// Total switch count.
     pub fn total_switches(&self) -> u32 {
         self.switches_per_stage() * self.stages
+    }
+}
+
+impl Canon for MinParams {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u32(self.hosts);
+        w.u32(self.radix);
+        w.u32(self.stages);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let (hosts, radix, stages) = (r.u32()?, r.u32()?, r.u32()?);
+        MinParams::checked(hosts, radix, stages).map_err(CanonError::new)
     }
 }
 

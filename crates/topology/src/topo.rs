@@ -10,6 +10,7 @@
 //! description used by run specs and CLIs.
 
 use serde::{Deserialize, Serialize};
+use simcore::{Canon, CanonError, CanonReader, CanonWriter};
 
 use crate::{
     FatTreeParams, FatTreeTopology, HostId, MinParams, MinTopology, PortId, Route, SwitchId,
@@ -98,6 +99,29 @@ impl TopoParams {
         match self {
             TopoParams::Min(p) => Topology::Min(MinTopology::new(*p)),
             TopoParams::FatTree(p) => Topology::FatTree(FatTreeTopology::new(*p)),
+        }
+    }
+}
+
+impl Canon for TopoParams {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        match self {
+            TopoParams::Min(p) => {
+                w.u8(0);
+                p.encode_canon(w);
+            }
+            TopoParams::FatTree(p) => {
+                w.u8(1);
+                p.encode_canon(w);
+            }
+        }
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(TopoParams::Min(MinParams::decode_canon(r)?)),
+            1 => Ok(TopoParams::FatTree(FatTreeParams::decode_canon(r)?)),
+            t => Err(CanonError::new(format!("unknown topology tag {t}"))),
         }
     }
 }

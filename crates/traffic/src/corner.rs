@@ -13,7 +13,7 @@
 //! 384 random + 128 hotspot sources (512 hosts).
 
 use fabric::{ConstantRateSource, MessageSource};
-use simcore::Picos;
+use simcore::{Canon, CanonError, CanonReader, CanonWriter, Picos};
 use topology::HostId;
 
 use crate::RandomUniformSource;
@@ -34,6 +34,32 @@ pub enum GangLayout {
         /// to the gang size.
         stride: u32,
     },
+}
+
+impl Canon for GangLayout {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        match self {
+            GangLayout::TailRange => w.u8(0),
+            GangLayout::Strided { stride } => {
+                w.u8(1);
+                w.u32(*stride);
+            }
+        }
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(GangLayout::TailRange),
+            1 => {
+                let stride = r.u32()?;
+                if stride == 0 {
+                    return Err(CanonError::new("gang stride must be positive"));
+                }
+                Ok(GangLayout::Strided { stride })
+            }
+            t => Err(CanonError::new(format!("unknown gang-layout tag {t}"))),
+        }
+    }
 }
 
 /// Parameters of a corner-case scenario.
@@ -228,6 +254,47 @@ impl CornerCase {
                 }
             })
             .collect()
+    }
+}
+
+impl Canon for CornerCase {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u32(self.hosts);
+        w.u32(self.random_sources);
+        w.f64(self.random_rate);
+        w.u32(self.hotspot_dst.index() as u32);
+        self.hotspot_start.encode_canon(w);
+        self.hotspot_end.encode_canon(w);
+        w.u32(self.msg_bytes);
+        w.u64(self.seed);
+        self.gang.encode_canon(w);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let c = CornerCase {
+            hosts: r.u32()?,
+            random_sources: r.u32()?,
+            random_rate: r.f64()?,
+            hotspot_dst: HostId::new(r.u32()?),
+            hotspot_start: Picos::decode_canon(r)?,
+            hotspot_end: Picos::decode_canon(r)?,
+            msg_bytes: r.u32()?,
+            seed: r.u64()?,
+            gang: GangLayout::decode_canon(r)?,
+        };
+        if c.random_sources > c.hosts {
+            return Err(CanonError::new("more random sources than hosts"));
+        }
+        if (c.hotspot_dst.index() as u32) >= c.hosts {
+            return Err(CanonError::new("hotspot destination outside host range"));
+        }
+        if !c.random_rate.is_finite() || c.random_rate < 0.0 || c.random_rate > 1.0 {
+            return Err(CanonError::new("random rate outside [0, 1]"));
+        }
+        if c.msg_bytes == 0 {
+            return Err(CanonError::new("message size must be positive"));
+        }
+        Ok(c)
     }
 }
 

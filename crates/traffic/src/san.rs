@@ -22,7 +22,7 @@
 //! [`fabric::ScriptSource`].
 
 use fabric::{MessageSource, ScriptSource, SourcedMessage};
-use simcore::{Picos, Xoshiro256};
+use simcore::{Canon, CanonError, CanonReader, CanonWriter, Picos, Xoshiro256};
 use topology::HostId;
 
 /// Parameters of the synthetic SAN workload. Time-valued fields are in
@@ -203,6 +203,78 @@ impl SanParams {
             .flat_map(|s| s.iter())
             .map(|m| m.bytes as u64)
             .sum()
+    }
+}
+
+impl Canon for SanParams {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u32(self.disks);
+        w.f64(self.compression);
+        w.u64(self.seed);
+        w.f64(self.think_ns);
+        w.f64(self.burst_xm);
+        w.f64(self.burst_alpha);
+        w.f64(self.intra_gap_ns);
+        w.f64(self.write_fraction);
+        w.f64(self.payload_xm);
+        w.f64(self.payload_alpha);
+        w.u32(self.payload_cap);
+        w.u32(self.request_bytes);
+        w.f64(self.service_ns);
+        w.f64(self.hot_gap_ns);
+        w.f64(self.hot_duration_xm_ns);
+        w.f64(self.hot_affinity);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let p = SanParams {
+            disks: r.u32()?,
+            compression: r.f64()?,
+            seed: r.u64()?,
+            think_ns: r.f64()?,
+            burst_xm: r.f64()?,
+            burst_alpha: r.f64()?,
+            intra_gap_ns: r.f64()?,
+            write_fraction: r.f64()?,
+            payload_xm: r.f64()?,
+            payload_alpha: r.f64()?,
+            payload_cap: r.u32()?,
+            request_bytes: r.u32()?,
+            service_ns: r.f64()?,
+            hot_gap_ns: r.f64()?,
+            hot_duration_xm_ns: r.f64()?,
+            hot_affinity: r.f64()?,
+        };
+        if p.disks == 0 {
+            return Err(CanonError::new("need at least one disk"));
+        }
+        if !(p.compression.is_finite() && p.compression > 0.0) {
+            return Err(CanonError::new("compression must be positive"));
+        }
+        for (name, v) in [
+            ("write_fraction", p.write_fraction),
+            ("hot_affinity", p.hot_affinity),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(CanonError::new(format!("{name} outside [0, 1]")));
+            }
+        }
+        for (name, v) in [
+            ("think_ns", p.think_ns),
+            ("burst_xm", p.burst_xm),
+            ("burst_alpha", p.burst_alpha),
+            ("intra_gap_ns", p.intra_gap_ns),
+            ("payload_xm", p.payload_xm),
+            ("payload_alpha", p.payload_alpha),
+            ("service_ns", p.service_ns),
+            ("hot_gap_ns", p.hot_gap_ns),
+            ("hot_duration_xm_ns", p.hot_duration_xm_ns),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CanonError::new(format!("{name} must be positive")));
+            }
+        }
+        Ok(p)
     }
 }
 

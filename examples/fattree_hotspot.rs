@@ -44,9 +44,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     for scheme in schemes {
         let out = run_one(
             &RunSpec::corner(params, scheme, corner)
-                .horizon(Picos::from_us(1600 / div))
-                .bin(Picos::from_us(2))
-                .label("fattree-example"),
+                .with_horizon(Picos::from_us(1600 / div))
+                .with_bin(Picos::from_us(2))
+                .with_label("fattree-example"),
         );
         println!(
             "{:<8} {:>10} {:>14.0} {:>16}",

@@ -53,4 +53,40 @@ cmp "$smoke/ft1.txt" "$smoke/ft4.txt"
 grep -q "zero invariant violations" "$smoke/ft1.txt"
 echo "fat-tree smoke passed: zero violations, digests parallel-stable"
 
+echo "== tier1: run-cache smoke test (fig2 --cache twice, all hits) =="
+# Second pass over a warm cache must serve every run from disk and render
+# byte-identical output: stdout tables compare exactly, and the JSON
+# summaries compare after masking the per-run cache status and the sweep's
+# own wall time (the only fields allowed to differ on a replay).
+(cd "$smoke" && "$OLDPWD/target/release/fig2" --quick --jobs 2 --json c1 --cache rc > cold.txt 2> /dev/null)
+(cd "$smoke" && "$OLDPWD/target/release/fig2" --quick --jobs 2 --json c2 --cache rc > warm.txt 2> /dev/null)
+cmp "$smoke/cold.txt" "$smoke/warm.txt"
+grep -q '"cache": "miss"' "$smoke/c1/fig2.sweep.json"
+grep -q '"cache": "hit"' "$smoke/c2/fig2.sweep.json"
+if grep -q '"cache": "miss"' "$smoke/c2/fig2.sweep.json"; then
+  echo "run-cache smoke FAILED: warm pass still re-ran something" >&2
+  exit 1
+fi
+sed -e 's/"cache": "[a-z]*"/"cache": "X"/' -e '/"total_wall_secs"/d' "$smoke/c1/fig2.sweep.json" > "$smoke/c1.masked"
+sed -e 's/"cache": "[a-z]*"/"cache": "X"/' -e '/"total_wall_secs"/d' "$smoke/c2/fig2.sweep.json" > "$smoke/c2.masked"
+cmp "$smoke/c1.masked" "$smoke/c2.masked"
+echo "run-cache smoke passed: warm pass all hits, output byte-identical"
+
+echo "== tier1: sweepd smoke test (--once over a two-spec spool) =="
+# The serving daemon drains a spool of canonical specs through the same
+# cache: first pass runs them (miss), second pass re-serves them (hit),
+# and the result lines agree apart from the hit/miss marker.
+mkdir -p "$smoke/spool"
+"$OLDPWD/target/release/sweepd" --demo 2 > "$smoke/spool/batch.jsonl"
+(cd "$smoke" && "$OLDPWD/target/release/sweepd" --spool spool --cache rc --once > d1.jsonl 2> /dev/null)
+test -f "$smoke/spool/batch.jsonl.done"
+cp "$smoke/spool/batch.jsonl.done" "$smoke/spool/batch.jsonl"
+(cd "$smoke" && "$OLDPWD/target/release/sweepd" --spool spool --cache rc --once > d2.jsonl 2> /dev/null)
+test "$(grep -c '"cache": "miss"' "$smoke/d1.jsonl")" = 2
+test "$(grep -c '"cache": "hit"' "$smoke/d2.jsonl")" = 2
+sed 's/"cache": "[a-z]*"/"cache": "X"/' "$smoke/d1.jsonl" > "$smoke/d1.masked"
+sed 's/"cache": "[a-z]*"/"cache": "X"/' "$smoke/d2.jsonl" > "$smoke/d2.masked"
+cmp "$smoke/d1.masked" "$smoke/d2.masked"
+echo "sweepd smoke passed: spool drained, warm pass served from cache"
+
 echo "== tier1: all checks passed =="

@@ -37,9 +37,9 @@ fn spec(params: MinParams, scheme: SchemeKind, workload: &Workload) -> RunSpec {
     // validate(true): every claim below is also checked event-by-event
     // against the lossless invariants by a fabric::ValidatingObserver.
     RunSpec::new(params, scheme, workload.clone())
-        .horizon(horizon())
-        .bin(Picos::from_us(1))
-        .validate(true)
+        .with_horizon(horizon())
+        .with_bin(Picos::from_us(1))
+        .with_validation(true)
 }
 
 fn run(scheme: SchemeKind, workload: &Workload) -> experiments::RunOutput {
@@ -130,7 +130,7 @@ fn claim_scales_to_larger_networks() {
 fn san_traces_run_under_all_trace_schemes() {
     let w = Workload::San(SanParams::cello_like(40.0));
     for scheme in [SchemeKind::VoqNet, SchemeKind::OneQ, recn()] {
-        let out = run_one(&spec(MinParams::paper_64(), scheme, &w).packet_size(512));
+        let out = run_one(&spec(MinParams::paper_64(), scheme, &w).with_packet_size(512));
         assert!(
             out.counters.delivered_packets > 0,
             "{} must deliver SAN traffic",
@@ -154,7 +154,7 @@ fn figure_runs_are_deterministic() {
     let collect = || {
         // trace(16): the comparison includes the whole-run event digest, so
         // determinism is checked at the per-event level, not just summaries.
-        let out = run_one(&spec(MinParams::paper_64(), recn(), &corner(1)).trace(16));
+        let out = run_one(&spec(MinParams::paper_64(), recn(), &corner(1)).with_trace(16));
         (
             out.counters.delivered_packets,
             out.counters.saq_allocs,
