@@ -25,7 +25,9 @@
 //! * `--out FILE`   where to write the JSON (default `BENCH_simcore.json`).
 //! * `--check F`    compare against a baseline JSON (same schema); exit
 //!   nonzero if any kernel's calendar events/sec regressed more than the
-//!   tolerance (default 0.25) below the baseline.
+//!   tolerance (default 0.25) below the baseline, or if any simulation
+//!   kernel's deterministic event total (eager or lazy) differs from the
+//!   baseline's at all — count drift is a behavior change, not noise.
 //! * `--tolerance F` fractional allowed regression for `--check`.
 
 use bench::BENCH_TIME_DIV;
@@ -39,6 +41,13 @@ use topology::{FatTreeParams, HostId, MinParams, PortId, Topology};
 enum KernelKind {
     /// A full simulation run, once per event-queue backend.
     Sim(Box<RunSpec>),
+    /// A lazy-event-model run measured against the eager run's event
+    /// count: the spec runs once eagerly (reference), then lazily on both
+    /// backends, and events/sec is *reference events ÷ lazy wall seconds*
+    /// — the rate at which the lazy model retires the eager model's work.
+    /// Comparable against the eager kernel's baseline row: same work,
+    /// different wall clock.
+    SimLazy(Box<RunSpec>),
     /// Pure route computation + wiring walk on the 8-ary 3-tree (no
     /// simulator): all-pairs `route()`/`next_hop` with an FNV checksum so
     /// the work cannot be optimized away. `events` = routed pairs. With
@@ -63,6 +72,10 @@ struct Sample {
     events: u64,
     events_per_sec: f64,
     peak_depth: usize,
+    /// Events the lazy model actually scheduled (lazy kernels only; the
+    /// headline `events`/`events_per_sec` then refer to the eager
+    /// reference count so rates stay comparable across models).
+    lazy_events: Option<u64>,
 }
 
 fn sample(out: &RunOutput) -> Sample {
@@ -72,6 +85,19 @@ fn sample(out: &RunOutput) -> Sample {
         // A degenerate wall clock reports as rate 0, never infinity.
         events_per_sec: events_per_sec(out).unwrap_or(0.0),
         peak_depth: out.peak_event_queue_depth,
+        lazy_events: None,
+    }
+}
+
+/// A lazy-model sample rated against the eager reference event count.
+fn lazy_sample(out: &RunOutput, reference_events: u64) -> Sample {
+    let wall = out.wall_secs.max(1e-9);
+    Sample {
+        wall_secs: out.wall_secs,
+        events: reference_events,
+        events_per_sec: reference_events as f64 / wall,
+        peak_depth: out.peak_event_queue_depth,
+        lazy_events: Some(out.events),
     }
 }
 
@@ -129,6 +155,7 @@ fn run_route_fattree(passes: u32, adaptive: bool) -> Sample {
         events: pairs,
         events_per_sec: pairs as f64 / wall_secs,
         peak_depth: 0,
+        lazy_events: None,
     }
 }
 
@@ -188,6 +215,28 @@ fn kernels(small: bool) -> Vec<Kernel> {
             });
         }
     }
+    // Lazy-event-model reference kernels: the RECN hotspots again under
+    // `--event-model lazy`, rated in *eager-reference* events/sec so
+    // their rows compare one-to-one against the eager RECN rows above.
+    let recn = fabric::SchemeKind::Recn(bench::bench_recn_config());
+    v.push(Kernel {
+        name: "hotspot64/RECN-lazy".to_owned(),
+        kind: KernelKind::SimLazy(Box::new(
+            bench::corner_spec(2, recn).with_event_model(fabric::EventModel::Lazy),
+        )),
+        workload: "corner_hotspot",
+        hosts: 64,
+    });
+    if !small {
+        v.push(Kernel {
+            name: "hotspot256/RECN-lazy".to_owned(),
+            kind: KernelKind::SimLazy(Box::new(
+                bench::scale_spec(recn).with_event_model(fabric::EventModel::Lazy),
+            )),
+            workload: "corner_hotspot",
+            hosts: 256,
+        });
+    }
     // Pure routing-layer kernels (both modes): track the cost of the
     // topology abstraction itself, independent of the simulator, and the
     // overhead of the late-bound adaptive up-phase relative to it.
@@ -224,12 +273,19 @@ fn render(mode: &str, rows: &[(Kernel, Sample, Sample)]) -> String {
         } else {
             0.0
         };
+        // Lazy kernels carry both event totals: `events` stays the eager
+        // reference (the join key for rate comparisons), `lazy_events` is
+        // what the lazy model actually scheduled.
+        let lazy = match cal.lazy_events {
+            Some(n) => format!(", \"lazy_events\": {n}, \"eager_events\": {}", cal.events),
+            None => String::new(),
+        };
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"workload\": \"{}\", \"hosts\": {}, \
              \"events\": {}, \"peak_event_queue_depth\": {}, \
              \"calendar_wall_secs\": {:.4}, \"calendar_events_per_sec\": {:.1}, \
              \"heap_wall_secs\": {:.4}, \"heap_events_per_sec\": {:.1}, \
-             \"calendar_over_heap\": {:.4}}}{sep}\n",
+             \"calendar_over_heap\": {:.4}{lazy}}}{sep}\n",
             k.name,
             k.workload,
             k.hosts,
@@ -263,13 +319,27 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..rest.find('"')?])
 }
 
-/// Baseline kernel name → calendar events/sec, parsed line-by-line.
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+/// One baseline kernel row: the perf floor plus the deterministic event
+/// totals that `--check` enforces exactly.
+struct BaselineRow {
+    name: String,
+    workload: String,
+    events_per_sec: f64,
+    events: u64,
+    lazy_events: Option<u64>,
+}
+
+/// Baseline kernel rows, parsed line-by-line.
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
     text.lines()
         .filter_map(|l| {
-            let name = field_str(l, "name")?;
-            let eps = field_f64(l, "calendar_events_per_sec")?;
-            Some((name.to_owned(), eps))
+            Some(BaselineRow {
+                name: field_str(l, "name")?.to_owned(),
+                workload: field_str(l, "workload")?.to_owned(),
+                events_per_sec: field_f64(l, "calendar_events_per_sec")?,
+                events: field_f64(l, "events")? as u64,
+                lazy_events: field_f64(l, "lazy_events").map(|v| v as u64),
+            })
         })
         .collect()
 }
@@ -423,6 +493,48 @@ fn main() {
                 );
                 (sample(&cal), sample(&heap))
             }
+            KernelKind::SimLazy(spec) => {
+                // One eager run fixes the reference work; the lazy runs
+                // are then timed retiring exactly that work. The eager and
+                // lazy models are bit-exact (the differential suite proves
+                // it with trace digests), so equal delivery counters here
+                // are a cheap cross-check, not the proof.
+                let eager = run_one(&spec.clone().with_event_model(fabric::EventModel::Eager));
+                let mut heap = run_one(&spec.clone().with_scheduler(SchedulerKind::Heap));
+                let mut cal = run_one(&spec.clone().with_scheduler(SchedulerKind::Calendar));
+                for _ in 1..repeat {
+                    let h = run_one(&spec.clone().with_scheduler(SchedulerKind::Heap));
+                    if h.wall_secs < heap.wall_secs {
+                        heap = h;
+                    }
+                    let c = run_one(&spec.clone().with_scheduler(SchedulerKind::Calendar));
+                    if c.wall_secs < cal.wall_secs {
+                        cal = c;
+                    }
+                }
+                assert_eq!(
+                    cal.events, heap.events,
+                    "{}: backend event counts diverged",
+                    k.name
+                );
+                assert!(
+                    cal.events < eager.events,
+                    "{}: the lazy model must schedule fewer events \
+                     (eager {} vs lazy {})",
+                    k.name,
+                    eager.events,
+                    cal.events
+                );
+                assert_eq!(
+                    cal.counters.delivered_packets, eager.counters.delivered_packets,
+                    "{}: lazy run diverged from the eager reference",
+                    k.name
+                );
+                (
+                    lazy_sample(&cal, eager.events),
+                    lazy_sample(&heap, eager.events),
+                )
+            }
             KernelKind::RouteFatTree { passes, adaptive } => {
                 // No event queue involved — fill both schema slots with
                 // independent best-of-`repeat` measurements of the same
@@ -465,21 +577,43 @@ fn main() {
         let mut failures = Vec::new();
         let mut compared = 0;
         for (k, cal, _) in &rows {
-            let Some((_, base)) = baseline.iter().find(|(n, _)| *n == k.name) else {
+            let Some(base) = baseline.iter().find(|b| b.name == k.name) else {
                 eprintln!("note: kernel {} not in baseline, skipping", k.name);
                 continue;
             };
             compared += 1;
-            let floor = base * (1.0 - tolerance);
+            let floor = base.events_per_sec * (1.0 - tolerance);
             if cal.events_per_sec < floor {
                 failures.push(format!(
                     "{}: {:.0} events/s < {:.0} (baseline {:.0} - {:.0}% tolerance)",
                     k.name,
                     cal.events_per_sec,
                     floor,
-                    base,
+                    base.events_per_sec,
                     tolerance * 100.0
                 ));
+            }
+            // Event totals are deterministic, so they compare exactly — an
+            // event-count drift is a behavior change, caught here like a
+            // perf regression. Routing kernels are exempt: their "events"
+            // is a pass count that legitimately differs between --quick
+            // and full modes.
+            if base.workload == "routing" {
+                continue;
+            }
+            if cal.events != base.events {
+                failures.push(format!(
+                    "{}: {} events != baseline {} (deterministic count drifted)",
+                    k.name, cal.events, base.events
+                ));
+            }
+            if let (Some(have), Some(want)) = (cal.lazy_events, base.lazy_events) {
+                if have != want {
+                    failures.push(format!(
+                        "{}: {} lazy events != baseline {} (deterministic count drifted)",
+                        k.name, have, want
+                    ));
+                }
             }
         }
         assert!(

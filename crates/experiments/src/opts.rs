@@ -183,6 +183,12 @@ pub const OPTS_FLAGS: &[FlagDef] = &[
         value: Some(("deterministic|adaptive", "deterministic or adaptive")),
         help: "routing policy (deterministic default)",
     },
+    FlagDef {
+        name: "--event-model",
+        aliases: &[],
+        value: Some(("eager|lazy", "eager or lazy")),
+        help: "event scheduling model (eager default; lazy is bit-identical with fewer events)",
+    },
 ];
 
 /// The usage text attached to parse errors (generated from [`OPTS_FLAGS`]).
@@ -279,6 +285,11 @@ pub struct Opts {
     /// paper's self-routing; adaptive lets fat-tree switches pick up-ports
     /// at forwarding time).
     pub routing: fabric::RoutingPolicy,
+    /// Event scheduling model for every run of the sweep
+    /// (`--event-model eager|lazy`; eager default. Lazy coalesces
+    /// same-time arbiter wakeups into sweep batches — metrics and trace
+    /// digests are bit-identical, only event counts shrink).
+    pub event_model: simcore::EventModel,
 }
 
 impl Opts {
@@ -369,6 +380,10 @@ impl Opts {
                         )
                     })?;
                 }
+                "--event-model" => {
+                    opts.event_model = simcore::EventModel::parse(&v())
+                        .map_err(|e| format!("{e}; {}", usage()))?;
+                }
                 "--help" => {
                     println!("{}", render_help(OPTS_FLAGS));
                     std::process::exit(0);
@@ -423,7 +438,11 @@ impl Opts {
     pub fn sweep_report(&self, name: &str, specs: Vec<RunSpec>) -> SweepReport {
         let specs: Vec<RunSpec> = specs
             .into_iter()
-            .map(|s| s.with_scheduler(self.scheduler).with_routing(self.routing))
+            .map(|s| {
+                s.with_scheduler(self.scheduler)
+                    .with_routing(self.routing)
+                    .with_event_model(self.event_model)
+            })
             .collect();
         let mut sweep = Sweep::new(specs)
             .jobs(self.jobs.unwrap_or(0))
@@ -579,6 +598,23 @@ mod tests {
         assert!(parse(&["--routing"])
             .unwrap_err()
             .contains("--routing needs"));
+    }
+
+    #[test]
+    fn event_model_flag_parses() {
+        use simcore::EventModel;
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.event_model, EventModel::Eager);
+        let o = parse(&["--event-model", "lazy"]).unwrap();
+        assert_eq!(o.event_model, EventModel::Lazy);
+        let o = parse(&["--event-model", "eager"]).unwrap();
+        assert_eq!(o.event_model, EventModel::Eager);
+        assert!(parse(&["--event-model", "warp"])
+            .unwrap_err()
+            .contains("unknown event model"));
+        assert!(parse(&["--event-model"])
+            .unwrap_err()
+            .contains("--event-model needs"));
     }
 
     #[test]

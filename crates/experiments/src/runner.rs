@@ -202,7 +202,8 @@ pub fn run_one(spec: &RunSpec) -> RunOutput {
     } else {
         FabricConfig::paper(spec.scheme())
     }
-    .with_routing(spec.routing());
+    .with_routing(spec.routing())
+    .with_event_model(spec.event_model());
     fabric_cfg.admit_cap = spec.workload().admit_cap();
     let sources = spec
         .workload()

@@ -34,7 +34,9 @@
 //! ```
 
 use fabric::{RoutingPolicy, SchemeKind};
-use simcore::{fnv1a64, Canon, CanonError, CanonReader, CanonWriter, Picos, SchedulerKind};
+use simcore::{
+    fnv1a64, Canon, CanonError, CanonReader, CanonWriter, EventModel, Picos, SchedulerKind,
+};
 use topology::TopoParams;
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
@@ -46,7 +48,12 @@ const SPEC_MAGIC: [u8; 2] = *b"RS";
 /// Version byte of the current spec encoding. Bump it (and add a decode
 /// arm) whenever a behaviour-affecting field is added, removed or
 /// reordered; old cache entries then simply stop matching.
-pub const SPEC_VERSION: u8 = 1;
+///
+/// Version 2 appended the [`EventModel`] tag byte: the two models are
+/// bit-exact in every reported metric, but their event counts (and thus
+/// `events`/`peak_event_queue_depth` in cached outputs) differ, so specs
+/// differing only in event model must never alias in the run cache.
+pub const SPEC_VERSION: u8 = 2;
 
 impl Canon for Workload {
     fn encode_canon(&self, w: &mut CanonWriter) {
@@ -133,6 +140,7 @@ pub struct RunSpec {
     trace_capacity: Option<usize>,
     scheduler: SchedulerKind,
     routing: RoutingPolicy,
+    event_model: EventModel,
 }
 
 impl RunSpec {
@@ -152,6 +160,7 @@ impl RunSpec {
             trace_capacity: None,
             scheduler: SchedulerKind::default(),
             routing: RoutingPolicy::Deterministic,
+            event_model: EventModel::default(),
         }
     }
 
@@ -226,6 +235,14 @@ impl RunSpec {
         self
     }
 
+    /// Selects the event model (eager by default; lazy coalesces same-time
+    /// arbiter wakeups and elides no-op scans for a bit-identical run with
+    /// fewer scheduled events — see `DESIGN.md` §6f).
+    pub fn with_event_model(mut self, model: EventModel) -> RunSpec {
+        self.event_model = model;
+        self
+    }
+
     // ---- getters ------------------------------------------------------
 
     /// Context tag for progress lines and JSON summaries (e.g. `fig2a`).
@@ -284,6 +301,11 @@ impl RunSpec {
         self.routing
     }
 
+    /// Event model for the run.
+    pub fn event_model(&self) -> EventModel {
+        self.event_model
+    }
+
     // ---- canonical encoding -------------------------------------------
 
     /// Encodes the spec's behaviour-affecting fields as the canonical,
@@ -302,6 +324,7 @@ impl RunSpec {
         w.u32(self.packet_size);
         self.horizon.encode_canon(&mut w);
         self.bin.encode_canon(&mut w);
+        self.event_model.encode_canon(&mut w);
         w.finish()
     }
 
@@ -332,6 +355,7 @@ impl RunSpec {
         let packet_size = r.u32()?;
         let horizon = Picos::decode_canon(&mut r)?;
         let bin = Picos::decode_canon(&mut r)?;
+        let event_model = EventModel::decode_canon(&mut r)?;
         r.finish()?;
         if packet_size == 0 {
             return Err(CanonError::new("packet size must be positive"));
@@ -353,7 +377,8 @@ impl RunSpec {
             .with_scheduler(scheduler)
             .with_packet_size(packet_size)
             .with_horizon(horizon)
-            .with_bin(bin))
+            .with_bin(bin)
+            .with_event_model(event_model))
     }
 
     /// The spec's content address: FNV-1a 64 over [`encode`](Self::encode).
@@ -423,7 +448,8 @@ mod tests {
             )
             .with_routing(RoutingPolicy::adaptive())
             .with_scheduler(SchedulerKind::Heap)
-            .with_packet_size(512),
+            .with_packet_size(512)
+            .with_event_model(EventModel::Lazy),
         );
         specs.push(RunSpec::san(SchemeKind::VoqSw, SanParams::cello_like(20.0)));
         specs.push(RunSpec::new(
@@ -452,6 +478,7 @@ mod tests {
             assert_eq!(back.bin(), spec.bin());
             assert_eq!(back.scheduler(), spec.scheduler());
             assert_eq!(back.routing(), spec.routing());
+            assert_eq!(back.event_model(), spec.event_model());
         }
     }
 
@@ -493,6 +520,7 @@ mod tests {
             base.clone().with_bin(Picos::from_us(2)),
             base.clone().with_scheduler(SchedulerKind::Heap),
             base.clone().with_routing(RoutingPolicy::adaptive()),
+            base.clone().with_event_model(EventModel::Lazy),
             RunSpec::corner(
                 MinParams::paper_64(),
                 SchemeKind::FourQ,
@@ -555,6 +583,7 @@ mod tests {
         w.u32(spec.packet_size());
         spec.horizon().encode_canon(&mut w);
         spec.bin().encode_canon(&mut w);
+        spec.event_model().encode_canon(&mut w);
         let err = RunSpec::decode(&w.finish()).unwrap_err();
         assert!(err.to_string().contains("corner case sized"), "{err}");
     }

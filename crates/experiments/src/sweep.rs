@@ -283,7 +283,7 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
         let status = report.cache.get(i).copied().unwrap_or(CacheStatus::Off);
         s.push_str(&format!(
             "    {{\"label\": {}, \"scheme\": {}, \"scheduler\": {}, \"topology\": {}, \
-             \"routing\": {}, \
+             \"routing\": {}, \"event_model\": {}, \
              \"hosts\": {}, \
              \"packet_size\": {}, \
              \"spec_hash\": {}, \"cache\": {}, \
@@ -295,6 +295,7 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
             jstr(spec.scheduler().name()),
             jstr(spec.params().name()),
             jstr(spec.routing().name()),
+            jstr(spec.event_model().name()),
             spec.params().hosts(),
             spec.packet_size(),
             jstr(&format!("{:016x}", spec.spec_hash())),
@@ -422,6 +423,7 @@ mod tests {
         assert!(json.contains("\"scheduler\": \"calendar\""));
         assert!(json.contains("\"topology\": \"min\""));
         assert!(json.contains("\"routing\": \"deterministic\""));
+        assert!(json.contains("\"event_model\": \"eager\""));
         assert!(json.contains("\"cache\": \"off\""));
         assert!(json.contains("\"spec_hash\": \""));
         assert!(json.contains("\"peak_event_queue_depth\""));

@@ -13,6 +13,7 @@
 
 use experiments::runner::SchemeSet;
 use experiments::{RunSpec, Sweep};
+use fabric::EventModel;
 use simcore::Picos;
 use topology::{FatTreeParams, MinParams, TopoParams};
 use traffic::corner::CornerCase;
@@ -127,6 +128,40 @@ fn fattree_adaptive_trace_digests_match_golden_and_are_parallel_stable() {
             golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64())
                 .into_iter()
                 .map(|s| s.with_routing(fabric::RoutingPolicy::adaptive()))
+                .collect()
+        },
+        GOLDEN_FATTREE_ADAPTIVE,
+    );
+}
+
+/// The lazy event model pins to the *same* golden tables: trace digests
+/// are model-invariant because laziness only removes scheduled no-op
+/// events, never reorders or changes an observable one (DESIGN.md §6f).
+/// No separate lazy digest tables exist on purpose — if these runs ever
+/// need their own table, the lazy model has stopped being bit-exact.
+#[test]
+fn lazy_trace_digests_match_the_eager_golden_tables() {
+    check_golden(
+        || {
+            golden_specs(MinParams::paper_64(), CornerCase::case2_64())
+                .into_iter()
+                .map(|s| s.with_event_model(EventModel::Lazy))
+                .collect()
+        },
+        GOLDEN,
+    );
+}
+
+#[test]
+fn lazy_fattree_trace_digests_match_the_eager_golden_tables() {
+    check_golden(
+        || {
+            golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64())
+                .into_iter()
+                .map(|s| {
+                    s.with_routing(fabric::RoutingPolicy::adaptive())
+                        .with_event_model(EventModel::Lazy)
+                })
                 .collect()
         },
         GOLDEN_FATTREE_ADAPTIVE,

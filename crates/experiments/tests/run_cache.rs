@@ -7,7 +7,7 @@ use experiments::cache::{CacheStatus, RunCache};
 use experiments::runner::{scaled_recn_config, summarize};
 use experiments::spec::RunSpec;
 use experiments::sweep::{render_summary, Sweep};
-use fabric::SchemeKind;
+use fabric::{EventModel, SchemeKind};
 use simcore::Picos;
 use topology::MinParams;
 use traffic::corner::CornerCase;
@@ -200,6 +200,54 @@ fn stale_schema_or_foreign_spec_is_ignored_not_evicted() {
         .store(&spec, &out)
         .expect("overwrite repairs the slot");
     assert!(cache.load(&spec).is_some());
+}
+
+#[test]
+fn event_models_never_alias_and_lazy_replays_byte_identically() {
+    let dir = scratch("cache_event_model");
+    let cache = RunCache::new(&dir);
+    let eager_spec = quick_specs().remove(2); // RECN: exercises every counter
+    let lazy_spec = eager_spec.clone().with_event_model(EventModel::Lazy);
+
+    // Distinct content addresses: an eager entry can never serve a lazy
+    // spec (their event totals differ even though the behaviour is
+    // bit-exact), and vice versa.
+    assert_ne!(eager_spec.spec_hash(), lazy_spec.spec_hash());
+    assert_ne!(cache.path_for(&eager_spec), cache.path_for(&lazy_spec));
+    let eager_out = experiments::run_one(&eager_spec);
+    cache.store(&eager_spec, &eager_out).expect("store eager");
+    assert!(
+        cache.load(&lazy_spec).is_none(),
+        "an eager entry must not serve the lazy spec"
+    );
+
+    // A cached lazy run replays byte for byte — including its (smaller)
+    // stored event total.
+    let lazy_out = experiments::run_one(&lazy_spec);
+    assert!(
+        lazy_out.events < eager_out.events,
+        "lazy must schedule fewer events"
+    );
+    cache.store(&lazy_spec, &lazy_out).expect("store lazy");
+    let back = cache.load(&lazy_spec).expect("hit after store");
+    assert_eq!(summarize(&back), summarize(&lazy_out));
+    assert_eq!(back.events, lazy_out.events);
+    assert_eq!(back.wall_secs.to_bits(), lazy_out.wall_secs.to_bits());
+    assert_eq!(
+        format!("{:?}", back.counters),
+        format!("{:?}", lazy_out.counters)
+    );
+    // Both entries still hit independently.
+    assert!(cache.load(&eager_spec).is_some());
+
+    // And through a sweep: the warm rerun is all hits, byte-identical.
+    let specs = || vec![eager_spec.clone(), lazy_spec.clone()];
+    let first = Sweep::new(specs()).cache(&dir).run_report();
+    assert_eq!(first.cache, vec![CacheStatus::Hit; 2]);
+    for (out, fresh) in first.outputs.iter().zip([&eager_out, &lazy_out]) {
+        assert_eq!(summarize(out), summarize(fresh));
+        assert_eq!(out.events, fresh.events);
+    }
 }
 
 #[test]

@@ -8,7 +8,7 @@
 
 use experiments::runner::paper_recn_config;
 use experiments::spec::RunSpec;
-use fabric::{RoutingPolicy, SchemeKind};
+use fabric::{EventModel, RoutingPolicy, SchemeKind};
 use topology::{FatTreeParams, MinParams};
 use traffic::corner::CornerCase;
 
@@ -24,23 +24,35 @@ fn schemes() -> [SchemeKind; 5] {
 }
 
 /// Corner case 2 on the 64-host MIN, spec defaults (64 B packets, 1600 µs
-/// horizon, deterministic routing) — one hash per scheme.
+/// horizon, deterministic routing, eager events) — one hash per scheme.
+/// (spec version 2: the event-model tag byte is part of the encoding.)
 const GOLDEN_MIN: [u64; 5] = [
-    0x677c1fa371b293d3,
-    0xd84bfa850b34d32c,
-    0x5b330ea3eb537441,
-    0x31e9e2ede9076c72,
-    0x2e48d447589a2725,
+    0xd7d2430aae1754fe,
+    0xc5fc9a30ea2fa45b,
+    0x189b0e30359f554c,
+    0xa88ffdbae0009b91,
+    0xefc664f6b3f92164,
 ];
 
 /// The fat-tree hotspot under the same five schemes with adaptive
 /// up-routing and 512-byte packets.
 const GOLDEN_FATTREE_ADAPTIVE: [u64; 5] = [
-    0xc6b4ca0da1e6785b,
-    0x6e962ee5380f4a92,
-    0x08f45ecd90096d8d,
-    0x127ffb1904d67e4c,
-    0xd89a0d4f5bab27c5,
+    0x2a81a71957c888ac,
+    0x7aceee15cc425e5f,
+    0x760be39a327a007e,
+    0xf2eeebdb18abf1e9,
+    0x9c343e87f3d76032,
+];
+
+/// The MIN table again under the lazy event model: same simulation
+/// behaviour, different content address — lazy outputs report different
+/// event counts, so the two models must never alias in the cache.
+const GOLDEN_MIN_LAZY: [u64; 5] = [
+    0xd7d2440aae1756b1,
+    0xc5fc9930ea2fa2a8,
+    0x189b0f30359f56ff,
+    0xa88ffcbae00099de,
+    0xefc665f6b3f92317,
 ];
 
 fn min_spec(scheme: SchemeKind) -> RunSpec {
@@ -83,6 +95,30 @@ fn fattree_adaptive_spec_hashes_are_pinned() {
 }
 
 #[test]
+fn lazy_spec_hashes_are_pinned_and_distinct() {
+    for ((scheme, golden), eager) in schemes().into_iter().zip(GOLDEN_MIN_LAZY).zip(GOLDEN_MIN) {
+        let spec = min_spec(scheme).with_event_model(EventModel::Lazy);
+        assert_eq!(
+            spec.spec_hash(),
+            golden,
+            "{}: lazy spec_v1 encoding drifted (hash {:#018x})",
+            scheme.name(),
+            spec.spec_hash(),
+        );
+        assert_ne!(
+            golden,
+            eager,
+            "{}: the two event models must have distinct content addresses",
+            scheme.name(),
+        );
+        // The decoded spec carries the model back out — a cache replay of a
+        // lazy entry reruns lazily.
+        let back = RunSpec::decode_hex(&spec.encode_hex()).expect("round trip");
+        assert_eq!(back.event_model(), EventModel::Lazy);
+    }
+}
+
+#[test]
 fn hashes_survive_the_hex_round_trip() {
     for scheme in schemes() {
         for spec in [min_spec(scheme), fattree_spec(scheme)] {
@@ -107,9 +143,10 @@ fn every_scheme_gets_a_distinct_address() {
     let mut hashes: Vec<u64> = GOLDEN_MIN
         .iter()
         .chain(GOLDEN_FATTREE_ADAPTIVE.iter())
+        .chain(GOLDEN_MIN_LAZY.iter())
         .copied()
         .collect();
     hashes.sort_unstable();
     hashes.dedup();
-    assert_eq!(hashes.len(), 10, "all ten golden hashes are distinct");
+    assert_eq!(hashes.len(), 15, "all fifteen golden hashes are distinct");
 }

@@ -2,7 +2,7 @@
 
 use recn::RecnConfig;
 use serde::{Deserialize, Serialize};
-use simcore::{Canon, CanonError, CanonReader, CanonWriter, Picos};
+use simcore::{Canon, CanonError, CanonReader, CanonWriter, EventModel, Picos};
 
 /// The queueing scheme installed at every port — the five mechanisms
 /// compared in the paper's §4.3.
@@ -236,6 +236,11 @@ pub struct FabricConfig {
     /// switches pick among equivalent up-ports (and relaxes
     /// `strict_order`, since per-packet path choice can reorder a flow).
     pub routing: RoutingPolicy,
+    /// How wakeups become scheduled events: `Eager` (reference — one event
+    /// per kick) or `Lazy` (same-time kicks coalesce into sweep events and
+    /// idle arbiters are elided). Behaviour is bit-exact either way; only
+    /// event counts differ. See DESIGN.md §6f.
+    pub event_model: EventModel,
 }
 
 impl FabricConfig {
@@ -253,6 +258,7 @@ impl FabricConfig {
             saq_idle_timeout: Picos::from_us(20),
             strict_order: scheme.preserves_order(),
             routing: RoutingPolicy::Deterministic,
+            event_model: EventModel::Eager,
         }
     }
 
@@ -264,6 +270,12 @@ impl FabricConfig {
         if routing.is_adaptive() {
             self.strict_order = false;
         }
+        self
+    }
+
+    /// Installs an event model (eager reference or lazy fast path).
+    pub fn with_event_model(mut self, model: EventModel) -> FabricConfig {
+        self.event_model = model;
         self
     }
 

@@ -78,6 +78,7 @@ pub use network::{
 pub use observer::{FanoutObserver, NetObserver, NullObserver, QueueKind, SaqSite};
 pub use packet::{Packet, Payload, QueueItem, RevPayload};
 pub use queue::{PortSide, QueueSet};
+pub use simcore::EventModel;
 pub use source::{ConstantRateSource, MessageSource, ScriptSource, SilentSource, SourcedMessage};
 pub use trace::{json_escape, TraceEvent, TraceHandle, TraceRecord, TraceSink};
 pub use validate::{ValidatingObserver, ValidatorHandle};

@@ -6,7 +6,7 @@ mod recn_glue;
 mod stats;
 mod switch;
 
-use simcore::{EventQueue, Picos, SimModel};
+use simcore::{EventModel, EventQueue, Picos, SimModel};
 use topology::{HostId, TopoParams, Topology};
 
 use crate::config::{FabricConfig, SchemeKind};
@@ -80,6 +80,45 @@ pub enum Event {
         /// The SAQ (generation-checked; stale handles are ignored).
         saq: recn::SaqId,
     },
+    /// Drains one batch of coalesced same-time arbiter wakeups
+    /// ([`EventModel::Lazy`] only — the eager model schedules each wakeup
+    /// as its own event). The batch membership lives in the network's
+    /// wakeup FIFO; the sweep occupies the queue position of the batch's
+    /// first kick, so the wakeups fire in exactly the order their eager
+    /// counterparts would have.
+    Sweep,
+}
+
+/// One coalesced arbiter wakeup awaiting a [`Event::Sweep`] (lazy model).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Wakeup {
+    InputArb { sw: usize },
+    OutputArb { sw: usize, port: usize },
+    NicArb { host: usize },
+    NicTransfer { host: usize },
+}
+
+/// Book-keeping of the lazy event model's wakeup coalescing.
+///
+/// Same-time kicks join *batches*: runs of wakeups whose eager events
+/// would have been adjacent in the queue (no other same-time event
+/// scheduled in between). Each batch is announced by one [`Event::Sweep`]
+/// scheduled at the batch's first kick — so the sweep inherits that
+/// kick's queue position — and the FIFO stores batch members separated by
+/// `None` boundary markers. A batch closes (`open = false`) when a
+/// handler schedules a *non-wakeup* event at the current time: a later
+/// kick must then sort after that event, which a fresh sweep provides.
+#[derive(Debug, Default)]
+pub(crate) struct LazyState {
+    /// Simulated time the FIFO belongs to; a kick at a later time resets it.
+    round: Picos,
+    /// Whether the FIFO's tail batch still accepts members.
+    open: bool,
+    /// Whether a sweep is currently dispatching (kicks during a drain may
+    /// need a boundary marker even when the FIFO is momentarily empty).
+    draining: bool,
+    /// Pending wakeups; `None` separates batches.
+    fifo: std::collections::VecDeque<Option<Wakeup>>,
 }
 
 /// Addresses one queue set in the network (for deferred RECN maintenance).
@@ -223,6 +262,11 @@ pub struct Network {
     pub(crate) max_saq_out: u32,
     /// Scratch buffer for service-order computation.
     pub(crate) scratch: Vec<usize>,
+    /// Scratch buffer for packets needing RECN notification requests
+    /// (reused across input-arbiter ports to avoid per-port allocation).
+    pub(crate) scratch_pkts: Vec<Packet>,
+    /// Coalesced-wakeup state of the lazy event model (inert under eager).
+    pub(crate) lazy: LazyState,
     /// Packet size used when splitting messages.
     pub(crate) packet_size: u32,
 }
@@ -409,6 +453,8 @@ impl Network {
             max_saq_in: 0,
             max_saq_out: 0,
             scratch: Vec::new(),
+            scratch_pkts: Vec::new(),
+            lazy: LazyState::default(),
             packet_size,
         };
         // Wire in_link back-pointers.
@@ -618,10 +664,13 @@ impl Network {
         let ser = Picos::serialize_bytes(bytes, self.cfg.link_gbps);
         l.fwd_busy_until = depart + ser;
         l.fwd_busy_total += ser;
-        q.schedule(
-            depart + ser + self.cfg.link_delay,
-            Event::Deliver { link, payload },
-        );
+        let at = depart + ser + self.cfg.link_delay;
+        if at == now {
+            // Only reachable under degenerate zero-delay configs, but the
+            // batch-close rule must hold for any same-time schedule.
+            self.lazy_note_same_time_schedule(now);
+        }
+        q.schedule(at, Event::Deliver { link, payload });
     }
 
     /// Sends a control payload on the reverse channel of `link`.
@@ -637,24 +686,32 @@ impl Network {
         let depart = l.rev_busy_until.max(now);
         let ser = Picos::serialize_bytes(bytes, self.cfg.link_gbps);
         l.rev_busy_until = depart + ser;
-        q.schedule(
-            depart + ser + self.cfg.link_delay,
-            Event::DeliverRev { link, payload },
-        );
+        let at = depart + ser + self.cfg.link_delay;
+        if at == now {
+            self.lazy_note_same_time_schedule(now);
+        }
+        q.schedule(at, Event::DeliverRev { link, payload });
     }
 
     /// Schedules an `InputArb` for `sw` unless one is already pending.
     pub(crate) fn kick_input_arb(&mut self, now: Picos, q: &mut EventQueue<Event>, sw: usize) {
         if !self.switches[sw].input_arb_scheduled {
             self.switches[sw].input_arb_scheduled = true;
-            q.schedule(now, Event::InputArb { sw });
+            if self.cfg.event_model == EventModel::Lazy {
+                self.lazy_push(now, q, Wakeup::InputArb { sw });
+            } else {
+                q.schedule(now, Event::InputArb { sw });
+            }
         }
     }
 
     /// Schedules an `OutputArb` for `(sw, port)` at `at` unless one is
-    /// already pending.
+    /// already pending. `now` is the current time: same-time kicks may
+    /// coalesce under the lazy model, future ones (busy retries,
+    /// post-transmit self-kicks) always get a dedicated event.
     pub(crate) fn kick_output_arb(
         &mut self,
+        now: Picos,
         at: Picos,
         q: &mut EventQueue<Event>,
         sw: usize,
@@ -662,15 +719,30 @@ impl Network {
     ) {
         if !self.switches[sw].output_arb_scheduled[port] {
             self.switches[sw].output_arb_scheduled[port] = true;
-            q.schedule(at, Event::OutputArb { sw, port });
+            if at == now && self.cfg.event_model == EventModel::Lazy {
+                self.lazy_push(now, q, Wakeup::OutputArb { sw, port });
+            } else {
+                q.schedule(at, Event::OutputArb { sw, port });
+            }
         }
     }
 
-    /// Schedules a `NicArb` unless pending.
-    pub(crate) fn kick_nic_arb(&mut self, at: Picos, q: &mut EventQueue<Event>, host: usize) {
+    /// Schedules a `NicArb` at `at` unless pending (`now` as in
+    /// [`kick_output_arb`](Network::kick_output_arb)).
+    pub(crate) fn kick_nic_arb(
+        &mut self,
+        now: Picos,
+        at: Picos,
+        q: &mut EventQueue<Event>,
+        host: usize,
+    ) {
         if !self.nics[host].arb_scheduled {
             self.nics[host].arb_scheduled = true;
-            q.schedule(at, Event::NicArb { host });
+            if at == now && self.cfg.event_model == EventModel::Lazy {
+                self.lazy_push(now, q, Wakeup::NicArb { host });
+            } else {
+                q.schedule(at, Event::NicArb { host });
+            }
         }
     }
 
@@ -678,8 +750,81 @@ impl Network {
     pub(crate) fn kick_nic_transfer(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
         if !self.nics[host].transfer_scheduled {
             self.nics[host].transfer_scheduled = true;
-            q.schedule(now, Event::NicTransfer { host });
+            if self.cfg.event_model == EventModel::Lazy {
+                self.lazy_push(now, q, Wakeup::NicTransfer { host });
+            } else {
+                q.schedule(now, Event::NicTransfer { host });
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy event model: wakeup coalescing
+    // ------------------------------------------------------------------
+
+    /// Appends a same-time wakeup to the FIFO, opening a new batch (with
+    /// its announcing [`Event::Sweep`]) if the tail batch is closed.
+    fn lazy_push(&mut self, now: Picos, q: &mut EventQueue<Event>, w: Wakeup) {
+        let lz = &mut self.lazy;
+        if lz.round != now {
+            debug_assert!(
+                lz.fifo.is_empty() && !lz.draining,
+                "wakeup FIFO must drain before time advances"
+            );
+            lz.round = now;
+            lz.open = false;
+        }
+        if lz.open {
+            lz.fifo.push_back(Some(w));
+        } else {
+            // A boundary marker keeps this batch out of a sweep that is
+            // still draining an earlier batch (or mid-drain with the FIFO
+            // momentarily empty) — the new batch's own sweep owns it.
+            if lz.draining || !lz.fifo.is_empty() {
+                lz.fifo.push_back(None);
+            }
+            lz.fifo.push_back(Some(w));
+            lz.open = true;
+            q.schedule(now, Event::Sweep);
+        }
+    }
+
+    /// Hook for handlers that schedule a *non-wakeup* event at the current
+    /// time (today: a source whose next message is due immediately). The
+    /// open batch must close so that any later kick sorts after the event
+    /// just scheduled, exactly as its eager counterpart would.
+    pub(crate) fn lazy_note_same_time_schedule(&mut self, now: Picos) {
+        if self.cfg.event_model == EventModel::Lazy && self.lazy.round == now {
+            self.lazy.open = false;
+        }
+    }
+
+    /// Dispatches one batch of coalesced wakeups. Each member runs through
+    /// the same handler its eager event would have, in the same relative
+    /// order; members kicked *during* the drain join the open tail batch
+    /// (their eager events would also have sorted last).
+    fn on_sweep(&mut self, now: Picos, q: &mut EventQueue<Event>) {
+        debug_assert_eq!(self.lazy.round, now, "sweep outlived its round");
+        self.lazy.draining = true;
+        loop {
+            match self.lazy.fifo.pop_front() {
+                Some(Some(w)) => match w {
+                    Wakeup::InputArb { sw } => self.on_input_arb(now, q, sw),
+                    Wakeup::OutputArb { sw, port } => self.on_output_arb(now, q, sw, port),
+                    Wakeup::NicArb { host } => self.on_nic_arb(now, q, host),
+                    Wakeup::NicTransfer { host } => self.on_nic_transfer(now, q, host),
+                },
+                // Batch boundary: the next batch's sweep is already queued.
+                Some(None) => break,
+                None => {
+                    // Drained the open tail batch; the next kick starts a
+                    // fresh batch with a fresh sweep.
+                    self.lazy.open = false;
+                    break;
+                }
+            }
+        }
+        self.lazy.draining = false;
     }
 
     // ------------------------------------------------------------------
@@ -750,8 +895,8 @@ impl Network {
                 self.links[link].credits.replenish(queue, bytes as u64);
                 self.note_credit_replenished(now, link, queue, bytes as u64);
                 match self.links[link].up {
-                    LinkUp::Nic(h) => self.kick_nic_arb(now, q, h),
-                    LinkUp::Switch { sw, port } => self.kick_output_arb(now, q, sw, port),
+                    LinkUp::Nic(h) => self.kick_nic_arb(now, now, q, h),
+                    LinkUp::Switch { sw, port } => self.kick_output_arb(now, now, q, sw, port),
                 }
             }
             RevPayload::RecnNotification { path } => {
@@ -766,8 +911,8 @@ impl Network {
                 self.egress_set_remote_xoff(link, path, false);
                 // The SAQ may transmit again.
                 match self.links[link].up {
-                    LinkUp::Nic(h) => self.kick_nic_arb(now, q, h),
-                    LinkUp::Switch { sw, port } => self.kick_output_arb(now, q, sw, port),
+                    LinkUp::Nic(h) => self.kick_nic_arb(now, now, q, h),
+                    LinkUp::Switch { sw, port } => self.kick_output_arb(now, now, q, sw, port),
                 }
             }
         }
@@ -788,6 +933,7 @@ impl SimModel for Network {
             Event::XbarDone { sw, input, output } => self.on_xbar_done(now, q, sw, input, output),
             Event::OutputArb { sw, port } => self.on_output_arb(now, q, sw, port),
             Event::SaqIdleCheck { port, saq } => self.on_saq_idle_check(now, q, port, saq),
+            Event::Sweep => self.on_sweep(now, q),
         }
     }
 }

@@ -5,7 +5,6 @@ use simcore::{EventQueue, Picos};
 
 use crate::observer::QueueKind;
 use crate::packet::{Packet, Payload, QueueItem};
-use crate::queue::QueueSet;
 
 use super::{Event, Network, PortRef};
 
@@ -63,6 +62,12 @@ impl Network {
         if let Some(next) = self.nics[host].source.next_message() {
             assert!(next.at >= now, "source times must be non-decreasing");
             self.nics[host].pending = Some(next);
+            if next.at == now {
+                // A same-time non-wakeup event enters the queue: close the
+                // open wakeup batch so later kicks sort after it, exactly as
+                // their dedicated events would under the eager model.
+                self.lazy_note_same_time_schedule(now);
+            }
             q.schedule(next.at, Event::NextMessage { host });
         }
         self.kick_nic_transfer(now, q, host);
@@ -74,6 +79,13 @@ impl Network {
     pub(crate) fn on_nic_transfer(&mut self, now: Picos, q: &mut EventQueue<Event>, host: usize) {
         self.nics[host].transfer_scheduled = false;
         let hosts = self.topo.num_hosts() as usize;
+        if self.nics[host].admit_pool.is_empty() {
+            // Nothing admitted: the full scan below would make no progress
+            // and schedule nothing. The round-robin pointer still advances,
+            // exactly as the unguarded loop would leave it.
+            self.nics[host].admit_rr = (self.nics[host].admit_rr + 1) % hosts;
+            return;
+        }
         let mut moved_any = false;
         loop {
             let mut progress = false;
@@ -137,7 +149,7 @@ impl Network {
         }
         self.nics[host].admit_rr = (self.nics[host].admit_rr + 1) % hosts;
         if moved_any {
-            self.kick_nic_arb(now, q, host);
+            self.kick_nic_arb(now, now, q, host);
         }
     }
 
@@ -148,7 +160,16 @@ impl Network {
         let link = self.nics[host].link;
         let busy = self.links[link].fwd_busy_until;
         if busy > now {
-            self.kick_nic_arb(busy, q, host);
+            self.kick_nic_arb(now, busy, q, host);
+            return;
+        }
+        // Work elision (both event models): with nothing queued, or a pooled
+        // credit view at zero, the scan below can grant nothing and performs
+        // no observable work — returning early is exact.
+        if !self.nics[host].inject.has_items() {
+            return;
+        }
+        if let crate::credit::CreditView::Pooled { free: 0, .. } = self.links[link].credits {
             return;
         }
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -203,8 +224,12 @@ impl Network {
         let ser = self.cfg.link_time(size);
         self.links[link].fwd_busy_until = now + ser;
         self.links[link].fwd_busy_total += ser;
+        let at = now + ser + self.cfg.link_delay;
+        if at == now {
+            self.lazy_note_same_time_schedule(now);
+        }
         q.schedule(
-            now + ser + self.cfg.link_delay,
+            at,
             Event::Deliver {
                 link,
                 payload: Payload::Data {
@@ -215,7 +240,7 @@ impl Network {
         );
         self.nics[host].inject.rr_granted(qidx);
         if self.nics[host].inject.has_items() {
-            self.kick_nic_arb(now + ser, q, host);
+            self.kick_nic_arb(now, now + ser, q, host);
         }
         // Injection buffer space freed: refill from admittance.
         self.kick_nic_transfer(now, q, host);
@@ -235,12 +260,5 @@ impl Network {
                 SchemeKind::Recn(_) => crate::credit::POOLED_QUEUE,
             },
         }
-    }
-}
-
-impl QueueSet {
-    /// Whether any queue holds at least one item.
-    pub fn has_items(&self) -> bool {
-        (0..self.num_queues()).any(|q| self.queue_len(q) > 0)
     }
 }

@@ -430,7 +430,7 @@ impl Network {
                 self.schedule_idle_check(now, q, PortRef::SwitchOut { sw, port }, saq);
             }
         }
-        self.kick_output_arb(now, q, sw, port);
+        self.kick_output_arb(now, now, q, sw, port);
     }
 
     /// Same for a NIC injection-port queue.
@@ -461,7 +461,7 @@ impl Network {
                 self.schedule_idle_check(now, q, PortRef::Nic { host }, saq);
             }
         }
-        self.kick_nic_arb(now, q, host);
+        self.kick_nic_arb(now, now, q, host);
     }
 
     // ------------------------------------------------------------------
@@ -515,10 +515,13 @@ impl Network {
         port: PortRef,
         saq: SaqId,
     ) {
-        q.schedule(
-            now + self.cfg.saq_idle_timeout,
-            Event::SaqIdleCheck { port, saq },
-        );
+        let at = now + self.cfg.saq_idle_timeout;
+        if at == now {
+            // Degenerate zero-timeout config: a same-time non-wakeup event
+            // must close the open wakeup batch (see `lazy_push`).
+            self.lazy_note_same_time_schedule(now);
+        }
+        q.schedule(at, Event::SaqIdleCheck { port, saq });
     }
 
     /// `Event::SaqIdleCheck` — reclaim the SAQ if it is still an empty,

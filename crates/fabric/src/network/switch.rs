@@ -4,7 +4,7 @@
 use simcore::{EventQueue, Picos};
 
 use crate::config::SchemeKind;
-use crate::credit::POOLED_QUEUE;
+use crate::credit::{CreditView, POOLED_QUEUE};
 use crate::observer::QueueKind;
 use crate::packet::{Packet, Payload, QueueItem, RevPayload};
 
@@ -85,6 +85,12 @@ impl Network {
             if self.switches[sw].in_flight[i].is_some() {
                 continue;
             }
+            // Work-elision fast path (both event models): an empty input
+            // port can neither grant nor notify — the full scan below would
+            // end with no mutation and no observer call, so skip it.
+            if !self.switches[sw].inputs[i].has_items() {
+                continue;
+            }
             let mut scratch = std::mem::take(&mut self.scratch);
             self.switches[sw].inputs[i].service_order(&mut scratch);
             // (queue, output, reserved output queue)
@@ -96,8 +102,10 @@ impl Network {
             // notifications fire at request time — crucially also when the
             // request is blocked by a full egress SAQ, otherwise the very
             // packets suffering HOL blocking would never trigger the
-            // notification that removes it.
-            let mut notify_pending: Vec<Packet> = Vec::new();
+            // notification that removes it. The buffer is owned by the
+            // network and reused across ports/calls.
+            let mut notify_pending = std::mem::take(&mut self.scratch_pkts);
+            debug_assert!(notify_pending.is_empty());
             for &qidx in &scratch {
                 let switch = &self.switches[sw];
                 let QueueItem::Packet(p) = switch.inputs[i].head(qidx).expect("listed queue")
@@ -163,9 +171,11 @@ impl Network {
                 break;
             }
             self.scratch = scratch;
-            for pending in notify_pending {
-                self.request_notifications(now, q, sw, i, &pending);
+            for pending in &notify_pending {
+                self.request_notifications(now, q, sw, i, pending);
             }
+            notify_pending.clear();
+            self.scratch_pkts = notify_pending;
             let Some((qidx, out, to_queue)) = grant else {
                 continue;
             };
@@ -219,8 +229,12 @@ impl Network {
                 to_queue,
             });
             self.switches[sw].out_busy[out] = true;
+            let at = now + self.cfg.xbar_time(size);
+            if at == now {
+                self.lazy_note_same_time_schedule(now);
+            }
             q.schedule(
-                now + self.cfg.xbar_time(size),
+                at,
                 Event::XbarDone {
                     sw,
                     input: i,
@@ -414,7 +428,7 @@ impl Network {
             },
         );
 
-        self.kick_output_arb(now, q, sw, output);
+        self.kick_output_arb(now, now, q, sw, output);
         self.kick_input_arb(now, q, sw);
     }
 
@@ -431,7 +445,18 @@ impl Network {
         let link = self.switches[sw].out_link[port];
         let busy = self.links[link].fwd_busy_until;
         if busy > now {
-            self.kick_output_arb(busy, q, sw, port);
+            // The busy retry happens before any emptiness check — eager
+            // semantics re-arm an idle-but-busy port the same way.
+            self.kick_output_arb(now, busy, q, sw, port);
+            return;
+        }
+        // Work-elision fast paths (both event models): with nothing queued,
+        // or a pooled downstream view out of credit, the scan below grants
+        // nothing and mutates nothing — skip it.
+        if !self.switches[sw].outputs[port].has_items() {
+            return;
+        }
+        if let CreditView::Pooled { free: 0, .. } = self.links[link].credits {
             return;
         }
         let is_recn = matches!(self.cfg.scheme, SchemeKind::Recn(_));
@@ -494,8 +519,12 @@ impl Network {
         let ser = self.cfg.link_time(size);
         self.links[link].fwd_busy_until = now + ser;
         self.links[link].fwd_busy_total += ser;
+        let at = now + ser + self.cfg.link_delay;
+        if at == now {
+            self.lazy_note_same_time_schedule(now);
+        }
         q.schedule(
-            now + ser + self.cfg.link_delay,
+            at,
             Event::Deliver {
                 link,
                 payload: Payload::Data {
@@ -506,7 +535,7 @@ impl Network {
         );
         self.switches[sw].outputs[port].rr_granted(qidx);
         if self.switches[sw].outputs[port].has_items() {
-            self.kick_output_arb(now + ser, q, sw, port);
+            self.kick_output_arb(now, now + ser, q, sw, port);
         }
         // Output buffer space freed: inputs may proceed.
         self.kick_input_arb(now, q, sw);

@@ -144,6 +144,13 @@ impl QueueSet {
         self.queues[queue].len()
     }
 
+    /// Whether any queue holds a stored item — O(1) via the item slab.
+    /// Reserved-but-uncommitted bytes do not count: nothing is
+    /// transmittable until the in-flight crossbar transfer commits.
+    pub fn has_items(&self) -> bool {
+        !self.items.is_empty()
+    }
+
     /// The queue an arriving/locally-stored packet belongs in, per the
     /// scheme's mapping rule. For 4Q this inspects live occupancies
     /// (lowest-occupancy rule); for RECN it consults the CAM.
@@ -306,6 +313,16 @@ impl QueueSet {
         let n = self.queues.len();
         match &self.recn {
             Some(recn) => {
+                // Fast path: every stored item sits in the normal queue, so
+                // no SAQ pass can contribute and the WRR rotation cannot
+                // trigger (it needs a serviceable SAQ behind the normal
+                // queue). This is the common case outside congestion trees.
+                if self.items.len() == self.queues[0].len() {
+                    if !self.queues[0].is_empty() {
+                        out.push(0);
+                    }
+                    return;
+                }
                 // Pass 1: drain-boost SAQs (highest priority).
                 for saq in recn.iter_saqs() {
                     let q = Self::saq_queue(saq);

@@ -34,7 +34,7 @@
 
 use std::fmt;
 
-use crate::{Picos, SchedulerKind};
+use crate::{EventModel, Picos, SchedulerKind};
 
 /// Error produced when canonical bytes cannot be decoded (truncation, an
 /// unknown enum tag, or a value that fails the type's own invariants).
@@ -222,6 +222,23 @@ impl Canon for SchedulerKind {
     }
 }
 
+impl Canon for EventModel {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u8(match self {
+            EventModel::Eager => 0,
+            EventModel::Lazy => 1,
+        });
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(EventModel::Eager),
+            1 => Ok(EventModel::Lazy),
+            t => Err(CanonError::new(format!("unknown event model tag {t}"))),
+        }
+    }
+}
+
 /// FNV-1a 64-bit hash — the workspace's standard stable digest (the trace
 /// layer uses the same function for whole-run digests). Applied to a
 /// canonical encoding it yields a content address.
@@ -290,6 +307,23 @@ mod tests {
         }
         let mut r = CanonReader::new(&[9]);
         assert!(SchedulerKind::decode_canon(&mut r).is_err());
+    }
+
+    #[test]
+    fn event_model_round_trips() {
+        for m in [EventModel::Eager, EventModel::Lazy] {
+            let mut w = CanonWriter::new();
+            m.encode_canon(&mut w);
+            let bytes = w.finish();
+            let mut r = CanonReader::new(&bytes);
+            assert_eq!(EventModel::decode_canon(&mut r).unwrap(), m);
+            r.finish().unwrap();
+        }
+        let mut r = CanonReader::new(&[7]);
+        assert!(EventModel::decode_canon(&mut r).is_err());
+        assert_eq!(EventModel::default(), EventModel::Eager);
+        assert_eq!(EventModel::parse("lazy"), Ok(EventModel::Lazy));
+        assert!(EventModel::parse("warp").is_err());
     }
 
     #[test]

@@ -2,6 +2,48 @@
 
 use crate::{EventQueue, Picos, SchedulerKind};
 
+/// How a model turns state changes into scheduled events.
+///
+/// The engine itself is agnostic — it drains whatever the model schedules.
+/// The knob lives here because it names a contract *between* models and
+/// observers: under [`EventModel::Lazy`] a model may coalesce same-time
+/// wakeups into batch events and elide no-op work, but it must produce the
+/// exact same observable behaviour (observer hook sequence, counters,
+/// series) as [`EventModel::Eager`]. Only bookkeeping internals — the
+/// number of events processed and the queue depth — are allowed to differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventModel {
+    /// Reference implementation: one dedicated event per wakeup, arbiters
+    /// polled whenever a kick arrives, no elision. Every behaviour claim
+    /// is defined against this model.
+    #[default]
+    Eager,
+    /// Event-reduction fast path: same-time arbiter wakeups coalesce into
+    /// one sweep event, idle arbiters return without scanning, and no-op
+    /// wakeups are elided at execution time. Bit-exact with `Eager` by
+    /// construction (see DESIGN.md §6f); proven by the differential suite.
+    Lazy,
+}
+
+impl EventModel {
+    /// The CLI / JSON name (`eager` or `lazy`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventModel::Eager => "eager",
+            EventModel::Lazy => "lazy",
+        }
+    }
+
+    /// Parses a `--event-model` value.
+    pub fn parse(s: &str) -> Result<EventModel, String> {
+        match s {
+            "eager" => Ok(EventModel::Eager),
+            "lazy" => Ok(EventModel::Lazy),
+            other => Err(format!("unknown event model {other:?} (eager|lazy)")),
+        }
+    }
+}
+
 /// A simulation model driven by [`Engine`].
 ///
 /// The model receives each event together with the current simulated time

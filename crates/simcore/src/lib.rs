@@ -55,7 +55,7 @@ mod stats;
 mod time;
 
 pub use canon::{fnv1a64, Canon, CanonError, CanonReader, CanonWriter};
-pub use engine::{Engine, SimModel};
+pub use engine::{Engine, EventModel, SimModel};
 pub use queue::{EventQueue, ScheduledEvent, SchedulerKind};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use series::{BinnedSeries, GaugeSeries, SeriesPoint};

@@ -20,6 +20,13 @@ echo "== tier1: rustdoc gate (RUSTDOCFLAGS=-D warnings) + doc tests =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 cargo test --workspace --doc -q
 
+echo "== tier1: event-model differential (Eager vs Lazy, release) =="
+# The lazy event model must be bit-exact: the full 5-scheme × 2-topology ×
+# 2-routing matrix plus the seeded property suite compare trace digests,
+# counters, and series between the two models. Release mode: the matrix is
+# 30 full runs and debug would dominate the gate's wall time.
+cargo test --release -q -p experiments --test event_model_differential
+
 echo "== tier1: quick-mode sweep smoke test (fig2, --jobs 4 vs --jobs 1) =="
 # The parallel executor must return results in submission order, so the
 # rendered tables are byte-identical at any parallelism; the JSON sweep
