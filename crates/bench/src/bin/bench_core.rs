@@ -214,6 +214,17 @@ fn kernels(small: bool) -> Vec<Kernel> {
                 hosts: 256,
             });
         }
+        // The order-of-magnitude rung: ~60M events on the 16-ary 3-tree.
+        // RECN only (VOQnet's per-destination queues are the strawman the
+        // `scale` binary quantifies analytically) and never in --quick.
+        v.push(Kernel {
+            name: "hotspot4096/RECN".to_owned(),
+            kind: KernelKind::Sim(Box::new(bench::scale4096_spec(fabric::SchemeKind::Recn(
+                bench::bench_recn_config(),
+            )))),
+            workload: "corner_hotspot",
+            hosts: 4096,
+        });
     }
     // Lazy-event-model reference kernels: the RECN hotspots again under
     // `--event-model lazy`, rated in *eager-reference* events/sec so
@@ -344,6 +355,43 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
         .collect()
 }
 
+/// Markdown twin of `render` for CI step summaries: one row per kernel,
+/// with baseline-comparison columns when a baseline is loaded.
+fn render_markdown(
+    mode: &str,
+    rows: &[(Kernel, Sample, Sample)],
+    baseline: Option<&[BaselineRow]>,
+) -> String {
+    let mut s = format!("### bench_core ({mode})\n\n");
+    s.push_str("| kernel | events | calendar ev/s | heap ev/s |");
+    if baseline.is_some() {
+        s.push_str(" baseline ev/s | delta |");
+    }
+    s.push('\n');
+    s.push_str("|:--|--:|--:|--:|");
+    if baseline.is_some() {
+        s.push_str("--:|--:|");
+    }
+    s.push('\n');
+    for (k, cal, heap) in rows {
+        s.push_str(&format!(
+            "| {} | {} | {:.2e} | {:.2e} |",
+            k.name, cal.events, cal.events_per_sec, heap.events_per_sec
+        ));
+        if let Some(base) = baseline {
+            match base.iter().find(|b| b.name == k.name) {
+                Some(b) if b.events_per_sec > 0.0 => {
+                    let delta = (cal.events_per_sec - b.events_per_sec) / b.events_per_sec * 100.0;
+                    s.push_str(&format!(" {:.2e} | {delta:+.1}% |", b.events_per_sec));
+                }
+                _ => s.push_str(" - | - |"),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
 /// The flag table (shared parser machinery from `experiments::opts`;
 /// `--small` rides along as the deprecated spelling of `--quick`).
 const BENCH_FLAGS: &[FlagDef] = &[
@@ -383,6 +431,12 @@ const BENCH_FLAGS: &[FlagDef] = &[
         value: Some(("F", "a fraction")),
         help: "allowed fractional regression for --check (default 0.25)",
     },
+    FlagDef {
+        name: "--md",
+        aliases: &[],
+        value: Some(("FILE", "a file")),
+        help: "append a markdown result table to FILE (e.g. $GITHUB_STEP_SUMMARY)",
+    },
 ];
 
 struct BenchArgs {
@@ -392,6 +446,7 @@ struct BenchArgs {
     out_path: String,
     check: Option<String>,
     tolerance: f64,
+    md: Option<String>,
     help: bool,
 }
 
@@ -403,6 +458,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, Strin
         out_path: String::from("BENCH_simcore.json"),
         check: None,
         tolerance: 0.25,
+        md: None,
         help: false,
     };
     for (name, value) in parse_flags(args, BENCH_FLAGS)? {
@@ -419,6 +475,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, Strin
             }
             "--out" => cfg.out_path = v(),
             "--check" => cfg.check = Some(v()),
+            "--md" => cfg.md = Some(v()),
             "--tolerance" => {
                 let v = v();
                 cfg.tolerance = v
@@ -448,6 +505,7 @@ fn main() {
         out_path,
         check,
         tolerance,
+        md,
         ..
     } = args;
 
@@ -570,10 +628,27 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     eprintln!("wrote {out_path}");
 
-    if let Some(baseline_path) = check {
-        let text = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        let baseline = parse_baseline(&text);
+    // Load the baseline before the check so the markdown summary can
+    // carry the comparison columns even when the check then fails.
+    let baseline: Option<Vec<BaselineRow>> = check.as_ref().map(|p| {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        parse_baseline(&text)
+    });
+    if let Some(md_path) = &md {
+        use std::io::Write as _;
+        let table = render_markdown(mode, &rows, baseline.as_deref());
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(md_path)
+            .unwrap_or_else(|e| panic!("cannot open {md_path}: {e}"));
+        f.write_all(table.as_bytes())
+            .expect("append markdown table");
+        eprintln!("appended markdown table to {md_path}");
+    }
+
+    if let Some(baseline) = baseline {
         let mut failures = Vec::new();
         let mut compared = 0;
         for (k, cal, _) in &rows {
@@ -618,7 +693,8 @@ fn main() {
         }
         assert!(
             compared > 0,
-            "no kernels in common with baseline {baseline_path}"
+            "no kernels in common with baseline {}",
+            check.as_deref().unwrap_or_default()
         );
         if failures.is_empty() {
             eprintln!(

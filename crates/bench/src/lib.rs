@@ -92,6 +92,22 @@ pub fn scale_spec(scheme: SchemeKind) -> RunSpec {
     .with_label("scale256")
 }
 
+/// The 4096-host fat-tree scalability kernel as a spec (16-ary 3-tree,
+/// one attacker per leaf switch). Uses streaming metrics so the probe's
+/// series storage does not contribute to the ~60M-event run's memory
+/// high-water mark.
+pub fn scale4096_spec(scheme: SchemeKind) -> RunSpec {
+    RunSpec::corner(
+        topology::FatTreeParams::ft_4096(),
+        scheme,
+        CornerCase::fattree_4096().shrunk(BENCH_TIME_DIV),
+    )
+    .with_horizon(bench_horizon())
+    .with_bin(Picos::from_us(1))
+    .with_metrics(simcore::MetricsMode::Streaming)
+    .with_label("scale4096")
+}
+
 /// Runs the corner-case kernel under a scheme and returns the output
 /// (checked, so benches also act as regression tests).
 pub fn corner_kernel(case: u8, scheme: SchemeKind) -> RunOutput {

@@ -24,7 +24,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fabric::NetCounters;
-use simcore::{fnv1a64, Running, SeriesPoint};
+use metrics::StreamSummary;
+use simcore::{fnv1a64, Running, SeriesPoint, StreamStats};
 
 use crate::runner::{RunOutput, OUTPUT_SCHEMA_VERSION};
 use crate::spec::RunSpec;
@@ -191,7 +192,8 @@ fn render_body(out: &RunOutput) -> String {
          \"recn_rejects\":{},\"recn_duplicates\":{},\"recn_tokens\":{},\
          \"xoffs\":{},\"xons\":{},\"markers\":{},\"root_activations\":{},\
          \"root_clears\":{},\"source_dropped_messages\":{},\"source_dropped_bytes\":{}}},\
-         \"wall_secs\":{},\"events\":{},\"peak_event_queue_depth\":{},\"trace_digest\":{}}}",
+         \"wall_secs\":{},\"events\":{},\"peak_event_queue_depth\":{},\"trace_digest\":{},\
+         \"peak_bytes_estimate\":{},\"stream\":{}}}",
         out.scheme,
         series_json(&out.throughput),
         series_json(&out.saq_ingress),
@@ -230,6 +232,26 @@ fn render_body(out: &RunOutput) -> String {
             Some(d) => format!("\"{d:016x}\""),
             None => "null".to_owned(),
         },
+        out.peak_bytes_estimate,
+        match &out.stream {
+            Some(s) => render_stream(s),
+            None => "null".to_owned(),
+        },
+    )
+}
+
+/// Renders a [`StreamSummary`] as five `[bins, sum, max]` triples (floats
+/// in shortest round-tripping form, exactly like the series cells).
+fn render_stream(s: &StreamSummary) -> String {
+    let stats = |st: &StreamStats| format!("[{},{},{}]", st.bins, fnum(st.sum), fnum(st.max));
+    format!(
+        "{{\"throughput\":{},\"offered\":{},\"saq_max_ingress\":{},\
+         \"saq_max_egress\":{},\"saq_total\":{}}}",
+        stats(&s.throughput),
+        stats(&s.offered),
+        stats(&s.saq_max_ingress),
+        stats(&s.saq_max_egress),
+        stats(&s.saq_total),
     )
 }
 
@@ -365,8 +387,39 @@ fn parse_entry(text: &str, spec: &RunSpec) -> Result<Option<RunOutput>, String> 
                     .map_err(|_| "bad trace_digest hex")?,
             ),
         },
+        peak_bytes_estimate: body
+            .get("peak_bytes_estimate")
+            .and_then(|v| v.u64())
+            .ok_or("bad peak_bytes_estimate")?,
+        stream: match body.get("stream").ok_or("missing stream")? {
+            Json::Null => None,
+            v => Some(parse_stream(v)?),
+        },
     };
     Ok(Some(out))
+}
+
+/// Inverse of [`render_stream`].
+fn parse_stream(v: &Json) -> Result<StreamSummary, String> {
+    let stats = |k: &str| -> Result<StreamStats, String> {
+        let a = v
+            .get(k)
+            .and_then(|s| s.arr())
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| format!("bad stream stats {k:?}"))?;
+        Ok(StreamStats {
+            bins: a[0].u64().ok_or("bad stream bins")?,
+            sum: a[1].f64().ok_or("bad stream sum")?,
+            max: a[2].f64().ok_or("bad stream max")?,
+        })
+    };
+    Ok(StreamSummary {
+        throughput: stats("throughput")?,
+        offered: stats("offered")?,
+        saq_max_ingress: stats("saq_max_ingress")?,
+        saq_max_egress: stats("saq_max_egress")?,
+        saq_total: stats("saq_total")?,
+    })
 }
 
 // ---- minimal JSON ------------------------------------------------------

@@ -63,6 +63,7 @@ pub mod cache;
 pub mod figures;
 pub mod opts;
 pub mod runner;
+pub mod scale;
 pub mod spec;
 pub mod sweep;
 pub mod table1;

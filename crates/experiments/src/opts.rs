@@ -189,6 +189,12 @@ pub const OPTS_FLAGS: &[FlagDef] = &[
         value: Some(("eager|lazy", "eager or lazy")),
         help: "event scheduling model (eager default; lazy is bit-identical with fewer events)",
     },
+    FlagDef {
+        name: "--metrics",
+        aliases: &[],
+        value: Some(("full|streaming", "full or streaming")),
+        help: "metrics mode (full default; streaming keeps O(1) summaries instead of series)",
+    },
 ];
 
 /// The usage text attached to parse errors (generated from [`OPTS_FLAGS`]).
@@ -224,8 +230,8 @@ impl TopologyChoice {
         }
     }
 
-    /// The preset topology parameters for a paper-sized host count (64,
-    /// 256 or 512 — the sizes the experiment binaries sweep).
+    /// The preset topology parameters for a preset host count (64, 256,
+    /// 512 or 4096 — the sizes the experiment binaries sweep).
     ///
     /// # Panics
     ///
@@ -235,9 +241,11 @@ impl TopologyChoice {
             (TopologyChoice::Min, 64) => MinParams::paper_64().into(),
             (TopologyChoice::Min, 256) => MinParams::paper_256().into(),
             (TopologyChoice::Min, 512) => MinParams::paper_512().into(),
+            (TopologyChoice::Min, 4096) => MinParams::min_4096().into(),
             (TopologyChoice::FatTree, 64) => FatTreeParams::ft_64().into(),
             (TopologyChoice::FatTree, 256) => FatTreeParams::ft_256().into(),
             (TopologyChoice::FatTree, 512) => FatTreeParams::ft_512().into(),
+            (TopologyChoice::FatTree, 4096) => FatTreeParams::ft_4096().into(),
             (t, h) => panic!("no {} preset for {h} hosts", t.name()),
         }
     }
@@ -290,6 +298,11 @@ pub struct Opts {
     /// same-time arbiter wakeups into sweep batches — metrics and trace
     /// digests are bit-identical, only event counts shrink).
     pub event_model: simcore::EventModel,
+    /// Metrics mode for every run of the sweep
+    /// (`--metrics full|streaming`; full default. Streaming replaces the
+    /// per-bin series with fold-exact O(1) summaries — the memory knob
+    /// for 4096-host fabrics).
+    pub metrics: simcore::MetricsMode,
 }
 
 impl Opts {
@@ -384,6 +397,10 @@ impl Opts {
                     opts.event_model = simcore::EventModel::parse(&v())
                         .map_err(|e| format!("{e}; {}", usage()))?;
                 }
+                "--metrics" => {
+                    opts.metrics = simcore::MetricsMode::parse(&v())
+                        .map_err(|e| format!("{e}; {}", usage()))?;
+                }
                 "--help" => {
                     println!("{}", render_help(OPTS_FLAGS));
                     std::process::exit(0);
@@ -442,6 +459,7 @@ impl Opts {
                 s.with_scheduler(self.scheduler)
                     .with_routing(self.routing)
                     .with_event_model(self.event_model)
+                    .with_metrics(self.metrics)
             })
             .collect();
         let mut sweep = Sweep::new(specs)
@@ -615,6 +633,23 @@ mod tests {
         assert!(parse(&["--event-model"])
             .unwrap_err()
             .contains("--event-model needs"));
+    }
+
+    #[test]
+    fn metrics_flag_parses() {
+        use simcore::MetricsMode;
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.metrics, MetricsMode::Full);
+        let o = parse(&["--metrics", "streaming"]).unwrap();
+        assert_eq!(o.metrics, MetricsMode::Streaming);
+        let o = parse(&["--metrics", "full"]).unwrap();
+        assert_eq!(o.metrics, MetricsMode::Full);
+        assert!(parse(&["--metrics", "sampled"])
+            .unwrap_err()
+            .contains("unknown metrics mode"));
+        assert!(parse(&["--metrics"])
+            .unwrap_err()
+            .contains("--metrics needs"));
     }
 
     #[test]

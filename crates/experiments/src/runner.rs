@@ -7,9 +7,9 @@ use fabric::{
     FabricConfig, FanoutObserver, MessageSource, NetCounters, Network, SchemeKind, TraceHandle,
     TraceSink, ValidatingObserver,
 };
-use metrics::{Probe, ProbeHandle};
+use metrics::{Probe, ProbeHandle, StreamSummary};
 use recn::RecnConfig;
-use simcore::{Picos, SeriesPoint};
+use simcore::{MetricsMode, Picos, SeriesPoint};
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
 
@@ -18,7 +18,10 @@ use crate::spec::RunSpec;
 /// Version of the run-output shape: the JSON sweep summaries and the run
 /// cache's body format. Bump on any field addition/removal/meaning change;
 /// cache entries written under another version are rejected on load.
-pub const OUTPUT_SCHEMA_VERSION: u32 = 2;
+///
+/// Version 3 added `peak_bytes_estimate` (deterministic simulator-memory
+/// accounting) and the streaming-metrics `stream` summary block.
+pub const OUTPUT_SCHEMA_VERSION: u32 = 3;
 
 /// The workload of a run.
 #[derive(Debug, Clone)]
@@ -111,6 +114,16 @@ pub struct RunOutput {
     /// Stable 64-bit digest of the run's event trace (only when the spec
     /// enabled tracing via [`RunSpec::with_trace`](crate::spec::RunSpec::with_trace)).
     pub trace_digest: Option<u64>,
+    /// Estimated peak bytes of simulator backing storage for the run:
+    /// network model (queue slabs, admit pools, credit views, per-flow
+    /// arrays) + event queue at its deepest + the probe's series state.
+    /// Deterministic — derived from high-water marks, never from the
+    /// allocator — so cached results replay it exactly.
+    pub peak_bytes_estimate: u64,
+    /// Fold-exact series summaries when the spec ran with
+    /// [`MetricsMode::Streaming`]; `None` in full mode (render the series
+    /// fields instead).
+    pub stream: Option<StreamSummary>,
 }
 
 /// The RECN configuration used by all paper-scale experiments: thresholds
@@ -208,7 +221,10 @@ pub fn run_one(spec: &RunSpec) -> RunOutput {
     let sources = spec
         .workload()
         .sources(spec.params().hosts(), spec.horizon());
-    let (probe, handle) = Probe::new(spec.bin());
+    let (probe, handle) = match spec.metrics() {
+        MetricsMode::Full => Probe::new(spec.bin()),
+        MetricsMode::Streaming => Probe::streaming(spec.bin(), spec.horizon()),
+    };
     // Validator and tracer ride the same observer slot as the probe via a
     // fan-out; all three are Rc<RefCell>-based and constructed here, on the
     // worker thread, per the sweep's thread-locality contract.
@@ -259,6 +275,9 @@ fn finish(
     events: u64,
     peak_event_queue_depth: usize,
 ) -> RunOutput {
+    let peak_bytes_estimate = model.memory_footprint()
+        + Network::event_queue_bytes(peak_event_queue_depth)
+        + handle.backing_bytes();
     RunOutput {
         schema_version: OUTPUT_SCHEMA_VERSION,
         scheme: scheme.name(),
@@ -272,6 +291,8 @@ fn finish(
         events,
         peak_event_queue_depth,
         trace_digest: None,
+        peak_bytes_estimate,
+        stream: handle.stream_summary(),
     }
 }
 

@@ -1,0 +1,233 @@
+//! Queue-memory scaling: the paper's cost argument made concrete.
+//!
+//! The paper's case for RECN (§1, §6) is not a throughput curve — it is
+//! a *memory* curve: VOQnet needs one queue per destination host at
+//! every port, so its control state grows with `ports × hosts`
+//! (superlinear in `N`, since port count itself grows with `N`), while
+//! RECN caps every port at one cold queue plus a fixed SAQ pool
+//! regardless of network size. This module computes that comparison
+//! analytically for the fat-tree ladder `ft_64 → ft_512 → ft_4096` and
+//! lets the `scale` binary attach *measured* numbers (network-wide peak
+//! SAQs and the simulator's own [`peak_bytes_estimate`]) from real
+//! hotspot runs.
+//!
+//! The analytic side is deliberately small: it only counts queue
+//! *descriptors* (head/tail/occupancy — the control state a hardware
+//! implementation must keep per queue, and exactly what the simulator's
+//! SoA FIFOs keep per queue), not data memory, because data memory is a
+//! budget shared by however many queues exist, whereas descriptor count
+//! is the quantity that scales with the scheme.
+//!
+//! [`peak_bytes_estimate`]: crate::runner::RunOutput::peak_bytes_estimate
+
+use fabric::SchemeKind;
+use topology::FatTreeParams;
+
+/// Bytes of control state per queue in the analytic model: head, tail
+/// and occupancy, three 64-bit words — matching the simulator's SoA
+/// FIFO descriptor (`fabric`'s queue slabs keep exactly `head`/`tail`/
+/// `len` per queue).
+pub const QUEUE_DESCRIPTOR_BYTES: u64 = 24;
+
+/// The fat-tree ladder the scaling table walks: 64 → 512 → 4096 hosts,
+/// all 3-level trees so only `N` (and radix) varies between rows.
+pub fn scale_points() -> Vec<FatTreeParams> {
+    vec![
+        FatTreeParams::ft_64(),
+        FatTreeParams::ft_512(),
+        FatTreeParams::ft_4096(),
+    ]
+}
+
+/// Queues one *port unit* (one input or one output) needs under a
+/// scheme, in a network of `hosts` endnodes built from switches of the
+/// given `radix`. This is the per-port row of the paper's Table in §6:
+/// constant for 1Q/4Q/RECN, radix-bound for VOQsw, and `N`-bound for
+/// VOQnet.
+pub fn queues_per_port(scheme: &SchemeKind, hosts: u32, radix: u32) -> u64 {
+    match scheme {
+        SchemeKind::OneQ => 1,
+        SchemeKind::FourQ => 4,
+        SchemeKind::VoqSw => radix as u64,
+        SchemeKind::VoqNet => hosts as u64,
+        // One cold queue plus the fixed SAQ pool.
+        SchemeKind::Recn(cfg) => 1 + cfg.max_saqs as u64,
+    }
+}
+
+/// Total physical switch ports in the tree (hosts attach to `k` down
+/// ports of level-0 switches; inner levels have `2k` ports, the root
+/// level `k`).
+pub fn switch_ports(p: &FatTreeParams) -> u64 {
+    (0..p.n())
+        .map(|l| p.switches_per_level() as u64 * p.ports_at_level(l) as u64)
+        .sum()
+}
+
+/// One row of the scaling table: a `(network size, scheme)` cell.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Endnode count of the network.
+    pub hosts: u32,
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Queues per port unit (analytic; see [`queues_per_port`]).
+    pub queues_per_port: u64,
+    /// Total queues across the network: port units × queues per port.
+    /// Every physical port contributes an input and an output unit.
+    pub network_queues: u64,
+    /// Control-state bytes for those queues
+    /// (`network_queues × QUEUE_DESCRIPTOR_BYTES`).
+    pub queue_state_bytes: u64,
+    /// Measured peak of simultaneously allocated SAQs at any single
+    /// port, when a real run backs the row (RECN rows only). This is
+    /// the paper's scalability claim: bounded by the configured pool
+    /// (8) however large the network grows.
+    pub peak_port_saqs: Option<u32>,
+    /// Measured network-wide peak of simultaneously allocated SAQs.
+    /// Grows with port count (each port owns an independent pool) —
+    /// linear in `N`, unlike VOQnet's queue state.
+    pub total_saqs: Option<u32>,
+    /// Measured simulator memory high-water mark
+    /// ([`RunOutput::peak_bytes_estimate`]) when a real run backs the
+    /// row.
+    ///
+    /// [`RunOutput::peak_bytes_estimate`]: crate::runner::RunOutput::peak_bytes_estimate
+    pub peak_bytes_estimate: Option<u64>,
+}
+
+/// Builds the analytic table: one row per `(point, scheme)`. The radix
+/// used for VOQsw is the inner-switch port count (`2k`), the worst port
+/// in the tree.
+pub fn analytic_rows(points: &[FatTreeParams], schemes: &[SchemeKind]) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    for p in points {
+        // Input and output units per physical port.
+        let port_units = 2 * switch_ports(p);
+        for scheme in schemes {
+            let qpp = queues_per_port(scheme, p.hosts(), 2 * p.k());
+            let network_queues = port_units * qpp;
+            rows.push(ScaleRow {
+                hosts: p.hosts(),
+                scheme: scheme.name(),
+                queues_per_port: qpp,
+                network_queues,
+                queue_state_bytes: network_queues * QUEUE_DESCRIPTOR_BYTES,
+                peak_port_saqs: None,
+                total_saqs: None,
+                peak_bytes_estimate: None,
+            });
+        }
+    }
+    rows
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Renders the scaling table. Analytic columns always print; the
+/// measured columns print `-` for rows without a backing run.
+pub fn render_scale_table(rows: &[ScaleRow]) -> String {
+    let mut s = String::from("queue control state vs network size (fat-tree ladder)\n");
+    s.push_str(&format!(
+        "{:>6} {:>7} {:>8} {:>14} {:>12} {:>14} {:>10} {:>12}\n",
+        "hosts",
+        "scheme",
+        "q/port",
+        "queues(net)",
+        "q-state",
+        "SAQs/port pk",
+        "SAQs net",
+        "sim peak"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>6} {:>7} {:>8} {:>14} {:>12} {:>14} {:>10} {:>12}\n",
+            r.hosts,
+            r.scheme,
+            r.queues_per_port,
+            r.network_queues,
+            human_bytes(r.queue_state_bytes),
+            r.peak_port_saqs.map_or("-".to_owned(), |v| v.to_string()),
+            r.total_saqs.map_or("-".to_owned(), |v| v.to_string()),
+            r.peak_bytes_estimate.map_or("-".to_owned(), human_bytes),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::scaled_recn_config;
+
+    fn schemes() -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::VoqNet,
+            SchemeKind::VoqSw,
+            SchemeKind::Recn(scaled_recn_config(1)),
+        ]
+    }
+
+    #[test]
+    fn port_counts_match_topology() {
+        // ft_64: two inner levels of 16×8-port switches plus a root
+        // level of 16×4-port switches.
+        assert_eq!(switch_ports(&FatTreeParams::ft_64()), 16 * 8 * 2 + 16 * 4);
+        // ft_4096: 256 switches per level, 32-port inner, 16-port root.
+        assert_eq!(
+            switch_ports(&FatTreeParams::ft_4096()),
+            256 * 32 * 2 + 256 * 16
+        );
+    }
+
+    #[test]
+    fn voqnet_grows_superlinearly_recn_stays_flat() {
+        let rows = analytic_rows(&scale_points(), &schemes());
+        let get = |hosts: u32, scheme: &str| {
+            rows.iter()
+                .find(|r| r.hosts == hosts && r.scheme == scheme)
+                .unwrap()
+        };
+        let host_ratio = 4096 / 64;
+        // VOQnet: per-port queues grow with N *and* the port count grows
+        // with N, so total queue state grows superlinearly.
+        let voqnet_ratio = get(4096, "VOQnet").network_queues / get(64, "VOQnet").network_queues;
+        assert!(
+            voqnet_ratio > host_ratio as u64,
+            "VOQnet must scale superlinearly: {voqnet_ratio}x queues for {host_ratio}x hosts"
+        );
+        // RECN: per-port queues are constant (1 cold + 8 SAQs), so the
+        // table's q/port column is flat across the ladder and total
+        // state grows only with the port count.
+        for p in scale_points() {
+            assert_eq!(get(p.hosts(), "RECN").queues_per_port, 9);
+        }
+        let recn_ratio = get(4096, "RECN").network_queues / get(64, "RECN").network_queues;
+        let port_ratio =
+            switch_ports(&FatTreeParams::ft_4096()) / switch_ports(&FatTreeParams::ft_64());
+        assert_eq!(recn_ratio, port_ratio, "RECN scales with ports, not hosts");
+    }
+
+    #[test]
+    fn table_renders_all_cells() {
+        let mut rows = analytic_rows(&scale_points(), &schemes());
+        rows[2].peak_port_saqs = Some(7);
+        rows[2].total_saqs = Some(137);
+        rows[2].peak_bytes_estimate = Some(5 << 20);
+        let t = render_scale_table(&rows);
+        assert!(t.contains("VOQnet") && t.contains("RECN"));
+        assert!(t.contains("137") && t.contains("5.0 MiB"));
+        // Every (point, scheme) pair got a row.
+        assert_eq!(rows.len(), 9);
+    }
+}

@@ -35,7 +35,8 @@
 
 use fabric::{RoutingPolicy, SchemeKind};
 use simcore::{
-    fnv1a64, Canon, CanonError, CanonReader, CanonWriter, EventModel, Picos, SchedulerKind,
+    fnv1a64, Canon, CanonError, CanonReader, CanonWriter, EventModel, MetricsMode, Picos,
+    SchedulerKind,
 };
 use topology::TopoParams;
 use traffic::corner::CornerCase;
@@ -54,6 +55,12 @@ const SPEC_MAGIC: [u8; 2] = *b"RS";
 /// `events`/`peak_event_queue_depth` in cached outputs) differ, so specs
 /// differing only in event model must never alias in the run cache.
 pub const SPEC_VERSION: u8 = 2;
+/// Version byte used when the spec selects streaming metrics: the version-2
+/// fields followed by the [`MetricsMode`] tag. Specs in the default `Full`
+/// mode keep encoding as plain version 2 — every pre-existing spec hash and
+/// cache key is untouched — and a version-3 encoding claiming `Full` is
+/// rejected so each spec has exactly one canonical byte string.
+pub const SPEC_VERSION_STREAMING: u8 = 3;
 
 impl Canon for Workload {
     fn encode_canon(&self, w: &mut CanonWriter) {
@@ -141,6 +148,7 @@ pub struct RunSpec {
     scheduler: SchedulerKind,
     routing: RoutingPolicy,
     event_model: EventModel,
+    metrics: MetricsMode,
 }
 
 impl RunSpec {
@@ -161,6 +169,7 @@ impl RunSpec {
             scheduler: SchedulerKind::default(),
             routing: RoutingPolicy::Deterministic,
             event_model: EventModel::default(),
+            metrics: MetricsMode::default(),
         }
     }
 
@@ -243,6 +252,14 @@ impl RunSpec {
         self
     }
 
+    /// Selects the metrics mode (full by default; streaming replaces the
+    /// per-bin series with O(1) fold-exact summary accumulators — the
+    /// memory knob that makes 4096-host runs affordable).
+    pub fn with_metrics(mut self, metrics: MetricsMode) -> RunSpec {
+        self.metrics = metrics;
+        self
+    }
+
     // ---- getters ------------------------------------------------------
 
     /// Context tag for progress lines and JSON summaries (e.g. `fig2a`).
@@ -306,6 +323,11 @@ impl RunSpec {
         self.event_model
     }
 
+    /// Metrics mode for the run.
+    pub fn metrics(&self) -> MetricsMode {
+        self.metrics
+    }
+
     // ---- canonical encoding -------------------------------------------
 
     /// Encodes the spec's behaviour-affecting fields as the canonical,
@@ -315,7 +337,10 @@ impl RunSpec {
         let mut w = CanonWriter::new();
         w.u8(SPEC_MAGIC[0]);
         w.u8(SPEC_MAGIC[1]);
-        w.u8(SPEC_VERSION);
+        w.u8(match self.metrics {
+            MetricsMode::Full => SPEC_VERSION,
+            MetricsMode::Streaming => SPEC_VERSION_STREAMING,
+        });
         self.params.encode_canon(&mut w);
         self.scheme.encode_canon(&mut w);
         self.workload.encode_canon(&mut w);
@@ -325,6 +350,9 @@ impl RunSpec {
         self.horizon.encode_canon(&mut w);
         self.bin.encode_canon(&mut w);
         self.event_model.encode_canon(&mut w);
+        if self.metrics != MetricsMode::Full {
+            self.metrics.encode_canon(&mut w);
+        }
         w.finish()
     }
 
@@ -342,9 +370,10 @@ impl RunSpec {
             )));
         }
         let version = r.u8()?;
-        if version != SPEC_VERSION {
+        if version != SPEC_VERSION && version != SPEC_VERSION_STREAMING {
             return Err(CanonError::new(format!(
-                "unsupported spec version {version} (this build reads {SPEC_VERSION})"
+                "unsupported spec version {version} (this build reads \
+                 {SPEC_VERSION} and {SPEC_VERSION_STREAMING})"
             )));
         }
         let params = TopoParams::decode_canon(&mut r)?;
@@ -356,6 +385,17 @@ impl RunSpec {
         let horizon = Picos::decode_canon(&mut r)?;
         let bin = Picos::decode_canon(&mut r)?;
         let event_model = EventModel::decode_canon(&mut r)?;
+        let metrics = if version == SPEC_VERSION_STREAMING {
+            let m = MetricsMode::decode_canon(&mut r)?;
+            if m == MetricsMode::Full {
+                return Err(CanonError::new(
+                    "version 3 spec claiming full metrics (canonical form is version 2)",
+                ));
+            }
+            m
+        } else {
+            MetricsMode::Full
+        };
         r.finish()?;
         if packet_size == 0 {
             return Err(CanonError::new("packet size must be positive"));
@@ -378,7 +418,8 @@ impl RunSpec {
             .with_packet_size(packet_size)
             .with_horizon(horizon)
             .with_bin(bin)
-            .with_event_model(event_model))
+            .with_event_model(event_model)
+            .with_metrics(metrics))
     }
 
     /// The spec's content address: FNV-1a 64 over [`encode`](Self::encode).
@@ -452,6 +493,14 @@ mod tests {
             .with_event_model(EventModel::Lazy),
         );
         specs.push(RunSpec::san(SchemeKind::VoqSw, SanParams::cello_like(20.0)));
+        specs.push(
+            RunSpec::corner(
+                MinParams::paper_64(),
+                SchemeKind::Recn(paper_recn_config()),
+                CornerCase::case1_64(),
+            )
+            .with_metrics(MetricsMode::Streaming),
+        );
         specs.push(RunSpec::new(
             MinParams::paper_64(),
             SchemeKind::OneQ,
@@ -479,7 +528,36 @@ mod tests {
             assert_eq!(back.scheduler(), spec.scheduler());
             assert_eq!(back.routing(), spec.routing());
             assert_eq!(back.event_model(), spec.event_model());
+            assert_eq!(back.metrics(), spec.metrics());
         }
+    }
+
+    #[test]
+    fn metrics_mode_versions_the_encoding() {
+        let base = RunSpec::corner(
+            MinParams::paper_64(),
+            SchemeKind::OneQ,
+            CornerCase::case1_64(),
+        );
+        // Full mode is plain version 2 — the pre-streaming byte string,
+        // so every existing spec hash and cache key is unchanged.
+        let full = base.clone().encode();
+        assert_eq!(full[2], SPEC_VERSION);
+        // Streaming appends exactly one byte under version 3.
+        let streaming = base.clone().with_metrics(MetricsMode::Streaming).encode();
+        assert_eq!(streaming[2], SPEC_VERSION_STREAMING);
+        assert_eq!(streaming.len(), full.len() + 1);
+        assert_eq!(&streaming[3..full.len()], &full[3..]);
+        // A version-3 encoding claiming Full is non-canonical: rejected.
+        let mut fake = streaming.clone();
+        *fake.last_mut().unwrap() = 0;
+        let err = RunSpec::decode(&fake).unwrap_err();
+        assert!(err.to_string().contains("canonical form"), "{err}");
+        // A version-2 encoding with a trailing metrics byte is rejected
+        // by the trailing-byte check.
+        let mut v2_trailing = full.clone();
+        v2_trailing.push(1);
+        assert!(RunSpec::decode(&v2_trailing).is_err());
     }
 
     #[test]
@@ -521,6 +599,7 @@ mod tests {
             base.clone().with_scheduler(SchedulerKind::Heap),
             base.clone().with_routing(RoutingPolicy::adaptive()),
             base.clone().with_event_model(EventModel::Lazy),
+            base.clone().with_metrics(MetricsMode::Streaming),
             RunSpec::corner(
                 MinParams::paper_64(),
                 SchemeKind::FourQ,

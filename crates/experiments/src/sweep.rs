@@ -289,7 +289,8 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
              \"spec_hash\": {}, \"cache\": {}, \
              \"delivered_packets\": {}, \"delivered_bytes\": {}, \"mean_latency_ns\": {}, \
              \"saq_peaks\": [{}, {}, {}], \"wall_secs\": {}, \"events\": {}, \
-             \"events_per_sec\": {}, \"peak_event_queue_depth\": {}}}{sep}\n",
+             \"events_per_sec\": {}, \"peak_event_queue_depth\": {}, \
+             \"metrics\": {}, \"peak_bytes_estimate\": {}}}{sep}\n",
             jstr(spec.label()),
             jstr(out.scheme),
             jstr(spec.scheduler().name()),
@@ -310,6 +311,8 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
             out.events,
             jopt(events_per_sec(out)),
             out.peak_event_queue_depth,
+            jstr(spec.metrics().name()),
+            out.peak_bytes_estimate,
         ));
     }
     s.push_str("  ]\n}\n");
@@ -427,6 +430,8 @@ mod tests {
         assert!(json.contains("\"cache\": \"off\""));
         assert!(json.contains("\"spec_hash\": \""));
         assert!(json.contains("\"peak_event_queue_depth\""));
+        assert!(json.contains("\"metrics\": \"full\""));
+        assert!(json.contains("\"peak_bytes_estimate\""));
         // One runs-array entry per spec, comma-separated except the last.
         assert_eq!(json.matches("\"label\"").count(), specs.len());
         assert_eq!(json.matches("},\n").count(), specs.len() - 1);

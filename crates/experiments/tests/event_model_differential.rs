@@ -171,7 +171,7 @@ const REGRESSION_SEEDS: &[u64] = &[0x5eed_0001, 0x5eed_0002, 0x5eed_0003];
 /// One random-uniform property case: scheme, topology, load, message size
 /// and PRNG seed all derived from `draw`.
 fn property_spec(draw: &mut u64) -> RunSpec {
-    let params: TopoParams = if lcg(draw) % 2 == 0 {
+    let params: TopoParams = if lcg(draw).is_multiple_of(2) {
         MinParams::new(16, 4, 2).into()
     } else {
         FatTreeParams::new(4, 2).into()
@@ -181,7 +181,7 @@ fn property_spec(draw: &mut u64) -> RunSpec {
     let load = 0.3 + 0.1 * ((lcg(draw) % 7) as f64); // 0.3..=0.9
     let msg_bytes = [64, 256, 1500][(lcg(draw) as usize) % 3];
     let seed = lcg(draw);
-    let routing = if matches!(params, TopoParams::FatTree(_)) && lcg(draw) % 2 == 0 {
+    let routing = if matches!(params, TopoParams::FatTree(_)) && lcg(draw).is_multiple_of(2) {
         RoutingPolicy::adaptive()
     } else {
         RoutingPolicy::Deterministic

@@ -9,6 +9,7 @@
 use experiments::runner::paper_recn_config;
 use experiments::spec::RunSpec;
 use fabric::{EventModel, RoutingPolicy, SchemeKind};
+use simcore::MetricsMode;
 use topology::{FatTreeParams, MinParams};
 use traffic::corner::CornerCase;
 
@@ -53,6 +54,20 @@ const GOLDEN_MIN_LAZY: [u64; 5] = [
     0x189b0f30359f56ff,
     0xa88ffcbae00099de,
     0xefc665f6b3f92317,
+];
+
+/// The MIN table under streaming metrics: the run's *behaviour* is
+/// identical (streaming is a metrics-storage knob), but the probe's
+/// output shape differs — series render empty, a `StreamSummary` rides
+/// along — so the two modes must never alias in the cache. Full-mode
+/// specs still encode as version 2 (every pre-streaming hash above is
+/// untouched); these version-3 addresses pin the new field.
+const GOLDEN_MIN_STREAMING: [u64; 5] = [
+    0x50a90f95afd16806,
+    0xe02906c06bc26585,
+    0x3def4c3d775566a8,
+    0xa47abd53566b0bcf,
+    0xaee34453543cf134,
 ];
 
 fn min_spec(scheme: SchemeKind) -> RunSpec {
@@ -119,6 +134,34 @@ fn lazy_spec_hashes_are_pinned_and_distinct() {
 }
 
 #[test]
+fn streaming_spec_hashes_are_pinned_and_distinct() {
+    for ((scheme, golden), full) in schemes()
+        .into_iter()
+        .zip(GOLDEN_MIN_STREAMING)
+        .zip(GOLDEN_MIN)
+    {
+        let spec = min_spec(scheme).with_metrics(MetricsMode::Streaming);
+        assert_eq!(
+            spec.spec_hash(),
+            golden,
+            "{}: streaming spec_v1 encoding drifted (hash {:#018x})",
+            scheme.name(),
+            spec.spec_hash(),
+        );
+        assert_ne!(
+            golden,
+            full,
+            "{}: the two metrics modes must have distinct content addresses",
+            scheme.name(),
+        );
+        // The decoded spec carries the mode back out — a cache replay of
+        // a streaming entry replays with the streaming output shape.
+        let back = RunSpec::decode_hex(&spec.encode_hex()).expect("round trip");
+        assert_eq!(back.metrics(), MetricsMode::Streaming);
+    }
+}
+
+#[test]
 fn hashes_survive_the_hex_round_trip() {
     for scheme in schemes() {
         for spec in [min_spec(scheme), fattree_spec(scheme)] {
@@ -144,9 +187,10 @@ fn every_scheme_gets_a_distinct_address() {
         .iter()
         .chain(GOLDEN_FATTREE_ADAPTIVE.iter())
         .chain(GOLDEN_MIN_LAZY.iter())
+        .chain(GOLDEN_MIN_STREAMING.iter())
         .copied()
         .collect();
     hashes.sort_unstable();
     hashes.dedup();
-    assert_eq!(hashes.len(), 15, "all fifteen golden hashes are distinct");
+    assert_eq!(hashes.len(), 20, "all twenty golden hashes are distinct");
 }

@@ -98,6 +98,14 @@ impl<T> Arena<T> {
         self.slots.len()
     }
 
+    /// Estimated bytes of backing storage: slot array plus free list,
+    /// counted at their allocated capacity (the high-water mark the
+    /// process actually paid for, not the live item count).
+    pub fn backing_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<Slot<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Stores `value`, returning its handle. Reuses a free slot when one
     /// exists; grows the backing storage otherwise.
     pub fn insert(&mut self, value: T) -> Handle {
@@ -218,6 +226,15 @@ mod tests {
         a.remove(h);
         let _fresh = a.insert(2u8);
         let _ = a.remove(h);
+    }
+
+    #[test]
+    fn backing_bytes_tracks_high_water() {
+        let mut a = Arena::new();
+        assert_eq!(a.backing_bytes(), 0);
+        let h = a.insert(0u64);
+        a.remove(h);
+        assert!(a.backing_bytes() > 0, "high-water storage persists");
     }
 
     #[test]

@@ -157,6 +157,18 @@ impl CreditView {
         }
     }
 
+    /// Estimated bytes of backing storage behind this view: the per-queue
+    /// free array (pooled and infinite views are inline). Simulation-model
+    /// accounting for `peak_bytes_estimate`, not simulated buffer space.
+    pub fn backing_bytes(&self) -> u64 {
+        match self {
+            CreditView::PerQueue { free, .. } => {
+                (free.capacity() * std::mem::size_of::<u64>()) as u64
+            }
+            CreditView::Pooled { .. } | CreditView::Infinite => 0,
+        }
+    }
+
     /// For 4Q: the queue with the most free space in the view (ties to the
     /// lowest index), i.e. the one the receiver (lowest occupancy rule)
     /// will effectively use.

@@ -82,25 +82,29 @@ impl Network {
 
     /// The ports holding the most bytes right now: up to `top` entries of
     /// `(description, snapshot)`, most loaded first. Useful to find where
-    /// a congestion tree lives.
+    /// a congestion tree lives. Indices are zero-padded to the topology's
+    /// own digit widths, so the equal-bytes tie-break below (a plain
+    /// string compare) agrees with numeric index order and the report
+    /// stays column-aligned on deep trees like the 4-ary 6-tree.
     pub fn hottest_ports(&self, top: usize) -> Vec<(String, PortSnapshot)> {
         let tag = self.topo.stage_tag();
+        let (sw_w, p_w, h_w) = self.label_widths();
         let mut all: Vec<(String, PortSnapshot)> = Vec::new();
         for (s, sw) in self.switches.iter().enumerate() {
             let stage = self.topo.stage_of(topology::SwitchId::new(s as u32));
             for p in 0..sw.inputs.len() {
                 all.push((
-                    format!("sw{s}({tag}{stage}).in{p}"),
+                    format!("sw{s:0sw_w$}({tag}{stage}).in{p:0p_w$}"),
                     snapshot_of(&sw.inputs[p]),
                 ));
                 all.push((
-                    format!("sw{s}({tag}{stage}).out{p}"),
+                    format!("sw{s:0sw_w$}({tag}{stage}).out{p:0p_w$}"),
                     snapshot_of(&sw.outputs[p]),
                 ));
             }
         }
         for (h, nic) in self.nics.iter().enumerate() {
-            all.push((format!("nic{h}"), snapshot_of(&nic.inject)));
+            all.push((format!("nic{h:0h_w$}"), snapshot_of(&nic.inject)));
         }
         all.sort_by(|a, b| b.1.used_bytes.cmp(&a.1.used_bytes).then(a.0.cmp(&b.0)));
         all.truncate(top);
@@ -167,6 +171,33 @@ mod tests {
         assert!(!s.is_root);
         assert!(s.saqs.is_empty());
         assert_eq!(net.peak_occupancies(), (0, 0, 0));
+    }
+
+    #[test]
+    fn label_widths_derive_from_topology() {
+        // A 2-ary 6-tree: six levels and 192 switches — the deep-tree
+        // shape whose three-digit switch indices the old fixed-width
+        // labels misaligned on. Every index must pad to the topology's
+        // own maximum so tied ports sort in numeric order.
+        let net = paper_network(topology::FatTreeParams::new(2, 6), SchemeKind::OneQ, 64);
+        let hot = net.hottest_ports(3);
+        let names: Vec<&str> = hot.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["nic00", "nic01", "nic02"], "64 hosts pad to 2");
+        let all = net.hottest_ports(usize::MAX);
+        assert!(
+            all.iter().any(|(n, _)| n == "sw000(lv0).in0"),
+            "192 switches pad to 3 digits, 4 ports to 1"
+        );
+        let links = net.hottest_links(simcore::Picos::from_us(1), usize::MAX);
+        assert!(
+            links.iter().any(|(n, _)| n == "inject h00"),
+            "link labels share the derived widths"
+        );
+        let sw_links = links.iter().filter(|(n, _)| n.starts_with("sw"));
+        let mut lens: Vec<usize> = sw_links.map(|(n, _)| n.len()).collect();
+        lens.sort_unstable();
+        lens.dedup();
+        assert_eq!(lens.len(), 2, "sw->sw and sw->host lines each align");
     }
 
     #[test]

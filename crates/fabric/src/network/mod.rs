@@ -203,15 +203,35 @@ pub(crate) struct Switch {
     pub up_ports: std::ops::Range<usize>,
 }
 
+/// One destination's admittance FIFO: intrusive head/tail handles into
+/// the NIC's `admit_pool` plus its byte occupancy (bounded by
+/// `cfg.admit_cap`). Entries exist only while the destination has queued
+/// packets, so per-NIC admittance cost scales with the live backlog, not
+/// with the host count — the layout change that makes 4096-host fabrics
+/// affordable (the dense `Vec<VecDeque>` form was `hosts²` queues).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AdmitFifo {
+    pub head: crate::arena::Handle,
+    pub tail: crate::arena::Handle,
+    pub bytes: u64,
+}
+
+/// A packet queued in the admittance stage plus its intrusive link.
+#[derive(Debug)]
+pub(crate) struct AdmitNode {
+    pub pkt: Packet,
+    pub next: Option<crate::arena::Handle>,
+}
+
 pub(crate) struct Nic {
-    /// Admittance VOQs, one per destination (unbounded: the generation
-    /// process itself is the bound). Queues hold handles into
-    /// `admit_pool` so packet churn reuses slab storage.
-    pub admit: Vec<std::collections::VecDeque<crate::arena::Handle>>,
+    /// Admittance VOQs, keyed by destination, present only while
+    /// non-empty (the generation process itself is the depth bound).
+    /// A `BTreeMap` keeps destinations in ascending order so the
+    /// round-robin transfer scan visits exactly the sequence the dense
+    /// layout produced.
+    pub admit: std::collections::BTreeMap<u32, AdmitFifo>,
     /// Slab storing the packets queued across all admittance VOQs.
-    pub admit_pool: crate::arena::Arena<Packet>,
-    /// Bytes stored per admittance VOQ (bounded by `cfg.admit_cap`).
-    pub admit_bytes: Vec<u64>,
+    pub admit_pool: crate::arena::Arena<AdmitNode>,
     pub admit_rr: usize,
     pub inject: QueueSet,
     pub link: usize,
@@ -221,6 +241,61 @@ pub(crate) struct Nic {
     pub pending: Option<SourcedMessage>,
     /// Next flow sequence number per destination.
     pub next_seq: Vec<u64>,
+}
+
+impl Nic {
+    /// Bytes queued toward `dst` in the admittance stage.
+    pub fn admit_bytes(&self, dst: usize) -> u64 {
+        self.admit.get(&(dst as u32)).map_or(0, |f| f.bytes)
+    }
+
+    /// Appends `pkt` to its destination's admittance FIFO.
+    pub fn admit_push(&mut self, pkt: Packet) {
+        let (dst, size) = (pkt.dst.index() as u32, pkt.size as u64);
+        let h = self.admit_pool.insert(AdmitNode { pkt, next: None });
+        match self.admit.entry(dst) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let f = e.get_mut();
+                self.admit_pool.get_mut(f.tail).next = Some(h);
+                f.tail = h;
+                f.bytes += size;
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(AdmitFifo {
+                    head: h,
+                    tail: h,
+                    bytes: size,
+                });
+            }
+        }
+    }
+
+    /// The head packet of `dst`'s admittance FIFO, if any.
+    pub fn admit_front(&self, dst: u32) -> Option<&Packet> {
+        self.admit
+            .get(&dst)
+            .map(|f| &self.admit_pool.get(f.head).pkt)
+    }
+
+    /// Removes and returns the head packet of `dst`'s FIFO, dropping the
+    /// FIFO entry when it empties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is empty (callers check the front first).
+    pub fn admit_pop(&mut self, dst: u32) -> Packet {
+        let f = self.admit.get_mut(&dst).expect("pop from empty admit VOQ");
+        let node = self.admit_pool.remove(f.head);
+        f.bytes -= node.pkt.size as u64;
+        match node.next {
+            Some(next) => f.head = next,
+            None => {
+                debug_assert_eq!(f.bytes, 0, "byte accounting out of sync");
+                self.admit.remove(&dst);
+            }
+        }
+        node.pkt
+    }
 }
 
 impl std::fmt::Debug for Nic {
@@ -419,11 +494,8 @@ impl Network {
                 .into_iter()
                 .enumerate()
                 .map(|(h, source)| Nic {
-                    admit: (0..hosts)
-                        .map(|_| std::collections::VecDeque::new())
-                        .collect(),
+                    admit: std::collections::BTreeMap::new(),
                     admit_pool: crate::arena::Arena::new(),
-                    admit_bytes: vec![0; hosts],
                     admit_rr: 0,
                     inject: QueueSet::new(
                         cfg.scheme,
@@ -536,7 +608,55 @@ impl Network {
             && self
                 .nics
                 .iter()
-                .all(|n| n.inject.is_drained() && n.admit.iter().all(|a| a.is_empty()))
+                .all(|n| n.inject.is_drained() && n.admit.is_empty())
+    }
+
+    /// Estimated bytes of host-process backing storage behind this
+    /// network model: queue-set slabs and per-queue arrays at their
+    /// high-water allocation, NIC admittance pools, per-flow sequence
+    /// arrays, link descriptors with their credit views, and the SAQ
+    /// census arrays. This measures the *simulator's* memory, not
+    /// simulated buffer capacity; it is deterministic for a given run
+    /// (derived from slab high-water marks), so cached results replay it
+    /// exactly.
+    pub fn memory_footprint(&self) -> u64 {
+        use std::mem::size_of;
+        let mut total = 0u64;
+        for s in &self.switches {
+            for qs in s.inputs.iter().chain(&s.outputs) {
+                total += qs.backing_bytes();
+            }
+            total += (s.in_flight.capacity() * size_of::<Option<XbarTransfer>>()) as u64;
+            total += (s.out_busy.capacity() + s.output_arb_scheduled.capacity()) as u64;
+            total += ((s.out_link.capacity() + s.in_link.capacity()) * size_of::<usize>()) as u64;
+        }
+        for n in &self.nics {
+            total += n.inject.backing_bytes();
+            total += n.admit_pool.backing_bytes();
+            // At most one admit-map entry per slab slot; charge the
+            // high-water mark so a drained network still reports the peak.
+            total += (n.admit_pool.slot_count()
+                * (size_of::<AdmitFifo>() + size_of::<u32>() + 4 * size_of::<usize>()))
+                as u64;
+            total += (n.next_seq.capacity() * size_of::<u64>()) as u64;
+        }
+        for l in &self.links {
+            total += size_of::<LinkState>() as u64 + l.credits.backing_bytes();
+        }
+        total += (self.expect_seq.capacity() * size_of::<u64>()) as u64;
+        total += ((self.saq_in.capacity() + self.saq_out.capacity() + self.saq_nic.capacity())
+            * size_of::<u16>()) as u64;
+        total += (self.port_base.capacity() * size_of::<usize>()) as u64;
+        total
+    }
+
+    /// Estimated bytes of event-queue backing at `depth` pending events —
+    /// the engine-side companion to
+    /// [`memory_footprint`](Network::memory_footprint), sized from this
+    /// network's scheduled-event record. Pass the queue's peak depth to
+    /// account for the run's high-water mark.
+    pub fn event_queue_bytes(depth: usize) -> u64 {
+        (depth * std::mem::size_of::<simcore::ScheduledEvent<Event>>()) as u64
     }
 
     /// Mean forward-channel utilization over all links at `now`
@@ -553,10 +673,32 @@ impl Network {
         busy / (self.links.len() as f64 * now.as_ns_f64())
     }
 
+    /// Decimal digit count of the largest index in a sequence of `count`
+    /// items — the zero-pad width that keeps labels like `sw2`/`sw10`
+    /// aligned (and lexicographically ordered by index) on any topology.
+    fn index_width(count: usize) -> usize {
+        count.saturating_sub(1).to_string().len()
+    }
+
+    /// Label padding widths derived from the topology:
+    /// `(switch, port, host)` index digit counts. Deep fabrics like the
+    /// 4-ary 6-tree carry four-digit switch indices; deriving the widths
+    /// here instead of hard-coding them keeps report columns aligned from
+    /// `ft_64` all the way to `ft_4096d`.
+    pub(crate) fn label_widths(&self) -> (usize, usize, usize) {
+        (
+            Self::index_width(self.switches.len()),
+            Self::index_width(self.topo.max_ports() as usize),
+            Self::index_width(self.nics.len()),
+        )
+    }
+
     /// The `top` most utilized links at `now`: `(description, fraction)`.
     /// Under adaptive routing every label carries an ` [adaptive]` suffix,
     /// so link reports from the two policies are never mistaken for one
-    /// another (deterministic labels are unchanged).
+    /// another (deterministic labels are unchanged). Indices are
+    /// zero-padded to the topology's own widths so the report stays
+    /// column-aligned on deep trees.
     pub fn hottest_links(&self, now: Picos, top: usize) -> Vec<(String, f64)> {
         if now == Picos::ZERO {
             return Vec::new();
@@ -566,17 +708,18 @@ impl Network {
         } else {
             ""
         };
+        let (sw_w, p_w, h_w) = self.label_widths();
         let mut all: Vec<(String, f64)> = self
             .links
             .iter()
             .map(|l| {
                 let name = match (l.up, l.down) {
-                    (LinkUp::Nic(h), _) => format!("inject h{h}{suffix}"),
+                    (LinkUp::Nic(h), _) => format!("inject h{h:0h_w$}{suffix}"),
                     (LinkUp::Switch { sw, port }, LinkDown::Host(h)) => {
-                        format!("sw{sw}.out{port}->h{h}{suffix}")
+                        format!("sw{sw:0sw_w$}.out{port:0p_w$}->h{h:0h_w$}{suffix}")
                     }
                     (LinkUp::Switch { sw, port }, LinkDown::Switch { sw: d, port: dp }) => {
-                        format!("sw{sw}.out{port}->sw{d}.in{dp}{suffix}")
+                        format!("sw{sw:0sw_w$}.out{port:0p_w$}->sw{d:0sw_w$}.in{dp:0p_w$}{suffix}")
                     }
                 };
                 (name, l.fwd_busy_total.as_ns_f64() / now.as_ns_f64())

@@ -28,7 +28,7 @@ impl Network {
         } else {
             self.topo.route(src, dst)
         };
-        if self.nics[host].admit_bytes[dst.index()] >= self.cfg.admit_cap {
+        if self.nics[host].admit_bytes(dst.index()) >= self.cfg.admit_cap {
             // Admittance VOQ full: the message is dropped at the source
             // (application back-pressure); it never enters the network.
             self.counters.source_dropped_messages += 1;
@@ -53,9 +53,7 @@ impl Network {
                 self.counters.injected_packets += 1;
                 self.counters.injected_bytes += size as u64;
                 self.observer.on_injected(now, &pkt);
-                let h = self.nics[host].admit_pool.insert(pkt);
-                self.nics[host].admit[dst.index()].push_back(h);
-                self.nics[host].admit_bytes[dst.index()] += size as u64;
+                self.nics[host].admit_push(pkt);
                 remaining -= size;
             }
         }
@@ -87,14 +85,22 @@ impl Network {
             return;
         }
         let mut moved_any = false;
+        // Circular ascending scan over the *non-empty* destinations,
+        // starting at the round-robin pointer — the same visit sequence
+        // the dense 0..hosts loop produced, since empty VOQs were no-ops
+        // there. The snapshot is re-taken each pass because a pop may
+        // drop a destination's entry mid-pass.
+        let mut order = std::mem::take(&mut self.scratch);
         loop {
+            order.clear();
+            let rr = self.nics[host].admit_rr as u32;
+            order.extend(self.nics[host].admit.range(rr..).map(|(&d, _)| d as usize));
+            order.extend(self.nics[host].admit.range(..rr).map(|(&d, _)| d as usize));
             let mut progress = false;
-            for off in 0..hosts {
-                let d = (self.nics[host].admit_rr + off) % hosts;
-                let Some(&front_h) = self.nics[host].admit[d].front() else {
+            for &d in &order {
+                let Some(front) = self.nics[host].admit_front(d as u32) else {
                     continue;
                 };
-                let front = self.nics[host].admit_pool.get(front_h);
                 let size = front.size as u64;
                 let queue = self.nics[host].inject.classify(front);
                 if !self.nics[host].inject.has_room(queue, size) {
@@ -115,9 +121,7 @@ impl Network {
                         }
                     }
                 }
-                let h = self.nics[host].admit[d].pop_front().expect("front checked");
-                let pkt = self.nics[host].admit_pool.remove(h);
-                self.nics[host].admit_bytes[d] -= size;
+                let pkt = self.nics[host].admit_pop(d as u32);
                 self.nics[host]
                     .inject
                     .push_direct(queue, QueueItem::Packet(pkt));
@@ -147,6 +151,7 @@ impl Network {
                 break;
             }
         }
+        self.scratch = order;
         self.nics[host].admit_rr = (self.nics[host].admit_rr + 1) % hosts;
         if moved_any {
             self.kick_nic_arb(now, now, q, host);

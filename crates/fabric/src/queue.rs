@@ -22,6 +22,25 @@ pub enum PortSide {
     NicInjection,
 }
 
+/// Head/tail/length descriptor of one intrusive FIFO. The order links
+/// live inside the shared node slab ([`Node::next`]), so an empty queue
+/// costs these few words and nothing else — the layout that lets VOQnet
+/// instantiate thousands of queues per port without per-queue heap
+/// allocations (DESIGN.md §4b).
+#[derive(Debug, Clone, Copy, Default)]
+struct Fifo {
+    head: Option<Handle>,
+    tail: Option<Handle>,
+    len: usize,
+}
+
+/// A stored item plus its intrusive successor link.
+#[derive(Debug)]
+struct Node {
+    item: QueueItem,
+    next: Option<Handle>,
+}
+
 /// The queues of one port: a fixed array for the baseline schemes, or the
 /// normal queue plus SAQ slots for RECN (queue `0` is the normal queue and
 /// queue `1 + line` holds the SAQ at CAM line `line`).
@@ -32,12 +51,17 @@ pub enum PortSide {
 /// [`commit_pooled`](Self::commit_pooled) at completion, so buffer
 /// space is never oversubscribed while a packet is in flight through the
 /// crossbar.
+///
+/// Storage is structure-of-arrays: all items of all queues share one
+/// [`Arena`] slab and each queue is an intrusive singly-linked list
+/// threaded through it, so queue churn reuses slots and per-queue
+/// overhead is a constant few words regardless of depth.
 #[derive(Debug)]
 pub struct QueueSet {
-    /// Queue order: handles into `items`. Items live in the slab so queue
-    /// churn reuses storage instead of reallocating per packet.
-    queues: Vec<std::collections::VecDeque<Handle>>,
-    items: Arena<QueueItem>,
+    /// Per-queue FIFO descriptors; item order lives in `items` via the
+    /// intrusive `next` links.
+    queues: Vec<Fifo>,
+    items: Arena<Node>,
     queue_bytes: Vec<u64>,
     used: u64,
     total_cap: u64,
@@ -70,9 +94,7 @@ impl QueueSet {
             }
         };
         QueueSet {
-            queues: (0..nqueues)
-                .map(|_| std::collections::VecDeque::new())
-                .collect(),
+            queues: vec![Fifo::default(); nqueues],
             items: Arena::new(),
             queue_bytes: vec![0; nqueues],
             used: 0,
@@ -141,7 +163,42 @@ impl QueueSet {
 
     /// Items currently stored in one queue.
     pub fn queue_len(&self, queue: usize) -> usize {
-        self.queues[queue].len()
+        self.queues[queue].len
+    }
+
+    /// Estimated bytes of backing storage for this queue set: the shared
+    /// node slab (at its high-water allocation) plus the per-queue SoA
+    /// arrays. Simulation-model accounting, not simulated port memory —
+    /// see [`capacity`](Self::capacity) for the latter.
+    pub fn backing_bytes(&self) -> u64 {
+        self.items.backing_bytes()
+            + (self.queues.capacity() * std::mem::size_of::<Fifo>()) as u64
+            + (self.queue_bytes.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// Appends `item` to the tail of `queue` (storage + intrusive link).
+    fn push_node(&mut self, queue: usize, item: QueueItem) {
+        let h = self.items.insert(Node { item, next: None });
+        match self.queues[queue].tail {
+            Some(tail) => self.items.get_mut(tail).next = Some(h),
+            None => self.queues[queue].head = Some(h),
+        }
+        let fifo = &mut self.queues[queue];
+        fifo.tail = Some(h);
+        fifo.len += 1;
+    }
+
+    /// Removes and returns the head item of `queue`, if any.
+    fn pop_node(&mut self, queue: usize) -> Option<QueueItem> {
+        let h = self.queues[queue].head?;
+        let node = self.items.remove(h);
+        let fifo = &mut self.queues[queue];
+        fifo.head = node.next;
+        fifo.len -= 1;
+        if fifo.head.is_none() {
+            fifo.tail = None;
+        }
+        Some(node.item)
     }
 
     /// Whether any queue holds a stored item — O(1) via the item slab.
@@ -240,16 +297,14 @@ impl QueueSet {
     /// Stores an item whose bytes were reserved via
     /// [`reserve_queue`](Self::reserve_queue).
     pub fn commit_reserved(&mut self, queue: usize, item: QueueItem) {
-        let h = self.items.insert(item);
-        self.queues[queue].push_back(h);
+        self.push_node(queue, item);
     }
 
     /// Stores an item whose bytes were reserved via
     /// [`reserve_pooled`](Self::reserve_pooled), charging them to `queue`.
     pub fn commit_pooled(&mut self, queue: usize, item: QueueItem) {
         self.queue_bytes[queue] += item.bytes();
-        let h = self.items.insert(item);
-        self.queues[queue].push_back(h);
+        self.push_node(queue, item);
     }
 
     /// Stores an item directly (link arrival — the sender's credit view
@@ -274,13 +329,12 @@ impl QueueSet {
                 "queue overflow: lossless invariant violated"
             );
         }
-        let h = self.items.insert(item);
-        self.queues[queue].push_back(h);
+        self.push_node(queue, item);
     }
 
     /// The head item of a queue.
     pub fn head(&self, queue: usize) -> Option<&QueueItem> {
-        self.queues[queue].front().map(|&h| self.items.get(h))
+        self.queues[queue].head.map(|h| &self.items.get(h).item)
     }
 
     /// Removes and returns the head of a queue, releasing its bytes.
@@ -289,10 +343,7 @@ impl QueueSet {
     ///
     /// Panics if the queue is empty.
     pub fn pop(&mut self, queue: usize) -> QueueItem {
-        let h = self.queues[queue]
-            .pop_front()
-            .expect("pop from empty queue");
-        let item = self.items.remove(h);
+        let item = self.pop_node(queue).expect("pop from empty queue");
         let bytes = item.bytes();
         self.queue_bytes[queue] -= bytes;
         self.used -= bytes;
@@ -317,8 +368,8 @@ impl QueueSet {
                 // no SAQ pass can contribute and the WRR rotation cannot
                 // trigger (it needs a serviceable SAQ behind the normal
                 // queue). This is the common case outside congestion trees.
-                if self.items.len() == self.queues[0].len() {
-                    if !self.queues[0].is_empty() {
+                if self.items.len() == self.queues[0].len {
+                    if self.queues[0].len > 0 {
                         out.push(0);
                     }
                     return;
@@ -326,8 +377,7 @@ impl QueueSet {
                 // Pass 1: drain-boost SAQs (highest priority).
                 for saq in recn.iter_saqs() {
                     let q = Self::saq_queue(saq);
-                    if !self.queues[q].is_empty() && recn.drain_boost(saq) && recn.may_transmit(saq)
-                    {
+                    if self.queues[q].len > 0 && recn.drain_boost(saq) && recn.may_transmit(saq) {
                         out.push(q);
                     }
                 }
@@ -335,14 +385,14 @@ impl QueueSet {
                 // first unless it has exhausted its WRR weight and some SAQ
                 // is serviceable.
                 let normal_pos = out.len();
-                if !self.queues[0].is_empty() {
+                if self.queues[0].len > 0 {
                     out.push(0);
                 }
                 let saq_start = out.len();
                 let start = self.rr.max(1);
                 for off in 0..n - 1 {
                     let q = 1 + (start - 1 + off) % (n - 1);
-                    if self.queues[q].is_empty() || out.contains(&q) {
+                    if self.queues[q].len == 0 || out.contains(&q) {
                         continue;
                     }
                     if let Some(saq) = self.saq_at_queue(q) {
@@ -363,7 +413,7 @@ impl QueueSet {
             None => {
                 for off in 0..n {
                     let q = (self.rr + off) % n;
-                    if !self.queues[q].is_empty() {
+                    if self.queues[q].len > 0 {
                         out.push(q);
                     }
                 }
@@ -394,7 +444,7 @@ impl QueueSet {
 
     /// Whether every queue is empty and nothing is reserved.
     pub fn is_drained(&self) -> bool {
-        self.used == 0 && self.queues.iter().all(|q| q.is_empty())
+        self.used == 0 && self.items.is_empty()
     }
 }
 

@@ -404,7 +404,10 @@ fn hottest_links_order_is_deterministic_on_ties() {
     let names: Vec<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(
         names,
-        (0..8).map(|h| format!("inject h{h}")).collect::<Vec<_>>(),
+        // 64 hosts: labels zero-pad host indices to two digits.
+        (0..8)
+            .map(|h| format!("inject h{h:02}"))
+            .collect::<Vec<_>>(),
         "tied links must report in stable link-index order"
     );
     assert!(a.iter().all(|&(_, u)| u == 0.0));

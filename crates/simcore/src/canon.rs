@@ -34,7 +34,7 @@
 
 use std::fmt;
 
-use crate::{EventModel, Picos, SchedulerKind};
+use crate::{EventModel, MetricsMode, Picos, SchedulerKind};
 
 /// Error produced when canonical bytes cannot be decoded (truncation, an
 /// unknown enum tag, or a value that fails the type's own invariants).
@@ -235,6 +235,23 @@ impl Canon for EventModel {
             0 => Ok(EventModel::Eager),
             1 => Ok(EventModel::Lazy),
             t => Err(CanonError::new(format!("unknown event model tag {t}"))),
+        }
+    }
+}
+
+impl Canon for MetricsMode {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u8(match self {
+            MetricsMode::Full => 0,
+            MetricsMode::Streaming => 1,
+        });
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(MetricsMode::Full),
+            1 => Ok(MetricsMode::Streaming),
+            t => Err(CanonError::new(format!("unknown metrics mode tag {t}"))),
         }
     }
 }

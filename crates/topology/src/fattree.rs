@@ -34,6 +34,8 @@ use crate::{HostId, PortId, Route, SwitchId, MAX_STAGES};
 /// * [`FatTreeParams::ft_64`] — 4-ary 3-tree: 64 hosts, 48 switches
 /// * [`FatTreeParams::ft_256`] — 4-ary 4-tree: 256 hosts, 256 switches
 /// * [`FatTreeParams::ft_512`] — 8-ary 3-tree: 512 hosts, 192 switches
+/// * [`FatTreeParams::ft_4096`] — 16-ary 3-tree: 4096 hosts, 768 switches
+/// * [`FatTreeParams::ft_4096d`] — 4-ary 6-tree: 4096 hosts, 6144 switches
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FatTreeParams {
     k: u32,
@@ -91,6 +93,21 @@ impl FatTreeParams {
     /// 8-ary 3-tree: 512 hosts, 3 levels × 64 switches.
     pub fn ft_512() -> FatTreeParams {
         FatTreeParams::new(8, 3)
+    }
+
+    /// 16-ary 3-tree: 4096 hosts, 3 levels × 256 switches. The shallow
+    /// high-radix variant — shortest routes (5 turns), 32-port inner
+    /// switches.
+    pub fn ft_4096() -> FatTreeParams {
+        FatTreeParams::new(16, 3)
+    }
+
+    /// 4-ary 6-tree: 4096 hosts, 6 levels × 1024 switches. The deep
+    /// low-radix variant — same host count as [`FatTreeParams::ft_4096`]
+    /// through 8-port switches and 11-turn routes, exercising label
+    /// widths and route lengths past the paper's 3-level fabrics.
+    pub fn ft_4096d() -> FatTreeParams {
+        FatTreeParams::new(4, 6)
     }
 
     /// Tree arity (down-ports per switch; inner switches add `k` up-ports).
@@ -437,6 +454,15 @@ mod tests {
             (512, 3, 192)
         );
         assert_eq!(t512.max_route_turns(), 5);
+        let t4k = FatTreeParams::ft_4096();
+        assert_eq!((t4k.hosts(), t4k.n(), t4k.total_switches()), (4096, 3, 768));
+        assert_eq!(t4k.max_route_turns(), 5);
+        let t4kd = FatTreeParams::ft_4096d();
+        assert_eq!(
+            (t4kd.hosts(), t4kd.n(), t4kd.total_switches()),
+            (4096, 6, 6144)
+        );
+        assert_eq!(t4kd.max_route_turns(), 11);
     }
 
     #[test]
@@ -450,7 +476,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "MAX_STAGES")]
     fn too_many_levels_rejected() {
-        let _ = FatTreeParams::new(2, 5);
+        // 7 levels need 13 turns, one past MAX_STAGES (12).
+        let _ = FatTreeParams::new(2, 7);
     }
 
     #[test]

@@ -22,17 +22,20 @@
 //!   opaque port digits, so the same encoding covers the MIN's stage
 //!   digits and the fat tree's up/down ports.
 //!
-//! The paper's three network configurations and their fat-tree equivalents
-//! are available as presets:
+//! The paper's three network configurations, their fat-tree equivalents,
+//! and 4096-host scale-up variants are available as presets:
 //!
 //! ```
 //! use topology::{FatTreeParams, MinParams};
 //! assert_eq!(MinParams::paper_64().total_switches(), 48);
 //! assert_eq!(MinParams::paper_256().total_switches(), 256);
 //! assert_eq!(MinParams::paper_512().total_switches(), 640);
+//! assert_eq!(MinParams::min_4096().total_switches(), 6144);
 //! assert_eq!(FatTreeParams::ft_64().total_switches(), 48);
 //! assert_eq!(FatTreeParams::ft_256().total_switches(), 256);
 //! assert_eq!(FatTreeParams::ft_512().total_switches(), 192);
+//! assert_eq!(FatTreeParams::ft_4096().total_switches(), 768);
+//! assert_eq!(FatTreeParams::ft_4096d().total_switches(), 6144);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -14,6 +14,8 @@ use crate::{HostId, PortId, Route, SwitchId, MAX_STAGES};
 /// * 64 hosts — 3 stages × 16 switches = 48 switches
 /// * 256 hosts — 4 stages × 64 switches = 256 switches
 /// * 512 hosts — 5 stages × 128 switches = 640 switches
+/// * 4096 hosts — 6 stages × 1024 switches = 6144 switches
+///   ([`MinParams::min_4096`], 8× beyond the paper's largest net)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MinParams {
     hosts: u32,
@@ -96,6 +98,12 @@ impl MinParams {
     /// The paper's 512-host network (640 switches, 5 stages).
     pub fn paper_512() -> MinParams {
         MinParams::new(512, 4, 5)
+    }
+
+    /// A 4096-host network (6144 switches, 6 radix-4 stages) — the scale-up
+    /// preset, 8× beyond the paper's largest configuration.
+    pub fn min_4096() -> MinParams {
+        MinParams::new(4096, 4, 6)
     }
 
     /// Number of hosts (network inputs = outputs).
@@ -331,6 +339,11 @@ mod tests {
         assert_eq!(
             (p512.hosts(), p512.stages(), p512.total_switches()),
             (512, 5, 640)
+        );
+        let p4k = MinParams::min_4096();
+        assert_eq!(
+            (p4k.hosts(), p4k.stages(), p4k.total_switches()),
+            (4096, 6, 6144)
         );
     }
 

@@ -7,8 +7,9 @@ use serde::{Deserialize, Serialize};
 use crate::HostId;
 
 /// Maximum number of stages supported (fixed so routes are inline/`Copy`).
-/// Eight radix-4 stages address 65 536 hosts — far beyond the paper's nets.
-pub const MAX_STAGES: usize = 8;
+/// Twelve turns cover every preset fabric: radix-4 MINs to 16M hosts and
+/// k-ary n-trees up to six levels (`2n − 1 = 11` turns for `ft_4096d`).
+pub const MAX_STAGES: usize = 12;
 
 /// The turn sequence a packet carries: one output-port digit per stage,
 /// most significant first, plus a cursor over the digits already consumed.

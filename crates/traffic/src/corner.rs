@@ -135,6 +135,19 @@ impl CornerCase {
         }
     }
 
+    /// Scale-up of corner case 2 to 4096 hosts (Figure-6 proportions):
+    /// 3072 random sources at 100%, 1024 hotspot sources to host 2048
+    /// during the 170 µs window.
+    pub fn case2_4096() -> CornerCase {
+        CornerCase {
+            hosts: 4096,
+            random_sources: 3072,
+            random_rate: 1.0,
+            hotspot_dst: HostId::new(2048),
+            ..CornerCase::case1_64()
+        }
+    }
+
     /// Fat-tree hotspot scenario (64 hosts, 4-ary 3-tree): like corner
     /// case 2, but the 16-member gang is strided so each of the 16 leaf
     /// switches hosts exactly one attacker — the congestion tree reaches
@@ -158,6 +171,20 @@ impl CornerCase {
             random_sources: 448,
             hotspot_dst: HostId::new(257),
             gang: GangLayout::Strided { stride: 8 },
+            ..CornerCase::case2_64()
+        }
+    }
+
+    /// Fat-tree hotspot at 4096 hosts (16-ary 3-tree): one attacker under
+    /// every one of the 256 leaf switches, background at 100%.
+    pub fn fattree_4096() -> CornerCase {
+        CornerCase {
+            hosts: 4096,
+            random_sources: 3840,
+            // 2049 ≡ 1 (mod 16): off the gang stride, so membership needs
+            // no substitution.
+            hotspot_dst: HostId::new(2049),
+            gang: GangLayout::Strided { stride: 16 },
             ..CornerCase::case2_64()
         }
     }
@@ -328,8 +355,14 @@ mod tests {
             (b.hosts, b.random_sources, b.hotspot_sources()),
             (512, 384, 128)
         );
+        let c = CornerCase::case2_4096();
+        assert_eq!(
+            (c.hosts, c.random_sources, c.hotspot_sources()),
+            (4096, 3072, 1024)
+        );
         // Window length stays 170 µs.
         assert_eq!(b.hotspot_end - b.hotspot_start, Picos::from_us(170));
+        assert_eq!(c.hotspot_end - c.hotspot_start, Picos::from_us(170));
     }
 
     #[test]
@@ -369,6 +402,14 @@ mod tests {
         assert_eq!(gang.len(), 64);
         let leaves: std::collections::HashSet<u32> = gang.iter().map(|h| h / 8).collect();
         assert_eq!(leaves.len(), 64);
+
+        // 16-ary 3-tree: one attacker under each of the 256 leaf switches.
+        let c = CornerCase::fattree_4096();
+        let gang: Vec<u32> = (0..4096).filter(|&h| c.is_hotspot_source(h)).collect();
+        assert_eq!(gang.len(), 256);
+        let leaves: std::collections::HashSet<u32> = gang.iter().map(|h| h / 16).collect();
+        assert_eq!(leaves.len(), 256);
+        assert!(!gang.contains(&c.hotspot_dst.index().try_into().unwrap()));
     }
 
     #[test]
