@@ -202,6 +202,16 @@ fn kernels(small: bool) -> Vec<Kernel> {
             hosts: 64,
         });
     }
+    // Closed-loop transport kernel (both modes): incast64 under go-back-N
+    // on RECN rates the ack/timer machinery on top of forwarding.
+    v.push(Kernel {
+        name: "incast64/RECN".to_owned(),
+        kind: KernelKind::Sim(Box::new(bench::incast_spec(fabric::SchemeKind::Recn(
+            bench::bench_recn_config(),
+        )))),
+        workload: "incast_flows",
+        hosts: 64,
+    });
     if !small {
         for scheme in [
             fabric::SchemeKind::VoqSw,

@@ -80,6 +80,20 @@ pub fn san_spec(compression: f64, scheme: SchemeKind) -> RunSpec {
         .with_label(format!("san_c{}", compression as u32))
 }
 
+/// The closed-loop transport kernel as a spec: incast64 (16-to-1 flows)
+/// under a go-back-N transport. Rates the ack/timer machinery — window
+/// bookkeeping, cumulative acks, generation-checked retransmission
+/// timers — on top of packet forwarding, rather than forwarding alone.
+pub fn incast_spec(scheme: SchemeKind) -> RunSpec {
+    RunSpec::flows(MinParams::paper_64(), scheme, traffic::FlowSet::incast64())
+        .with_transport(fabric::TransportKind::GoBackN(
+            fabric::TransportConfig::default(),
+        ))
+        .with_horizon(Picos::from_us(2000))
+        .with_bin(Picos::from_us(1))
+        .with_label("incast64")
+}
+
 /// The 256-host scalability kernel as a spec.
 pub fn scale_spec(scheme: SchemeKind) -> RunSpec {
     RunSpec::corner(

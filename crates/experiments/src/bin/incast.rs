@@ -1,0 +1,10 @@
+//! Incast64 FCT comparison: five schemes under `--transport open|gbn|nack|pfc`.
+//! See `--help` for options.
+
+use experiments::{incast, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    let rows = incast::incast_sweep(&opts);
+    print!("{}", incast::render_rows(&rows));
+}

@@ -191,9 +191,12 @@ fn render_body(out: &RunOutput) -> String {
          \"recn_notifications\":{},\"saq_allocs\":{},\"saq_deallocs\":{},\
          \"recn_rejects\":{},\"recn_duplicates\":{},\"recn_tokens\":{},\
          \"xoffs\":{},\"xons\":{},\"markers\":{},\"root_activations\":{},\
-         \"root_clears\":{},\"source_dropped_messages\":{},\"source_dropped_bytes\":{}}},\
+         \"root_clears\":{},\"source_dropped_messages\":{},\"source_dropped_bytes\":{},\
+         \"retransmitted_packets\":{},\"transport_timeouts\":{},\"transport_acks\":{},\
+         \"transport_nacks\":{},\"flows_completed\":{},\"pfc_pauses\":{},\
+         \"pfc_resumes\":{},\"pfc_dropped_packets\":{},\"pfc_dropped_bytes\":{}}},\
          \"wall_secs\":{},\"events\":{},\"peak_event_queue_depth\":{},\"trace_digest\":{},\
-         \"peak_bytes_estimate\":{},\"stream\":{}}}",
+         \"peak_bytes_estimate\":{},\"stream\":{},\"fct\":{}}}",
         out.scheme,
         series_json(&out.throughput),
         series_json(&out.saq_ingress),
@@ -225,6 +228,15 @@ fn render_body(out: &RunOutput) -> String {
         c.root_clears,
         c.source_dropped_messages,
         c.source_dropped_bytes,
+        c.retransmitted_packets,
+        c.transport_timeouts,
+        c.transport_acks,
+        c.transport_nacks,
+        c.flows_completed,
+        c.pfc_pauses,
+        c.pfc_resumes,
+        c.pfc_dropped_packets,
+        c.pfc_dropped_bytes,
         fnum(out.wall_secs),
         out.events,
         out.peak_event_queue_depth,
@@ -237,7 +249,39 @@ fn render_body(out: &RunOutput) -> String {
             Some(s) => render_stream(s),
             None => "null".to_owned(),
         },
+        render_fct(&out.fct),
     )
+}
+
+/// A flow-completion-time summary as `[flows, p50, p99, max]` (ns), or
+/// `null` when the run completed no flows.
+fn render_fct(fct: &Option<metrics::FctSummary>) -> String {
+    match fct {
+        Some(f) => format!(
+            "[{},{},{},{}]",
+            f.flows,
+            fnum(f.p50_ns),
+            fnum(f.p99_ns),
+            fnum(f.max_ns)
+        ),
+        None => "null".to_owned(),
+    }
+}
+
+/// Inverse of [`render_fct`].
+fn parse_fct(v: &Json) -> Result<Option<metrics::FctSummary>, String> {
+    match v {
+        Json::Null => Ok(None),
+        v => {
+            let a = v.arr().filter(|a| a.len() == 4).ok_or("bad fct")?;
+            Ok(Some(metrics::FctSummary {
+                flows: a[0].u64().ok_or("bad fct flows")?,
+                p50_ns: a[1].f64().ok_or("bad fct p50")?,
+                p99_ns: a[2].f64().ok_or("bad fct p99")?,
+                max_ns: a[3].f64().ok_or("bad fct max")?,
+            }))
+        }
+    }
 }
 
 /// Renders a [`StreamSummary`] as five `[bins, sum, max]` triples (floats
@@ -246,12 +290,13 @@ fn render_stream(s: &StreamSummary) -> String {
     let stats = |st: &StreamStats| format!("[{},{},{}]", st.bins, fnum(st.sum), fnum(st.max));
     format!(
         "{{\"throughput\":{},\"offered\":{},\"saq_max_ingress\":{},\
-         \"saq_max_egress\":{},\"saq_total\":{}}}",
+         \"saq_max_egress\":{},\"saq_total\":{},\"fct\":{}}}",
         stats(&s.throughput),
         stats(&s.offered),
         stats(&s.saq_max_ingress),
         stats(&s.saq_max_egress),
         stats(&s.saq_total),
+        render_fct(&s.fct),
     )
 }
 
@@ -366,6 +411,15 @@ fn parse_entry(text: &str, spec: &RunSpec) -> Result<Option<RunOutput>, String> 
             root_clears: cnt("root_clears")?,
             source_dropped_messages: cnt("source_dropped_messages")?,
             source_dropped_bytes: cnt("source_dropped_bytes")?,
+            retransmitted_packets: cnt("retransmitted_packets")?,
+            transport_timeouts: cnt("transport_timeouts")?,
+            transport_acks: cnt("transport_acks")?,
+            transport_nacks: cnt("transport_nacks")?,
+            flows_completed: cnt("flows_completed")?,
+            pfc_pauses: cnt("pfc_pauses")?,
+            pfc_resumes: cnt("pfc_resumes")?,
+            pfc_dropped_packets: cnt("pfc_dropped_packets")?,
+            pfc_dropped_bytes: cnt("pfc_dropped_bytes")?,
         },
         wall_secs: body
             .get("wall_secs")
@@ -395,6 +449,7 @@ fn parse_entry(text: &str, spec: &RunSpec) -> Result<Option<RunOutput>, String> 
             Json::Null => None,
             v => Some(parse_stream(v)?),
         },
+        fct: parse_fct(body.get("fct").ok_or("missing fct")?)?,
     };
     Ok(Some(out))
 }
@@ -419,6 +474,7 @@ fn parse_stream(v: &Json) -> Result<StreamSummary, String> {
         saq_max_ingress: stats("saq_max_ingress")?,
         saq_max_egress: stats("saq_max_egress")?,
         saq_total: stats("saq_total")?,
+        fct: parse_fct(v.get("fct").ok_or("missing stream fct")?)?,
     })
 }
 

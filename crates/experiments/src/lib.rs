@@ -61,6 +61,7 @@
 pub mod ablations;
 pub mod cache;
 pub mod figures;
+pub mod incast;
 pub mod opts;
 pub mod runner;
 pub mod scale;

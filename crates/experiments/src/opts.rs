@@ -195,6 +195,12 @@ pub const OPTS_FLAGS: &[FlagDef] = &[
         value: Some(("full|streaming", "full or streaming")),
         help: "metrics mode (full default; streaming keeps O(1) summaries instead of series)",
     },
+    FlagDef {
+        name: "--transport",
+        aliases: &[],
+        value: Some(("open|gbn|nack|pfc", "open, gbn, nack or pfc")),
+        help: "end-host transport (open default; gbn/nack window+retransmit, pfc pause/drop)",
+    },
 ];
 
 /// The usage text attached to parse errors (generated from [`OPTS_FLAGS`]).
@@ -303,6 +309,11 @@ pub struct Opts {
     /// per-bin series with fold-exact O(1) summaries — the memory knob
     /// for 4096-host fabrics).
     pub metrics: simcore::MetricsMode,
+    /// End-host transport for every run of the sweep
+    /// (`--transport open|gbn|nack|pfc`; open-loop default — today's
+    /// behaviour bit-exactly. gbn/nack add windowed senders with
+    /// retransmission; pfc swaps credits for pause/drop at the switches).
+    pub transport: fabric::TransportKind,
 }
 
 impl Opts {
@@ -401,6 +412,12 @@ impl Opts {
                     opts.metrics = simcore::MetricsMode::parse(&v())
                         .map_err(|e| format!("{e}; {}", usage()))?;
                 }
+                "--transport" => {
+                    let v = v();
+                    opts.transport = fabric::TransportKind::parse(&v).ok_or_else(|| {
+                        format!("unknown transport {v:?} (open|gbn|nack|pfc); {}", usage())
+                    })?;
+                }
                 "--help" => {
                     println!("{}", render_help(OPTS_FLAGS));
                     std::process::exit(0);
@@ -460,6 +477,7 @@ impl Opts {
                     .with_routing(self.routing)
                     .with_event_model(self.event_model)
                     .with_metrics(self.metrics)
+                    .with_transport(self.transport)
             })
             .collect();
         let mut sweep = Sweep::new(specs)
@@ -650,6 +668,27 @@ mod tests {
         assert!(parse(&["--metrics"])
             .unwrap_err()
             .contains("--metrics needs"));
+    }
+
+    #[test]
+    fn transport_flag_parses() {
+        use fabric::TransportKind;
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.transport, TransportKind::OpenLoop);
+        let o = parse(&["--transport", "gbn"]).unwrap();
+        assert!(matches!(o.transport, TransportKind::GoBackN(_)));
+        let o = parse(&["--transport", "nack"]).unwrap();
+        assert!(matches!(o.transport, TransportKind::Nack(_)));
+        let o = parse(&["--transport", "pfc"]).unwrap();
+        assert!(matches!(o.transport, TransportKind::Pfc(..)));
+        let o = parse(&["--transport", "open"]).unwrap();
+        assert_eq!(o.transport, TransportKind::OpenLoop);
+        assert!(parse(&["--transport", "tcp"])
+            .unwrap_err()
+            .contains("unknown transport"));
+        assert!(parse(&["--transport"])
+            .unwrap_err()
+            .contains("--transport needs"));
     }
 
     #[test]

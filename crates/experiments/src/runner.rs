@@ -4,10 +4,10 @@
 use std::time::Instant;
 
 use fabric::{
-    FabricConfig, FanoutObserver, MessageSource, NetCounters, Network, SchemeKind, TraceHandle,
-    TraceSink, ValidatingObserver,
+    FabricConfig, FanoutObserver, MessageSource, NetCounters, Network, SchemeKind, SilentSource,
+    TraceHandle, TraceSink, ValidatingObserver,
 };
-use metrics::{Probe, ProbeHandle, StreamSummary};
+use metrics::{FctSummary, Probe, ProbeHandle, StreamSummary};
 use recn::RecnConfig;
 use simcore::{MetricsMode, Picos, SeriesPoint};
 use traffic::corner::CornerCase;
@@ -21,7 +21,11 @@ use crate::spec::RunSpec;
 ///
 /// Version 3 added `peak_bytes_estimate` (deterministic simulator-memory
 /// accounting) and the streaming-metrics `stream` summary block.
-pub const OUTPUT_SCHEMA_VERSION: u32 = 3;
+///
+/// Version 4 added the transport-layer counters (retransmissions,
+/// timeouts, acks/nacks, flow completions, PFC pauses/drops) and the
+/// per-flow completion-time summary `fct`.
+pub const OUTPUT_SCHEMA_VERSION: u32 = 4;
 
 /// The workload of a run.
 #[derive(Debug, Clone)]
@@ -40,6 +44,11 @@ pub enum Workload {
         /// Base PRNG seed; host `h` derives its stream from `seed + h`.
         seed: u64,
     },
+    /// Closed-loop byte transfers driven by the transport layer
+    /// (incast/shuffle/permutation — the FCT experiments). Hosts have no
+    /// open-loop message sources; the flow set is installed directly into
+    /// the network before priming.
+    Flows(traffic::FlowSet),
 }
 
 impl Workload {
@@ -68,6 +77,12 @@ impl Workload {
                     Box::new(src) as Box<dyn MessageSource>
                 })
                 .collect(),
+            Workload::Flows(f) => {
+                assert_eq!(f.hosts, hosts, "flow set sized for a different network");
+                (0..hosts)
+                    .map(|_| Box::new(SilentSource) as Box<dyn MessageSource>)
+                    .collect()
+            }
         }
     }
 
@@ -77,7 +92,7 @@ impl Workload {
     /// traces carry multi-KB messages and need room for a few of them.
     fn admit_cap(&self) -> u64 {
         match self {
-            Workload::Corner(_) | Workload::Uniform { .. } => 4 * 1024,
+            Workload::Corner(_) | Workload::Uniform { .. } | Workload::Flows(_) => 4 * 1024,
             Workload::San(_) => 64 * 1024,
         }
     }
@@ -124,6 +139,9 @@ pub struct RunOutput {
     /// [`MetricsMode::Streaming`]; `None` in full mode (render the series
     /// fields instead).
     pub stream: Option<StreamSummary>,
+    /// Per-flow completion-time summary (`None` unless the run completed
+    /// closed-loop flows). Available in both metrics modes.
+    pub fct: Option<FctSummary>,
 }
 
 /// The RECN configuration used by all paper-scale experiments: thresholds
@@ -216,7 +234,8 @@ pub fn run_one(spec: &RunSpec) -> RunOutput {
         FabricConfig::paper(spec.scheme())
     }
     .with_routing(spec.routing())
-    .with_event_model(spec.event_model());
+    .with_event_model(spec.event_model())
+    .with_transport(spec.transport());
     fabric_cfg.admit_cap = spec.workload().admit_cap();
     let sources = spec
         .workload()
@@ -239,13 +258,16 @@ pub fn run_one(spec: &RunSpec) -> RunOutput {
         fan = fan.push(Box::new(sink));
         trace = Some(thandle);
     }
-    let net = Network::new(
+    let mut net = Network::new(
         spec.params(),
         fabric_cfg,
         spec.packet_size(),
         sources,
         Box::new(fan),
     );
+    if let Workload::Flows(f) = spec.workload() {
+        net.install_flows(&f.build());
+    }
     let started = Instant::now();
     let mut engine = net.build_engine_with(spec.scheduler());
     engine.run_until(spec.horizon());
@@ -293,6 +315,7 @@ fn finish(
         trace_digest: None,
         peak_bytes_estimate,
         stream: handle.stream_summary(),
+        fct: handle.fct_summary(),
     }
 }
 

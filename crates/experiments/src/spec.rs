@@ -33,7 +33,7 @@
 //! assert_eq!(spec.clone().with_label("renamed").spec_hash(), spec.spec_hash());
 //! ```
 
-use fabric::{RoutingPolicy, SchemeKind};
+use fabric::{RoutingPolicy, SchemeKind, TransportKind};
 use simcore::{
     fnv1a64, Canon, CanonError, CanonReader, CanonWriter, EventModel, MetricsMode, Picos,
     SchedulerKind,
@@ -41,6 +41,7 @@ use simcore::{
 use topology::TopoParams;
 use traffic::corner::CornerCase;
 use traffic::san::SanParams;
+use traffic::FlowSet;
 
 use crate::runner::Workload;
 
@@ -61,6 +62,13 @@ pub const SPEC_VERSION: u8 = 2;
 /// cache key is untouched — and a version-3 encoding claiming `Full` is
 /// rejected so each spec has exactly one canonical byte string.
 pub const SPEC_VERSION_STREAMING: u8 = 3;
+/// Version byte used when the spec selects a non-open-loop transport: the
+/// version-2 fields followed by the [`MetricsMode`] tag (always present,
+/// unlike version 3) and the [`TransportKind`] block. Open-loop specs keep
+/// encoding as version 2/3 — every pre-existing spec hash and cache key is
+/// untouched — and a version-4 encoding claiming open loop is rejected so
+/// each spec has exactly one canonical byte string.
+pub const SPEC_VERSION_TRANSPORT: u8 = 4;
 
 impl Canon for Workload {
     fn encode_canon(&self, w: &mut CanonWriter) {
@@ -83,6 +91,10 @@ impl Canon for Workload {
                 w.u32(*msg_bytes);
                 w.u64(*seed);
             }
+            Workload::Flows(f) => {
+                w.u8(3);
+                f.encode_canon(w);
+            }
         }
     }
 
@@ -104,6 +116,7 @@ impl Canon for Workload {
                     seed,
                 })
             }
+            3 => Ok(Workload::Flows(FlowSet::decode_canon(r)?)),
             t => Err(CanonError::new(format!("unknown workload tag {t}"))),
         }
     }
@@ -149,6 +162,7 @@ pub struct RunSpec {
     routing: RoutingPolicy,
     event_model: EventModel,
     metrics: MetricsMode,
+    transport: TransportKind,
 }
 
 impl RunSpec {
@@ -170,6 +184,7 @@ impl RunSpec {
             routing: RoutingPolicy::Deterministic,
             event_model: EventModel::default(),
             metrics: MetricsMode::default(),
+            transport: TransportKind::default(),
         }
     }
 
@@ -185,6 +200,12 @@ impl RunSpec {
     /// A SAN-trace run on the paper's 64-host network.
     pub fn san(scheme: SchemeKind, san: SanParams) -> RunSpec {
         RunSpec::new(topology::MinParams::paper_64(), scheme, Workload::San(san))
+    }
+
+    /// A closed-loop flow run (incast/shuffle/permutation byte transfers
+    /// driven by the transport layer — see [`RunSpec::with_transport`]).
+    pub fn flows(params: impl Into<TopoParams>, scheme: SchemeKind, flows: FlowSet) -> RunSpec {
+        RunSpec::new(params, scheme, Workload::Flows(flows))
     }
 
     // ---- setters ------------------------------------------------------
@@ -260,6 +281,14 @@ impl RunSpec {
         self
     }
 
+    /// Selects the end-host transport (open-loop passthrough by default;
+    /// the closed-loop kinds pace flows against a send window and recover
+    /// losses — go-back-N on timeout, NACK-assisted, or PFC pause/drop).
+    pub fn with_transport(mut self, transport: TransportKind) -> RunSpec {
+        self.transport = transport;
+        self
+    }
+
     // ---- getters ------------------------------------------------------
 
     /// Context tag for progress lines and JSON summaries (e.g. `fig2a`).
@@ -328,6 +357,11 @@ impl RunSpec {
         self.metrics
     }
 
+    /// End-host transport for the run.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
     // ---- canonical encoding -------------------------------------------
 
     /// Encodes the spec's behaviour-affecting fields as the canonical,
@@ -337,10 +371,14 @@ impl RunSpec {
         let mut w = CanonWriter::new();
         w.u8(SPEC_MAGIC[0]);
         w.u8(SPEC_MAGIC[1]);
-        w.u8(match self.metrics {
-            MetricsMode::Full => SPEC_VERSION,
-            MetricsMode::Streaming => SPEC_VERSION_STREAMING,
-        });
+        let version = if !self.transport.is_open_loop() {
+            SPEC_VERSION_TRANSPORT
+        } else if self.metrics != MetricsMode::Full {
+            SPEC_VERSION_STREAMING
+        } else {
+            SPEC_VERSION
+        };
+        w.u8(version);
         self.params.encode_canon(&mut w);
         self.scheme.encode_canon(&mut w);
         self.workload.encode_canon(&mut w);
@@ -350,8 +388,15 @@ impl RunSpec {
         self.horizon.encode_canon(&mut w);
         self.bin.encode_canon(&mut w);
         self.event_model.encode_canon(&mut w);
-        if self.metrics != MetricsMode::Full {
+        if version == SPEC_VERSION_STREAMING {
             self.metrics.encode_canon(&mut w);
+        }
+        if version == SPEC_VERSION_TRANSPORT {
+            // Version 4 carries the metrics tag unconditionally (unlike
+            // version 3, whose presence *is* the streaming flag), then the
+            // transport block.
+            self.metrics.encode_canon(&mut w);
+            self.transport.encode_canon(&mut w);
         }
         w.finish()
     }
@@ -370,10 +415,13 @@ impl RunSpec {
             )));
         }
         let version = r.u8()?;
-        if version != SPEC_VERSION && version != SPEC_VERSION_STREAMING {
+        if version != SPEC_VERSION
+            && version != SPEC_VERSION_STREAMING
+            && version != SPEC_VERSION_TRANSPORT
+        {
             return Err(CanonError::new(format!(
                 "unsupported spec version {version} (this build reads \
-                 {SPEC_VERSION} and {SPEC_VERSION_STREAMING})"
+                 {SPEC_VERSION}, {SPEC_VERSION_STREAMING} and {SPEC_VERSION_TRANSPORT})"
             )));
         }
         let params = TopoParams::decode_canon(&mut r)?;
@@ -393,8 +441,21 @@ impl RunSpec {
                 ));
             }
             m
+        } else if version == SPEC_VERSION_TRANSPORT {
+            MetricsMode::decode_canon(&mut r)?
         } else {
             MetricsMode::Full
+        };
+        let transport = if version == SPEC_VERSION_TRANSPORT {
+            let t = TransportKind::decode_canon(&mut r)?;
+            if t.is_open_loop() {
+                return Err(CanonError::new(
+                    "version 4 spec claiming open-loop transport (canonical form is version 2/3)",
+                ));
+            }
+            t
+        } else {
+            TransportKind::OpenLoop
         };
         r.finish()?;
         if packet_size == 0 {
@@ -412,6 +473,15 @@ impl RunSpec {
                 )));
             }
         }
+        if let Workload::Flows(f) = &workload {
+            if f.hosts != params.hosts() {
+                return Err(CanonError::new(format!(
+                    "flow set sized for {} hosts on a {}-host network",
+                    f.hosts,
+                    params.hosts()
+                )));
+            }
+        }
         Ok(RunSpec::new(params, scheme, workload)
             .with_routing(routing)
             .with_scheduler(scheduler)
@@ -419,7 +489,8 @@ impl RunSpec {
             .with_horizon(horizon)
             .with_bin(bin)
             .with_event_model(event_model)
-            .with_metrics(metrics))
+            .with_metrics(metrics)
+            .with_transport(transport))
     }
 
     /// The spec's content address: FNV-1a 64 over [`encode`](Self::encode).
@@ -510,6 +581,26 @@ mod tests {
                 seed: 7,
             },
         ));
+        specs.push(
+            RunSpec::flows(
+                MinParams::paper_64(),
+                SchemeKind::Recn(paper_recn_config()),
+                FlowSet::incast64(),
+            )
+            .with_transport(TransportKind::GoBackN(fabric::TransportConfig::default())),
+        );
+        specs.push(
+            RunSpec::flows(
+                MinParams::paper_64(),
+                SchemeKind::OneQ,
+                FlowSet::shuffle64(),
+            )
+            .with_transport(TransportKind::Pfc(
+                fabric::TransportConfig::default(),
+                fabric::PfcConfig::default(),
+            ))
+            .with_metrics(MetricsMode::Streaming),
+        );
         specs
     }
 
@@ -529,6 +620,7 @@ mod tests {
             assert_eq!(back.routing(), spec.routing());
             assert_eq!(back.event_model(), spec.event_model());
             assert_eq!(back.metrics(), spec.metrics());
+            assert_eq!(back.transport(), spec.transport());
         }
     }
 
@@ -558,6 +650,78 @@ mod tests {
         let mut v2_trailing = full.clone();
         v2_trailing.push(1);
         assert!(RunSpec::decode(&v2_trailing).is_err());
+    }
+
+    #[test]
+    fn transport_versions_the_encoding() {
+        let base = RunSpec::corner(
+            MinParams::paper_64(),
+            SchemeKind::OneQ,
+            CornerCase::case1_64(),
+        );
+        let v2 = base.clone().encode();
+        assert_eq!(v2[2], SPEC_VERSION);
+        // A closed-loop transport re-versions the same fields to 4 with
+        // the metrics tag and transport block appended.
+        let gbn = base
+            .clone()
+            .with_transport(TransportKind::GoBackN(fabric::TransportConfig::default()));
+        let v4 = gbn.encode();
+        assert_eq!(v4[2], SPEC_VERSION_TRANSPORT);
+        assert_eq!(&v4[3..v2.len()], &v2[3..], "version-2 fields unchanged");
+        assert_ne!(gbn.spec_hash(), base.spec_hash());
+        // Distinct transports are distinct behaviours.
+        assert_ne!(
+            gbn.spec_hash(),
+            base.clone()
+                .with_transport(TransportKind::Nack(fabric::TransportConfig::default()))
+                .spec_hash()
+        );
+        // Streaming metrics compose with transport inside version 4.
+        let both = gbn.clone().with_metrics(MetricsMode::Streaming);
+        assert_eq!(both.encode()[2], SPEC_VERSION_TRANSPORT);
+        assert_ne!(both.spec_hash(), gbn.spec_hash());
+        let back = RunSpec::decode(&both.encode()).unwrap();
+        assert_eq!(back.metrics(), MetricsMode::Streaming);
+        assert_eq!(back.transport(), both.transport());
+        // A version-4 encoding claiming open loop is non-canonical.
+        let mut fake = v2.clone();
+        fake[2] = SPEC_VERSION_TRANSPORT;
+        fake.push(0); // metrics tag: Full
+        fake.push(0); // transport tag: OpenLoop
+        let err = RunSpec::decode(&fake).unwrap_err();
+        assert!(err.to_string().contains("canonical form"), "{err}");
+    }
+
+    #[test]
+    fn flows_workload_requires_matching_hosts() {
+        let spec = RunSpec::flows(MinParams::paper_64(), SchemeKind::OneQ, FlowSet::incast64());
+        let bytes = spec.encode();
+        // Same workload bytes on a 256-host network: rejected.
+        let mut w = CanonWriter::new();
+        w.u8(SPEC_MAGIC[0]);
+        w.u8(SPEC_MAGIC[1]);
+        w.u8(SPEC_VERSION);
+        TopoParams::from(MinParams::paper_256()).encode_canon(&mut w);
+        spec.scheme().encode_canon(&mut w);
+        spec.workload().encode_canon(&mut w);
+        spec.routing().encode_canon(&mut w);
+        spec.scheduler().encode_canon(&mut w);
+        w.u32(spec.packet_size());
+        spec.horizon().encode_canon(&mut w);
+        spec.bin().encode_canon(&mut w);
+        spec.event_model().encode_canon(&mut w);
+        let err = RunSpec::decode(&w.finish()).unwrap_err();
+        assert!(err.to_string().contains("flow set sized"), "{err}");
+        // The well-formed encoding round-trips (open-loop flows are legal:
+        // the counting-receiver mode).
+        let back = RunSpec::decode(&bytes).unwrap();
+        assert_eq!(back.spec_hash(), spec.spec_hash());
+        assert_eq!(back.transport(), TransportKind::OpenLoop);
+        assert!(
+            RunSpec::decode(&bytes[..bytes.len() - 1]).is_err(),
+            "truncation"
+        );
     }
 
     #[test]
@@ -600,6 +764,8 @@ mod tests {
             base.clone().with_routing(RoutingPolicy::adaptive()),
             base.clone().with_event_model(EventModel::Lazy),
             base.clone().with_metrics(MetricsMode::Streaming),
+            base.clone()
+                .with_transport(TransportKind::GoBackN(fabric::TransportConfig::default())),
             RunSpec::corner(
                 MinParams::paper_64(),
                 SchemeKind::FourQ,

@@ -290,7 +290,9 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
              \"delivered_packets\": {}, \"delivered_bytes\": {}, \"mean_latency_ns\": {}, \
              \"saq_peaks\": [{}, {}, {}], \"wall_secs\": {}, \"events\": {}, \
              \"events_per_sec\": {}, \"peak_event_queue_depth\": {}, \
-             \"metrics\": {}, \"peak_bytes_estimate\": {}}}{sep}\n",
+             \"metrics\": {}, \"peak_bytes_estimate\": {}, \
+             \"transport\": {}, \"fct\": {}, \"retransmitted_packets\": {}, \
+             \"transport_timeouts\": {}, \"pfc_dropped_packets\": {}}}{sep}\n",
             jstr(spec.label()),
             jstr(out.scheme),
             jstr(spec.scheduler().name()),
@@ -313,6 +315,11 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
             out.peak_event_queue_depth,
             jstr(spec.metrics().name()),
             out.peak_bytes_estimate,
+            jstr(spec.transport().name()),
+            jfct(&out.fct),
+            out.counters.retransmitted_packets,
+            out.counters.transport_timeouts,
+            out.counters.pfc_dropped_packets,
         ));
     }
     s.push_str("  ]\n}\n");
@@ -346,6 +353,21 @@ fn jnum(x: f64) -> String {
 fn jopt(x: Option<f64>) -> String {
     match x {
         Some(v) => jnum(v),
+        None => "null".to_owned(),
+    }
+}
+
+/// A flow-completion-time summary as `[flows, p50, p99, max]` (ns), or
+/// `null` for a run with no completed flows.
+fn jfct(fct: &Option<metrics::FctSummary>) -> String {
+    match fct {
+        Some(f) => format!(
+            "[{}, {}, {}, {}]",
+            f.flows,
+            jnum(f.p50_ns),
+            jnum(f.p99_ns),
+            jnum(f.max_ns)
+        ),
         None => "null".to_owned(),
     }
 }

@@ -251,6 +251,62 @@ fn event_models_never_alias_and_lazy_replays_byte_identically() {
 }
 
 #[test]
+fn transport_specs_never_alias_open_loop_and_fct_replays() {
+    use fabric::TransportKind;
+    use traffic::FlowSet;
+
+    let dir = scratch("cache_transport");
+    let cache = RunCache::new(&dir);
+    let flows = |transport: TransportKind| {
+        RunSpec::flows(
+            MinParams::paper_64(),
+            SchemeKind::Recn(scaled_recn_config(40)),
+            FlowSet::incast64().with_flow_bytes(2048),
+        )
+        .with_transport(transport)
+        .with_horizon(Picos::from_us(2000))
+        .with_bin(Picos::from_us(10))
+    };
+    let open = flows(TransportKind::OpenLoop);
+    let gbn = flows(TransportKind::parse("gbn").unwrap());
+    let pfc = flows(TransportKind::parse("pfc").unwrap());
+
+    // Distinct content addresses: an open-loop entry can never serve a
+    // closed-loop spec, and the closed-loop variants never serve each
+    // other.
+    assert_ne!(open.spec_hash(), gbn.spec_hash());
+    assert_ne!(gbn.spec_hash(), pfc.spec_hash());
+    let open_out = experiments::run_one(&open);
+    cache.store(&open, &open_out).expect("store open");
+    assert!(
+        cache.load(&gbn).is_none(),
+        "an open-loop entry must not serve a closed-loop spec"
+    );
+    assert!(cache.load(&pfc).is_none());
+
+    // A closed-loop entry replays byte for byte — including per-flow FCT
+    // percentiles and the transport counters.
+    let gbn_out = experiments::run_one(&gbn);
+    assert!(gbn_out.fct.is_some(), "closed-loop run reports FCT");
+    cache.store(&gbn, &gbn_out).expect("store gbn");
+    let back = cache.load(&gbn).expect("hit after store");
+    assert_eq!(back.fct, gbn_out.fct);
+    assert_eq!(
+        back.counters.flows_completed,
+        gbn_out.counters.flows_completed
+    );
+    assert_eq!(
+        format!("{:?}", back.counters),
+        format!("{:?}", gbn_out.counters)
+    );
+    assert_eq!(summarize(&back), summarize(&gbn_out));
+    // The open-loop entry still hits independently (with its own FCT —
+    // counting-receiver flows complete without a closed loop).
+    let open_back = cache.load(&open).expect("open entry intact");
+    assert_eq!(open_back.fct, open_out.fct);
+}
+
+#[test]
 fn trace_digest_rules() {
     let dir = scratch("cache_trace");
     let cache = RunCache::new(&dir);

@@ -70,6 +70,18 @@ const GOLDEN_MIN_STREAMING: [u64; 5] = [
     0xaee34453543cf134,
 ];
 
+/// Closed-loop incast64 on RECN under each non-open transport, plus the
+/// go-back-N spec with streaming metrics (spec version 4: the metrics
+/// tag and transport block join the encoding). Open-loop specs still
+/// encode as version 2/3 — every table above is untouched by the
+/// transport layer.
+const GOLDEN_MIN_TRANSPORT: [u64; 4] = [
+    0xdb295620407af4c7, // go-back-N
+    0x93a51afca889fa82, // NACK
+    0x474a1cf339532da1, // PFC
+    0x45af02f99fdd4712, // go-back-N + streaming metrics
+];
+
 fn min_spec(scheme: SchemeKind) -> RunSpec {
     RunSpec::corner(MinParams::paper_64(), scheme, CornerCase::case2_64())
 }
@@ -162,6 +174,46 @@ fn streaming_spec_hashes_are_pinned_and_distinct() {
 }
 
 #[test]
+fn transport_spec_hashes_are_pinned_and_distinct() {
+    use fabric::{PfcConfig, TransportConfig, TransportKind};
+    use traffic::FlowSet;
+
+    let base = || {
+        RunSpec::flows(
+            MinParams::paper_64(),
+            SchemeKind::Recn(paper_recn_config()),
+            FlowSet::incast64(),
+        )
+    };
+    let specs = [
+        base().with_transport(TransportKind::GoBackN(TransportConfig::default())),
+        base().with_transport(TransportKind::Nack(TransportConfig::default())),
+        base().with_transport(TransportKind::Pfc(
+            TransportConfig::default(),
+            PfcConfig::default(),
+        )),
+        base()
+            .with_transport(TransportKind::GoBackN(TransportConfig::default()))
+            .with_metrics(MetricsMode::Streaming),
+    ];
+    for (spec, golden) in specs.into_iter().zip(GOLDEN_MIN_TRANSPORT) {
+        assert_eq!(
+            spec.spec_hash(),
+            golden,
+            "{}: transport spec_v1 encoding drifted (hash {:#018x}); this \
+             breaks existing cache directories — bump SPEC_VERSION instead",
+            spec.transport().name(),
+            spec.spec_hash(),
+        );
+        // The decoded spec carries the transport back out — a cache replay
+        // of a closed-loop entry reruns closed-loop.
+        let back = RunSpec::decode_hex(&spec.encode_hex()).expect("round trip");
+        assert_eq!(back.transport(), spec.transport());
+        assert_eq!(back.spec_hash(), golden);
+    }
+}
+
+#[test]
 fn hashes_survive_the_hex_round_trip() {
     for scheme in schemes() {
         for spec in [min_spec(scheme), fattree_spec(scheme)] {
@@ -188,9 +240,14 @@ fn every_scheme_gets_a_distinct_address() {
         .chain(GOLDEN_FATTREE_ADAPTIVE.iter())
         .chain(GOLDEN_MIN_LAZY.iter())
         .chain(GOLDEN_MIN_STREAMING.iter())
+        .chain(GOLDEN_MIN_TRANSPORT.iter())
         .copied()
         .collect();
     hashes.sort_unstable();
     hashes.dedup();
-    assert_eq!(hashes.len(), 20, "all twenty golden hashes are distinct");
+    assert_eq!(
+        hashes.len(),
+        24,
+        "all twenty-four golden hashes are distinct"
+    );
 }

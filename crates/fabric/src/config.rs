@@ -4,6 +4,8 @@ use recn::RecnConfig;
 use serde::{Deserialize, Serialize};
 use simcore::{Canon, CanonError, CanonReader, CanonWriter, EventModel, Picos};
 
+use crate::transport::TransportKind;
+
 /// The queueing scheme installed at every port — the five mechanisms
 /// compared in the paper's §4.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -241,6 +243,10 @@ pub struct FabricConfig {
     /// idle arbiters are elided). Behaviour is bit-exact either way; only
     /// event counts differ. See DESIGN.md §6f.
     pub event_model: EventModel,
+    /// End-host transport: open-loop passthrough (the default — bit-exact
+    /// with the pre-transport fabric), windowed go-back-N, NACK, or the
+    /// PFC pause/drop switch mode. See DESIGN.md § "Transport layer".
+    pub transport: TransportKind,
 }
 
 impl FabricConfig {
@@ -259,6 +265,7 @@ impl FabricConfig {
             strict_order: scheme.preserves_order(),
             routing: RoutingPolicy::Deterministic,
             event_model: EventModel::Eager,
+            transport: TransportKind::OpenLoop,
         }
     }
 
@@ -276,6 +283,18 @@ impl FabricConfig {
     /// Installs an event model (eager reference or lazy fast path).
     pub fn with_event_model(mut self, model: EventModel) -> FabricConfig {
         self.event_model = model;
+        self
+    }
+
+    /// Installs an end-host transport. Any transport other than open loop
+    /// clears `strict_order`: retransmission legitimately re-delivers and
+    /// reorders packets (and PFC drops break sequence continuity), so
+    /// order violations are counted but never fatal.
+    pub fn with_transport(mut self, transport: TransportKind) -> FabricConfig {
+        self.transport = transport;
+        if !transport.is_open_loop() {
+            self.strict_order = false;
+        }
         self
     }
 
@@ -324,6 +343,7 @@ impl FabricConfig {
         if let SchemeKind::Recn(r) = &self.scheme {
             r.validate();
         }
+        self.transport.validate();
     }
 }
 
@@ -398,6 +418,24 @@ mod tests {
         assert!(cfg.routing.is_adaptive());
         let det = FabricConfig::paper(SchemeKind::OneQ).with_routing(RoutingPolicy::Deterministic);
         assert!(det.strict_order);
+    }
+
+    #[test]
+    fn transport_defaults_open_and_clears_order_when_closed() {
+        let cfg = FabricConfig::paper(SchemeKind::OneQ);
+        assert!(cfg.transport.is_open_loop());
+        assert!(cfg.strict_order);
+        let gbn = cfg.with_transport(TransportKind::parse("gbn").unwrap());
+        assert!(!gbn.strict_order, "retransmission may reorder");
+        gbn.validate();
+        let pfc = FabricConfig::paper(SchemeKind::OneQ)
+            .with_transport(TransportKind::parse("pfc").unwrap());
+        assert!(pfc.transport.is_pfc());
+        assert!(!pfc.strict_order, "PFC drops break sequence continuity");
+        pfc.validate();
+        // Re-installing open loop keeps whatever strict_order already was.
+        let back = FabricConfig::paper(SchemeKind::OneQ).with_transport(TransportKind::OpenLoop);
+        assert!(back.strict_order);
     }
 
     #[test]

@@ -66,6 +66,7 @@ mod packet;
 mod queue;
 mod source;
 mod trace;
+mod transport;
 mod validate;
 
 pub use arena::{Arena, Handle};
@@ -81,4 +82,8 @@ pub use queue::{PortSide, QueueSet};
 pub use simcore::EventModel;
 pub use source::{ConstantRateSource, MessageSource, ScriptSource, SilentSource, SourcedMessage};
 pub use trace::{json_escape, TraceEvent, TraceHandle, TraceRecord, TraceSink};
+pub use transport::{
+    FlowDesc, GoBackNTransport, NackTransport, OpenLoopTransport, PfcConfig, Transport,
+    TransportConfig, TransportKind,
+};
 pub use validate::{ValidatingObserver, ValidatorHandle};

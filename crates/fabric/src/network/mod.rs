@@ -1,5 +1,6 @@
 //! The assembled network: switches, NICs, links, and the event dispatcher.
 
+mod flow;
 mod inspect;
 mod nic;
 mod recn_glue;
@@ -15,6 +16,9 @@ use crate::observer::{NetObserver, NullObserver};
 use crate::packet::{Packet, Payload, RevPayload};
 use crate::queue::{PortSide, QueueSet};
 use crate::source::{MessageSource, SourcedMessage};
+use crate::transport::Transport;
+
+pub(crate) use flow::{FlowRx, FlowTx};
 
 pub use inspect::{render_port, PortSnapshot, SaqSnapshot};
 pub use recn_glue::assert_recn_idle;
@@ -79,6 +83,38 @@ pub enum Event {
         port: PortRef,
         /// The SAQ (generation-checked; stale handles are ignored).
         saq: recn::SaqId,
+    },
+    /// A closed-loop flow at `host` toward `dst` opens (transport layer;
+    /// scheduled by [`Network::prime`] at the flow's start time).
+    FlowStart {
+        /// Sending host.
+        host: usize,
+        /// Destination host.
+        dst: u32,
+    },
+    /// Out-of-band transport ack arriving at the *sender* `host` for its
+    /// flow toward `dst`: cumulative receive point `cum`, plus an optional
+    /// NACK rewind request (`nack == u64::MAX` means none).
+    TransportAck {
+        /// Sending host (the ack's recipient).
+        host: usize,
+        /// Destination the flow sends toward.
+        dst: u32,
+        /// Cumulative ack: every packet below this sequence arrived.
+        cum: u64,
+        /// Rewind request from a NACK receiver, or `u64::MAX`.
+        nack: u64,
+    },
+    /// Retransmission timeout for `host`'s flow toward `dst`
+    /// (generation-checked via [`simcore::TimerGen`]; stale events are
+    /// ignored).
+    TransportTimeout {
+        /// Sending host.
+        host: usize,
+        /// Destination host.
+        dst: u32,
+        /// Timer generation stamped at arm time.
+        gen: u32,
     },
     /// Drains one batch of coalesced same-time arbiter wakeups
     /// ([`EventModel::Lazy`] only — the eager model schedules each wakeup
@@ -168,6 +204,9 @@ pub(crate) struct LinkState {
     pub fwd_busy_total: Picos,
     /// Sender-side view of the downstream input port's buffer space.
     pub credits: CreditView,
+    /// PFC: the downstream input port paused this link's transmitter.
+    /// Always `false` outside the PFC transport.
+    pub paused: bool,
     pub up: LinkUp,
     pub down: LinkDown,
 }
@@ -201,6 +240,9 @@ pub(crate) struct Switch {
     /// Output ports an adaptive up-phase turn may bind to (the topology's
     /// up-ports; empty on the MIN and at the fat tree's top level).
     pub up_ports: std::ops::Range<usize>,
+    /// PFC: whether each input port currently holds its upstream link
+    /// paused (high-water mark crossed, resume not yet sent).
+    pub pause_sent: Vec<bool>,
 }
 
 /// One destination's admittance FIFO: intrusive head/tail handles into
@@ -241,6 +283,9 @@ pub(crate) struct Nic {
     pub pending: Option<SourcedMessage>,
     /// Next flow sequence number per destination.
     pub next_seq: Vec<u64>,
+    /// Closed-loop sender state per destination (transport layer). Empty
+    /// unless flows were installed; entries are removed on completion.
+    pub flows: std::collections::BTreeMap<u32, FlowTx>,
 }
 
 impl Nic {
@@ -344,6 +389,14 @@ pub struct Network {
     pub(crate) lazy: LazyState,
     /// Packet size used when splitting messages.
     pub(crate) packet_size: u32,
+    /// Transport policy (knobs) the flow machinery dispatches through.
+    pub(crate) transport: Box<dyn Transport>,
+    /// Closed-loop receiver state keyed `(src << 32) | dst`. Entries stay
+    /// after completion (marked done) so late duplicates are recognized.
+    pub(crate) flow_rx: std::collections::BTreeMap<u64, FlowRx>,
+    /// Fast gate: whether any flow was ever installed. `false` keeps every
+    /// transport branch off the open-loop hot paths.
+    pub(crate) has_flows: bool,
 }
 
 impl std::fmt::Debug for Network {
@@ -404,6 +457,7 @@ impl Network {
                 rev_busy_until: Picos::ZERO,
                 fwd_busy_total: Picos::ZERO,
                 credits: Self::input_credit_view(&cfg, ports[sw.index()], hosts),
+                paused: false,
                 up: LinkUp::Nic(h),
                 down: LinkDown::Switch {
                     sw: sw.index(),
@@ -433,6 +487,7 @@ impl Network {
                     rev_busy_until: Picos::ZERO,
                     fwd_busy_total: Picos::ZERO,
                     credits,
+                    paused: false,
                     up: LinkUp::Switch { sw: s, port: p },
                     down,
                 });
@@ -476,6 +531,7 @@ impl Network {
                         let r = topo.up_ports(topology::SwitchId::new(s as u32));
                         r.start as usize..r.end as usize
                     },
+                    pause_sent: vec![false; np],
                 }
             })
             .collect::<Vec<_>>();
@@ -510,6 +566,7 @@ impl Network {
                     source,
                     pending: None,
                     next_seq: vec![0; hosts],
+                    flows: std::collections::BTreeMap::new(),
                 })
                 .collect(),
             links,
@@ -528,6 +585,9 @@ impl Network {
             scratch_pkts: Vec::new(),
             lazy: LazyState::default(),
             packet_size,
+            transport: cfg.transport.build(),
+            flow_rx: std::collections::BTreeMap::new(),
+            has_flows: false,
         };
         // Wire in_link back-pointers.
         for l in 0..network.links.len() {
@@ -539,6 +599,11 @@ impl Network {
     }
 
     fn input_credit_view(cfg: &FabricConfig, ports: usize, hosts: usize) -> CreditView {
+        // PFC replaces credit flow control entirely: senders transmit
+        // whenever unpaused and the input port drops on overflow.
+        if cfg.transport.is_pfc() {
+            return CreditView::Infinite;
+        }
         match cfg.scheme {
             SchemeKind::OneQ => CreditView::per_queue(cfg.input_mem, 1),
             SchemeKind::FourQ => CreditView::per_queue(cfg.input_mem, 4),
@@ -549,12 +614,24 @@ impl Network {
     }
 
     /// Seeds the initial traffic events (the first message of every
-    /// source). Call once before running the engine.
+    /// source, plus a [`Event::FlowStart`] per installed flow). Call once
+    /// before running the engine.
     pub fn prime(&mut self, q: &mut EventQueue<Event>) {
         for h in 0..self.nics.len() {
             if let Some(msg) = self.nics[h].source.next_message() {
                 self.nics[h].pending = Some(msg);
                 q.schedule(msg.at, Event::NextMessage { host: h });
+            }
+        }
+        for h in 0..self.nics.len() {
+            // Host then destination order, matching installation order.
+            let starts: Vec<(u32, Picos)> = self.nics[h]
+                .flows
+                .iter()
+                .map(|(&dst, f)| (dst, f.start))
+                .collect();
+            for (dst, start) in starts {
+                q.schedule(start, Event::FlowStart { host: h, dst });
             }
         }
     }
@@ -644,6 +721,13 @@ impl Network {
             total += size_of::<LinkState>() as u64 + l.credits.backing_bytes();
         }
         total += (self.expect_seq.capacity() * size_of::<u64>()) as u64;
+        // Transport flow state (zero without installed flows).
+        total += (self.flow_rx.len() * (size_of::<u64>() + size_of::<FlowRx>())) as u64;
+        total += self
+            .nics
+            .iter()
+            .map(|n| (n.flows.len() * (size_of::<u32>() + size_of::<FlowTx>())) as u64)
+            .sum::<u64>();
         total += ((self.saq_in.capacity() + self.saq_out.capacity() + self.saq_nic.capacity())
             * size_of::<u16>()) as u64;
         total += (self.port_base.capacity() * size_of::<usize>()) as u64;
@@ -976,7 +1060,7 @@ impl Network {
 
     fn on_deliver(&mut self, now: Picos, q: &mut EventQueue<Event>, link: usize, payload: Payload) {
         match self.links[link].down {
-            LinkDown::Host(h) => self.deliver_to_host(now, h, payload),
+            LinkDown::Host(h) => self.deliver_to_host(now, q, h, payload),
             LinkDown::Switch { sw, port } => match payload {
                 Payload::Data { pkt, target_queue } => {
                     self.switch_input_arrival(now, q, sw, port, pkt, target_queue)
@@ -990,7 +1074,13 @@ impl Network {
         }
     }
 
-    fn deliver_to_host(&mut self, now: Picos, host: usize, payload: Payload) {
+    fn deliver_to_host(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        host: usize,
+        payload: Payload,
+    ) {
         let Payload::Data { pkt, .. } = payload else {
             unreachable!("delivery links never carry RECN control traffic");
         };
@@ -1004,6 +1094,13 @@ impl Network {
             pkt.route.is_exhausted(),
             "packet delivered with unconsumed turns"
         );
+        // Closed-loop flows bypass the expect_seq check: duplicates and
+        // gaps are legal under retransmission, and the transport receiver
+        // does its own sequence accounting.
+        if self.has_flows && self.flow_rx.contains_key(&flow::flow_key(&pkt)) {
+            self.transport_receive(now, q, pkt);
+            return;
+        }
         let hosts = self.topo.num_hosts() as usize;
         let flow = pkt.src.index() * hosts + pkt.dst.index();
         let expected = self.expect_seq[flow];
@@ -1058,6 +1155,19 @@ impl Network {
                     LinkUp::Switch { sw, port } => self.kick_output_arb(now, now, q, sw, port),
                 }
             }
+            RevPayload::PfcPause => {
+                self.links[link].paused = true;
+                self.observer.on_pause_change(now, link, true);
+            }
+            RevPayload::PfcResume => {
+                self.links[link].paused = false;
+                self.observer.on_pause_change(now, link, false);
+                // The transmitter may send again.
+                match self.links[link].up {
+                    LinkUp::Nic(h) => self.kick_nic_arb(now, now, q, h),
+                    LinkUp::Switch { sw, port } => self.kick_output_arb(now, now, q, sw, port),
+                }
+            }
         }
     }
 }
@@ -1076,6 +1186,16 @@ impl SimModel for Network {
             Event::XbarDone { sw, input, output } => self.on_xbar_done(now, q, sw, input, output),
             Event::OutputArb { sw, port } => self.on_output_arb(now, q, sw, port),
             Event::SaqIdleCheck { port, saq } => self.on_saq_idle_check(now, q, port, saq),
+            Event::FlowStart { host, dst } => self.on_flow_start(now, q, host, dst),
+            Event::TransportAck {
+                host,
+                dst,
+                cum,
+                nack,
+            } => self.on_transport_ack(now, q, host, dst, cum, nack),
+            Event::TransportTimeout { host, dst, gen } => {
+                self.on_transport_timeout(now, q, host, dst, gen)
+            }
             Event::Sweep => self.on_sweep(now, q),
         }
     }

@@ -82,6 +82,10 @@ impl Network {
             // and schedule nothing. The round-robin pointer still advances,
             // exactly as the unguarded loop would leave it.
             self.nics[host].admit_rr = (self.nics[host].admit_rr + 1) % hosts;
+            // An empty admittance stage is a closed-loop pump trigger: a
+            // flow stalled on the admit cap (notably open-loop flows, whose
+            // only pump driver is this drain) may refill now.
+            self.pump_host_flows(now, q, host);
             return;
         }
         let mut moved_any = false;
@@ -156,6 +160,8 @@ impl Network {
         if moved_any {
             self.kick_nic_arb(now, now, q, host);
         }
+        // Admittance space may have freed: refill stalled flows.
+        self.pump_host_flows(now, q, host);
     }
 
     /// `Event::NicArb` — try to transmit one packet from the injection port
@@ -166,6 +172,11 @@ impl Network {
         let busy = self.links[link].fwd_busy_until;
         if busy > now {
             self.kick_nic_arb(now, busy, q, host);
+            return;
+        }
+        // PFC: a paused link transmits nothing; the resume message kicks
+        // this arbiter again. (Never true outside the PFC transport.)
+        if self.links[link].paused {
             return;
         }
         // Work elision (both event models): with nothing queued, or a pooled
@@ -257,8 +268,17 @@ impl Network {
         use crate::config::SchemeKind;
         match self.links[link].down {
             super::LinkDown::Host(_) => 0,
-            super::LinkDown::Switch { .. } => match self.cfg.scheme {
+            super::LinkDown::Switch { sw, port } => match self.cfg.scheme {
                 SchemeKind::OneQ => 0,
+                // PFC replaces the credit view with an infinite one; mirror
+                // the receiver's lowest-occupancy rule by inspecting the
+                // input port directly instead of the (absent) credit state.
+                SchemeKind::FourQ if self.cfg.transport.is_pfc() => {
+                    let inp = &self.switches[sw].inputs[port];
+                    (0..inp.num_queues())
+                        .min_by_key(|&qi| inp.queue_bytes(qi))
+                        .expect("4Q port has queues") as u16
+                }
                 SchemeKind::FourQ => self.links[link].credits.roomiest_queue(),
                 SchemeKind::VoqSw => pkt.route.remaining().first().copied().unwrap_or(0) as u16,
                 SchemeKind::VoqNet => pkt.dst.index() as u16,

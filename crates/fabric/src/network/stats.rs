@@ -44,6 +44,26 @@ pub struct NetCounters {
     pub source_dropped_messages: u64,
     /// Bytes dropped at the source.
     pub source_dropped_bytes: u64,
+    /// Transport: packets re-sent by a closed-loop flow (seq below the
+    /// high-water mark at injection time).
+    pub retransmitted_packets: u64,
+    /// Transport: retransmission timeouts that fired live (stale
+    /// generation-checked timers are not counted).
+    pub transport_timeouts: u64,
+    /// Transport: acks sent by receivers (out-of-band).
+    pub transport_acks: u64,
+    /// Transport: NACKs sent by receivers on out-of-order arrival.
+    pub transport_nacks: u64,
+    /// Transport: closed-loop flows that completed delivery.
+    pub flows_completed: u64,
+    /// PFC: pause messages sent by switch input ports.
+    pub pfc_pauses: u64,
+    /// PFC: resume messages sent by switch input ports.
+    pub pfc_resumes: u64,
+    /// PFC: data packets dropped at a full switch input port.
+    pub pfc_dropped_packets: u64,
+    /// PFC: bytes dropped at full switch input ports.
+    pub pfc_dropped_bytes: u64,
 }
 
 impl NetCounters {

@@ -38,6 +38,14 @@ impl Network {
         } else {
             target_queue as usize
         };
+        if self.cfg.transport.is_pfc() && !self.switches[sw].inputs[port].has_room(queue, size) {
+            // PFC fabric: no credits protect this buffer, so an arrival
+            // beyond capacity is dropped (the lossy baseline's defining
+            // event). The pause threshold below is what keeps this rare.
+            self.counters.pfc_dropped_packets += 1;
+            self.counters.pfc_dropped_bytes += size;
+            return;
+        }
         self.switches[sw].inputs[port].push_direct(queue, QueueItem::Packet(pkt));
         self.observer.on_enqueue(
             now,
@@ -69,7 +77,42 @@ impl Network {
                 self.send_rev_ctrl(now, q, in_link, RevPayload::RecnXoff { path });
             }
         }
+        self.pfc_check_pause(now, q, sw, port);
         self.kick_input_arb(now, q, sw);
+    }
+
+    /// PFC high-water check after an arrival at input `port`: pause the
+    /// upstream link once occupancy reaches the threshold. No-op outside
+    /// the PFC transport.
+    fn pfc_check_pause(&mut self, now: Picos, q: &mut EventQueue<Event>, sw: usize, port: usize) {
+        let Some(pfc) = self.cfg.transport.pfc() else {
+            return;
+        };
+        if !self.switches[sw].pause_sent[port]
+            && self.switches[sw].inputs[port].used() >= pfc.pause_threshold
+        {
+            self.switches[sw].pause_sent[port] = true;
+            self.counters.pfc_pauses += 1;
+            let in_link = self.switches[sw].in_link[port];
+            self.send_rev_ctrl(now, q, in_link, RevPayload::PfcPause);
+        }
+    }
+
+    /// PFC low-water check after a departure from input `port`: resume the
+    /// upstream link once occupancy drains to the threshold. No-op outside
+    /// the PFC transport.
+    fn pfc_check_resume(&mut self, now: Picos, q: &mut EventQueue<Event>, sw: usize, port: usize) {
+        let Some(pfc) = self.cfg.transport.pfc() else {
+            return;
+        };
+        if self.switches[sw].pause_sent[port]
+            && self.switches[sw].inputs[port].used() <= pfc.resume_threshold
+        {
+            self.switches[sw].pause_sent[port] = false;
+            self.counters.pfc_resumes += 1;
+            let in_link = self.switches[sw].in_link[port];
+            self.send_rev_ctrl(now, q, in_link, RevPayload::PfcResume);
+        }
     }
 
     /// `Event::InputArb` — grant crossbar transfers at `sw`.
@@ -213,6 +256,7 @@ impl Network {
                     self.drain_input_markers(now, q, sw, i, 0);
                 }
             }
+            self.pfc_check_resume(now, q, sw, i);
             if let Some(up) = bind {
                 pkt.route.bind_next_turn(up);
             }
@@ -412,21 +456,25 @@ impl Network {
             }
         }
 
-        // Credit for the freed input-port bytes flows upstream.
-        let in_link = self.switches[sw].in_link[input];
-        let queue = match self.cfg.scheme {
-            SchemeKind::Recn(_) => POOLED_QUEUE,
-            _ => t.from_queue as u16,
-        };
-        self.send_rev_ctrl(
-            now,
-            q,
-            in_link,
-            RevPayload::Credit {
-                queue,
-                bytes: size as u32,
-            },
-        );
+        // Credit for the freed input-port bytes flows upstream — except
+        // under PFC, which has no credits (pause/resume is the only
+        // backpressure; the sender-side views are all Infinite).
+        if !self.cfg.transport.is_pfc() {
+            let in_link = self.switches[sw].in_link[input];
+            let queue = match self.cfg.scheme {
+                SchemeKind::Recn(_) => POOLED_QUEUE,
+                _ => t.from_queue as u16,
+            };
+            self.send_rev_ctrl(
+                now,
+                q,
+                in_link,
+                RevPayload::Credit {
+                    queue,
+                    bytes: size as u32,
+                },
+            );
+        }
 
         self.kick_output_arb(now, now, q, sw, output);
         self.kick_input_arb(now, q, sw);
@@ -448,6 +496,11 @@ impl Network {
             // The busy retry happens before any emptiness check — eager
             // semantics re-arm an idle-but-busy port the same way.
             self.kick_output_arb(now, busy, q, sw, port);
+            return;
+        }
+        // PFC: a paused link transmits nothing; the resume message kicks
+        // this arbiter again. (Never true outside the PFC transport.)
+        if self.links[link].paused {
             return;
         }
         // Work-elision fast paths (both event models): with nothing queued,

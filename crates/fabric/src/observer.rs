@@ -130,7 +130,22 @@ pub trait NetObserver {
     /// only place the model may ever discard traffic: packets already
     /// inside the network are never dropped — that is the lossless
     /// invariant [`crate::validate::ValidatingObserver`] enforces.
+    /// (Exception: under the PFC transport, switch input ports drop on
+    /// overflow by design; those drops are counted separately and the
+    /// validator is not used with PFC runs.)
     fn on_drop_attempt(&mut self, _now: Picos, _host: usize, _dst: HostId, _bytes: u32) {}
+
+    /// A closed-loop flow at `host` re-sent packet `seq` toward `dst`
+    /// (go-back-N rewind after a timeout or NACK).
+    fn on_retransmit(&mut self, _now: Picos, _host: usize, _dst: HostId, _seq: u64) {}
+
+    /// PFC pause state of `link` changed: the upstream transmitter paused
+    /// (`true`) or resumed (`false`).
+    fn on_pause_change(&mut self, _now: Picos, _link: usize, _paused: bool) {}
+
+    /// A closed-loop flow `src → dst` completed: every byte was delivered,
+    /// `fct` after the flow opened.
+    fn on_flow_complete(&mut self, _now: Picos, _src: HostId, _dst: HostId, _fct: Picos) {}
 }
 
 /// An observer that records nothing.
@@ -289,6 +304,24 @@ impl NetObserver for FanoutObserver {
             o.on_drop_attempt(now, host, dst, bytes);
         }
     }
+
+    fn on_retransmit(&mut self, now: Picos, host: usize, dst: HostId, seq: u64) {
+        for o in &mut self.observers {
+            o.on_retransmit(now, host, dst, seq);
+        }
+    }
+
+    fn on_pause_change(&mut self, now: Picos, link: usize, paused: bool) {
+        for o in &mut self.observers {
+            o.on_pause_change(now, link, paused);
+        }
+    }
+
+    fn on_flow_complete(&mut self, now: Picos, src: HostId, dst: HostId, fct: Picos) {
+        for o in &mut self.observers {
+            o.on_flow_complete(now, src, dst, fct);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +338,56 @@ mod tests {
         o.on_root_change(Picos::ZERO, 0, 0, true);
         o.on_credit_change(Picos::ZERO, 0, 0, -64, 100, Some(128));
         o.on_drop_attempt(Picos::ZERO, 0, HostId::new(1), 64);
+        o.on_retransmit(Picos::ZERO, 0, HostId::new(1), 7);
+        o.on_pause_change(Picos::ZERO, 3, true);
+        o.on_flow_complete(
+            Picos::ZERO,
+            HostId::new(0),
+            HostId::new(1),
+            Picos::from_us(2),
+        );
+    }
+
+    /// The transport hooks fan out like the original ones.
+    struct FlowTagged(u32, Rc<RefCell<Vec<(u32, &'static str)>>>);
+
+    impl NetObserver for FlowTagged {
+        fn on_retransmit(&mut self, _now: Picos, _host: usize, _dst: HostId, _seq: u64) {
+            self.1.borrow_mut().push((self.0, "rtx"));
+        }
+        fn on_pause_change(&mut self, _now: Picos, _link: usize, _paused: bool) {
+            self.1.borrow_mut().push((self.0, "pause"));
+        }
+        fn on_flow_complete(&mut self, _now: Picos, _src: HostId, _dst: HostId, _fct: Picos) {
+            self.1.borrow_mut().push((self.0, "fct"));
+        }
+    }
+
+    #[test]
+    fn fanout_dispatches_transport_hooks() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut fan = FanoutObserver::new()
+            .push(Box::new(FlowTagged(1, log.clone())))
+            .push(Box::new(FlowTagged(2, log.clone())));
+        fan.on_retransmit(Picos::ZERO, 0, HostId::new(1), 3);
+        fan.on_pause_change(Picos::ZERO, 5, false);
+        fan.on_flow_complete(
+            Picos::ZERO,
+            HostId::new(0),
+            HostId::new(1),
+            Picos::from_ns(9),
+        );
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (1, "rtx"),
+                (2, "rtx"),
+                (1, "pause"),
+                (2, "pause"),
+                (1, "fct"),
+                (2, "fct")
+            ]
+        );
     }
 
     /// Records the dispatch order so fan-out ordering is checkable.

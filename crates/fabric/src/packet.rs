@@ -118,6 +118,12 @@ pub enum RevPayload {
         /// Tree path at the receiver.
         path: PathSpec,
     },
+    /// PFC: downstream input port crossed its high-water mark; the
+    /// upstream transmitter must pause this link.
+    PfcPause,
+    /// PFC: occupancy fell to the low-water mark; the upstream
+    /// transmitter may resume.
+    PfcResume,
 }
 
 impl RevPayload {
@@ -127,6 +133,7 @@ impl RevPayload {
             RevPayload::Credit { .. } => 8,
             RevPayload::RecnNotification { path } => 8 + path.len() as u64,
             RevPayload::RecnXoff { .. } | RevPayload::RecnXon { .. } => 8,
+            RevPayload::PfcPause | RevPayload::PfcResume => 8,
         }
     }
 }
@@ -177,5 +184,7 @@ mod tests {
         );
         assert_eq!(RevPayload::RecnNotification { path }.wire_bytes(), 10);
         assert_eq!(RevPayload::RecnXoff { path }.wire_bytes(), 8);
+        assert_eq!(RevPayload::PfcPause.wire_bytes(), 8);
+        assert_eq!(RevPayload::PfcResume.wire_bytes(), 8);
     }
 }

@@ -1,0 +1,499 @@
+//! End-host transport layer: closed-loop flows over the fabric.
+//!
+//! Every workload used to be open-loop injection — sources emit messages
+//! on a schedule and the only backpressure is the NIC admittance cap.
+//! This module adds the closed-loop alternative: a *flow* is a fixed
+//! number of bytes from one host to another, sent under a per-flow
+//! window and acknowledged by the receiver, so the injection rate is a
+//! *response* to fabric behaviour instead of an input. That unlocks
+//! flow-completion time (FCT) as a metric and retransmission-based
+//! baselines to compare against the lossless schemes:
+//!
+//! * [`TransportKind::OpenLoop`] — the default. No windows, no acks, no
+//!   timers; flows (when present) are pushed as fast as the admittance
+//!   cap allows. With no flows installed this is **bit-exactly** today's
+//!   behaviour: the transport layer generates zero events and touches no
+//!   state, so every golden trace digest and spec hash is unchanged.
+//! * [`TransportKind::GoBackN`] — per-flow send window, cumulative acks,
+//!   and go-back-N retransmission on timeout. The receiver discards
+//!   out-of-order packets; a timeout rewinds the sender to the lowest
+//!   unacknowledged sequence.
+//! * [`TransportKind::Nack`] — go-back-N plus receiver NACKs: the first
+//!   out-of-order arrival at a given receive point asks the sender to
+//!   rewind immediately instead of waiting out the timeout (the timeout
+//!   remains as a backstop).
+//! * [`TransportKind::Pfc`] — the lossy/paused baseline: link-level
+//!   PAUSE/RESUME replaces credit flow control (switch input ports drop
+//!   on overflow, pause their upstream link at a high-water mark and
+//!   resume at a low-water mark), with go-back-N recovery at the hosts.
+//!   This composes with all five queueing schemes, so RECN can be
+//!   compared against the datacenter-standard PFC fabric on equal
+//!   workloads.
+//!
+//! ## Determinism contract
+//!
+//! Acks are modeled out-of-band with a fixed configurable delay
+//! ([`TransportConfig::ack_delay`]) rather than as reverse-path packets —
+//! the MIN is unidirectional for data, and an out-of-band ack keeps the
+//! reverse channel semantics (credits, RECN control) untouched. All
+//! transport events are scheduled strictly in the future (`ack_delay`
+//! and `timeout` are validated positive), so the lazy event model's
+//! batch-close rule is never triggered by transport and runs remain
+//! bit-identical at any `--jobs` and under either event model.
+//! Retransmission timers are generation-checked ([`simcore::TimerGen`]):
+//! rearming bumps the generation and stale timeout events are ignored,
+//! so no timer bookkeeping depends on event-queue removal.
+
+use simcore::{Canon, CanonError, CanonReader, CanonWriter, Picos};
+
+/// Parameters of the closed-loop sender/receiver machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Per-flow send window, in packets: at most this many packets may be
+    /// unacknowledged at once.
+    pub window_pkts: u32,
+    /// Retransmission timeout: after this long without the window's base
+    /// advancing, the sender rewinds to the lowest unacknowledged packet.
+    pub timeout: Picos,
+    /// Fixed latency of the out-of-band ack path (receiver → sender).
+    pub ack_delay: Picos,
+}
+
+impl Default for TransportConfig {
+    fn default() -> TransportConfig {
+        TransportConfig {
+            window_pkts: 32,
+            timeout: Picos::from_us(50),
+            ack_delay: Picos::from_ns(500),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window or non-positive timers (a same-time
+    /// transport event would break the lazy event model's ordering
+    /// contract).
+    pub fn validate(&self) {
+        assert!(self.window_pkts > 0, "transport window must be positive");
+        assert!(
+            self.timeout > Picos::ZERO && self.ack_delay > Picos::ZERO,
+            "transport timers must be strictly positive"
+        );
+    }
+}
+
+impl Canon for TransportConfig {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u32(self.window_pkts);
+        self.timeout.encode_canon(w);
+        self.ack_delay.encode_canon(w);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let c = TransportConfig {
+            window_pkts: r.u32()?,
+            timeout: Picos::decode_canon(r)?,
+            ack_delay: Picos::decode_canon(r)?,
+        };
+        if c.window_pkts == 0 {
+            return Err(CanonError::new("transport window must be positive"));
+        }
+        if c.timeout == Picos::ZERO || c.ack_delay == Picos::ZERO {
+            return Err(CanonError::new(
+                "transport timers must be strictly positive",
+            ));
+        }
+        Ok(c)
+    }
+}
+
+/// PFC link-level flow-control thresholds (bytes accounted at a switch
+/// input port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfcConfig {
+    /// Occupancy at or above which the port pauses its upstream link.
+    pub pause_threshold: u64,
+    /// Occupancy at or below which a paused upstream link resumes.
+    pub resume_threshold: u64,
+}
+
+impl Default for PfcConfig {
+    fn default() -> PfcConfig {
+        PfcConfig {
+            pause_threshold: 96 * 1024,
+            resume_threshold: 64 * 1024,
+        }
+    }
+}
+
+impl PfcConfig {
+    /// Validates threshold ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pause_threshold > resume_threshold > 0`.
+    pub fn validate(&self) {
+        assert!(
+            self.pause_threshold > self.resume_threshold && self.resume_threshold > 0,
+            "PFC thresholds must satisfy pause > resume > 0"
+        );
+    }
+}
+
+impl Canon for PfcConfig {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u64(self.pause_threshold);
+        w.u64(self.resume_threshold);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let p = PfcConfig {
+            pause_threshold: r.u64()?,
+            resume_threshold: r.u64()?,
+        };
+        if p.resume_threshold == 0 || p.pause_threshold <= p.resume_threshold {
+            return Err(CanonError::new(
+                "PFC thresholds must satisfy pause > resume > 0",
+            ));
+        }
+        Ok(p)
+    }
+}
+
+/// The end-host transport installed at every NIC (plus, for
+/// [`Pfc`](TransportKind::Pfc), the switch-level pause variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Open-loop passthrough — today's behaviour, bit-exactly.
+    #[default]
+    OpenLoop,
+    /// Windowed sender with go-back-N retransmission on timeout.
+    GoBackN(TransportConfig),
+    /// Go-back-N plus receiver NACKs on out-of-order arrival.
+    Nack(TransportConfig),
+    /// PFC pause/drop switch mode with go-back-N host recovery.
+    Pfc(TransportConfig, PfcConfig),
+}
+
+impl TransportKind {
+    /// The CLI / JSON name (`"open"`, `"gbn"`, `"nack"`, `"pfc"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::OpenLoop => "open",
+            TransportKind::GoBackN(_) => "gbn",
+            TransportKind::Nack(_) => "nack",
+            TransportKind::Pfc(..) => "pfc",
+        }
+    }
+
+    /// Parses a transport from its [`name`](Self::name)
+    /// (case-insensitive), with default configs. Round-trips with
+    /// `name()` for every kind.
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "open" => Some(TransportKind::OpenLoop),
+            "gbn" => Some(TransportKind::GoBackN(TransportConfig::default())),
+            "nack" => Some(TransportKind::Nack(TransportConfig::default())),
+            "pfc" => Some(TransportKind::Pfc(
+                TransportConfig::default(),
+                PfcConfig::default(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the open-loop passthrough.
+    pub fn is_open_loop(&self) -> bool {
+        matches!(self, TransportKind::OpenLoop)
+    }
+
+    /// The PFC thresholds, when the kind is PFC.
+    pub fn pfc(&self) -> Option<PfcConfig> {
+        match self {
+            TransportKind::Pfc(_, p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Whether the fabric runs in PFC pause/drop mode.
+    pub fn is_pfc(&self) -> bool {
+        matches!(self, TransportKind::Pfc(..))
+    }
+
+    /// The closed-loop sender/receiver config, when there is one.
+    pub fn config(&self) -> Option<&TransportConfig> {
+        match self {
+            TransportKind::OpenLoop => None,
+            TransportKind::GoBackN(c) | TransportKind::Nack(c) | TransportKind::Pfc(c, _) => {
+                Some(c)
+            }
+        }
+    }
+
+    /// Builds the policy object the network dispatches through.
+    pub fn build(&self) -> Box<dyn Transport> {
+        match self {
+            TransportKind::OpenLoop => Box::new(OpenLoopTransport),
+            TransportKind::GoBackN(c) => Box::new(GoBackNTransport(*c)),
+            TransportKind::Nack(c) => Box::new(NackTransport(*c)),
+            // PFC uses go-back-N recovery at the hosts; the pause/drop
+            // machinery lives in the switches (keyed off `is_pfc`).
+            TransportKind::Pfc(c, _) => Box::new(GoBackNTransport(*c)),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid windows, timers, or PFC thresholds.
+    pub fn validate(&self) {
+        if let Some(c) = self.config() {
+            c.validate();
+        }
+        if let Some(p) = self.pfc() {
+            p.validate();
+        }
+    }
+}
+
+impl Canon for TransportKind {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        match self {
+            TransportKind::OpenLoop => w.u8(0),
+            TransportKind::GoBackN(c) => {
+                w.u8(1);
+                c.encode_canon(w);
+            }
+            TransportKind::Nack(c) => {
+                w.u8(2);
+                c.encode_canon(w);
+            }
+            TransportKind::Pfc(c, p) => {
+                w.u8(3);
+                c.encode_canon(w);
+                p.encode_canon(w);
+            }
+        }
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(TransportKind::OpenLoop),
+            1 => Ok(TransportKind::GoBackN(TransportConfig::decode_canon(r)?)),
+            2 => Ok(TransportKind::Nack(TransportConfig::decode_canon(r)?)),
+            3 => Ok(TransportKind::Pfc(
+                TransportConfig::decode_canon(r)?,
+                PfcConfig::decode_canon(r)?,
+            )),
+            t => Err(CanonError::new(format!("unknown transport tag {t}"))),
+        }
+    }
+}
+
+/// Sender/receiver policy the network queries at each transport decision
+/// point. Implementations are stateless knob bundles; the per-flow state
+/// itself lives at the NICs (sender) and the network (receiver), so one
+/// policy object serves every flow.
+pub trait Transport {
+    /// Policy name (matches [`TransportKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Per-flow window in packets, or `None` for open loop (no window,
+    /// no acks, no timers).
+    fn window_pkts(&self) -> Option<u32>;
+
+    /// Retransmission timeout, or `None` when the sender never rewinds.
+    fn timeout(&self) -> Option<Picos>;
+
+    /// Latency of the out-of-band ack path.
+    fn ack_delay(&self) -> Picos;
+
+    /// Whether the receiver NACKs the first out-of-order arrival at each
+    /// stalled receive point.
+    fn nack_on_gap(&self) -> bool;
+}
+
+/// Open-loop passthrough: flows push as fast as admittance allows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenLoopTransport;
+
+impl Transport for OpenLoopTransport {
+    fn name(&self) -> &'static str {
+        "open"
+    }
+    fn window_pkts(&self) -> Option<u32> {
+        None
+    }
+    fn timeout(&self) -> Option<Picos> {
+        None
+    }
+    fn ack_delay(&self) -> Picos {
+        Picos::ZERO
+    }
+    fn nack_on_gap(&self) -> bool {
+        false
+    }
+}
+
+/// Go-back-N: windowed, cumulative acks, timeout rewinds to the base.
+#[derive(Debug, Clone, Copy)]
+pub struct GoBackNTransport(pub TransportConfig);
+
+impl Transport for GoBackNTransport {
+    fn name(&self) -> &'static str {
+        "gbn"
+    }
+    fn window_pkts(&self) -> Option<u32> {
+        Some(self.0.window_pkts)
+    }
+    fn timeout(&self) -> Option<Picos> {
+        Some(self.0.timeout)
+    }
+    fn ack_delay(&self) -> Picos {
+        self.0.ack_delay
+    }
+    fn nack_on_gap(&self) -> bool {
+        false
+    }
+}
+
+/// Go-back-N plus receiver NACKs (fast rewind without waiting out the
+/// timeout).
+#[derive(Debug, Clone, Copy)]
+pub struct NackTransport(pub TransportConfig);
+
+impl Transport for NackTransport {
+    fn name(&self) -> &'static str {
+        "nack"
+    }
+    fn window_pkts(&self) -> Option<u32> {
+        Some(self.0.window_pkts)
+    }
+    fn timeout(&self) -> Option<Picos> {
+        Some(self.0.timeout)
+    }
+    fn ack_delay(&self) -> Picos {
+        self.0.ack_delay
+    }
+    fn nack_on_gap(&self) -> bool {
+        true
+    }
+}
+
+/// One closed-loop flow: `bytes` from `src` to `dst`, starting at
+/// `start`. The traffic crate's generators produce these; the network
+/// installs them via `Network::install_flows`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDesc {
+    /// Sending host.
+    pub src: u32,
+    /// Receiving host.
+    pub dst: u32,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// When the flow opens.
+    pub start: Picos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon_bytes(kind: &TransportKind) -> Vec<u8> {
+        let mut w = CanonWriter::new();
+        kind.encode_canon(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [
+            TransportKind::OpenLoop,
+            TransportKind::GoBackN(TransportConfig::default()),
+            TransportKind::Nack(TransportConfig::default()),
+            TransportKind::Pfc(TransportConfig::default(), PfcConfig::default()),
+        ] {
+            assert_eq!(TransportKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            TransportKind::parse("GBN"),
+            TransportKind::parse("gbn"),
+            "case-insensitive"
+        );
+        assert_eq!(TransportKind::parse("tcp"), None);
+        assert!(TransportKind::default().is_open_loop());
+    }
+
+    #[test]
+    fn policy_knobs_match_kind() {
+        let open = TransportKind::OpenLoop.build();
+        assert_eq!(open.window_pkts(), None);
+        assert_eq!(open.timeout(), None);
+        assert!(!open.nack_on_gap());
+
+        let gbn = TransportKind::parse("gbn").unwrap().build();
+        assert_eq!(gbn.window_pkts(), Some(32));
+        assert!(gbn.timeout().is_some());
+        assert!(!gbn.nack_on_gap());
+
+        let nack = TransportKind::parse("nack").unwrap().build();
+        assert!(nack.nack_on_gap());
+
+        // PFC recovers with go-back-N at the hosts.
+        let pfc = TransportKind::parse("pfc").unwrap().build();
+        assert_eq!(pfc.name(), "gbn");
+        assert!(TransportKind::parse("pfc").unwrap().is_pfc());
+        assert!(TransportKind::parse("pfc").unwrap().pfc().is_some());
+    }
+
+    #[test]
+    fn canon_round_trips_and_kinds_differ() {
+        let kinds = [
+            TransportKind::OpenLoop,
+            TransportKind::GoBackN(TransportConfig::default()),
+            TransportKind::Nack(TransportConfig::default()),
+            TransportKind::Pfc(TransportConfig::default(), PfcConfig::default()),
+            TransportKind::GoBackN(TransportConfig {
+                window_pkts: 8,
+                ..TransportConfig::default()
+            }),
+        ];
+        let encodings: Vec<Vec<u8>> = kinds.iter().map(canon_bytes).collect();
+        for (i, bytes) in encodings.iter().enumerate() {
+            let mut r = CanonReader::new(bytes);
+            let back = TransportKind::decode_canon(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, kinds[i]);
+            for (j, other) in encodings.iter().enumerate() {
+                if i != j {
+                    assert_ne!(bytes, other, "kinds {i} and {j} must encode differently");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_timeout_rejected() {
+        TransportConfig {
+            timeout: Picos::ZERO,
+            ..TransportConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pause > resume")]
+    fn inverted_pfc_thresholds_rejected() {
+        PfcConfig {
+            pause_threshold: 1024,
+            resume_threshold: 4096,
+        }
+        .validate();
+    }
+}

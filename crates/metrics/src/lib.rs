@@ -36,6 +36,41 @@ use simcore::{
 };
 use topology::HostId;
 
+/// Per-flow completion-time summary for closed-loop transport workloads.
+///
+/// Quantiles use the nearest-rank definition on the sorted completion
+/// times, so every reported value is an actual observed FCT and the
+/// summary is bit-deterministic for a deterministic run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FctSummary {
+    /// Flows that completed.
+    pub flows: u64,
+    /// Median completion time, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile completion time, ns.
+    pub p99_ns: f64,
+    /// Slowest completion time, ns.
+    pub max_ns: f64,
+}
+
+impl FctSummary {
+    /// Summarizes a set of completion times; `None` when no flow finished.
+    pub fn from_fcts(fcts: &[Picos]) -> Option<FctSummary> {
+        if fcts.is_empty() {
+            return None;
+        }
+        let mut ns: Vec<f64> = fcts.iter().map(|p| p.as_ns_f64()).collect();
+        ns.sort_by(f64::total_cmp);
+        let rank = |q: f64| ns[((q * ns.len() as f64).ceil() as usize).clamp(1, ns.len()) - 1];
+        Some(FctSummary {
+            flows: ns.len() as u64,
+            p50_ns: rank(0.50),
+            p99_ns: rank(0.99),
+            max_ns: *ns.last().expect("nonempty"),
+        })
+    }
+}
+
 /// Fold-exact scalar summaries of every probe series, produced in
 /// streaming metrics mode ([`Probe::streaming`]). Each field is exactly
 /// the [`StreamStats`] that folding the corresponding full-mode series
@@ -53,6 +88,11 @@ pub struct StreamSummary {
     pub saq_max_egress: StreamStats,
     /// Per-bin maximum of the network-wide SAQ total.
     pub saq_total: StreamStats,
+    /// Flow-completion-time summary (`None` when the run completed no
+    /// closed-loop flows). Unlike the series fields this is per-flow, not
+    /// per-bin: streaming mode stores one `Picos` per completed flow,
+    /// bounded by the workload's flow count rather than the horizon.
+    pub fct: Option<FctSummary>,
 }
 
 /// Series storage behind a probe: full per-bin vectors (renderable into
@@ -85,6 +125,7 @@ pub struct ProbeState {
     root_events: Vec<(Picos, usize, usize, bool)>,
     source_drops: u64,
     source_dropped_bytes: u64,
+    fcts: Vec<Picos>,
 }
 
 /// Read side of a probe; alive after the network consumed the observer.
@@ -133,6 +174,7 @@ impl Probe {
             root_events: Vec::new(),
             source_drops: 0,
             source_dropped_bytes: 0,
+            fcts: Vec::new(),
         }));
         (Probe(state.clone()), ProbeHandle(state))
     }
@@ -193,6 +235,10 @@ impl NetObserver for Probe {
         let mut s = self.0.borrow_mut();
         s.source_drops += 1;
         s.source_dropped_bytes += bytes as u64;
+    }
+
+    fn on_flow_complete(&mut self, _now: Picos, _src: HostId, _dst: HostId, fct: Picos) {
+        self.0.borrow_mut().fcts.push(fct);
     }
 }
 
@@ -270,6 +316,7 @@ impl ProbeHandle {
                 saq_max_ingress: saq_max_ingress.clone().finish(),
                 saq_max_egress: saq_max_egress.clone().finish(),
                 saq_total: saq_total.clone().finish(),
+                fct: FctSummary::from_fcts(&self.0.borrow().fcts),
             }),
         }
     }
@@ -297,8 +344,20 @@ impl ProbeHandle {
                 2 * std::mem::size_of::<StreamBinned>() + 3 * std::mem::size_of::<StreamGauge>()
             }
         };
-        (series + s.root_events.capacity() * std::mem::size_of::<(Picos, usize, usize, bool)>())
-            as u64
+        (series
+            + s.root_events.capacity() * std::mem::size_of::<(Picos, usize, usize, bool)>()
+            + s.fcts.capacity() * std::mem::size_of::<Picos>()) as u64
+    }
+
+    /// Flow-completion-time summary across all completed flows (`None`
+    /// when the run had none). Available in both metrics modes.
+    pub fn fct_summary(&self) -> Option<FctSummary> {
+        FctSummary::from_fcts(&self.0.borrow().fcts)
+    }
+
+    /// Number of flow completions recorded.
+    pub fn flows_completed(&self) -> u64 {
+        self.0.borrow().fcts.len() as u64
     }
 
     /// Highest values observed over the whole run:
@@ -423,6 +482,52 @@ mod tests {
         assert!(stream_h.saq_total(horizon).is_empty());
         assert_eq!(stream_h.stream_summary(), Some(s));
         assert!(stream_h.backing_bytes() < full_h.backing_bytes() + 1024);
+    }
+
+    #[test]
+    fn fct_summary_uses_nearest_rank() {
+        assert_eq!(FctSummary::from_fcts(&[]), None);
+        let fcts: Vec<Picos> = (1..=100).map(Picos::from_ns).collect();
+        let s = FctSummary::from_fcts(&fcts).unwrap();
+        assert_eq!(s.flows, 100);
+        assert_eq!(s.p50_ns, 50.0);
+        assert_eq!(s.p99_ns, 99.0);
+        assert_eq!(s.max_ns, 100.0);
+        // A single flow: every quantile is that flow.
+        let s = FctSummary::from_fcts(&[Picos::from_us(3)]).unwrap();
+        assert_eq!(
+            (s.flows, s.p50_ns, s.p99_ns, s.max_ns),
+            (1, 3000.0, 3000.0, 3000.0)
+        );
+    }
+
+    #[test]
+    fn probe_collects_fcts_in_both_modes() {
+        let (mut full, full_h) = Probe::new(Picos::from_us(1));
+        let (mut stream, stream_h) = Probe::streaming(Picos::from_us(1), Picos::from_us(4));
+        for probe in [&mut full, &mut stream] {
+            probe.on_flow_complete(
+                Picos::from_us(2),
+                HostId::new(0),
+                HostId::new(1),
+                Picos::from_us(2),
+            );
+            probe.on_flow_complete(
+                Picos::from_us(3),
+                HostId::new(2),
+                HostId::new(1),
+                Picos::from_us(3),
+            );
+        }
+        let expect = FctSummary::from_fcts(&[Picos::from_us(2), Picos::from_us(3)]);
+        assert_eq!(full_h.fct_summary(), expect);
+        assert_eq!(full_h.flows_completed(), 2);
+        assert_eq!(stream_h.fct_summary(), expect);
+        // Streaming summaries carry the same FCT block.
+        assert_eq!(stream_h.stream_summary().unwrap().fct, expect);
+        // A flowless run reports no FCT at all.
+        let (_, empty_h) = Probe::new(Picos::from_us(1));
+        assert_eq!(empty_h.fct_summary(), None);
     }
 
     #[test]

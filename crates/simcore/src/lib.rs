@@ -53,6 +53,7 @@ mod rng;
 mod series;
 mod stats;
 mod time;
+mod timer;
 
 pub use canon::{fnv1a64, Canon, CanonError, CanonReader, CanonWriter};
 pub use engine::{Engine, EventModel, MetricsMode, SimModel};
@@ -61,3 +62,4 @@ pub use rng::{SplitMix64, Xoshiro256};
 pub use series::{BinnedSeries, GaugeSeries, SeriesPoint, StreamBinned, StreamGauge, StreamStats};
 pub use stats::{Histogram, Running};
 pub use time::Picos;
+pub use timer::TimerGen;

@@ -1,0 +1,120 @@
+//! Generation-checked one-shot timers.
+//!
+//! The event queue has no removal: once scheduled, an event always fires.
+//! A model that wants a *cancellable* timeout therefore stamps each
+//! scheduled timeout event with a generation number and keeps a
+//! [`TimerGen`] alongside the timed state. Cancelling (or rearming) bumps
+//! the generation, so a stale event that later pops out of the queue is
+//! recognized and ignored — no queue surgery, no heap invalidation, and
+//! the discipline is deterministic under any scheduler backend.
+//!
+//! ```
+//! use simcore::TimerGen;
+//!
+//! let mut t = TimerGen::new();
+//! let g1 = t.arm();              // schedule Timeout { gen: g1 }
+//! t.cancel();                    // ack arrived — g1 is now stale
+//! let g2 = t.arm();              // schedule Timeout { gen: g2 }
+//! assert!(!t.fires(g1), "stale timeout ignored");
+//! assert!(t.fires(g2), "live timeout fires once");
+//! assert!(!t.fires(g2), "and only once");
+//! ```
+
+/// One-shot timer state: an armed flag plus a generation counter that
+/// invalidates stale timeout events. See the module docs for the protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerGen {
+    gen: u32,
+    armed: bool,
+}
+
+impl TimerGen {
+    /// A fresh, unarmed timer.
+    pub fn new() -> TimerGen {
+        TimerGen::default()
+    }
+
+    /// Whether a live timeout event is outstanding.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Arms the timer and returns the generation to stamp into the
+    /// scheduled timeout event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timer is already armed — cancel first; two live
+    /// events for one timer is a protocol bug.
+    pub fn arm(&mut self) -> u32 {
+        assert!(!self.armed, "timer already armed");
+        self.armed = true;
+        self.gen
+    }
+
+    /// Disarms the timer. The generation advances, so any event stamped
+    /// with the old generation is now stale. Idempotent.
+    pub fn cancel(&mut self) {
+        if self.armed {
+            self.armed = false;
+            self.gen = self.gen.wrapping_add(1);
+        }
+    }
+
+    /// Called when a timeout event stamped `gen` pops out of the queue:
+    /// returns `true` iff this is the live timeout (armed, matching
+    /// generation), disarming the timer in that case. Stale events return
+    /// `false` and must be ignored by the caller.
+    pub fn fires(&mut self, gen: u32) -> bool {
+        if self.armed && self.gen == gen {
+            self.armed = false;
+            self.gen = self.gen.wrapping_add(1);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_fire_cycle() {
+        let mut t = TimerGen::new();
+        assert!(!t.is_armed());
+        let g = t.arm();
+        assert!(t.is_armed());
+        assert!(t.fires(g));
+        assert!(!t.is_armed());
+        assert!(!t.fires(g), "a timeout fires at most once");
+    }
+
+    #[test]
+    fn cancel_invalidates_outstanding_event() {
+        let mut t = TimerGen::new();
+        let g = t.arm();
+        t.cancel();
+        assert!(!t.fires(g));
+        t.cancel(); // idempotent on an unarmed timer
+        let g2 = t.arm();
+        assert_ne!(g, g2, "rearming after cancel yields a fresh generation");
+        assert!(t.fires(g2));
+    }
+
+    #[test]
+    fn unarmed_timer_ignores_everything() {
+        let mut t = TimerGen::new();
+        assert!(!t.fires(0));
+        assert!(!t.fires(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "already armed")]
+    fn double_arm_panics() {
+        let mut t = TimerGen::new();
+        let _ = t.arm();
+        let _ = t.arm();
+    }
+}

@@ -426,6 +426,41 @@ mod tests {
         assert!(gang.contains(&22));
     }
 
+    // Property test over the full victim range and both layouts: the gang
+    // always has exactly `hotspot_sources()` members, every member is a
+    // valid host, and the destination never attacks itself.
+    #[test]
+    fn gang_assignment_always_valid() {
+        let shapes = [
+            (64u32, 48u32, GangLayout::TailRange),
+            (64, 48, GangLayout::Strided { stride: 4 }),
+            (256, 192, GangLayout::Strided { stride: 4 }),
+            (512, 448, GangLayout::Strided { stride: 8 }),
+        ];
+        for (hosts, random_sources, gang) in shapes {
+            for dst in 0..hosts {
+                let c = CornerCase {
+                    hosts,
+                    random_sources,
+                    hotspot_dst: HostId::new(dst),
+                    gang,
+                    ..CornerCase::case2_64()
+                };
+                let members: Vec<u32> = (0..hosts).filter(|&h| c.is_hotspot_source(h)).collect();
+                assert_eq!(
+                    members.len(),
+                    c.hotspot_sources() as usize,
+                    "gang size constant for dst {dst} under {gang:?}"
+                );
+                assert!(members.iter().all(|&h| h < hosts), "members are hosts");
+                assert!(
+                    !members.contains(&dst),
+                    "dst {dst} never attacks itself under {gang:?}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn sources_match_spec() {
         let c = CornerCase::case1_64().shrunk(100); // hotspot at 8–9.7 µs

@@ -1,0 +1,434 @@
+//! Closed-loop flow workloads for the transport layer.
+//!
+//! Unlike the open-loop generators (which push messages at a configured
+//! rate regardless of fabric state), a [`FlowSet`] describes a finite set
+//! of byte transfers between host pairs. The fabric's transport layer
+//! paces them against its send window and reports per-flow completion
+//! times, so these are the workloads behind the FCT experiments:
+//!
+//! * [`FlowPattern::Incast`] — N sources send to one victim at once, the
+//!   canonical congestion-tree trigger in closed-loop form. The gang is
+//!   picked with the same [`GangLayout`] rules as the corner cases, so
+//!   the strided fat-tree geometry carries over.
+//! * [`FlowPattern::Shuffle`] — all-to-all: every host sends one flow to
+//!   every other host (a map-reduce shuffle stage).
+//! * [`FlowPattern::Permutation`] — a storm of disjoint pairs, host `h`
+//!   sending to `(h + shift) mod hosts`.
+//!
+//! Flow sets are pure data: [`FlowSet::build`] expands them into
+//! `fabric::FlowDesc` records deterministically (no randomness at all),
+//! and the [`Canon`] encoding makes them spec-hashable.
+
+use fabric::FlowDesc;
+use simcore::{Canon, CanonError, CanonReader, CanonWriter, Picos};
+
+use crate::corner::GangLayout;
+
+/// The shape of a [`FlowSet`]'s source/destination assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowPattern {
+    /// `fanin` sources all send to one `victim` host.
+    Incast {
+        /// Number of attacking sources.
+        fanin: u32,
+        /// The victim host; never a source itself.
+        victim: u32,
+        /// How the attackers are distributed over the host range. A
+        /// [`GangLayout::Strided`] stride must satisfy
+        /// `hosts / stride == fanin`.
+        layout: GangLayout,
+    },
+    /// Every host sends one flow to every other host.
+    Shuffle,
+    /// Host `h` sends to `(h + shift) mod hosts`.
+    Permutation {
+        /// Destination offset; `shift % hosts` must be nonzero.
+        shift: u32,
+    },
+}
+
+/// A finite, deterministic set of closed-loop flows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSet {
+    /// Total hosts in the network.
+    pub hosts: u32,
+    /// Source/destination assignment.
+    pub pattern: FlowPattern,
+    /// Bytes carried by each flow.
+    pub flow_bytes: u64,
+    /// Start time shared by all flows (a synchronized burst).
+    pub start: Picos,
+}
+
+impl FlowSet {
+    /// The FCT experiment's standard incast: 16 of 64 hosts send 16 KiB
+    /// each to host 32, tail-range gang, starting at t = 0.
+    pub fn incast64() -> FlowSet {
+        FlowSet {
+            hosts: 64,
+            pattern: FlowPattern::Incast {
+                fanin: 16,
+                victim: 32,
+                layout: GangLayout::TailRange,
+            },
+            flow_bytes: 16 * 1024,
+            start: Picos::ZERO,
+        }
+    }
+
+    /// Fat-tree incast: like [`FlowSet::incast64`] but strided so each of
+    /// the 16 leaf switches hosts exactly one attacker (victim host 21,
+    /// off the stride — the corner cases' fat-tree geometry).
+    pub fn incast64_strided() -> FlowSet {
+        FlowSet {
+            pattern: FlowPattern::Incast {
+                fanin: 16,
+                victim: 21,
+                layout: GangLayout::Strided { stride: 4 },
+            },
+            ..FlowSet::incast64()
+        }
+    }
+
+    /// All-to-all shuffle on 64 hosts, 4 KiB per flow.
+    pub fn shuffle64() -> FlowSet {
+        FlowSet {
+            hosts: 64,
+            pattern: FlowPattern::Shuffle,
+            flow_bytes: 4 * 1024,
+            start: Picos::ZERO,
+        }
+    }
+
+    /// Permutation storm on 64 hosts: host `h` sends 16 KiB to `h + 1`.
+    pub fn permutation64() -> FlowSet {
+        FlowSet {
+            hosts: 64,
+            pattern: FlowPattern::Permutation { shift: 1 },
+            flow_bytes: 16 * 1024,
+            start: Picos::ZERO,
+        }
+    }
+
+    /// Overrides the per-flow byte count.
+    pub fn with_flow_bytes(mut self, bytes: u64) -> FlowSet {
+        self.flow_bytes = bytes;
+        self
+    }
+
+    /// Number of flows the set expands to.
+    pub fn num_flows(&self) -> u32 {
+        match self.pattern {
+            FlowPattern::Incast { fanin, .. } => fanin,
+            FlowPattern::Shuffle => self.hosts * (self.hosts - 1),
+            FlowPattern::Permutation { .. } => self.hosts,
+        }
+    }
+
+    /// Checks the structural invariants shared by encode and decode.
+    /// Returns a message describing the first violation.
+    fn check(&self) -> Result<(), &'static str> {
+        if self.hosts < 2 {
+            return Err("flow set needs at least two hosts");
+        }
+        if self.flow_bytes == 0 {
+            return Err("flow bytes must be positive");
+        }
+        match self.pattern {
+            FlowPattern::Incast {
+                fanin,
+                victim,
+                layout,
+            } => {
+                if victim >= self.hosts {
+                    return Err("incast victim outside host range");
+                }
+                if fanin == 0 || fanin >= self.hosts {
+                    return Err("incast fanin must be in 1..hosts");
+                }
+                if let GangLayout::Strided { stride } = layout {
+                    if stride == 0
+                        || !self.hosts.is_multiple_of(stride)
+                        || self.hosts / stride != fanin
+                    {
+                        return Err("incast stride must satisfy hosts / stride == fanin");
+                    }
+                }
+            }
+            FlowPattern::Shuffle => {}
+            FlowPattern::Permutation { shift } => {
+                if shift % self.hosts == 0 {
+                    return Err("permutation shift must be nonzero mod hosts");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics if the set violates a structural invariant. Binaries call
+    /// this right after flag parsing; [`Canon`] decoding performs the same
+    /// checks and returns errors instead.
+    pub fn validate(&self) {
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Whether host `h` attacks in an incast (same substitution rules as
+    /// [`CornerCase::is_hotspot_source`](crate::corner::CornerCase::is_hotspot_source):
+    /// a victim on a nominal gang slot is skipped and its neighbour joins,
+    /// keeping the fan-in constant).
+    pub fn is_incast_source(&self, h: u32) -> bool {
+        let FlowPattern::Incast {
+            fanin,
+            victim,
+            layout,
+        } = self.pattern
+        else {
+            return false;
+        };
+        match layout {
+            GangLayout::TailRange => {
+                let gang_start = self.hosts - fanin;
+                if victim >= gang_start {
+                    if h == victim {
+                        return false;
+                    }
+                    if h == gang_start - 1 {
+                        return true;
+                    }
+                }
+                h >= gang_start
+            }
+            GangLayout::Strided { stride } => {
+                let on_slot = |x: u32| x % stride == stride - 1;
+                if on_slot(victim) {
+                    if h == victim {
+                        return false;
+                    }
+                    if h + 1 == victim {
+                        return true;
+                    }
+                }
+                on_slot(h)
+            }
+        }
+    }
+
+    /// Expands the set into per-flow descriptors, ordered by `(src, dst)`.
+    pub fn build(&self) -> Vec<FlowDesc> {
+        self.validate();
+        let flow = |src: u32, dst: u32| FlowDesc {
+            src,
+            dst,
+            bytes: self.flow_bytes,
+            start: self.start,
+        };
+        match self.pattern {
+            FlowPattern::Incast { victim, .. } => (0..self.hosts)
+                .filter(|&h| self.is_incast_source(h))
+                .map(|h| flow(h, victim))
+                .collect(),
+            FlowPattern::Shuffle => (0..self.hosts)
+                .flat_map(|s| {
+                    (0..self.hosts)
+                        .filter(move |&d| d != s)
+                        .map(move |d| (s, d))
+                })
+                .map(|(s, d)| flow(s, d))
+                .collect(),
+            FlowPattern::Permutation { shift } => (0..self.hosts)
+                .map(|h| flow(h, (h + shift) % self.hosts))
+                .collect(),
+        }
+    }
+}
+
+impl Canon for FlowPattern {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        match self {
+            FlowPattern::Incast {
+                fanin,
+                victim,
+                layout,
+            } => {
+                w.u8(0);
+                w.u32(*fanin);
+                w.u32(*victim);
+                layout.encode_canon(w);
+            }
+            FlowPattern::Shuffle => w.u8(1),
+            FlowPattern::Permutation { shift } => {
+                w.u8(2);
+                w.u32(*shift);
+            }
+        }
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        match r.u8()? {
+            0 => Ok(FlowPattern::Incast {
+                fanin: r.u32()?,
+                victim: r.u32()?,
+                layout: GangLayout::decode_canon(r)?,
+            }),
+            1 => Ok(FlowPattern::Shuffle),
+            2 => Ok(FlowPattern::Permutation { shift: r.u32()? }),
+            t => Err(CanonError::new(format!("unknown flow-pattern tag {t}"))),
+        }
+    }
+}
+
+impl Canon for FlowSet {
+    fn encode_canon(&self, w: &mut CanonWriter) {
+        w.u32(self.hosts);
+        self.pattern.encode_canon(w);
+        w.u64(self.flow_bytes);
+        self.start.encode_canon(w);
+    }
+
+    fn decode_canon(r: &mut CanonReader<'_>) -> Result<Self, CanonError> {
+        let f = FlowSet {
+            hosts: r.u32()?,
+            pattern: FlowPattern::decode_canon(r)?,
+            flow_bytes: r.u64()?,
+            start: Picos::decode_canon(r)?,
+        };
+        f.check().map_err(CanonError::new)?;
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_presets_expand_correctly() {
+        let f = FlowSet::incast64();
+        let flows = f.build();
+        assert_eq!(flows.len(), 16);
+        assert!(flows.iter().all(|d| d.dst == 32 && d.src >= 48));
+        assert!(flows.iter().all(|d| d.bytes == 16 * 1024));
+
+        let f = FlowSet::incast64_strided();
+        let flows = f.build();
+        assert_eq!(flows.len(), 16);
+        assert!(flows.iter().all(|d| d.dst == 21 && d.src % 4 == 3));
+        // One attacker under each 4-host leaf switch.
+        let leaves: std::collections::HashSet<u32> = flows.iter().map(|d| d.src / 4).collect();
+        assert_eq!(leaves.len(), 16);
+    }
+
+    #[test]
+    fn shuffle_is_all_to_all() {
+        let f = FlowSet {
+            hosts: 4,
+            ..FlowSet::shuffle64()
+        };
+        let flows = f.build();
+        assert_eq!(flows.len(), 12);
+        let pairs: std::collections::HashSet<(u32, u32)> =
+            flows.iter().map(|d| (d.src, d.dst)).collect();
+        assert_eq!(pairs.len(), 12, "pairs are unique");
+        assert!(flows.iter().all(|d| d.src != d.dst));
+    }
+
+    #[test]
+    fn permutation_shifts() {
+        let flows = FlowSet::permutation64().build();
+        assert_eq!(flows.len(), 64);
+        assert!(flows.iter().all(|d| d.dst == (d.src + 1) % 64));
+    }
+
+    #[test]
+    fn canon_round_trips() {
+        for f in [
+            FlowSet::incast64(),
+            FlowSet::incast64_strided(),
+            FlowSet::shuffle64(),
+            FlowSet::permutation64(),
+        ] {
+            let mut w = CanonWriter::new();
+            f.encode_canon(&mut w);
+            let bytes = w.finish();
+            let mut r = CanonReader::new(&bytes);
+            let back = FlowSet::decode_canon(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_geometry() {
+        let bad = [
+            FlowSet {
+                hosts: 64,
+                pattern: FlowPattern::Incast {
+                    fanin: 16,
+                    victim: 64, // outside host range
+                    layout: GangLayout::TailRange,
+                },
+                flow_bytes: 1024,
+                start: Picos::ZERO,
+            },
+            FlowSet {
+                hosts: 64,
+                pattern: FlowPattern::Incast {
+                    fanin: 16,
+                    victim: 0,
+                    layout: GangLayout::Strided { stride: 8 }, // 64/8 != 16
+                },
+                flow_bytes: 1024,
+                start: Picos::ZERO,
+            },
+            FlowSet {
+                hosts: 64,
+                pattern: FlowPattern::Permutation { shift: 64 }, // ≡ 0
+                flow_bytes: 1024,
+                start: Picos::ZERO,
+            },
+        ];
+        for f in bad {
+            let mut w = CanonWriter::new();
+            f.encode_canon(&mut w);
+            let bytes = w.finish();
+            let mut r = CanonReader::new(&bytes);
+            assert!(FlowSet::decode_canon(&mut r).is_err());
+        }
+    }
+
+    // Satellite property test: for every preset-shaped incast across both
+    // layouts and a spread of victims, each expanded flow must name valid
+    // hosts and the victim must never attack itself.
+    #[test]
+    fn incast_geometry_always_valid() {
+        for hosts in [16u32, 64, 256] {
+            let fanin = hosts / 4;
+            for victim in 0..hosts {
+                for layout in [GangLayout::TailRange, GangLayout::Strided { stride: 4 }] {
+                    let f = FlowSet {
+                        hosts,
+                        pattern: FlowPattern::Incast {
+                            fanin,
+                            victim,
+                            layout,
+                        },
+                        flow_bytes: 1024,
+                        start: Picos::ZERO,
+                    };
+                    let flows = f.build();
+                    assert_eq!(flows.len(), fanin as usize, "gang size is constant");
+                    let srcs: std::collections::HashSet<u32> =
+                        flows.iter().map(|d| d.src).collect();
+                    assert_eq!(srcs.len(), fanin as usize, "sources are distinct");
+                    for d in &flows {
+                        assert!(d.src < hosts, "source {} is a valid host", d.src);
+                        assert!(d.dst < hosts, "destination {} is a valid host", d.dst);
+                        assert_ne!(d.src, d.dst, "victim never attacks itself");
+                    }
+                }
+            }
+        }
+    }
+}

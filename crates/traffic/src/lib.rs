@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 
 pub mod corner;
+pub mod flows;
 pub mod san;
 pub mod trace;
 
 mod random;
 
+pub use flows::{FlowPattern, FlowSet};
 pub use random::{RandomUniformSource, Spacing};
 pub use trace::Trace;

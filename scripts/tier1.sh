@@ -68,6 +68,22 @@ cmp "$smoke/ft1.txt" "$smoke/ft4.txt"
 grep -q "zero invariant violations" "$smoke/ft1.txt"
 echo "fat-tree smoke passed: zero violations, digests parallel-stable"
 
+echo "== tier1: transport smoke test (incast64, every transport, --jobs 1 vs 4) =="
+# The closed-loop transport layer must keep the determinism contract: the
+# incast64 FCT table (five schemes, trace digests included) is
+# byte-identical at any parallelism under every transport — open loop,
+# go-back-N, NACK, and PFC pause/drop.
+for transport in open gbn nack pfc; do
+  (cd "$smoke" && "$OLDPWD/target/release/incast" --quick --transport "$transport" --jobs 1 > "t1_$transport.txt" 2> /dev/null)
+  (cd "$smoke" && "$OLDPWD/target/release/incast" --quick --transport "$transport" --jobs 4 > "t4_$transport.txt" 2> /dev/null)
+  cmp "$smoke/t1_$transport.txt" "$smoke/t4_$transport.txt"
+  grep -q "RECN" "$smoke/t1_$transport.txt"
+done
+# Closed-loop machinery actually engaged: the PFC baseline must have
+# retransmitted after drops somewhere in the table.
+awk '$2 == "pfc" && $7 > 0 { found = 1 } END { exit !found }' "$smoke/t1_pfc.txt"
+echo "transport smoke passed: all four transports parallel-stable, PFC recovered from loss"
+
 echo "== tier1: scale smoke test (ft_4096 RECN under the memory budget) =="
 # The same short-horizon 4096-host hotspot CI's scale-smoke job runs: the
 # 16-ary 3-tree must build, route, and absorb the one-attacker-per-leaf
