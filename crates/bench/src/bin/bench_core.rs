@@ -34,6 +34,7 @@ use bench::BENCH_TIME_DIV;
 use experiments::opts::{parse_flags, render_help, FlagDef};
 use experiments::runner::{run_one, RunOutput, SchemeSet, Workload};
 use experiments::sweep::{events_per_sec, RunSpec};
+use fabric::ArnTable;
 use simcore::{Picos, SchedulerKind};
 use topology::{FatTreeParams, HostId, MinParams, PortId, Topology};
 
@@ -50,11 +51,27 @@ enum KernelKind {
     SimLazy(Box<RunSpec>),
     /// Pure route computation + wiring walk on the 8-ary 3-tree (no
     /// simulator): all-pairs `route()`/`next_hop` with an FNV checksum so
-    /// the work cannot be optimized away. `events` = routed pairs. With
-    /// `adaptive` the walk uses `route_adaptive()` and binds every
-    /// rebindable up-turn from an LCG pick over the switch's up-ports —
-    /// the cost of the late-bound up-phase relative to the fixed one.
-    RouteFatTree { passes: u32, adaptive: bool },
+    /// the work cannot be optimized away. `events` = routed pairs. See
+    /// [`RouteMode`] for the three up-phase selector variants.
+    RouteFatTree { passes: u32, mode: RouteMode },
+}
+
+/// Which up-port selector the routing kernel exercises.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RouteMode {
+    /// Fixed `route()` digits, no rebinding.
+    Deterministic,
+    /// `route_adaptive()` with every rebindable up-turn bound from an LCG
+    /// pick over the switch's up-ports — the cost of the late-bound
+    /// up-phase relative to the fixed one.
+    Adaptive,
+    /// `route_adaptive()` with the bind preceded by an [`ArnTable`] scan
+    /// of every candidate up-port (pre-seeded with a deterministic mix of
+    /// live and expired notifications), mimicking `select_up_port`'s
+    /// lexicographic `(live notifications, tie-break)` read under
+    /// `RoutingPolicy::ArnUp` — the table-read overhead on top of
+    /// adaptive.
+    Arn,
 }
 
 /// One cell of the benchmark matrix.
@@ -104,12 +121,34 @@ fn lazy_sample(out: &RunOutput, reference_events: u64) -> Sample {
 /// Routes every (src, dst) pair of the 512-host fat tree `passes` times,
 /// walking each route hop by hop through the wiring and folding every turn
 /// into an FNV-1a checksum (verified, so the walk cannot be elided). In
-/// `adaptive` mode the route's rebindable up-turns are bound mid-walk from
+/// `Adaptive` mode the route's rebindable up-turns are bound mid-walk from
 /// a deterministic LCG pick over the current switch's up-ports, mimicking
-/// what a switch does under `RoutingPolicy::AdaptiveUp`.
-fn run_route_fattree(passes: u32, adaptive: bool) -> Sample {
+/// what a switch does under `RoutingPolicy::AdaptiveUp`; `Arn` mode
+/// additionally reads every candidate's live notification count from a
+/// pre-seeded per-switch [`ArnTable`] and binds the lexicographic minimum
+/// `(live, LCG tie-break)`, mimicking `RoutingPolicy::ArnUp`.
+fn run_route_fattree(passes: u32, mode: RouteMode) -> Sample {
     let topo = Topology::new(FatTreeParams::ft_512());
     let hosts = topo.num_hosts();
+    // Pre-seeded ARN tables: roughly a third of the slots carry an early
+    // (aged-out by mid-walk) notification and a seventh a late one, so the
+    // scan reads a deterministic mix of live, expired and empty entries.
+    let tables: Vec<ArnTable> = topo
+        .switches()
+        .map(|sw| {
+            let ports = topo.up_ports(sw);
+            let mut t = ArnTable::new((ports.end - ports.start) as usize);
+            for slot in 0..t.len() {
+                if (sw.index() + slot).is_multiple_of(3) {
+                    t.note_hot(slot, Picos::from_us(1));
+                }
+                if (sw.index() + slot).is_multiple_of(7) {
+                    t.note_hot(slot, Picos::from_us(30));
+                }
+            }
+            t
+        })
+        .collect();
     let start = std::time::Instant::now();
     let mut checksum = 0xcbf2_9ce4_8422_2325u64;
     let mut rng = 0x5eed_c0de_u64;
@@ -117,20 +156,43 @@ fn run_route_fattree(passes: u32, adaptive: bool) -> Sample {
     for _ in 0..passes {
         for s in 0..hosts {
             for d in 0..hosts {
-                let mut route = if adaptive {
-                    topo.route_adaptive(HostId::new(s), HostId::new(d))
-                } else {
+                // The read clock sweeps 10..50 µs per pair, crossing the
+                // 20 µs TTL of both seeding stamps.
+                let now = Picos::from_us(10 + (pairs % 40));
+                let mut route = if mode == RouteMode::Deterministic {
                     topo.route(HostId::new(s), HostId::new(d))
+                } else {
+                    topo.route_adaptive(HostId::new(s), HostId::new(d))
                 };
                 let (mut sw, _) = topo.host_ingress(HostId::new(s));
                 loop {
                     if route.next_turn_rebindable() {
                         let ports = topo.up_ports(sw);
-                        rng = rng
-                            .wrapping_mul(6364136223846793005)
-                            .wrapping_add(1442695040888963407);
-                        let span = (ports.end - ports.start) as u64;
-                        route.bind_next_turn((ports.start + ((rng >> 33) % span) as u32) as u8);
+                        let pick = if mode == RouteMode::Arn {
+                            let table = &tables[sw.index()];
+                            let mut best = None;
+                            for port in ports.clone() {
+                                let slot = (port - ports.start) as usize;
+                                let live = table.live_count(slot, now);
+                                rng = rng
+                                    .wrapping_mul(6364136223846793005)
+                                    .wrapping_add(1442695040888963407);
+                                let tie = rng >> 33;
+                                if best.is_none_or(|(bl, bt, _)| (live, tie) < (bl, bt)) {
+                                    best = Some((live, tie, port));
+                                }
+                            }
+                            let (live, _, port) = best.expect("switch has up-ports");
+                            checksum = (checksum ^ live as u64).wrapping_mul(0x100_0000_01b3);
+                            port
+                        } else {
+                            rng = rng
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let span = (ports.end - ports.start) as u64;
+                            ports.start + ((rng >> 33) % span) as u32
+                        };
+                        route.bind_next_turn(pick as u8);
                     }
                     let turn = route.advance();
                     checksum = (checksum ^ turn as u64).wrapping_mul(0x100_0000_01b3);
@@ -258,19 +320,20 @@ fn kernels(small: bool) -> Vec<Kernel> {
             hosts: 256,
         });
     }
-    // Pure routing-layer kernels (both modes): track the cost of the
-    // topology abstraction itself, independent of the simulator, and the
-    // overhead of the late-bound adaptive up-phase relative to it.
-    for adaptive in [false, true] {
+    // Pure routing-layer kernels (all three selector modes): track the
+    // cost of the topology abstraction itself, independent of the
+    // simulator, the overhead of the late-bound adaptive up-phase
+    // relative to it, and the ARN table-scan overhead on top of that.
+    for (mode, name) in [
+        (RouteMode::Deterministic, "route_fattree/ft512"),
+        (RouteMode::Adaptive, "route_fattree_adaptive/ft512"),
+        (RouteMode::Arn, "route_fattree_arn/ft512"),
+    ] {
         v.push(Kernel {
-            name: if adaptive {
-                "route_fattree_adaptive/ft512".to_owned()
-            } else {
-                "route_fattree/ft512".to_owned()
-            },
+            name: name.to_owned(),
             kind: KernelKind::RouteFatTree {
                 passes: if small { 4 } else { 16 },
-                adaptive,
+                mode,
             },
             workload: "routing",
             hosts: 512,
@@ -603,18 +666,18 @@ fn main() {
                     lazy_sample(&heap, eager.events),
                 )
             }
-            KernelKind::RouteFatTree { passes, adaptive } => {
+            KernelKind::RouteFatTree { passes, mode } => {
                 // No event queue involved — fill both schema slots with
                 // independent best-of-`repeat` measurements of the same
                 // walk (their ratio doubles as a noise floor estimate).
-                let mut a = run_route_fattree(*passes, *adaptive);
-                let mut b = run_route_fattree(*passes, *adaptive);
+                let mut a = run_route_fattree(*passes, *mode);
+                let mut b = run_route_fattree(*passes, *mode);
                 for _ in 1..repeat {
-                    let x = run_route_fattree(*passes, *adaptive);
+                    let x = run_route_fattree(*passes, *mode);
                     if x.wall_secs < a.wall_secs {
                         a = x;
                     }
-                    let y = run_route_fattree(*passes, *adaptive);
+                    let y = run_route_fattree(*passes, *mode);
                     if y.wall_secs < b.wall_secs {
                         b = y;
                     }

@@ -7,7 +7,9 @@
 //!
 //! `--quick` shortens the run 8× further (used by `scripts/tier1.sh`);
 //! `--topology fattree` validates the same scheme matrix on the 64-host
-//! 4-ary 3-tree hotspot instead of the paper's MIN.
+//! 4-ary 3-tree hotspot instead of the paper's MIN, and `--routing
+//! adaptive|arn` reruns that matrix under the late-bound up-port
+//! selectors (notification-driven for `arn`) with the same invariants on.
 
 use experiments::runner::{summarize, SchemeSet};
 use experiments::sweep::RunSpec;
@@ -42,6 +44,7 @@ fn main() {
                 .with_horizon(horizon)
                 .with_bin(Picos::from_us(2))
                 .with_label("validate")
+                .with_routing(opts.routing)
                 .with_validation(true)
                 .with_trace(opts.trace_capacity())
         })

@@ -194,7 +194,8 @@ fn render_body(out: &RunOutput) -> String {
          \"root_clears\":{},\"source_dropped_messages\":{},\"source_dropped_bytes\":{},\
          \"retransmitted_packets\":{},\"transport_timeouts\":{},\"transport_acks\":{},\
          \"transport_nacks\":{},\"flows_completed\":{},\"pfc_pauses\":{},\
-         \"pfc_resumes\":{},\"pfc_dropped_packets\":{},\"pfc_dropped_bytes\":{}}},\
+         \"pfc_resumes\":{},\"pfc_dropped_packets\":{},\"pfc_dropped_bytes\":{},\
+         \"arn_hot_notifications\":{},\"arn_cold_notifications\":{}}},\
          \"wall_secs\":{},\"events\":{},\"peak_event_queue_depth\":{},\"trace_digest\":{},\
          \"peak_bytes_estimate\":{},\"stream\":{},\"fct\":{}}}",
         out.scheme,
@@ -237,6 +238,8 @@ fn render_body(out: &RunOutput) -> String {
         c.pfc_resumes,
         c.pfc_dropped_packets,
         c.pfc_dropped_bytes,
+        c.arn_hot_notifications,
+        c.arn_cold_notifications,
         fnum(out.wall_secs),
         out.events,
         out.peak_event_queue_depth,
@@ -420,6 +423,8 @@ fn parse_entry(text: &str, spec: &RunSpec) -> Result<Option<RunOutput>, String> 
             pfc_resumes: cnt("pfc_resumes")?,
             pfc_dropped_packets: cnt("pfc_dropped_packets")?,
             pfc_dropped_bytes: cnt("pfc_dropped_bytes")?,
+            arn_hot_notifications: cnt("arn_hot_notifications")?,
+            arn_cold_notifications: cnt("arn_cold_notifications")?,
         },
         wall_secs: body
             .get("wall_secs")

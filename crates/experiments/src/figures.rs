@@ -365,18 +365,25 @@ pub fn fig6(opts: &Opts) -> Vec<Figure> {
 
 /// The five-scheme hotspot comparison on the topology selected by
 /// `--topology`: corner case 2 on the paper's 64-host MIN, or the strided
-/// hotspot scenario on the 64-host 4-ary 3-tree (one attacker per leaf
-/// switch, so the congestion tree spans every level). One throughput curve
-/// per scheme — the `figures` binary renders this as the cross-topology
-/// headline table.
+/// hotspot scenario on the 4-ary 3-tree (one attacker per leaf switch, so
+/// the congestion tree spans every level). `--net 512` on the fat tree
+/// swaps in the 8-ary 3-tree and its strided-gang hotspot — the scale the
+/// EXPERIMENTS.md routing-matrix tables are produced at. One throughput
+/// curve per scheme — the `figures` binary renders this as the
+/// cross-topology headline table.
 pub fn topology_hotspot(opts: &Opts) -> Figure {
-    let (params, corner, desc) = match opts.topology {
-        TopologyChoice::Min => (
+    let (params, corner, desc) = match (opts.topology, opts.net) {
+        (TopologyChoice::Min, _) => (
             TopoParams::from(MinParams::paper_64()),
             CornerCase::case2_64(),
             "64-host MIN, corner case 2",
         ),
-        TopologyChoice::FatTree => (
+        (TopologyChoice::FatTree, Some(512)) => (
+            TopoParams::from(FatTreeParams::ft_512()),
+            CornerCase::fattree_512(),
+            "512-host 8-ary 3-tree, one-attacker-per-leaf hotspot",
+        ),
+        (TopologyChoice::FatTree, _) => (
             TopoParams::from(FatTreeParams::ft_64()),
             CornerCase::fattree_64(),
             "64-host 4-ary 3-tree, one-attacker-per-leaf hotspot",
@@ -385,12 +392,19 @@ pub fn topology_hotspot(opts: &Opts) -> Figure {
     let corner = corner
         .with_msg_bytes(opts.packet_size())
         .shrunk(opts.time_div());
-    // Adaptive sweeps get their own summary file so a back-to-back
-    // deterministic baseline (routing_comparison) does not overwrite it.
-    let name = if opts.routing.is_adaptive() {
-        format!("hotspot_{}_adaptive", opts.topology.name())
+    // Each routing policy gets its own summary file so the back-to-back
+    // sweeps of `routing_comparison` / `scheme_matrix` never overwrite
+    // each other; a non-default network size gets its own file too.
+    let net = match (opts.topology, opts.net) {
+        (TopologyChoice::FatTree, Some(512)) => "512",
+        _ => "",
+    };
+    let name = if opts.routing.is_arn() {
+        format!("hotspot_{}{net}_arn", opts.topology.name())
+    } else if opts.routing.is_adaptive() {
+        format!("hotspot_{}{net}_adaptive", opts.topology.name())
     } else {
-        format!("hotspot_{}", opts.topology.name())
+        format!("hotspot_{}{net}", opts.topology.name())
     };
     let specs = SchemeSet::All
         .schemes_scaled(opts.time_div())
@@ -478,6 +492,107 @@ pub fn routing_comparison(adaptive_fig: &Figure, opts: &Opts) -> Vec<RoutingRow>
             }
         })
         .collect()
+}
+
+/// One cell of the full routing × scheme matrix: a single hotspot run's
+/// headline numbers under one routing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixCell {
+    /// Congestion-window mean throughput in bytes/ns.
+    pub mean: f64,
+    /// Whole-run network-wide peak SAQ count (nonzero only for RECN).
+    pub peak_saqs: u32,
+    /// ARN congestion notifications broadcast during the run (nonzero
+    /// only under `--routing arn`).
+    pub arn_hot: u64,
+}
+
+/// One scheme's row of the full
+/// {deterministic, adaptive, arn} × {1Q, 4Q, VOQsw, VOQnet, RECN} matrix.
+#[derive(Debug)]
+pub struct MatrixRow {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Headline numbers under deterministic self-routing.
+    pub deterministic: MatrixCell,
+    /// Headline numbers under credit-weighted adaptive up-routing.
+    pub adaptive: MatrixCell,
+    /// Headline numbers under notification-driven (ARN) up-routing.
+    pub arn: MatrixCell,
+}
+
+/// Runs the full routing × scheme matrix: the [`topology_hotspot`] sweep
+/// once per routing policy (fifteen runs total), paired scheme by scheme.
+/// Each sweep keeps its own summary file (`hotspot_<topo>`, `…_adaptive`,
+/// `…_arn`), so the matrix composes with the run cache — a repeated
+/// invocation is fifteen cache hits.
+pub fn scheme_matrix(opts: &Opts) -> Vec<MatrixRow> {
+    let policies = [
+        fabric::RoutingPolicy::Deterministic,
+        fabric::RoutingPolicy::adaptive(),
+        fabric::RoutingPolicy::arn(),
+    ];
+    let mut figs = policies.into_iter().map(|routing| {
+        let o = Opts {
+            routing,
+            ..opts.clone()
+        };
+        let fig = topology_hotspot(&o);
+        let means = congestion_window_means(&fig, &o);
+        (fig, means)
+    });
+    let (det, det_means) = figs.next().expect("three policies");
+    let (ada, ada_means) = figs.next().expect("three policies");
+    let (arn, arn_means) = figs.next().expect("three policies");
+    let cell = |run: &RunOutput, means: &[(String, f64)]| MatrixCell {
+        mean: means
+            .iter()
+            .find(|(l, _)| l == run.scheme)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0),
+        peak_saqs: run.saq_peaks.2,
+        arn_hot: run.counters.arn_hot_notifications,
+    };
+    det.runs
+        .iter()
+        .zip(&ada.runs)
+        .zip(&arn.runs)
+        .map(|((d, a), n)| {
+            assert_eq!(d.scheme, a.scheme, "sweeps must share submission order");
+            assert_eq!(d.scheme, n.scheme, "sweeps must share submission order");
+            MatrixRow {
+                scheme: d.scheme,
+                deterministic: cell(d, &det_means),
+                adaptive: cell(a, &ada_means),
+                arn: cell(n, &arn_means),
+            }
+        })
+        .collect()
+}
+
+/// Renders the full matrix as a text table: one row per scheme, one
+/// column group per routing policy, plus the ARN notification counts.
+pub fn render_scheme_matrix(rows: &[MatrixRow]) -> String {
+    let mut s =
+        String::from("congestion-window mean throughput (bytes/ns), routing × scheme matrix\n");
+    s.push_str(
+        "scheme   deterministic   adaptive        arn   peak SAQs (det/ada/arn)   arn-notifs\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:>6}   {:>13.2}   {:>8.2}   {:>8.2}   {:>9}   {:>10}\n",
+            r.scheme,
+            r.deterministic.mean,
+            r.adaptive.mean,
+            r.arn.mean,
+            format!(
+                "{}/{}/{}",
+                r.deterministic.peak_saqs, r.adaptive.peak_saqs, r.arn.peak_saqs
+            ),
+            r.arn.arn_hot,
+        ));
+    }
+    s
 }
 
 /// Renders the deterministic-vs-adaptive rows as a text table.
@@ -608,6 +723,41 @@ mod tests {
             ada_saqs < det_saqs,
             "adaptivity must reduce SAQ allocations: {det_saqs} -> {ada_saqs}"
         );
+    }
+
+    #[test]
+    fn fattree_arn_quick_matrix_holds() {
+        let opts = Opts {
+            topology: TopologyChoice::FatTree,
+            routing: fabric::RoutingPolicy::arn(),
+            ..quick_opts()
+        };
+        let fig = topology_hotspot(&opts);
+        assert_eq!(fig.name, "hotspot_fattree_arn");
+        let rows = scheme_matrix(&opts);
+        assert_eq!(rows.len(), 5, "full five-scheme matrix");
+        let get = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap();
+        for r in &rows {
+            // Notifications exist only under ARN routing...
+            assert_eq!(r.deterministic.arn_hot, 0, "{}: {r:?}", r.scheme);
+            assert_eq!(r.adaptive.arn_hot, 0, "{}: {r:?}", r.scheme);
+            assert!(r.arn.mean > 0.0, "{}: {r:?}", r.scheme);
+        }
+        // ...and the RECN run's come from the congested-root CAM trigger
+        // (roots demonstrably formed: nonzero SAQ peak).
+        let recn = get("RECN");
+        assert!(recn.arn.arn_hot > 0, "{rows:?}");
+        assert!(recn.arn.peak_saqs > 0, "{rows:?}");
+        // The occupancy trigger covers at least one non-RECN scheme even
+        // in the mild quick-mode hotspot.
+        assert!(
+            rows.iter().any(|r| r.scheme != "RECN" && r.arn.arn_hot > 0),
+            "{rows:?}"
+        );
+        // The headline verdict must survive the extra signal: RECN+ARN
+        // stays within 5% of the ideal VOQnet under the same routing.
+        assert!(recn.arn.mean >= 0.95 * get("VOQnet").arn.mean, "{rows:?}");
+        assert!(render_scheme_matrix(&rows).contains("RECN"));
     }
 
     #[test]

@@ -145,7 +145,8 @@ pub const OPTS_FLAGS: &[FlagDef] = &[
         name: "--net",
         aliases: &[],
         value: Some(("256|512", "256 or 512")),
-        help: "network size selector for fig6 (both when absent)",
+        help: "network size for fig6 (both when absent) and the fat-tree \
+               hotspot (512 swaps in the 8-ary 3-tree)",
     },
     FlagDef {
         name: "--stride",
@@ -180,8 +181,11 @@ pub const OPTS_FLAGS: &[FlagDef] = &[
     FlagDef {
         name: "--routing",
         aliases: &[],
-        value: Some(("deterministic|adaptive", "deterministic or adaptive")),
-        help: "routing policy (deterministic default)",
+        value: Some((
+            "deterministic|adaptive|arn",
+            "deterministic, adaptive or arn",
+        )),
+        help: "routing policy (deterministic default; arn = notification-driven adaptive)",
     },
     FlagDef {
         name: "--event-model",
@@ -295,9 +299,10 @@ pub struct Opts {
     /// Topology family to build (`--topology min|fattree`; MIN default).
     pub topology: TopologyChoice,
     /// Routing policy for every run of the sweep
-    /// (`--routing deterministic|adaptive`; deterministic default — the
+    /// (`--routing deterministic|adaptive|arn`; deterministic default — the
     /// paper's self-routing; adaptive lets fat-tree switches pick up-ports
-    /// at forwarding time).
+    /// at forwarding time; arn additionally steers them away from subtrees
+    /// with live congestion notifications).
     pub routing: fabric::RoutingPolicy,
     /// Event scheduling model for every run of the sweep
     /// (`--event-model eager|lazy`; eager default. Lazy coalesces
@@ -399,7 +404,7 @@ impl Opts {
                     let v = v();
                     opts.routing = fabric::RoutingPolicy::parse(&v).ok_or_else(|| {
                         format!(
-                            "unknown routing policy {v:?} (deterministic|adaptive); {}",
+                            "unknown routing policy {v:?} (deterministic|adaptive|arn); {}",
                             usage()
                         )
                     })?;
@@ -628,6 +633,8 @@ mod tests {
         assert_eq!(o.routing, RoutingPolicy::adaptive());
         let o = parse(&["--routing", "deterministic"]).unwrap();
         assert_eq!(o.routing, RoutingPolicy::Deterministic);
+        let o = parse(&["--routing", "arn"]).unwrap();
+        assert_eq!(o.routing, RoutingPolicy::arn());
         assert!(parse(&["--routing", "random"])
             .unwrap_err()
             .contains("unknown routing policy"));

@@ -25,7 +25,10 @@ use crate::spec::RunSpec;
 /// Version 4 added the transport-layer counters (retransmissions,
 /// timeouts, acks/nacks, flow completions, PFC pauses/drops) and the
 /// per-flow completion-time summary `fct`.
-pub const OUTPUT_SCHEMA_VERSION: u32 = 4;
+///
+/// Version 5 added the ARN notification counters (`arn_hot_notifications`,
+/// `arn_cold_notifications`).
+pub const OUTPUT_SCHEMA_VERSION: u32 = 5;
 
 /// The workload of a run.
 #[derive(Debug, Clone)]

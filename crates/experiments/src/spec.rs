@@ -69,6 +69,17 @@ pub const SPEC_VERSION_STREAMING: u8 = 3;
 /// untouched — and a version-4 encoding claiming open loop is rejected so
 /// each spec has exactly one canonical byte string.
 pub const SPEC_VERSION_TRANSPORT: u8 = 4;
+/// Version byte used when the spec selects ARN routing
+/// ([`RoutingPolicy::ArnUp`]): the version-2 fields followed by the
+/// [`MetricsMode`] tag and the [`TransportKind`] block, both present
+/// unconditionally (the routing tag inside the common fields is what
+/// selects this version, so the trailing blocks cannot be elided without
+/// making some byte strings ambiguous). Non-ARN specs keep encoding as
+/// version 2/3/4 — every pre-existing spec hash and cache key is
+/// untouched — and version-5 encodings with non-ARN routing (or ARN
+/// routing smuggled into a version-2/3/4 string) are rejected so each
+/// spec has exactly one canonical byte string.
+pub const SPEC_VERSION_ARN: u8 = 5;
 
 impl Canon for Workload {
     fn encode_canon(&self, w: &mut CanonWriter) {
@@ -371,7 +382,9 @@ impl RunSpec {
         let mut w = CanonWriter::new();
         w.u8(SPEC_MAGIC[0]);
         w.u8(SPEC_MAGIC[1]);
-        let version = if !self.transport.is_open_loop() {
+        let version = if self.routing.is_arn() {
+            SPEC_VERSION_ARN
+        } else if !self.transport.is_open_loop() {
             SPEC_VERSION_TRANSPORT
         } else if self.metrics != MetricsMode::Full {
             SPEC_VERSION_STREAMING
@@ -391,10 +404,12 @@ impl RunSpec {
         if version == SPEC_VERSION_STREAMING {
             self.metrics.encode_canon(&mut w);
         }
-        if version == SPEC_VERSION_TRANSPORT {
-            // Version 4 carries the metrics tag unconditionally (unlike
-            // version 3, whose presence *is* the streaming flag), then the
-            // transport block.
+        if version == SPEC_VERSION_TRANSPORT || version == SPEC_VERSION_ARN {
+            // Versions 4 and 5 carry the metrics tag unconditionally
+            // (unlike version 3, whose presence *is* the streaming flag),
+            // then the transport block (which version 5 carries even for
+            // the open-loop default — ARN is selected by the routing tag,
+            // not by the trailing blocks).
             self.metrics.encode_canon(&mut w);
             self.transport.encode_canon(&mut w);
         }
@@ -418,10 +433,11 @@ impl RunSpec {
         if version != SPEC_VERSION
             && version != SPEC_VERSION_STREAMING
             && version != SPEC_VERSION_TRANSPORT
+            && version != SPEC_VERSION_ARN
         {
             return Err(CanonError::new(format!(
                 "unsupported spec version {version} (this build reads \
-                 {SPEC_VERSION}, {SPEC_VERSION_STREAMING} and {SPEC_VERSION_TRANSPORT})"
+                 {SPEC_VERSION} through {SPEC_VERSION_ARN})"
             )));
         }
         let params = TopoParams::decode_canon(&mut r)?;
@@ -433,6 +449,13 @@ impl RunSpec {
         let horizon = Picos::decode_canon(&mut r)?;
         let bin = Picos::decode_canon(&mut r)?;
         let event_model = EventModel::decode_canon(&mut r)?;
+        if routing.is_arn() != (version == SPEC_VERSION_ARN) {
+            return Err(CanonError::new(if routing.is_arn() {
+                "ARN routing in a pre-ARN encoding (canonical form is version 5)"
+            } else {
+                "version 5 spec without ARN routing (canonical form is version 2/3/4)"
+            }));
+        }
         let metrics = if version == SPEC_VERSION_STREAMING {
             let m = MetricsMode::decode_canon(&mut r)?;
             if m == MetricsMode::Full {
@@ -441,7 +464,7 @@ impl RunSpec {
                 ));
             }
             m
-        } else if version == SPEC_VERSION_TRANSPORT {
+        } else if version == SPEC_VERSION_TRANSPORT || version == SPEC_VERSION_ARN {
             MetricsMode::decode_canon(&mut r)?
         } else {
             MetricsMode::Full
@@ -454,6 +477,10 @@ impl RunSpec {
                 ));
             }
             t
+        } else if version == SPEC_VERSION_ARN {
+            // Version 5 carries the transport block unconditionally —
+            // open loop included — so no canonicality check applies here.
+            TransportKind::decode_canon(&mut r)?
         } else {
             TransportKind::OpenLoop
         };
@@ -562,6 +589,14 @@ mod tests {
             .with_scheduler(SchedulerKind::Heap)
             .with_packet_size(512)
             .with_event_model(EventModel::Lazy),
+        );
+        specs.push(
+            RunSpec::corner(
+                FatTreeParams::ft_64(),
+                SchemeKind::VoqNet,
+                CornerCase::fattree_64(),
+            )
+            .with_routing(RoutingPolicy::arn()),
         );
         specs.push(RunSpec::san(SchemeKind::VoqSw, SanParams::cello_like(20.0)));
         specs.push(
@@ -694,6 +729,56 @@ mod tests {
     }
 
     #[test]
+    fn arn_versions_the_encoding() {
+        let base = RunSpec::corner(
+            FatTreeParams::ft_64(),
+            SchemeKind::OneQ,
+            CornerCase::fattree_64(),
+        );
+        let adaptive = base.clone().with_routing(RoutingPolicy::adaptive());
+        let arn = base.clone().with_routing(RoutingPolicy::arn());
+        // Non-ARN specs keep their pre-ARN version bytes and hashes.
+        assert_eq!(base.encode()[2], SPEC_VERSION);
+        assert_eq!(adaptive.encode()[2], SPEC_VERSION);
+        // ARN re-versions to 5 with metrics tag + transport block appended
+        // (and a different routing tag inside the common fields).
+        let v5 = arn.encode();
+        assert_eq!(v5[2], SPEC_VERSION_ARN);
+        assert_ne!(arn.spec_hash(), adaptive.spec_hash());
+        assert_ne!(arn.spec_hash(), base.spec_hash());
+        let back = RunSpec::decode(&v5).unwrap();
+        assert_eq!(back.routing(), RoutingPolicy::arn());
+        assert_eq!(back.spec_hash(), arn.spec_hash());
+        // Streaming metrics and closed-loop transport compose inside v5.
+        let loaded = arn
+            .clone()
+            .with_metrics(MetricsMode::Streaming)
+            .with_transport(TransportKind::GoBackN(fabric::TransportConfig::default()));
+        assert_eq!(loaded.encode()[2], SPEC_VERSION_ARN);
+        assert_ne!(loaded.spec_hash(), arn.spec_hash());
+        let back = RunSpec::decode(&loaded.encode()).unwrap();
+        assert_eq!(back.metrics(), MetricsMode::Streaming);
+        assert_eq!(back.transport(), loaded.transport());
+        // A version-5 encoding without ARN routing is non-canonical...
+        let mut fake = base.encode();
+        fake[2] = SPEC_VERSION_ARN;
+        fake.push(0); // metrics tag: Full
+        fake.push(0); // transport tag: OpenLoop
+        let err = RunSpec::decode(&fake).unwrap_err();
+        assert!(err.to_string().contains("canonical form"), "{err}");
+        // ...and ARN routing inside a version-2 string is rejected too:
+        // re-tag the v5 bytes as v2 and drop the trailing blocks.
+        let mut smuggled = v5.clone();
+        smuggled[2] = SPEC_VERSION;
+        smuggled.truncate(v5.len() - 2);
+        let err = RunSpec::decode(&smuggled).unwrap_err();
+        assert!(
+            err.to_string().contains("canonical form is version 5"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn flows_workload_requires_matching_hosts() {
         let spec = RunSpec::flows(MinParams::paper_64(), SchemeKind::OneQ, FlowSet::incast64());
         let bytes = spec.encode();
@@ -762,6 +847,7 @@ mod tests {
             base.clone().with_bin(Picos::from_us(2)),
             base.clone().with_scheduler(SchedulerKind::Heap),
             base.clone().with_routing(RoutingPolicy::adaptive()),
+            base.clone().with_routing(RoutingPolicy::arn()),
             base.clone().with_event_model(EventModel::Lazy),
             base.clone().with_metrics(MetricsMode::Streaming),
             base.clone()

@@ -292,7 +292,8 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
              \"events_per_sec\": {}, \"peak_event_queue_depth\": {}, \
              \"metrics\": {}, \"peak_bytes_estimate\": {}, \
              \"transport\": {}, \"fct\": {}, \"retransmitted_packets\": {}, \
-             \"transport_timeouts\": {}, \"pfc_dropped_packets\": {}}}{sep}\n",
+             \"transport_timeouts\": {}, \"pfc_dropped_packets\": {}, \
+             \"arn_hot_notifications\": {}, \"arn_cold_notifications\": {}}}{sep}\n",
             jstr(spec.label()),
             jstr(out.scheme),
             jstr(spec.scheduler().name()),
@@ -320,6 +321,8 @@ pub fn render_summary(name: &str, report: &SweepReport) -> String {
             out.counters.retransmitted_packets,
             out.counters.transport_timeouts,
             out.counters.pfc_dropped_packets,
+            out.counters.arn_hot_notifications,
+            out.counters.arn_cold_notifications,
         ));
     }
     s.push_str("  ]\n}\n");
@@ -454,6 +457,10 @@ mod tests {
         assert!(json.contains("\"peak_event_queue_depth\""));
         assert!(json.contains("\"metrics\": \"full\""));
         assert!(json.contains("\"peak_bytes_estimate\""));
+        // ARN counters are present (and zero) even for non-ARN sweeps, so
+        // matrix post-processing never needs key-existence checks.
+        assert!(json.contains("\"arn_hot_notifications\": 0"));
+        assert!(json.contains("\"arn_cold_notifications\": 0"));
         // One runs-array entry per spec, comma-separated except the last.
         assert_eq!(json.matches("\"label\"").count(), specs.len());
         assert_eq!(json.matches("},\n").count(), specs.len() - 1);
@@ -461,6 +468,29 @@ mod tests {
         // pulling the cache's JSON parser into this test).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// The routing tag in the summary JSON follows the spec: an ARN
+    /// fat-tree sweep renders `"routing": "arn"` (not the deterministic
+    /// default), so downstream tooling can split the scheme matrix by
+    /// policy without re-deriving it from the spec hash.
+    #[test]
+    fn summary_json_carries_arn_routing_tag() {
+        let spec = RunSpec::corner(
+            topology::FatTreeParams::new(4, 3),
+            SchemeKind::OneQ,
+            CornerCase::fattree_64().shrunk(40),
+        )
+        .with_horizon(Picos::from_us(20))
+        .with_bin(Picos::from_us(2))
+        .with_label("arn-json")
+        .with_routing(fabric::RoutingPolicy::arn());
+        let mut report = Sweep::new(vec![spec]).jobs(1).run_report();
+        report.total_wall_secs = 0.5;
+        let json = render_summary("arn-json", &report);
+        assert!(json.contains("\"routing\": \"arn\""));
+        assert!(!json.contains("\"routing\": \"deterministic\""));
+        assert!(json.contains("\"arn_hot_notifications\": "));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! The "ARN degrades to adaptive" contract, as a seeded property suite.
+//!
+//! `RoutingPolicy::arn()` layers a notification count in front of the
+//! credit-weighted up-port tie-break; with an empty ARN table the
+//! lexicographic key collapses to exactly the `adaptive()` one, so any run
+//! in which zero notifications fire must be *event-for-event identical* to
+//! its adaptive twin — same trace digest, same counters, not merely the
+//! same throughput. Low-load uniform traffic on small fat trees keeps
+//! every output queue far below the occupancy trigger, which makes the
+//! premise checkable: each case first asserts its ARN run really sent
+//! zero notifications, then asserts digest equality.
+//!
+//! The converse rides along: a hotspot case where notifications *do* fire
+//! must diverge from adaptive (the bias is observable) while remaining
+//! bit-deterministic across reruns.
+
+use experiments::runner::{run_one, scaled_recn_config, Workload};
+use experiments::RunSpec;
+use fabric::{RoutingPolicy, SchemeKind};
+use simcore::Picos;
+use topology::FatTreeParams;
+use traffic::corner::CornerCase;
+
+/// Deterministic LCG (same constants as the other property suites).
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+/// One low-load uniform case: fat-tree shape, non-RECN scheme, load,
+/// message size and PRNG seed all derived from `draw`. Non-RECN on
+/// purpose — RECN's congested-root trigger can fire even at loads where
+/// the occupancy trigger never would, and this suite needs runs whose
+/// notification count is provably zero.
+fn low_load_spec(draw: &mut u64) -> RunSpec {
+    let params = if lcg(draw).is_multiple_of(2) {
+        FatTreeParams::new(4, 2)
+    } else {
+        FatTreeParams::new(4, 3)
+    };
+    let schemes = [
+        SchemeKind::OneQ,
+        SchemeKind::FourQ,
+        SchemeKind::VoqSw,
+        SchemeKind::VoqNet,
+    ];
+    let scheme = schemes[(lcg(draw) as usize) % schemes.len()];
+    let load = 0.1 + 0.05 * ((lcg(draw) % 4) as f64); // 0.10..=0.25
+    let msg_bytes = [64, 256][(lcg(draw) as usize) % 2];
+    let seed = lcg(draw);
+    RunSpec::new(
+        params,
+        scheme,
+        Workload::Uniform {
+            load,
+            msg_bytes,
+            seed,
+        },
+    )
+    .with_horizon(Picos::from_us(20))
+    .with_bin(Picos::from_us(2))
+    .with_label("arn-prop")
+    .with_validation(true)
+    .with_trace(64)
+}
+
+/// Seeds replayed on every run; keep future failures here.
+const REGRESSION_SEEDS: &[u64] = &[0xa21_0001, 0xa21_0002, 0xa21_0003];
+
+#[test]
+fn arn_equals_adaptive_when_no_notification_fires() {
+    let mut cases: Vec<RunSpec> = REGRESSION_SEEDS
+        .iter()
+        .map(|&seed| {
+            let mut draw = seed;
+            low_load_spec(&mut draw)
+        })
+        .collect();
+    let mut draw = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..6 {
+        cases.push(low_load_spec(&mut draw));
+    }
+    for spec in cases {
+        let ctx = format!("{} on {:?}", spec.scheme().name(), spec.params());
+        let arn = run_one(&spec.clone().with_routing(RoutingPolicy::arn()));
+        // The premise first: if this ever fails, the load draw crept past
+        // the occupancy trigger — lower it, don't weaken the equality.
+        assert_eq!(
+            arn.counters.arn_hot_notifications, 0,
+            "{ctx}: low-load case unexpectedly went hot"
+        );
+        assert_eq!(arn.counters.arn_cold_notifications, 0, "{ctx}");
+
+        let adaptive = run_one(&spec.with_routing(RoutingPolicy::adaptive()));
+        assert_eq!(
+            arn.trace_digest, adaptive.trace_digest,
+            "{ctx}: with zero notifications ARN must replay the adaptive \
+             run event for event"
+        );
+        assert_eq!(
+            format!("{:?}", arn.counters),
+            format!("{:?}", adaptive.counters),
+            "{ctx}: counters diverged"
+        );
+        assert_eq!(arn.throughput, adaptive.throughput, "{ctx}");
+        assert_eq!(arn.saq_peaks, adaptive.saq_peaks, "{ctx}");
+    }
+}
+
+#[test]
+fn arn_diverges_from_adaptive_once_notifications_fire() {
+    // The golden-scale RECN fat-tree hotspot: congested roots come and go,
+    // so the RECN-side trigger broadcasts notifications and the biased
+    // selector makes different picks than the plain credit tie-break.
+    let spec = RunSpec::corner(
+        FatTreeParams::ft_64(),
+        SchemeKind::Recn(scaled_recn_config(40)),
+        CornerCase::fattree_64().shrunk(40),
+    )
+    .with_horizon(Picos::from_us(40))
+    .with_bin(Picos::from_us(2))
+    .with_label("arn-prop")
+    .with_validation(true)
+    .with_trace(64);
+
+    let arn = run_one(&spec.clone().with_routing(RoutingPolicy::arn()));
+    assert!(
+        arn.counters.arn_hot_notifications > 0,
+        "the RECN hotspot must trigger notifications"
+    );
+    let adaptive = run_one(&spec.clone().with_routing(RoutingPolicy::adaptive()));
+    assert_eq!(adaptive.counters.arn_hot_notifications, 0);
+    assert_ne!(
+        arn.trace_digest, adaptive.trace_digest,
+        "live notifications must actually bias the selection"
+    );
+
+    // And the biased run is still bit-deterministic: a rerun replays it.
+    let again = run_one(&spec.with_routing(RoutingPolicy::arn()));
+    assert_eq!(arn.trace_digest, again.trace_digest);
+    assert_eq!(
+        arn.counters.arn_hot_notifications,
+        again.counters.arn_hot_notifications
+    );
+}

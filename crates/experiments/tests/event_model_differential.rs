@@ -11,8 +11,8 @@
 //! Two layers of evidence:
 //!
 //! * a fixed matrix — all five schemes × {MIN corner 2, fat-tree hotspot}
-//!   × {deterministic, adaptive up-routing} at golden-trace scale with the
-//!   online invariant validator on, and
+//!   × {deterministic, adaptive, ARN up-routing} at golden-trace scale
+//!   with the online invariant validator on, and
 //! * an LCG-seeded property suite over uniform random traffic on small
 //!   MIN and fat-tree instances, with the seeds of past failures pinned in
 //!   [`REGRESSION_SEEDS`] so they rerun forever.
@@ -54,11 +54,7 @@ fn assert_bit_exact(spec: RunSpec) -> (u64, u64) {
         "{} on {:?} ({} routing)",
         spec.scheme().name(),
         spec.params(),
-        if spec.routing() == RoutingPolicy::Deterministic {
-            "deterministic"
-        } else {
-            "adaptive"
-        },
+        spec.routing().name(),
     );
     let eager = run_one(&spec.clone().with_event_model(EventModel::Eager));
     let lazy = run_one(&spec.with_event_model(EventModel::Lazy));
@@ -123,6 +119,13 @@ fn fattree_hotspot_all_schemes_are_bit_exact() {
 fn fattree_adaptive_all_schemes_are_bit_exact() {
     for spec in matrix_specs(FatTreeParams::ft_64(), CornerCase::fattree_64()) {
         assert_bit_exact(spec.with_routing(RoutingPolicy::adaptive()));
+    }
+}
+
+#[test]
+fn fattree_arn_all_schemes_are_bit_exact() {
+    for spec in matrix_specs(FatTreeParams::ft_64(), CornerCase::fattree_64()) {
+        assert_bit_exact(spec.with_routing(RoutingPolicy::arn()));
     }
 }
 

@@ -53,6 +53,26 @@ const GOLDEN_FATTREE_ADAPTIVE: &[(&str, u64)] = &[
     ("RECN", 0xd73d_c2fb_3983_78a9),
 ];
 
+/// Scheme name → expected whole-run trace digest for the fat-tree spec
+/// under `--routing arn` (notification-driven up-port selection layered on
+/// the credit-weighted tie-break). Notifications ride the modeled reverse
+/// channels and age out at read time, so ARN runs are exactly as
+/// deterministic as the other two policies — one pinned digest each.
+///
+/// The four non-RECN rows equal [`GOLDEN_FATTREE_ADAPTIVE`] on purpose: at
+/// this 40×-compressed scale no output queue ever crosses the occupancy
+/// trigger, zero notifications are sent, and with an empty ARN table the
+/// selector is decision-for-decision the adaptive one — the "ARN degrades
+/// to adaptive" contract, pinned at the event level. Only RECN diverges:
+/// its congested-root CAM trigger does fire here.
+const GOLDEN_FATTREE_ARN: &[(&str, u64)] = &[
+    ("VOQnet", 0x35c2_25f6_9bdd_8ac0),
+    ("VOQsw", 0x591b_449b_9e44_0707),
+    ("4Q", 0xf5a0_7b9e_f64d_2fa4),
+    ("1Q", 0x4794_be48_152f_869b),
+    ("RECN", 0xdfbf_854a_9743_3802),
+];
+
 /// The corner-case hotspot run the digests are pinned to: time-compressed
 /// hotspot (all-to-hotspot plus victim flows), every scheme, validation on.
 /// On the MIN this is the paper's corner case 2; on the fat tree it is the
@@ -134,6 +154,19 @@ fn fattree_adaptive_trace_digests_match_golden_and_are_parallel_stable() {
     );
 }
 
+#[test]
+fn fattree_arn_trace_digests_match_golden_and_are_parallel_stable() {
+    check_golden(
+        || {
+            golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64())
+                .into_iter()
+                .map(|s| s.with_routing(fabric::RoutingPolicy::arn()))
+                .collect()
+        },
+        GOLDEN_FATTREE_ARN,
+    );
+}
+
 /// The lazy event model pins to the *same* golden tables: trace digests
 /// are model-invariant because laziness only removes scheduled no-op
 /// events, never reorders or changes an observable one (DESIGN.md §6f).
@@ -165,5 +198,54 @@ fn lazy_fattree_trace_digests_match_the_eager_golden_tables() {
                 .collect()
         },
         GOLDEN_FATTREE_ADAPTIVE,
+    );
+}
+
+#[test]
+fn lazy_fattree_arn_trace_digests_match_the_eager_golden_tables() {
+    check_golden(
+        || {
+            golden_specs(FatTreeParams::ft_64(), CornerCase::fattree_64())
+                .into_iter()
+                .map(|s| {
+                    s.with_routing(fabric::RoutingPolicy::arn())
+                        .with_event_model(EventModel::Lazy)
+                })
+                .collect()
+        },
+        GOLDEN_FATTREE_ARN,
+    );
+}
+
+/// Expected digest for the 512-host ARN cell pinned below.
+const GOLDEN_FATTREE_512_ARN_RECN: u64 = 0x0195_c546_7d47_6c93;
+
+/// The acceptance-level 512-host pin: the hardest cell of the routing ×
+/// scheme matrix — RECN under `--routing arn` on the 8-ary 3-tree with
+/// one attacker per leaf switch — is bit-deterministic: serial ≡
+/// 4-worker ≡ lazy, digest checked in. One cell rather than the whole
+/// matrix on purpose: RECN×ARN is the only row where CAM churn drives
+/// the notifications, and the full 3×5 table at this scale lives in
+/// EXPERIMENTS.md (regenerated by `figures --net 512 --routing arn`).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: 512-host preset")]
+fn fattree_512_arn_recn_digest_is_pinned_and_model_invariant() {
+    let specs = || -> Vec<RunSpec> {
+        golden_specs(FatTreeParams::ft_512(), CornerCase::fattree_512())
+            .into_iter()
+            .skip(4) // RECN is the last scheme in SchemeSet::All order
+            .map(|s| s.with_routing(fabric::RoutingPolicy::arn()))
+            .collect()
+    };
+    check_golden(specs, &[("RECN", GOLDEN_FATTREE_512_ARN_RECN)]);
+    let lazy: Vec<RunSpec> = specs()
+        .into_iter()
+        .map(|s| s.with_event_model(EventModel::Lazy))
+        .collect();
+    let out = Sweep::new(lazy).jobs(1).run();
+    assert_eq!(
+        out[0].trace_digest,
+        Some(GOLDEN_FATTREE_512_ARN_RECN),
+        "lazy model diverged from the eager 512-host ARN digest"
     );
 }

@@ -307,6 +307,68 @@ fn transport_specs_never_alias_open_loop_and_fct_replays() {
 }
 
 #[test]
+fn arn_specs_never_alias_adaptive_and_counters_replay() {
+    use fabric::RoutingPolicy;
+    use topology::FatTreeParams;
+
+    let dir = scratch("cache_arn");
+    let cache = RunCache::new(&dir);
+    let fattree = |routing: RoutingPolicy| {
+        RunSpec::corner(
+            FatTreeParams::ft_64(),
+            SchemeKind::Recn(scaled_recn_config(40)),
+            CornerCase::fattree_64().shrunk(40),
+        )
+        .with_horizon(Picos::from_us(40))
+        .with_bin(Picos::from_us(2))
+        .with_routing(routing)
+    };
+    let adaptive = fattree(RoutingPolicy::adaptive());
+    let arn = fattree(RoutingPolicy::arn());
+
+    // Distinct content addresses: an adaptive entry can never serve an ARN
+    // spec (the ARN run consults notification state the adaptive run never
+    // built), and vice versa.
+    assert_ne!(adaptive.spec_hash(), arn.spec_hash());
+    assert_ne!(cache.path_for(&adaptive), cache.path_for(&arn));
+    let adaptive_out = experiments::run_one(&adaptive);
+    cache
+        .store(&adaptive, &adaptive_out)
+        .expect("store adaptive");
+    assert!(
+        cache.load(&arn).is_none(),
+        "an adaptive entry must not serve the ARN spec"
+    );
+
+    // An ARN entry replays byte for byte — including the notification
+    // counters, which only exist since output schema v5.
+    let arn_out = experiments::run_one(&arn);
+    assert!(
+        arn_out.counters.arn_hot_notifications > 0,
+        "the RECN hotspot must trigger congested-root notifications"
+    );
+    cache.store(&arn, &arn_out).expect("store arn");
+    let back = cache.load(&arn).expect("hit after store");
+    assert_eq!(
+        back.counters.arn_hot_notifications,
+        arn_out.counters.arn_hot_notifications
+    );
+    assert_eq!(
+        back.counters.arn_cold_notifications,
+        arn_out.counters.arn_cold_notifications
+    );
+    assert_eq!(
+        format!("{:?}", back.counters),
+        format!("{:?}", arn_out.counters)
+    );
+    assert_eq!(summarize(&back), summarize(&arn_out));
+    // The adaptive entry still hits independently — and replays with its
+    // notification counters pinned at zero.
+    let adaptive_back = cache.load(&adaptive).expect("adaptive entry intact");
+    assert_eq!(adaptive_back.counters.arn_hot_notifications, 0);
+}
+
+#[test]
 fn trace_digest_rules() {
     let dir = scratch("cache_trace");
     let cache = RunCache::new(&dir);

@@ -82,6 +82,18 @@ const GOLDEN_MIN_TRANSPORT: [u64; 4] = [
     0x45af02f99fdd4712, // go-back-N + streaming metrics
 ];
 
+/// The fat-tree hotspot under ARN routing (spec version 5: the routing
+/// tag selects the version and the metrics tag + transport block join the
+/// encoding unconditionally). Non-ARN specs still encode as version
+/// 2/3/4 — every table above is untouched by the ARN layer.
+const GOLDEN_FATTREE_ARN: [u64; 5] = [
+    0x1bec6d55e69f9a22,
+    0x9574f6daa666f765,
+    0xb24049c921ca0b1c,
+    0x551069f80d9bce3f,
+    0x6379ad4b5b574d54,
+];
+
 fn min_spec(scheme: SchemeKind) -> RunSpec {
     RunSpec::corner(MinParams::paper_64(), scheme, CornerCase::case2_64())
 }
@@ -118,6 +130,36 @@ fn fattree_adaptive_spec_hashes_are_pinned() {
             scheme.name(),
             spec.spec_hash(),
         );
+    }
+}
+
+#[test]
+fn fattree_arn_spec_hashes_are_pinned_and_distinct() {
+    for ((scheme, golden), adaptive) in schemes()
+        .into_iter()
+        .zip(GOLDEN_FATTREE_ARN)
+        .zip(GOLDEN_FATTREE_ADAPTIVE)
+    {
+        let spec = fattree_spec(scheme).with_routing(RoutingPolicy::arn());
+        assert_eq!(
+            spec.spec_hash(),
+            golden,
+            "{}: ARN spec_v1 encoding drifted (hash {:#018x}); this breaks \
+             existing cache directories — bump SPEC_VERSION instead",
+            scheme.name(),
+            spec.spec_hash(),
+        );
+        assert_ne!(
+            golden,
+            adaptive,
+            "{}: the two adaptive policies must have distinct content addresses",
+            scheme.name(),
+        );
+        // The decoded spec carries the policy back out — a cache replay of
+        // an ARN entry reruns with notifications on.
+        let back = RunSpec::decode_hex(&spec.encode_hex()).expect("round trip");
+        assert_eq!(back.routing(), RoutingPolicy::arn());
+        assert_eq!(back.spec_hash(), golden);
     }
 }
 
@@ -238,6 +280,7 @@ fn every_scheme_gets_a_distinct_address() {
     let mut hashes: Vec<u64> = GOLDEN_MIN
         .iter()
         .chain(GOLDEN_FATTREE_ADAPTIVE.iter())
+        .chain(GOLDEN_FATTREE_ARN.iter())
         .chain(GOLDEN_MIN_LAZY.iter())
         .chain(GOLDEN_MIN_STREAMING.iter())
         .chain(GOLDEN_MIN_TRANSPORT.iter())
@@ -247,7 +290,7 @@ fn every_scheme_gets_a_distinct_address() {
     hashes.dedup();
     assert_eq!(
         hashes.len(),
-        24,
-        "all twenty-four golden hashes are distinct"
+        29,
+        "all twenty-nine golden hashes are distinct"
     );
 }

@@ -1,0 +1,181 @@
+//! ARN: notification-driven adaptive routing state.
+//!
+//! Under [`RoutingPolicy::ArnUp`](crate::RoutingPolicy::ArnUp) every
+//! fat-tree switch keeps one [`ArnTable`] with an entry per up-port. A
+//! switch one level *up* that becomes congested — it allocated a RECN
+//! congested-root CAM entry, or (under the non-RECN schemes) one of its
+//! output queues crossed [`ARN_HOT_BYTES`] — broadcasts an
+//! [`ArnHot`](crate::RevPayload::ArnHot) notification down the reverse
+//! channel of every child link; clearing the root (or draining below
+//! [`ARN_COLD_BYTES`]) broadcasts [`ArnCold`](crate::RevPayload::ArnCold).
+//! The receiving switch bumps or decrements the table entry of the
+//! up-port the link hangs off, and `select_up_port` then prefers
+//! up-ports with the fewest *live* notifications before falling back to
+//! the credit-weighted tie-break.
+//!
+//! Liveness is judged at read time: an entry counts only while its last
+//! `hot` is younger than the table's TTL, so a lost or unsent `cold`
+//! can delay rerouting toward a subtree for at most one TTL — there are
+//! no permanent detours and no cleanup events to schedule.
+//!
+//! ```
+//! use fabric::{ArnTable, ARN_TTL};
+//! use simcore::Picos;
+//!
+//! let mut t = ArnTable::new(2);
+//! t.note_hot(0, Picos::from_us(1));
+//! assert_eq!(t.live_count(0, Picos::from_us(2)), 1);
+//! assert_eq!(t.live_count(1, Picos::from_us(2)), 0);
+//! // An explicit cold clears the entry...
+//! t.note_cold(0);
+//! assert_eq!(t.live_count(0, Picos::from_us(2)), 0);
+//! // ...and without one, the entry ages out after ARN_TTL anyway.
+//! t.note_hot(1, Picos::from_us(1));
+//! assert_eq!(t.live_count(1, Picos::from_us(1) + ARN_TTL), 1);
+//! assert_eq!(t.live_count(1, Picos::from_us(2) + ARN_TTL), 0);
+//! ```
+
+use simcore::Picos;
+
+/// How long a congestion notification stays live without being
+/// refreshed by another `hot`. The backstop against permanent detours:
+/// explicit `cold` notifications normally clear entries, the TTL covers
+/// anything that slipped through (e.g. a root cleared while its switch
+/// was already quiescent). Matches the SAQ idle-reclaim timeout — both
+/// bound how long stale congestion state can steer traffic.
+pub const ARN_TTL: Picos = Picos::from_us(20);
+
+/// Occupancy (bytes in one switch output queue set) at which a non-RECN
+/// scheme declares the switch congested and broadcasts `ArnHot` to its
+/// children. Half the RECN detection threshold's ballpark: notifications
+/// should fire while rerouting can still help, not once the port is full.
+pub const ARN_HOT_BYTES: u64 = 8 * 1024;
+
+/// Occupancy at which a previously-hot output broadcasts `ArnCold`.
+/// Strictly below [`ARN_HOT_BYTES`] so the trigger has hysteresis and a
+/// queue hovering at the threshold does not spray notification pairs.
+pub const ARN_COLD_BYTES: u64 = 2 * 1024;
+
+/// One up-port's notification state: how many congested roots are
+/// currently reported through it, and when the report was last refreshed.
+#[derive(Debug, Clone, Copy, Default)]
+struct ArnEntry {
+    /// Net hot-minus-cold notifications (saturating at zero).
+    count: u32,
+    /// Time of the last `hot` — the staleness clock for the TTL.
+    stamp: Picos,
+}
+
+/// Per-switch ARN table: one `{count, stamp}` entry per up-port, indexed
+/// by the up-port's offset within the switch's up-port range.
+///
+/// Purely passive: notifications mutate it, `select_up_port` reads it,
+/// and age-out happens at read time ([`live_count`](Self::live_count)),
+/// so the table never schedules events of its own.
+#[derive(Debug, Clone)]
+pub struct ArnTable {
+    entries: Vec<ArnEntry>,
+}
+
+impl ArnTable {
+    /// A table for a switch with `up_ports` up-ports, all entries clear.
+    pub fn new(up_ports: usize) -> ArnTable {
+        ArnTable {
+            entries: vec![ArnEntry::default(); up_ports],
+        }
+    }
+
+    /// Number of up-port slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no slots (a top-level or MIN switch).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a congestion notification received through up-port `slot`
+    /// at time `now`: one more congested root is reachable that way.
+    pub fn note_hot(&mut self, slot: usize, now: Picos) {
+        let e = &mut self.entries[slot];
+        e.count = e.count.saturating_add(1);
+        e.stamp = now;
+    }
+
+    /// Records a decongestion notification for up-port `slot`.
+    pub fn note_cold(&mut self, slot: usize) {
+        let e = &mut self.entries[slot];
+        e.count = e.count.saturating_sub(1);
+    }
+
+    /// Live congested-root count reported through up-port `slot` at time
+    /// `now`: the net count while the last `hot` is within [`ARN_TTL`],
+    /// zero once it has aged out.
+    pub fn live_count(&self, slot: usize, now: Picos) -> u32 {
+        let e = self.entries[slot];
+        if e.count > 0 && now <= e.stamp + ARN_TTL {
+            e.count
+        } else {
+            0
+        }
+    }
+
+    /// Sum of [`live_count`](Self::live_count) over every slot — nonzero
+    /// while any up-port still reports live congestion.
+    pub fn live_total(&self, now: Picos) -> u64 {
+        (0..self.entries.len())
+            .map(|s| self.live_count(s, now) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_per_slot_and_saturating() {
+        let mut t = ArnTable::new(3);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let now = Picos::from_us(5);
+        t.note_hot(1, now);
+        t.note_hot(1, now);
+        t.note_hot(2, now);
+        assert_eq!(t.live_count(0, now), 0);
+        assert_eq!(t.live_count(1, now), 2);
+        assert_eq!(t.live_count(2, now), 1);
+        assert_eq!(t.live_total(now), 3);
+        // Colds drain slot by slot and saturate at zero.
+        t.note_cold(1);
+        assert_eq!(t.live_count(1, now), 1);
+        t.note_cold(1);
+        t.note_cold(1);
+        assert_eq!(t.live_count(1, now), 0);
+        assert_eq!(t.live_total(now), 1);
+    }
+
+    #[test]
+    fn entries_age_out_after_ttl() {
+        let mut t = ArnTable::new(1);
+        let hot_at = Picos::from_us(3);
+        t.note_hot(0, hot_at);
+        // Live up to and including the TTL boundary, dead after.
+        assert_eq!(t.live_count(0, hot_at + ARN_TTL), 1);
+        assert_eq!(t.live_count(0, hot_at + ARN_TTL + Picos::new(1)), 0);
+        // A refresh restarts the clock without double counting.
+        let again = hot_at + ARN_TTL;
+        t.note_cold(0);
+        t.note_hot(0, again);
+        assert_eq!(t.live_count(0, again + ARN_TTL), 1);
+        assert_eq!(t.live_total(again + ARN_TTL + Picos::new(1)), 0);
+    }
+
+    #[test]
+    fn empty_table_reports_nothing() {
+        let t = ArnTable::new(0);
+        assert!(t.is_empty());
+        assert_eq!(t.live_total(Picos::from_us(1)), 0);
+    }
+}

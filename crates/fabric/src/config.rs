@@ -127,6 +127,19 @@ pub enum RoutingPolicy {
         /// The deterministic output-port selector.
         selector: UpSelector,
     },
+    /// Notification-driven adaptive routing (ARN, Rocher-Gonzalez et al.):
+    /// like [`AdaptiveUp`](Self::AdaptiveUp), but each switch also keeps a
+    /// per-up-port table of live congestion notifications received from
+    /// the switch above, and up-ports leading toward congested subtrees
+    /// are penalized before the `selector` tie-break applies. Under RECN
+    /// the notifications are driven by SAQ (congested-root CAM entry)
+    /// allocation and deallocation; other schemes fall back to an
+    /// output-queue occupancy threshold. With zero live notifications the
+    /// policy is decision-for-decision identical to `AdaptiveUp`.
+    ArnUp {
+        /// The deterministic selector used as the final tie-break.
+        selector: UpSelector,
+    },
 }
 
 impl RoutingPolicy {
@@ -137,11 +150,27 @@ impl RoutingPolicy {
         }
     }
 
-    /// The CLI / JSON name (`"deterministic"` or `"adaptive"`).
+    /// The notification-driven policy with the default (credit-weighted)
+    /// selector as the final tie-break.
+    ///
+    /// ```
+    /// use fabric::RoutingPolicy;
+    /// let arn = RoutingPolicy::arn();
+    /// assert!(arn.is_arn() && arn.is_adaptive());
+    /// assert_eq!(RoutingPolicy::parse("arn"), Some(arn));
+    /// ```
+    pub fn arn() -> RoutingPolicy {
+        RoutingPolicy::ArnUp {
+            selector: UpSelector::CreditWeighted,
+        }
+    }
+
+    /// The CLI / JSON name (`"deterministic"`, `"adaptive"` or `"arn"`).
     pub fn name(&self) -> &'static str {
         match self {
             RoutingPolicy::Deterministic => "deterministic",
             RoutingPolicy::AdaptiveUp { .. } => "adaptive",
+            RoutingPolicy::ArnUp { .. } => "arn",
         }
     }
 
@@ -151,13 +180,24 @@ impl RoutingPolicy {
         match s.to_ascii_lowercase().as_str() {
             "deterministic" => Some(RoutingPolicy::Deterministic),
             "adaptive" => Some(RoutingPolicy::adaptive()),
+            "arn" => Some(RoutingPolicy::arn()),
             _ => None,
         }
     }
 
-    /// Whether this policy ever rebinds turns at forwarding time.
+    /// Whether this policy ever rebinds turns at forwarding time (true
+    /// for both the locally-adaptive and the notification-driven policy).
     pub fn is_adaptive(&self) -> bool {
-        matches!(self, RoutingPolicy::AdaptiveUp { .. })
+        matches!(
+            self,
+            RoutingPolicy::AdaptiveUp { .. } | RoutingPolicy::ArnUp { .. }
+        )
+    }
+
+    /// Whether this policy consumes congestion notifications (the ARN
+    /// table, [`crate::ArnTable`], is only maintained when this is true).
+    pub fn is_arn(&self) -> bool {
+        matches!(self, RoutingPolicy::ArnUp { .. })
     }
 }
 
@@ -184,6 +224,10 @@ impl Canon for RoutingPolicy {
                 w.u8(1);
                 selector.encode_canon(w);
             }
+            RoutingPolicy::ArnUp { selector } => {
+                w.u8(2);
+                selector.encode_canon(w);
+            }
         }
     }
 
@@ -191,6 +235,9 @@ impl Canon for RoutingPolicy {
         match r.u8()? {
             0 => Ok(RoutingPolicy::Deterministic),
             1 => Ok(RoutingPolicy::AdaptiveUp {
+                selector: UpSelector::decode_canon(r)?,
+            }),
+            2 => Ok(RoutingPolicy::ArnUp {
                 selector: UpSelector::decode_canon(r)?,
             }),
             t => Err(CanonError::new(format!("unknown routing tag {t}"))),
@@ -400,13 +447,18 @@ mod tests {
 
     #[test]
     fn routing_policy_parse_round_trips() {
-        for p in [RoutingPolicy::Deterministic, RoutingPolicy::adaptive()] {
+        for p in [
+            RoutingPolicy::Deterministic,
+            RoutingPolicy::adaptive(),
+            RoutingPolicy::arn(),
+        ] {
             assert_eq!(RoutingPolicy::parse(p.name()), Some(p));
         }
         assert_eq!(
             RoutingPolicy::parse("Adaptive"),
             Some(RoutingPolicy::adaptive())
         );
+        assert_eq!(RoutingPolicy::parse("ARN"), Some(RoutingPolicy::arn()));
         assert_eq!(RoutingPolicy::parse("oblivious"), None);
         assert_eq!(RoutingPolicy::default(), RoutingPolicy::Deterministic);
     }
@@ -418,6 +470,12 @@ mod tests {
         assert!(cfg.routing.is_adaptive());
         let det = FabricConfig::paper(SchemeKind::OneQ).with_routing(RoutingPolicy::Deterministic);
         assert!(det.strict_order);
+        // ARN is adaptive-with-notifications: same order relaxation, and
+        // only it maintains the notification table.
+        let arn = FabricConfig::paper(SchemeKind::OneQ).with_routing(RoutingPolicy::arn());
+        assert!(!arn.strict_order);
+        assert!(arn.routing.is_adaptive() && arn.routing.is_arn());
+        assert!(!RoutingPolicy::adaptive().is_arn());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod arn;
 mod config;
 mod credit;
 mod network;
@@ -70,6 +71,7 @@ mod transport;
 mod validate;
 
 pub use arena::{Arena, Handle};
+pub use arn::{ArnTable, ARN_COLD_BYTES, ARN_HOT_BYTES, ARN_TTL};
 pub use config::{FabricConfig, RoutingPolicy, SchemeKind, UpSelector};
 pub use credit::{CreditView, POOLED_QUEUE};
 pub use network::{

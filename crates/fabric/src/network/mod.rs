@@ -10,6 +10,7 @@ mod switch;
 use simcore::{EventModel, EventQueue, Picos, SimModel};
 use topology::{HostId, TopoParams, Topology};
 
+use crate::arn::{ArnTable, ARN_COLD_BYTES, ARN_HOT_BYTES};
 use crate::config::{FabricConfig, SchemeKind};
 use crate::credit::CreditView;
 use crate::observer::{NetObserver, NullObserver};
@@ -385,6 +386,18 @@ pub struct Network {
     /// Scratch buffer for packets needing RECN notification requests
     /// (reused across input-arbiter ports to avoid per-port allocation).
     pub(crate) scratch_pkts: Vec<Packet>,
+    /// Per-switch ARN notification tables (one entry per up-port), and
+    /// the links each switch notifies when its own congestion state
+    /// changes: the reverse channels of every child link (a link whose
+    /// upstream end is an up-port of the switch one level down). All
+    /// three vectors are empty unless `cfg.routing.is_arn()`, so the
+    /// other policies pay nothing — not even in `memory_footprint`.
+    pub(crate) arn_tables: Vec<ArnTable>,
+    pub(crate) arn_child_links: Vec<Vec<usize>>,
+    /// Non-RECN ARN trigger state: whether each switch output port
+    /// (flat `port_base[sw] + port` index) is currently above the
+    /// occupancy threshold and has an uncancelled `ArnHot` outstanding.
+    pub(crate) arn_out_hot: Vec<bool>,
     /// Coalesced-wakeup state of the lazy event model (inert under eager).
     pub(crate) lazy: LazyState,
     /// Packet size used when splitting messages.
@@ -583,6 +596,9 @@ impl Network {
             max_saq_out: 0,
             scratch: Vec::new(),
             scratch_pkts: Vec::new(),
+            arn_tables: Vec::new(),
+            arn_child_links: Vec::new(),
+            arn_out_hot: Vec::new(),
             lazy: LazyState::default(),
             packet_size,
             transport: cfg.transport.build(),
@@ -594,6 +610,30 @@ impl Network {
             if let LinkDown::Switch { sw, port } = network.links[l].down {
                 network.switches[sw].in_link[port] = l;
             }
+        }
+        // ARN plumbing: one notification table per switch (sized by its
+        // up-ports) and, per switch, the set of child links to notify —
+        // links arriving from an up-port of a switch one level down. On
+        // the MIN no switch has up-ports, so every list stays empty and
+        // ARN degrades to plain adaptive (itself deterministic there).
+        if network.cfg.routing.is_arn() {
+            network.arn_tables = network
+                .switches
+                .iter()
+                .map(|s| ArnTable::new(s.up_ports.len()))
+                .collect();
+            let mut child_links = vec![Vec::new(); network.switches.len()];
+            for (l, link) in network.links.iter().enumerate() {
+                if let (LinkUp::Switch { sw: child, port }, LinkDown::Switch { sw: parent, .. }) =
+                    (link.up, link.down)
+                {
+                    if network.switches[child].up_ports.contains(&port) {
+                        child_links[parent].push(l);
+                    }
+                }
+            }
+            network.arn_child_links = child_links;
+            network.arn_out_hot = vec![false; total_ports];
         }
         network
     }
@@ -731,6 +771,19 @@ impl Network {
         total += ((self.saq_in.capacity() + self.saq_out.capacity() + self.saq_nic.capacity())
             * size_of::<u16>()) as u64;
         total += (self.port_base.capacity() * size_of::<usize>()) as u64;
+        // ARN notification state (all three vectors empty outside ArnUp,
+        // so the other policies' footprints are untouched).
+        total += self
+            .arn_tables
+            .iter()
+            .map(|t| (t.len() * 16 + size_of::<ArnTable>()) as u64)
+            .sum::<u64>();
+        total += self
+            .arn_child_links
+            .iter()
+            .map(|v| (v.capacity() * size_of::<usize>() + size_of::<Vec<usize>>()) as u64)
+            .sum::<u64>();
+        total += self.arn_out_hot.capacity() as u64;
         total
     }
 
@@ -778,19 +831,20 @@ impl Network {
     }
 
     /// The `top` most utilized links at `now`: `(description, fraction)`.
-    /// Under adaptive routing every label carries an ` [adaptive]` suffix,
-    /// so link reports from the two policies are never mistaken for one
-    /// another (deterministic labels are unchanged). Indices are
-    /// zero-padded to the topology's own widths so the report stays
-    /// column-aligned on deep trees.
+    /// Under adaptive routing every label carries an ` [adaptive]` suffix
+    /// (` [arn]` under notification-driven routing), so link reports from
+    /// the three policies are never mistaken for one another
+    /// (deterministic labels are unchanged). Indices are zero-padded to
+    /// the topology's own widths so the report stays column-aligned on
+    /// deep trees.
     pub fn hottest_links(&self, now: Picos, top: usize) -> Vec<(String, f64)> {
         if now == Picos::ZERO {
             return Vec::new();
         }
-        let suffix = if self.cfg.routing.is_adaptive() {
-            " [adaptive]"
-        } else {
-            ""
+        let suffix = match self.cfg.routing {
+            crate::RoutingPolicy::Deterministic => "",
+            crate::RoutingPolicy::AdaptiveUp { .. } => " [adaptive]",
+            crate::RoutingPolicy::ArnUp { .. } => " [arn]",
         };
         let (sw_w, p_w, h_w) = self.label_widths();
         let mut all: Vec<(String, f64)> = self
@@ -1168,7 +1222,96 @@ impl Network {
                     LinkUp::Switch { sw, port } => self.kick_output_arb(now, now, q, sw, port),
                 }
             }
+            RevPayload::ArnHot => self.on_arn_notification(now, link, true),
+            RevPayload::ArnCold => self.on_arn_notification(now, link, false),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // ARN: congestion notifications (RoutingPolicy::ArnUp)
+    // ------------------------------------------------------------------
+
+    /// An ARN notification arrived at the upstream end of `link`: the
+    /// switch one level up (reached through this link) gained (`hot`) or
+    /// lost a congested root. The table entry of the up-port the link
+    /// hangs off absorbs it; `select_up_port` reads the table on the next
+    /// rebindable head-of-line packet — no rerouting event is needed.
+    fn on_arn_notification(&mut self, now: Picos, link: usize, hot: bool) {
+        let LinkUp::Switch { sw, port } = self.links[link].up else {
+            unreachable!("ARN notifications only travel switch-to-switch links");
+        };
+        let slot = port - self.switches[sw].up_ports.start;
+        if hot {
+            self.arn_tables[sw].note_hot(slot, now);
+        } else {
+            self.arn_tables[sw].note_cold(slot);
+        }
+    }
+
+    /// Broadcasts one ARN notification from `sw` to every child switch
+    /// (the reverse channel of each child link, consuming modeled
+    /// bandwidth like any other control message). No-op unless the run
+    /// is under `RoutingPolicy::ArnUp`; leaf switches have no child
+    /// switches and broadcast to nobody.
+    pub(crate) fn arn_broadcast(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        hot: bool,
+    ) {
+        if self.arn_child_links.is_empty() {
+            return;
+        }
+        for i in 0..self.arn_child_links[sw].len() {
+            let link = self.arn_child_links[sw][i];
+            let payload = if hot {
+                RevPayload::ArnHot
+            } else {
+                RevPayload::ArnCold
+            };
+            self.send_rev_ctrl(now, q, link, payload);
+            if hot {
+                self.counters.arn_hot_notifications += 1;
+            } else {
+                self.counters.arn_cold_notifications += 1;
+            }
+        }
+    }
+
+    /// Non-RECN ARN trigger (the ARN paper's): output-port occupancy
+    /// crossing [`ARN_HOT_BYTES`] upward broadcasts `ArnHot`, draining to
+    /// [`ARN_COLD_BYTES`] broadcasts the matching `ArnCold`. Called after
+    /// every output enqueue and dequeue; the hysteresis gap keeps a queue
+    /// hovering at the threshold from spraying notification pairs. Under
+    /// RECN the congested-root CAM itself drives notifications instead
+    /// (see `note_root_change`), so this is a no-op there.
+    pub(crate) fn arn_occupancy_check(
+        &mut self,
+        now: Picos,
+        q: &mut EventQueue<Event>,
+        sw: usize,
+        port: usize,
+    ) {
+        if self.arn_out_hot.is_empty() || matches!(self.cfg.scheme, SchemeKind::Recn(_)) {
+            return;
+        }
+        let used = self.switches[sw].outputs[port].used();
+        let idx = self.port_base[sw] + port;
+        if !self.arn_out_hot[idx] && used >= ARN_HOT_BYTES {
+            self.arn_out_hot[idx] = true;
+            self.arn_broadcast(now, q, sw, true);
+        } else if self.arn_out_hot[idx] && used <= ARN_COLD_BYTES {
+            self.arn_out_hot[idx] = false;
+            self.arn_broadcast(now, q, sw, false);
+        }
+    }
+
+    /// Sum over every switch of the live (unexpired) notification counts —
+    /// nonzero while any ARN table would still bias an up-port choice.
+    /// Always zero outside `RoutingPolicy::ArnUp`.
+    pub fn arn_live_total(&self, now: Picos) -> u64 {
+        self.arn_tables.iter().map(|t| t.live_total(now)).sum()
     }
 }
 

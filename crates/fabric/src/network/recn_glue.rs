@@ -66,7 +66,7 @@ impl Network {
                     .recn_mut()
                     .expect("RECN scheme")
                     .on_token_rejected_from_input(input, path_at_egress);
-                self.note_root_change(now, sw, egress_port, change);
+                self.note_root_change(now, q, sw, egress_port, change);
                 if let Some(saq) = dealloc {
                     self.egress_dealloc(now, q, sw, egress_port, saq);
                 }
@@ -240,7 +240,7 @@ impl Network {
             .recn_mut()
             .expect("RECN scheme")
             .on_token_from_input(input, path_at_egress);
-        self.note_root_change(now, sw, out_port as usize, change);
+        self.note_root_change(now, q, sw, out_port as usize, change);
         if let Some(next) = dealloc {
             self.egress_dealloc(now, q, sw, out_port as usize, next);
         }
@@ -490,6 +490,7 @@ impl Network {
     pub(crate) fn note_root_change(
         &mut self,
         now: Picos,
+        q: &mut EventQueue<Event>,
         sw: usize,
         port: usize,
         change: Option<RootChange>,
@@ -498,10 +499,15 @@ impl Network {
             Some(RootChange::BecameRoot) => {
                 self.counters.root_activations += 1;
                 self.observer.on_root_change(now, sw, port, true);
+                // ARN: a fresh congested root is the RECN-side trigger —
+                // tell the children so their up-phase can route around
+                // this subtree (no-op unless routing is `ArnUp`).
+                self.arn_broadcast(now, q, sw, true);
             }
             Some(RootChange::ClearedRoot) => {
                 self.counters.root_clears += 1;
                 self.observer.on_root_change(now, sw, port, false);
+                self.arn_broadcast(now, q, sw, false);
             }
             None => {}
         }

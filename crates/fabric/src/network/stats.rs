@@ -64,6 +64,11 @@ pub struct NetCounters {
     pub pfc_dropped_packets: u64,
     /// PFC: bytes dropped at full switch input ports.
     pub pfc_dropped_bytes: u64,
+    /// ARN: congestion (`ArnHot`) notifications sent to child switches
+    /// (`RoutingPolicy::ArnUp` only; one count per child link notified).
+    pub arn_hot_notifications: u64,
+    /// ARN: decongestion (`ArnCold`) notifications sent to child switches.
+    pub arn_cold_notifications: u64,
 }
 
 impl NetCounters {

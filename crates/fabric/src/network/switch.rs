@@ -164,7 +164,7 @@ impl Network {
                     // blocked candidate set just means re-selection at the
                     // next arbitration round.
                     let head = *p;
-                    if let Some((out, oq)) = self.select_up_port(sw, &head, is_recn) {
+                    if let Some((out, oq)) = self.select_up_port(now, sw, &head, is_recn) {
                         grant = Some((qidx, out, oq));
                         bind = Some(out as u8);
                         break;
@@ -299,24 +299,36 @@ impl Network {
     /// deterministic, so runs stay bit-identical per policy. Returns the
     /// chosen output and, for per-queue (non-RECN) schemes, the output queue
     /// to reserve.
+    ///
+    /// Under [`RoutingPolicy::ArnUp`] the comparison key grows a leading
+    /// component: the number of *live* congested roots reported through each
+    /// candidate up-port ([`crate::ArnTable::live_count`] at `now`). The
+    /// minimum is lexicographic `(live roots, credit score, port)`, so ARN
+    /// penalizes notified subtrees without hard-filtering them (every
+    /// candidate hot still routes somewhere), and with zero live
+    /// notifications the decision collapses to exactly the `AdaptiveUp` one.
     fn select_up_port(
         &self,
+        now: Picos,
         sw: usize,
         p: &Packet,
         is_recn: bool,
     ) -> Option<(usize, Option<usize>)> {
         use crate::config::{RoutingPolicy, UpSelector};
-        match self.cfg.routing {
+        let arn = match self.cfg.routing {
             RoutingPolicy::AdaptiveUp {
                 selector: UpSelector::CreditWeighted,
-            } => {}
+            } => false,
+            RoutingPolicy::ArnUp {
+                selector: UpSelector::CreditWeighted,
+            } => true,
             RoutingPolicy::Deterministic => {
                 unreachable!("rebindable turn under deterministic routing")
             }
-        }
+        };
         let size = p.size as u64;
         let switch = &self.switches[sw];
-        let mut best: Option<(u64, usize, Option<usize>)> = None;
+        let mut best: Option<(u32, u64, usize, Option<usize>)> = None;
         for out in switch.up_ports.clone() {
             if switch.out_busy[out] {
                 continue;
@@ -346,12 +358,17 @@ impl Network {
                 (Some(cap), Some(free)) => cap - free,
                 _ => 0,
             };
+            let live = if arn {
+                self.arn_tables[sw].live_count(out - switch.up_ports.start, now)
+            } else {
+                0
+            };
             let score = switch.outputs[out].used() + consumed;
-            if best.is_none_or(|(b, _, _)| score < b) {
-                best = Some((score, out, oq));
+            if best.is_none_or(|(bl, bs, _, _)| (live, score) < (bl, bs)) {
+                best = Some((live, score, out, oq));
             }
         }
-        best.map(|(_, out, oq)| (out, oq))
+        best.map(|(_, _, out, oq)| (out, oq))
     }
 
     /// Runs the RECN request-time notification hook for a head packet at
@@ -443,7 +460,7 @@ impl Network {
                             .recn_mut()
                             .expect("RECN scheme")
                             .normal_occupancy_changed(occ);
-                        self.note_root_change(now, sw, output, change);
+                        self.note_root_change(now, q, sw, output, change);
                     }
                 }
                 let notifs = self.switches[sw].outputs[output]
@@ -455,6 +472,10 @@ impl Network {
                 }
             }
         }
+
+        // ARN occupancy trigger (non-RECN schemes): the enqueue above may
+        // have pushed this output past the hot threshold.
+        self.arn_occupancy_check(now, q, sw, output);
 
         // Credit for the freed input-port bytes flows upstream — except
         // under PFC, which has no credits (pause/resume is the only
@@ -562,10 +583,13 @@ impl Network {
                     .recn_mut()
                     .expect("RECN scheme")
                     .normal_occupancy_changed(occ);
-                self.note_root_change(now, sw, port, change);
+                self.note_root_change(now, q, sw, port, change);
                 self.drain_output_markers(now, q, sw, port, 0);
             }
         }
+        // ARN occupancy trigger (non-RECN schemes): the dequeue may have
+        // drained this output below the cold threshold.
+        self.arn_occupancy_check(now, q, sw, port);
         self.links[link].credits.consume(tq, size);
         self.note_credit_consumed(now, link, tq, size);
         self.observer.on_hop(now, &pkt, link);

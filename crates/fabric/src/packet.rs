@@ -124,6 +124,18 @@ pub enum RevPayload {
     /// PFC: occupancy fell to the low-water mark; the upstream
     /// transmitter may resume.
     PfcResume,
+    /// ARN congestion notification: the downstream switch (reached
+    /// through this link's forward direction) became congested — under
+    /// RECN it allocated a congested-root CAM entry, under the other
+    /// schemes an output queue crossed the occupancy threshold. The
+    /// upstream receiver bumps the ARN-table entry of the up-port this
+    /// link hangs off (`RoutingPolicy::ArnUp` only).
+    ArnHot,
+    /// ARN decongestion notification: the downstream switch cleared a
+    /// congested root (RECN) or an output queue drained below the low
+    /// threshold. The upstream receiver decrements the matching
+    /// ARN-table entry.
+    ArnCold,
 }
 
 impl RevPayload {
@@ -134,6 +146,7 @@ impl RevPayload {
             RevPayload::RecnNotification { path } => 8 + path.len() as u64,
             RevPayload::RecnXoff { .. } | RevPayload::RecnXon { .. } => 8,
             RevPayload::PfcPause | RevPayload::PfcResume => 8,
+            RevPayload::ArnHot | RevPayload::ArnCold => 8,
         }
     }
 }
@@ -186,5 +199,7 @@ mod tests {
         assert_eq!(RevPayload::RecnXoff { path }.wire_bytes(), 8);
         assert_eq!(RevPayload::PfcPause.wire_bytes(), 8);
         assert_eq!(RevPayload::PfcResume.wire_bytes(), 8);
+        assert_eq!(RevPayload::ArnHot.wire_bytes(), 8);
+        assert_eq!(RevPayload::ArnCold.wire_bytes(), 8);
     }
 }

@@ -68,6 +68,23 @@ cmp "$smoke/ft1.txt" "$smoke/ft4.txt"
 grep -q "zero invariant violations" "$smoke/ft1.txt"
 echo "fat-tree smoke passed: zero violations, digests parallel-stable"
 
+echo "== tier1: ARN smoke test (--routing arn, validator on) =="
+# Notification-driven adaptive routing on the same fat-tree matrix: ARN
+# notifications ride modeled reverse channels and age out at read time, so
+# the runs must stay exactly as deterministic as the other two policies —
+# byte-identical digests at any parallelism, zero invariant violations.
+(cd "$smoke" && "$OLDPWD/target/release/validate" --quick --topology fattree --routing arn --jobs 1 --json none > arn1.txt 2> /dev/null)
+(cd "$smoke" && "$OLDPWD/target/release/validate" --quick --topology fattree --routing arn --jobs 4 --json none > arn4.txt 2> /dev/null)
+cmp "$smoke/arn1.txt" "$smoke/arn4.txt"
+grep -q "zero invariant violations" "$smoke/arn1.txt"
+# ARN must actually change behaviour where notifications fire: the RECN
+# row's digest differs from its plain-fat-tree (deterministic) twin.
+if cmp -s "$smoke/arn1.txt" "$smoke/ft1.txt"; then
+  echo "ARN smoke FAILED: arn output identical to deterministic routing" >&2
+  exit 1
+fi
+echo "ARN smoke passed: zero violations, digests parallel-stable and distinct"
+
 echo "== tier1: transport smoke test (incast64, every transport, --jobs 1 vs 4) =="
 # The closed-loop transport layer must keep the determinism contract: the
 # incast64 FCT table (five schemes, trace digests included) is

@@ -4,10 +4,13 @@
 //! the mean throughput inside the congestion window. With `--routing
 //! adaptive` the sweep additionally reruns under deterministic
 //! self-routing and prints the deterministic-vs-adaptive comparison
-//! table (the EXPERIMENTS.md fat-tree headline). See `--help`.
+//! table; with `--routing arn` it reruns under *both* other policies and
+//! prints the full {deterministic, adaptive, arn} × scheme matrix (the
+//! EXPERIMENTS.md fat-tree headline tables). See `--help`.
 
 use experiments::figures::{
-    congestion_window_means, render_routing_comparison, routing_comparison, topology_hotspot,
+    congestion_window_means, render_routing_comparison, render_scheme_matrix, routing_comparison,
+    scheme_matrix, topology_hotspot,
 };
 use experiments::Opts;
 
@@ -19,7 +22,11 @@ fn main() {
     for (label, mean) in congestion_window_means(&fig, &opts) {
         println!("  {label:>7}: {mean:.3} bytes/ns");
     }
-    if opts.routing.is_adaptive() {
+    if opts.routing.is_arn() {
+        println!();
+        let rows = scheme_matrix(&opts);
+        print!("{}", render_scheme_matrix(&rows));
+    } else if opts.routing.is_adaptive() {
         println!();
         let rows = routing_comparison(&fig, &opts);
         print!("{}", render_routing_comparison(&rows));
